@@ -1,0 +1,229 @@
+//! Cluster assignment for clustered register files (paper §1.2: ""register
+//! clusters"").
+//!
+//! Every virtual register gets a *home cluster*; operations execute on the
+//! cluster of their destination and read remote operands through explicit
+//! `CopyX` transfer ops, which the scheduler places like any other
+//! operation. The assignment heuristic is a bottom-up greedy sweep (in the
+//! spirit of the Multiflow BUG): destination constraints dominate, then
+//! operand majority, then load balance.
+
+use crate::lir::{LFunc, LOp, LVal, RETV};
+use asip_ir::inst::VReg;
+use asip_isa::{FuKind, MachineDescription, Opcode};
+use std::collections::HashMap;
+
+/// Home-cluster map for a function's virtual registers.
+#[derive(Debug, Clone)]
+pub struct Homes {
+    map: Vec<Option<u8>>,
+}
+
+impl Homes {
+    /// Home cluster of `v` (cluster 0 when unknown; `RETV` is always 0).
+    pub fn of(&self, v: VReg) -> u8 {
+        if v == RETV {
+            return 0;
+        }
+        self.map.get(v.0 as usize).copied().flatten().unwrap_or(0)
+    }
+
+    fn set(&mut self, v: VReg, c: u8) {
+        if v == RETV {
+            return;
+        }
+        let i = v.0 as usize;
+        if i >= self.map.len() {
+            self.map.resize(i + 1, None);
+        }
+        self.map[i] = Some(c);
+    }
+
+    fn get(&self, v: VReg) -> Option<u8> {
+        if v == RETV {
+            return Some(0);
+        }
+        self.map.get(v.0 as usize).copied().flatten()
+    }
+}
+
+/// Assign clusters and insert inter-cluster copies. Returns the home map.
+pub fn assign_clusters(f: &mut LFunc, machine: &MachineDescription) -> Homes {
+    let nclusters = machine.clusters;
+    let mut homes = Homes { map: vec![None; f.num_vregs as usize] };
+    if nclusters <= 1 {
+        return homes;
+    }
+    let mut load = vec![0u64; nclusters as usize];
+
+    for bi in 0..f.blocks.len() {
+        let ops = std::mem::take(&mut f.blocks[bi].ops);
+        let mut out: Vec<LOp> = Vec::with_capacity(ops.len() + 8);
+        // (vreg, cluster) -> copy vreg, valid until vreg redefined.
+        let mut copies: HashMap<(VReg, u8), VReg> = HashMap::new();
+
+        for mut op in ops {
+            // 1. Pick the execution cluster.
+            let forced_zero = op.is_serial()
+                || op.opcode.fu_kind() == FuKind::Branch
+                || matches!(op.opcode, Opcode::Emit);
+            let cluster = if forced_zero {
+                0
+            } else if let Some(c) = op.dsts.iter().find_map(|&d| homes.get(d)) {
+                c
+            } else {
+                // Operand affinity traded against load balance: each local
+                // operand is worth four ops of queue depth. This lets fresh
+                // independent chains migrate to idle clusters while keeping
+                // dependent chains together (BUG-style).
+                let mut votes = vec![0i64; nclusters as usize];
+                for s in &op.srcs {
+                    if let LVal::Reg(r) = s {
+                        if let Some(c) = homes.get(*r) {
+                            votes[c as usize] += 1;
+                        }
+                    }
+                }
+                let min_load = *load.iter().min().unwrap_or(&0);
+                (0..nclusters)
+                    .max_by_key(|&c| {
+                        votes[c as usize] * 4 - (load[c as usize] - min_load) as i64
+                    })
+                    .unwrap_or(0)
+            };
+
+            // 2. Pull remote operands across with (cached) copies.
+            for s in op.srcs.iter_mut() {
+                if let LVal::Reg(r) = *s {
+                    let rc = homes.get(r).unwrap_or(0);
+                    if rc != cluster && r != RETV {
+                        let key = (r, cluster);
+                        let copy = match copies.get(&key) {
+                            Some(&c) => c,
+                            None => {
+                                let c = f.new_vreg();
+                                homes.set(c, cluster);
+                                out.push(LOp::new(Opcode::CopyX, vec![c], vec![LVal::Reg(r)]));
+                                copies.insert(key, c);
+                                c
+                            }
+                        };
+                        *s = LVal::Reg(copy);
+                    }
+                }
+            }
+
+            // 3. Home the destinations; resolve conflicts with copy-outs.
+            let mut copy_outs: Vec<LOp> = Vec::new();
+            for d in op.dsts.iter_mut() {
+                let dv = *d;
+                match homes.get(dv) {
+                    None => homes.set(dv, cluster),
+                    Some(h) if h == cluster => {}
+                    Some(h) => {
+                        // Write lands on `cluster`; ship it home afterwards.
+                        let tmp = f.new_vreg();
+                        homes.set(tmp, cluster);
+                        copy_outs
+                            .push(LOp::new(Opcode::CopyX, vec![dv], vec![LVal::Reg(tmp)]));
+                        let _ = h;
+                        *d = tmp;
+                    }
+                }
+                // Any cached copies of the (re)defined register are stale.
+                copies.retain(|(src, _), _| *src != dv);
+            }
+
+            load[cluster as usize] += 1;
+            out.push(op);
+            out.extend(copy_outs);
+        }
+        f.blocks[bi].ops = out;
+    }
+    homes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lir::lower_module;
+
+    fn compile_lir(src: &str, m: &MachineDescription) -> LFunc {
+        let mut module = asip_tinyc::compile(src).unwrap();
+        asip_ir::passes::optimize(&mut module, &asip_ir::passes::OptConfig::none());
+        lower_module(&module, m, "main").unwrap().funcs.remove(0)
+    }
+
+    #[test]
+    fn single_cluster_is_untouched() {
+        let m = MachineDescription::ember4();
+        let mut f = compile_lir("void main() { emit(1 + 2); }", &m);
+        let before = f.clone();
+        assign_clusters(&mut f, &m);
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn copies_inserted_for_remote_operands() {
+        let m = MachineDescription::ember4x2();
+        let src = r#"
+            void main(int a, int b) {
+                int x = a * 3;
+                int y = b * 5;
+                emit(x + y);
+            }
+        "#;
+        let mut f = compile_lir(src, &m);
+        assign_clusters(&mut f, &m);
+        let ncopies: usize = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| o.opcode == Opcode::CopyX)
+            .count();
+        // With two clusters at least one operand of the final add (or the
+        // emit) must cross — unless the balancer put everything on one
+        // cluster, which the load tie-break avoids for independent chains.
+        assert!(ncopies >= 1, "expected at least one inter-cluster copy");
+    }
+
+    #[test]
+    fn branch_ops_stay_on_cluster_zero() {
+        let m = MachineDescription::ember4x2();
+        let mut f = compile_lir(
+            "void main(int n) { int i = 0; while (i < n) { i++; } emit(i); }",
+            &m,
+        );
+        let homes = assign_clusters(&mut f, &m);
+        for b in &f.blocks {
+            for op in &b.ops {
+                if op.is_branch() {
+                    for r in op.reads() {
+                        assert_eq!(homes.of(r), 0, "branch condition must live on cluster 0");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_cache_reused_within_block() {
+        let m = MachineDescription::ember4x2();
+        // `a` used twice on a remote cluster should be copied once.
+        let src = "void main(int a) { int x = a * 3; int y = a * 5; emit(x); emit(y); }";
+        let mut f = compile_lir(src, &m);
+        assign_clusters(&mut f, &m);
+        let copies: Vec<&LOp> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .filter(|o| o.opcode == Opcode::CopyX)
+            .collect();
+        // No duplicate (same source, same dst-cluster) copies.
+        let mut seen = std::collections::HashSet::new();
+        for c in &copies {
+            let key = (c.srcs[0].reg().unwrap(), c.dsts[0]);
+            assert!(seen.insert(key), "duplicate copy inserted");
+        }
+    }
+}

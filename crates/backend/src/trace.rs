@@ -1,0 +1,424 @@
+//! Superblock formation: trace selection, tail duplication, and merging.
+//!
+//! The scheduler's scope is a *superblock* — a single-entry, multiple-exit
+//! linear code region. Traces are selected along likely paths (from an
+//! execution profile when available, loop-structure heuristics otherwise),
+//! side entrances are removed by duplicating the trace tail, and the trace
+//! blocks are merged into one block with mid-block conditional exits. This
+//! is the Fisher/Hwu lineage of global scheduling in its robust modern form:
+//! tail duplication removes the need for bookkeeping code.
+
+use crate::lir::{LBlock, LFunc, LOp, LTarget};
+use asip_isa::Opcode;
+
+/// Superblock-formation options.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Upper bound on blocks merged into one trace.
+    pub max_trace_blocks: usize,
+    /// Upper bound on operations duplicated per trace tail.
+    pub max_dup_ops: usize,
+    /// Grow a trace into a successor only if its execution count is at
+    /// least this fraction of the trace head's (profile mode only).
+    pub min_ratio: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { max_trace_blocks: 16, max_dup_ops: 80, min_ratio: 0.4 }
+    }
+}
+
+/// Compute predecessor lists over LIR blocks.
+fn predecessors(f: &LFunc) -> Vec<Vec<u32>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for (i, b) in f.blocks.iter().enumerate() {
+        for s in b.successors() {
+            preds[s as usize].push(i as u32);
+        }
+    }
+    preds
+}
+
+/// The last (unconditional) branch target of a block, if it ends in `Br`.
+fn fallthrough(b: &LBlock) -> Option<u32> {
+    match b.ops.last() {
+        Some(op) if op.opcode == Opcode::Br => match op.target {
+            LTarget::Block(t) => Some(t),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The conditional exit just before a trailing `Br`, if the block ends with
+/// the `BrT cond -> t; Br -> f` pattern produced by lowering.
+fn cond_exit(b: &LBlock) -> Option<(usize, u32)> {
+    let n = b.ops.len();
+    if n >= 2 && b.ops[n - 1].opcode == Opcode::Br {
+        let op = &b.ops[n - 2];
+        if matches!(op.opcode, Opcode::BrT | Opcode::BrF) {
+            if let LTarget::Block(t) = op.target {
+                return Some((n - 2, t));
+            }
+        }
+    }
+    None
+}
+
+/// Run superblock formation on a function.
+///
+/// `counts` is the per-block execution profile (empty slice = static
+/// heuristics). Returns the number of traces formed.
+pub fn form_superblocks(f: &mut LFunc, counts: &[u64], cfg: &TraceConfig) -> usize {
+    let n = f.blocks.len();
+    let count = |b: u32| -> u64 { counts.get(b as usize).copied().unwrap_or(0) };
+
+    // Seed order: hottest first (or program order statically).
+    let mut seeds: Vec<u32> = (0..n as u32).collect();
+    if !counts.is_empty() {
+        seeds.sort_by_key(|&b| std::cmp::Reverse(count(b)));
+    }
+
+    let mut in_trace = vec![false; n];
+    let mut traces: Vec<Vec<u32>> = Vec::new();
+    let preds = predecessors(f);
+
+    for seed in seeds {
+        if in_trace[seed as usize] {
+            continue;
+        }
+        let mut trace = vec![seed];
+        in_trace[seed as usize] = true;
+        let head_count = count(seed).max(1);
+        // Grow forward along the likely edge.
+        loop {
+            let cur = *trace.last().expect("nonempty");
+            if trace.len() >= cfg.max_trace_blocks {
+                break;
+            }
+            let b = &f.blocks[cur as usize];
+            // Candidate successors: conditional-exit target and fallthrough.
+            let ft = fallthrough(b);
+            let ce = cond_exit(b).map(|(_, t)| t);
+            let next = if counts.is_empty() {
+                // Static: prefer the conditional (taken) target — loop bodies
+                // are lowered as taken edges — else the fallthrough.
+                ce.or(ft)
+            } else {
+                match (ce, ft) {
+                    (Some(a), Some(c)) => {
+                        if count(a) >= count(c) {
+                            Some(a)
+                        } else {
+                            Some(c)
+                        }
+                    }
+                    (a, c) => a.or(c),
+                }
+            };
+            let Some(s) = next else { break };
+            if s == 0 || in_trace[s as usize] || trace.contains(&s) {
+                break;
+            }
+            if !counts.is_empty()
+                && (count(s) as f64) < cfg.min_ratio * head_count as f64
+            {
+                break;
+            }
+            // Mutual-most-likely: `s`'s hottest predecessor should be `cur`.
+            if !counts.is_empty() {
+                let hottest_pred = preds[s as usize]
+                    .iter()
+                    .copied()
+                    .max_by_key(|&p| count(p));
+                if hottest_pred != Some(cur) {
+                    break;
+                }
+            }
+            in_trace[s as usize] = true;
+            trace.push(s);
+        }
+        traces.push(trace);
+    }
+
+    // Process multi-block traces: duplicate tails, then merge.
+    let mut formed = 0;
+    for trace in &traces {
+        if trace.len() < 2 {
+            continue;
+        }
+        let mergeable = duplicate_side_entries(f, trace, cfg);
+        if mergeable >= 2 {
+            merge_trace(f, &trace[..mergeable]);
+            formed += 1;
+        }
+    }
+    remove_unreachable(f);
+    formed
+}
+
+/// Make the trace single-entry by duplicating the tail from the first
+/// side-entered block onward and redirecting side predecessors to the
+/// duplicates. Returns the length of the trace prefix that is now safe to
+/// merge (the whole trace on success; the side-entrance-free prefix when
+/// duplication would exceed the growth budget).
+fn duplicate_side_entries(f: &mut LFunc, trace: &[u32], cfg: &TraceConfig) -> usize {
+    let preds = predecessors(f);
+    // First side-entered index.
+    let mut fsi = trace.len();
+    for (i, &b) in trace.iter().enumerate().skip(1) {
+        let prev = trace[i - 1];
+        if preds[b as usize].iter().any(|&p| p != prev) {
+            fsi = i;
+            break;
+        }
+    }
+    if fsi == trace.len() {
+        return trace.len(); // already single-entry
+    }
+    let dup_ops: usize = trace[fsi..]
+        .iter()
+        .map(|&b| f.blocks[b as usize].ops.len())
+        .sum();
+    if dup_ops > cfg.max_dup_ops {
+        return fsi; // merge only the clean prefix
+    }
+
+    // Clone trace[fsi..]; dup_of[i] = id of the clone of trace[i].
+    let mut dup_of = vec![u32::MAX; trace.len()];
+    for (i, &b) in trace.iter().enumerate().skip(fsi) {
+        dup_of[i] = f.blocks.len() as u32;
+        let clone = f.blocks[b as usize].clone();
+        f.blocks.push(clone);
+    }
+    // Chain the duplicates: dup(i)'s trace edge goes to dup(i+1).
+    for i in fsi..trace.len() {
+        if i + 1 >= trace.len() {
+            break;
+        }
+        let next_orig = trace[i + 1];
+        let next_dup = dup_of[i + 1];
+        let this_dup = dup_of[i] as usize;
+        for op in &mut f.blocks[this_dup].ops {
+            if op.is_branch() {
+                if let LTarget::Block(t) = op.target {
+                    if t == next_orig {
+                        op.target = LTarget::Block(next_dup);
+                    }
+                }
+            }
+        }
+    }
+    // Redirect every remaining edge into trace[i] (i ≥ fsi) to dup(i),
+    // except the trace-link edge at the *end* of trace[i-1] (the trailing
+    // `Br` and/or the conditional just before it) — that one is consumed by
+    // the merge. Mid-block side exits from trace[i-1] back to trace[i] are
+    // ordinary side entrances and go to the duplicate like everyone else's.
+    for i in fsi..trace.len() {
+        let b = trace[i];
+        let prev = trace[i - 1];
+        let dup = dup_of[i];
+        for p in 0..f.blocks.len() as u32 {
+            let nops = f.blocks[p as usize].ops.len();
+            for oi in 0..nops {
+                if p == prev && (oi + 1 == nops || oi + 2 == nops) {
+                    continue; // the trace-link edge(s)
+                }
+                let op = &mut f.blocks[p as usize].ops[oi];
+                if op.is_branch() {
+                    if let LTarget::Block(t) = op.target {
+                        if t == b {
+                            op.target = LTarget::Block(dup);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    trace.len()
+}
+
+/// Merge a (now single-entry) trace into its head block. Internal `Br` link
+/// ops disappear; conditional branches whose *taken* edge is the trace edge
+/// are inverted so the trace falls through.
+fn merge_trace(f: &mut LFunc, trace: &[u32]) {
+    let mut merged: Vec<LOp> = Vec::new();
+    for (i, &b) in trace.iter().enumerate() {
+        let mut ops = std::mem::take(&mut f.blocks[b as usize].ops);
+        let next = trace.get(i + 1).copied();
+        if let Some(next) = next {
+            // Drop the trailing unconditional Br to `next`, or invert the
+            // BrT/BrF whose taken target is `next`.
+            match ops.last().map(|o| (o.opcode, o.target)) {
+                Some((Opcode::Br, LTarget::Block(t))) if t == next => {
+                    ops.pop();
+                    // If the new last op is a conditional branch to `next`
+                    // too (degenerate), leave it; scheduler handles it.
+                    if let Some(last) = ops.last_mut() {
+                        if matches!(last.opcode, Opcode::BrT | Opcode::BrF) {
+                            if let LTarget::Block(t2) = last.target {
+                                if t2 == next {
+                                    ops.pop();
+                                }
+                            }
+                        }
+                    }
+                }
+                Some((Opcode::Br, LTarget::Block(other))) => {
+                    // Trace follows the *conditional* edge: invert it.
+                    let n = ops.len();
+                    if n >= 2 {
+                        let cond = &mut ops[n - 2];
+                        if matches!(cond.opcode, Opcode::BrT | Opcode::BrF) {
+                            if let LTarget::Block(t) = cond.target {
+                                if t == next {
+                                    cond.opcode = if cond.opcode == Opcode::BrT {
+                                        Opcode::BrF
+                                    } else {
+                                        Opcode::BrT
+                                    };
+                                    cond.target = LTarget::Block(other);
+                                    ops.pop(); // remove the Br; fallthrough is next
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        merged.extend(ops);
+    }
+    f.blocks[trace[0] as usize].ops = merged;
+    for &b in &trace[1..] {
+        f.blocks[b as usize].ops.clear();
+    }
+}
+
+/// Remove unreachable blocks and compact ids.
+pub fn remove_unreachable(f: &mut LFunc) {
+    let n = f.blocks.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0u32];
+    while let Some(b) = stack.pop() {
+        if seen[b as usize] {
+            continue;
+        }
+        seen[b as usize] = true;
+        for s in f.blocks[b as usize].successors() {
+            stack.push(s);
+        }
+    }
+    let mut remap = vec![u32::MAX; n];
+    let mut blocks = Vec::new();
+    for i in 0..n {
+        if seen[i] {
+            remap[i] = blocks.len() as u32;
+            blocks.push(std::mem::take(&mut f.blocks[i]));
+        }
+    }
+    for b in &mut blocks {
+        for op in &mut b.ops {
+            if let LTarget::Block(t) = op.target {
+                op.target = LTarget::Block(remap[t as usize]);
+            }
+        }
+    }
+    f.blocks = blocks;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lir::lower_module;
+    use asip_isa::MachineDescription;
+
+    fn lf(src: &str) -> LFunc {
+        let mut m = asip_tinyc::compile(src).unwrap();
+        asip_ir::passes::optimize(&mut m, &asip_ir::passes::OptConfig::none());
+        lower_module(&m, &MachineDescription::ember1(), "main")
+            .unwrap()
+            .funcs
+            .remove(0)
+    }
+
+    #[test]
+    fn loop_body_merges_with_header() {
+        let src = r#"
+            void main(int n) {
+                int s = 0;
+                int i = 0;
+                while (i < n) { s += i; i++; }
+                emit(s);
+            }
+        "#;
+        let mut f = lf(src);
+        let before = f.blocks.len();
+        let formed = form_superblocks(&mut f, &[], &TraceConfig::default());
+        assert!(formed >= 1, "at least the loop trace should form");
+        assert!(f.blocks.len() <= before, "merging cannot add reachable blocks");
+        // One block should now contain both a conditional exit and the loop
+        // body's back edge.
+        let has_superblock = f.blocks.iter().any(|b| {
+            let branches = b.ops.iter().filter(|o| o.is_branch()).count();
+            branches >= 2 && b.ops.len() > 4
+        });
+        assert!(has_superblock, "expected a merged multi-exit block");
+    }
+
+    #[test]
+    fn straightline_code_untouched() {
+        let mut f = lf("void main() { emit(1); emit(2); }");
+        let blocks_before = f.blocks.len();
+        form_superblocks(&mut f, &[], &TraceConfig::default());
+        assert_eq!(f.blocks.len(), blocks_before);
+    }
+
+    #[test]
+    fn unreachable_blocks_removed() {
+        let mut f = lf("void main(int x) { if (x) emit(1); else emit(2); emit(3); }");
+        form_superblocks(&mut f, &[], &TraceConfig::default());
+        // All remaining blocks reachable from entry.
+        let n = f.blocks.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        while let Some(b) = stack.pop() {
+            if seen[b as usize] {
+                continue;
+            }
+            seen[b as usize] = true;
+            for s in f.blocks[b as usize].successors() {
+                stack.push(s);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unreachable block survived");
+    }
+
+    #[test]
+    fn profile_guides_trace_choice() {
+        let src = r#"
+            void main(int n) {
+                int i = 0;
+                while (i < n) {
+                    if (i % 7 == 0) emit(i);
+                    i++;
+                }
+            }
+        "#;
+        // Build a profile by interpreting.
+        let mut m = asip_tinyc::compile(src).unwrap();
+        asip_ir::passes::optimize(&mut m, &asip_ir::passes::OptConfig::none());
+        let r = asip_ir::interp::run_module(&m, "main", &[50]).unwrap();
+        let fid = m.func_id("main").unwrap();
+        let counts: Vec<u64> = (0..m.funcs[fid.0 as usize].blocks.len())
+            .map(|b| r.profile.count(fid, asip_ir::BlockId(b as u32)))
+            .collect();
+        let mut f = lower_module(&m, &MachineDescription::ember1(), "main")
+            .unwrap()
+            .funcs
+            .remove(0);
+        let formed = form_superblocks(&mut f, &counts, &TraceConfig::default());
+        assert!(formed >= 1);
+    }
+}

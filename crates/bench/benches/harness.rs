@@ -1,0 +1,103 @@
+//! Criterion benchmarks over the toolchain's hot paths: compilation,
+//! simulation, interpretation, ISE and binary translation.
+
+use asip_backend::{compile_module, BackendOptions};
+use asip_core::ise::{extend, IseConfig};
+use asip_core::Toolchain;
+use asip_dbt::translate_program;
+use asip_isa::MachineDescription;
+use asip_sim::Simulator;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let tc = Toolchain::default();
+    let w = asip_workloads::by_name("fir").unwrap();
+    let module = tc.frontend(&w.source).unwrap();
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    for m in [MachineDescription::ember1(), MachineDescription::ember4()] {
+        g.bench_function(&m.name, |b| {
+            b.iter(|| {
+                compile_module(black_box(&module), &m, None, &BackendOptions::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let tc = Toolchain::default();
+    let w = asip_workloads::by_name("crc32").unwrap();
+    let m = MachineDescription::ember4();
+    let module = tc.frontend(&w.source).unwrap();
+    let prog = compile_module(&module, &m, None, &BackendOptions::default()).unwrap().program;
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    g.bench_function("crc32-ember4", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&m, &prog, Default::default()).unwrap();
+            for (name, data) in &w.inputs {
+                sim.write_global(name, data);
+            }
+            black_box(sim.run(&w.args).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let tc = Toolchain::default();
+    let w = asip_workloads::by_name("sobel").unwrap();
+    let module = tc.frontend(&w.source).unwrap();
+    let mut g = c.benchmark_group("interp");
+    g.sample_size(10);
+    g.bench_function("sobel-golden", |b| {
+        b.iter(|| black_box(tc.profile(&module, &w.inputs, &w.args).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_ise(c: &mut Criterion) {
+    let tc = Toolchain::default();
+    let w = asip_workloads::by_name("yuv2rgb").unwrap();
+    let module = tc.frontend(&w.source).unwrap();
+    let profile = tc.profile(&module, &w.inputs, &w.args).unwrap();
+    let m = MachineDescription::ember4();
+    let mut g = c.benchmark_group("ise");
+    g.sample_size(10);
+    g.bench_function("yuv2rgb-enumerate-select", |b| {
+        b.iter(|| {
+            let mut mm = module.clone();
+            black_box(extend(&mut mm, &m, &profile, &IseConfig::default()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let tc = Toolchain::default();
+    let w = asip_workloads::by_name("viterbi").unwrap();
+    let a = MachineDescription::ember4();
+    let b_machine = a.derive("narrow", |m| {
+        m.slots.truncate(2);
+    });
+    let module = tc.frontend(&w.source).unwrap();
+    let prog = compile_module(&module, &a, None, &BackendOptions::default()).unwrap().program;
+    let mut g = c.benchmark_group("dbt");
+    g.sample_size(10);
+    g.bench_function("viterbi-rebundle", |b| {
+        b.iter(|| black_box(translate_program(&prog, &a, &b_machine).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_simulate,
+    bench_interp,
+    bench_ise,
+    bench_translate
+);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! E11: tailor to an application area, not an application.
+fn main() {
+    println!("{}", asip_bench::fit::area_tuning(asip_workloads::AppArea::Video));
+}

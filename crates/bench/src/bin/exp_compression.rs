@@ -1,0 +1,4 @@
+//! E8: instruction encodings, code size and I-cache stalls.
+fn main() {
+    println!("{}", asip_bench::hw::compression(&asip_bench::hw::sweep_workloads()));
+}

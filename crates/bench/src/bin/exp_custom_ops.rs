@@ -1,0 +1,8 @@
+//! E6: speedup vs custom-operation area budget.
+fn main() {
+    let ws: Vec<_> = ["fir", "median", "yuv2rgb", "crc32", "bits", "adpcm"]
+        .iter()
+        .map(|n| asip_workloads::by_name(n).expect("workload"))
+        .collect();
+    println!("{}", asip_bench::fit::custom_ops(&ws));
+}

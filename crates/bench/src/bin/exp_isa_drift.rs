@@ -1,0 +1,8 @@
+//! E12: ISA drift via rebundling binary translation.
+fn main() {
+    let ws: Vec<_> = ["fir", "crc32", "sort"]
+        .iter()
+        .map(|n| asip_workloads::by_name(n).expect("workload"))
+        .collect();
+    println!("{}", asip_bench::drift::isa_drift(&ws));
+}

@@ -1,0 +1,6 @@
+//! E9: the full N x M validation grid (every preset x every workload).
+fn main() {
+    let machines = asip_isa::MachineDescription::presets();
+    let workloads = asip_workloads::all();
+    println!("{}", asip_bench::fit::nxm_grid(&machines, &workloads));
+}

@@ -1,0 +1,4 @@
+//! E13: area/performance Pareto frontier for an application area.
+fn main() {
+    println!("{}", asip_bench::fit::pareto(asip_workloads::AppArea::Cellphone, 3));
+}

@@ -1,0 +1,4 @@
+//! E4: cycles vs register-file size (the spill cliff).
+fn main() {
+    println!("{}", asip_bench::hw::registers(&asip_bench::hw::sweep_workloads()));
+}

@@ -1,0 +1,4 @@
+//! E1: the paper's Table 1, published and regenerated.
+fn main() {
+    println!("{}", asip_bench::econ_exp::table1_experiment());
+}

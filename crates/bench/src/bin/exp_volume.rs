@@ -1,0 +1,4 @@
+//! E10: unit cost vs volume, SoC crossover.
+fn main() {
+    println!("{}", asip_bench::econ_exp::volume_experiment());
+}

@@ -1,0 +1,116 @@
+//! Economics experiments: E1 (Table 1) and E10 (volume crossover).
+
+use crate::util::{f2, f3, Table};
+use asip_core::Toolchain;
+use asip_econ::{price_family, table1, PriceCurve, SocScenario};
+use asip_isa::hwmodel::cycle_time;
+use asip_isa::MachineDescription;
+
+/// E1 — reproduce Table 1: the published data with Perf/Price recomputed,
+/// plus the same-shape table generated from our own simulated family.
+pub fn table1_experiment() -> String {
+    // Part A: the published table, arithmetic recomputed.
+    let mut ta = Table::new(&[
+        "Core", "Bus", "Family", "Price", "Winstone", "Quake", "W-Perf/Price", "Q-Perf/Price",
+    ]);
+    for r in table1() {
+        ta.row(vec![
+            format!("{} MHz", r.core_mhz),
+            format!("{} MHz", r.bus_mhz),
+            r.family.to_string(),
+            format!("${}", r.price),
+            format!("{}", r.winstone),
+            format!("{}", r.quake),
+            f3(r.winstone_perf_price()),
+            f3(r.quake_perf_price()),
+        ]);
+    }
+
+    // Part B: the same shape from our simulated family. Performance =
+    // 1 / (cycles × period) on a representative kernel; prices from the
+    // speed-grade premium curve.
+    let tc = Toolchain::default();
+    let w = asip_workloads::by_name("fir").expect("fir");
+    let family = [
+        MachineDescription::ember1(),
+        MachineDescription::ember2(),
+        MachineDescription::ember4x2(),
+        MachineDescription::ember4(),
+        MachineDescription::ember4().derive("ember4-fast", |m| {
+            m.lat_mul = 1;
+            m.lat_mem = 1;
+        }),
+        MachineDescription::ember8(),
+    ];
+    let mut grades: Vec<(String, f64)> = Vec::new();
+    for m in &family {
+        let run = tc.run_workload(&w, m).expect("family member runs fir");
+        let time_ns = run.sim.cycles as f64 * cycle_time(m).period_ns();
+        grades.push((m.name.clone(), 1e6 / time_ns));
+    }
+    grades.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let rows = price_family(&grades, &PriceCurve::default());
+    let mut tb = Table::new(&["Member", "Perf (fir)", "Price", "Perf/Price"]);
+    for r in &rows {
+        tb.row(vec![r.label.clone(), f2(r.perf), format!("${:.0}", r.price), f3(r.perf_price())]);
+    }
+    let first_pp = rows.first().map(|r| r.perf_price()).unwrap_or(0.0);
+    let last_pp = rows.last().map(|r| r.perf_price()).unwrap_or(0.0);
+
+    format!(
+        "E1 part A: Table 1 as published (Perf/Price recomputed from price and score)\n\n{}\n\
+         E1 part B: the same shape from the simulated ember family, priced by speed grade\n\n{}\n\
+         high-end premium (bottom->top perf/price drop): {:.2}x published, {:.2}x simulated\n",
+        ta.render(),
+        tb.render(),
+        {
+            let t = table1();
+            t[0].winstone_perf_price() / t[t.len() - 1].winstone_perf_price()
+        },
+        first_pp / last_pp.max(1e-9)
+    )
+}
+
+/// E10 — §4/4.1: unit cost vs volume; the SoC crossover that makes custom
+/// silicon competitive.
+pub fn volume_experiment() -> String {
+    let s = SocScenario::default();
+    let mut t = Table::new(&["volume", "custom SoC $", "mass-market + ASIC $", "winner"]);
+    for exp in 3..=7 {
+        for mant in [1u64, 3] {
+            let v = mant * 10u64.pow(exp);
+            let c = s.custom_soc_unit(v);
+            let d = s.discrete_unit(v);
+            t.row(vec![
+                v.to_string(),
+                f2(c),
+                f2(d),
+                if c < d { "custom".into() } else { "discrete".into() },
+            ]);
+        }
+    }
+    let crossover = s.crossover_volume();
+    format!(
+        "E10: unit cost vs production volume (custom SoC vs mass-market CPU + companion ASIC)\n\
+         core {} mm2 + system {} mm2; SoC NRE ${:.1}M; CPU street price ${}\n\n{}\ncrossover volume: {:?}\n",
+        s.core_area_mm2,
+        s.system_area_mm2,
+        s.fab.nre / 1e6,
+        s.mass_market_price,
+        t.render(),
+        crossover
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e10_has_crossover() {
+        let report = volume_experiment();
+        assert!(report.contains("crossover volume: Some"));
+        assert!(report.contains("discrete"));
+        assert!(report.contains("custom"));
+    }
+}

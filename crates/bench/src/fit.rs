@@ -1,0 +1,193 @@
+//! Customization experiments: E6 (custom-op budgets), E11 (area vs app
+//! tuning), E13 (Pareto frontier) and E9 (the N×M grid).
+
+use crate::util::{f2, f3, geomean, Table};
+use asip_core::dse::{evaluate, explore, SearchSpace};
+use asip_core::ise::{extend, IseConfig};
+use asip_core::nxm::run_grid;
+use asip_core::Toolchain;
+use asip_isa::MachineDescription;
+use asip_workloads::{AppArea, Workload};
+
+/// E6 — §1.2 "specialized ALUs / special ops": speedup vs ISE area budget.
+///
+/// The base core is the single-issue `ember1` — the classic ASIP setting
+/// where fusing a dataflow subgraph into one operation directly saves issue
+/// slots. (On the 4-wide members those ops already run in parallel ALU
+/// slots and the single custom unit serializes them, so customization by
+/// *width* and by *special ops* are competing levers — exactly the design
+/// space E13 explores.)
+pub fn custom_ops(workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let budgets = [0.0f64, 4.0, 8.0, 16.0, 32.0, 64.0];
+    let mut header = vec!["workload".to_string()];
+    header.extend(budgets.iter().map(|b| format!("A={b}")));
+    header.push("ops@64".into());
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    let mut per_budget_speedups: Vec<Vec<f64>> = vec![Vec::new(); budgets.len()];
+
+    for w in workloads {
+        let base_module = tc.frontend(&w.source).expect("frontend");
+        let profile = tc.profile(&base_module, &w.inputs, &w.args).expect("profile");
+        let machine = MachineDescription::ember1();
+        let mut row = vec![w.name.clone()];
+        let mut base_cycles = 0u64;
+        let mut ops_at_max = 0usize;
+        for (i, &budget) in budgets.iter().enumerate() {
+            let mut module = base_module.clone();
+            let (m2, report) = if budget > 0.0 {
+                let cfg = IseConfig { area_budget: budget, ..Default::default() };
+                extend(&mut module, &machine, &profile, &cfg)
+            } else {
+                (machine.clone(), Default::default())
+            };
+            let compiled = tc.compile(&module, &m2, Some(&profile)).expect("compile");
+            let run = tc.run_compiled(w, &m2, &compiled).expect("run");
+            if i == 0 {
+                base_cycles = run.sim.cycles;
+            }
+            ops_at_max = report.selected.len();
+            let sp = base_cycles as f64 / run.sim.cycles as f64;
+            per_budget_speedups[i].push(sp);
+            row.push(f3(sp));
+        }
+        row.push(ops_at_max.to_string());
+        t.row(row);
+    }
+    let mut row = vec!["GEOMEAN".to_string()];
+    for s in &per_budget_speedups {
+        row.push(f3(geomean(s)));
+    }
+    row.push("-".into());
+    t.row(row);
+    format!(
+        "E6: speedup vs custom-op area budget (adder-equivalents) on the single-issue ember1\n\n{}",
+        t.render()
+    )
+}
+
+/// E9 — §3.1's N×M validation grid over every preset machine and workload.
+pub fn nxm_grid(machines: &[MachineDescription], workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let grid = run_grid(&tc, machines, workloads);
+    format!(
+        "E9: N x M toolchain validation (cycles per cell; any FAIL fails the family)\n\n{}\nALL PASS: {}\n",
+        grid,
+        grid.all_pass()
+    )
+}
+
+/// E11 — §6.1 "tailor to an application area, not an application": fit a
+/// machine to one app vs to the area suite; evaluate on held-out apps.
+pub fn area_tuning(area: AppArea) -> String {
+    let tc = Toolchain::default();
+    let suite = asip_workloads::by_area(area);
+    assert!(suite.len() >= 3, "need at least 3 workloads in the area");
+    let single = vec![suite[0].clone()];
+    let tuning_suite: Vec<Workload> = suite[..suite.len() - 1].to_vec();
+    let held_out: Vec<Workload> = suite[suite.len() - 1..].to_vec();
+
+    let space = SearchSpace::default();
+    let ex_single = explore(&tc, &space, &single);
+    let ex_area = explore(&tc, &space, &tuning_suite);
+    // The app-tuned machine is the *point solution*: fastest on its one
+    // application, area be damned. The area-tuned machine is §6.1's
+    // recommendation: the balanced time×area fit over the whole suite.
+    let m_single = ex_single.fastest().expect("points").machine.clone();
+    let m_area = ex_area.best_fit().expect("points").machine.clone();
+    let a_single = asip_isa::hwmodel::area(&m_single).total();
+    let a_area = asip_isa::hwmodel::area(&m_area).total();
+
+    // Evaluate both machines on tuning target and held-out workloads.
+    let mut t = Table::new(&["workload", "app-tuned cyc", "area-tuned cyc", "area/app"]);
+    let mut all: Vec<Workload> = suite.clone();
+    let mut ratios = Vec::new();
+    for w in all.drain(..) {
+        let ws = [w.clone()];
+        let c_single = evaluate(&tc, &m_single, &ws, 0.0).map(|p| p.cycles);
+        let c_area = evaluate(&tc, &m_area, &ws, 0.0).map(|p| p.cycles);
+        match (c_single, c_area) {
+            (Ok(cs), Ok(ca)) => {
+                let tag = if held_out.iter().any(|h| h.name == w.name) {
+                    format!("{} (held out)", w.name)
+                } else {
+                    w.name.clone()
+                };
+                ratios.push(ca / cs);
+                t.row(vec![tag, f2(cs), f2(ca), f3(ca / cs)]);
+            }
+            (a, b) => {
+                t.row(vec![w.name.clone(), format!("{a:?}"), format!("{b:?}"), "-".into()]);
+            }
+        }
+    }
+    format!(
+        "E11: tune for one app ({}) vs for the {area} area; held-out column shows robustness\n\
+         app-tuned (fastest on its app): {} ({:.1} mm2)   area-tuned (balanced fit): {} ({:.1} mm2)\n\n{}",
+        single[0].name,
+        m_single.name,
+        a_single,
+        m_area.name,
+        a_area,
+        t.render()
+    )
+}
+
+/// E13 — the Custom-Fit loop's area/performance Pareto frontier for one
+/// application area.
+pub fn pareto(area: AppArea, max_workloads: usize) -> String {
+    let tc = Toolchain::default();
+    let mut suite = asip_workloads::by_area(area);
+    suite.truncate(max_workloads);
+    let ex = explore(&tc, &SearchSpace::default(), &suite);
+    let mut t = Table::new(&["machine", "ISE budget", "area mm2", "gm cycles", "time ns", "on frontier"]);
+    let frontier: Vec<String> =
+        ex.pareto().iter().map(|p| p.machine.name.clone()).collect();
+    let mut pts = ex.points.clone();
+    pts.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2));
+    for p in &pts {
+        t.row(vec![
+            p.machine.name.clone(),
+            format!("{}", p.ise_budget),
+            f2(p.area_mm2),
+            f2(p.cycles),
+            f2(p.time_ns),
+            if frontier.contains(&p.machine.name) { "*".into() } else { "".into() },
+        ]);
+    }
+    format!(
+        "E13: design-space exploration for the {area} area ({} workloads, {} points, {} skipped)\n\n{}",
+        suite.len(),
+        ex.points.len(),
+        ex.skipped.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_speedup_never_below_one_at_geomean() {
+        let ws: Vec<Workload> =
+            ["yuv2rgb"].iter().map(|n| asip_workloads::by_name(n).unwrap()).collect();
+        let report = custom_ops(&ws);
+        let line = report.lines().find(|l| l.starts_with("GEOMEAN")).unwrap();
+        let vals: Vec<f64> =
+            line.split_whitespace().filter_map(|t| t.parse::<f64>().ok()).collect();
+        assert!((vals[0] - 1.0).abs() < 1e-9, "budget 0 is the baseline\n{report}");
+        let last = vals[vals.len() - 1];
+        assert!(last >= 1.0, "custom ops must not slow down\n{report}");
+    }
+
+    #[test]
+    fn e9_small_grid_all_pass() {
+        let machines = vec![MachineDescription::ember2()];
+        let ws: Vec<Workload> =
+            ["rle", "sort"].iter().map(|n| asip_workloads::by_name(n).unwrap()).collect();
+        let report = nxm_grid(&machines, &ws);
+        assert!(report.contains("ALL PASS: true"), "{report}");
+    }
+}

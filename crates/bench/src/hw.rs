@@ -1,0 +1,276 @@
+//! Hardware-axis experiments: E2 (RISC-area VLIW), E3 (issue width),
+//! E4 (registers), E5 (clusters), E7 (latencies), E8 (compression).
+
+use crate::util::{f2, f3, geomean, Table};
+use asip_core::Toolchain;
+use asip_isa::hwmodel::{area, cycle_time};
+use asip_isa::{Encoding, ICacheConfig, MachineDescription};
+use asip_workloads::Workload;
+
+/// Default workload subset for machine sweeps (one per area, plus two
+/// ILP-rich kernels), chosen to keep full sweeps under a minute.
+pub fn sweep_workloads() -> Vec<Workload> {
+    ["fir", "viterbi", "dct8x8", "sobel", "dither", "crc32", "matmul"]
+        .iter()
+        .map(|n| asip_workloads::by_name(n).expect("known workload"))
+        .collect()
+}
+
+fn cycles_on(tc: &Toolchain, w: &Workload, m: &MachineDescription) -> Result<u64, String> {
+    tc.run_workload(w, m).map(|r| r.sim.cycles).map_err(|e| e.to_string())
+}
+
+/// E2 — §2.2: "in about the chip area required for a RISC processor, we can
+/// build a 4-issue customized VLIW", because no area is spent on
+/// compatibility control. Compares the mass-market (compatible, 2-issue,
+/// control-heavy) machine against the 4-issue exposed VLIW at similar area.
+pub fn risc_vs_vliw(workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let mm = MachineDescription::massmarket();
+    let vliw = MachineDescription::ember4();
+    let (a_mm, a_vliw) = (area(&mm).total(), area(&vliw).total());
+    let (p_mm, p_vliw) =
+        (cycle_time(&mm).period_ns(), cycle_time(&vliw).period_ns());
+
+    let mut t = Table::new(&["workload", "massmkt cyc", "vliw cyc", "cyc ratio", "time ratio"]);
+    let mut cyc_ratios = Vec::new();
+    let mut time_ratios = Vec::new();
+    for w in workloads {
+        let c_mm = cycles_on(&tc, w, &mm).expect("massmarket run");
+        let c_v = cycles_on(&tc, w, &vliw).expect("vliw run");
+        let cr = c_mm as f64 / c_v as f64;
+        let tr = (c_mm as f64 * p_mm) / (c_v as f64 * p_vliw);
+        cyc_ratios.push(cr);
+        time_ratios.push(tr);
+        t.row(vec![w.name.clone(), c_mm.to_string(), c_v.to_string(), f2(cr), f2(tr)]);
+    }
+    let gm_c = geomean(&cyc_ratios);
+    let gm_t = geomean(&time_ratios);
+    t.row(vec!["GEOMEAN".into(), "-".into(), "-".into(), f2(gm_c), f2(gm_t)]);
+
+    format!(
+        "E2: area-matched compatible superscalar vs 4-issue customized VLIW\n\
+         massmarket: {:.1} mm2 @ {:.2} ns   ember4 (VLIW): {:.1} mm2 @ {:.2} ns\n\
+         (VLIW / compat area ratio: {:.2})\n\n{}",
+        a_mm,
+        p_mm,
+        a_vliw,
+        p_vliw,
+        a_vliw / a_mm,
+        t.render()
+    )
+}
+
+/// E3 — §1.2 "multiple visible ALUs": cycles vs. issue width.
+pub fn issue_width(workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let machines = [
+        MachineDescription::ember1(),
+        MachineDescription::ember2(),
+        MachineDescription::ember4(),
+        MachineDescription::ember8(),
+    ];
+    let mut header = vec!["workload".to_string()];
+    header.extend(machines.iter().map(|m| format!("{} (w={})", m.name, m.issue_width())));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
+    for w in workloads {
+        let base = cycles_on(&tc, w, &machines[0]).expect("w1");
+        let mut row = vec![w.name.clone()];
+        for (i, m) in machines.iter().enumerate() {
+            let c = cycles_on(&tc, w, m).expect("run");
+            speedups[i].push(base as f64 / c as f64);
+            row.push(format!("{c}"));
+        }
+        t.row(row);
+    }
+    let mut row = vec!["GEOMEAN speedup".to_string()];
+    for s in &speedups {
+        row.push(f2(geomean(s)));
+    }
+    t.row(row);
+    format!("E3: cycles vs issue width (speedup relative to 1-issue)\n\n{}", t.render())
+}
+
+/// E4 — §1.2 "changing the number of registers": the spill cliff.
+pub fn registers(workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let sizes = [8u16, 12, 16, 24, 32, 64];
+    let mut header = vec!["workload".to_string()];
+    header.extend(sizes.iter().map(|r| format!("r{r}")));
+    let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&hdr);
+    for w in workloads {
+        let mut row = vec![w.name.clone()];
+        for &r in &sizes {
+            let m = MachineDescription::ember4()
+                .derive(&format!("ember4-r{r}"), |m| m.regs_per_cluster = r);
+            match cycles_on(&tc, w, &m) {
+                Ok(c) => row.push(c.to_string()),
+                Err(_) => row.push("FAIL".into()),
+            }
+        }
+        t.row(row);
+    }
+    format!("E4: cycles vs registers per cluster (ember4 slots)\n\n{}", t.render())
+}
+
+/// E5 — §1.2 ""register clusters"": unified vs clustered at equal total
+/// registers, counting both cycles and the cycle-time benefit.
+pub fn clusters(workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let unified = MachineDescription::ember4(); // 4 slots, 1x32 regs
+    let clustered = MachineDescription::ember4x2(); // 2x2 slots, 2x16 regs
+    let (p_u, p_c) = (cycle_time(&unified).period_ns(), cycle_time(&clustered).period_ns());
+    let mut t = Table::new(&[
+        "workload",
+        "unified cyc",
+        "clustered cyc",
+        "cyc ratio",
+        "time ratio (w/ clock)",
+    ]);
+    let mut ratios = Vec::new();
+    for w in workloads {
+        let cu = cycles_on(&tc, w, &unified).expect("unified");
+        let cc = cycles_on(&tc, w, &clustered).expect("clustered");
+        let cr = cc as f64 / cu as f64; // >1: copies cost cycles
+        let tr = (cc as f64 * p_c) / (cu as f64 * p_u);
+        ratios.push(tr);
+        t.row(vec![w.name.clone(), cu.to_string(), cc.to_string(), f2(cr), f2(tr)]);
+    }
+    t.row(vec!["GEOMEAN".into(), "-".into(), "-".into(), "-".into(), f2(geomean(&ratios))]);
+    format!(
+        "E5: unified (32 regs, {p_u:.2} ns) vs 2-cluster (2x16 regs, {p_c:.2} ns), both 4-issue\n\
+         time ratio < 1 means clustering wins after the clock benefit\n\n{}",
+        t.render()
+    )
+}
+
+/// E7 — §1.2 "changing latencies": multiplier and memory latency sweeps.
+pub fn latency(workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let mut t = Table::new(&["workload", "mul=1", "mul=2", "mul=3", "mul=5", "mem=1", "mem=2", "mem=4"]);
+    for w in workloads {
+        let mut row = vec![w.name.clone()];
+        for lm in [1u32, 2, 3, 5] {
+            let m = MachineDescription::ember4()
+                .derive(&format!("m{lm}"), |m| m.lat_mul = lm);
+            row.push(cycles_on(&tc, w, &m).map(|c| c.to_string()).unwrap_or("FAIL".into()));
+        }
+        for le in [1u32, 2, 4] {
+            let m = MachineDescription::ember4()
+                .derive(&format!("e{le}"), |m| m.lat_mem = le);
+            row.push(cycles_on(&tc, w, &m).map(|c| c.to_string()).unwrap_or("FAIL".into()));
+        }
+        t.row(row);
+    }
+    format!("E7: cycles vs multiplier / load-use latency (ember4)\n\n{}", t.render())
+}
+
+/// E8 — §1.2 "visible instruction compression": code size and I-cache
+/// behaviour for the three encodings on a small instruction cache.
+pub fn compression(workloads: &[Workload]) -> String {
+    let tc = Toolchain::default();
+    let encodings =
+        [Encoding::Uncompressed, Encoding::StopBit, Encoding::Compact16];
+    let small_icache =
+        Some(ICacheConfig { size_bytes: 512, line_bytes: 32, ways: 1, miss_penalty: 12 });
+    let mut t = Table::new(&[
+        "workload",
+        "bytes unc",
+        "bytes stop",
+        "bytes c16",
+        "stall unc",
+        "stall stop",
+        "stall c16",
+    ]);
+    let mut sums = [0u64; 6];
+    for w in workloads {
+        let mut row = vec![w.name.clone()];
+        let mut bytes = Vec::new();
+        let mut stalls = Vec::new();
+        for enc in encodings {
+            let m = MachineDescription::ember4().derive(&format!("enc-{enc}"), |m| {
+                m.encoding = enc;
+                m.icache = small_icache;
+            });
+            let run = tc.run_workload(w, &m).expect("run");
+            bytes.push(run.code_bytes as u64);
+            stalls.push(run.sim.icache_stalls);
+        }
+        for (i, b) in bytes.iter().enumerate() {
+            sums[i] += b;
+        }
+        for (i, s) in stalls.iter().enumerate() {
+            sums[3 + i] += s;
+        }
+        row.extend(bytes.iter().map(|b| b.to_string()));
+        row.extend(stalls.iter().map(|s| s.to_string()));
+        t.row(row);
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        sums[0].to_string(),
+        sums[1].to_string(),
+        sums[2].to_string(),
+        sums[3].to_string(),
+        sums[4].to_string(),
+        sums[5].to_string(),
+    ]);
+    let ratio_stop = sums[1] as f64 / sums[0] as f64;
+    let ratio_c16 = sums[2] as f64 / sums[0] as f64;
+    format!(
+        "E8: instruction encodings on ember4 with a 512 B direct-mapped I-cache\n\
+         code-size ratio vs uncompressed: stopbit {}  compact16 {}\n\n{}",
+        f3(ratio_stop),
+        f3(ratio_c16),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two() -> Vec<Workload> {
+        ["crc32", "autocorr"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn e2_vliw_wins_cycles() {
+        let report = risc_vs_vliw(&two());
+        assert!(report.contains("GEOMEAN"));
+        // Shape: the VLIW must not lose on cycles (ratio >= 1 in geomean).
+        let line = report.lines().find(|l| l.starts_with("GEOMEAN")).unwrap();
+        let ratio: f64 = line.split_whitespace().nth(3).unwrap().parse().unwrap();
+        assert!(ratio >= 1.0, "VLIW slower than compat machine?\n{report}");
+    }
+
+    #[test]
+    fn e3_width_speedup_monotone_geomean() {
+        let report = issue_width(&two());
+        let line = report.lines().find(|l| l.starts_with("GEOMEAN")).unwrap();
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|t| t.parse::<f64>().ok())
+            .collect();
+        assert_eq!(vals.len(), 4, "{report}");
+        assert!((vals[0] - 1.0).abs() < 1e-9);
+        assert!(vals[3] >= vals[0], "wide machine slower than 1-issue\n{report}");
+    }
+
+    #[test]
+    fn e8_compression_shrinks_code() {
+        let report = compression(&two());
+        assert!(report.contains("TOTAL"));
+        let line = report.lines().find(|l| l.contains("code-size ratio")).unwrap();
+        let vals: Vec<f64> =
+            line.split_whitespace().filter_map(|t| t.parse::<f64>().ok()).collect();
+        assert!(vals[0] < 1.0, "stopbit must shrink code\n{report}");
+        assert!(vals[1] <= vals[0] + 0.05, "compact16 should be at least close\n{report}");
+    }
+}

@@ -1,0 +1,15 @@
+//! # asip-bench — the experiment harness
+//!
+//! One function per table/figure of the reproduction (see DESIGN.md §5 and
+//! EXPERIMENTS.md): each regenerates its table as text and is wrapped by a
+//! binary (`exp_*`) and exercised by the test suite on reduced inputs.
+
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod econ_exp;
+pub mod fit;
+pub mod hw;
+pub mod util;
+
+pub use util::{geomean, Table};

@@ -1,0 +1,286 @@
+//! Design-space exploration: the Custom-Fit loop.
+//!
+//! Given one application (or a whole application area — §6.1's preferred
+//! unit), explore the family's parameter space by compiling and simulating
+//! every candidate, then report evaluated design points and the
+//! area/performance Pareto frontier. This is the machinery reference [2] of
+//! the paper (Fisher/Faraboschi/Desoli, MICRO-29) built commercially and
+//! the talk presumes.
+
+use crate::ise::{extend, IseConfig};
+use crate::pipeline::Toolchain;
+use asip_isa::hwmodel::{area, cycle_time, energy};
+use asip_isa::{FuKind, MachineDescription};
+use asip_workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The search space: a cartesian grid over the §1.2 customization axes.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Slot templates to consider (issue width / FU mix / clusters).
+    pub templates: Vec<MachineDescription>,
+    /// Register-file sizes per cluster.
+    pub registers: Vec<u16>,
+    /// Multiplier latencies.
+    pub mul_latencies: Vec<u32>,
+    /// ISE area budgets in adder-equivalents (0 = no custom ops).
+    pub ise_budgets: Vec<f64>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        SearchSpace {
+            templates: vec![
+                MachineDescription::ember1(),
+                MachineDescription::ember2(),
+                MachineDescription::ember4(),
+                MachineDescription::ember4x2(),
+                MachineDescription::ember8(),
+            ],
+            registers: vec![16, 32],
+            mul_latencies: vec![2],
+            ise_budgets: vec![0.0, 16.0],
+        }
+    }
+}
+
+impl SearchSpace {
+    /// A minimal space for smoke tests.
+    pub fn tiny() -> SearchSpace {
+        SearchSpace {
+            templates: vec![MachineDescription::ember1(), MachineDescription::ember4()],
+            registers: vec![32],
+            mul_latencies: vec![2],
+            ise_budgets: vec![0.0],
+        }
+    }
+
+    /// Materialize every machine in the grid (before ISE).
+    pub fn machines(&self) -> Vec<MachineDescription> {
+        let mut out = Vec::new();
+        for t in &self.templates {
+            for &r in &self.registers {
+                for &lm in &self.mul_latencies {
+                    let name = format!("{}-r{r}-m{lm}", t.name);
+                    let m = t.derive(&name, |m| {
+                        m.regs_per_cluster = r;
+                        m.lat_mul = lm;
+                    });
+                    if m.validate().is_ok() {
+                        out.push(m);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The (possibly ISE-extended) machine.
+    pub machine: MachineDescription,
+    /// Geometric-mean run time in nanoseconds across the workload set.
+    pub time_ns: f64,
+    /// Geometric-mean cycles.
+    pub cycles: f64,
+    /// Silicon area (mm²).
+    pub area_mm2: f64,
+    /// Total energy (nJ) across the workload set.
+    pub energy_nj: f64,
+    /// Per-workload cycle counts, parallel to the evaluated workload list.
+    pub per_workload_cycles: Vec<u64>,
+    /// ISE budget used to build the machine.
+    pub ise_budget: f64,
+}
+
+impl DesignPoint {
+    /// Performance as 1/time (arbitrary units, higher is better).
+    pub fn perf(&self) -> f64 {
+        1e9 / self.time_ns.max(1e-9)
+    }
+}
+
+/// Exploration failures (a point that fails to compile/run is skipped and
+/// reported).
+#[derive(Debug, Clone)]
+pub struct SkippedPoint {
+    /// Machine name.
+    pub machine: String,
+    /// Why it was skipped.
+    pub reason: String,
+}
+
+/// Exploration outcome.
+#[derive(Debug, Clone, Default)]
+pub struct Exploration {
+    /// Every successfully evaluated point.
+    pub points: Vec<DesignPoint>,
+    /// Points that failed to build or run.
+    pub skipped: Vec<SkippedPoint>,
+}
+
+impl Exploration {
+    /// The area/performance Pareto frontier, sorted by area.
+    pub fn pareto(&self) -> Vec<&DesignPoint> {
+        let mut pts: Vec<&DesignPoint> = self.points.iter().collect();
+        pts.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2));
+        let mut frontier: Vec<&DesignPoint> = Vec::new();
+        let mut best_time = f64::INFINITY;
+        for p in pts {
+            if p.time_ns < best_time {
+                best_time = p.time_ns;
+                frontier.push(p);
+            }
+        }
+        frontier
+    }
+
+    /// The point with the lowest run time.
+    pub fn fastest(&self) -> Option<&DesignPoint> {
+        self.points.iter().min_by(|a, b| a.time_ns.total_cmp(&b.time_ns))
+    }
+
+    /// The point minimizing `time × area` (a balanced fit).
+    pub fn best_fit(&self) -> Option<&DesignPoint> {
+        self.points
+            .iter()
+            .min_by(|a, b| (a.time_ns * a.area_mm2).total_cmp(&(b.time_ns * b.area_mm2)))
+    }
+}
+
+/// Evaluate one machine (with optional ISE customization) on a workload set.
+///
+/// # Errors
+///
+/// A string describing the first failing stage.
+pub fn evaluate(
+    tc: &Toolchain,
+    base: &MachineDescription,
+    workloads: &[Workload],
+    ise_budget: f64,
+) -> Result<DesignPoint, String> {
+    let mut log_cycles = 0.0f64;
+    let mut total_energy = 0.0f64;
+    let mut per = Vec::with_capacity(workloads.len());
+    let mut machine_used = base.clone();
+
+    for w in workloads {
+        let mut module = tc.frontend(&w.source).map_err(|e| e.to_string())?;
+        let profile = tc.profile(&module, &w.inputs, &w.args).map_err(|e| e.to_string())?;
+        let machine = if ise_budget > 0.0 && base.has_fu(FuKind::Custom) {
+            let cfg = IseConfig { area_budget: ise_budget, ..Default::default() };
+            let (m2, _report) = extend(&mut module, &machine_used, &profile, &cfg);
+            m2
+        } else {
+            machine_used.clone()
+        };
+        let compiled = tc.compile(&module, &machine, Some(&profile)).map_err(|e| e.to_string())?;
+        let run = tc.run_compiled(w, &machine, &compiled).map_err(|e| e.to_string())?;
+        log_cycles += (run.sim.cycles.max(1) as f64).ln();
+        total_energy += energy(&machine, &run.sim.activity).total_nj();
+        per.push(run.sim.cycles);
+        machine_used = machine; // accumulate custom ops across the area's apps
+    }
+
+    let gm_cycles = (log_cycles / workloads.len().max(1) as f64).exp();
+    let period = cycle_time(&machine_used).period_ns();
+    Ok(DesignPoint {
+        area_mm2: area(&machine_used).total(),
+        time_ns: gm_cycles * period,
+        cycles: gm_cycles,
+        energy_nj: total_energy,
+        per_workload_cycles: per,
+        machine: machine_used,
+        ise_budget,
+    })
+}
+
+/// Exhaustively evaluate the whole grid.
+pub fn explore(tc: &Toolchain, space: &SearchSpace, workloads: &[Workload]) -> Exploration {
+    let mut out = Exploration::default();
+    for m in space.machines() {
+        for &budget in &space.ise_budgets {
+            match evaluate(tc, &m, workloads, budget) {
+                Ok(p) => out.points.push(p),
+                Err(reason) => {
+                    out.skipped.push(SkippedPoint { machine: m.name.clone(), reason })
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Randomly sample `n` points of the grid (for large spaces).
+pub fn explore_sampled(
+    tc: &Toolchain,
+    space: &SearchSpace,
+    workloads: &[Workload],
+    n: usize,
+    seed: u64,
+) -> Exploration {
+    let mut grid: Vec<(MachineDescription, f64)> = Vec::new();
+    for m in space.machines() {
+        for &b in &space.ise_budgets {
+            grid.push((m.clone(), b));
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    grid.shuffle(&mut rng);
+    grid.truncate(n);
+    let mut out = Exploration::default();
+    for (m, budget) in grid {
+        match evaluate(tc, &m, workloads, budget) {
+            Ok(p) => out.points.push(p),
+            Err(reason) => out.skipped.push(SkippedPoint { machine: m.name.clone(), reason }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_space_explores_and_orders() {
+        let tc = Toolchain::default();
+        let ws = vec![asip_workloads::by_name("autocorr").unwrap()];
+        let ex = explore(&tc, &SearchSpace::tiny(), &ws);
+        assert!(ex.points.len() >= 2, "skipped: {:?}", ex.skipped);
+        let fast = ex.fastest().unwrap();
+        // The 4-issue machine should beat the 1-issue machine on cycles.
+        let e1 = ex.points.iter().find(|p| p.machine.name.contains("ember1")).unwrap();
+        let e4 = ex.points.iter().find(|p| p.machine.name.contains("ember4")).unwrap();
+        assert!(e4.cycles < e1.cycles, "e4 {} vs e1 {}", e4.cycles, e1.cycles);
+        assert!(fast.time_ns <= e1.time_ns);
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let tc = Toolchain::default();
+        let ws = vec![asip_workloads::by_name("crc32").unwrap()];
+        let ex = explore(&tc, &SearchSpace::tiny(), &ws);
+        let frontier = ex.pareto();
+        assert!(!frontier.is_empty());
+        for pair in frontier.windows(2) {
+            assert!(pair[0].area_mm2 <= pair[1].area_mm2);
+            assert!(pair[0].time_ns > pair[1].time_ns, "frontier must strictly improve");
+        }
+    }
+
+    #[test]
+    fn sampled_exploration_is_deterministic() {
+        let tc = Toolchain::default();
+        let ws = vec![asip_workloads::by_name("rle").unwrap()];
+        let a = explore_sampled(&tc, &SearchSpace::tiny(), &ws, 2, 7);
+        let b = explore_sampled(&tc, &SearchSpace::tiny(), &ws, 2, 7);
+        let names_a: Vec<&str> = a.points.iter().map(|p| p.machine.name.as_str()).collect();
+        let names_b: Vec<&str> = b.points.iter().map(|p| p.machine.name.as_str()).collect();
+        assert_eq!(names_a, names_b);
+    }
+}

@@ -1,0 +1,725 @@
+//! Instruction-set extension (ISE): automatic identification and selection
+//! of application-specific custom operations.
+//!
+//! This automates §1.2's "specialized ALUs … special ops": dataflow
+//! subgraphs of pure arithmetic are enumerated inside basic blocks under
+//! register-port constraints (≤4 inputs, ≤2 outputs, convex), scored by
+//! `executions × (software critical path − hardware latency)`, grouped by
+//! structural signature, greedily selected under a silicon-area budget, and
+//! finally **rewritten** into the IR as [`asip_isa::Opcode::Custom`]
+//! operations. The machine description is extended with the same definitions
+//! so compiler, simulator and hardware models stay consistent.
+
+use asip_ir::inst::{BlockId, FuncId, Inst, VReg, Val};
+use asip_ir::interp::Profile;
+use asip_ir::Module;
+use asip_isa::custom::{CustomOpDef, PatNode, PatRef, MAX_CUSTOM_INPUTS, MAX_CUSTOM_OUTPUTS};
+use asip_isa::{MachineDescription, Opcode};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// ISE engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct IseConfig {
+    /// Area budget in adder-equivalents for all selected datapaths.
+    pub area_budget: f64,
+    /// Maximum nodes per candidate subgraph.
+    pub max_nodes: usize,
+    /// Maximum candidates enumerated per block (guards the exponential).
+    pub max_candidates_per_block: usize,
+    /// Maximum number of distinct custom operations selected.
+    pub max_ops: usize,
+}
+
+impl Default for IseConfig {
+    fn default() -> Self {
+        IseConfig { area_budget: 24.0, max_nodes: 6, max_candidates_per_block: 300, max_ops: 8 }
+    }
+}
+
+/// One selected extension, for reports.
+#[derive(Debug, Clone)]
+pub struct SelectedOp {
+    /// The definition added to the machine and module.
+    pub def: CustomOpDef,
+    /// Estimated dynamic cycles saved (profile-weighted).
+    pub est_saved_cycles: f64,
+    /// Static instance count rewritten.
+    pub instances: usize,
+}
+
+/// Outcome of an ISE run.
+#[derive(Debug, Clone, Default)]
+pub struct IseReport {
+    /// Selected operations in selection order.
+    pub selected: Vec<SelectedOp>,
+    /// Candidates considered (after signature grouping).
+    pub candidates_considered: usize,
+    /// Total area consumed (adder-equivalents).
+    pub area_used: f64,
+}
+
+/// A candidate instance: a set of instruction indices inside one block.
+#[derive(Debug, Clone)]
+struct Instance {
+    func: FuncId,
+    block: BlockId,
+    nodes: Vec<usize>, // instruction indices, ascending
+}
+
+/// A candidate pattern: definition + all its instances.
+#[derive(Debug, Clone)]
+struct Candidate {
+    def: CustomOpDef,
+    #[allow(dead_code)] // kept for debugging dumps
+    signature: String,
+    instances: Vec<Instance>,
+    saved_per_exec: f64,
+    exec_weight: u64,
+}
+
+/// Run ISE: identify, select under budget, and rewrite the module.
+/// Returns the extended machine description and a report.
+///
+/// The machine must host a `Custom`-capable slot for the rewrite to be
+/// usable; the caller is responsible for ensuring that (all `ember` presets
+/// do).
+pub fn extend(
+    module: &mut Module,
+    machine: &MachineDescription,
+    profile: &Profile,
+    cfg: &IseConfig,
+) -> (MachineDescription, IseReport) {
+    // 1. Enumerate candidates in every block of every function.
+    let mut by_sig: BTreeMap<String, Candidate> = BTreeMap::new();
+    for (fi, func) in module.funcs.iter().enumerate() {
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let weight = profile.count(FuncId(fi as u32), BlockId(bi as u32)).max(1);
+            enumerate_block(
+                &block.insts,
+                FuncId(fi as u32),
+                BlockId(bi as u32),
+                weight,
+                machine,
+                cfg,
+                &mut by_sig,
+            );
+        }
+    }
+
+    let mut candidates: Vec<Candidate> = by_sig.into_values().collect();
+    let report_considered = candidates.len();
+
+    // 2. Greedy selection by benefit density under the area budget.
+    let mut selected: Vec<Candidate> = Vec::new();
+    let mut area_used = 0.0f64;
+    loop {
+        if selected.len() >= cfg.max_ops {
+            break;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in candidates.iter().enumerate() {
+            if c.def.area + area_used > cfg.area_budget || c.instances.is_empty() {
+                continue;
+            }
+            let benefit = c.saved_per_exec * c.exec_weight as f64;
+            if benefit <= 0.0 {
+                continue;
+            }
+            let density = benefit / c.def.area.max(0.1);
+            if best.map_or(true, |(_, d)| density > d) {
+                best = Some((i, density));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let c = candidates.swap_remove(i);
+        area_used += c.def.area;
+        selected.push(c);
+    }
+
+    // 3. Rewrite instances (non-overlapping, per block).
+    let mut report = IseReport {
+        selected: Vec::new(),
+        candidates_considered: report_considered,
+        area_used,
+    };
+    let mut new_machine = machine.clone();
+    // One low-water mark per block, shared across *all* selected ops:
+    // every applied rewrite invalidates instruction indices at and above
+    // its first node.
+    let mut low_water: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+    for cand in selected {
+        let id = module.custom_ops.len() as u16;
+        module.custom_ops.push(cand.def.clone());
+        new_machine.custom_ops.push(cand.def.clone());
+        let mut rewritten = 0usize;
+        // Group instances per (func, block) and apply back-to-front so
+        // earlier indices stay valid.
+        let mut per_block: BTreeMap<(u32, u32), Vec<&Instance>> = BTreeMap::new();
+        for inst in &cand.instances {
+            per_block.entry((inst.func.0, inst.block.0)).or_default().push(inst);
+        }
+        for ((fi, bi), mut insts) in per_block {
+            insts.sort_by_key(|i| std::cmp::Reverse(*i.nodes.last().expect("nonempty")));
+            let block = &mut module.funcs[fi as usize].blocks[bi as usize];
+            // Rewrites remove instructions inside [first, last] of each
+            // applied instance, shifting every higher index. Processing in
+            // descending `last` order, an instance is only safe if it lies
+            // entirely below everything already rewritten in this block —
+            // including rewrites made for previously selected ops.
+            let water = low_water.entry((fi, bi)).or_insert(usize::MAX);
+            for inst in insts {
+                if *inst.nodes.last().expect("nonempty") >= *water {
+                    continue; // indices potentially stale after earlier rewrite
+                }
+                if rewrite_instance(block, inst, &cand.def, id) {
+                    *water = (*water).min(inst.nodes[0]);
+                    rewritten += 1;
+                }
+            }
+        }
+        report.selected.push(SelectedOp {
+            def: cand.def,
+            est_saved_cycles: cand.saved_per_exec * cand.exec_weight as f64,
+            instances: rewritten,
+        });
+    }
+    (new_machine, report)
+}
+
+/// Whether an instruction can be a custom-datapath node.
+fn node_op(inst: &Inst) -> Option<(Opcode, Vec<Val>)> {
+    match inst {
+        Inst::Bin { op, a, b, .. } => {
+            // Div/Rem trap; exclude them from datapaths so custom ops stay
+            // speculation-neutral and cannot fault.
+            if matches!(op, Opcode::Div | Opcode::Rem) {
+                None
+            } else if op.eval2(1, 1).is_ok() {
+                Some((*op, vec![*a, *b]))
+            } else {
+                None
+            }
+        }
+        Inst::Un { op, a, .. } => {
+            if *op == Opcode::Mov {
+                None
+            } else {
+                Some((*op, vec![*a]))
+            }
+        }
+        _ => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_block(
+    insts: &[Inst],
+    func: FuncId,
+    block: BlockId,
+    weight: u64,
+    machine: &MachineDescription,
+    cfg: &IseConfig,
+    by_sig: &mut BTreeMap<String, Candidate>,
+) {
+    let n = insts.len();
+    // def_site[v] = last instruction index defining vreg v (block-local).
+    // For pattern purposes we need, at each use site, the *reaching* def.
+    // We track reaching defs with a forward scan.
+    let mut reaching: BTreeMap<VReg, usize> = BTreeMap::new();
+    let mut def_of_use: Vec<Vec<Option<usize>>> = Vec::with_capacity(n);
+    for (i, inst) in insts.iter().enumerate() {
+        let mut slots = Vec::new();
+        if let Some((_, vals)) = node_op(inst) {
+            for v in vals {
+                slots.push(match v {
+                    Val::Reg(r) => reaching.get(&r).copied(),
+                    Val::Imm(_) => None,
+                });
+            }
+        }
+        def_of_use.push(slots);
+        for d in inst.defs() {
+            reaching.insert(d, i);
+        }
+    }
+    // uses_of[i] = indices of later insts in this block using i's dst before
+    // any redefinition.
+    let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, slots) in def_of_use.iter().enumerate() {
+        for d in slots.iter().flatten() {
+            consumers[*d].push(i);
+        }
+    }
+
+    let mut emitted = 0usize;
+    // Seed-and-grow enumeration with dedup on node sets.
+    let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut stack: Vec<Vec<usize>> = Vec::new();
+    for seed in 0..n {
+        if node_op(&insts[seed]).is_some() {
+            stack.push(vec![seed]);
+        }
+    }
+    while let Some(set) = stack.pop() {
+        if emitted >= cfg.max_candidates_per_block {
+            break;
+        }
+        if seen.contains(&set) {
+            continue;
+        }
+        seen.insert(set.clone());
+        // Validate constraints; build a candidate if viable.
+        if set.len() >= 2 {
+            if let Some((def, saved)) =
+                build_candidate(insts, &set, &def_of_use, &reaching, machine)
+            {
+                let sig = def.describe().split_once(':').map(|x| x.1.to_string()).unwrap_or_default();
+                let entry = by_sig.entry(sig.clone()).or_insert_with(|| Candidate {
+                    def,
+                    signature: sig,
+                    instances: Vec::new(),
+                    saved_per_exec: saved,
+                    exec_weight: 0,
+                });
+                entry.instances.push(Instance { func, block, nodes: set.clone() });
+                entry.exec_weight += weight;
+                emitted += 1;
+            }
+        }
+        // Grow: add a producer or consumer of any node in the set.
+        if set.len() < cfg.max_nodes {
+            let mut extensions: BTreeSet<usize> = BTreeSet::new();
+            for &i in &set {
+                for d in def_of_use[i].iter().flatten() {
+                    if node_op(&insts[*d]).is_some() {
+                        extensions.insert(*d);
+                    }
+                }
+                for &c in &consumers[i] {
+                    extensions.insert(c);
+                }
+            }
+            for e in extensions {
+                if !set.contains(&e) {
+                    let mut ns = set.clone();
+                    ns.push(e);
+                    ns.sort_unstable();
+                    if !seen.contains(&ns) {
+                        stack.push(ns);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Try to turn a node set into a custom-op definition; returns the def and
+/// the estimated cycles saved per execution.
+fn build_candidate(
+    insts: &[Inst],
+    set: &[usize],
+    def_of_use: &[Vec<Option<usize>>],
+    final_def: &BTreeMap<VReg, usize>,
+    machine: &MachineDescription,
+) -> Option<(CustomOpDef, f64)> {
+    let in_set = |i: usize| set.contains(&i);
+
+    // Convexity: for every internal edge d -> u (both in set), no outside
+    // node on a path between them. For block-local DFGs built from reaching
+    // defs, it suffices that every node's input that comes from inside the
+    // set is a direct member — which is true by construction — and that no
+    // outside consumer of an internal (non-output) value exists *before*
+    // the last node (checked in rewrite). The classic convexity violation —
+    // set-node → outside → set-node — is checked here:
+    for &u in set {
+        for d in def_of_use[u].iter().flatten() {
+            if !in_set(*d) {
+                // Input produced outside: fine unless it transitively
+                // depends on a set member (that would be a convexity hole).
+                if depends_on_set(*d, set, def_of_use) {
+                    return None;
+                }
+            }
+        }
+    }
+
+    // Assemble nodes in ascending index order (valid topological order).
+    let mut node_index: BTreeMap<usize, u16> = BTreeMap::new();
+    let mut inputs: Vec<(VReg, usize)> = Vec::new(); // (vreg, defining idx or MAX)
+    let mut nodes: Vec<PatNode> = Vec::new();
+    for &i in set {
+        let (op, vals) = node_op(&insts[i])?;
+        let mut refs: Vec<PatRef> = Vec::with_capacity(2);
+        for (k, v) in vals.iter().enumerate() {
+            let r = match v {
+                Val::Imm(c) => PatRef::Const(*c),
+                Val::Reg(reg) => match def_of_use[i][k] {
+                    Some(d) if in_set(d) => PatRef::Node(node_index[&d]),
+                    other => {
+                        // External input: dedup by (vreg, def site).
+                        let key = (*reg, other.unwrap_or(usize::MAX));
+                        let pos = inputs.iter().position(|x| *x == key).unwrap_or_else(|| {
+                            inputs.push(key);
+                            inputs.len() - 1
+                        });
+                        if pos >= MAX_CUSTOM_INPUTS {
+                            return None;
+                        }
+                        PatRef::Input(pos as u8)
+                    }
+                },
+            };
+            refs.push(r);
+        }
+        let a = refs[0];
+        let b = refs.get(1).copied().unwrap_or(PatRef::Const(0));
+        node_index.insert(i, nodes.len() as u16);
+        nodes.push(PatNode { op, a, b });
+    }
+
+    // Outputs: set nodes whose value is visible outside the fused op:
+    // (a) read by an in-block instruction outside the set, or
+    // (b) the *last* definition of its register in the block — the value
+    //     may be live out (e.g. a loop-carried accumulator), or
+    // (c) not consumed anywhere in the block (also possibly live out).
+    let mut outputs: Vec<PatRef> = Vec::new();
+    let mut out_count = 0;
+    for &i in set {
+        let dst = insts[i].defs().first().copied()?;
+        let is_last_def = final_def.get(&dst) == Some(&i);
+        let consumed_inside_only = {
+            // Find consumers through def_of_use.
+            let mut any_outside = false;
+            let mut any_inside = false;
+            for (j, slots) in def_of_use.iter().enumerate() {
+                for d in slots.iter().flatten() {
+                    if *d == i {
+                        if in_set(j) {
+                            any_inside = true;
+                        } else {
+                            any_outside = true;
+                        }
+                    }
+                }
+            }
+            if is_last_def {
+                false
+            } else if !any_inside && !any_outside {
+                false
+            } else {
+                !any_outside
+            }
+        };
+        if !consumed_inside_only {
+            out_count += 1;
+            if out_count > MAX_CUSTOM_OUTPUTS {
+                return None;
+            }
+            outputs.push(PatRef::Node(node_index[&i]));
+        }
+    }
+    if outputs.is_empty() {
+        return None;
+    }
+
+    let name = format!("ise{}", fxhash(set, insts));
+    let def = CustomOpDef::new(&name, inputs.len() as u8, nodes, outputs).ok()?;
+
+    // Benefit: software critical path through the subgraph (machine
+    // latencies) minus the hardware latency of the fused op.
+    let mut depth: BTreeMap<usize, u32> = BTreeMap::new();
+    let mut crit = 0u32;
+    for &i in set {
+        let mut base = 0u32;
+        for d in def_of_use[i].iter().flatten() {
+            if in_set(*d) {
+                base = base.max(depth[d]);
+            }
+        }
+        let (op, _) = node_op(&insts[i])?;
+        let d = base + machine.latency(op);
+        depth.insert(i, d);
+        crit = crit.max(d);
+    }
+    // Benefit per execution: latency shortening of the fused datapath plus
+    // the issue-bandwidth reclaimed by collapsing N operations into one
+    // slot (worth roughly half a cycle per op removed on these machines).
+    let lat_saved = crit.saturating_sub(def.latency) as f64;
+    let issue_saved = 0.5 * (set.len() as f64 - 1.0);
+    Some((def, lat_saved + issue_saved))
+}
+
+/// Does instruction `i`'s dataflow (within the block) reach back into `set`?
+fn depends_on_set(i: usize, set: &[usize], def_of_use: &[Vec<Option<usize>>]) -> bool {
+    let mut stack = vec![i];
+    let mut seen = BTreeSet::new();
+    while let Some(x) = stack.pop() {
+        if !seen.insert(x) {
+            continue;
+        }
+        if set.contains(&x) {
+            return true;
+        }
+        for d in def_of_use[x].iter().flatten() {
+            stack.push(*d);
+        }
+    }
+    false
+}
+
+/// Tiny stable hash for generated op names.
+fn fxhash(set: &[usize], insts: &[Inst]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &i in set {
+        if let Some((op, _)) = node_op(&insts[i]) {
+            h = h.wrapping_mul(0x0100_0193) ^ (asip_isa::encoding::opcode_id(op) as u32);
+        }
+        h = h.wrapping_mul(0x0100_0193) ^ (set.len() as u32);
+    }
+    h % 100_000
+}
+
+/// Rewrite one instance: remove the member instructions, insert the custom
+/// op at the last member's position. Returns false (leaving the block
+/// untouched) if safety checks fail.
+fn rewrite_instance(
+    block: &mut asip_ir::Block,
+    inst: &Instance,
+    def: &CustomOpDef,
+    id: u16,
+) -> bool {
+    let set = &inst.nodes;
+    let first = *set.first().expect("nonempty");
+    let last = *set.last().expect("nonempty");
+    let in_set = |i: usize| set.contains(&i);
+
+    // Recompute reaching defs for safety checks.
+    let insts = &block.insts;
+    // Collect per-node (op, vals, dst).
+    let mut dsts: BTreeMap<usize, VReg> = BTreeMap::new();
+    for &i in set {
+        let d = insts[i].defs();
+        if d.len() != 1 {
+            return false;
+        }
+        dsts.insert(i, d[0]);
+    }
+
+    // Safety: between first and last, outside instructions must not
+    // (a) define any register the subgraph reads or writes, or
+    // (b) read any subgraph-defined register.
+    let mut reads: BTreeSet<VReg> = BTreeSet::new();
+    for &i in set {
+        for u in insts[i].uses() {
+            reads.insert(u);
+        }
+    }
+    let writes: BTreeSet<VReg> = dsts.values().copied().collect();
+    for (j, other) in insts.iter().enumerate().take(last + 1).skip(first) {
+        if in_set(j) {
+            continue;
+        }
+        for d in other.defs() {
+            if reads.contains(&d) || writes.contains(&d) {
+                return false;
+            }
+        }
+        for u in other.uses() {
+            if writes.contains(&u) {
+                return false;
+            }
+        }
+    }
+
+    // Map inputs: reproduce build_candidate's dedup order by rescanning.
+    let mut reaching: BTreeMap<VReg, usize> = BTreeMap::new();
+    let mut def_site: Vec<Vec<Option<usize>>> = Vec::with_capacity(insts.len());
+    for (i, ins) in insts.iter().enumerate() {
+        let mut slots = Vec::new();
+        if let Some((_, vals)) = node_op(ins) {
+            for v in vals {
+                slots.push(match v {
+                    Val::Reg(r) => reaching.get(&r).copied(),
+                    Val::Imm(_) => None,
+                });
+            }
+        }
+        def_site.push(slots);
+        for d in ins.defs() {
+            reaching.insert(d, i);
+        }
+    }
+    let mut inputs: Vec<(VReg, usize)> = Vec::new();
+    let mut args: Vec<Val> = Vec::new();
+    for &i in set {
+        let Some((_, vals)) = node_op(&insts[i]) else { return false };
+        for (k, v) in vals.iter().enumerate() {
+            if let Val::Reg(reg) = v {
+                let from = def_site[i][k];
+                if from.map(|d| in_set(d)).unwrap_or(false) {
+                    continue; // internal edge
+                }
+                let key = (*reg, from.unwrap_or(usize::MAX));
+                if !inputs.contains(&key) {
+                    inputs.push(key);
+                    args.push(Val::Reg(*reg));
+                }
+            }
+        }
+    }
+    if args.len() != def.num_inputs as usize {
+        return false; // instance diverged from the canonical pattern
+    }
+
+    // Outputs: nodes listed in def.outputs (PatRef::Node indices map to the
+    // k-th member of `set`).
+    let mut out_dsts: Vec<VReg> = Vec::new();
+    for o in &def.outputs {
+        match o {
+            PatRef::Node(k) => {
+                let node_i = set[*k as usize];
+                out_dsts.push(dsts[&node_i]);
+            }
+            _ => return false,
+        }
+    }
+    let mut dedup = out_dsts.clone();
+    dedup.sort();
+    dedup.dedup();
+    if dedup.len() != out_dsts.len() {
+        return false; // two outputs share a destination register
+    }
+
+    // Apply: remove members (back to front), insert custom op where the
+    // last member was.
+    let custom = Inst::Custom { id, dsts: out_dsts, args };
+    let mut removed_before_last = 0usize;
+    for &i in set.iter().rev() {
+        if i != last {
+            block.insts.remove(i);
+            if i < last {
+                removed_before_last += 1;
+            }
+        }
+    }
+    block.insts[last - removed_before_last] = custom;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Toolchain;
+    use asip_ir::interp::run_module;
+
+    fn profiled(src: &str, args: &[i32]) -> (Module, Profile) {
+        let tc = Toolchain::default();
+        let module = tc.frontend(src).unwrap();
+        let r = run_module(&module, "main", args).unwrap();
+        (module, r.profile)
+    }
+
+    #[test]
+    fn finds_mac_pattern_in_dot_product() {
+        let src = r#"
+            int x[64];
+            int h[64];
+            void main(int n) {
+                int acc = 0;
+                int i;
+                for (i = 0; i < n; i++) acc += x[i] * h[i];
+                emit(acc);
+            }
+        "#;
+        let (mut module, profile) = profiled(src, &[64]);
+        let machine = MachineDescription::ember4();
+        let (new_machine, report) =
+            extend(&mut module, &machine, &profile, &IseConfig::default());
+        assert!(!report.selected.is_empty(), "a MAC-like pattern should be found");
+        assert!(new_machine.custom_ops.len() > machine.custom_ops.len());
+        // The rewritten module must still verify and produce the same output.
+        assert_eq!(asip_ir::func::verify(&module), Ok(()));
+        let has_custom = module
+            .funcs
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .flat_map(|b| b.insts.iter())
+            .any(|i| matches!(i, Inst::Custom { .. }));
+        assert!(has_custom, "rewrite must introduce custom ops");
+    }
+
+    #[test]
+    fn rewritten_module_is_semantically_identical() {
+        let src = r#"
+            int x[32];
+            void main(int n) {
+                int acc = 0;
+                int i;
+                for (i = 0; i < n; i++) {
+                    int t = x[i] * 3 + (x[i] >> 2);
+                    acc ^= t + i;
+                }
+                emit(acc);
+            }
+        "#;
+        let tc = Toolchain::default();
+        let module0 = tc.frontend(src).unwrap();
+        let mut module1 = module0.clone();
+        let r = run_module(&module0, "main", &[32]).unwrap();
+        let machine = MachineDescription::ember4();
+        let (_, report) = extend(&mut module1, &machine, &r.profile, &IseConfig::default());
+        assert!(report.candidates_considered > 0);
+        for n in [0, 7, 32] {
+            let a = run_module(&module0, "main", &[n]).unwrap();
+            let b = run_module(&module1, "main", &[n]).unwrap();
+            assert_eq!(a.output, b.output, "n={n}");
+        }
+    }
+
+    #[test]
+    fn budget_zero_selects_nothing() {
+        let src = "void main(int a, int b) { emit(a * b + a - b); }";
+        let (mut module, profile) = profiled(src, &[3, 4]);
+        let machine = MachineDescription::ember4();
+        let cfg = IseConfig { area_budget: 0.0, ..Default::default() };
+        let (m2, report) = extend(&mut module, &machine, &profile, &cfg);
+        assert!(report.selected.is_empty());
+        assert_eq!(m2.custom_ops.len(), machine.custom_ops.len());
+    }
+
+    #[test]
+    fn larger_budget_never_selects_fewer() {
+        let w = asip_workloads::by_name("median").unwrap();
+        let tc = Toolchain::default();
+        let module = tc.frontend(&w.source).unwrap();
+        let profile = tc.profile(&module, &w.inputs, &w.args).unwrap();
+        let machine = MachineDescription::ember4();
+        let mut counts = Vec::new();
+        for budget in [2.0, 8.0, 32.0] {
+            let mut m = module.clone();
+            let cfg = IseConfig { area_budget: budget, ..Default::default() };
+            let (_, report) = extend(&mut m, &machine, &profile, &cfg);
+            counts.push(report.selected.len());
+        }
+        assert!(counts[0] <= counts[2], "selection must grow with budget: {counts:?}");
+    }
+
+    #[test]
+    fn end_to_end_with_custom_ops_on_simulator() {
+        let w = asip_workloads::by_name("yuv2rgb").unwrap();
+        let tc = Toolchain::default();
+        let mut module = tc.frontend(&w.source).unwrap();
+        let profile = tc.profile(&module, &w.inputs, &w.args).unwrap();
+        let machine = MachineDescription::ember4();
+        let (machine2, report) = extend(&mut module, &machine, &profile, &IseConfig::default());
+        assert!(!report.selected.is_empty(), "yuv2rgb should yield fused ops");
+        let compiled = tc.compile(&module, &machine2, Some(&profile)).unwrap();
+        let mut sim =
+            asip_sim::Simulator::new(&machine2, &compiled.program, Default::default()).unwrap();
+        for (name, data) in &w.inputs {
+            sim.write_global(name, data);
+        }
+        let result = sim.run(&w.args).unwrap();
+        assert_eq!(result.output, w.expected, "custom-op build must stay correct");
+    }
+}

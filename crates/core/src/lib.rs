@@ -1,0 +1,46 @@
+//! # asip-core — automated ISA customization (the paper's contribution)
+//!
+//! This crate assembles the substrates (frontend, IR, backend, simulator,
+//! models) into the system *"Customized Instruction-Sets for Embedded
+//! Processors"* (Fisher, DAC 1999) describes:
+//!
+//! * a **mass-customized toolchain** ([`pipeline`]): one object compiles and
+//!   runs any TinyC workload on any member of the architecture family, with
+//!   profile-guided superblock formation and golden-model output checking;
+//! * **instruction-set extension** ([`ise`]): automatic identification and
+//!   budget-constrained selection of application-specific operations, with
+//!   IR rewriting and machine-description extension;
+//! * **design-space exploration** ([`dse`]): the Custom-Fit loop — search
+//!   the family's parameter space for the machine that best fits an
+//!   application or application area, under area/performance/energy
+//!   objectives;
+//! * the **N×M validation grid** ([`nxm`]): §3.1's testing discipline,
+//!   "architectures as if they were test programs".
+//!
+//! ## Example: customize a machine for one workload
+//!
+//! ```no_run
+//! use asip_core::pipeline::Toolchain;
+//! use asip_core::ise::{extend, IseConfig};
+//! use asip_isa::MachineDescription;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = asip_workloads::by_name("fir").unwrap();
+//! let tc = Toolchain::default();
+//! let mut module = tc.frontend(&workload.source)?;
+//! let profile = tc.profile(&module, &workload.inputs, &workload.args)?;
+//! let base = MachineDescription::ember4();
+//! let (custom_machine, report) = extend(&mut module, &base, &profile, &IseConfig::default());
+//! println!("selected {} custom ops", report.selected.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dse;
+pub mod ise;
+pub mod nxm;
+pub mod pipeline;
+
+pub use pipeline::{Toolchain, ToolchainError, WorkloadRun};

@@ -1,0 +1,155 @@
+//! The N×M validation grid — §3.1's testing discipline, literally:
+//! *"Testing methodology uses architectures as if they were test programs
+//! (thus N×M tests)."*
+//!
+//! Every machine in the family is crossed with every workload; each cell
+//! compiles, simulates and checks the golden output. A single failing cell
+//! fails the whole grid, which is what keeps "mass customization"
+//! trustworthy.
+
+use crate::pipeline::Toolchain;
+use asip_isa::MachineDescription;
+use asip_workloads::Workload;
+use std::fmt;
+
+/// One cell of the grid.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Machine name.
+    pub machine: String,
+    /// Workload name.
+    pub workload: String,
+    /// `Ok(cycles)` or the failure description.
+    pub outcome: Result<u64, String>,
+}
+
+/// The completed grid.
+#[derive(Debug, Clone, Default)]
+pub struct Grid {
+    /// Machine names (rows).
+    pub machines: Vec<String>,
+    /// Workload names (columns).
+    pub workloads: Vec<String>,
+    /// All cells, row-major.
+    pub cells: Vec<Cell>,
+}
+
+impl Grid {
+    /// Whether every cell passed.
+    pub fn all_pass(&self) -> bool {
+        self.cells.iter().all(|c| c.outcome.is_ok())
+    }
+
+    /// Number of failing cells.
+    pub fn failures(&self) -> usize {
+        self.cells.iter().filter(|c| c.outcome.is_err()).count()
+    }
+
+    /// Cycles for a (machine, workload) pair, if it passed.
+    pub fn cycles(&self, machine: &str, workload: &str) -> Option<u64> {
+        self.cells
+            .iter()
+            .find(|c| c.machine == machine && c.workload == workload)
+            .and_then(|c| c.outcome.as_ref().ok().copied())
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:<14}", "machine\\app")?;
+        for w in &self.workloads {
+            write!(f, "{w:>10}")?;
+        }
+        writeln!(f)?;
+        for m in &self.machines {
+            write!(f, "{m:<14}")?;
+            for w in &self.workloads {
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| &c.machine == m && &c.workload == w);
+                match cell.map(|c| &c.outcome) {
+                    Some(Ok(cycles)) => write!(f, "{cycles:>10}")?,
+                    Some(Err(_)) => write!(f, "{:>10}", "FAIL")?,
+                    None => write!(f, "{:>10}", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "{} cells, {} failures",
+            self.cells.len(),
+            self.failures()
+        )
+    }
+}
+
+/// Run the full grid.
+pub fn run_grid(
+    tc: &Toolchain,
+    machines: &[MachineDescription],
+    workloads: &[Workload],
+) -> Grid {
+    let mut grid = Grid {
+        machines: machines.iter().map(|m| m.name.clone()).collect(),
+        workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+        cells: Vec::with_capacity(machines.len() * workloads.len()),
+    };
+    for m in machines {
+        for w in workloads {
+            let outcome = tc
+                .run_workload(w, m)
+                .map(|r| r.sim.cycles)
+                .map_err(|e| e.to_string());
+            grid.cells.push(Cell {
+                machine: m.name.clone(),
+                workload: w.name.clone(),
+                outcome,
+            });
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_passes() {
+        let tc = Toolchain::default();
+        let machines = vec![MachineDescription::ember1(), MachineDescription::ember4()];
+        let workloads: Vec<Workload> = ["crc32", "sobel"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect();
+        let grid = run_grid(&tc, &machines, &workloads);
+        assert!(grid.all_pass(), "\n{grid}");
+        assert_eq!(grid.cells.len(), 4);
+        // Wider machine at least as fast on every kernel.
+        for w in &grid.workloads {
+            let c1 = grid.cycles("ember1", w).unwrap();
+            let c4 = grid.cycles("ember4", w).unwrap();
+            assert!(c4 <= c1, "{w}: ember4 {c4} vs ember1 {c1}");
+        }
+    }
+
+    #[test]
+    fn display_marks_failures() {
+        let mut grid = Grid {
+            machines: vec!["m".into()],
+            workloads: vec!["w".into()],
+            cells: vec![Cell {
+                machine: "m".into(),
+                workload: "w".into(),
+                outcome: Err("boom".into()),
+            }],
+        };
+        assert!(!grid.all_pass());
+        let s = grid.to_string();
+        assert!(s.contains("FAIL"));
+        grid.cells[0].outcome = Ok(123);
+        assert!(grid.to_string().contains("123"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The end-to-end toolchain pipeline: TinyC → IR → optimization → profile →
+//! backend → simulation, with golden-model checking.
+//!
+//! This is the "single family view" the paper's §3.1 promises programmers:
+//! one `Toolchain` object compiles and runs any workload on any family
+//! member, with identical semantics everywhere.
+
+use asip_backend::{compile_module, BackendOptions, BackendStats, CompiledProgram};
+use asip_ir::interp::{Interp, InterpOptions, Profile};
+use asip_ir::passes::{optimize, OptConfig};
+use asip_ir::Module;
+use asip_isa::MachineDescription;
+use asip_sim::{SimOptions, SimResult, Simulator};
+use asip_workloads::Workload;
+use std::fmt;
+
+/// Toolchain failure at any stage.
+#[derive(Debug)]
+pub enum ToolchainError {
+    /// Frontend error.
+    Frontend(asip_tinyc::CompileError),
+    /// Backend error.
+    Backend(asip_backend::BackendError),
+    /// Simulator error.
+    Sim(asip_sim::SimError),
+    /// Interpreter error while profiling.
+    Profile(asip_ir::InterpError),
+    /// The simulated output did not match the workload's golden stream.
+    WrongOutput {
+        /// Workload name.
+        workload: String,
+        /// Machine name.
+        machine: String,
+        /// Expected prefix.
+        expected: Vec<i32>,
+        /// Actual prefix.
+        actual: Vec<i32>,
+    },
+}
+
+impl fmt::Display for ToolchainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToolchainError::Frontend(e) => write!(f, "frontend: {e}"),
+            ToolchainError::Backend(e) => write!(f, "backend: {e}"),
+            ToolchainError::Sim(e) => write!(f, "simulator: {e}"),
+            ToolchainError::Profile(e) => write!(f, "profiling: {e}"),
+            ToolchainError::WrongOutput { workload, machine, expected, actual } => write!(
+                f,
+                "{workload} on {machine}: wrong output (expected {:?}…, got {:?}…)",
+                &expected[..expected.len().min(4)],
+                &actual[..actual.len().min(4)]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ToolchainError {}
+
+impl From<asip_tinyc::CompileError> for ToolchainError {
+    fn from(e: asip_tinyc::CompileError) -> Self {
+        ToolchainError::Frontend(e)
+    }
+}
+
+impl From<asip_backend::BackendError> for ToolchainError {
+    fn from(e: asip_backend::BackendError) -> Self {
+        ToolchainError::Backend(e)
+    }
+}
+
+impl From<asip_sim::SimError> for ToolchainError {
+    fn from(e: asip_sim::SimError) -> Self {
+        ToolchainError::Sim(e)
+    }
+}
+
+/// The configured toolchain.
+#[derive(Debug, Clone)]
+pub struct Toolchain {
+    /// Optimization pipeline configuration.
+    pub opt: OptConfig,
+    /// Backend configuration.
+    pub backend: BackendOptions,
+    /// Use interpreter profiles to guide superblock formation.
+    pub profile_guided: bool,
+}
+
+impl Default for Toolchain {
+    fn default() -> Self {
+        Toolchain {
+            opt: OptConfig::default(),
+            backend: BackendOptions::default(),
+            profile_guided: true,
+        }
+    }
+}
+
+/// Result of running one workload on one machine.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Workload name.
+    pub workload: String,
+    /// Machine name.
+    pub machine: String,
+    /// Simulation result.
+    pub sim: SimResult,
+    /// Compile-time statistics.
+    pub compile: BackendStats,
+    /// Code size in bytes under the machine's encoding.
+    pub code_bytes: u32,
+}
+
+impl Toolchain {
+    /// A toolchain with all optimizations off (baseline for ablations).
+    pub fn unoptimized() -> Toolchain {
+        Toolchain {
+            opt: OptConfig::none(),
+            backend: BackendOptions { superblocks: false, ..Default::default() },
+            profile_guided: false,
+        }
+    }
+
+    /// Compile TinyC source into an optimized IR module.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Frontend`] on TinyC errors.
+    pub fn frontend(&self, source: &str) -> Result<Module, ToolchainError> {
+        let mut module = asip_tinyc::compile(source)?;
+        optimize(&mut module, &self.opt);
+        Ok(module)
+    }
+
+    /// Profile a module by interpretation (block execution counts).
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Profile`] if interpretation fails.
+    pub fn profile(
+        &self,
+        module: &Module,
+        inputs: &[(String, Vec<i32>)],
+        args: &[i32],
+    ) -> Result<Profile, ToolchainError> {
+        let mut interp = Interp::new(module, InterpOptions::default());
+        for (name, data) in inputs {
+            interp.write_global(name, data);
+        }
+        let r = interp.run("main", args).map_err(ToolchainError::Profile)?;
+        Ok(r.profile)
+    }
+
+    /// Compile an IR module for a machine (optionally profile-guided).
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Backend`].
+    pub fn compile(
+        &self,
+        module: &Module,
+        machine: &MachineDescription,
+        profile: Option<&Profile>,
+    ) -> Result<CompiledProgram, ToolchainError> {
+        Ok(compile_module(module, machine, profile, &self.backend)?)
+    }
+
+    /// Full path for one workload on one machine, checking the golden
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ToolchainError`], including [`ToolchainError::WrongOutput`]
+    /// when the simulated stream differs from the golden model.
+    pub fn run_workload(
+        &self,
+        w: &Workload,
+        machine: &MachineDescription,
+    ) -> Result<WorkloadRun, ToolchainError> {
+        let module = self.frontend(&w.source)?;
+        let profile = if self.profile_guided {
+            Some(self.profile(&module, &w.inputs, &w.args)?)
+        } else {
+            None
+        };
+        let compiled = self.compile(&module, machine, profile.as_ref())?;
+        self.run_compiled(w, machine, &compiled)
+    }
+
+    /// Run an already-compiled workload (used by sweeps that vary only the
+    /// simulation conditions).
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Sim`] or [`ToolchainError::WrongOutput`].
+    pub fn run_compiled(
+        &self,
+        w: &Workload,
+        machine: &MachineDescription,
+        compiled: &CompiledProgram,
+    ) -> Result<WorkloadRun, ToolchainError> {
+        let mut sim = Simulator::new(machine, &compiled.program, SimOptions::default())?;
+        for (name, data) in &w.inputs {
+            sim.write_global(name, data);
+        }
+        let result = sim.run(&w.args)?;
+        if result.output != w.expected {
+            return Err(ToolchainError::WrongOutput {
+                workload: w.name.clone(),
+                machine: machine.name.clone(),
+                expected: w.expected.clone(),
+                actual: result.output,
+            });
+        }
+        let code_bytes =
+            asip_isa::encoding::code_bytes(&compiled.program, machine, machine.encoding);
+        Ok(WorkloadRun {
+            workload: w.name.clone(),
+            machine: machine.name.clone(),
+            sim: result,
+            compile: compiled.stats,
+            code_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fir_runs_and_checks_on_ember4() {
+        let tc = Toolchain::default();
+        let w = asip_workloads::by_name("fir").unwrap();
+        let m = MachineDescription::ember4();
+        let run = tc.run_workload(&w, &m).unwrap();
+        assert!(run.sim.cycles > 0);
+        assert!(run.code_bytes > 0);
+        assert_eq!(run.workload, "fir");
+    }
+
+    #[test]
+    fn unoptimized_toolchain_also_correct_but_slower() {
+        let opt = Toolchain::default();
+        let unopt = Toolchain::unoptimized();
+        let w = asip_workloads::by_name("autocorr").unwrap();
+        let m = MachineDescription::ember4();
+        let fast = opt.run_workload(&w, &m).unwrap();
+        let slow = unopt.run_workload(&w, &m).unwrap();
+        assert!(
+            fast.sim.cycles < slow.sim.cycles,
+            "optimization must help: {} vs {}",
+            fast.sim.cycles,
+            slow.sim.cycles
+        );
+    }
+
+    #[test]
+    fn wrong_expected_detected() {
+        let tc = Toolchain::default();
+        let mut w = asip_workloads::by_name("crc32").unwrap();
+        w.expected = vec![42]; // sabotage
+        let m = MachineDescription::ember1();
+        let err = tc.run_workload(&w, &m).unwrap_err();
+        assert!(matches!(err, ToolchainError::WrongOutput { .. }));
+    }
+}

@@ -1,0 +1,537 @@
+//! Binary translation between members of a customized-VLIW family.
+//!
+//! This is the machinery behind the paper's §2.1–2.2 claim that run-time
+//! techniques make "ISA drift" acceptable: a binary scheduled for family
+//! member A is *rebundled* for member B — different issue width, slot
+//! layout, latencies or encoding — without recompilation. Correctness comes
+//! from preserving A's intra-bundle read-before-write semantics:
+//!
+//! * ops from one A bundle are topologically ordered so every reader of a
+//!   register precedes its writer (they all read pre-bundle values);
+//! * B bundles never mix ops from different A bundles, so cross-bundle
+//!   dependences stay sequential;
+//! * branch targets are remapped through the bundle correspondence table.
+//!
+//! The translator consumes the *encoded* instruction stream (the real
+//! binary), not compiler data structures.
+
+use asip_isa::encoding::{decode_text_section, encode_text_section, DecodeError};
+use asip_isa::{Bundle, MachineDescription, MachineOp, Opcode, VliwProgram};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Translation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranslationStats {
+    /// Operations in the source binary.
+    pub ops_in: usize,
+    /// Operations emitted (identical repertoire, so equal unless NOPs).
+    pub ops_out: usize,
+    /// Source bundles.
+    pub bundles_in: usize,
+    /// Emitted bundles.
+    pub bundles_out: usize,
+    /// Intra-bundle read/write pairs that constrained op order.
+    pub hazards_ordered: usize,
+}
+
+/// Translation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbtError {
+    /// Register files differ; rebundling cannot remap registers.
+    IncompatibleRegisters {
+        /// Source machine.
+        from: String,
+        /// Target machine.
+        to: String,
+    },
+    /// An operation's unit kind has no slot on the target.
+    UnplaceableOp {
+        /// The op's mnemonic.
+        opcode: String,
+    },
+    /// A parallel register swap (A↔B in one bundle) cannot be sequenced
+    /// without a scratch register.
+    SwapHazard {
+        /// Bundle index in the source binary.
+        bundle: usize,
+    },
+    /// The binary stream failed to decode.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for DbtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbtError::IncompatibleRegisters { from, to } => {
+                write!(f, "cannot translate {from} -> {to}: register files differ")
+            }
+            DbtError::UnplaceableOp { opcode } => {
+                write!(f, "target machine has no slot for {opcode}")
+            }
+            DbtError::SwapHazard { bundle } => {
+                write!(f, "bundle {bundle}: parallel register swap needs a scratch register")
+            }
+            DbtError::Decode(e) => write!(f, "binary decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbtError {}
+
+impl From<DecodeError> for DbtError {
+    fn from(e: DecodeError) -> Self {
+        DbtError::Decode(e)
+    }
+}
+
+/// Topologically order one source bundle's ops so that every reader of a
+/// register precedes the op that writes it (preserving read-before-write
+/// parallel semantics under sequential-ish execution). Returns the acyclic
+/// order, the count of ordering hazards, and the *cyclic residue* — ops
+/// caught in a read/write cycle (a parallel register swap), which must be
+/// kept together in one target bundle to preserve parallel semantics.
+#[allow(clippy::type_complexity)]
+fn order_bundle_ops(
+    ops: &[&MachineOp],
+    bundle_idx: usize,
+) -> Result<(Vec<usize>, usize, Vec<usize>), DbtError> {
+    let _ = bundle_idx;
+    let n = ops.len();
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n]; // x -> y : x before y
+    let mut indeg = vec![0usize; n];
+    let mut hazards = 0usize;
+    for (y, wop) in ops.iter().enumerate() {
+        for &w in &wop.dsts {
+            if w.is_zero() {
+                continue;
+            }
+            for (x, rop) in ops.iter().enumerate() {
+                if x == y {
+                    continue;
+                }
+                if rop.reads().any(|r| r == w) {
+                    edges[x].push(y);
+                    indeg[y] += 1;
+                    hazards += 1;
+                }
+            }
+        }
+    }
+    // Kahn's algorithm; a cycle is a genuine parallel swap.
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    ready.sort_unstable();
+    let mut out = Vec::with_capacity(n);
+    while let Some(i) = ready.pop() {
+        out.push(i);
+        for &j in &edges[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                ready.push(j);
+            }
+        }
+    }
+    // Whatever Kahn's algorithm could not order is entangled in (or behind)
+    // a read/write cycle; it is returned separately for atomic placement.
+    let mut residue: Vec<usize> = (0..n).filter(|i| !out.contains(i)).collect();
+    residue.sort_unstable();
+    Ok((out, hazards, residue))
+}
+
+/// Rebundle a decoded instruction stream for the target machine. Returns
+/// the new bundles and a map `source bundle -> first target bundle`.
+fn rebundle(
+    bundles: &[Bundle],
+    to: &MachineDescription,
+    stats: &mut TranslationStats,
+) -> Result<(Vec<Bundle>, Vec<u32>), DbtError> {
+    let spc = to.slots_per_cluster();
+    let width = to.issue_width();
+    let mut out: Vec<Bundle> = Vec::with_capacity(bundles.len());
+    let mut start_of = Vec::with_capacity(bundles.len());
+
+    for (bi, b) in bundles.iter().enumerate() {
+        start_of.push(out.len() as u32);
+        let ops: Vec<&MachineOp> = b.ops().map(|(_, op)| op).collect();
+        if ops.is_empty() {
+            out.push(Bundle::empty(width));
+            continue;
+        }
+        stats.ops_in += ops.len();
+        let (order, hazards, residue) = order_bundle_ops(&ops, bi)?;
+        stats.hazards_ordered += hazards;
+
+        // Greedy packing in the chosen order; never mix source bundles.
+        let mut current = Bundle::empty(width);
+        let mut control_used = false;
+        for &oi in &order {
+            let op = ops[oi];
+            let kind = op.opcode.fu_kind();
+            // Choose a free compatible slot; the translated program keeps
+            // every register on its original cluster, so the op must land
+            // on a slot of that cluster.
+            let cluster = op
+                .dsts
+                .first()
+                .map(|d| d.cluster)
+                .or_else(|| op.reads().next().map(|r| r.cluster))
+                .unwrap_or(0) as usize;
+            let cluster = cluster.min(to.clusters as usize - 1);
+            let mut placed = false;
+            let is_control = op.opcode.is_control();
+            if !(is_control && control_used) {
+                for s in 0..spc {
+                    let g = cluster * spc + s;
+                    if current.slots[g].is_none() && to.slots[s].hosts(kind) {
+                        current.slots[g] = Some(op.clone());
+                        control_used |= is_control;
+                        placed = true;
+                        break;
+                    }
+                }
+            }
+            if !placed {
+                // Close the bundle and retry in a fresh one.
+                if current.occupancy() > 0 {
+                    out.push(std::mem::replace(&mut current, Bundle::empty(width)));
+                    control_used = false;
+                }
+                let mut ok = false;
+                for s in 0..spc {
+                    let g = cluster * spc + s;
+                    if to.slots[s].hosts(kind) {
+                        current.slots[g] = Some(op.clone());
+                        control_used = op.opcode.is_control();
+                        ok = true;
+                        break;
+                    }
+                }
+                if !ok {
+                    return Err(DbtError::UnplaceableOp { opcode: op.opcode.to_string() });
+                }
+            }
+            stats.ops_out += 1;
+        }
+        if current.occupancy() > 0 {
+            out.push(current);
+        }
+        // Cyclic residue (parallel register swaps): the whole group must
+        // issue in ONE bundle so every op still reads pre-bundle values.
+        if !residue.is_empty() {
+            let mut atomic = Bundle::empty(width);
+            let mut control_used = false;
+            for &oi in &residue {
+                let op = ops[oi];
+                let kind = op.opcode.fu_kind();
+                let cluster = op
+                    .dsts
+                    .first()
+                    .map(|d| d.cluster)
+                    .or_else(|| op.reads().next().map(|r| r.cluster))
+                    .unwrap_or(0) as usize;
+                let cluster = cluster.min(to.clusters as usize - 1);
+                let is_control = op.opcode.is_control();
+                if is_control && control_used {
+                    return Err(DbtError::SwapHazard { bundle: bi });
+                }
+                let mut placed = false;
+                for s in 0..spc {
+                    let g = cluster * spc + s;
+                    if atomic.slots[g].is_none() && to.slots[s].hosts(kind) {
+                        atomic.slots[g] = Some(op.clone());
+                        control_used |= is_control;
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    // The swap group does not fit the narrower member.
+                    return Err(DbtError::SwapHazard { bundle: bi });
+                }
+                stats.ops_out += 1;
+            }
+            out.push(atomic);
+        }
+    }
+    Ok((out, start_of))
+}
+
+/// Translate a program binary from machine `from` to machine `to`.
+///
+/// The machines must share register-file geometry (clusters ×
+/// registers-per-cluster); width, slot mix, latencies, branch penalty,
+/// encoding and caches may all differ — those are exactly the §1.2 axes a
+/// drifting family varies.
+///
+/// # Errors
+///
+/// [`DbtError`] as described on each variant.
+pub fn translate_program(
+    prog: &VliwProgram,
+    from: &MachineDescription,
+    to: &MachineDescription,
+) -> Result<(VliwProgram, TranslationStats), DbtError> {
+    if from.clusters != to.clusters || from.regs_per_cluster != to.regs_per_cluster {
+        return Err(DbtError::IncompatibleRegisters {
+            from: from.name.clone(),
+            to: to.name.clone(),
+        });
+    }
+    // Round-trip through the real binary encoding: the translator's input
+    // is a word stream, as it would be in a deployed system.
+    let words = encode_text_section(prog);
+    let bundles = decode_text_section(&words)?;
+
+    let mut stats = TranslationStats {
+        bundles_in: bundles.len(),
+        ..Default::default()
+    };
+    let (mut new_bundles, start_of) = rebundle(&bundles, to, &mut stats)?;
+
+    // Remap branch targets (calls carry function ids — untouched; function
+    // entries are remapped below).
+    for b in &mut new_bundles {
+        for slot in b.slots.iter_mut().flatten() {
+            match slot.opcode {
+                Opcode::Br | Opcode::BrT | Opcode::BrF => {
+                    slot.target = start_of[slot.target as usize];
+                }
+                _ => {}
+            }
+        }
+    }
+    let functions = prog
+        .functions
+        .iter()
+        .map(|f| asip_isa::FuncSym { entry: start_of[f.entry as usize], ..f.clone() })
+        .collect();
+
+    stats.bundles_out = new_bundles.len();
+    let out = VliwProgram {
+        machine: to.name.clone(),
+        bundles: new_bundles,
+        functions,
+        globals: prog.globals.clone(),
+        custom_ops: prog.custom_ops.clone(),
+        entry_func: prog.entry_func,
+        data_words: prog.data_words,
+    };
+    Ok((out, stats))
+}
+
+/// A translation cache: one translated image per (source-program, target)
+/// pair, with hit/miss accounting — the "code caching" of §2.2.
+#[derive(Debug, Default)]
+pub struct CodeCache {
+    entries: HashMap<(String, String), (VliwProgram, TranslationStats)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cost model: translator cycles charged per translated operation (a
+/// lightweight rebundler, two decades simpler than a JIT).
+pub const TRANSLATION_CYCLES_PER_OP: u64 = 40;
+
+impl CodeCache {
+    /// New, empty cache.
+    pub fn new() -> CodeCache {
+        CodeCache::default()
+    }
+
+    /// Get or translate. The key is (program identity, target machine).
+    ///
+    /// # Errors
+    ///
+    /// [`DbtError`] from the underlying translation on a miss.
+    pub fn get_or_translate(
+        &mut self,
+        key: &str,
+        prog: &VliwProgram,
+        from: &MachineDescription,
+        to: &MachineDescription,
+    ) -> Result<&(VliwProgram, TranslationStats), DbtError> {
+        let k = (key.to_string(), to.name.clone());
+        if !self.entries.contains_key(&k) {
+            self.misses += 1;
+            let t = translate_program(prog, from, to)?;
+            self.entries.insert(k.clone(), t);
+        } else {
+            self.hits += 1;
+        }
+        Ok(self.entries.get(&k).expect("just inserted"))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Translation cycles charged for a given stats record.
+    pub fn translation_cost_cycles(stats: &TranslationStats) -> u64 {
+        stats.ops_in as u64 * TRANSLATION_CYCLES_PER_OP
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_backend::{compile_module, BackendOptions};
+    use asip_isa::Reg;
+    use asip_sim::run_program;
+
+    fn compiled_for(src: &str, m: &MachineDescription) -> VliwProgram {
+        let mut module = asip_tinyc::compile(src).unwrap();
+        asip_ir::passes::optimize(&mut module, &asip_ir::passes::OptConfig::default());
+        compile_module(&module, m, None, &BackendOptions::default()).unwrap().program
+    }
+
+    const SRC: &str = r#"
+        int tab[16] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+        void main(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) s += tab[i % 16] * (i + 1);
+            emit(s);
+            emit(s % 97);
+        }
+    "#;
+
+    #[test]
+    fn wide_to_narrow_translation_is_correct() {
+        let a = MachineDescription::ember4();
+        let b = a.derive("ember-narrow", |m| {
+            m.slots.truncate(2); // halve the issue width
+        });
+        let prog = compiled_for(SRC, &a);
+        let native_a = run_program(&a, &prog, &[25]).unwrap();
+        let (tprog, stats) = translate_program(&prog, &a, &b).unwrap();
+        tprog.validate(&b).expect("translated program validates on B");
+        let on_b = run_program(&b, &tprog, &[25]).unwrap();
+        assert_eq!(on_b.output, native_a.output);
+        assert!(stats.bundles_out >= stats.bundles_in, "narrowing splits bundles");
+    }
+
+    #[test]
+    fn latency_drift_translation_is_correct() {
+        let a = MachineDescription::ember4();
+        let b = a.derive("ember-slowmul", |m| {
+            m.lat_mul = 5;
+            m.lat_mem = 4;
+        });
+        let prog = compiled_for(SRC, &a);
+        let (tprog, _) = translate_program(&prog, &a, &b).unwrap();
+        let on_b = run_program(&b, &tprog, &[25]).unwrap();
+        let native = run_program(&a, &prog, &[25]).unwrap();
+        assert_eq!(on_b.output, native.output);
+    }
+
+    #[test]
+    fn identity_translation_preserves_everything() {
+        let a = MachineDescription::ember2();
+        let prog = compiled_for(SRC, &a);
+        let (tprog, stats) = translate_program(&prog, &a, &a).unwrap();
+        assert_eq!(stats.ops_in, stats.ops_out);
+        let r1 = run_program(&a, &prog, &[10]).unwrap();
+        let r2 = run_program(&a, &tprog, &[10]).unwrap();
+        assert_eq!(r1.output, r2.output);
+    }
+
+    #[test]
+    fn register_geometry_mismatch_rejected() {
+        let a = MachineDescription::ember4();
+        let b = a.derive("fewer-regs", |m| m.regs_per_cluster = 16);
+        let prog = compiled_for(SRC, &a);
+        assert!(matches!(
+            translate_program(&prog, &a, &b),
+            Err(DbtError::IncompatibleRegisters { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_swap_kept_atomic() {
+        // Hand-craft a bundle with an r2 <-> r3 swap (both movs in
+        // parallel). The translator must keep the pair in ONE bundle so
+        // both still read pre-bundle values.
+        let a = MachineDescription::ember4();
+        let mut prog = compiled_for("void main() { emit(1); }", &a);
+        use asip_isa::{MachineOp, Operand};
+        let mut b = Bundle::empty(4);
+        b.slots[0] = Some(MachineOp::new(
+            Opcode::Mov,
+            vec![Reg::new(0, 2)],
+            vec![Operand::Reg(Reg::new(0, 3))],
+        ));
+        b.slots[1] = Some(MachineOp::new(
+            Opcode::Mov,
+            vec![Reg::new(0, 3)],
+            vec![Operand::Reg(Reg::new(0, 2))],
+        ));
+        prog.bundles.insert(0, b);
+        // Entries shift by one.
+        for f in &mut prog.functions {
+            f.entry += 1;
+        }
+        let narrow = a.derive("n2", |m| {
+            m.slots.truncate(2);
+        });
+        let (tprog, _) = translate_program(&prog, &a, &narrow).expect("swap fits 2 slots");
+        // Find the bundle holding the swap: both movs must be together.
+        let swap_bundles: Vec<&Bundle> = tprog
+            .bundles
+            .iter()
+            .filter(|b| {
+                b.ops().any(|(_, op)| {
+                    op.opcode == Opcode::Mov && op.dsts == vec![Reg::new(0, 2)]
+                })
+            })
+            .collect();
+        assert!(!swap_bundles.is_empty());
+        assert!(
+            swap_bundles.iter().any(|b| b.occupancy() == 2),
+            "swap movs must share a bundle"
+        );
+    }
+
+    #[test]
+    fn three_way_rotation_too_wide_for_target_rejected() {
+        // A 3-op parallel rotation cannot fit a 2-slot member atomically.
+        let a = MachineDescription::ember4();
+        let mut prog = compiled_for("void main() { emit(1); }", &a);
+        use asip_isa::{MachineOp, Operand};
+        let mut b = Bundle::empty(4);
+        for (i, (d, s)) in [(2u16, 3u16), (3, 4), (4, 2)].iter().enumerate() {
+            b.slots[i] = Some(MachineOp::new(
+                Opcode::Mov,
+                vec![Reg::new(0, *d)],
+                vec![Operand::Reg(Reg::new(0, *s))],
+            ));
+        }
+        prog.bundles.insert(0, b);
+        for f in &mut prog.functions {
+            f.entry += 1;
+        }
+        let narrow = a.derive("n2", |m| {
+            m.slots.truncate(2);
+        });
+        let r = translate_program(&prog, &a, &narrow);
+        assert!(matches!(r, Err(DbtError::SwapHazard { bundle: 0 })));
+    }
+
+    #[test]
+    fn code_cache_amortizes() {
+        let a = MachineDescription::ember4();
+        let b = a.derive("drifted", |m| m.slots.truncate(3));
+        let prog = compiled_for(SRC, &a);
+        let mut cache = CodeCache::new();
+        for _ in 0..5 {
+            cache.get_or_translate("app", &prog, &a, &b).unwrap();
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 4);
+    }
+}

@@ -1,0 +1,219 @@
+//! Semiconductor cost models: die yield, dies per wafer, unit cost with
+//! NRE amortization, and the SoC-vs-discrete comparison of Barrier 3/4.
+
+/// Classic die-yield models as a function of `A·D` (die area × defect
+/// density).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum YieldModel {
+    /// Poisson: `Y = e^(−AD)` (pessimistic for large dies).
+    Poisson,
+    /// Murphy: `Y = ((1 − e^(−AD)) / AD)²` (the industry workhorse).
+    Murphy,
+    /// Seeds: `Y = 1 / (1 + AD)` (optimistic).
+    Seeds,
+}
+
+impl YieldModel {
+    /// Yield fraction for a die of `area_mm2` at `defects_per_cm2`.
+    pub fn yield_fraction(self, area_mm2: f64, defects_per_cm2: f64) -> f64 {
+        let ad = (area_mm2 / 100.0) * defects_per_cm2;
+        if ad <= 0.0 {
+            return 1.0;
+        }
+        match self {
+            YieldModel::Poisson => (-ad).exp(),
+            YieldModel::Murphy => {
+                let t = (1.0 - (-ad).exp()) / ad;
+                t * t
+            }
+            YieldModel::Seeds => 1.0 / (1.0 + ad),
+        }
+    }
+}
+
+/// Gross dies per wafer (standard edge-loss formula).
+pub fn dies_per_wafer(wafer_diameter_mm: f64, die_area_mm2: f64) -> f64 {
+    let r = wafer_diameter_mm / 2.0;
+    let usable = std::f64::consts::PI * r * r / die_area_mm2
+        - std::f64::consts::PI * wafer_diameter_mm / (2.0 * die_area_mm2).sqrt();
+    usable.max(0.0)
+}
+
+/// A fabrication/business scenario.
+#[derive(Debug, Clone)]
+pub struct ChipCostModel {
+    /// Processed-wafer cost in USD.
+    pub wafer_cost: f64,
+    /// Wafer diameter in mm (200 mm for the late-90s processes modeled).
+    pub wafer_diameter_mm: f64,
+    /// Defect density per cm².
+    pub defects_per_cm2: f64,
+    /// Yield model.
+    pub model: YieldModel,
+    /// Test cost per good die, USD.
+    pub test_cost: f64,
+    /// Package cost per part, USD.
+    pub package_cost: f64,
+    /// Non-recurring engineering (design + masks), USD.
+    pub nre: f64,
+}
+
+impl Default for ChipCostModel {
+    fn default() -> Self {
+        ChipCostModel {
+            wafer_cost: 3000.0,
+            wafer_diameter_mm: 200.0,
+            defects_per_cm2: 0.8,
+            model: YieldModel::Murphy,
+            test_cost: 2.0,
+            package_cost: 4.0,
+            nre: 2_500_000.0,
+        }
+    }
+}
+
+impl ChipCostModel {
+    /// Manufacturing cost of one good, packaged die (NRE excluded).
+    pub fn die_cost(&self, die_area_mm2: f64) -> f64 {
+        let dpw = dies_per_wafer(self.wafer_diameter_mm, die_area_mm2);
+        let y = self.model.yield_fraction(die_area_mm2, self.defects_per_cm2);
+        if dpw <= 0.0 || y <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.wafer_cost / (dpw * y) + self.test_cost + self.package_cost
+    }
+
+    /// Unit cost at a production volume, NRE amortized.
+    pub fn unit_cost(&self, die_area_mm2: f64, volume: u64) -> f64 {
+        self.die_cost(die_area_mm2) + self.nre / volume.max(1) as f64
+    }
+}
+
+/// Comparison inputs for the Barrier-3 experiment: a custom SoC against a
+/// mass-market CPU plus a companion chip.
+#[derive(Debug, Clone)]
+pub struct SocScenario {
+    /// Fab assumptions for the custom SoC.
+    pub fab: ChipCostModel,
+    /// Area of the customized processor core, mm².
+    pub core_area_mm2: f64,
+    /// Area of the product's system logic, mm² (integrated on the SoC, or a
+    /// separate companion die in the discrete option).
+    pub system_area_mm2: f64,
+    /// Street price of the mass-market CPU chip (its NRE is amortized over
+    /// millions of units and baked into the price).
+    pub mass_market_price: f64,
+    /// Extra board/assembly cost per discrete component.
+    pub board_cost_per_chip: f64,
+    /// NRE for the companion chip in the discrete option (cheaper than a
+    /// full SoC — no CPU integration).
+    pub companion_nre: f64,
+}
+
+impl Default for SocScenario {
+    fn default() -> Self {
+        SocScenario {
+            fab: ChipCostModel::default(),
+            core_area_mm2: 12.0,
+            system_area_mm2: 40.0,
+            mass_market_price: 25.0,
+            board_cost_per_chip: 3.0,
+            companion_nre: 1_200_000.0,
+        }
+    }
+}
+
+impl SocScenario {
+    /// Unit cost of the custom-SoC option at a volume.
+    pub fn custom_soc_unit(&self, volume: u64) -> f64 {
+        let area = self.core_area_mm2 + self.system_area_mm2;
+        self.fab.unit_cost(area, volume) + self.board_cost_per_chip
+    }
+
+    /// Unit cost of the discrete option (mass-market CPU + companion ASIC).
+    pub fn discrete_unit(&self, volume: u64) -> f64 {
+        let companion = ChipCostModel { nre: self.companion_nre, ..self.fab.clone() };
+        self.mass_market_price
+            + companion.unit_cost(self.system_area_mm2, volume)
+            + 2.0 * self.board_cost_per_chip
+    }
+
+    /// The volume at which the custom SoC becomes cheaper, if any, scanning
+    /// decade-spaced volumes.
+    pub fn crossover_volume(&self) -> Option<u64> {
+        let mut vol = 1_000u64;
+        while vol <= 100_000_000 {
+            if self.custom_soc_unit(vol) < self.discrete_unit(vol) {
+                return Some(vol);
+            }
+            vol = (vol as f64 * 1.25) as u64;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_decreases_with_area() {
+        for model in [YieldModel::Poisson, YieldModel::Murphy, YieldModel::Seeds] {
+            let small = model.yield_fraction(20.0, 0.8);
+            let big = model.yield_fraction(200.0, 0.8);
+            assert!(small > big, "{model:?}");
+            assert!((0.0..=1.0).contains(&small));
+            assert!((0.0..=1.0).contains(&big));
+        }
+    }
+
+    #[test]
+    fn model_ordering_poisson_most_pessimistic() {
+        let (a, d) = (150.0, 0.8);
+        let p = YieldModel::Poisson.yield_fraction(a, d);
+        let m = YieldModel::Murphy.yield_fraction(a, d);
+        let s = YieldModel::Seeds.yield_fraction(a, d);
+        assert!(p < m && m < s, "p={p} m={m} s={s}");
+    }
+
+    #[test]
+    fn dies_per_wafer_sane() {
+        // 200mm wafer, 50mm² die: ~550 gross dies (edge-corrected).
+        let dpw = dies_per_wafer(200.0, 50.0);
+        assert!(dpw > 400.0 && dpw < 700.0, "dpw {dpw}");
+        assert!(dies_per_wafer(200.0, 400.0) < dies_per_wafer(200.0, 50.0));
+    }
+
+    #[test]
+    fn die_cost_grows_superlinearly_with_area() {
+        let fab = ChipCostModel::default();
+        let c50 = fab.die_cost(50.0);
+        let c100 = fab.die_cost(100.0);
+        assert!(
+            c100 > 2.0 * (c50 - fab.test_cost - fab.package_cost),
+            "bigger dies cost more than pro-rata: {c50} vs {c100}"
+        );
+    }
+
+    #[test]
+    fn nre_amortizes_with_volume() {
+        let fab = ChipCostModel::default();
+        assert!(fab.unit_cost(50.0, 10_000) > fab.unit_cost(50.0, 1_000_000));
+        let asymptote = fab.die_cost(50.0);
+        assert!((fab.unit_cost(50.0, 1_000_000_000) - asymptote) < 0.01);
+    }
+
+    #[test]
+    fn soc_crossover_exists_and_is_moderate_volume() {
+        let s = SocScenario::default();
+        // At tiny volume the discrete option wins (NRE dominates the SoC).
+        assert!(s.custom_soc_unit(2_000) > s.discrete_unit(2_000));
+        let x = s.crossover_volume().expect("crossover must exist");
+        assert!(
+            (10_000..10_000_000).contains(&x),
+            "crossover at {x} units"
+        );
+        // And at high volume the SoC is clearly cheaper.
+        assert!(s.custom_soc_unit(20_000_000) < s.discrete_unit(20_000_000));
+    }
+}

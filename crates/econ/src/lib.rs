@@ -1,0 +1,21 @@
+//! # asip-econ — the economics of customized silicon
+//!
+//! Models for the paper's Barriers 3 and 4 and its Table 1:
+//!
+//! * [`table1`] — the published Pentium II price/performance table with the
+//!   Perf/Price arithmetic recomputed;
+//! * [`cost`] — die yield (Poisson/Murphy/Seeds), dies-per-wafer, unit cost
+//!   with NRE amortization, and the **SoC-vs-discrete crossover** that makes
+//!   low-volume customized processors competitive (§4.1);
+//! * [`perfprice`] — speed-grade pricing with a high-end premium, used to
+//!   regenerate Table 1's shape from our own simulated family.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod perfprice;
+pub mod table1;
+
+pub use cost::{dies_per_wafer, ChipCostModel, SocScenario, YieldModel};
+pub use perfprice::{price_family, GradeRow, PriceCurve};
+pub use table1::{table1, Table1Row};

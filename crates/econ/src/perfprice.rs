@@ -1,0 +1,110 @@
+//! Speed-grade pricing: regenerate the *shape* of Table 1 from a simulated
+//! processor family.
+//!
+//! Chip vendors bin parts into speed grades and charge a superlinear premium
+//! at the top of the line (partly scarcity, partly market segmentation).
+//! Given the performance of family members, this module prices them with a
+//! standard premium curve so the perf/price column can be compared against
+//! the Pentium II table.
+
+/// Pricing-curve parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PriceCurve {
+    /// Price of the slowest grade, USD.
+    pub base_price: f64,
+    /// Linear component per unit of normalized performance gain.
+    pub linear: f64,
+    /// Superlinear premium weight.
+    pub premium: f64,
+    /// Superlinear exponent (≥ 2 gives the "hockey stick").
+    pub exponent: f64,
+}
+
+impl Default for PriceCurve {
+    fn default() -> Self {
+        PriceCurve { base_price: 245.0, linear: 0.9, premium: 2.5, exponent: 6.0 }
+    }
+}
+
+impl PriceCurve {
+    /// Price for a part whose performance is `perf`, where `perf_min` is the
+    /// slowest grade of the line.
+    pub fn price(&self, perf: f64, perf_min: f64, perf_max: f64) -> f64 {
+        let span = (perf_max - perf_min).max(1e-9);
+        let x = ((perf - perf_min) / span).clamp(0.0, 1.0);
+        self.base_price * (1.0 + self.linear * x + self.premium * x.powf(self.exponent))
+    }
+}
+
+/// A generated perf/price table row.
+#[derive(Debug, Clone)]
+pub struct GradeRow {
+    /// Grade label.
+    pub label: String,
+    /// Performance metric (higher is better; arbitrary units).
+    pub perf: f64,
+    /// Price, USD.
+    pub price: f64,
+}
+
+impl GradeRow {
+    /// Performance per dollar.
+    pub fn perf_price(&self) -> f64 {
+        self.perf / self.price
+    }
+}
+
+/// Price a family of (label, perf) grades, slowest first.
+pub fn price_family(grades: &[(String, f64)], curve: &PriceCurve) -> Vec<GradeRow> {
+    if grades.is_empty() {
+        return Vec::new();
+    }
+    let min = grades.iter().map(|g| g.1).fold(f64::INFINITY, f64::min);
+    let max = grades.iter().map(|g| g.1).fold(0.0, f64::max);
+    grades
+        .iter()
+        .map(|(label, perf)| GradeRow {
+            label: label.clone(),
+            perf: *perf,
+            price: curve.price(*perf, min, max),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<GradeRow> {
+        let grades: Vec<(String, f64)> =
+            (0..6).map(|i| (format!("g{i}"), 100.0 + 15.0 * i as f64)).collect();
+        price_family(&grades, &PriceCurve::default())
+    }
+
+    #[test]
+    fn prices_increase_with_perf() {
+        let rows = sample();
+        for pair in rows.windows(2) {
+            assert!(pair[1].price > pair[0].price);
+        }
+    }
+
+    #[test]
+    fn perf_price_declines_at_high_end() {
+        let rows = sample();
+        let n = rows.len();
+        // Like Table 1: the top grades pay a steep premium.
+        assert!(rows[n - 1].perf_price() < rows[n - 2].perf_price());
+        assert!(rows[n - 2].perf_price() < rows[n - 3].perf_price());
+        // And the overall drop is Table-1-sized (roughly 2-3x).
+        let drop = rows[0].perf_price() / rows[n - 1].perf_price();
+        assert!(drop > 1.8 && drop < 5.0, "drop {drop}");
+    }
+
+    #[test]
+    fn degenerate_family_of_one() {
+        let rows = price_family(&[("only".into(), 50.0)], &PriceCurve::default());
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].price >= 245.0);
+    }
+}

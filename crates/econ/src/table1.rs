@@ -1,0 +1,100 @@
+//! The paper's Table 1: Pentium II street prices and benchmark scores
+//! (PC Broker / Tom's Hardware, October 1998), with the Perf/Price columns
+//! recomputed — the paper's point being *"the very high premium paid for
+//! the small performance improvement in CPUs on the high end."*
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Core clock in MHz.
+    pub core_mhz: u32,
+    /// Front-side bus in MHz.
+    pub bus_mhz: u32,
+    /// Core family name.
+    pub family: &'static str,
+    /// Street price in USD (Oct 1998).
+    pub price: f64,
+    /// Business Winstone score.
+    pub winstone: f64,
+    /// Quake II frame rate.
+    pub quake: f64,
+    /// Perf/Price (Winstone) as printed in the paper.
+    pub printed_winstone_pp: f64,
+    /// Perf/Price (Quake) as printed in the paper.
+    pub printed_quake_pp: f64,
+}
+
+impl Table1Row {
+    /// Winstone performance per dollar, recomputed.
+    pub fn winstone_perf_price(&self) -> f64 {
+        self.winstone / self.price
+    }
+
+    /// Quake performance per dollar, recomputed.
+    pub fn quake_perf_price(&self) -> f64 {
+        self.quake / self.price
+    }
+}
+
+/// The published data, verbatim from the paper.
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row { core_mhz: 266, bus_mhz: 66, family: "Klamath", price: 245.0, winstone: 31.0, quake: 47.0, printed_winstone_pp: 0.127, printed_quake_pp: 0.192 },
+        Table1Row { core_mhz: 300, bus_mhz: 66, family: "Klamath", price: 268.0, winstone: 33.1, quake: 52.0, printed_winstone_pp: 0.124, printed_quake_pp: 0.194 },
+        Table1Row { core_mhz: 333, bus_mhz: 66, family: "Deschutes", price: 299.0, winstone: 35.0, quake: 56.0, printed_winstone_pp: 0.117, printed_quake_pp: 0.187 },
+        Table1Row { core_mhz: 350, bus_mhz: 100, family: "Deschutes", price: 349.0, winstone: 36.7, quake: 60.0, printed_winstone_pp: 0.105, printed_quake_pp: 0.172 },
+        Table1Row { core_mhz: 400, bus_mhz: 100, family: "Deschutes", price: 596.0, winstone: 39.5, quake: 66.0, printed_winstone_pp: 0.066, printed_quake_pp: 0.111 },
+        Table1Row { core_mhz: 450, bus_mhz: 100, family: "Deschutes", price: 799.0, winstone: 41.3, quake: 69.0, printed_winstone_pp: 0.052, printed_quake_pp: 0.086 },
+    ]
+}
+
+/// The high-end premium the table demonstrates: price ratio divided by
+/// performance ratio between the top and bottom rows.
+pub fn high_end_premium() -> f64 {
+    let t = table1();
+    let (lo, hi) = (&t[0], &t[t.len() - 1]);
+    (hi.price / lo.price) / (hi.winstone / lo.winstone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recomputed_ratios_match_printed_values() {
+        for row in table1() {
+            assert!(
+                (row.winstone_perf_price() - row.printed_winstone_pp).abs() < 0.0015,
+                "{} MHz winstone: {:.4} vs printed {:.4}",
+                row.core_mhz,
+                row.winstone_perf_price(),
+                row.printed_winstone_pp
+            );
+            assert!(
+                (row.quake_perf_price() - row.printed_quake_pp).abs() < 0.0015,
+                "{} MHz quake: {:.4} vs printed {:.4}",
+                row.core_mhz,
+                row.quake_perf_price(),
+                row.printed_quake_pp
+            );
+        }
+    }
+
+    #[test]
+    fn perf_price_declines_at_the_high_end() {
+        let rows = table1();
+        // The last three rows must be strictly declining in perf/price —
+        // the paper's "very high premium" observation.
+        for pair in rows[2..].windows(2) {
+            assert!(pair[1].winstone_perf_price() < pair[0].winstone_perf_price());
+            assert!(pair[1].quake_perf_price() < pair[0].quake_perf_price());
+        }
+    }
+
+    #[test]
+    fn premium_is_large() {
+        // 3.3x price for 1.33x performance => premium ≈ 2.4.
+        let p = high_end_premium();
+        assert!(p > 2.0 && p < 3.0, "premium {p}");
+    }
+}

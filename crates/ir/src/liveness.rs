@@ -1,0 +1,161 @@
+//! Classic backward dataflow liveness over virtual registers.
+
+use crate::cfg::predecessors;
+use crate::func::Function;
+use crate::inst::VReg;
+use std::collections::BTreeSet;
+
+/// Live-in / live-out sets per block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Liveness {
+    /// Registers live at block entry.
+    pub live_in: Vec<BTreeSet<VReg>>,
+    /// Registers live at block exit.
+    pub live_out: Vec<BTreeSet<VReg>>,
+}
+
+impl Liveness {
+    /// Whether `r` is live entering block `b`.
+    pub fn is_live_in(&self, b: usize, r: VReg) -> bool {
+        self.live_in[b].contains(&r)
+    }
+
+    /// Whether `r` is live leaving block `b`.
+    pub fn is_live_out(&self, b: usize, r: VReg) -> bool {
+        self.live_out[b].contains(&r)
+    }
+}
+
+/// Compute per-block use/def (upward-exposed uses and defined sets).
+fn use_def(f: &Function) -> (Vec<BTreeSet<VReg>>, Vec<BTreeSet<VReg>>) {
+    let n = f.blocks.len();
+    let mut uses = vec![BTreeSet::new(); n];
+    let mut defs = vec![BTreeSet::new(); n];
+    for (bi, b) in f.iter_blocks() {
+        let i = bi.0 as usize;
+        for inst in &b.insts {
+            for u in inst.uses() {
+                if !defs[i].contains(&u) {
+                    uses[i].insert(u);
+                }
+            }
+            for d in inst.defs() {
+                defs[i].insert(d);
+            }
+        }
+        for u in b.term.uses() {
+            if !defs[i].contains(&u) {
+                uses[i].insert(u);
+            }
+        }
+    }
+    (uses, defs)
+}
+
+/// Run the liveness fixpoint.
+pub fn liveness(f: &Function) -> Liveness {
+    let n = f.blocks.len();
+    let (uses, defs) = use_def(f);
+    let preds = predecessors(f);
+    let mut live_in = vec![BTreeSet::new(); n];
+    let mut live_out = vec![BTreeSet::new(); n];
+
+    // Worklist seeded with all blocks (reverse order converges fast).
+    let mut work: Vec<usize> = (0..n).rev().collect();
+    while let Some(b) = work.pop() {
+        let mut out = BTreeSet::new();
+        for s in f.blocks[b].term.successors() {
+            out.extend(live_in[s.0 as usize].iter().copied());
+        }
+        let mut inp: BTreeSet<VReg> = uses[b].clone();
+        for &r in &out {
+            if !defs[b].contains(&r) {
+                inp.insert(r);
+            }
+        }
+        let changed = inp != live_in[b] || out != live_out[b];
+        live_out[b] = out;
+        if changed {
+            live_in[b] = inp;
+            for &p in &preds[b] {
+                if !work.contains(&(p.0 as usize)) {
+                    work.push(p.0 as usize);
+                }
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, Function};
+    use crate::inst::{BlockId, Inst, Terminator, VReg, Val};
+    use asip_isa::Opcode;
+
+    /// bb0: v1 = 1; branch v0 ? bb1 : bb2
+    /// bb1: emit v1; ret
+    /// bb2: ret
+    fn diamondish() -> Function {
+        let mut f = Function::new("t", 1, false);
+        let v1 = f.new_vreg();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.blocks[0] = Block {
+            insts: vec![Inst::Un { op: Opcode::Mov, dst: v1, a: Val::Imm(1) }],
+            term: Terminator::Branch { c: Val::Reg(VReg(0)), t: b1, f: b2 },
+        };
+        f.block_mut(b1).insts.push(Inst::Emit { val: Val::Reg(v1) });
+        f.block_mut(b1).term = Terminator::Ret(None);
+        f.block_mut(b2).term = Terminator::Ret(None);
+        f
+    }
+
+    #[test]
+    fn param_live_in_at_entry() {
+        let f = diamondish();
+        let l = liveness(&f);
+        assert!(l.is_live_in(0, VReg(0)), "branch condition is used");
+        assert!(!l.is_live_in(0, VReg(1)), "v1 is defined before use");
+    }
+
+    #[test]
+    fn value_live_across_edge() {
+        let f = diamondish();
+        let l = liveness(&f);
+        assert!(l.is_live_out(0, VReg(1)), "v1 flows to bb1");
+        assert!(l.is_live_in(1, VReg(1)));
+        assert!(!l.is_live_in(2, VReg(1)), "bb2 never reads v1");
+    }
+
+    #[test]
+    fn loop_keeps_values_alive() {
+        // bb0: v1 = 0; jump bb1
+        // bb1: v1 = add v1, 1; branch v0 ? bb1 : bb2
+        // bb2: emit v1; ret
+        let mut f = Function::new("t", 1, false);
+        let v1 = f.new_vreg();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.blocks[0] = Block {
+            insts: vec![Inst::Un { op: Opcode::Mov, dst: v1, a: Val::Imm(0) }],
+            term: Terminator::Jump(b1),
+        };
+        f.block_mut(b1).insts.push(Inst::Bin {
+            op: Opcode::Add,
+            dst: v1,
+            a: Val::Reg(v1),
+            b: Val::Imm(1),
+        });
+        f.block_mut(b1).term = Terminator::Branch { c: Val::Reg(VReg(0)), t: b1, f: b2 };
+        f.block_mut(b2).insts.push(Inst::Emit { val: Val::Reg(v1) });
+        f.block_mut(b2).term = Terminator::Ret(None);
+
+        let l = liveness(&f);
+        assert!(l.is_live_in(1, v1), "v1 carried around the loop");
+        assert!(l.is_live_out(1, v1));
+        assert!(l.is_live_in(1, VReg(0)), "loop condition stays live");
+        assert_eq!(l.live_out[2], BTreeSet::new());
+    }
+}

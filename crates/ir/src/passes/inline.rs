@@ -1,0 +1,368 @@
+//! Function inlining and dead-function elimination.
+//!
+//! Embedded kernels are call-shallow; the ASIP compiler inlines aggressively
+//! (bottom-up, leaf functions first) so the scheduler sees whole loop nests.
+
+use crate::func::{Function, Module};
+use crate::inst::{BlockId, FuncId, Inst, LocalSlot, Terminator, VReg, Val};
+use asip_isa::Opcode;
+
+/// Inlining limits.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineConfig {
+    /// Callees larger than this are never inlined.
+    pub max_callee_insts: usize,
+    /// Stop growing a caller past this size.
+    pub max_caller_insts: usize,
+    /// Bottom-up rounds (handles call chains of this depth).
+    pub rounds: u32,
+}
+
+impl Default for InlineConfig {
+    fn default() -> Self {
+        InlineConfig { max_callee_insts: 400, max_caller_insts: 20_000, rounds: 6 }
+    }
+}
+
+/// Run inlining over the module. Returns whether anything changed.
+pub fn run(module: &mut Module, cfg: &InlineConfig) -> bool {
+    let mut changed = false;
+    for _ in 0..cfg.rounds {
+        let mut any = false;
+        // Leaf functions: contain no calls. (Recursive functions are never
+        // leaves, so they are never inlined.)
+        let is_leaf: Vec<bool> = module
+            .funcs
+            .iter()
+            .map(|f| {
+                f.blocks.iter().all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call { .. })))
+            })
+            .collect();
+        let sizes: Vec<usize> = module.funcs.iter().map(Function::num_insts).collect();
+
+        for caller_idx in 0..module.funcs.len() {
+            loop {
+                if module.funcs[caller_idx].num_insts() >= cfg.max_caller_insts {
+                    break;
+                }
+                let site = find_site(&module.funcs[caller_idx], &is_leaf, &sizes, cfg, caller_idx);
+                let Some((block, idx, callee)) = site else { break };
+                let callee_fn = module.funcs[callee.0 as usize].clone();
+                inline_site(&mut module.funcs[caller_idx], block, idx, &callee_fn);
+                any = true;
+                changed = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    changed
+}
+
+fn find_site(
+    caller: &Function,
+    is_leaf: &[bool],
+    sizes: &[usize],
+    cfg: &InlineConfig,
+    caller_idx: usize,
+) -> Option<(BlockId, usize, FuncId)> {
+    for (bi, b) in caller.iter_blocks() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let Inst::Call { func, .. } = inst {
+                let fi = func.0 as usize;
+                if fi != caller_idx && is_leaf[fi] && sizes[fi] <= cfg.max_callee_insts {
+                    return Some((bi, ii, *func));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Replace the call at `caller[block].insts[idx]` with the callee's body.
+fn inline_site(caller: &mut Function, block: BlockId, idx: usize, callee: &Function) {
+    let (dst, args) = match &caller.block(block).insts[idx] {
+        Inst::Call { dst, args, .. } => (*dst, args.clone()),
+        other => panic!("inline_site pointed at non-call {other}"),
+    };
+
+    let vreg_base = caller.num_vregs;
+    caller.num_vregs += callee.num_vregs;
+    let local_base = caller.locals.len() as u32;
+    caller.locals.extend(callee.locals.iter().cloned());
+    let block_base = caller.blocks.len() as u32;
+
+    // Split the call block: `block` keeps insts[..idx]; `cont` receives the
+    // tail and the original terminator.
+    let tail: Vec<Inst> = caller.block_mut(block).insts.split_off(idx + 1);
+    caller.block_mut(block).insts.pop(); // remove the call itself
+    let cont = caller.new_block();
+    let old_term = std::mem::replace(
+        &mut caller.block_mut(block).term,
+        Terminator::Jump(BlockId(block_base + callee.entry.0 + 1)), // fixed below
+    );
+    caller.block_mut(cont).insts = tail;
+    caller.block_mut(cont).term = old_term;
+    // NB: `new_block` pushed `cont` *before* we append callee clones, so the
+    // callee's blocks start at block_base + 1.
+    let callee_block = |b: BlockId| BlockId(block_base + 1 + b.0);
+    caller.block_mut(block).term = Terminator::Jump(callee_block(callee.entry));
+
+    // Bind arguments to the callee's (remapped) parameter registers.
+    for (p, a) in args.iter().enumerate() {
+        let param = VReg(vreg_base + p as u32);
+        caller.block_mut(block).insts.push(Inst::Un { op: Opcode::Mov, dst: param, a: *a });
+    }
+
+    // Clone callee blocks with remapped registers, locals and block ids.
+    for cb in &callee.blocks {
+        let mut nb = cb.clone();
+        for inst in &mut nb.insts {
+            inst.map_uses(|r| Val::Reg(VReg(vreg_base + r.0)));
+            inst.map_defs(|d| VReg(vreg_base + d.0));
+            // Remap local slots.
+            match inst {
+                Inst::Lea { addr, .. } | Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
+                    if let crate::inst::AddrBase::Local(l) = &mut addr.base {
+                        *l = LocalSlot(local_base + l.0);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Remap register uses in terminators and rewrite returns.
+        let new_term = match &nb.term {
+            Terminator::Jump(b) => Terminator::Jump(callee_block(*b)),
+            Terminator::Branch { c, t, f } => {
+                let c = match c {
+                    Val::Reg(r) => Val::Reg(VReg(vreg_base + r.0)),
+                    imm => *imm,
+                };
+                Terminator::Branch { c, t: callee_block(*t), f: callee_block(*f) }
+            }
+            Terminator::Ret(v) => {
+                if let Some(d) = dst {
+                    let val = match v {
+                        Some(Val::Reg(r)) => Val::Reg(VReg(vreg_base + r.0)),
+                        Some(imm) => *imm,
+                        None => Val::Imm(0),
+                    };
+                    nb.insts.push(Inst::Un { op: Opcode::Mov, dst: d, a: val });
+                }
+                Terminator::Jump(cont)
+            }
+        };
+        nb.term = new_term;
+        caller.blocks.push(nb);
+    }
+}
+
+/// Drop functions unreachable from `entry`, remapping call targets.
+/// Returns whether anything was removed.
+pub fn drop_dead_funcs(module: &mut Module, entry: &str) -> bool {
+    let Some(root) = module.func_id(entry) else { return false };
+    let n = module.funcs.len();
+    let mut keep = vec![false; n];
+    let mut stack = vec![root];
+    while let Some(f) = stack.pop() {
+        if keep[f.0 as usize] {
+            continue;
+        }
+        keep[f.0 as usize] = true;
+        for b in &module.funcs[f.0 as usize].blocks {
+            for i in &b.insts {
+                if let Inst::Call { func, .. } = i {
+                    stack.push(*func);
+                }
+            }
+        }
+    }
+    if keep.iter().all(|&k| k) {
+        return false;
+    }
+    let mut remap = vec![FuncId(u32::MAX); n];
+    let mut new_funcs = Vec::new();
+    for (i, k) in keep.iter().enumerate() {
+        if *k {
+            remap[i] = FuncId(new_funcs.len() as u32);
+            new_funcs.push(module.funcs[i].clone());
+        }
+    }
+    for f in &mut new_funcs {
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                if let Inst::Call { func, .. } = inst {
+                    *func = remap[func.0 as usize];
+                }
+            }
+        }
+    }
+    module.funcs = new_funcs;
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{verify, Block};
+    use crate::interp::run_module;
+
+    /// add3(a, b, c) = a + b + c; main(x) emits add3(x, 10, 100).
+    fn sample() -> Module {
+        let mut add3 = Function::new("add3", 3, true);
+        let t = add3.new_vreg();
+        add3.blocks[0] = Block {
+            insts: vec![
+                Inst::Bin { op: Opcode::Add, dst: t, a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
+                Inst::Bin { op: Opcode::Add, dst: t, a: Val::Reg(t), b: Val::Reg(VReg(2)) },
+            ],
+            term: Terminator::Ret(Some(Val::Reg(t))),
+        };
+        let mut main = Function::new("main", 1, false);
+        let r = main.new_vreg();
+        main.blocks[0] = Block {
+            insts: vec![
+                Inst::Call {
+                    dst: Some(r),
+                    func: FuncId(1),
+                    args: vec![Val::Reg(VReg(0)), Val::Imm(10), Val::Imm(100)],
+                },
+                Inst::Emit { val: Val::Reg(r) },
+            ],
+            term: Terminator::Ret(None),
+        };
+        Module { funcs: vec![main, add3], globals: vec![], custom_ops: vec![] }
+    }
+
+    #[test]
+    fn inlines_leaf_and_preserves_output() {
+        let m0 = sample();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1, &InlineConfig::default()));
+        assert_eq!(verify(&m1), Ok(()));
+        // No calls remain in main.
+        assert!(m1.funcs[0]
+            .blocks
+            .iter()
+            .all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call { .. }))));
+        for x in [0, 5, -3] {
+            assert_eq!(
+                run_module(&m0, "main", &[x]).unwrap().output,
+                run_module(&m1, "main", &[x]).unwrap().output
+            );
+        }
+    }
+
+    #[test]
+    fn recursion_is_not_inlined() {
+        // fact(n) = n <= 1 ? 1 : n * fact(n - 1)
+        let mut fact = Function::new("fact", 1, true);
+        let c = fact.new_vreg();
+        let t = fact.new_vreg();
+        let r = fact.new_vreg();
+        let rec = fact.new_block();
+        let base = fact.new_block();
+        fact.blocks[0].insts.push(Inst::Bin {
+            op: Opcode::CmpLe,
+            dst: c,
+            a: Val::Reg(VReg(0)),
+            b: Val::Imm(1),
+        });
+        fact.blocks[0].term = Terminator::Branch { c: Val::Reg(c), t: base, f: rec };
+        fact.block_mut(rec).insts.extend([
+            Inst::Bin { op: Opcode::Sub, dst: t, a: Val::Reg(VReg(0)), b: Val::Imm(1) },
+            Inst::Call { dst: Some(r), func: FuncId(0), args: vec![Val::Reg(t)] },
+            Inst::Bin { op: Opcode::Mul, dst: r, a: Val::Reg(r), b: Val::Reg(VReg(0)) },
+        ]);
+        fact.block_mut(rec).term = Terminator::Ret(Some(Val::Reg(r)));
+        fact.block_mut(base).term = Terminator::Ret(Some(Val::Imm(1)));
+        let mut m = Module { funcs: vec![fact], globals: vec![], custom_ops: vec![] };
+        assert!(!run(&mut m, &InlineConfig::default()));
+        assert_eq!(run_module(&m, "fact", &[5]).unwrap().ret, Some(120));
+    }
+
+    #[test]
+    fn chain_inlines_across_rounds() {
+        // h() = 1; g() = h() + 1; main emits g() + 1.
+        let mut h = Function::new("h", 0, true);
+        h.blocks[0].term = Terminator::Ret(Some(Val::Imm(1)));
+        let mut g = Function::new("g", 0, true);
+        let r = g.new_vreg();
+        g.blocks[0] = Block {
+            insts: vec![
+                Inst::Call { dst: Some(r), func: FuncId(2), args: vec![] },
+                Inst::Bin { op: Opcode::Add, dst: r, a: Val::Reg(r), b: Val::Imm(1) },
+            ],
+            term: Terminator::Ret(Some(Val::Reg(r))),
+        };
+        let mut main = Function::new("main", 0, false);
+        let r2 = main.new_vreg();
+        main.blocks[0] = Block {
+            insts: vec![
+                Inst::Call { dst: Some(r2), func: FuncId(1), args: vec![] },
+                Inst::Bin { op: Opcode::Add, dst: r2, a: Val::Reg(r2), b: Val::Imm(1) },
+                Inst::Emit { val: Val::Reg(r2) },
+            ],
+            term: Terminator::Ret(None),
+        };
+        let mut m = Module { funcs: vec![main, g, h], globals: vec![], custom_ops: vec![] };
+        assert!(run(&mut m, &InlineConfig::default()));
+        assert_eq!(verify(&m), Ok(()));
+        assert_eq!(run_module(&m, "main", &[]).unwrap().output, vec![3]);
+        assert!(m.funcs[0]
+            .blocks
+            .iter()
+            .all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call { .. }))));
+    }
+
+    #[test]
+    fn locals_remap_when_inlined() {
+        // callee uses a local array; two inlined copies must not collide.
+        let mut callee = Function::new("f", 1, true);
+        callee.locals.push(crate::func::LocalData { name: "a".into(), words: 1 });
+        let t = callee.new_vreg();
+        callee.blocks[0] = Block {
+            insts: vec![
+                Inst::Store { val: Val::Reg(VReg(0)), addr: crate::inst::Addr::local(LocalSlot(0)) },
+                Inst::Load { dst: t, addr: crate::inst::Addr::local(LocalSlot(0)) },
+            ],
+            term: Terminator::Ret(Some(Val::Reg(t))),
+        };
+        let mut main = Function::new("main", 0, false);
+        let a = main.new_vreg();
+        let b = main.new_vreg();
+        main.blocks[0] = Block {
+            insts: vec![
+                Inst::Call { dst: Some(a), func: FuncId(1), args: vec![Val::Imm(7)] },
+                Inst::Call { dst: Some(b), func: FuncId(1), args: vec![Val::Imm(9)] },
+                Inst::Emit { val: Val::Reg(a) },
+                Inst::Emit { val: Val::Reg(b) },
+            ],
+            term: Terminator::Ret(None),
+        };
+        let mut m = Module { funcs: vec![main, callee], globals: vec![], custom_ops: vec![] };
+        run(&mut m, &InlineConfig::default());
+        assert_eq!(verify(&m), Ok(()));
+        assert_eq!(run_module(&m, "main", &[]).unwrap().output, vec![7, 9]);
+        assert_eq!(m.funcs[0].locals.len(), 2, "each inline site gets its own slot");
+    }
+
+    #[test]
+    fn dead_functions_dropped_and_calls_remapped() {
+        let mut m = sample();
+        // Add an unused function before the used one to force remapping.
+        let mut unused = Function::new("unused", 0, false);
+        unused.blocks[0].term = Terminator::Ret(None);
+        m.funcs.insert(1, unused);
+        // Fix main's call target after insertion (add3 moved to index 2).
+        if let Inst::Call { func, .. } = &mut m.funcs[0].blocks[0].insts[0] {
+            *func = FuncId(2);
+        }
+        assert_eq!(verify(&m), Ok(()));
+        assert!(drop_dead_funcs(&mut m, "main"));
+        assert_eq!(m.funcs.len(), 2);
+        assert_eq!(verify(&m), Ok(()));
+        assert_eq!(run_module(&m, "main", &[1]).unwrap().output, vec![111]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Application-specific custom operations ("specialized ALUs … special ops",
+//! paper §1.2).
+//!
+//! A custom operation is a small dataflow graph of base-ISA arithmetic nodes
+//! collapsed into one issue slot. The definition below is *executable*: the
+//! simulator interprets the stored graph, so any extension the ISE engine
+//! selects runs without simulator changes — this is what keeps the toolchain
+//! "mass customizable" end to end.
+
+use crate::op::{EvalError, Opcode};
+use std::fmt;
+
+/// Reference to a value inside a custom-operation dataflow graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatRef {
+    /// The i-th external input of the operation.
+    Input(u8),
+    /// The result of an earlier node in the graph.
+    Node(u16),
+    /// A constant folded into the datapath.
+    Const(i32),
+}
+
+impl fmt::Display for PatRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatRef::Input(i) => write!(f, "in{i}"),
+            PatRef::Node(n) => write!(f, "t{n}"),
+            PatRef::Const(c) => write!(f, "#{c}"),
+        }
+    }
+}
+
+/// One node of a custom datapath: a base arithmetic opcode applied to one or
+/// two earlier values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PatNode {
+    /// Base-ISA opcode computed by this node (must be pure arithmetic).
+    pub op: Opcode,
+    /// First operand.
+    pub a: PatRef,
+    /// Second operand (ignored by unary opcodes).
+    pub b: PatRef,
+}
+
+/// Errors from validating or evaluating a custom-operation definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CustomOpError {
+    /// A node references a node at or after its own position (not topological).
+    NotTopological(u16),
+    /// A node references an input index ≥ `num_inputs`.
+    BadInput(u8),
+    /// An output references a nonexistent node.
+    BadOutput(u16),
+    /// The graph is empty or exceeds implementation limits.
+    BadShape(String),
+    /// A node's opcode is not pure arithmetic.
+    NotArithmetic(Opcode),
+    /// Arithmetic error during evaluation (division by zero).
+    Eval(EvalError),
+    /// Wrong number of argument values supplied to `eval`.
+    WrongArity {
+        /// Arguments the definition requires.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for CustomOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CustomOpError::NotTopological(n) => {
+                write!(f, "node {n} references a later or equal node")
+            }
+            CustomOpError::BadInput(i) => write!(f, "reference to nonexistent input {i}"),
+            CustomOpError::BadOutput(n) => write!(f, "output references nonexistent node {n}"),
+            CustomOpError::BadShape(s) => write!(f, "malformed custom op: {s}"),
+            CustomOpError::NotArithmetic(op) => {
+                write!(f, "opcode {op} is not allowed in a custom datapath")
+            }
+            CustomOpError::Eval(e) => write!(f, "evaluation failed: {e}"),
+            CustomOpError::WrongArity { expected, got } => {
+                write!(f, "expected {expected} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CustomOpError {}
+
+impl From<EvalError> for CustomOpError {
+    fn from(e: EvalError) -> Self {
+        CustomOpError::Eval(e)
+    }
+}
+
+/// Maximum register-file read ports a custom operation may consume.
+pub const MAX_CUSTOM_INPUTS: usize = 4;
+/// Maximum register-file write ports a custom operation may consume.
+pub const MAX_CUSTOM_OUTPUTS: usize = 2;
+
+/// A complete, executable custom-operation definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomOpDef {
+    /// Mnemonic suffix for listings, e.g. `sadd16`.
+    pub name: String,
+    /// Number of external register inputs (≤ [`MAX_CUSTOM_INPUTS`]).
+    pub num_inputs: u8,
+    /// Datapath nodes in topological order.
+    pub nodes: Vec<PatNode>,
+    /// Which values the operation writes back (≤ [`MAX_CUSTOM_OUTPUTS`]).
+    pub outputs: Vec<PatRef>,
+    /// Pipelined latency in cycles, as estimated by [`CustomOpDef::estimate`].
+    pub latency: u32,
+    /// Datapath area in adder-equivalents, as estimated by `estimate`.
+    pub area: f64,
+}
+
+impl CustomOpDef {
+    /// Build a definition, estimating latency and area from the graph.
+    ///
+    /// # Errors
+    ///
+    /// Any structural [`CustomOpError`]; see [`CustomOpDef::validate`].
+    pub fn new(
+        name: &str,
+        num_inputs: u8,
+        nodes: Vec<PatNode>,
+        outputs: Vec<PatRef>,
+    ) -> Result<CustomOpDef, CustomOpError> {
+        let mut def = CustomOpDef {
+            name: name.to_string(),
+            num_inputs,
+            nodes,
+            outputs,
+            latency: 1,
+            area: 0.0,
+        };
+        def.validate()?;
+        let (lat, area) = def.estimate();
+        def.latency = lat;
+        def.area = area;
+        Ok(def)
+    }
+
+    /// Check structural invariants: topological node order, in-range
+    /// references, arity limits, arithmetic-only opcodes.
+    ///
+    /// # Errors
+    ///
+    /// The first violated invariant as a [`CustomOpError`].
+    pub fn validate(&self) -> Result<(), CustomOpError> {
+        if self.nodes.is_empty() {
+            return Err(CustomOpError::BadShape("no nodes".into()));
+        }
+        if self.nodes.len() > 64 {
+            return Err(CustomOpError::BadShape("more than 64 nodes".into()));
+        }
+        if self.num_inputs as usize > MAX_CUSTOM_INPUTS {
+            return Err(CustomOpError::BadShape(format!(
+                "{} inputs exceeds the {MAX_CUSTOM_INPUTS}-port limit",
+                self.num_inputs
+            )));
+        }
+        if self.outputs.is_empty() || self.outputs.len() > MAX_CUSTOM_OUTPUTS {
+            return Err(CustomOpError::BadShape(format!(
+                "{} outputs (must be 1..={MAX_CUSTOM_OUTPUTS})",
+                self.outputs.len()
+            )));
+        }
+        let check_ref = |r: PatRef, pos: usize| -> Result<(), CustomOpError> {
+            match r {
+                PatRef::Input(i) if i >= self.num_inputs => Err(CustomOpError::BadInput(i)),
+                PatRef::Node(n) if n as usize >= pos => Err(CustomOpError::NotTopological(n)),
+                _ => Ok(()),
+            }
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            let arity = node.op.num_srcs();
+            if !(arity == 1 || arity == 2) {
+                return Err(CustomOpError::NotArithmetic(node.op));
+            }
+            // Must be evaluable by eval1/eval2: probe classification.
+            let pure = if arity == 1 {
+                node.op.eval1(0).is_ok()
+            } else {
+                node.op.eval2(1, 1).is_ok()
+            };
+            if !pure {
+                return Err(CustomOpError::NotArithmetic(node.op));
+            }
+            check_ref(node.a, i)?;
+            if arity == 2 {
+                check_ref(node.b, i)?;
+            }
+        }
+        for &out in &self.outputs {
+            match out {
+                PatRef::Node(n) if (n as usize) < self.nodes.len() => {}
+                PatRef::Node(n) => return Err(CustomOpError::BadOutput(n)),
+                PatRef::Input(i) if i < self.num_inputs => {}
+                PatRef::Input(i) => return Err(CustomOpError::BadInput(i)),
+                PatRef::Const(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Estimate `(latency_cycles, area_adders)` from the datapath graph.
+    ///
+    /// Latency is the critical path through the nodes in ALU-delay units,
+    /// rounded up to whole cycles (a chain worth ≤ 1 ALU delay fits in one
+    /// cycle). Area is the sum of the node areas.
+    pub fn estimate(&self) -> (u32, f64) {
+        let mut depth = vec![0.0f64; self.nodes.len()];
+        let mut area = 0.0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            let din = |r: PatRef| -> f64 {
+                match r {
+                    PatRef::Node(n) => depth[n as usize],
+                    _ => 0.0,
+                }
+            };
+            let base = din(node.a).max(if node.op.num_srcs() == 2 { din(node.b) } else { 0.0 });
+            depth[i] = base + node.op.datapath_delay();
+            area += node.op.datapath_area();
+        }
+        let crit = depth.iter().cloned().fold(0.0, f64::max);
+        let latency = (crit / 1.0).ceil().max(1.0) as u32;
+        (latency, area)
+    }
+
+    /// Number of software operations the custom op replaces per use.
+    pub fn ops_replaced(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Execute the datapath on concrete argument values.
+    ///
+    /// # Errors
+    ///
+    /// [`CustomOpError::WrongArity`] when `args.len() != num_inputs`;
+    /// [`CustomOpError::Eval`] if a node divides by zero.
+    pub fn eval(&self, args: &[i32]) -> Result<Vec<i32>, CustomOpError> {
+        if args.len() != self.num_inputs as usize {
+            return Err(CustomOpError::WrongArity {
+                expected: self.num_inputs as usize,
+                got: args.len(),
+            });
+        }
+        let mut vals = vec![0i32; self.nodes.len()];
+        let read = |r: PatRef, vals: &[i32]| -> i32 {
+            match r {
+                PatRef::Input(i) => args[i as usize],
+                PatRef::Node(n) => vals[n as usize],
+                PatRef::Const(c) => c,
+            }
+        };
+        for (i, node) in self.nodes.iter().enumerate() {
+            let a = read(node.a, &vals);
+            vals[i] = if node.op.num_srcs() == 1 {
+                node.op.eval1(a)?
+            } else {
+                let b = read(node.b, &vals);
+                node.op.eval2(a, b)?
+            };
+        }
+        Ok(self.outputs.iter().map(|&o| read(o, &vals)).collect())
+    }
+
+    /// Render the datapath as a one-line expression listing for reports.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "{}(", self.name);
+        for i in 0..self.num_inputs {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "in{i}");
+        }
+        s.push_str("): ");
+        for (i, n) in self.nodes.iter().enumerate() {
+            if i > 0 {
+                s.push_str("; ");
+            }
+            if n.op.num_srcs() == 1 {
+                let _ = write!(s, "t{i}={} {}", n.op, n.a);
+            } else {
+                let _ = write!(s, "t{i}={} {},{}", n.op, n.a, n.b);
+            }
+        }
+        s.push_str(" -> ");
+        for (i, o) in self.outputs.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{o}");
+        }
+        s
+    }
+}
+
+impl fmt::Display for CustomOpDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A convenience constructor for hand-written custom ops in tests/examples:
+/// multiply-accumulate `dst = a * b + c`.
+pub fn mac_op() -> CustomOpDef {
+    CustomOpDef::new(
+        "mac",
+        3,
+        vec![
+            PatNode { op: Opcode::Mul, a: PatRef::Input(0), b: PatRef::Input(1) },
+            PatNode { op: Opcode::Add, a: PatRef::Node(0), b: PatRef::Input(2) },
+        ],
+        vec![PatRef::Node(1)],
+    )
+    .expect("mac is well formed")
+}
+
+/// Saturating 16-bit add `dst = clamp(a + b, -32768, 32767)` — the classic
+/// DSP special op.
+pub fn sat_add16() -> CustomOpDef {
+    CustomOpDef::new(
+        "sadd16",
+        2,
+        vec![
+            PatNode { op: Opcode::Add, a: PatRef::Input(0), b: PatRef::Input(1) },
+            PatNode { op: Opcode::Max, a: PatRef::Node(0), b: PatRef::Const(-32768) },
+            PatNode { op: Opcode::Min, a: PatRef::Node(1), b: PatRef::Const(32767) },
+        ],
+        vec![PatRef::Node(2)],
+    )
+    .expect("sadd16 is well formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_evaluates() {
+        let mac = mac_op();
+        assert_eq!(mac.eval(&[3, 4, 10]).unwrap(), vec![22]);
+        assert_eq!(mac.num_inputs, 3);
+        assert_eq!(mac.ops_replaced(), 2);
+    }
+
+    #[test]
+    fn sat_add_clamps() {
+        let op = sat_add16();
+        assert_eq!(op.eval(&[30000, 10000]).unwrap(), vec![32767]);
+        assert_eq!(op.eval(&[-30000, -10000]).unwrap(), vec![-32768]);
+        assert_eq!(op.eval(&[5, 6]).unwrap(), vec![11]);
+    }
+
+    #[test]
+    fn estimate_latency_grows_with_depth() {
+        let (lat_mac, area_mac) = mac_op().estimate();
+        assert!(lat_mac >= 2, "mul+add chain needs > 1 ALU delay");
+        assert!(area_mac > 9.0, "contains a multiplier");
+        let (lat_sat, _) = sat_add16().estimate();
+        assert!(lat_sat <= lat_mac);
+    }
+
+    #[test]
+    fn validation_catches_cycles_and_ranges() {
+        // Node referencing itself.
+        let bad = CustomOpDef {
+            name: "bad".into(),
+            num_inputs: 1,
+            nodes: vec![PatNode { op: Opcode::Add, a: PatRef::Node(0), b: PatRef::Input(0) }],
+            outputs: vec![PatRef::Node(0)],
+            latency: 1,
+            area: 1.0,
+        };
+        assert_eq!(bad.validate(), Err(CustomOpError::NotTopological(0)));
+
+        // Input out of range.
+        let bad = CustomOpDef {
+            name: "bad".into(),
+            num_inputs: 1,
+            nodes: vec![PatNode { op: Opcode::Add, a: PatRef::Input(2), b: PatRef::Input(0) }],
+            outputs: vec![PatRef::Node(0)],
+            latency: 1,
+            area: 1.0,
+        };
+        assert_eq!(bad.validate(), Err(CustomOpError::BadInput(2)));
+
+        // Output out of range.
+        let bad = CustomOpDef {
+            name: "bad".into(),
+            num_inputs: 1,
+            nodes: vec![PatNode { op: Opcode::Abs, a: PatRef::Input(0), b: PatRef::Input(0) }],
+            outputs: vec![PatRef::Node(7)],
+            latency: 1,
+            area: 1.0,
+        };
+        assert_eq!(bad.validate(), Err(CustomOpError::BadOutput(7)));
+    }
+
+    #[test]
+    fn validation_rejects_non_arithmetic_nodes() {
+        let bad = CustomOpDef::new(
+            "bad",
+            1,
+            vec![PatNode { op: Opcode::Ldw, a: PatRef::Input(0), b: PatRef::Input(0) }],
+            vec![PatRef::Node(0)],
+        );
+        assert!(matches!(bad, Err(CustomOpError::NotArithmetic(Opcode::Ldw))));
+    }
+
+    #[test]
+    fn eval_arity_checked() {
+        let mac = mac_op();
+        assert!(matches!(
+            mac.eval(&[1, 2]),
+            Err(CustomOpError::WrongArity { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn eval_propagates_divide_by_zero() {
+        let divop = CustomOpDef::new(
+            "d",
+            2,
+            vec![PatNode { op: Opcode::Div, a: PatRef::Input(0), b: PatRef::Input(1) }],
+            vec![PatRef::Node(0)],
+        )
+        .unwrap();
+        assert!(matches!(divop.eval(&[1, 0]), Err(CustomOpError::Eval(_))));
+        assert_eq!(divop.eval(&[9, 3]).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let s = mac_op().describe();
+        assert!(s.contains("mac(in0, in1, in2)"));
+        assert!(s.contains("mul"));
+        assert!(s.contains("-> t1"));
+    }
+
+    #[test]
+    fn two_output_op_supported() {
+        // divmod: returns both quotient and remainder.
+        let op = CustomOpDef::new(
+            "divmod",
+            2,
+            vec![
+                PatNode { op: Opcode::Div, a: PatRef::Input(0), b: PatRef::Input(1) },
+                PatNode { op: Opcode::Rem, a: PatRef::Input(0), b: PatRef::Input(1) },
+            ],
+            vec![PatRef::Node(0), PatRef::Node(1)],
+        )
+        .unwrap();
+        assert_eq!(op.eval(&[17, 5]).unwrap(), vec![3, 2]);
+    }
+}

@@ -1,0 +1,338 @@
+//! First-order hardware models: silicon area, cycle time and energy.
+//!
+//! These are the models that make customization *quantifiable*: every
+//! experiment that trades performance against cost (§2.2's "in about the chip
+//! area required for a RISC processor, we can build a 4-issue customized
+//! VLIW", the clustering trade-off, the power argument of §1.2) evaluates a
+//! machine description through this module. Constants are calibrated to a
+//! late-1990s 0.25 µm process so the absolute numbers land in the range the
+//! paper's audience would recognize; all conclusions drawn from them are
+//! *relative*.
+
+use crate::machine::MachineDescription;
+use crate::op::FuKind;
+
+/// Area in mm² of one functional unit of the given kind (0.25 µm process).
+pub fn fu_area_mm2(kind: FuKind) -> f64 {
+    match kind {
+        FuKind::Alu => 0.35,
+        FuKind::Mul => 1.60,
+        FuKind::Mem => 0.80,
+        FuKind::Branch => 0.30,
+        FuKind::Custom => 0.10, // port/control overhead; datapaths add per-op
+    }
+}
+
+/// Area in mm² per adder-equivalent of custom datapath.
+pub const CUSTOM_AREA_PER_ADDER: f64 = 0.12;
+
+/// Breakdown of a machine's silicon area, all in mm².
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Fixed core overhead: sequencer, fetch, SP/LR, bus interface.
+    pub base: f64,
+    /// Functional units across all clusters.
+    pub fus: f64,
+    /// Register files (grows with size × ports²).
+    pub regfile: f64,
+    /// Decode/dispersal logic per issue slot.
+    pub decode: f64,
+    /// Selected custom-operation datapaths.
+    pub custom: f64,
+    /// Instruction cache.
+    pub icache: f64,
+    /// Binary-compatibility control (rename/issue/reorder) — zero for an
+    /// exposed VLIW, the paper's §2.2 point.
+    pub compat: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in mm².
+    pub fn total(&self) -> f64 {
+        self.base + self.fus + self.regfile + self.decode + self.custom + self.icache + self.compat
+    }
+}
+
+/// Compute the area model for a machine description.
+pub fn area(m: &MachineDescription) -> AreaBreakdown {
+    let clusters = f64::from(m.clusters);
+    let spc = m.slots_per_cluster() as f64;
+
+    let mut fus = 0.0;
+    for slot in &m.slots {
+        for &k in slot.kinds() {
+            fus += fu_area_mm2(k);
+        }
+    }
+    fus *= clusters;
+
+    // Ports: 2 reads + 1 write per slot in the cluster.
+    let ports = 3.0 * spc;
+    let regfile =
+        clusters * (f64::from(m.regs_per_cluster) * ports * ports * 0.000_55 + 0.05);
+
+    let decode = 0.15 * spc * clusters;
+
+    let custom: f64 =
+        m.custom_ops.iter().map(|c| c.area * CUSTOM_AREA_PER_ADDER).sum();
+
+    let icache = m
+        .icache
+        .map(|c| f64::from(c.size_bytes) / 1024.0 * 0.08 + f64::from(c.ways) * 0.02)
+        .unwrap_or(0.0);
+
+    let width = spc * clusters;
+    // Rename tables, wakeup/select and a reorder buffer were roughly half
+    // the core of a late-90s compatible superscalar; grows quadratically
+    // with issue width.
+    let compat = if m.compat_control { 1.5 + 1.0 * width * width } else { 0.0 };
+
+    AreaBreakdown { base: 1.0, fus, regfile, decode, custom, icache, compat }
+}
+
+/// Cycle-time model in nanoseconds: the clock is set by the slowest of the
+/// ALU path, the register-file read, the bypass network and (if present)
+/// the compatibility-control pipe stage.
+///
+/// Clustering shortens the register-file and bypass paths — this is how the
+/// model captures §2.2's "critical paths in the hardware are far shorter,
+/// the cycle time faster".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleTime {
+    /// ALU compute path, ns.
+    pub alu_path: f64,
+    /// Register file read path, ns.
+    pub regfile_path: f64,
+    /// Full-bypass network path, ns.
+    pub bypass_path: f64,
+    /// Extra control depth for compatibility hardware, ns.
+    pub compat_path: f64,
+}
+
+impl CycleTime {
+    /// The clock period in ns.
+    pub fn period_ns(&self) -> f64 {
+        self.alu_path
+            .max(self.regfile_path)
+            .max(self.bypass_path)
+            .max(self.compat_path)
+    }
+
+    /// Clock frequency in MHz.
+    pub fn freq_mhz(&self) -> f64 {
+        1000.0 / self.period_ns()
+    }
+}
+
+/// Compute the cycle-time model for a machine description.
+pub fn cycle_time(m: &MachineDescription) -> CycleTime {
+    let spc = m.slots_per_cluster() as f64;
+    let regs = f64::from(m.regs_per_cluster);
+    let ports = 3.0 * spc;
+    CycleTime {
+        alu_path: 1.0,
+        regfile_path: 0.45 + 0.08 * regs.log2().max(0.0) + 0.035 * ports,
+        bypass_path: 0.20 + 0.04 * spc * spc,
+        compat_path: if m.compat_control { 1.0 + 0.12 * spc * spc } else { 0.0 },
+    }
+}
+
+/// Dynamic activity counts produced by the simulator, consumed by the energy
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ActivityCounts {
+    /// Executed ALU-class operations.
+    pub alu_ops: u64,
+    /// Executed multiplier operations.
+    pub mul_ops: u64,
+    /// Executed divide/remainder operations.
+    pub div_ops: u64,
+    /// Executed loads and stores.
+    pub mem_ops: u64,
+    /// Executed branch-unit operations.
+    pub branch_ops: u64,
+    /// Executed inter-cluster copies.
+    pub copy_ops: u64,
+    /// Executed custom operations.
+    pub custom_ops: u64,
+    /// Custom-op energy weight: Σ area(op) over executions.
+    pub custom_area_executed: u64,
+    /// Bundles fetched.
+    pub bundles: u64,
+    /// Instruction bytes fetched (encoding-dependent).
+    pub fetch_bytes: u64,
+    /// Issue slots that were empty in fetched bundles.
+    pub idle_slots: u64,
+    /// Total cycles, including stalls.
+    pub cycles: u64,
+}
+
+/// Energy report in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Functional-unit switching energy.
+    pub compute_nj: f64,
+    /// Instruction fetch/decode energy.
+    pub fetch_nj: f64,
+    /// Register-file access energy.
+    pub regfile_nj: f64,
+    /// Idle-slot clocking energy (zero when the machine gates idle slots).
+    pub idle_nj: f64,
+    /// Leakage over the run.
+    pub leakage_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.compute_nj + self.fetch_nj + self.regfile_nj + self.idle_nj + self.leakage_nj
+    }
+}
+
+/// Per-operation energies, pJ (0.25 µm class).
+mod pj {
+    pub const ALU: f64 = 8.0;
+    pub const MUL: f64 = 28.0;
+    pub const DIV: f64 = 40.0;
+    pub const MEM: f64 = 25.0;
+    pub const BRANCH: f64 = 6.0;
+    pub const COPY: f64 = 10.0;
+    pub const CUSTOM_PER_ADDER: f64 = 2.0;
+    pub const FETCH_PER_BYTE: f64 = 0.9;
+    pub const FETCH_PER_BUNDLE: f64 = 4.0;
+    pub const IDLE_SLOT: f64 = 2.0;
+    pub const REG_ACCESS: f64 = 1.6;
+}
+
+/// Evaluate the energy model for a run.
+pub fn energy(m: &MachineDescription, act: &ActivityCounts) -> EnergyBreakdown {
+    let compute_pj = act.alu_ops as f64 * pj::ALU
+        + act.mul_ops as f64 * pj::MUL
+        + act.div_ops as f64 * pj::DIV
+        + act.mem_ops as f64 * pj::MEM
+        + act.branch_ops as f64 * pj::BRANCH
+        + act.copy_ops as f64 * pj::COPY
+        + act.custom_area_executed as f64 * pj::CUSTOM_PER_ADDER;
+
+    let fetch_pj = act.bundles as f64 * pj::FETCH_PER_BUNDLE
+        + act.fetch_bytes as f64 * pj::FETCH_PER_BYTE;
+
+    let total_ops = act.alu_ops
+        + act.mul_ops
+        + act.div_ops
+        + act.mem_ops
+        + act.branch_ops
+        + act.copy_ops
+        + act.custom_ops;
+    // ~2 reads + 1 write per op; port cost grows weakly with file size.
+    let reg_pj = total_ops as f64
+        * 3.0
+        * (pj::REG_ACCESS * (1.0 + 0.02 * f64::from(m.regs_per_cluster).sqrt()));
+
+    let idle_pj =
+        if m.gate_idle_slots { 0.0 } else { act.idle_slots as f64 * pj::IDLE_SLOT };
+
+    // Leakage: 0.04 mW per mm² → pJ = mW × ns.
+    let period = cycle_time(m).period_ns();
+    let leak_pj = area(m).total() * 0.04 * act.cycles as f64 * period;
+
+    EnergyBreakdown {
+        compute_nj: compute_pj / 1000.0,
+        fetch_nj: fetch_pj / 1000.0,
+        regfile_nj: reg_pj / 1000.0,
+        idle_nj: idle_pj / 1000.0,
+        leakage_nj: leak_pj / 1000.0,
+    }
+}
+
+/// Convenience: wall-clock seconds for a run of `cycles` on machine `m`.
+pub fn seconds(m: &MachineDescription, cycles: u64) -> f64 {
+    cycles as f64 * cycle_time(m).period_ns() * 1e-9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::custom::mac_op;
+
+    #[test]
+    fn vliw4_fits_in_risc_compat_area() {
+        // The §2.2 claim: a 4-issue exposed VLIW is about the area of a
+        // compatible (control-heavy) narrower machine.
+        let vliw = area(&MachineDescription::ember4()).total();
+        let compat = area(&MachineDescription::massmarket()).total();
+        assert!(
+            vliw <= compat * 1.15,
+            "ember4 ({vliw:.2} mm²) should be within 15% of massmarket ({compat:.2} mm²)"
+        );
+    }
+
+    #[test]
+    fn area_grows_with_width() {
+        let a1 = area(&MachineDescription::ember1()).total();
+        let a4 = area(&MachineDescription::ember4()).total();
+        let a8 = area(&MachineDescription::ember8()).total();
+        assert!(a1 < a4 && a4 < a8);
+    }
+
+    #[test]
+    fn clustering_reduces_regfile_area_and_cycle() {
+        let unified = MachineDescription::ember4();
+        let clustered = MachineDescription::ember4x2();
+        assert!(
+            area(&clustered).regfile < area(&unified).regfile,
+            "2×(16 regs, 6 ports) must be smaller than 1×(32 regs, 12 ports)"
+        );
+        assert!(cycle_time(&clustered).period_ns() < cycle_time(&unified).period_ns());
+    }
+
+    #[test]
+    fn compat_control_costs_area_and_cycle() {
+        let mm = MachineDescription::massmarket();
+        let stripped = mm.derive("stripped", |m| m.compat_control = false);
+        assert!(area(&mm).compat > 1.0);
+        assert!(area(&stripped).compat == 0.0);
+        assert!(cycle_time(&mm).period_ns() > cycle_time(&stripped).period_ns());
+    }
+
+    #[test]
+    fn custom_ops_add_area() {
+        let base = MachineDescription::ember4();
+        let with = base.derive("w", |m| m.custom_ops.push(mac_op()));
+        assert!(area(&with).custom > area(&base).custom);
+        assert!(area(&with).total() > area(&base).total());
+    }
+
+    #[test]
+    fn energy_scales_with_activity() {
+        let m = MachineDescription::ember4();
+        let mut a = ActivityCounts { alu_ops: 1000, cycles: 500, bundles: 500, ..Default::default() };
+        let e1 = energy(&m, &a).total_nj();
+        a.alu_ops = 2000;
+        let e2 = energy(&m, &a).total_nj();
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn idle_gating_saves_energy() {
+        let gated = MachineDescription::ember4();
+        let ungated = gated.derive("u", |m| m.gate_idle_slots = false);
+        let act = ActivityCounts {
+            alu_ops: 100,
+            bundles: 100,
+            idle_slots: 300,
+            cycles: 100,
+            ..Default::default()
+        };
+        assert!(energy(&ungated, &act).total_nj() > energy(&gated, &act).total_nj());
+    }
+
+    #[test]
+    fn freq_and_seconds_consistent() {
+        let m = MachineDescription::ember1();
+        let ct = cycle_time(&m);
+        assert!(ct.freq_mhz() > 100.0 && ct.freq_mhz() < 2000.0);
+        let s = seconds(&m, 1_000_000);
+        assert!((s - 1e6 * ct.period_ns() * 1e-9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,604 @@
+//! The operation repertoire shared by every member of an architecture family.
+//!
+//! A customized-ISA family (in the sense of Fisher's DAC-99 paper) shares one
+//! *base* operation set; family members differ in how many of each functional
+//! unit they expose, their latencies, register files, clusters, encodings and
+//! in which *custom* operations (selected per application) they add. This
+//! module defines that base repertoire together with its exact arithmetic
+//! semantics, which are reused verbatim by the IR constant folder, the
+//! custom-operation datapath evaluator and the cycle-level simulator — so the
+//! three can never disagree about what an operation computes.
+
+use std::fmt;
+
+/// A machine-level operation of the base ISA (plus the `Custom` escape).
+///
+/// Arithmetic is 32-bit two's complement with wrapping overflow, matching the
+/// embedded cores of the paper's era. Shift counts are taken modulo 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Opcode {
+    // --- integer ALU (1-cycle class) ---
+    /// `dst = a + b` (wrapping).
+    Add,
+    /// `dst = a - b` (wrapping).
+    Sub,
+    /// `dst = a & b`.
+    And,
+    /// `dst = a | b`.
+    Or,
+    /// `dst = a ^ b`.
+    Xor,
+    /// `dst = a << (b & 31)`.
+    Shl,
+    /// `dst = (a as u32) >> (b & 31)` — logical right shift.
+    Shr,
+    /// `dst = a >> (b & 31)` — arithmetic right shift.
+    Sra,
+    /// `dst = min(a, b)` signed.
+    Min,
+    /// `dst = max(a, b)` signed.
+    Max,
+    /// `dst = |a|` (wrapping; `|i32::MIN| == i32::MIN`).
+    Abs,
+    /// Sign-extend the low 8 bits of `a`.
+    Sxtb,
+    /// Sign-extend the low 16 bits of `a`.
+    Sxth,
+    /// `dst = (a == b) as i32`.
+    CmpEq,
+    /// `dst = (a != b) as i32`.
+    CmpNe,
+    /// `dst = (a < b) as i32` signed.
+    CmpLt,
+    /// `dst = (a <= b) as i32` signed.
+    CmpLe,
+    /// `dst = (a > b) as i32` signed.
+    CmpGt,
+    /// `dst = (a >= b) as i32` signed.
+    CmpGe,
+    /// `dst = ((a as u32) < (b as u32)) as i32`.
+    CmpLtu,
+    /// `dst = ((a as u32) >= (b as u32)) as i32`.
+    CmpGeu,
+    /// `dst = if c != 0 { a } else { b }` — the if-conversion workhorse.
+    Select,
+    /// `dst = a` (register move or immediate load).
+    Mov,
+
+    // --- multiplier unit (pipelined, configurable latency) ---
+    /// `dst = a * b` (wrapping, low 32 bits).
+    Mul,
+    /// `dst = high 32 bits of (a as i64 * b as i64)`.
+    MulH,
+
+    // --- divide unit (iterative, long latency; hosted on the Mul FU) ---
+    /// `dst = a / b` truncating like C99. Division by zero traps the machine.
+    Div,
+    /// `dst = a % b` truncating like C99. Division by zero traps the machine.
+    Rem,
+
+    // --- memory unit (word-addressed; one word = one i32) ---
+    /// `dst = mem[a + off]`.
+    Ldw,
+    /// `mem[b + off] = a`.
+    Stw,
+
+    // --- branch unit ---
+    /// Unconditional jump to bundle `target`.
+    Br,
+    /// Jump to `target` when `a != 0`.
+    BrT,
+    /// Jump to `target` when `a == 0`.
+    BrF,
+    /// Call function `target` (by function id): `LR <- return bundle`.
+    Call,
+    /// Return: jump to `LR`.
+    Ret,
+    /// Stop the machine; simulation ends successfully.
+    Halt,
+
+    // --- special registers & I/O ---
+    /// `dst = SP` (read the stack pointer into a GPR).
+    MovFromSp,
+    /// `SP += imm` (frame push/pop).
+    AddSp,
+    /// `dst = LR` (spill the link register around nested calls).
+    MovFromLr,
+    /// `LR = a` (restore the link register).
+    MovToLr,
+    /// Append `a` to the simulator's output stream (the TinyC `emit` builtin).
+    Emit,
+
+    // --- inter-cluster transfer ---
+    /// Copy a register from another cluster into this one.
+    CopyX,
+
+    /// An application-specific operation selected by the ISE engine; the
+    /// payload indexes the program's custom-operation library.
+    Custom(u16),
+
+    /// Empty issue slot.
+    Nop,
+}
+
+/// Functional-unit kinds a slot can host.
+///
+/// The slot layout of a [`crate::MachineDescription`] maps each issue slot to
+/// a set of these; an operation may only be scheduled on a slot hosting its
+/// [`Opcode::fu_kind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FuKind {
+    /// Simple integer ALU (also executes compares, selects, moves and the
+    /// special-register transfers).
+    Alu,
+    /// Pipelined multiplier; also hosts the iterative divider.
+    Mul,
+    /// Load/store unit.
+    Mem,
+    /// Branch/call/return unit (also `Emit` and `Halt`).
+    Branch,
+    /// Application-specific custom datapath(s).
+    Custom,
+}
+
+impl fmt::Display for FuKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuKind::Alu => "alu",
+            FuKind::Mul => "mul",
+            FuKind::Mem => "mem",
+            FuKind::Branch => "branch",
+            FuKind::Custom => "custom",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FuKind {
+    /// All functional-unit kinds, in display order.
+    pub const ALL: [FuKind; 5] = [
+        FuKind::Alu,
+        FuKind::Mul,
+        FuKind::Mem,
+        FuKind::Branch,
+        FuKind::Custom,
+    ];
+
+    /// Parse the lowercase name used by the machine-description DSL.
+    pub fn from_name(s: &str) -> Option<FuKind> {
+        Some(match s {
+            "alu" => FuKind::Alu,
+            "mul" => FuKind::Mul,
+            "mem" => FuKind::Mem,
+            "branch" => FuKind::Branch,
+            "custom" => FuKind::Custom,
+            _ => return None,
+        })
+    }
+}
+
+/// Latency classes used by the per-machine latency table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatClass {
+    /// One-cycle ALU class.
+    Alu,
+    /// Multiplier class.
+    Mul,
+    /// Divider class.
+    Div,
+    /// Load class (stores complete in one cycle into the store buffer).
+    Mem,
+    /// Branch class.
+    Branch,
+    /// Inter-cluster copy class.
+    Copy,
+    /// Custom operation — latency comes from the custom-op definition.
+    Custom,
+}
+
+/// Error produced when evaluating an operation's arithmetic semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalError {
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// The opcode has no pure arithmetic semantics (memory, control, ...).
+    NotArithmetic,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::DivideByZero => f.write_str("integer division by zero"),
+            EvalError::NotArithmetic => f.write_str("opcode has no arithmetic semantics"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Opcode {
+    /// The functional-unit kind required to execute this operation.
+    pub fn fu_kind(self) -> FuKind {
+        use Opcode::*;
+        match self {
+            Add | Sub | And | Or | Xor | Shl | Shr | Sra | Min | Max | Abs | Sxtb | Sxth
+            | CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe | CmpLtu | CmpGeu | Select | Mov
+            | MovFromSp | AddSp | MovFromLr | MovToLr | CopyX | Nop => FuKind::Alu,
+            Mul | MulH | Div | Rem => FuKind::Mul,
+            Ldw | Stw => FuKind::Mem,
+            Br | BrT | BrF | Call | Ret | Halt | Emit => FuKind::Branch,
+            Custom(_) => FuKind::Custom,
+        }
+    }
+
+    /// The latency class looked up in a machine's latency table.
+    pub fn lat_class(self) -> LatClass {
+        use Opcode::*;
+        match self {
+            Mul | MulH => LatClass::Mul,
+            Div | Rem => LatClass::Div,
+            Ldw | Stw => LatClass::Mem,
+            Br | BrT | BrF | Call | Ret | Halt => LatClass::Branch,
+            CopyX => LatClass::Copy,
+            Custom(_) => LatClass::Custom,
+            _ => LatClass::Alu,
+        }
+    }
+
+    /// Number of register/immediate value operands the opcode consumes
+    /// (excluding branch targets and memory offsets, which are immediates
+    /// attached to the machine operation itself).
+    pub fn num_srcs(self) -> usize {
+        use Opcode::*;
+        match self {
+            Nop | Br | Call | Ret | Halt | AddSp | MovFromSp | MovFromLr => 0,
+            Abs | Sxtb | Sxth | Mov | BrT | BrF | Emit | MovToLr | CopyX | Ldw => 1,
+            Select => 3,
+            Stw => 2, // value, base
+            Custom(_) => usize::MAX, // variable; checked against the definition
+            _ => 2,
+        }
+    }
+
+    /// Whether the opcode writes a general-purpose destination register.
+    pub fn has_dst(self) -> bool {
+        use Opcode::*;
+        !matches!(
+            self,
+            Stw | Br | BrT | BrF | Call | Ret | Halt | Emit | AddSp | MovToLr | Nop
+        ) || matches!(self, Custom(_))
+    }
+
+    /// Whether the two source operands may be swapped without changing the
+    /// result — used by canonicalization and value numbering.
+    pub fn is_commutative(self) -> bool {
+        use Opcode::*;
+        matches!(
+            self,
+            Add | And | Or | Xor | Min | Max | Mul | MulH | CmpEq | CmpNe
+        )
+    }
+
+    /// Whether the operation is free of side effects and traps, and may
+    /// therefore be executed speculatively (moved above a branch).
+    pub fn is_speculable(self) -> bool {
+        use Opcode::*;
+        match self {
+            Div | Rem => false, // may trap on zero
+            Ldw => false,       // may fault on a wild address
+            Stw | Br | BrT | BrF | Call | Ret | Halt | Emit | AddSp | MovToLr | CopyX => false,
+            Custom(_) => false, // conservatively: may contain div
+            _ => true,
+        }
+    }
+
+    /// Whether this is a control-transfer operation (at most one per bundle,
+    /// always terminating the bundle's semantic effect).
+    pub fn is_control(self) -> bool {
+        use Opcode::*;
+        matches!(self, Br | BrT | BrF | Call | Ret | Halt)
+    }
+
+    /// Whether the machine operation carries a branch-target field.
+    pub fn has_target(self) -> bool {
+        use Opcode::*;
+        matches!(self, Br | BrT | BrF | Call)
+    }
+
+    /// Whether the machine operation carries an immediate field (memory
+    /// offset, SP adjustment, or immediate operand for `Mov`).
+    pub fn has_imm_field(self) -> bool {
+        use Opcode::*;
+        matches!(self, Ldw | Stw | AddSp)
+    }
+
+    /// Mnemonic used in assembly listings and the description DSL.
+    pub fn mnemonic(self) -> &'static str {
+        use Opcode::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Shl => "shl",
+            Shr => "shr",
+            Sra => "sra",
+            Min => "min",
+            Max => "max",
+            Abs => "abs",
+            Sxtb => "sxtb",
+            Sxth => "sxth",
+            CmpEq => "cmpeq",
+            CmpNe => "cmpne",
+            CmpLt => "cmplt",
+            CmpLe => "cmple",
+            CmpGt => "cmpgt",
+            CmpGe => "cmpge",
+            CmpLtu => "cmpltu",
+            CmpGeu => "cmpgeu",
+            Select => "slct",
+            Mov => "mov",
+            Mul => "mul",
+            MulH => "mulh",
+            Div => "div",
+            Rem => "rem",
+            Ldw => "ldw",
+            Stw => "stw",
+            Br => "br",
+            BrT => "brt",
+            BrF => "brf",
+            Call => "call",
+            Ret => "ret",
+            Halt => "halt",
+            MovFromSp => "rdsp",
+            AddSp => "addsp",
+            MovFromLr => "rdlr",
+            MovToLr => "wrlr",
+            Emit => "emit",
+            CopyX => "copyx",
+            Custom(_) => "cust",
+            Nop => "nop",
+        }
+    }
+
+    /// The pure binary ALU/MUL/DIV opcodes — the candidate node set for
+    /// custom-instruction pattern enumeration.
+    pub const BINARY_ARITH: [Opcode; 22] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Sra,
+        Opcode::Min,
+        Opcode::Max,
+        Opcode::CmpEq,
+        Opcode::CmpNe,
+        Opcode::CmpLt,
+        Opcode::CmpLe,
+        Opcode::CmpGt,
+        Opcode::CmpGe,
+        Opcode::CmpLtu,
+        Opcode::CmpGeu,
+        Opcode::Mul,
+        Opcode::MulH,
+        Opcode::Div,
+        Opcode::Rem,
+    ];
+
+    /// Evaluate a two-operand arithmetic opcode on concrete values.
+    ///
+    /// This is the single source of truth for operation semantics: the IR
+    /// constant folder, the custom-datapath evaluator and the simulator all
+    /// call it.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::DivideByZero`] for `Div`/`Rem` with `b == 0`;
+    /// [`EvalError::NotArithmetic`] if the opcode is not a two-operand
+    /// arithmetic operation.
+    pub fn eval2(self, a: i32, b: i32) -> Result<i32, EvalError> {
+        use Opcode::*;
+        Ok(match self {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            Shl => a.wrapping_shl(b as u32 & 31),
+            Shr => ((a as u32).wrapping_shr(b as u32 & 31)) as i32,
+            Sra => a.wrapping_shr(b as u32 & 31),
+            Min => a.min(b),
+            Max => a.max(b),
+            CmpEq => (a == b) as i32,
+            CmpNe => (a != b) as i32,
+            CmpLt => (a < b) as i32,
+            CmpLe => (a <= b) as i32,
+            CmpGt => (a > b) as i32,
+            CmpGe => (a >= b) as i32,
+            CmpLtu => ((a as u32) < (b as u32)) as i32,
+            CmpGeu => ((a as u32) >= (b as u32)) as i32,
+            Mul => a.wrapping_mul(b),
+            MulH => ((a as i64).wrapping_mul(b as i64) >> 32) as i32,
+            Div => {
+                if b == 0 {
+                    return Err(EvalError::DivideByZero);
+                }
+                a.wrapping_div(b)
+            }
+            Rem => {
+                if b == 0 {
+                    return Err(EvalError::DivideByZero);
+                }
+                a.wrapping_rem(b)
+            }
+            _ => return Err(EvalError::NotArithmetic),
+        })
+    }
+
+    /// Evaluate a one-operand arithmetic opcode.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::NotArithmetic`] if the opcode is not a unary operation.
+    pub fn eval1(self, a: i32) -> Result<i32, EvalError> {
+        use Opcode::*;
+        Ok(match self {
+            Abs => a.wrapping_abs(),
+            Sxtb => a as i8 as i32,
+            Sxth => a as i16 as i32,
+            Mov => a,
+            _ => return Err(EvalError::NotArithmetic),
+        })
+    }
+
+    /// Hardware latency of this operation *as a custom-datapath node*, in
+    /// sub-cycle delay units (1.0 = one ALU delay). Used to estimate the
+    /// pipelined latency and the area of a selected custom operation.
+    pub fn datapath_delay(self) -> f64 {
+        use Opcode::*;
+        match self {
+            And | Or | Xor | Sxtb | Sxth | Mov | Select => 0.35,
+            Add | Sub | Min | Max | Abs | CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe
+            | CmpLtu | CmpGeu => 1.0,
+            Shl | Shr | Sra => 0.6,
+            Mul | MulH => 1.9,
+            Div | Rem => 10.0,
+            _ => 1.0,
+        }
+    }
+
+    /// Relative silicon area of this operation as a custom-datapath node
+    /// (1.0 = one 32-bit adder).
+    pub fn datapath_area(self) -> f64 {
+        use Opcode::*;
+        match self {
+            And | Or | Xor | Sxtb | Sxth | Mov => 0.15,
+            Select => 0.25,
+            Add | Sub | Abs => 1.0,
+            Min | Max => 1.3,
+            CmpEq | CmpNe | CmpLt | CmpLe | CmpGt | CmpGe | CmpLtu | CmpGeu => 0.7,
+            Shl | Shr | Sra => 1.6,
+            Mul | MulH => 9.0,
+            Div | Rem => 12.0,
+            _ => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Opcode::Custom(k) = self {
+            write!(f, "cust{k}")
+        } else {
+            f.write_str(self.mnemonic())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval2_basic_arithmetic() {
+        assert_eq!(Opcode::Add.eval2(2, 3), Ok(5));
+        assert_eq!(Opcode::Sub.eval2(2, 3), Ok(-1));
+        assert_eq!(Opcode::Mul.eval2(-4, 3), Ok(-12));
+        assert_eq!(Opcode::Add.eval2(i32::MAX, 1), Ok(i32::MIN));
+    }
+
+    #[test]
+    fn eval2_shifts_mask_count() {
+        assert_eq!(Opcode::Shl.eval2(1, 33), Ok(2));
+        assert_eq!(Opcode::Shr.eval2(-1, 28), Ok(0xF));
+        assert_eq!(Opcode::Sra.eval2(-8, 2), Ok(-2));
+    }
+
+    #[test]
+    fn eval2_unsigned_compares() {
+        assert_eq!(Opcode::CmpLtu.eval2(-1, 1), Ok(0)); // 0xFFFF_FFFF < 1 is false
+        assert_eq!(Opcode::CmpGeu.eval2(-1, 1), Ok(1));
+        assert_eq!(Opcode::CmpLt.eval2(-1, 1), Ok(1));
+    }
+
+    #[test]
+    fn eval2_division_semantics() {
+        assert_eq!(Opcode::Div.eval2(7, 2), Ok(3));
+        assert_eq!(Opcode::Div.eval2(-7, 2), Ok(-3)); // C99 truncation
+        assert_eq!(Opcode::Rem.eval2(-7, 2), Ok(-1));
+        assert_eq!(Opcode::Div.eval2(1, 0), Err(EvalError::DivideByZero));
+        assert_eq!(Opcode::Rem.eval2(1, 0), Err(EvalError::DivideByZero));
+        // i32::MIN / -1 must not panic.
+        assert_eq!(Opcode::Div.eval2(i32::MIN, -1), Ok(i32::MIN));
+    }
+
+    #[test]
+    fn eval2_mulh() {
+        assert_eq!(Opcode::MulH.eval2(1 << 20, 1 << 20), Ok(1 << 8));
+        assert_eq!(Opcode::MulH.eval2(-1, -1), Ok(0));
+    }
+
+    #[test]
+    fn eval1_unary() {
+        assert_eq!(Opcode::Abs.eval1(-5), Ok(5));
+        assert_eq!(Opcode::Abs.eval1(i32::MIN), Ok(i32::MIN));
+        assert_eq!(Opcode::Sxtb.eval1(0x1FF), Ok(-1));
+        assert_eq!(Opcode::Sxth.eval1(0x1_FFFF), Ok(-1));
+        assert_eq!(Opcode::Mov.eval1(42), Ok(42));
+        assert_eq!(Opcode::Add.eval1(1), Err(EvalError::NotArithmetic));
+    }
+
+    #[test]
+    fn commutativity_is_sound() {
+        for op in Opcode::BINARY_ARITH {
+            if op.is_commutative() {
+                for (a, b) in [(3, 5), (-7, 2), (i32::MIN, -1), (0, 9)] {
+                    assert_eq!(op.eval2(a, b), op.eval2(b, a), "{op} not commutative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fu_kind_classification() {
+        assert_eq!(Opcode::Add.fu_kind(), FuKind::Alu);
+        assert_eq!(Opcode::Mul.fu_kind(), FuKind::Mul);
+        assert_eq!(Opcode::Div.fu_kind(), FuKind::Mul);
+        assert_eq!(Opcode::Ldw.fu_kind(), FuKind::Mem);
+        assert_eq!(Opcode::Br.fu_kind(), FuKind::Branch);
+        assert_eq!(Opcode::Custom(3).fu_kind(), FuKind::Custom);
+    }
+
+    #[test]
+    fn speculability_excludes_side_effects() {
+        assert!(Opcode::Add.is_speculable());
+        assert!(Opcode::Select.is_speculable());
+        assert!(!Opcode::Div.is_speculable());
+        assert!(!Opcode::Ldw.is_speculable());
+        assert!(!Opcode::Stw.is_speculable());
+        assert!(!Opcode::Emit.is_speculable());
+    }
+
+    #[test]
+    fn dst_and_src_arity() {
+        assert!(Opcode::Add.has_dst());
+        assert!(!Opcode::Stw.has_dst());
+        assert!(!Opcode::Br.has_dst());
+        assert!(Opcode::Custom(0).has_dst());
+        assert_eq!(Opcode::Select.num_srcs(), 3);
+        assert_eq!(Opcode::Stw.num_srcs(), 2);
+        assert_eq!(Opcode::Ldw.num_srcs(), 1);
+    }
+
+    #[test]
+    fn fukind_name_roundtrip() {
+        for k in FuKind::ALL {
+            assert_eq!(FuKind::from_name(&k.to_string()), Some(k));
+        }
+        assert_eq!(FuKind::from_name("bogus"), None);
+    }
+}

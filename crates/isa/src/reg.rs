@@ -1,0 +1,121 @@
+//! Physical register names and operands of the machine code.
+
+use std::fmt;
+
+/// A physical general-purpose register: cluster number plus index within the
+/// cluster's register file.
+///
+/// Register `c0.r0` is hardwired to zero (reads return 0, writes are
+/// discarded), the classic embedded-RISC convention; it doubles as the base
+/// register for absolute addressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg {
+    /// Cluster the register belongs to.
+    pub cluster: u8,
+    /// Index within the cluster's register file.
+    pub index: u16,
+}
+
+impl Reg {
+    /// Construct a register name.
+    pub fn new(cluster: u8, index: u16) -> Reg {
+        Reg { cluster, index }
+    }
+
+    /// The hardwired-zero register `c0.r0`.
+    pub const ZERO: Reg = Reg { cluster: 0, index: 0 };
+
+    /// The return-value register of the calling convention, `c0.r1`.
+    pub const RETVAL: Reg = Reg { cluster: 0, index: 1 };
+
+    /// Whether this is the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self == Reg::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cluster == 0 {
+            write!(f, "r{}", self.index)
+        } else {
+            write!(f, "c{}.r{}", self.cluster, self.index)
+        }
+    }
+}
+
+/// A source operand of a machine operation: a register or a 32-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read a physical register.
+    Reg(Reg),
+    /// A literal value encoded in the instruction.
+    Imm(i32),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// The immediate carried by this operand, if any.
+    pub fn imm(self) -> Option<i32> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(v) => Some(v),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::new(0, 3).to_string(), "r3");
+        assert_eq!(Reg::new(2, 7).to_string(), "c2.r7");
+        assert_eq!(Operand::from(Reg::ZERO).to_string(), "r0");
+        assert_eq!(Operand::from(-4).to_string(), "#-4");
+    }
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1, 0).is_zero());
+        assert!(!Reg::new(0, 1).is_zero());
+    }
+
+    #[test]
+    fn operand_accessors() {
+        assert_eq!(Operand::Reg(Reg::new(0, 5)).reg(), Some(Reg::new(0, 5)));
+        assert_eq!(Operand::Reg(Reg::ZERO).imm(), None);
+        assert_eq!(Operand::Imm(9).imm(), Some(9));
+        assert_eq!(Operand::Imm(9).reg(), None);
+    }
+}

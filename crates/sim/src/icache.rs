@@ -1,0 +1,166 @@
+//! Set-associative instruction cache model with LRU replacement.
+
+use asip_isa::ICacheConfig;
+
+/// An instruction-cache model. Data is not stored — only tags — since the
+/// simulator always has the program at hand; the cache exists to charge
+/// realistic miss penalties, which is what the "visible instruction
+/// compression" experiment needs.
+#[derive(Debug, Clone)]
+pub struct ICache {
+    cfg: ICacheConfig,
+    sets: usize,
+    /// `tags[set]` = (tag, last-used tick) per way.
+    tags: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ICache {
+    /// Build a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if line size or total size is zero or not a power of two, or
+    /// if the configuration has fewer lines than ways.
+    pub fn new(cfg: ICacheConfig) -> ICache {
+        assert!(cfg.line_bytes.is_power_of_two() && cfg.line_bytes > 0);
+        assert!(cfg.size_bytes.is_power_of_two() && cfg.size_bytes > 0);
+        let lines = (cfg.size_bytes / cfg.line_bytes) as usize;
+        let ways = cfg.ways.max(1) as usize;
+        assert!(lines >= ways, "cache must have at least `ways` lines");
+        let sets = lines / ways;
+        ICache {
+            cfg,
+            sets,
+            tags: vec![Vec::with_capacity(ways); sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Access all lines covering `[addr, addr+len)`; returns the number of
+    /// misses incurred.
+    pub fn access(&mut self, addr: u32, len: u32) -> u32 {
+        let line = u64::from(self.cfg.line_bytes);
+        let first = u64::from(addr) / line;
+        let last = (u64::from(addr) + u64::from(len.max(1)) - 1) / line;
+        let mut misses = 0;
+        for l in first..=last {
+            if !self.touch(l) {
+                misses += 1;
+            }
+        }
+        misses
+    }
+
+    /// Touch one line (by line number); returns hit?
+    fn touch(&mut self, lineno: u64) -> bool {
+        self.tick += 1;
+        let set = (lineno as usize) % self.sets;
+        let tag = lineno / self.sets as u64;
+        let ways = self.cfg.ways.max(1) as usize;
+        let entry = self.tags[set].iter_mut().find(|(t, _)| *t == tag);
+        if let Some((_, used)) = entry {
+            *used = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.tags[set].len() < ways {
+            let t = self.tick;
+            self.tags[set].push((tag, t));
+        } else {
+            // Evict LRU.
+            let lru = self.tags[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(i, _)| i)
+                .expect("nonempty set");
+            self.tags[set][lru] = (tag, self.tick);
+        }
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss penalty in cycles per miss.
+    pub fn miss_penalty(&self) -> u32 {
+        self.cfg.miss_penalty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(size: u32, line: u32, ways: u32) -> ICacheConfig {
+        ICacheConfig { size_bytes: size, line_bytes: line, ways, miss_penalty: 10 }
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = ICache::new(cfg(1024, 32, 1));
+        assert_eq!(c.access(0, 4), 1);
+        assert_eq!(c.access(0, 4), 0);
+        assert_eq!(c.access(28, 4), 0, "same line");
+        assert_eq!(c.access(32, 4), 1, "next line");
+    }
+
+    #[test]
+    fn straddling_access_touches_two_lines() {
+        let mut c = ICache::new(cfg(1024, 32, 1));
+        assert_eq!(c.access(30, 8), 2);
+        assert_eq!(c.access(30, 8), 0);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        // 1024 B, 32 B lines, direct mapped => 32 sets; lines 0 and 32 clash.
+        let mut c = ICache::new(cfg(1024, 32, 1));
+        assert_eq!(c.access(0, 4), 1);
+        assert_eq!(c.access(1024, 4), 1); // same set, evicts
+        assert_eq!(c.access(0, 4), 1, "conflict miss");
+    }
+
+    #[test]
+    fn two_way_avoids_simple_conflict() {
+        let mut c = ICache::new(cfg(1024, 32, 2));
+        assert_eq!(c.access(0, 4), 1);
+        assert_eq!(c.access(1024, 4), 1);
+        assert_eq!(c.access(0, 4), 0, "both fit in a 2-way set");
+        assert_eq!(c.access(1024, 4), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = ICache::new(cfg(1024, 32, 2));
+        c.access(0, 4); // A
+        c.access(1024, 4); // B
+        c.access(0, 4); // A again (B is LRU)
+        assert_eq!(c.access(2048, 4), 1); // C evicts B
+        assert_eq!(c.access(0, 4), 0, "A kept");
+        assert_eq!(c.access(1024, 4), 1, "B was evicted");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = ICache::new(cfg(512, 16, 1));
+        c.access(0, 4);
+        c.access(0, 4);
+        c.access(16, 4);
+        assert_eq!(c.misses(), 2);
+        assert_eq!(c.hits(), 1);
+    }
+}

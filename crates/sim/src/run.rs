@@ -1,0 +1,473 @@
+//! The cycle-level VLIW simulator core.
+//!
+//! Execution model (in order of a cycle):
+//!
+//! 1. **Fetch** the bundle at `pc`, charging I-cache misses.
+//! 2. **Interlock**: if any operand register has an in-flight write that
+//!    completes later than now, stall until it is ready (whole-machine
+//!    stall, as on a scoreboarded in-order core). Schedules therefore never
+//!    produce wrong values — only stall cycles.
+//! 3. **Read** all operands (registers read the *committed* state:
+//!    same-bundle writes are not visible — VLIW read-before-write).
+//! 4. **Execute** every occupied slot; results enter the in-flight set with
+//!    their latency; stores and SP/LR updates apply at end of bundle;
+//!    at most one control operation decides the next `pc`.
+//!
+//! Taken control transfers pay the machine's branch penalty.
+
+use crate::icache::ICache;
+use asip_isa::encoding::{bundle_bytes, layout, CodeLayout};
+use asip_isa::{
+    ActivityCounts, MachineDescription, MachineOp, Opcode, Operand, Reg, VliwProgram,
+};
+use std::fmt;
+
+/// Simulation limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SimOptions {
+    /// Abort after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { max_cycles: 2_000_000_000 }
+    }
+}
+
+/// Simulator failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The program does not validate against the machine description.
+    InvalidProgram(String),
+    /// Division by zero at the given bundle.
+    DivideByZero {
+        /// Bundle index.
+        pc: u32,
+    },
+    /// Data-memory access out of bounds.
+    MemFault {
+        /// Bundle index.
+        pc: u32,
+        /// Offending word address.
+        addr: i64,
+    },
+    /// Cycle limit exceeded.
+    CycleLimit,
+    /// The entry function expects more arguments than supplied.
+    BadArgs {
+        /// Expected count.
+        expected: u32,
+        /// Supplied count.
+        got: u32,
+    },
+    /// `Ret` executed with a corrupted link register.
+    WildReturn {
+        /// Bundle index.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidProgram(e) => write!(f, "invalid program: {e}"),
+            SimError::DivideByZero { pc } => write!(f, "division by zero at bundle {pc}"),
+            SimError::MemFault { pc, addr } => {
+                write!(f, "memory fault at bundle {pc}, address {addr}")
+            }
+            SimError::CycleLimit => write!(f, "cycle limit exceeded"),
+            SimError::BadArgs { expected, got } => {
+                write!(f, "entry expects {expected} args, got {got}")
+            }
+            SimError::WildReturn { pc } => write!(f, "return through corrupt LR at bundle {pc}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a successful simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Values produced by `emit`, in order.
+    pub output: Vec<i32>,
+    /// Total cycles, stalls included.
+    pub cycles: u64,
+    /// Cycles lost to register/memory interlocks.
+    pub interlock_stalls: u64,
+    /// Cycles lost to I-cache misses.
+    pub icache_stalls: u64,
+    /// Cycles lost to taken-branch penalties.
+    pub branch_stalls: u64,
+    /// Bundles executed.
+    pub bundles_executed: u64,
+    /// Operations executed.
+    pub ops_executed: u64,
+    /// Dynamic activity counters for the energy model.
+    pub activity: ActivityCounts,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// Final data memory.
+    pub memory: Vec<i32>,
+}
+
+impl SimResult {
+    /// Mean executed operations per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ops_executed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Read a global's final contents via the program's symbol table.
+    pub fn read_global(&self, prog: &VliwProgram, name: &str) -> Option<Vec<i32>> {
+        let g = prog.global(name)?;
+        let base = g.addr as usize;
+        Some(self.memory[base..base + g.words as usize].to_vec())
+    }
+}
+
+/// Sentinel LR value meaning "return ends the program".
+const LR_HALT: u32 = u32::MAX;
+
+/// The simulator. Construct with [`Simulator::new`], optionally override
+/// global data ([`Simulator::write_global`]), then [`Simulator::run`].
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    machine: &'a MachineDescription,
+    program: &'a VliwProgram,
+    layout: CodeLayout,
+    memory: Vec<i32>,
+    opts: SimOptions,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepare a simulation: validates the program and loads global data.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProgram`] if the program fails static validation
+    /// against the machine.
+    pub fn new(
+        machine: &'a MachineDescription,
+        program: &'a VliwProgram,
+        opts: SimOptions,
+    ) -> Result<Simulator<'a>, SimError> {
+        program
+            .validate(machine)
+            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+        let mut memory = vec![0i32; machine.dmem_words as usize];
+        for g in &program.globals {
+            for (i, &v) in g.init.iter().enumerate() {
+                let a = g.addr as usize + i;
+                if a < memory.len() {
+                    memory[a] = v;
+                }
+            }
+        }
+        Ok(Simulator { machine, program, layout: layout(program, machine), memory, opts })
+    }
+
+    /// Overwrite a global before running (workload inputs). Returns false
+    /// if the global does not exist.
+    pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
+        let Some(g) = self.program.global(name) else { return false };
+        for (i, &v) in data.iter().take(g.words as usize).enumerate() {
+            self.memory[g.addr as usize + i] = v;
+        }
+        true
+    }
+
+    /// Run the program's entry function with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution.
+    pub fn run(self, args: &[i32]) -> Result<SimResult, SimError> {
+        let entry = &self.program.functions[self.program.entry_func as usize];
+        if args.len() != entry.num_args as usize {
+            return Err(SimError::BadArgs { expected: entry.num_args, got: args.len() as u32 });
+        }
+        let Simulator { machine, program, layout, mut memory, opts } = self;
+
+        // Stack setup: arguments at the very top; SP points at the first.
+        let top = memory.len() as u32;
+        let mut sp = top - args.len() as u32;
+        for (i, &a) in args.iter().enumerate() {
+            memory[sp as usize + i] = a;
+        }
+        let mut lr: u32 = LR_HALT;
+
+        let nclusters = machine.clusters as usize;
+        let regs_per = machine.regs_per_cluster as usize;
+        let mut regs = vec![vec![0i32; regs_per]; nclusters];
+        // In-flight writes: (reg, value, ready_cycle), kept small.
+        let mut inflight: Vec<(Reg, i32, u64)> = Vec::new();
+
+        let mut icache = machine.icache.map(ICache::new);
+        let mut out = SimResult {
+            output: Vec::new(),
+            cycles: 0,
+            interlock_stalls: 0,
+            icache_stalls: 0,
+            branch_stalls: 0,
+            bundles_executed: 0,
+            ops_executed: 0,
+            activity: ActivityCounts::default(),
+            icache_misses: 0,
+            memory: Vec::new(),
+        };
+
+        let mut cycle: u64 = 0;
+        let mut pc: u32 = entry.entry;
+
+        'run: loop {
+            if cycle > opts.max_cycles {
+                return Err(SimError::CycleLimit);
+            }
+            let bundle = &program.bundles[pc as usize];
+
+            // 1. Fetch.
+            if let Some(ic) = icache.as_mut() {
+                let addr = layout.bundle_addr[pc as usize];
+                let len = bundle_bytes(bundle, machine, machine.encoding);
+                let misses = ic.access(addr, len);
+                if misses > 0 {
+                    let pen = u64::from(misses) * u64::from(ic.miss_penalty());
+                    cycle += pen;
+                    out.icache_stalls += pen;
+                    out.icache_misses += u64::from(misses);
+                }
+            }
+            out.activity.fetch_bytes +=
+                u64::from(bundle_bytes(bundle, machine, machine.encoding));
+
+            // 2. Interlock on in-flight writes to registers this bundle
+            //    reads — and to registers it writes (in-order writeback).
+            let mut ready_at = cycle;
+            for (_, op) in bundle.ops() {
+                for r in op.reads().chain(op.dsts.iter().copied()) {
+                    for &(ir, _, t) in inflight.iter() {
+                        if ir == r && t > ready_at {
+                            ready_at = t;
+                        }
+                    }
+                }
+            }
+            if ready_at > cycle {
+                out.interlock_stalls += ready_at - cycle;
+                cycle = ready_at;
+            }
+            // Commit arrived writes.
+            inflight.retain(|&(r, v, t)| {
+                if t <= cycle {
+                    if !r.is_zero() {
+                        regs[r.cluster as usize][r.index as usize] = v;
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // 3+4. Read and execute.
+            let read = |o: &Operand, regs: &Vec<Vec<i32>>| -> i32 {
+                match o {
+                    Operand::Reg(r) => {
+                        if r.is_zero() {
+                            0
+                        } else {
+                            regs[r.cluster as usize][r.index as usize]
+                        }
+                    }
+                    Operand::Imm(v) => *v,
+                }
+            };
+
+            let mut stores: Vec<(i64, i32)> = Vec::new();
+            let mut writes: Vec<(Reg, i32, u64)> = Vec::new();
+            let mut next_pc = pc + 1;
+            let mut taken = false;
+            let mut halted = false;
+            let mut sp_next = sp;
+            let mut lr_next = lr;
+
+            for (_, op) in bundle.ops() {
+                out.ops_executed += 1;
+                count_activity(&mut out.activity, op, program);
+                let lat = u64::from(machine.latency(op.opcode));
+                match op.opcode {
+                    Opcode::Ldw => {
+                        let base = read(&op.srcs[0], &regs);
+                        let addr = i64::from(base) + i64::from(op.imm);
+                        if addr < 0 || addr as usize >= memory.len() {
+                            return Err(SimError::MemFault { pc, addr });
+                        }
+                        let v = memory[addr as usize];
+                        writes.push((op.dsts[0], v, cycle + lat));
+                    }
+                    Opcode::Stw => {
+                        let v = read(&op.srcs[0], &regs);
+                        let base = read(&op.srcs[1], &regs);
+                        let addr = i64::from(base) + i64::from(op.imm);
+                        if addr < 0 || addr as usize >= memory.len() {
+                            return Err(SimError::MemFault { pc, addr });
+                        }
+                        stores.push((addr, v));
+                    }
+                    Opcode::Br => {
+                        next_pc = op.target;
+                        taken = true;
+                    }
+                    Opcode::BrT | Opcode::BrF => {
+                        let c = read(&op.srcs[0], &regs) != 0;
+                        let go = if op.opcode == Opcode::BrT { c } else { !c };
+                        if go {
+                            next_pc = op.target;
+                            taken = true;
+                        }
+                    }
+                    Opcode::Call => {
+                        lr_next = pc + 1;
+                        next_pc = program.functions[op.target as usize].entry;
+                        taken = true;
+                    }
+                    Opcode::Ret => {
+                        if lr == LR_HALT {
+                            halted = true;
+                        } else if lr as usize >= program.bundles.len() {
+                            return Err(SimError::WildReturn { pc });
+                        } else {
+                            next_pc = lr;
+                            taken = true;
+                        }
+                    }
+                    Opcode::Halt => halted = true,
+                    Opcode::Emit => {
+                        let v = read(&op.srcs[0], &regs);
+                        out.output.push(v);
+                    }
+                    Opcode::AddSp => {
+                        sp_next = (i64::from(sp) + i64::from(op.imm)) as u32;
+                    }
+                    Opcode::MovFromSp => {
+                        writes.push((op.dsts[0], sp as i32, cycle + lat));
+                    }
+                    Opcode::MovFromLr => {
+                        writes.push((op.dsts[0], lr as i32, cycle + lat));
+                    }
+                    Opcode::MovToLr => {
+                        lr_next = read(&op.srcs[0], &regs) as u32;
+                    }
+                    Opcode::CopyX | Opcode::Mov => {
+                        let v = read(&op.srcs[0], &regs);
+                        writes.push((op.dsts[0], v, cycle + lat));
+                    }
+                    Opcode::Select => {
+                        let c = read(&op.srcs[0], &regs);
+                        let a = read(&op.srcs[1], &regs);
+                        let b = read(&op.srcs[2], &regs);
+                        writes.push((op.dsts[0], if c != 0 { a } else { b }, cycle + lat));
+                    }
+                    Opcode::Custom(k) => {
+                        let def = &program.custom_ops[k as usize];
+                        let argv: Vec<i32> =
+                            op.srcs.iter().map(|s| read(s, &regs)).collect();
+                        let outs = def.eval(&argv).map_err(|e| match e {
+                            asip_isa::CustomOpError::Eval(_) => SimError::DivideByZero { pc },
+                            other => SimError::InvalidProgram(other.to_string()),
+                        })?;
+                        for (d, v) in op.dsts.iter().zip(outs) {
+                            writes.push((*d, v, cycle + lat));
+                        }
+                        out.activity.custom_area_executed += def.area.round() as u64;
+                    }
+                    Opcode::Nop => {}
+                    // Unary arithmetic.
+                    Opcode::Abs | Opcode::Sxtb | Opcode::Sxth => {
+                        let a = read(&op.srcs[0], &regs);
+                        let v = op.opcode.eval1(a).expect("unary arith");
+                        writes.push((op.dsts[0], v, cycle + lat));
+                    }
+                    // Binary arithmetic.
+                    _ => {
+                        let a = read(&op.srcs[0], &regs);
+                        let b = read(&op.srcs[1], &regs);
+                        let v = op.opcode.eval2(a, b).map_err(|e| match e {
+                            asip_isa::EvalError::DivideByZero => SimError::DivideByZero { pc },
+                            asip_isa::EvalError::NotArithmetic => SimError::InvalidProgram(
+                                format!("opcode {} is not executable", op.opcode),
+                            ),
+                        })?;
+                        writes.push((op.dsts[0], v, cycle + lat));
+                    }
+                }
+            }
+
+            // End of bundle: apply stores, register writes, SP/LR, stats.
+            for (addr, v) in stores {
+                memory[addr as usize] = v;
+            }
+            for w in writes {
+                if !w.0.is_zero() {
+                    inflight.push(w);
+                }
+            }
+            sp = sp_next;
+            lr = lr_next;
+            out.bundles_executed += 1;
+            out.activity.bundles += 1;
+            out.activity.idle_slots +=
+                (bundle.slots.len() - bundle.occupancy()) as u64;
+
+            if halted {
+                cycle += 1;
+                break 'run;
+            }
+            cycle += 1;
+            if taken {
+                let pen = u64::from(machine.branch_penalty);
+                cycle += pen;
+                out.branch_stalls += pen;
+            }
+            pc = next_pc;
+            if pc as usize >= program.bundles.len() {
+                return Err(SimError::WildReturn { pc });
+            }
+        }
+
+        out.cycles = cycle;
+        out.activity.cycles = cycle;
+        out.memory = memory;
+        Ok(out)
+    }
+}
+
+fn count_activity(act: &mut ActivityCounts, op: &MachineOp, _prog: &VliwProgram) {
+    use asip_isa::LatClass;
+    match op.opcode.lat_class() {
+        LatClass::Alu => act.alu_ops += 1,
+        LatClass::Mul => act.mul_ops += 1,
+        LatClass::Div => act.div_ops += 1,
+        LatClass::Mem => act.mem_ops += 1,
+        LatClass::Branch => act.branch_ops += 1,
+        LatClass::Copy => act.copy_ops += 1,
+        LatClass::Custom => act.custom_ops += 1,
+    }
+}
+
+/// One-call convenience: simulate `program` on `machine` with `args`.
+///
+/// # Errors
+///
+/// Any [`SimError`].
+pub fn run_program(
+    machine: &MachineDescription,
+    program: &VliwProgram,
+    args: &[i32],
+) -> Result<SimResult, SimError> {
+    Simulator::new(machine, program, SimOptions::default())?.run(args)
+}

@@ -1,0 +1,317 @@
+//! Differential testing: for every program, machine and optimization level,
+//! the simulator's output must equal the IR interpreter's output (the golden
+//! model). This is the toolchain's core correctness argument — the paper's
+//! §3.1 "testing methodology uses architectures as if they were test
+//! programs".
+
+use asip_backend::{compile_module, BackendOptions};
+use asip_ir::interp::run_module;
+use asip_ir::passes::{optimize, OptConfig};
+use asip_isa::MachineDescription;
+use asip_sim::run_program;
+
+/// Compile `src` for `machine` under `cfg` and check simulator output equals
+/// interpreter output for each argument vector.
+fn check(src: &str, machine: &MachineDescription, cfg: &OptConfig, arg_sets: &[Vec<i32>]) {
+    let mut module = asip_tinyc::compile(src).unwrap_or_else(|e| panic!("tinyc: {e}\n{src}"));
+    optimize(&mut module, cfg);
+    asip_ir::func::verify(&module).expect("optimized module verifies");
+    let compiled = compile_module(&module, machine, None, &BackendOptions::default())
+        .unwrap_or_else(|e| panic!("backend ({}): {e}", machine.name));
+    compiled
+        .program
+        .validate(machine)
+        .unwrap_or_else(|e| panic!("validate ({}): {e}", machine.name));
+    for args in arg_sets {
+        let golden = run_module(&module, "main", args)
+            .unwrap_or_else(|e| panic!("interp: {e}"));
+        let sim = run_program(machine, &compiled.program, args)
+            .unwrap_or_else(|e| panic!("sim ({}): {e}", machine.name));
+        assert_eq!(
+            sim.output, golden.output,
+            "machine {} args {args:?}\n--- listing ---\n{}",
+            machine.name,
+            compiled.program.listing()
+        );
+    }
+}
+
+fn machines() -> Vec<MachineDescription> {
+    MachineDescription::presets()
+}
+
+fn configs() -> Vec<OptConfig> {
+    vec![OptConfig::none(), OptConfig::default(), OptConfig::with_unroll(8)]
+}
+
+fn check_everywhere(src: &str, arg_sets: &[Vec<i32>]) {
+    for m in machines() {
+        for cfg in configs() {
+            check(src, &m, &cfg, arg_sets);
+        }
+    }
+}
+
+#[test]
+fn straightline_arithmetic() {
+    check_everywhere(
+        r#"
+        void main(int a, int b) {
+            emit(a + b * 3 - (a ^ b));
+            emit((a << 2) + (b >> 1));
+            emit(a / (b + 13));
+            emit(a % (b + 13));
+            emit(min(a, b) + max(a, b));
+            emit(abs(a - b));
+            emit(mulh(a, b));
+            emit(lsr(a, 3));
+        }
+        "#,
+        &[vec![17, 5], vec![-100, 42], vec![0, 0], vec![i32::MAX, -1]],
+    );
+}
+
+#[test]
+fn branches_and_selects() {
+    check_everywhere(
+        r#"
+        void main(int x) {
+            if (x > 100) emit(1);
+            else if (x > 10) emit(2);
+            else if (x > 0) emit(3);
+            else emit(4);
+            emit(x > 50 ? x * 2 : x - 7);
+            emit(!x);
+            emit(x != 0 && 1000 / x > 5);
+        }
+        "#,
+        &[vec![200], vec![50], vec![5], vec![-9], vec![0], vec![150]],
+    );
+}
+
+#[test]
+fn loops_and_accumulation() {
+    check_everywhere(
+        r#"
+        void main(int n) {
+            int s = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                s += i * i;
+                if (s > 1000) break;
+            }
+            emit(s);
+            int j = n;
+            while (j > 0) { s = s * 2 + 1; j--; }
+            emit(s);
+        }
+        "#,
+        &[vec![0], vec![1], vec![7], vec![25]],
+    );
+}
+
+#[test]
+fn global_arrays_and_tables() {
+    check_everywhere(
+        r#"
+        int coef[8] = {3, -1, 4, 1, -5, 9, 2, -6};
+        int hist[16];
+        void main(int n) {
+            int i;
+            int acc = 0;
+            for (i = 0; i < n; i++) {
+                int k = coef[i % 8];
+                acc += k * i;
+                hist[k & 15] += 1;
+            }
+            emit(acc);
+            for (i = 0; i < 16; i++) emit(hist[i]);
+        }
+        "#,
+        &[vec![0], vec![3], vec![20]],
+    );
+}
+
+#[test]
+fn local_arrays_and_dynamic_indexing() {
+    check_everywhere(
+        r#"
+        void main(int n) {
+            int buf[12];
+            int i;
+            for (i = 0; i < 12; i++) buf[i] = i * n + 1;
+            int s = 0;
+            for (i = 0; i < 12; i++) s += buf[(i * 5) % 12];
+            emit(s);
+        }
+        "#,
+        &[vec![1], vec![-4], vec![100]],
+    );
+}
+
+#[test]
+fn function_calls_and_recursion() {
+    check_everywhere(
+        r#"
+        int gcd(int a, int b) {
+            if (b == 0) return a;
+            return gcd(b, a % b);
+        }
+        int sq(int x) { return x * x; }
+        void main(int a, int b) {
+            emit(gcd(a, b));
+            emit(sq(a) + sq(b));
+            emit(gcd(sq(a), sq(b)));
+        }
+        "#,
+        &[vec![12, 18], vec![35, 14], vec![7, 1]],
+    );
+}
+
+#[test]
+fn deep_expression_register_pressure() {
+    // Enough simultaneously-live values to exercise spilling on the
+    // smaller register files.
+    check_everywhere(
+        r#"
+        void main(int a, int b) {
+            int v0 = a + b;  int v1 = a - b;  int v2 = a * b;  int v3 = a ^ b;
+            int v4 = a & b;  int v5 = a | b;  int v6 = a << 1; int v7 = b << 2;
+            int v8 = a >> 1; int v9 = b >> 2; int vA = a + 17; int vB = b - 17;
+            emit(v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9 + vA + vB);
+            emit(v0 * v9 - v1 * v8 + v2 * v7 - v3 * v6 + v4 * v5);
+            emit(vA * vB);
+        }
+        "#,
+        &[vec![123, -45], vec![0, 0], vec![-1, 1]],
+    );
+}
+
+#[test]
+fn nested_loops_matrix_flavor() {
+    check_everywhere(
+        r#"
+        int m[16];
+        void main(int n) {
+            int i; int j;
+            for (i = 0; i < 4; i++)
+                for (j = 0; j < 4; j++)
+                    m[i * 4 + j] = i * n + j;
+            int trace = 0;
+            for (i = 0; i < 4; i++) trace += m[i * 4 + i];
+            emit(trace);
+            int s = 0;
+            for (i = 0; i < 16; i++) s = s * 3 + m[i];
+            emit(s);
+        }
+        "#,
+        &[vec![2], vec![-7], vec![0]],
+    );
+}
+
+#[test]
+fn do_while_and_continue() {
+    check_everywhere(
+        r#"
+        void main(int n) {
+            int i = 0;
+            int s = 0;
+            do {
+                i++;
+                if (i % 3 == 0) continue;
+                s += i;
+            } while (i < n);
+            emit(s);
+            emit(i);
+        }
+        "#,
+        &[vec![0], vec![1], vec![10], vec![17]],
+    );
+}
+
+#[test]
+fn shifty_bit_manipulation() {
+    check_everywhere(
+        r#"
+        void main(int x) {
+            int crc = x;
+            int i;
+            for (i = 0; i < 8; i++) {
+                int bit = crc & 1;
+                crc = lsr(crc, 1);
+                if (bit) crc = crc ^ 0x04C11DB7;
+            }
+            emit(crc);
+            emit(sxtb(x));
+            emit(sxth(x));
+        }
+        "#,
+        &[vec![0], vec![0x12345678], vec![-1], vec![0xFF]],
+    );
+}
+
+#[test]
+fn interlocks_count_but_do_not_break() {
+    // Long dependence chain of multiplies: on machines with mul latency 2
+    // the simulator must stall, and the answer must still be right.
+    let src = r#"
+        void main(int x) {
+            int a = x;
+            a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1; a = a * 3 + 1;
+            emit(a);
+        }
+    "#;
+    let machine = MachineDescription::ember4();
+    let mut module = asip_tinyc::compile(src).unwrap();
+    optimize(&mut module, &OptConfig::default());
+    let compiled = compile_module(&module, &machine, None, &BackendOptions::default()).unwrap();
+    let sim = run_program(&machine, &compiled.program, &[5]).unwrap();
+    let golden = run_module(&module, "main", &[5]).unwrap();
+    assert_eq!(sim.output, golden.output);
+}
+
+#[test]
+fn profile_guided_compilation_matches() {
+    let src = r#"
+        void main(int n) {
+            int i;
+            int acc = 0;
+            for (i = 0; i < n; i++) {
+                if (i % 16 == 0) acc += 100; // cold path
+                else acc += i;               // hot path
+            }
+            emit(acc);
+        }
+    "#;
+    let mut module = asip_tinyc::compile(src).unwrap();
+    optimize(&mut module, &OptConfig::default());
+    let train = run_module(&module, "main", &[64]).unwrap();
+    for machine in machines() {
+        let compiled = compile_module(
+            &module,
+            &machine,
+            Some(&train.profile),
+            &BackendOptions::default(),
+        )
+        .unwrap();
+        for n in [0, 5, 64, 200] {
+            let sim = run_program(&machine, &compiled.program, &[n]).unwrap();
+            let golden = run_module(&module, "main", &[n]).unwrap();
+            assert_eq!(sim.output, golden.output, "machine {} n {n}", machine.name);
+        }
+    }
+}
+
+#[test]
+fn errors_propagate() {
+    let src = "void main(int x) { emit(100 / x); }";
+    let mut module = asip_tinyc::compile(src).unwrap();
+    optimize(&mut module, &OptConfig::default());
+    let machine = MachineDescription::ember1();
+    let compiled = compile_module(&module, &machine, None, &BackendOptions::default()).unwrap();
+    let err = run_program(&machine, &compiled.program, &[0]).unwrap_err();
+    assert!(matches!(err, asip_sim::SimError::DivideByZero { .. }));
+    // And the happy path still works.
+    let ok = run_program(&machine, &compiled.program, &[4]).unwrap();
+    assert_eq!(ok.output, vec![25]);
+}

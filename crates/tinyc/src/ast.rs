@@ -1,0 +1,158 @@
+//! Abstract syntax for TinyC.
+//!
+//! TinyC is the C subset the toolchain's workloads are written in: a single
+//! `int` (32-bit) value type, global and local arrays, functions, full C
+//! expression syntax (including short-circuit `&&`/`||` and `?:`), and a
+//! small set of intrinsics that map one-to-one onto base-ISA operations
+//! (`emit`, `lsr`, `min`, `max`, `abs`, `mulh`, `ltu`, `geu`, `sxtb`,
+//! `sxth`). This is "preserve C semantics as best you can" from paper §3.1.
+
+use crate::token::BinOp;
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x` (yields 0/1).
+    Not,
+    /// Bitwise complement `~x`.
+    BitNot,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i32),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element `name[index]`.
+    Index(String, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation (including short-circuit `&&`/`||`).
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional `c ? a : b`.
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Function or intrinsic call.
+    Call(String, Vec<Expr>),
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element.
+    Index(String, Box<Expr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration `int x;` / `int x = e;` / `int a[N];`.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Array size when declaring an array.
+        array: Option<u32>,
+        /// Scalar initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Assignment `lv = e` (also compound `lv op= e`, desugared by the
+    /// parser).
+    Assign {
+        /// Target.
+        lv: LValue,
+        /// Value.
+        e: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// Expression evaluated for side effects (calls).
+    Expr(Expr, usize),
+    /// `if (c) then [else]`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>, usize),
+    /// `while (c) body`.
+    While(Expr, Vec<Stmt>, usize),
+    /// `do body while (c);`
+    DoWhile(Vec<Stmt>, Expr, usize),
+    /// `for (init; cond; step) body` (desugared components).
+    For {
+        /// Init statement, if any.
+        init: Option<Box<Stmt>>,
+        /// Condition, `None` = always true.
+        cond: Option<Expr>,
+        /// Step statement, if any.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `return [e];`
+    Return(Option<Expr>, usize),
+    /// `break;`
+    Break(usize),
+    /// `continue;`
+    Continue(usize),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    /// Name.
+    pub name: String,
+    /// Whether it returns `int` (vs `void`).
+    pub returns_value: bool,
+    /// Parameter names (all `int`).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+/// A global definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDef {
+    /// Name.
+    pub name: String,
+    /// Array size; `None` for a scalar.
+    pub array: Option<u32>,
+    /// Initializer values.
+    pub init: Vec<i32>,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDef>,
+    /// Functions in declaration order.
+    pub funcs: Vec<FuncDef>,
+}
+
+/// Names of intrinsics that lower directly to base-ISA operations.
+pub const INTRINSICS: [(&str, usize); 10] = [
+    ("emit", 1),
+    ("lsr", 2),
+    ("min", 2),
+    ("max", 2),
+    ("abs", 1),
+    ("mulh", 2),
+    ("ltu", 2),
+    ("geu", 2),
+    ("sxtb", 1),
+    ("sxth", 1),
+];
+
+/// Whether `name` is an intrinsic; returns its arity.
+pub fn intrinsic_arity(name: &str) -> Option<usize> {
+    INTRINSICS.iter().find(|(n, _)| *n == name).map(|(_, a)| *a)
+}

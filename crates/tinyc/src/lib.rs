@@ -1,0 +1,89 @@
+//! # asip-tinyc — the TinyC frontend
+//!
+//! TinyC is the input language of the customized-ISA toolchain: a C subset
+//! with a single 32-bit `int` type, global/local arrays, functions, full C
+//! expression and statement syntax, and intrinsics mapping onto base-ISA
+//! operations (`emit`, `lsr`, `min`, `max`, `abs`, `mulh`, `ltu`, `geu`,
+//! `sxtb`, `sxth`). It exists so workloads can be written once and compiled
+//! to *every* member of an architecture family — the "software development
+//! relative to the toolchain, not the hardware" discipline of the paper's
+//! §3.1.
+//!
+//! ## Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = asip_tinyc::compile(r#"
+//!     int square(int x) { return x * x; }
+//!     void main(int n) { emit(square(n) + 1); }
+//! "#)?;
+//! let out = asip_ir::interp::run_module(&module, "main", &[6])?;
+//! assert_eq!(out.output, vec![37]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+use std::fmt;
+
+/// Any frontend failure: lexical, syntactic or semantic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tinyc error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<parser::ParseError> for CompileError {
+    fn from(e: parser::ParseError) -> Self {
+        CompileError { line: e.line, message: e.message }
+    }
+}
+
+impl From<lower::LowerError> for CompileError {
+    fn from(e: lower::LowerError) -> Self {
+        CompileError { line: e.line, message: e.message }
+    }
+}
+
+/// Compile TinyC source to an (unoptimized) IR module.
+///
+/// # Errors
+///
+/// [`CompileError`] with the source line of the first problem.
+pub fn compile(src: &str) -> Result<asip_ir::Module, CompileError> {
+    let prog = parser::parse(src)?;
+    Ok(lower::lower(&prog)?)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn compile_and_interpret_end_to_end() {
+        let m = super::compile("void main() { emit(21 * 2); }").unwrap();
+        let r = asip_ir::interp::run_module(&m, "main", &[]).unwrap();
+        assert_eq!(r.output, vec![42]);
+    }
+
+    #[test]
+    fn errors_unify() {
+        assert!(super::compile("void main() { $ }").is_err()); // lex
+        assert!(super::compile("void main( {").is_err()); // parse
+        assert!(super::compile("void main() { x = 1; }").is_err()); // sema
+    }
+}

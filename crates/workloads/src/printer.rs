@@ -1,0 +1,184 @@
+//! Printer-area kernels: Floyd–Steinberg error diffusion and run-length
+//! encoding.
+
+use crate::{AppArea, Gen, Workload};
+
+/// All printer-area workloads.
+pub fn all() -> Vec<Workload> {
+    vec![dither(), rle()]
+}
+
+const DITHER_W: usize = 16;
+const DITHER_H: usize = 16;
+
+/// Floyd–Steinberg error-diffusion dithering of a 16×16 greyscale tile.
+pub fn dither() -> Workload {
+    let mut g = Gen::new(0xD17E_000B);
+    let img = g.vec(DITHER_W * DITHER_H, 0, 256);
+
+    // Golden model: in-place error diffusion, serpentine disabled.
+    let w = DITHER_W as i32;
+    let h = DITHER_H as i32;
+    let mut work = img.clone();
+    let mut ones = 0i32;
+    let mut cks: i32 = 0;
+    for y in 0..h {
+        for x in 0..w {
+            let idx = (y * w + x) as usize;
+            let old = work[idx];
+            let newv = if old > 127 { 255 } else { 0 };
+            let err = old - newv;
+            work[idx] = newv;
+            if newv != 0 {
+                ones += 1;
+            }
+            cks = cks.wrapping_mul(2).wrapping_add(if newv != 0 { 1 } else { 0 }) ^ (x + y);
+            if x + 1 < w {
+                work[idx + 1] += err * 7 / 16;
+            }
+            if y + 1 < h {
+                if x > 0 {
+                    work[idx + DITHER_W - 1] += err * 3 / 16;
+                }
+                work[idx + DITHER_W] += err * 5 / 16;
+                if x + 1 < w {
+                    work[idx + DITHER_W + 1] += err / 16;
+                }
+            }
+        }
+    }
+    let expected = vec![ones, cks];
+
+    let source = format!(
+        r#"
+int img[{npix}];
+void main(int w) {{
+    int h = {h};
+    int ones = 0;
+    int cks = 0;
+    int x; int y;
+    for (y = 0; y < h; y++) {{
+        for (x = 0; x < w; x++) {{
+            int idx = y * w + x;
+            int old = img[idx];
+            int newv = 0;
+            if (old > 127) newv = 255;
+            int err = old - newv;
+            img[idx] = newv;
+            if (newv != 0) ones++;
+            int bit = 0;
+            if (newv != 0) bit = 1;
+            cks = (cks * 2 + bit) ^ (x + y);
+            if (x + 1 < w) img[idx + 1] += err * 7 / 16;
+            if (y + 1 < h) {{
+                if (x > 0) img[idx + w - 1] += err * 3 / 16;
+                img[idx + w] += err * 5 / 16;
+                if (x + 1 < w) img[idx + w + 1] += err / 16;
+            }}
+        }}
+    }}
+    emit(ones);
+    emit(cks);
+}}
+"#,
+        npix = DITHER_W * DITHER_H,
+        h = DITHER_H
+    );
+
+    Workload {
+        name: "dither".into(),
+        area: AppArea::Printer,
+        description: "Floyd-Steinberg error diffusion on a 16x16 tile".into(),
+        source,
+        args: vec![DITHER_W as i32],
+        inputs: vec![("img".into(), img)],
+        expected,
+    }
+}
+
+const RLE_N: usize = 256;
+
+/// Run-length encode a bi-level scanline buffer.
+pub fn rle() -> Workload {
+    let mut g = Gen::new(0x41E0_000C);
+    // Generate correlated bits so runs exist: random walk thresholding.
+    let mut level = 0i32;
+    let mut bits = Vec::with_capacity(RLE_N);
+    for _ in 0..RLE_N {
+        level += g.range(-3, 4);
+        bits.push(if level > 0 { 1 } else { 0 });
+    }
+
+    // Golden model: (value, run) pairs, checksum + count.
+    let mut runs = 0i32;
+    let mut cks: i32 = 0;
+    let mut i = 0usize;
+    while i < RLE_N {
+        let v: i32 = bits[i];
+        let mut len = 1i32;
+        while i + (len as usize) < RLE_N && bits[i + len as usize] == v {
+            len += 1;
+        }
+        runs += 1;
+        cks = cks.wrapping_mul(5).wrapping_add(v.wrapping_mul(1000).wrapping_add(len));
+        i += len as usize;
+    }
+    let expected = vec![runs, cks];
+
+    let source = format!(
+        r#"
+int bits[{n}];
+void main(int n) {{
+    int runs = 0;
+    int cks = 0;
+    int i = 0;
+    while (i < n) {{
+        int v = bits[i];
+        int len = 1;
+        while (i + len < n && bits[i + len] == v) len++;
+        runs++;
+        cks = cks * 5 + (v * 1000 + len);
+        i += len;
+    }}
+    emit(runs);
+    emit(cks);
+}}
+"#,
+        n = RLE_N
+    );
+
+    Workload {
+        name: "rle".into(),
+        area: AppArea::Printer,
+        description: "run-length encoding of a 256-pixel bi-level scanline".into(),
+        source,
+        args: vec![RLE_N as i32],
+        inputs: vec![("bits".into(), bits)],
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dither_preserves_mean_roughly() {
+        let w = dither();
+        let total: i64 = w.inputs[0].1.iter().map(|&v| v as i64).sum();
+        let mean = total / (DITHER_W * DITHER_H) as i64;
+        let ones = w.expected[0] as i64;
+        let expected_ones = mean * (DITHER_W * DITHER_H) as i64 / 255;
+        assert!(
+            (ones - expected_ones).abs() < 40,
+            "ones {ones} vs expected {expected_ones}"
+        );
+    }
+
+    #[test]
+    fn rle_runs_cover_input() {
+        let w = rle();
+        assert!(w.expected[0] > 1, "input should have multiple runs");
+        assert!(w.expected[0] <= RLE_N as i32);
+    }
+}

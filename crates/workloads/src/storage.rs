@@ -1,0 +1,209 @@
+//! Storage/network-controller kernels: CRC-32, Fletcher-32, bit
+//! manipulation (population count / bit reversal).
+
+use crate::{AppArea, Gen, Workload};
+
+/// All storage-area workloads.
+pub fn all() -> Vec<Workload> {
+    vec![crc32(), fletcher(), bits()]
+}
+
+const CRC_N: usize = 128;
+
+/// Bitwise (reflected) CRC-32 over a byte buffer.
+pub fn crc32() -> Workload {
+    let mut g = Gen::new(0xC4C3_000D);
+    let data = g.vec(CRC_N, 0, 256);
+
+    // Golden model: reflected CRC-32, polynomial 0xEDB88320.
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in &data {
+        crc ^= b as u32 & 0xFF;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xEDB8_8320;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc ^= 0xFFFF_FFFF;
+    let expected = vec![crc as i32];
+
+    let source = format!(
+        r#"
+int data[{n}];
+void main(int n) {{
+    int crc = 0xFFFFFFFF;
+    int i;
+    int k;
+    for (i = 0; i < n; i++) {{
+        crc = crc ^ (data[i] & 0xFF);
+        for (k = 0; k < 8; k++) {{
+            int bit = crc & 1;
+            crc = lsr(crc, 1);
+            if (bit) crc = crc ^ 0xEDB88320;
+        }}
+    }}
+    emit(crc ^ 0xFFFFFFFF);
+}}
+"#,
+        n = CRC_N
+    );
+
+    Workload {
+        name: "crc32".into(),
+        area: AppArea::Storage,
+        description: "bitwise reflected CRC-32 over 128 bytes".into(),
+        source,
+        args: vec![CRC_N as i32],
+        inputs: vec![("data".into(), data)],
+        expected,
+    }
+}
+
+const FLETCHER_N: usize = 256;
+
+/// Fletcher-32 checksum over a 16-bit word stream.
+pub fn fletcher() -> Workload {
+    let mut g = Gen::new(0xF1E7_000E);
+    let data = g.vec(FLETCHER_N, 0, 65536);
+
+    let mut s1: i32 = 0;
+    let mut s2: i32 = 0;
+    for &w in &data {
+        s1 = (s1 + w) % 65535;
+        s2 = (s2 + s1) % 65535;
+    }
+    let expected = vec![s2.wrapping_mul(65536).wrapping_add(s1), s1, s2];
+
+    let source = format!(
+        r#"
+int data[{n}];
+void main(int n) {{
+    int s1 = 0;
+    int s2 = 0;
+    int i;
+    for (i = 0; i < n; i++) {{
+        s1 = (s1 + data[i]) % 65535;
+        s2 = (s2 + s1) % 65535;
+    }}
+    emit(s2 * 65536 + s1);
+    emit(s1);
+    emit(s2);
+}}
+"#,
+        n = FLETCHER_N
+    );
+
+    Workload {
+        name: "fletcher".into(),
+        area: AppArea::Storage,
+        description: "Fletcher-32 checksum over 256 words (modulo-bound)".into(),
+        source,
+        args: vec![FLETCHER_N as i32],
+        inputs: vec![("data".into(), data)],
+        expected,
+    }
+}
+
+const BITS_N: usize = 128;
+
+/// Population count and bit reversal over a word stream — the canonical
+/// "special op" targets of §1.2.
+pub fn bits() -> Workload {
+    let mut g = Gen::new(0xB175_000F);
+    let data: Vec<i32> = (0..BITS_N).map(|_| g.next_u32() as i32).collect();
+
+    let mut pop_total: i32 = 0;
+    let mut rev_cks: i32 = 0;
+    for &w in &data {
+        let x = w as u32;
+        pop_total = pop_total.wrapping_add(x.count_ones() as i32);
+        let r = x.reverse_bits();
+        rev_cks = rev_cks.wrapping_mul(3).wrapping_add(r as i32);
+    }
+    let expected = vec![pop_total, rev_cks];
+
+    let source = format!(
+        r#"
+int data[{n}];
+void main(int n) {{
+    int pop = 0;
+    int revcks = 0;
+    int i;
+    for (i = 0; i < n; i++) {{
+        int x = data[i];
+        // SWAR popcount.
+        int p = x - (lsr(x, 1) & 0x55555555);
+        p = (p & 0x33333333) + (lsr(p, 2) & 0x33333333);
+        p = (p + lsr(p, 4)) & 0x0F0F0F0F;
+        p = lsr(p * 0x01010101, 24);
+        pop += p;
+        // Bit reversal by shuffle.
+        int r = x;
+        r = (lsr(r, 1) & 0x55555555) | ((r & 0x55555555) << 1);
+        r = (lsr(r, 2) & 0x33333333) | ((r & 0x33333333) << 2);
+        r = (lsr(r, 4) & 0x0F0F0F0F) | ((r & 0x0F0F0F0F) << 4);
+        r = (lsr(r, 8) & 0x00FF00FF) | ((r & 0x00FF00FF) << 8);
+        r = lsr(r, 16) | (r << 16);
+        revcks = revcks * 3 + r;
+    }}
+    emit(pop);
+    emit(revcks);
+}}
+"#,
+        n = BITS_N
+    );
+
+    Workload {
+        name: "bits".into(),
+        area: AppArea::Storage,
+        description: "SWAR popcount and bit reversal over 128 words".into(),
+        source,
+        args: vec![BITS_N as i32],
+        inputs: vec![("data".into(), data)],
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32 of "123456789" must be 0xCBF43926.
+        let data: Vec<i32> = b"123456789".iter().map(|&b| b as i32).collect();
+        let mut crc: u32 = 0xFFFF_FFFF;
+        for &b in &data {
+            crc ^= b as u32 & 0xFF;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+        }
+        assert_eq!(crc ^ 0xFFFF_FFFF, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn fletcher_zero_stream() {
+        let mut s1 = 0i32;
+        let mut s2 = 0i32;
+        for _ in 0..10 {
+            s1 = (s1 + 0) % 65535;
+            s2 = (s2 + s1) % 65535;
+        }
+        assert_eq!((s1, s2), (0, 0));
+    }
+
+    #[test]
+    fn swar_popcount_matches_native() {
+        for x in [0u32, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x8000_0001] {
+            let mut p = (x as i64 - ((x >> 1) & 0x5555_5555) as i64) as u32;
+            p = (p & 0x3333_3333) + ((p >> 2) & 0x3333_3333);
+            p = (p.wrapping_add(p >> 4)) & 0x0F0F_0F0F;
+            p = p.wrapping_mul(0x0101_0101) >> 24;
+            assert_eq!(p, x.count_ones(), "x={x:#x}");
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Video/imaging-area kernels: integer 8×8 DCT, quantization with zigzag,
+//! Sobel edge detection, 3×3 median filtering, YUV→RGB conversion.
+
+use crate::{AppArea, Gen, Workload};
+
+/// All video-area workloads.
+pub fn all() -> Vec<Workload> {
+    vec![dct8x8(), quantize(), sobel(), median(), yuv2rgb()]
+}
+
+// ---------------------------------------------------------------------------
+// 8x8 integer DCT
+// ---------------------------------------------------------------------------
+
+/// Cosine table `round(cos((2x+1)·u·π/16) · 1024)`, computed once so the
+/// golden model and the TinyC kernel use identical integers.
+fn cos_table() -> Vec<i32> {
+    let mut t = vec![0i32; 64];
+    for u in 0..8 {
+        for x in 0..8 {
+            let v = ((2 * x + 1) as f64 * u as f64 * std::f64::consts::PI / 16.0).cos();
+            t[u * 8 + x] = (v * 1024.0).round() as i32;
+        }
+    }
+    t
+}
+
+fn dct_golden(blk: &[i32], ctab: &[i32]) -> (Vec<i32>, i32) {
+    let mut tmp = vec![0i32; 64];
+    // Rows.
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut acc: i32 = 0;
+            for x in 0..8 {
+                acc = acc.wrapping_add(blk[y * 8 + x].wrapping_mul(ctab[u * 8 + x]));
+            }
+            tmp[y * 8 + u] = acc >> 10;
+        }
+    }
+    // Columns.
+    let mut out = vec![0i32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut acc: i32 = 0;
+            for y in 0..8 {
+                acc = acc.wrapping_add(tmp[y * 8 + u].wrapping_mul(ctab[v * 8 + y]));
+            }
+            out[v * 8 + u] = acc >> 10;
+        }
+    }
+    let mut cks: i32 = 0;
+    for (i, &c) in out.iter().enumerate() {
+        cks = cks.wrapping_add(c.wrapping_mul(i as i32 + 1));
+    }
+    (out, cks)
+}
+
+/// Naive (row-column) integer 8×8 DCT of one block.
+pub fn dct8x8() -> Workload {
+    let mut g = Gen::new(0xDC18_0006);
+    let blk = g.vec(64, -128, 128);
+    let ctab = cos_table();
+    let (out, cks) = dct_golden(&blk, &ctab);
+    let expected = vec![cks, out[0], out[1], out[8], out[63]];
+
+    let source = r#"
+int blk[64];
+int ctab[64];
+int tmp[64];
+int outc[64];
+void main(int z) {
+    int y; int u; int v; int x;
+    for (y = 0; y < 8; y++) {
+        for (u = 0; u < 8; u++) {
+            int acc = 0;
+            for (x = 0; x < 8; x++) acc += blk[y * 8 + x] * ctab[u * 8 + x];
+            tmp[y * 8 + u] = acc >> 10;
+        }
+    }
+    for (u = 0; u < 8; u++) {
+        for (v = 0; v < 8; v++) {
+            int acc = 0;
+            for (y = 0; y < 8; y++) acc += tmp[y * 8 + u] * ctab[v * 8 + y];
+            outc[v * 8 + u] = acc >> 10;
+        }
+    }
+    int cks = 0;
+    int i;
+    for (i = 0; i < 64; i++) cks += outc[i] * (i + 1);
+    emit(cks + z * 0);
+    emit(outc[0]);
+    emit(outc[1]);
+    emit(outc[8]);
+    emit(outc[63]);
+}
+"#
+    .to_string();
+
+    Workload {
+        name: "dct8x8".into(),
+        area: AppArea::Video,
+        description: "integer 8x8 DCT, row-column decomposition".into(),
+        source,
+        args: vec![0],
+        inputs: vec![("blk".into(), blk), ("ctab".into(), ctab)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantization + zigzag (JPEG-style)
+// ---------------------------------------------------------------------------
+
+const ZIGZAG: [i32; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Quantize a coefficient block and walk it in zigzag order.
+pub fn quantize() -> Workload {
+    let mut g = Gen::new(0x9A27_0007);
+    let coef = g.vec(64, -2000, 2000);
+    let q: Vec<i32> = (0..64).map(|i| 8 + (i as i32) * 2).collect();
+
+    let mut nz = 0i32;
+    let mut cks: i32 = 0;
+    let mut last_nz = -1i32;
+    for (k, &zz) in ZIGZAG.iter().enumerate() {
+        let c = coef[zz as usize];
+        let d = q[zz as usize];
+        // Symmetric rounding like typical integer JPEG encoders.
+        let qq = if c >= 0 { (c + d / 2) / d } else { -((-c + d / 2) / d) };
+        if qq != 0 {
+            nz += 1;
+            last_nz = k as i32;
+        }
+        cks = cks.wrapping_mul(3).wrapping_add(qq);
+    }
+    let expected = vec![cks, nz, last_nz];
+
+    let zz_init = ZIGZAG.map(|v| v.to_string()).join(", ");
+    let source = format!(
+        r#"
+int coef[64];
+int q[64];
+int zz[64] = {{{zz_init}}};
+void main(int z) {{
+    int nzcount = 0;
+    int cks = 0;
+    int lastnz = -1;
+    int k;
+    for (k = 0; k < 64; k++) {{
+        int idx = zz[k];
+        int c = coef[idx];
+        int d = q[idx];
+        int qq;
+        if (c >= 0) qq = (c + d / 2) / d;
+        else qq = -((-c + d / 2) / d);
+        if (qq != 0) {{ nzcount++; lastnz = k; }}
+        cks = cks * 3 + qq;
+    }}
+    emit(cks);
+    emit(nzcount);
+    emit(lastnz);
+}}
+"#
+    );
+
+    Workload {
+        name: "quantize".into(),
+        area: AppArea::Video,
+        description: "JPEG-style quantization with zigzag scan (divider-bound)".into(),
+        source,
+        args: vec![0],
+        inputs: vec![("coef".into(), coef), ("q".into(), q)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sobel 3x3 on a 16x16 tile
+// ---------------------------------------------------------------------------
+
+const SOBEL_W: usize = 16;
+
+/// Sobel gradient magnitude over a 16×16 tile.
+pub fn sobel() -> Workload {
+    let mut g = Gen::new(0x50BE_0008);
+    let img = g.vec(SOBEL_W * SOBEL_W, 0, 256);
+
+    let w = SOBEL_W as i32;
+    let px = |x: i32, y: i32| img[(y * w + x) as usize];
+    let mut total: i32 = 0;
+    let mut edges = 0i32;
+    for y in 1..w - 1 {
+        for x in 1..w - 1 {
+            let gx = px(x + 1, y - 1) + 2 * px(x + 1, y) + px(x + 1, y + 1)
+                - px(x - 1, y - 1)
+                - 2 * px(x - 1, y)
+                - px(x - 1, y + 1);
+            let gy = px(x - 1, y + 1) + 2 * px(x, y + 1) + px(x + 1, y + 1)
+                - px(x - 1, y - 1)
+                - 2 * px(x, y - 1)
+                - px(x + 1, y - 1);
+            let mag = gx.abs() + gy.abs();
+            total = total.wrapping_add(mag);
+            if mag > 200 {
+                edges += 1;
+            }
+        }
+    }
+    let expected = vec![total, edges];
+
+    let source = format!(
+        r#"
+int img[{npix}];
+void main(int w) {{
+    int total = 0;
+    int edges = 0;
+    int x; int y;
+    for (y = 1; y < w - 1; y++) {{
+        for (x = 1; x < w - 1; x++) {{
+            int gx = img[(y - 1) * w + x + 1] + 2 * img[y * w + x + 1] + img[(y + 1) * w + x + 1]
+                   - img[(y - 1) * w + x - 1] - 2 * img[y * w + x - 1] - img[(y + 1) * w + x - 1];
+            int gy = img[(y + 1) * w + x - 1] + 2 * img[(y + 1) * w + x] + img[(y + 1) * w + x + 1]
+                   - img[(y - 1) * w + x - 1] - 2 * img[(y - 1) * w + x] - img[(y - 1) * w + x + 1];
+            int mag = abs(gx) + abs(gy);
+            total += mag;
+            if (mag > 200) edges++;
+        }}
+    }}
+    emit(total);
+    emit(edges);
+}}
+"#,
+        npix = SOBEL_W * SOBEL_W
+    );
+
+    Workload {
+        name: "sobel".into(),
+        area: AppArea::Video,
+        description: "Sobel 3x3 edge detection on a 16x16 tile".into(),
+        source,
+        args: vec![SOBEL_W as i32],
+        inputs: vec![("img".into(), img)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3x3 median filter (min/max sorting network)
+// ---------------------------------------------------------------------------
+
+const MED_W: usize = 12;
+
+fn median9(mut v: [i32; 9]) -> i32 {
+    // Classic 19-comparator median-of-9 exchange network (Paeth).
+    let sort2 = |a: usize, b: usize, v: &mut [i32; 9]| {
+        let lo = v[a].min(v[b]);
+        let hi = v[a].max(v[b]);
+        v[a] = lo;
+        v[b] = hi;
+    };
+    let pairs = [
+        (1, 2), (4, 5), (7, 8), (0, 1), (3, 4), (6, 7), (1, 2), (4, 5), (7, 8),
+        (0, 3), (5, 8), (4, 7), (3, 6), (1, 4), (2, 5), (4, 7), (4, 2), (6, 4),
+        (4, 2),
+    ];
+    for (a, b) in pairs {
+        sort2(a, b, &mut v);
+    }
+    v[4]
+}
+
+/// 3×3 median filter over a 12×12 tile using a min/max exchange network —
+/// a showcase target for custom min/max-rich instructions.
+pub fn median() -> Workload {
+    let mut g = Gen::new(0x3ED1_0009);
+    let img = g.vec(MED_W * MED_W, 0, 256);
+
+    let w = MED_W as i32;
+    let px = |x: i32, y: i32| img[(y * w + x) as usize];
+    let mut cks: i32 = 0;
+    for y in 1..w - 1 {
+        for x in 1..w - 1 {
+            let v = [
+                px(x - 1, y - 1), px(x, y - 1), px(x + 1, y - 1),
+                px(x - 1, y), px(x, y), px(x + 1, y),
+                px(x - 1, y + 1), px(x, y + 1), px(x + 1, y + 1),
+            ];
+            let m = median9(v);
+            cks = cks.wrapping_mul(31).wrapping_add(m);
+        }
+    }
+    let expected = vec![cks];
+
+    let source = format!(
+        r#"
+int img[{npix}];
+int v[9];
+void main(int w) {{
+    int cks = 0;
+    int x; int y;
+    for (y = 1; y < w - 1; y++) {{
+        for (x = 1; x < w - 1; x++) {{
+            v[0] = img[(y - 1) * w + x - 1];
+            v[1] = img[(y - 1) * w + x];
+            v[2] = img[(y - 1) * w + x + 1];
+            v[3] = img[y * w + x - 1];
+            v[4] = img[y * w + x];
+            v[5] = img[y * w + x + 1];
+            v[6] = img[(y + 1) * w + x - 1];
+            v[7] = img[(y + 1) * w + x];
+            v[8] = img[(y + 1) * w + x + 1];
+            int lo;
+            lo = min(v[1], v[2]); v[2] = max(v[1], v[2]); v[1] = lo;
+            lo = min(v[4], v[5]); v[5] = max(v[4], v[5]); v[4] = lo;
+            lo = min(v[7], v[8]); v[8] = max(v[7], v[8]); v[7] = lo;
+            lo = min(v[0], v[1]); v[1] = max(v[0], v[1]); v[0] = lo;
+            lo = min(v[3], v[4]); v[4] = max(v[3], v[4]); v[3] = lo;
+            lo = min(v[6], v[7]); v[7] = max(v[6], v[7]); v[6] = lo;
+            lo = min(v[1], v[2]); v[2] = max(v[1], v[2]); v[1] = lo;
+            lo = min(v[4], v[5]); v[5] = max(v[4], v[5]); v[4] = lo;
+            lo = min(v[7], v[8]); v[8] = max(v[7], v[8]); v[7] = lo;
+            lo = min(v[0], v[3]); v[3] = max(v[0], v[3]); v[0] = lo;
+            lo = min(v[5], v[8]); v[8] = max(v[5], v[8]); v[5] = lo;
+            lo = min(v[4], v[7]); v[7] = max(v[4], v[7]); v[4] = lo;
+            lo = min(v[3], v[6]); v[6] = max(v[3], v[6]); v[3] = lo;
+            lo = min(v[1], v[4]); v[4] = max(v[1], v[4]); v[1] = lo;
+            lo = min(v[2], v[5]); v[5] = max(v[2], v[5]); v[2] = lo;
+            lo = min(v[4], v[7]); v[7] = max(v[4], v[7]); v[4] = lo;
+            lo = min(v[4], v[2]); v[2] = max(v[4], v[2]); v[4] = lo;
+            lo = min(v[6], v[4]); v[4] = max(v[6], v[4]); v[6] = lo;
+            lo = min(v[4], v[2]); v[2] = max(v[4], v[2]); v[4] = lo;
+            cks = cks * 31 + v[4];
+        }}
+    }}
+    emit(cks);
+}}
+"#,
+        npix = MED_W * MED_W
+    );
+
+    Workload {
+        name: "median".into(),
+        area: AppArea::Video,
+        description: "3x3 median filter via min/max exchange network".into(),
+        source,
+        args: vec![MED_W as i32],
+        inputs: vec![("img".into(), img)],
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// YUV -> RGB conversion
+// ---------------------------------------------------------------------------
+
+const YUV_N: usize = 64;
+
+fn clamp255(v: i32) -> i32 {
+    v.clamp(0, 255)
+}
+
+/// ITU-R BT.601 integer YUV→RGB of 64 pixels.
+pub fn yuv2rgb() -> Workload {
+    let mut g = Gen::new(0x10B6_000A);
+    let yy = g.vec(YUV_N, 16, 236);
+    let uu = g.vec(YUV_N, 16, 240);
+    let vv = g.vec(YUV_N, 16, 240);
+
+    let mut cks_r: i32 = 0;
+    let mut cks_g: i32 = 0;
+    let mut cks_b: i32 = 0;
+    for i in 0..YUV_N {
+        let c = yy[i] - 16;
+        let d = uu[i] - 128;
+        let e = vv[i] - 128;
+        let r = clamp255((298 * c + 409 * e + 128) >> 8);
+        let gg = clamp255((298 * c - 100 * d - 208 * e + 128) >> 8);
+        let b = clamp255((298 * c + 516 * d + 128) >> 8);
+        cks_r = cks_r.wrapping_mul(7).wrapping_add(r);
+        cks_g = cks_g.wrapping_mul(7).wrapping_add(gg);
+        cks_b = cks_b.wrapping_mul(7).wrapping_add(b);
+    }
+    let expected = vec![cks_r, cks_g, cks_b];
+
+    let source = format!(
+        r#"
+int yy[{n}];
+int uu[{n}];
+int vv[{n}];
+void main(int n) {{
+    int cr = 0; int cg = 0; int cb = 0;
+    int i;
+    for (i = 0; i < n; i++) {{
+        int c = yy[i] - 16;
+        int d = uu[i] - 128;
+        int e = vv[i] - 128;
+        int r = (298 * c + 409 * e + 128) >> 8;
+        int g = (298 * c - 100 * d - 208 * e + 128) >> 8;
+        int b = (298 * c + 516 * d + 128) >> 8;
+        r = min(max(r, 0), 255);
+        g = min(max(g, 0), 255);
+        b = min(max(b, 0), 255);
+        cr = cr * 7 + r;
+        cg = cg * 7 + g;
+        cb = cb * 7 + b;
+    }}
+    emit(cr);
+    emit(cg);
+    emit(cb);
+}}
+"#,
+        n = YUV_N
+    );
+
+    Workload {
+        name: "yuv2rgb".into(),
+        area: AppArea::Video,
+        description: "BT.601 integer YUV to RGB with clamping".into(),
+        source,
+        args: vec![YUV_N as i32],
+        inputs: vec![("yy".into(), yy), ("uu".into(), uu), ("vv".into(), vv)],
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median9_is_a_median() {
+        assert_eq!(median9([5, 1, 9, 3, 7, 2, 8, 4, 6]), 5);
+        assert_eq!(median9([1, 1, 1, 1, 9, 9, 9, 9, 5]), 5);
+        assert_eq!(median9([0, 0, 0, 0, 0, 0, 0, 0, 0]), 0);
+        // Brute-force comparison on a few random sets.
+        let mut g = Gen::new(99);
+        for _ in 0..50 {
+            let mut v = [0i32; 9];
+            for x in v.iter_mut() {
+                *x = g.range(0, 100);
+            }
+            let mut s = v;
+            s.sort_unstable();
+            assert_eq!(median9(v), s[4], "failed on {v:?}");
+        }
+    }
+
+    #[test]
+    fn dct_of_zero_block_is_zero() {
+        let ctab = cos_table();
+        let (out, cks) = dct_golden(&[0; 64], &ctab);
+        assert!(out.iter().all(|&v| v == 0));
+        assert_eq!(cks, 0);
+    }
+
+    #[test]
+    fn dct_dc_coefficient_tracks_mean() {
+        let ctab = cos_table();
+        let blk = [100i32; 64];
+        let (out, _) = dct_golden(&blk, &ctab);
+        // DC after two 1024-scaled passes: 100*8*1024>>10 = 800 per row pass,
+        // then 800*8*1024>>10 = 6400.
+        assert_eq!(out[0], 6400);
+    }
+
+    #[test]
+    fn yuv_grey_is_grey() {
+        let c = 128 - 16;
+        let r = clamp255((298 * c + 128) >> 8);
+        assert!((r - 130).abs() <= 1);
+    }
+
+    #[test]
+    fn all_are_video() {
+        for w in all() {
+            assert_eq!(w.area, AppArea::Video);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! The toolchain's N×M validation discipline (paper §3.1): every machine of
+//! the family crossed with a workload set; every cell must PASS against the
+//! golden model.
+//!
+//! Run with: `cargo run --release --example nxm_grid`
+
+use asip::core::nxm::run_grid;
+use asip::core::Toolchain;
+use asip::isa::MachineDescription;
+
+fn main() {
+    let tc = Toolchain::default();
+    let machines = MachineDescription::presets();
+    let workloads: Vec<_> = ["fir", "viterbi", "sobel", "crc32", "sort"]
+        .iter()
+        .map(|n| asip::workloads::by_name(n).expect("workload"))
+        .collect();
+    let grid = run_grid(&tc, &machines, &workloads);
+    println!("{grid}");
+    assert!(grid.all_pass(), "a cell failed — the family is not shippable");
+    println!("toolchain validated: architectures used as test programs.");
+}

@@ -1,0 +1,10 @@
+//! Umbrella facade crate re-exporting the whole ASIP toolchain.
+pub use asip_backend as backend;
+pub use asip_core as core;
+pub use asip_dbt as dbt;
+pub use asip_econ as econ;
+pub use asip_ir as ir;
+pub use asip_isa as isa;
+pub use asip_sim as sim;
+pub use asip_tinyc as tinyc;
+pub use asip_workloads as workloads;

@@ -1,0 +1,122 @@
+//! Cross-crate integration tests: the full toolchain on real workloads,
+//! across machines — the repository's top-level acceptance suite.
+
+use asip::core::nxm::run_grid;
+use asip::core::Toolchain;
+use asip::isa::MachineDescription;
+use asip::workloads;
+
+/// Every workload runs correctly (golden-checked) on the reference 4-issue
+/// member with full optimization.
+#[test]
+fn all_workloads_pass_on_ember4() {
+    let tc = Toolchain::default();
+    let m = MachineDescription::ember4();
+    for w in workloads::all() {
+        let run = tc
+            .run_workload(&w, &m)
+            .unwrap_or_else(|e| panic!("{} failed on ember4: {e}", w.name));
+        assert!(run.sim.cycles > 0);
+    }
+}
+
+/// Every workload also runs correctly with all optimizations off — the
+/// unoptimized and optimized compilers agree with the golden model.
+#[test]
+fn all_workloads_pass_unoptimized_on_ember2() {
+    let tc = Toolchain::unoptimized();
+    let m = MachineDescription::ember2();
+    for w in workloads::all() {
+        tc.run_workload(&w, &m)
+            .unwrap_or_else(|e| panic!("{} failed unoptimized: {e}", w.name));
+    }
+}
+
+/// A reduced N×M grid (3 machines × 6 workloads) passes — the full grid is
+/// the `exp_nxm` experiment binary.
+#[test]
+fn nxm_grid_subset_passes() {
+    let tc = Toolchain::default();
+    let machines = vec![
+        MachineDescription::ember1(),
+        MachineDescription::ember4(),
+        MachineDescription::ember4x2(),
+    ];
+    let ws: Vec<_> = ["fir", "viterbi", "median", "crc32", "sort", "dither"]
+        .iter()
+        .map(|n| workloads::by_name(n).unwrap())
+        .collect();
+    let grid = run_grid(&tc, &machines, &ws);
+    assert!(grid.all_pass(), "\n{grid}");
+}
+
+/// Optimization monotonicity: the optimized build is never slower than the
+/// unoptimized build on the wide machine.
+#[test]
+fn optimization_helps_or_is_neutral() {
+    let opt = Toolchain::default();
+    let unopt = Toolchain::unoptimized();
+    let m = MachineDescription::ember4();
+    for name in ["fir", "sobel", "matmul", "autocorr"] {
+        let w = workloads::by_name(name).unwrap();
+        let fast = opt.run_workload(&w, &m).unwrap().sim.cycles;
+        let slow = unopt.run_workload(&w, &m).unwrap().sim.cycles;
+        assert!(
+            fast <= slow,
+            "{name}: optimized {fast} > unoptimized {slow}"
+        );
+    }
+}
+
+/// Wider machines never lose cycles on ILP-rich kernels.
+#[test]
+fn width_scaling_on_ilp_kernels() {
+    let tc = Toolchain::default();
+    let m1 = MachineDescription::ember1();
+    let m8 = MachineDescription::ember8();
+    for name in ["fir", "dct8x8", "matmul"] {
+        let w = workloads::by_name(name).unwrap();
+        let c1 = tc.run_workload(&w, &m1).unwrap().sim.cycles;
+        let c8 = tc.run_workload(&w, &m8).unwrap().sim.cycles;
+        assert!(c8 < c1, "{name}: 8-issue {c8} not faster than 1-issue {c1}");
+        assert!(
+            (c1 as f64 / c8 as f64) > 1.2,
+            "{name}: speedup {:.2} suspiciously small",
+            c1 as f64 / c8 as f64
+        );
+    }
+}
+
+/// The machine-description DSL round-trips every preset and the compiled
+/// results are identical for parsed-back machines.
+#[test]
+fn dsl_roundtrip_produces_identical_compilation() {
+    let tc = Toolchain::default();
+    let w = workloads::by_name("rle").unwrap();
+    for m in MachineDescription::presets() {
+        let text = asip::isa::desc::print_machine(&m);
+        let back = asip::isa::desc::parse_machine(&text).unwrap();
+        let a = tc.run_workload(&w, &m).unwrap();
+        let b = tc.run_workload(&w, &back).unwrap();
+        assert_eq!(a.sim.cycles, b.sim.cycles, "{}", m.name);
+        assert_eq!(a.code_bytes, b.code_bytes, "{}", m.name);
+    }
+}
+
+/// Simulated energy and area are positive and ordered sensibly across the
+/// family (bigger machines burn more area; fewer cycles may cost energy).
+#[test]
+fn hw_models_are_sane_end_to_end() {
+    let tc = Toolchain::default();
+    let w = workloads::by_name("autocorr").unwrap();
+    let m1 = MachineDescription::ember1();
+    let m8 = MachineDescription::ember8();
+    let r1 = tc.run_workload(&w, &m1).unwrap();
+    let r8 = tc.run_workload(&w, &m8).unwrap();
+    let a1 = asip::isa::hwmodel::area(&m1).total();
+    let a8 = asip::isa::hwmodel::area(&m8).total();
+    assert!(a8 > a1);
+    let e1 = asip::isa::hwmodel::energy(&m1, &r1.sim.activity).total_nj();
+    let e8 = asip::isa::hwmodel::energy(&m8, &r8.sim.activity).total_nj();
+    assert!(e1 > 0.0 && e8 > 0.0);
+}
