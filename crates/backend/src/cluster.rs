@@ -50,7 +50,9 @@ impl Homes {
 /// Assign clusters and insert inter-cluster copies. Returns the home map.
 pub fn assign_clusters(f: &mut LFunc, machine: &MachineDescription) -> Homes {
     let nclusters = machine.clusters;
-    let mut homes = Homes { map: vec![None; f.num_vregs as usize] };
+    let mut homes = Homes {
+        map: vec![None; f.num_vregs as usize],
+    };
     if nclusters <= 1 {
         return homes;
     }
@@ -86,9 +88,7 @@ pub fn assign_clusters(f: &mut LFunc, machine: &MachineDescription) -> Homes {
                 }
                 let min_load = *load.iter().min().unwrap_or(&0);
                 (0..nclusters)
-                    .max_by_key(|&c| {
-                        votes[c as usize] * 4 - (load[c as usize] - min_load) as i64
-                    })
+                    .max_by_key(|&c| votes[c as usize] * 4 - (load[c as usize] - min_load) as i64)
                     .unwrap_or(0)
             };
 
@@ -124,8 +124,7 @@ pub fn assign_clusters(f: &mut LFunc, machine: &MachineDescription) -> Homes {
                         // Write lands on `cluster`; ship it home afterwards.
                         let tmp = f.new_vreg();
                         homes.set(tmp, cluster);
-                        copy_outs
-                            .push(LOp::new(Opcode::CopyX, vec![dv], vec![LVal::Reg(tmp)]));
+                        copy_outs.push(LOp::new(Opcode::CopyX, vec![dv], vec![LVal::Reg(tmp)]));
                         let _ = h;
                         *d = tmp;
                     }

@@ -8,9 +8,7 @@ use crate::lir::{LFunc, LImm, LModule, LTarget, LVal};
 use crate::regalloc::packed_to_reg;
 use crate::sched::ScheduledFunc;
 use asip_ir::Module;
-use asip_isa::{
-    Bundle, FuncSym, GlobalSym, MachineDescription, MachineOp, Operand, VliwProgram,
-};
+use asip_isa::{Bundle, FuncSym, GlobalSym, MachineDescription, MachineOp, Operand, VliwProgram};
 
 /// Emit the whole program. `scheduled[i]` must correspond to
 /// `lm.funcs[i]` and already carry packed physical registers (see
@@ -156,7 +154,9 @@ mod tests {
         asip_ir::passes::optimize(&mut m, &asip_ir::passes::OptConfig::none());
         let machine = MachineDescription::ember4();
         let out = compile_module(&m, &machine, None, &BackendOptions::default()).unwrap();
-        out.program.validate(&machine).expect("emitted program must validate");
+        out.program
+            .validate(&machine)
+            .expect("emitted program must validate");
         assert!(out.program.function("main").is_some());
         assert!(out.program.global("tab").is_some());
         assert_eq!(out.program.global("tab").unwrap().init.len(), 8);

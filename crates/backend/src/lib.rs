@@ -227,7 +227,9 @@ pub fn compile_module(
                     continue;
                 }
             }
-            return Err(BackendError::SpillDivergence { func: lf.name.clone() });
+            return Err(BackendError::SpillDivergence {
+                func: lf.name.clone(),
+            });
         };
         scheduled.push(s);
     }
@@ -239,7 +241,11 @@ pub fn compile_module(
     let stats = BackendStats {
         bundles,
         ops,
-        occupancy: if bundles == 0 { 0.0 } else { ops as f64 / (bundles * width) as f64 },
+        occupancy: if bundles == 0 {
+            0.0
+        } else {
+            ops as f64 / (bundles * width) as f64
+        },
         spill_slots: lm.funcs.iter().map(|f| f.spill_slots).sum(),
         traces_formed,
     };

@@ -122,7 +122,14 @@ pub struct LOp {
 impl LOp {
     /// Build a simple op.
     pub fn new(opcode: Opcode, dsts: Vec<VReg>, srcs: Vec<LVal>) -> LOp {
-        LOp { opcode, dsts, srcs, imm: LImm::Const(0), target: LTarget::None, spill: false }
+        LOp {
+            opcode,
+            dsts,
+            srcs,
+            imm: LImm::Const(0),
+            target: LTarget::None,
+            spill: false,
+        }
     }
 
     /// Registers read.
@@ -197,8 +204,9 @@ impl MemKey {
         match (self, other) {
             (MemKey::Absolute(a), MemKey::Absolute(b)) => a == b,
             // Globals live at low addresses, frames at the top of memory.
-            (MemKey::Absolute(_), MemKey::Frame(_))
-            | (MemKey::Frame(_), MemKey::Absolute(_)) => false,
+            (MemKey::Absolute(_), MemKey::Frame(_)) | (MemKey::Frame(_), MemKey::Absolute(_)) => {
+                false
+            }
             (MemKey::Frame(a), MemKey::Frame(b)) => frame_may_alias(a, b),
             _ => true,
         }
@@ -363,7 +371,10 @@ impl fmt::Display for LowerToLirError {
         match self {
             LowerToLirError::NoEntry(n) => write!(f, "no entry function {n:?}"),
             LowerToLirError::CallsEntry { caller } => {
-                write!(f, "{caller} calls the entry function, which is not supported")
+                write!(
+                    f,
+                    "{caller} calls the entry function, which is not supported"
+                )
             }
             LowerToLirError::MissingUnit(m) => write!(f, "machine lacks a unit: {m}"),
         }
@@ -405,7 +416,15 @@ pub fn lower_module(
         .iter()
         .flat_map(|f| f.blocks.iter())
         .flat_map(|b| b.insts.iter())
-        .any(|i| matches!(i, Inst::Bin { op: Opcode::Mul | Opcode::MulH | Opcode::Div | Opcode::Rem, .. }));
+        .any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: Opcode::Mul | Opcode::MulH | Opcode::Div | Opcode::Rem,
+                    ..
+                }
+            )
+        });
     if uses_mul && !machine.has_fu(asip_isa::FuKind::Mul) {
         return Err(LowerToLirError::MissingUnit(
             "program multiplies/divides but no slot hosts the mul unit".into(),
@@ -427,7 +446,9 @@ pub fn lower_module(
             for i in &b.insts {
                 if let Inst::Call { func, .. } = i {
                     if *func == entry_id {
-                        return Err(LowerToLirError::CallsEntry { caller: f.name.clone() });
+                        return Err(LowerToLirError::CallsEntry {
+                            caller: f.name.clone(),
+                        });
                     }
                 }
             }
@@ -435,7 +456,12 @@ pub fn lower_module(
         funcs.push(lower_func(f, &global_addr, fi as u32 == entry_id.0));
     }
 
-    Ok(LModule { funcs, global_addr, data_words: addr, entry: entry_id.0 })
+    Ok(LModule {
+        funcs,
+        global_addr,
+        data_words: addr,
+        entry: entry_id.0,
+    })
 }
 
 fn lower_func(f: &Function, global_addr: &[u32], is_entry: bool) -> LFunc {
@@ -456,7 +482,11 @@ fn lower_func(f: &Function, global_addr: &[u32], is_entry: bool) -> LFunc {
     let vfp = lf.vfp;
     // One shared scratch register for LR restores in epilogues (each use is
     // a local def-use pair, so sharing is safe in the non-SSA LIR).
-    let lr_tmp = if lf.has_calls && !is_entry { Some(lf.new_vreg()) } else { None };
+    let lr_tmp = if lf.has_calls && !is_entry {
+        Some(lf.new_vreg())
+    } else {
+        None
+    };
 
     // Lower each block body.
     for (bi, block) in f.iter_blocks() {
@@ -541,13 +571,7 @@ fn emit_epilogue(ops: &mut Vec<LOp>, vfp: VReg, is_entry: bool, lr_tmp: Option<V
     ops.push(LOp::new(Opcode::Ret, vec![], vec![]));
 }
 
-fn lower_inst(
-    inst: &Inst,
-    ops: &mut Vec<LOp>,
-    lf: &mut LFunc,
-    global_addr: &[u32],
-    vfp: VReg,
-) {
+fn lower_inst(inst: &Inst, ops: &mut Vec<LOp>, lf: &mut LFunc, global_addr: &[u32], vfp: VReg) {
     match inst {
         Inst::Bin { op, dst, a, b } => {
             ops.push(LOp::new(*op, vec![*dst], vec![lval(*a), lval(*b)]));
@@ -628,8 +652,7 @@ fn lower_inst(
         Inst::Call { dst, func, args } => {
             let n = args.len() as u32;
             for (i, a) in args.iter().enumerate() {
-                let mut st =
-                    LOp::new(Opcode::Stw, vec![], vec![lval(*a), LVal::Reg(vfp)]);
+                let mut st = LOp::new(Opcode::Stw, vec![], vec![lval(*a), LVal::Reg(vfp)]);
                 st.imm = LImm::Frame(FrameRef::Out(i as u32, n));
                 ops.push(st);
             }
@@ -724,9 +747,7 @@ mod tests {
 
     #[test]
     fn entry_cannot_be_called() {
-        let m = asip_tinyc::compile(
-            "void main() { helper(); } void helper() { main(); }",
-        );
+        let m = asip_tinyc::compile("void main() { helper(); } void helper() { main(); }");
         // TinyC allows this; the backend must reject it.
         let m = m.unwrap();
         let e = lower_module(&m, &MachineDescription::ember1(), "main").unwrap_err();
@@ -735,10 +756,8 @@ mod tests {
 
     #[test]
     fn globals_get_sequential_addresses() {
-        let m = asip_tinyc::compile(
-            "int a[10]; int b; int c[5]; void main() { emit(b); }",
-        )
-        .unwrap();
+        let m =
+            asip_tinyc::compile("int a[10]; int b; int c[5]; void main() { emit(b); }").unwrap();
         let lm = lower_module(&m, &MachineDescription::ember1(), "main").unwrap();
         assert_eq!(lm.global_addr, vec![0, 10, 11]);
         assert_eq!(lm.data_words, 16);

@@ -313,8 +313,16 @@ pub fn try_allocate(
             // Prefer the furthest-ending *long* interval (spilling a 1-2
             // bundle interval cannot relieve pressure).
             let worth = |iv: &Interval| iv.spillable && iv.end - iv.start > 2;
-            let mut victim: Option<usize> = if worth(&intervals[idx]) { Some(idx) } else { None };
-            let mut victim_end = if worth(&intervals[idx]) { intervals[idx].end } else { 0 };
+            let mut victim: Option<usize> = if worth(&intervals[idx]) {
+                Some(idx)
+            } else {
+                None
+            };
+            let mut victim_end = if worth(&intervals[idx]) {
+                intervals[idx].end
+            } else {
+                0
+            };
             for &(end, ai) in &active {
                 if intervals[ai].cluster == cluster && worth(&intervals[ai]) && end > victim_end {
                     victim = Some(ai);
@@ -342,7 +350,9 @@ pub fn try_allocate(
             spills.push(intervals[v].vreg);
             if v != idx {
                 // Steal the victim's register.
-                let r = assignment[v].take().expect("active interval has a register");
+                let r = assignment[v]
+                    .take()
+                    .expect("active interval has a register");
                 active.retain(|&(_, ai)| ai != v);
                 assignment[idx] = Some(r);
                 active.push((intervals[idx].end, idx));
@@ -360,7 +370,10 @@ pub fn try_allocate(
         .iter()
         .zip(&assignment)
         .map(|(iv, a)| {
-            (iv.vreg, Reg::new(iv.cluster, a.expect("no spills means all assigned")))
+            (
+                iv.vreg,
+                Reg::new(iv.cluster, a.expect("no spills means all assigned")),
+            )
         })
         .collect();
     Ok(AllocOutcome::Assigned(map))
@@ -371,8 +384,7 @@ pub fn try_allocate(
 /// (they must never themselves be spilled). The caller re-runs cluster
 /// assignment and scheduling on the rewritten function.
 pub fn rewrite_spills(f: &mut LFunc, spilled: &[VReg], spill_temps: &mut BTreeSet<VReg>) {
-    let slots: HashMap<VReg, u32> =
-        spilled.iter().map(|&v| (v, f.new_spill_slot())).collect();
+    let slots: HashMap<VReg, u32> = spilled.iter().map(|&v| (v, f.new_spill_slot())).collect();
     for bi in 0..f.blocks.len() {
         let ops = std::mem::take(&mut f.blocks[bi].ops);
         let mut out = Vec::with_capacity(ops.len() * 2);
@@ -387,8 +399,7 @@ pub fn rewrite_spills(f: &mut LFunc, spilled: &[VReg], spill_temps: &mut BTreeSe
                             f.num_vregs += 1;
                             let t = VReg(t);
                             spill_temps.insert(t);
-                            let mut ld =
-                                LOp::new(Opcode::Ldw, vec![t], vec![LVal::Reg(f.vfp)]);
+                            let mut ld = LOp::new(Opcode::Ldw, vec![t], vec![LVal::Reg(f.vfp)]);
                             ld.imm = LImm::Frame(FrameRef::Spill(slot));
                             ld.spill = true;
                             out.push(ld);
@@ -421,10 +432,7 @@ pub fn rewrite_spills(f: &mut LFunc, spilled: &[VReg], spill_temps: &mut BTreeSe
 }
 
 /// Substitute physical registers into a scheduled function.
-pub fn apply_assignment(
-    s: &mut ScheduledFunc,
-    map: &HashMap<VReg, Reg>,
-) {
+pub fn apply_assignment(s: &mut ScheduledFunc, map: &HashMap<VReg, Reg>) {
     let lookup = |v: VReg| -> Reg {
         if v == RETV {
             Reg::RETVAL
@@ -504,7 +512,10 @@ mod tests {
         for r in map.values() {
             assert!(r.cluster < m.clusters);
             assert!(r.index < m.regs_per_cluster);
-            assert!(!(r.cluster == 0 && r.index < 2), "reserved register allocated: {r}");
+            assert!(
+                !(r.cluster == 0 && r.index < 2),
+                "reserved register allocated: {r}"
+            );
         }
     }
 
@@ -526,8 +537,12 @@ mod tests {
         // Re-derive intervals and check assigned registers don't collide.
         // (ember4 has a single cluster, so re-running cluster assignment on a
         // clone is a no-op and homes are all zero.)
-        let ivs =
-            build_intervals(&s, &lf, &assign_clusters(&mut lf.clone(), &m), &BTreeSet::new());
+        let ivs = build_intervals(
+            &s,
+            &lf,
+            &assign_clusters(&mut lf.clone(), &m),
+            &BTreeSet::new(),
+        );
         for i in 0..ivs.len() {
             for j in (i + 1)..ivs.len() {
                 let (a, b) = (&ivs[i], &ivs[j]);
@@ -550,7 +565,11 @@ mod tests {
     fn small_regfile_forces_spills_and_converges() {
         let mut b = MachineDescription::builder("tiny");
         b.registers(8)
-            .slot(&[asip_isa::FuKind::Alu, asip_isa::FuKind::Mem, asip_isa::FuKind::Branch])
+            .slot(&[
+                asip_isa::FuKind::Alu,
+                asip_isa::FuKind::Mem,
+                asip_isa::FuKind::Branch,
+            ])
             .slot(&[asip_isa::FuKind::Alu, asip_isa::FuKind::Mul]);
         let m = b.build().unwrap();
         // Lots of simultaneously-live values.

@@ -181,10 +181,15 @@ pub fn schedule_function_sequential(
         for op in &b.ops {
             let cluster = op_cluster(op, homes) as usize;
             let kind = op.opcode.fu_kind();
-            let slot = (0..spc).find(|&s| machine.slots[s].hosts(kind)).ok_or_else(|| {
-                ScheduleError::NoSlotFor { opcode: op.opcode.to_string(), cluster: cluster as u8 }
-            })?;
-            let mut bundle = LBundle { slots: vec![None; width] };
+            let slot = (0..spc)
+                .find(|&s| machine.slots[s].hosts(kind))
+                .ok_or_else(|| ScheduleError::NoSlotFor {
+                    opcode: op.opcode.to_string(),
+                    cluster: cluster as u8,
+                })?;
+            let mut bundle = LBundle {
+                slots: vec![None; width],
+            };
             bundle.slots[cluster * spc + slot] = Some(op.clone());
             bundles.push(bundle);
         }
@@ -215,11 +220,12 @@ fn schedule_block(
     // ---- dependence DAG ----
     let mut succs: Vec<Vec<Edge>> = vec![Vec::new(); n];
     let mut indeg = vec![0u32; n];
-    let add_edge = |from: usize, to: usize, lat: u32, succs: &mut Vec<Vec<Edge>>, indeg: &mut Vec<u32>| {
-        debug_assert!(from < to);
-        succs[from].push(Edge { to, lat });
-        indeg[to] += 1;
-    };
+    let add_edge =
+        |from: usize, to: usize, lat: u32, succs: &mut Vec<Vec<Edge>>, indeg: &mut Vec<u32>| {
+            debug_assert!(from < to);
+            succs[from].push(Edge { to, lat });
+            indeg[to] += 1;
+        };
 
     let mut last_def: HashMap<VReg, usize> = HashMap::new();
     let mut uses_since_def: HashMap<VReg, Vec<usize>> = HashMap::new();
@@ -311,8 +317,7 @@ fn schedule_block(
         };
         // Ops before the branch: side-effecting or trap-capable ops must not
         // sink below it; defs live on the exit path must be complete.
-        for i in 0..bj {
-            let oi = &ops[i];
+        for (i, oi) in ops.iter().enumerate().take(bj) {
             if oi.opcode.is_control() {
                 continue; // control chain already ordered
             }
@@ -326,8 +331,7 @@ fn schedule_block(
         }
         // Ops after the branch: only pure ops whose defs are dead on the
         // exit path may be speculated above it.
-        for k in (bj + 1)..n {
-            let ok = &ops[k];
+        for (k, ok) in ops.iter().enumerate().take(n).skip(bj + 1) {
             if ok.opcode.is_control() {
                 continue;
             }
@@ -370,7 +374,6 @@ fn schedule_block(
     let mut bundles: Vec<LBundle> = Vec::new();
     let mut remaining = n;
     let mut cycle = 0u32;
-    let mut indeg = indeg;
 
     // Pre-check: every op must have a compatible slot on its home cluster.
     for op in ops {
@@ -385,7 +388,9 @@ fn schedule_block(
     }
 
     while remaining > 0 {
-        let mut bundle = LBundle { slots: vec![None; width] };
+        let mut bundle = LBundle {
+            slots: vec![None; width],
+        };
         let mut control_used = false;
         // Candidates ready this cycle, best priority first.
         let mut cands: Vec<usize> = ready
@@ -413,9 +418,7 @@ fn schedule_block(
                 match best {
                     None => best = Some(gslot),
                     Some(b) => {
-                        if machine.slots[s].kinds().len()
-                            < machine.slots[b % spc].kinds().len()
-                        {
+                        if machine.slots[s].kinds().len() < machine.slots[b % spc].kinds().len() {
                             best = Some(gslot);
                         }
                     }
@@ -513,7 +516,10 @@ mod tests {
             s4.num_bundles(),
             s1.num_bundles()
         );
-        assert!(s4.num_bundles() < s1.num_bundles(), "independent adds must pack");
+        assert!(
+            s4.num_bundles() < s1.num_bundles(),
+            "independent adds must pack"
+        );
     }
 
     #[test]

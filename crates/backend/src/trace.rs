@@ -25,7 +25,11 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
-        TraceConfig { max_trace_blocks: 16, max_dup_ops: 80, min_ratio: 0.4 }
+        TraceConfig {
+            max_trace_blocks: 16,
+            max_dup_ops: 80,
+            min_ratio: 0.4,
+        }
     }
 }
 
@@ -121,17 +125,12 @@ pub fn form_superblocks(f: &mut LFunc, counts: &[u64], cfg: &TraceConfig) -> usi
             if s == 0 || in_trace[s as usize] || trace.contains(&s) {
                 break;
             }
-            if !counts.is_empty()
-                && (count(s) as f64) < cfg.min_ratio * head_count as f64
-            {
+            if !counts.is_empty() && (count(s) as f64) < cfg.min_ratio * head_count as f64 {
                 break;
             }
             // Mutual-most-likely: `s`'s hottest predecessor should be `cur`.
             if !counts.is_empty() {
-                let hottest_pred = preds[s as usize]
-                    .iter()
-                    .copied()
-                    .max_by_key(|&p| count(p));
+                let hottest_pred = preds[s as usize].iter().copied().max_by_key(|&p| count(p));
                 if hottest_pred != Some(cur) {
                     break;
                 }
@@ -357,7 +356,10 @@ mod tests {
         let before = f.blocks.len();
         let formed = form_superblocks(&mut f, &[], &TraceConfig::default());
         assert!(formed >= 1, "at least the loop trace should form");
-        assert!(f.blocks.len() <= before, "merging cannot add reachable blocks");
+        assert!(
+            f.blocks.len() <= before,
+            "merging cannot add reachable blocks"
+        );
         // One block should now contain both a conditional exit and the loop
         // body's back edge.
         let has_superblock = f.blocks.iter().any(|b| {

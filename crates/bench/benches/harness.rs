@@ -31,7 +31,9 @@ fn bench_simulate(c: &mut Criterion) {
     let w = asip_workloads::by_name("crc32").unwrap();
     let m = MachineDescription::ember4();
     let module = tc.frontend(&w.source).unwrap();
-    let prog = compile_module(&module, &m, None, &BackendOptions::default()).unwrap().program;
+    let prog = compile_module(&module, &m, None, &BackendOptions::default())
+        .unwrap()
+        .program;
     let mut g = c.benchmark_group("simulate");
     g.sample_size(10);
     g.bench_function("crc32-ember4", |b| {
@@ -83,7 +85,9 @@ fn bench_translate(c: &mut Criterion) {
         m.slots.truncate(2);
     });
     let module = tc.frontend(&w.source).unwrap();
-    let prog = compile_module(&module, &a, None, &BackendOptions::default()).unwrap().program;
+    let prog = compile_module(&module, &a, None, &BackendOptions::default())
+        .unwrap()
+        .program;
     let mut g = c.benchmark_group("dbt");
     g.sample_size(10);
     g.bench_function("viterbi-rebundle", |b| {

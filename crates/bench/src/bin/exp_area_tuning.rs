@@ -1,4 +1,7 @@
 //! E11: tailor to an application area, not an application.
 fn main() {
-    println!("{}", asip_bench::fit::area_tuning(asip_workloads::AppArea::Video));
+    println!(
+        "{}",
+        asip_bench::fit::area_tuning(asip_workloads::AppArea::Video)
+    );
 }

@@ -1,4 +1,7 @@
 //! E5: unified vs clustered register files at equal width.
 fn main() {
-    println!("{}", asip_bench::hw::clusters(&asip_bench::hw::sweep_workloads()));
+    println!(
+        "{}",
+        asip_bench::hw::clusters(&asip_bench::hw::sweep_workloads())
+    );
 }

@@ -1,4 +1,7 @@
 //! E8: instruction encodings, code size and I-cache stalls.
 fn main() {
-    println!("{}", asip_bench::hw::compression(&asip_bench::hw::sweep_workloads()));
+    println!(
+        "{}",
+        asip_bench::hw::compression(&asip_bench::hw::sweep_workloads())
+    );
 }

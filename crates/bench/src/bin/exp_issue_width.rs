@@ -1,4 +1,7 @@
 //! E3: cycles vs issue width.
 fn main() {
-    println!("{}", asip_bench::hw::issue_width(&asip_bench::hw::sweep_workloads()));
+    println!(
+        "{}",
+        asip_bench::hw::issue_width(&asip_bench::hw::sweep_workloads())
+    );
 }

@@ -1,4 +1,7 @@
 //! E7: cycles vs multiplier / memory latency.
 fn main() {
-    println!("{}", asip_bench::hw::latency(&asip_bench::hw::sweep_workloads()));
+    println!(
+        "{}",
+        asip_bench::hw::latency(&asip_bench::hw::sweep_workloads())
+    );
 }

@@ -1,4 +1,7 @@
 //! E13: area/performance Pareto frontier for an application area.
 fn main() {
-    println!("{}", asip_bench::fit::pareto(asip_workloads::AppArea::Cellphone, 3));
+    println!(
+        "{}",
+        asip_bench::fit::pareto(asip_workloads::AppArea::Cellphone, 3)
+    );
 }

@@ -1,4 +1,7 @@
 //! E4: cycles vs register-file size (the spill cliff).
 fn main() {
-    println!("{}", asip_bench::hw::registers(&asip_bench::hw::sweep_workloads()));
+    println!(
+        "{}",
+        asip_bench::hw::registers(&asip_bench::hw::sweep_workloads())
+    );
 }

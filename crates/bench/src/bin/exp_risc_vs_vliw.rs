@@ -1,4 +1,7 @@
 //! E2: area-matched compatible superscalar vs 4-issue customized VLIW.
 fn main() {
-    println!("{}", asip_bench::hw::risc_vs_vliw(&asip_bench::hw::sweep_workloads()));
+    println!(
+        "{}",
+        asip_bench::hw::risc_vs_vliw(&asip_bench::hw::sweep_workloads())
+    );
 }

@@ -57,7 +57,10 @@ pub fn isa_drift(workloads: &[Workload]) -> String {
         // Build once for A.
         let module = tc.frontend(&w.source).expect("frontend");
         let profile = tc.profile(&module, &w.inputs, &w.args).expect("profile");
-        let prog_a = tc.compile(&module, &a, Some(&profile)).expect("compile A").program;
+        let prog_a = tc
+            .compile(&module, &a, Some(&profile))
+            .expect("compile A")
+            .program;
         let native_a = run_image(w, &a, &prog_a).expect("run A");
 
         for b in &drifted {
@@ -72,7 +75,10 @@ pub fn isa_drift(workloads: &[Workload]) -> String {
             tprog.validate(b).expect("translated validates");
             let translated = run_image(w, b, &tprog).expect("run translated");
             let recompiled = {
-                let p = tc.compile(&module, b, Some(&profile)).expect("recompile").program;
+                let p = tc
+                    .compile(&module, b, Some(&profile))
+                    .expect("recompile")
+                    .program;
                 run_image(w, b, &p).expect("run recompiled")
             };
             let ratio = translated as f64 / recompiled as f64;
@@ -105,8 +111,10 @@ mod tests {
 
     #[test]
     fn drift_report_correct_and_bounded() {
-        let ws: Vec<Workload> =
-            ["crc32"].iter().map(|n| asip_workloads::by_name(n).unwrap()).collect();
+        let ws: Vec<Workload> = ["crc32"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect();
         let report = isa_drift(&ws);
         assert!(report.contains("drift-narrow2"), "{report}");
         // Translated code must be within a small factor of native recompile.

@@ -11,7 +11,14 @@ use asip_isa::MachineDescription;
 pub fn table1_experiment() -> String {
     // Part A: the published table, arithmetic recomputed.
     let mut ta = Table::new(&[
-        "Core", "Bus", "Family", "Price", "Winstone", "Quake", "W-Perf/Price", "Q-Perf/Price",
+        "Core",
+        "Bus",
+        "Family",
+        "Price",
+        "Winstone",
+        "Quake",
+        "W-Perf/Price",
+        "Q-Perf/Price",
     ]);
     for r in table1() {
         ta.row(vec![
@@ -52,7 +59,12 @@ pub fn table1_experiment() -> String {
     let rows = price_family(&grades, &PriceCurve::default());
     let mut tb = Table::new(&["Member", "Perf (fir)", "Price", "Perf/Price"]);
     for r in &rows {
-        tb.row(vec![r.label.clone(), f2(r.perf), format!("${:.0}", r.price), f3(r.perf_price())]);
+        tb.row(vec![
+            r.label.clone(),
+            f2(r.perf),
+            format!("${:.0}", r.price),
+            f3(r.perf_price()),
+        ]);
     }
     let first_pp = rows.first().map(|r| r.perf_price()).unwrap_or(0.0);
     let last_pp = rows.last().map(|r| r.perf_price()).unwrap_or(0.0);
@@ -85,7 +97,11 @@ pub fn volume_experiment() -> String {
                 v.to_string(),
                 f2(c),
                 f2(d),
-                if c < d { "custom".into() } else { "discrete".into() },
+                if c < d {
+                    "custom".into()
+                } else {
+                    "discrete".into()
+                },
             ]);
         }
     }

@@ -29,7 +29,9 @@ pub fn custom_ops(workloads: &[Workload]) -> String {
 
     for w in workloads {
         let base_module = tc.frontend(&w.source).expect("frontend");
-        let profile = tc.profile(&base_module, &w.inputs, &w.args).expect("profile");
+        let profile = tc
+            .profile(&base_module, &w.inputs, &w.args)
+            .expect("profile");
         let machine = MachineDescription::ember1();
         let mut row = vec![w.name.clone()];
         let mut base_cycles = 0u64;
@@ -37,7 +39,10 @@ pub fn custom_ops(workloads: &[Workload]) -> String {
         for (i, &budget) in budgets.iter().enumerate() {
             let mut module = base_module.clone();
             let (m2, report) = if budget > 0.0 {
-                let cfg = IseConfig { area_budget: budget, ..Default::default() };
+                let cfg = IseConfig {
+                    area_budget: budget,
+                    ..Default::default()
+                };
                 extend(&mut module, &machine, &profile, &cfg)
             } else {
                 (machine.clone(), Default::default())
@@ -72,8 +77,11 @@ pub fn nxm_grid(machines: &[MachineDescription], workloads: &[Workload]) -> Stri
     let tc = Toolchain::default();
     let grid = run_grid(&tc, machines, workloads);
     format!(
-        "E9: N x M toolchain validation (cycles per cell; any FAIL fails the family)\n\n{}\nALL PASS: {}\n",
+        "E9: N x M toolchain validation (cycles per cell; any FAIL fails the family)\n\n{}\n\
+         workers: {}  |  artifact cache: {}\nALL PASS: {}\n",
         grid,
+        grid.parallelism,
+        tc.cache_stats(),
         grid.all_pass()
     )
 }
@@ -118,7 +126,12 @@ pub fn area_tuning(area: AppArea) -> String {
                 t.row(vec![tag, f2(cs), f2(ca), f3(ca / cs)]);
             }
             (a, b) => {
-                t.row(vec![w.name.clone(), format!("{a:?}"), format!("{b:?}"), "-".into()]);
+                t.row(vec![
+                    w.name.clone(),
+                    format!("{a:?}"),
+                    format!("{b:?}"),
+                    "-".into(),
+                ]);
             }
         }
     }
@@ -141,9 +154,15 @@ pub fn pareto(area: AppArea, max_workloads: usize) -> String {
     let mut suite = asip_workloads::by_area(area);
     suite.truncate(max_workloads);
     let ex = explore(&tc, &SearchSpace::default(), &suite);
-    let mut t = Table::new(&["machine", "ISE budget", "area mm2", "gm cycles", "time ns", "on frontier"]);
-    let frontier: Vec<String> =
-        ex.pareto().iter().map(|p| p.machine.name.clone()).collect();
+    let mut t = Table::new(&[
+        "machine",
+        "ISE budget",
+        "area mm2",
+        "gm cycles",
+        "time ns",
+        "on frontier",
+    ]);
+    let frontier: Vec<String> = ex.pareto().iter().map(|p| p.machine.name.clone()).collect();
     let mut pts = ex.points.clone();
     pts.sort_by(|a, b| a.area_mm2.total_cmp(&b.area_mm2));
     for p in &pts {
@@ -153,7 +172,11 @@ pub fn pareto(area: AppArea, max_workloads: usize) -> String {
             f2(p.area_mm2),
             f2(p.cycles),
             f2(p.time_ns),
-            if frontier.contains(&p.machine.name) { "*".into() } else { "".into() },
+            if frontier.contains(&p.machine.name) {
+                "*".into()
+            } else {
+                "".into()
+            },
         ]);
     }
     format!(
@@ -171,13 +194,20 @@ mod tests {
 
     #[test]
     fn e6_speedup_never_below_one_at_geomean() {
-        let ws: Vec<Workload> =
-            ["yuv2rgb"].iter().map(|n| asip_workloads::by_name(n).unwrap()).collect();
+        let ws: Vec<Workload> = ["yuv2rgb"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect();
         let report = custom_ops(&ws);
         let line = report.lines().find(|l| l.starts_with("GEOMEAN")).unwrap();
-        let vals: Vec<f64> =
-            line.split_whitespace().filter_map(|t| t.parse::<f64>().ok()).collect();
-        assert!((vals[0] - 1.0).abs() < 1e-9, "budget 0 is the baseline\n{report}");
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|t| t.parse::<f64>().ok())
+            .collect();
+        assert!(
+            (vals[0] - 1.0).abs() < 1e-9,
+            "budget 0 is the baseline\n{report}"
+        );
         let last = vals[vals.len() - 1];
         assert!(last >= 1.0, "custom ops must not slow down\n{report}");
     }
@@ -185,8 +215,10 @@ mod tests {
     #[test]
     fn e9_small_grid_all_pass() {
         let machines = vec![MachineDescription::ember2()];
-        let ws: Vec<Workload> =
-            ["rle", "sort"].iter().map(|n| asip_workloads::by_name(n).unwrap()).collect();
+        let ws: Vec<Workload> = ["rle", "sort"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect();
         let report = nxm_grid(&machines, &ws);
         assert!(report.contains("ALL PASS: true"), "{report}");
     }

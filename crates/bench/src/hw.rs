@@ -10,14 +10,18 @@ use asip_workloads::Workload;
 /// Default workload subset for machine sweeps (one per area, plus two
 /// ILP-rich kernels), chosen to keep full sweeps under a minute.
 pub fn sweep_workloads() -> Vec<Workload> {
-    ["fir", "viterbi", "dct8x8", "sobel", "dither", "crc32", "matmul"]
-        .iter()
-        .map(|n| asip_workloads::by_name(n).expect("known workload"))
-        .collect()
+    [
+        "fir", "viterbi", "dct8x8", "sobel", "dither", "crc32", "matmul",
+    ]
+    .iter()
+    .map(|n| asip_workloads::by_name(n).expect("known workload"))
+    .collect()
 }
 
 fn cycles_on(tc: &Toolchain, w: &Workload, m: &MachineDescription) -> Result<u64, String> {
-    tc.run_workload(w, m).map(|r| r.sim.cycles).map_err(|e| e.to_string())
+    tc.run_workload(w, m)
+        .map(|r| r.sim.cycles)
+        .map_err(|e| e.to_string())
 }
 
 /// E2 — §2.2: "in about the chip area required for a RISC processor, we can
@@ -29,10 +33,15 @@ pub fn risc_vs_vliw(workloads: &[Workload]) -> String {
     let mm = MachineDescription::massmarket();
     let vliw = MachineDescription::ember4();
     let (a_mm, a_vliw) = (area(&mm).total(), area(&vliw).total());
-    let (p_mm, p_vliw) =
-        (cycle_time(&mm).period_ns(), cycle_time(&vliw).period_ns());
+    let (p_mm, p_vliw) = (cycle_time(&mm).period_ns(), cycle_time(&vliw).period_ns());
 
-    let mut t = Table::new(&["workload", "massmkt cyc", "vliw cyc", "cyc ratio", "time ratio"]);
+    let mut t = Table::new(&[
+        "workload",
+        "massmkt cyc",
+        "vliw cyc",
+        "cyc ratio",
+        "time ratio",
+    ]);
     let mut cyc_ratios = Vec::new();
     let mut time_ratios = Vec::new();
     for w in workloads {
@@ -42,11 +51,23 @@ pub fn risc_vs_vliw(workloads: &[Workload]) -> String {
         let tr = (c_mm as f64 * p_mm) / (c_v as f64 * p_vliw);
         cyc_ratios.push(cr);
         time_ratios.push(tr);
-        t.row(vec![w.name.clone(), c_mm.to_string(), c_v.to_string(), f2(cr), f2(tr)]);
+        t.row(vec![
+            w.name.clone(),
+            c_mm.to_string(),
+            c_v.to_string(),
+            f2(cr),
+            f2(tr),
+        ]);
     }
     let gm_c = geomean(&cyc_ratios);
     let gm_t = geomean(&time_ratios);
-    t.row(vec!["GEOMEAN".into(), "-".into(), "-".into(), f2(gm_c), f2(gm_t)]);
+    t.row(vec![
+        "GEOMEAN".into(),
+        "-".into(),
+        "-".into(),
+        f2(gm_c),
+        f2(gm_t),
+    ]);
 
     format!(
         "E2: area-matched compatible superscalar vs 4-issue customized VLIW\n\
@@ -71,7 +92,11 @@ pub fn issue_width(workloads: &[Workload]) -> String {
         MachineDescription::ember8(),
     ];
     let mut header = vec!["workload".to_string()];
-    header.extend(machines.iter().map(|m| format!("{} (w={})", m.name, m.issue_width())));
+    header.extend(
+        machines
+            .iter()
+            .map(|m| format!("{} (w={})", m.name, m.issue_width())),
+    );
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&hdr);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
@@ -90,7 +115,10 @@ pub fn issue_width(workloads: &[Workload]) -> String {
         row.push(f2(geomean(s)));
     }
     t.row(row);
-    format!("E3: cycles vs issue width (speedup relative to 1-issue)\n\n{}", t.render())
+    format!(
+        "E3: cycles vs issue width (speedup relative to 1-issue)\n\n{}",
+        t.render()
+    )
 }
 
 /// E4 — §1.2 "changing the number of registers": the spill cliff.
@@ -113,7 +141,10 @@ pub fn registers(workloads: &[Workload]) -> String {
         }
         t.row(row);
     }
-    format!("E4: cycles vs registers per cluster (ember4 slots)\n\n{}", t.render())
+    format!(
+        "E4: cycles vs registers per cluster (ember4 slots)\n\n{}",
+        t.render()
+    )
 }
 
 /// E5 — §1.2 ""register clusters"": unified vs clustered at equal total
@@ -122,7 +153,10 @@ pub fn clusters(workloads: &[Workload]) -> String {
     let tc = Toolchain::default();
     let unified = MachineDescription::ember4(); // 4 slots, 1x32 regs
     let clustered = MachineDescription::ember4x2(); // 2x2 slots, 2x16 regs
-    let (p_u, p_c) = (cycle_time(&unified).period_ns(), cycle_time(&clustered).period_ns());
+    let (p_u, p_c) = (
+        cycle_time(&unified).period_ns(),
+        cycle_time(&clustered).period_ns(),
+    );
     let mut t = Table::new(&[
         "workload",
         "unified cyc",
@@ -137,9 +171,21 @@ pub fn clusters(workloads: &[Workload]) -> String {
         let cr = cc as f64 / cu as f64; // >1: copies cost cycles
         let tr = (cc as f64 * p_c) / (cu as f64 * p_u);
         ratios.push(tr);
-        t.row(vec![w.name.clone(), cu.to_string(), cc.to_string(), f2(cr), f2(tr)]);
+        t.row(vec![
+            w.name.clone(),
+            cu.to_string(),
+            cc.to_string(),
+            f2(cr),
+            f2(tr),
+        ]);
     }
-    t.row(vec!["GEOMEAN".into(), "-".into(), "-".into(), "-".into(), f2(geomean(&ratios))]);
+    t.row(vec![
+        "GEOMEAN".into(),
+        "-".into(),
+        "-".into(),
+        "-".into(),
+        f2(geomean(&ratios)),
+    ]);
     format!(
         "E5: unified (32 regs, {p_u:.2} ns) vs 2-cluster (2x16 regs, {p_c:.2} ns), both 4-issue\n\
          time ratio < 1 means clustering wins after the clock benefit\n\n{}",
@@ -150,32 +196,50 @@ pub fn clusters(workloads: &[Workload]) -> String {
 /// E7 — §1.2 "changing latencies": multiplier and memory latency sweeps.
 pub fn latency(workloads: &[Workload]) -> String {
     let tc = Toolchain::default();
-    let mut t = Table::new(&["workload", "mul=1", "mul=2", "mul=3", "mul=5", "mem=1", "mem=2", "mem=4"]);
+    let mut t = Table::new(&[
+        "workload", "mul=1", "mul=2", "mul=3", "mul=5", "mem=1", "mem=2", "mem=4",
+    ]);
     for w in workloads {
         let mut row = vec![w.name.clone()];
         for lm in [1u32, 2, 3, 5] {
-            let m = MachineDescription::ember4()
-                .derive(&format!("m{lm}"), |m| m.lat_mul = lm);
-            row.push(cycles_on(&tc, w, &m).map(|c| c.to_string()).unwrap_or("FAIL".into()));
+            let m = MachineDescription::ember4().derive(&format!("m{lm}"), |m| m.lat_mul = lm);
+            row.push(
+                cycles_on(&tc, w, &m)
+                    .map(|c| c.to_string())
+                    .unwrap_or("FAIL".into()),
+            );
         }
         for le in [1u32, 2, 4] {
-            let m = MachineDescription::ember4()
-                .derive(&format!("e{le}"), |m| m.lat_mem = le);
-            row.push(cycles_on(&tc, w, &m).map(|c| c.to_string()).unwrap_or("FAIL".into()));
+            let m = MachineDescription::ember4().derive(&format!("e{le}"), |m| m.lat_mem = le);
+            row.push(
+                cycles_on(&tc, w, &m)
+                    .map(|c| c.to_string())
+                    .unwrap_or("FAIL".into()),
+            );
         }
         t.row(row);
     }
-    format!("E7: cycles vs multiplier / load-use latency (ember4)\n\n{}", t.render())
+    format!(
+        "E7: cycles vs multiplier / load-use latency (ember4)\n\n{}",
+        t.render()
+    )
 }
 
 /// E8 — §1.2 "visible instruction compression": code size and I-cache
 /// behaviour for the three encodings on a small instruction cache.
 pub fn compression(workloads: &[Workload]) -> String {
     let tc = Toolchain::default();
-    let encodings =
-        [Encoding::Uncompressed, Encoding::StopBit, Encoding::Compact16];
-    let small_icache =
-        Some(ICacheConfig { size_bytes: 512, line_bytes: 32, ways: 1, miss_penalty: 12 });
+    let encodings = [
+        Encoding::Uncompressed,
+        Encoding::StopBit,
+        Encoding::Compact16,
+    ];
+    let small_icache = Some(ICacheConfig {
+        size_bytes: 512,
+        line_bytes: 32,
+        ways: 1,
+        miss_penalty: 12,
+    });
     let mut t = Table::new(&[
         "workload",
         "bytes unc",
@@ -260,17 +324,28 @@ mod tests {
             .collect();
         assert_eq!(vals.len(), 4, "{report}");
         assert!((vals[0] - 1.0).abs() < 1e-9);
-        assert!(vals[3] >= vals[0], "wide machine slower than 1-issue\n{report}");
+        assert!(
+            vals[3] >= vals[0],
+            "wide machine slower than 1-issue\n{report}"
+        );
     }
 
     #[test]
     fn e8_compression_shrinks_code() {
         let report = compression(&two());
         assert!(report.contains("TOTAL"));
-        let line = report.lines().find(|l| l.contains("code-size ratio")).unwrap();
-        let vals: Vec<f64> =
-            line.split_whitespace().filter_map(|t| t.parse::<f64>().ok()).collect();
+        let line = report
+            .lines()
+            .find(|l| l.contains("code-size ratio"))
+            .unwrap();
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .filter_map(|t| t.parse::<f64>().ok())
+            .collect();
         assert!(vals[0] < 1.0, "stopbit must shrink code\n{report}");
-        assert!(vals[1] <= vals[0] + 0.05, "compact16 should be at least close\n{report}");
+        assert!(
+            vals[1] <= vals[0] + 0.05,
+            "compact16 should be at least close\n{report}"
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct Table {
 impl Table {
     /// Start a table with the given column headers.
     pub fn new(header: &[&str]) -> Table {
-        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row (must match the header length).
@@ -97,7 +100,7 @@ mod tests {
         assert!(s.contains("alpha"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().all(|c| c == '-'), true);
+        assert!(lines[1].chars().all(|c| c == '-'));
     }
 
     #[test]

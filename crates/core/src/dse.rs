@@ -12,9 +12,23 @@ use crate::pipeline::Toolchain;
 use asip_isa::hwmodel::{area, cycle_time, energy};
 use asip_isa::{FuKind, MachineDescription};
 use asip_workloads::Workload;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+
+/// Deterministic seeded Fisher–Yates shuffle (SplitMix64 stream), so sampled
+/// exploration is reproducible without an external RNG dependency.
+fn seeded_shuffle<T>(items: &mut [T], seed: u64) {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..items.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
 
 /// The search space: a cartesian grid over the §1.2 customization axes.
 #[derive(Debug, Clone)]
@@ -141,7 +155,9 @@ impl Exploration {
 
     /// The point with the lowest run time.
     pub fn fastest(&self) -> Option<&DesignPoint> {
-        self.points.iter().min_by(|a, b| a.time_ns.total_cmp(&b.time_ns))
+        self.points
+            .iter()
+            .min_by(|a, b| a.time_ns.total_cmp(&b.time_ns))
     }
 
     /// The point minimizing `time × area` (a balanced fit).
@@ -170,16 +186,25 @@ pub fn evaluate(
 
     for w in workloads {
         let mut module = tc.frontend(&w.source).map_err(|e| e.to_string())?;
-        let profile = tc.profile(&module, &w.inputs, &w.args).map_err(|e| e.to_string())?;
+        let profile = tc
+            .profile(&module, &w.inputs, &w.args)
+            .map_err(|e| e.to_string())?;
         let machine = if ise_budget > 0.0 && base.has_fu(FuKind::Custom) {
-            let cfg = IseConfig { area_budget: ise_budget, ..Default::default() };
+            let cfg = IseConfig {
+                area_budget: ise_budget,
+                ..Default::default()
+            };
             let (m2, _report) = extend(&mut module, &machine_used, &profile, &cfg);
             m2
         } else {
             machine_used.clone()
         };
-        let compiled = tc.compile(&module, &machine, Some(&profile)).map_err(|e| e.to_string())?;
-        let run = tc.run_compiled(w, &machine, &compiled).map_err(|e| e.to_string())?;
+        let compiled = tc
+            .compile(&module, &machine, Some(&profile))
+            .map_err(|e| e.to_string())?;
+        let run = tc
+            .run_compiled(w, &machine, &compiled)
+            .map_err(|e| e.to_string())?;
         log_cycles += (run.sim.cycles.max(1) as f64).ln();
         total_energy += energy(&machine, &run.sim.activity).total_nj();
         per.push(run.sim.cycles);
@@ -206,9 +231,10 @@ pub fn explore(tc: &Toolchain, space: &SearchSpace, workloads: &[Workload]) -> E
         for &budget in &space.ise_budgets {
             match evaluate(tc, &m, workloads, budget) {
                 Ok(p) => out.points.push(p),
-                Err(reason) => {
-                    out.skipped.push(SkippedPoint { machine: m.name.clone(), reason })
-                }
+                Err(reason) => out.skipped.push(SkippedPoint {
+                    machine: m.name.clone(),
+                    reason,
+                }),
             }
         }
     }
@@ -229,14 +255,16 @@ pub fn explore_sampled(
             grid.push((m.clone(), b));
         }
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
-    grid.shuffle(&mut rng);
+    seeded_shuffle(&mut grid, seed);
     grid.truncate(n);
     let mut out = Exploration::default();
     for (m, budget) in grid {
         match evaluate(tc, &m, workloads, budget) {
             Ok(p) => out.points.push(p),
-            Err(reason) => out.skipped.push(SkippedPoint { machine: m.name.clone(), reason }),
+            Err(reason) => out.skipped.push(SkippedPoint {
+                machine: m.name.clone(),
+                reason,
+            }),
         }
     }
     out
@@ -254,9 +282,22 @@ mod tests {
         assert!(ex.points.len() >= 2, "skipped: {:?}", ex.skipped);
         let fast = ex.fastest().unwrap();
         // The 4-issue machine should beat the 1-issue machine on cycles.
-        let e1 = ex.points.iter().find(|p| p.machine.name.contains("ember1")).unwrap();
-        let e4 = ex.points.iter().find(|p| p.machine.name.contains("ember4")).unwrap();
-        assert!(e4.cycles < e1.cycles, "e4 {} vs e1 {}", e4.cycles, e1.cycles);
+        let e1 = ex
+            .points
+            .iter()
+            .find(|p| p.machine.name.contains("ember1"))
+            .unwrap();
+        let e4 = ex
+            .points
+            .iter()
+            .find(|p| p.machine.name.contains("ember4"))
+            .unwrap();
+        assert!(
+            e4.cycles < e1.cycles,
+            "e4 {} vs e1 {}",
+            e4.cycles,
+            e1.cycles
+        );
         assert!(fast.time_ns <= e1.time_ns);
     }
 
@@ -269,7 +310,10 @@ mod tests {
         assert!(!frontier.is_empty());
         for pair in frontier.windows(2) {
             assert!(pair[0].area_mm2 <= pair[1].area_mm2);
-            assert!(pair[0].time_ns > pair[1].time_ns, "frontier must strictly improve");
+            assert!(
+                pair[0].time_ns > pair[1].time_ns,
+                "frontier must strictly improve"
+            );
         }
     }
 

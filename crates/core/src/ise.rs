@@ -32,7 +32,12 @@ pub struct IseConfig {
 
 impl Default for IseConfig {
     fn default() -> Self {
-        IseConfig { area_budget: 24.0, max_nodes: 6, max_candidates_per_block: 300, max_ops: 8 }
+        IseConfig {
+            area_budget: 24.0,
+            max_nodes: 6,
+            max_candidates_per_block: 300,
+            max_ops: 8,
+        }
     }
 }
 
@@ -126,7 +131,7 @@ pub fn extend(
                 continue;
             }
             let density = benefit / c.def.area.max(0.1);
-            if best.map_or(true, |(_, d)| density > d) {
+            if best.is_none_or(|(_, d)| density > d) {
                 best = Some((i, density));
             }
         }
@@ -156,7 +161,10 @@ pub fn extend(
         // earlier indices stay valid.
         let mut per_block: BTreeMap<(u32, u32), Vec<&Instance>> = BTreeMap::new();
         for inst in &cand.instances {
-            per_block.entry((inst.func.0, inst.block.0)).or_default().push(inst);
+            per_block
+                .entry((inst.func.0, inst.block.0))
+                .or_default()
+                .push(inst);
         }
         for ((fi, bi), mut insts) in per_block {
             insts.sort_by_key(|i| std::cmp::Reverse(*i.nodes.last().expect("nonempty")));
@@ -255,8 +263,8 @@ fn enumerate_block(
     // Seed-and-grow enumeration with dedup on node sets.
     let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
     let mut stack: Vec<Vec<usize>> = Vec::new();
-    for seed in 0..n {
-        if node_op(&insts[seed]).is_some() {
+    for (seed, inst) in insts.iter().enumerate() {
+        if node_op(inst).is_some() {
             stack.push(vec![seed]);
         }
     }
@@ -273,7 +281,11 @@ fn enumerate_block(
             if let Some((def, saved)) =
                 build_candidate(insts, &set, &def_of_use, &reaching, machine)
             {
-                let sig = def.describe().split_once(':').map(|x| x.1.to_string()).unwrap_or_default();
+                let sig = def
+                    .describe()
+                    .split_once(':')
+                    .map(|x| x.1.to_string())
+                    .unwrap_or_default();
                 let entry = by_sig.entry(sig.clone()).or_insert_with(|| Candidate {
                     def,
                     signature: sig,
@@ -281,7 +293,11 @@ fn enumerate_block(
                     saved_per_exec: saved,
                     exec_weight: 0,
                 });
-                entry.instances.push(Instance { func, block, nodes: set.clone() });
+                entry.instances.push(Instance {
+                    func,
+                    block,
+                    nodes: set.clone(),
+                });
                 entry.exec_weight += weight;
                 emitted += 1;
             }
@@ -402,9 +418,7 @@ fn build_candidate(
                     }
                 }
             }
-            if is_last_def {
-                false
-            } else if !any_inside && !any_outside {
+            if is_last_def || (!any_inside && !any_outside) {
                 false
             } else {
                 !any_outside
@@ -552,11 +566,13 @@ fn rewrite_instance(
     let mut inputs: Vec<(VReg, usize)> = Vec::new();
     let mut args: Vec<Val> = Vec::new();
     for &i in set {
-        let Some((_, vals)) = node_op(&insts[i]) else { return false };
+        let Some((_, vals)) = node_op(&insts[i]) else {
+            return false;
+        };
         for (k, v) in vals.iter().enumerate() {
             if let Val::Reg(reg) = v {
                 let from = def_site[i][k];
-                if from.map(|d| in_set(d)).unwrap_or(false) {
+                if from.map(&in_set).unwrap_or(false) {
                     continue; // internal edge
                 }
                 let key = (*reg, from.unwrap_or(usize::MAX));
@@ -592,7 +608,11 @@ fn rewrite_instance(
 
     // Apply: remove members (back to front), insert custom op where the
     // last member was.
-    let custom = Inst::Custom { id, dsts: out_dsts, args };
+    let custom = Inst::Custom {
+        id,
+        dsts: out_dsts,
+        args,
+    };
     let mut removed_before_last = 0usize;
     for &i in set.iter().rev() {
         if i != last {
@@ -633,9 +653,11 @@ mod tests {
         "#;
         let (mut module, profile) = profiled(src, &[64]);
         let machine = MachineDescription::ember4();
-        let (new_machine, report) =
-            extend(&mut module, &machine, &profile, &IseConfig::default());
-        assert!(!report.selected.is_empty(), "a MAC-like pattern should be found");
+        let (new_machine, report) = extend(&mut module, &machine, &profile, &IseConfig::default());
+        assert!(
+            !report.selected.is_empty(),
+            "a MAC-like pattern should be found"
+        );
         assert!(new_machine.custom_ops.len() > machine.custom_ops.len());
         // The rewritten module must still verify and produce the same output.
         assert_eq!(asip_ir::func::verify(&module), Ok(()));
@@ -681,7 +703,10 @@ mod tests {
         let src = "void main(int a, int b) { emit(a * b + a - b); }";
         let (mut module, profile) = profiled(src, &[3, 4]);
         let machine = MachineDescription::ember4();
-        let cfg = IseConfig { area_budget: 0.0, ..Default::default() };
+        let cfg = IseConfig {
+            area_budget: 0.0,
+            ..Default::default()
+        };
         let (m2, report) = extend(&mut module, &machine, &profile, &cfg);
         assert!(report.selected.is_empty());
         assert_eq!(m2.custom_ops.len(), machine.custom_ops.len());
@@ -697,11 +722,17 @@ mod tests {
         let mut counts = Vec::new();
         for budget in [2.0, 8.0, 32.0] {
             let mut m = module.clone();
-            let cfg = IseConfig { area_budget: budget, ..Default::default() };
+            let cfg = IseConfig {
+                area_budget: budget,
+                ..Default::default()
+            };
             let (_, report) = extend(&mut m, &machine, &profile, &cfg);
             counts.push(report.selected.len());
         }
-        assert!(counts[0] <= counts[2], "selection must grow with budget: {counts:?}");
+        assert!(
+            counts[0] <= counts[2],
+            "selection must grow with budget: {counts:?}"
+        );
     }
 
     #[test]
@@ -712,7 +743,10 @@ mod tests {
         let profile = tc.profile(&module, &w.inputs, &w.args).unwrap();
         let machine = MachineDescription::ember4();
         let (machine2, report) = extend(&mut module, &machine, &profile, &IseConfig::default());
-        assert!(!report.selected.is_empty(), "yuv2rgb should yield fused ops");
+        assert!(
+            !report.selected.is_empty(),
+            "yuv2rgb should yield fused ops"
+        );
         let compiled = tc.compile(&module, &machine2, Some(&profile)).unwrap();
         let mut sim =
             asip_sim::Simulator::new(&machine2, &compiled.program, Default::default()).unwrap();
@@ -720,6 +754,9 @@ mod tests {
             sim.write_global(name, data);
         }
         let result = sim.run(&w.args).unwrap();
-        assert_eq!(result.output, w.expected, "custom-op build must stay correct");
+        assert_eq!(
+            result.output, w.expected,
+            "custom-op build must stay correct"
+        );
     }
 }

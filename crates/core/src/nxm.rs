@@ -6,11 +6,20 @@
 //! compiles, simulates and checks the golden output. A single failing cell
 //! fails the whole grid, which is what keeps "mass customization"
 //! trustworthy.
+//!
+//! Cells execute **in parallel** on scoped worker threads
+//! ([`run_grid_threaded`]); because every worker shares the toolchain's
+//! [`ArtifactCache`](crate::pipeline::ArtifactCache), each workload's
+//! parse/optimize/profile half runs once no matter how many machines cross
+//! it, and each (machine, workload) compile runs once no matter how often
+//! the grid is re-run.
 
 use crate::pipeline::Toolchain;
 use asip_isa::MachineDescription;
 use asip_workloads::Workload;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One cell of the grid.
 #[derive(Debug, Clone)]
@@ -32,6 +41,8 @@ pub struct Grid {
     pub workloads: Vec<String>,
     /// All cells, row-major.
     pub cells: Vec<Cell>,
+    /// Number of worker threads the run used.
+    pub parallelism: usize,
 }
 
 impl Grid {
@@ -85,31 +96,76 @@ impl fmt::Display for Grid {
     }
 }
 
-/// Run the full grid.
-pub fn run_grid(
+/// Default worker count: the `ASIP_GRID_THREADS` environment variable if
+/// set (and a positive integer), else one per available hardware thread.
+pub fn default_parallelism() -> usize {
+    if let Some(n) = std::env::var("ASIP_GRID_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run the full grid with [`default_parallelism`] workers.
+pub fn run_grid(tc: &Toolchain, machines: &[MachineDescription], workloads: &[Workload]) -> Grid {
+    run_grid_threaded(tc, machines, workloads, default_parallelism())
+}
+
+/// Run the full grid on `threads` scoped worker threads (clamped to the
+/// cell count; `0` behaves as `1`). Workers pull cells from a shared
+/// cursor, so long rows never leave threads idle, and the row-major cell
+/// order of the result is deterministic regardless of scheduling.
+pub fn run_grid_threaded(
     tc: &Toolchain,
     machines: &[MachineDescription],
     workloads: &[Workload],
+    threads: usize,
 ) -> Grid {
-    let mut grid = Grid {
-        machines: machines.iter().map(|m| m.name.clone()).collect(),
-        workloads: workloads.iter().map(|w| w.name.clone()).collect(),
-        cells: Vec::with_capacity(machines.len() * workloads.len()),
-    };
-    for m in machines {
-        for w in workloads {
-            let outcome = tc
-                .run_workload(w, m)
-                .map(|r| r.sim.cycles)
-                .map_err(|e| e.to_string());
-            grid.cells.push(Cell {
-                machine: m.name.clone(),
-                workload: w.name.clone(),
-                outcome,
+    let n = machines.len() * workloads.len();
+    let threads = threads.max(1).min(n.max(1));
+    let slots: Mutex<Vec<Option<Cell>>> = Mutex::new(vec![None; n]);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let m = &machines[i / workloads.len()];
+                let w = &workloads[i % workloads.len()];
+                let outcome = tc
+                    .run_workload(w, m)
+                    .map(|r| r.sim.cycles)
+                    .map_err(|e| e.to_string());
+                let cell = Cell {
+                    machine: m.name.clone(),
+                    workload: w.name.clone(),
+                    outcome,
+                };
+                slots.lock().unwrap()[i] = Some(cell);
             });
         }
+    });
+
+    Grid {
+        machines: machines.iter().map(|m| m.name.clone()).collect(),
+        workloads: workloads.iter().map(|w| w.name.clone()).collect(),
+        cells: slots
+            .into_inner()
+            .unwrap()
+            .into_iter()
+            .map(|c| c.expect("every grid cell is filled by a worker"))
+            .collect(),
+        parallelism: threads,
     }
-    grid
 }
 
 #[cfg(test)]
@@ -136,6 +192,60 @@ mod tests {
     }
 
     #[test]
+    fn parallel_grid_matches_serial_grid() {
+        let tc = Toolchain::default();
+        let machines = vec![
+            MachineDescription::ember1(),
+            MachineDescription::ember2(),
+            MachineDescription::ember4(),
+        ];
+        let workloads: Vec<Workload> = ["fir", "crc32", "rle"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect();
+        let serial = run_grid_threaded(&tc.fresh_cache(), &machines, &workloads, 1);
+        let parallel = run_grid_threaded(&tc.fresh_cache(), &machines, &workloads, 4);
+        assert_eq!(serial.parallelism, 1);
+        assert_eq!(parallel.parallelism, 4);
+        assert!(serial.all_pass() && parallel.all_pass());
+        for (a, b) in serial.cells.iter().zip(&parallel.cells) {
+            assert_eq!(a.machine, b.machine);
+            assert_eq!(a.workload, b.workload);
+            assert_eq!(a.outcome, b.outcome, "{}/{}", a.machine, a.workload);
+        }
+    }
+
+    #[test]
+    fn grid_shares_front_half_across_machines() {
+        let tc = Toolchain::default().fresh_cache();
+        let machines = vec![
+            MachineDescription::ember1(),
+            MachineDescription::ember2(),
+            MachineDescription::ember4(),
+        ];
+        let workloads = vec![asip_workloads::by_name("median").unwrap()];
+        // Serial first pass for deterministic counters.
+        let grid = run_grid_threaded(&tc, &machines, &workloads, 1);
+        assert!(grid.all_pass(), "\n{grid}");
+        let stats = tc.cache_stats();
+        // One workload, three machines: parse/optimize/profile computed for
+        // the first cell only; the other two cells reuse the front half.
+        assert_eq!(stats.optimize.misses, 1, "{stats}");
+        assert_eq!(stats.optimize.hits, 2, "{stats}");
+        assert_eq!(stats.profile.misses, 1, "{stats}");
+        assert_eq!(stats.profile.hits, 2, "{stats}");
+        assert_eq!(stats.compile.misses, 3, "{stats}");
+        assert_eq!(stats.compile.hits, 0, "{stats}");
+        // Re-running the identical grid in parallel is all cache hits —
+        // no stage recomputes, only simulation runs.
+        let again = run_grid(&tc, &machines, &workloads);
+        assert!(again.all_pass());
+        let warm = tc.cache_stats();
+        assert_eq!(warm.misses(), stats.misses(), "no new work on re-run");
+        assert_eq!(warm.compile.hits, 3, "{warm}");
+    }
+
+    #[test]
     fn display_marks_failures() {
         let mut grid = Grid {
             machines: vec!["m".into()],
@@ -145,6 +255,7 @@ mod tests {
                 workload: "w".into(),
                 outcome: Err("boom".into()),
             }],
+            parallelism: 1,
         };
         assert!(!grid.all_pass());
         let s = grid.to_string();

@@ -4,6 +4,31 @@
 //! This is the "single family view" the paper's §3.1 promises programmers:
 //! one `Toolchain` object compiles and runs any workload on any family
 //! member, with identical semantics everywhere.
+//!
+//! # The stage graph
+//!
+//! A workload run is an explicit five-stage graph:
+//!
+//! ```text
+//! Parse ──► Optimize ──► Profile ──┐
+//!              │                   ▼
+//!              └──────────────► Compile ──► Simulate
+//! ```
+//!
+//! The first four stages are **memoized** in an [`ArtifactCache`] shared by
+//! every clone of a [`Toolchain`]: parsing is keyed by source text,
+//! optimization by (source, [`OptConfig`]), profiling by (module, inputs,
+//! args), and compilation by (module, machine, backend options, profile).
+//! Only [`Simulate`](StageKind::Simulate) — the measurement itself — always
+//! executes. The N×M grid ([`crate::nxm`]) and the ISE/DSE search loops
+//! ([`crate::ise`], [`crate::dse`]) therefore stop recompiling identical
+//! front halves: evaluating M machines against one workload parses,
+//! optimizes and profiles it once.
+//!
+//! Cache keys are the full rendered artifact inputs (not hashes), so a hit
+//! can never silently collide; [`Toolchain::cache_stats`] exposes per-stage
+//! hit/miss counters and [`Toolchain::stage_times`] cumulative per-stage
+//! execution time.
 
 use asip_backend::{compile_module, BackendOptions, BackendStats, CompiledProgram};
 use asip_ir::interp::{Interp, InterpOptions, Profile};
@@ -12,7 +37,11 @@ use asip_ir::Module;
 use asip_isa::MachineDescription;
 use asip_sim::{SimOptions, SimResult, Simulator};
 use asip_workloads::Workload;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Toolchain failure at any stage.
 #[derive(Debug)]
@@ -45,7 +74,12 @@ impl fmt::Display for ToolchainError {
             ToolchainError::Backend(e) => write!(f, "backend: {e}"),
             ToolchainError::Sim(e) => write!(f, "simulator: {e}"),
             ToolchainError::Profile(e) => write!(f, "profiling: {e}"),
-            ToolchainError::WrongOutput { workload, machine, expected, actual } => write!(
+            ToolchainError::WrongOutput {
+                workload,
+                machine,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "{workload} on {machine}: wrong output (expected {:?}…, got {:?}…)",
                 &expected[..expected.len().min(4)],
@@ -75,7 +109,281 @@ impl From<asip_sim::SimError> for ToolchainError {
     }
 }
 
+/// The stages of the pipeline graph, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// TinyC source → unoptimized IR module.
+    Parse = 0,
+    /// IR module → optimized IR module (under an [`OptConfig`]).
+    Optimize = 1,
+    /// Optimized module + inputs → block-frequency [`Profile`].
+    Profile = 2,
+    /// Module + machine (+ profile) → [`CompiledProgram`].
+    Compile = 3,
+    /// Compiled program + machine → [`SimResult`], golden-checked.
+    Simulate = 4,
+}
+
+impl StageKind {
+    /// Every stage, in pipeline order.
+    pub const ALL: [StageKind; 5] = [
+        StageKind::Parse,
+        StageKind::Optimize,
+        StageKind::Profile,
+        StageKind::Compile,
+        StageKind::Simulate,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Parse => "parse",
+            StageKind::Optimize => "optimize",
+            StageKind::Profile => "profile",
+            StageKind::Compile => "compile",
+            StageKind::Simulate => "simulate",
+        }
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hit/miss counters for one cacheable stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Artifact served from the cache.
+    pub hits: u64,
+    /// Artifact computed (and inserted).
+    pub misses: u64,
+}
+
+/// Snapshot of per-stage cache behavior (see [`Toolchain::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Source → unoptimized module.
+    pub parse: StageStats,
+    /// (source, opt config) → optimized module.
+    pub optimize: StageStats,
+    /// (module, inputs, args) → profile.
+    pub profile: StageStats,
+    /// (module, machine, backend, profile) → compiled program.
+    pub compile: StageStats,
+}
+
+impl CacheStats {
+    /// Total hits across all stages.
+    pub fn hits(&self) -> u64 {
+        self.parse.hits + self.optimize.hits + self.profile.hits + self.compile.hits
+    }
+
+    /// Total misses across all stages.
+    pub fn misses(&self) -> u64 {
+        self.parse.misses + self.optimize.misses + self.profile.misses + self.compile.misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse {}/{} optimize {}/{} profile {}/{} compile {}/{} (hits/misses)",
+            self.parse.hits,
+            self.parse.misses,
+            self.optimize.hits,
+            self.optimize.misses,
+            self.profile.hits,
+            self.profile.misses,
+            self.compile.hits,
+            self.compile.misses,
+        )
+    }
+}
+
+/// Cumulative wall-clock nanoseconds spent *executing* each stage (cache
+/// hits cost nothing here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Per stage, indexed by `StageKind as usize`.
+    pub ns: [u64; 5],
+}
+
+impl StageTimes {
+    /// Nanoseconds spent in `stage`.
+    pub fn get(&self, stage: StageKind) -> u64 {
+        self.ns[stage as usize]
+    }
+}
+
+#[derive(Debug, Default)]
+struct Maps {
+    parsed: HashMap<String, Module>,
+    optimized: HashMap<String, Module>,
+    profiles: HashMap<String, Profile>,
+    compiled: HashMap<String, CompiledProgram>,
+}
+
+/// Memoized intermediate artifacts, shared by every clone of a
+/// [`Toolchain`] (clones share one cache via `Arc`).
+///
+/// Keys are the complete rendered inputs of each stage, so hits are exact —
+/// two different inputs can never alias. Computation happens outside the
+/// lock: concurrent grid cells never serialize on each other's compiles
+/// (at worst a race computes the same artifact twice and one copy wins).
+pub struct ArtifactCache {
+    maps: Mutex<Maps>,
+    hits: [AtomicU64; 4],
+    misses: [AtomicU64; 4],
+    stage_ns: [AtomicU64; 5],
+}
+
+impl ArtifactCache {
+    /// A new, empty cache.
+    pub fn new() -> ArtifactCache {
+        ArtifactCache {
+            maps: Mutex::new(Maps::default()),
+            hits: Default::default(),
+            misses: Default::default(),
+            stage_ns: Default::default(),
+        }
+    }
+
+    /// Per-stage hit/miss snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let s = |i: usize| StageStats {
+            hits: self.hits[i].load(Ordering::Relaxed),
+            misses: self.misses[i].load(Ordering::Relaxed),
+        };
+        CacheStats {
+            parse: s(0),
+            optimize: s(1),
+            profile: s(2),
+            compile: s(3),
+        }
+    }
+
+    /// Cumulative per-stage execution time snapshot.
+    pub fn stage_times(&self) -> StageTimes {
+        let mut ns = [0u64; 5];
+        for (i, slot) in ns.iter_mut().enumerate() {
+            *slot = self.stage_ns[i].load(Ordering::Relaxed);
+        }
+        StageTimes { ns }
+    }
+
+    /// Drop all cached artifacts and reset counters.
+    pub fn clear(&self) {
+        let mut maps = self.maps.lock().unwrap();
+        *maps = Maps::default();
+        for c in self.hits.iter().chain(&self.misses).chain(&self.stage_ns) {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of artifacts currently held, per cacheable stage.
+    pub fn len(&self) -> [usize; 4] {
+        let maps = self.maps.lock().unwrap();
+        [
+            maps.parsed.len(),
+            maps.optimized.len(),
+            maps.profiles.len(),
+            maps.compiled.len(),
+        ]
+    }
+
+    /// Whether the cache holds no artifacts at all.
+    pub fn is_empty(&self) -> bool {
+        self.len().iter().all(|&n| n == 0)
+    }
+
+    fn record_time(&self, stage: StageKind, start: Instant) {
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Look up `key` in the map chosen by `select`, computing and inserting
+    /// on miss. `compute` runs outside the lock and times only this stage's
+    /// own work (nested stage calls inside `compute` — e.g. Optimize
+    /// invoking Parse — record under their own [`StageKind`], so
+    /// [`StageTimes`] entries add up instead of double-counting).
+    fn get_or_compute<V: Clone>(
+        &self,
+        stage: StageKind,
+        key: String,
+        select: impl Fn(&mut Maps) -> &mut HashMap<String, V>,
+        compute: impl FnOnce(&mut StageTimer) -> Result<V, ToolchainError>,
+    ) -> Result<V, ToolchainError> {
+        {
+            let mut maps = self.maps.lock().unwrap();
+            if let Some(v) = select(&mut maps).get(&key) {
+                self.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+                return Ok(v.clone());
+            }
+        }
+        self.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
+        let mut timer = StageTimer::default();
+        let v = compute(&mut timer)?;
+        self.stage_ns[stage as usize].fetch_add(timer.ns, Ordering::Relaxed);
+        let mut maps = self.maps.lock().unwrap();
+        Ok(select(&mut maps).entry(key).or_insert(v).clone())
+    }
+}
+
+/// Accumulates the nanoseconds a stage spends in its *own* work. Stage
+/// compute closures wrap their work in [`StageTimer::time`] and leave
+/// nested stage calls outside, so those record under their own stage.
+#[derive(Debug, Default)]
+struct StageTimer {
+    ns: u64,
+}
+
+impl StageTimer {
+    fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.ns = self
+            .ns
+            .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        out
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
+}
+
+/// `Debug` prints the stats snapshot, not megabytes of artifacts.
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("stats", &self.stats())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Stable fingerprint of an optional profile: entries sorted by function id
+/// (the underlying `HashMap`'s debug order is not deterministic).
+fn profile_key(profile: Option<&Profile>) -> String {
+    match profile {
+        None => "none".to_string(),
+        Some(p) => {
+            let mut entries: Vec<(&u32, &Vec<u64>)> = p.counts.iter().collect();
+            entries.sort_by_key(|(id, _)| **id);
+            format!("{entries:?}")
+        }
+    }
+}
+
 /// The configured toolchain.
+///
+/// Cloning is cheap and shares the [`ArtifactCache`]; use
+/// [`Toolchain::fresh_cache`] for an isolated one.
 #[derive(Debug, Clone)]
 pub struct Toolchain {
     /// Optimization pipeline configuration.
@@ -84,6 +392,7 @@ pub struct Toolchain {
     pub backend: BackendOptions,
     /// Use interpreter profiles to guide superblock formation.
     pub profile_guided: bool,
+    cache: Arc<ArtifactCache>,
 }
 
 impl Default for Toolchain {
@@ -92,6 +401,7 @@ impl Default for Toolchain {
             opt: OptConfig::default(),
             backend: BackendOptions::default(),
             profile_guided: true,
+            cache: Arc::new(ArtifactCache::new()),
         }
     }
 }
@@ -116,23 +426,78 @@ impl Toolchain {
     pub fn unoptimized() -> Toolchain {
         Toolchain {
             opt: OptConfig::none(),
-            backend: BackendOptions { superblocks: false, ..Default::default() },
+            backend: BackendOptions {
+                superblocks: false,
+                ..Default::default()
+            },
             profile_guided: false,
+            cache: Arc::new(ArtifactCache::new()),
         }
     }
 
-    /// Compile TinyC source into an optimized IR module.
+    /// This configuration with a new, empty, unshared artifact cache.
+    pub fn fresh_cache(&self) -> Toolchain {
+        Toolchain {
+            opt: self.opt.clone(),
+            backend: self.backend.clone(),
+            profile_guided: self.profile_guided,
+            cache: Arc::new(ArtifactCache::new()),
+        }
+    }
+
+    /// The shared artifact cache (stats, clearing, introspection).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Per-stage cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Cumulative per-stage execution times (cache hits cost nothing).
+    pub fn stage_times(&self) -> StageTimes {
+        self.cache.stage_times()
+    }
+
+    /// **Parse stage**: TinyC source → unoptimized IR module. Cached by
+    /// source text.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Frontend`] on TinyC errors.
+    pub fn parse(&self, source: &str) -> Result<Module, ToolchainError> {
+        self.cache.get_or_compute(
+            StageKind::Parse,
+            source.to_string(),
+            |m| &mut m.parsed,
+            |t| Ok(t.time(|| asip_tinyc::compile(source))?),
+        )
+    }
+
+    /// **Parse + Optimize stages**: TinyC source → optimized IR module.
+    /// The optimize stage is cached by (source, [`OptConfig`]).
     ///
     /// # Errors
     ///
     /// [`ToolchainError::Frontend`] on TinyC errors.
     pub fn frontend(&self, source: &str) -> Result<Module, ToolchainError> {
-        let mut module = asip_tinyc::compile(source)?;
-        optimize(&mut module, &self.opt);
-        Ok(module)
+        let key = format!("{:?}\u{1f}{source}", self.opt);
+        self.cache.get_or_compute(
+            StageKind::Optimize,
+            key,
+            |m| &mut m.optimized,
+            |t| {
+                // Parse times itself under its own stage.
+                let mut module = self.parse(source)?;
+                t.time(|| optimize(&mut module, &self.opt));
+                Ok(module)
+            },
+        )
     }
 
-    /// Profile a module by interpretation (block execution counts).
+    /// **Profile stage**: interpret the module to collect block execution
+    /// counts. Cached by (module, inputs, args).
     ///
     /// # Errors
     ///
@@ -143,15 +508,27 @@ impl Toolchain {
         inputs: &[(String, Vec<i32>)],
         args: &[i32],
     ) -> Result<Profile, ToolchainError> {
-        let mut interp = Interp::new(module, InterpOptions::default());
-        for (name, data) in inputs {
-            interp.write_global(name, data);
-        }
-        let r = interp.run("main", args).map_err(ToolchainError::Profile)?;
-        Ok(r.profile)
+        let key = format!("{module:?}\u{1f}{inputs:?}\u{1f}{args:?}");
+        self.cache.get_or_compute(
+            StageKind::Profile,
+            key,
+            |m| &mut m.profiles,
+            |t| {
+                t.time(|| {
+                    let mut interp = Interp::new(module, InterpOptions::default());
+                    for (name, data) in inputs {
+                        interp.write_global(name, data);
+                    }
+                    let r = interp.run("main", args).map_err(ToolchainError::Profile)?;
+                    Ok(r.profile)
+                })
+            },
+        )
     }
 
-    /// Compile an IR module for a machine (optionally profile-guided).
+    /// **Compile stage**: IR module → machine program (optionally
+    /// profile-guided). Cached by (module, machine, backend options,
+    /// profile).
     ///
     /// # Errors
     ///
@@ -162,11 +539,22 @@ impl Toolchain {
         machine: &MachineDescription,
         profile: Option<&Profile>,
     ) -> Result<CompiledProgram, ToolchainError> {
-        Ok(compile_module(module, machine, profile, &self.backend)?)
+        let key = format!(
+            "{module:?}\u{1f}{machine:?}\u{1f}{:?}\u{1f}{}",
+            self.backend,
+            profile_key(profile)
+        );
+        self.cache.get_or_compute(
+            StageKind::Compile,
+            key,
+            |m| &mut m.compiled,
+            |t| Ok(t.time(|| compile_module(module, machine, profile, &self.backend))?),
+        )
     }
 
-    /// Full path for one workload on one machine, checking the golden
-    /// output.
+    /// Full stage graph for one workload on one machine, checking the
+    /// golden output. Every stage but the final simulation is served from
+    /// the artifact cache when possible.
     ///
     /// # Errors
     ///
@@ -187,8 +575,9 @@ impl Toolchain {
         self.run_compiled(w, machine, &compiled)
     }
 
-    /// Run an already-compiled workload (used by sweeps that vary only the
-    /// simulation conditions).
+    /// **Simulate stage**: run an already-compiled workload (used by sweeps
+    /// that vary only the simulation conditions). Never cached — this is
+    /// the measurement.
     ///
     /// # Errors
     ///
@@ -199,11 +588,13 @@ impl Toolchain {
         machine: &MachineDescription,
         compiled: &CompiledProgram,
     ) -> Result<WorkloadRun, ToolchainError> {
+        let start = Instant::now();
         let mut sim = Simulator::new(machine, &compiled.program, SimOptions::default())?;
         for (name, data) in &w.inputs {
             sim.write_global(name, data);
         }
         let result = sim.run(&w.args)?;
+        self.cache.record_time(StageKind::Simulate, start);
         if result.output != w.expected {
             return Err(ToolchainError::WrongOutput {
                 workload: w.name.clone(),
@@ -263,5 +654,129 @@ mod tests {
         let m = MachineDescription::ember1();
         let err = tc.run_workload(&w, &m).unwrap_err();
         assert!(matches!(err, ToolchainError::WrongOutput { .. }));
+    }
+
+    #[test]
+    fn repeated_run_hits_every_cacheable_stage() {
+        let tc = Toolchain::default();
+        let w = asip_workloads::by_name("fir").unwrap();
+        let m = MachineDescription::ember4();
+
+        let first = tc.run_workload(&w, &m).unwrap();
+        let cold = tc.cache_stats();
+        assert_eq!(cold.hits(), 0, "first run must be all misses: {cold}");
+        assert_eq!(cold.parse.misses, 1);
+        assert_eq!(cold.optimize.misses, 1);
+        assert_eq!(cold.profile.misses, 1);
+        assert_eq!(cold.compile.misses, 1);
+
+        let second = tc.run_workload(&w, &m).unwrap();
+        let warm = tc.cache_stats();
+        assert_eq!(warm.optimize.hits, 1, "{warm}");
+        assert_eq!(warm.profile.hits, 1, "{warm}");
+        assert_eq!(warm.compile.hits, 1, "{warm}");
+        // No stage recomputed.
+        assert_eq!(warm.misses(), cold.misses(), "{warm}");
+
+        // Cached and uncached runs are bit-identical measurements.
+        assert_eq!(first.sim.cycles, second.sim.cycles);
+        assert_eq!(first.sim.output, second.sim.output);
+        assert_eq!(first.code_bytes, second.code_bytes);
+    }
+
+    #[test]
+    fn new_machine_reuses_front_half() {
+        let tc = Toolchain::default();
+        let w = asip_workloads::by_name("sobel").unwrap();
+        tc.run_workload(&w, &MachineDescription::ember1()).unwrap();
+        let before = tc.cache_stats();
+        tc.run_workload(&w, &MachineDescription::ember8()).unwrap();
+        let after = tc.cache_stats();
+        // Second machine: frontend + profile served from cache…
+        assert_eq!(after.optimize.hits, before.optimize.hits + 1);
+        assert_eq!(after.profile.hits, before.profile.hits + 1);
+        // …but its compile is a genuine miss (different machine key).
+        assert_eq!(after.compile.misses, before.compile.misses + 1);
+        assert_eq!(after.compile.hits, before.compile.hits);
+    }
+
+    #[test]
+    fn cached_result_equals_fresh_toolchain_result() {
+        let shared = Toolchain::default();
+        let w = asip_workloads::by_name("viterbi").unwrap();
+        let m = MachineDescription::ember4();
+        shared.run_workload(&w, &m).unwrap();
+        let warm = shared.run_workload(&w, &m).unwrap();
+        let cold = shared.fresh_cache().run_workload(&w, &m).unwrap();
+        assert_eq!(warm.sim.cycles, cold.sim.cycles);
+        assert_eq!(warm.sim.output, cold.sim.output);
+        assert_eq!(warm.code_bytes, cold.code_bytes);
+        assert!(shared.cache_stats().hits() > 0);
+        assert_eq!(shared.fresh_cache().cache_stats().hits(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let tc = Toolchain::default();
+        let clone = tc.clone();
+        let w = asip_workloads::by_name("rle").unwrap();
+        let m = MachineDescription::ember2();
+        tc.run_workload(&w, &m).unwrap();
+        clone.run_workload(&w, &m).unwrap();
+        assert!(clone.cache_stats().hits() >= 3, "{}", clone.cache_stats());
+        assert_eq!(tc.cache_stats(), clone.cache_stats());
+    }
+
+    #[test]
+    fn clear_cache_resets_everything() {
+        let tc = Toolchain::default();
+        let w = asip_workloads::by_name("fir").unwrap();
+        tc.run_workload(&w, &MachineDescription::ember1()).unwrap();
+        assert!(!tc.cache().is_empty());
+        tc.cache().clear();
+        assert!(tc.cache().is_empty());
+        assert_eq!(tc.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn different_opt_configs_do_not_alias() {
+        let opt = Toolchain::default();
+        // Same cache, different OptConfig → distinct optimize/compile keys.
+        let mut unopt = opt.clone();
+        unopt.opt = OptConfig::none();
+        unopt.backend = BackendOptions {
+            superblocks: false,
+            ..Default::default()
+        };
+        unopt.profile_guided = false;
+        let w = asip_workloads::by_name("autocorr").unwrap();
+        let m = MachineDescription::ember4();
+        let fast = opt.run_workload(&w, &m).unwrap();
+        let slow = unopt.run_workload(&w, &m).unwrap();
+        assert!(fast.sim.cycles < slow.sim.cycles);
+        let stats = opt.cache_stats();
+        // Two distinct optimized modules and compiles, one shared parse.
+        assert_eq!(stats.optimize.misses, 2);
+        assert_eq!(stats.compile.misses, 2);
+        assert_eq!(stats.parse.misses, 1);
+        assert_eq!(stats.parse.hits, 1);
+    }
+
+    #[test]
+    fn stage_times_accumulate_only_on_execution() {
+        let tc = Toolchain::default();
+        let w = asip_workloads::by_name("fir").unwrap();
+        let m = MachineDescription::ember4();
+        tc.run_workload(&w, &m).unwrap();
+        let t1 = tc.stage_times();
+        for s in StageKind::ALL {
+            assert!(t1.get(s) > 0, "stage {s} should have recorded time");
+        }
+        tc.run_workload(&w, &m).unwrap();
+        let t2 = tc.stage_times();
+        // Cached stages record no new time; simulation always runs.
+        assert_eq!(t2.get(StageKind::Compile), t1.get(StageKind::Compile));
+        assert_eq!(t2.get(StageKind::Optimize), t1.get(StageKind::Optimize));
+        assert!(t2.get(StageKind::Simulate) > t1.get(StageKind::Simulate));
     }
 }

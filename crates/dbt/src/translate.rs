@@ -70,7 +70,10 @@ impl fmt::Display for DbtError {
                 write!(f, "target machine has no slot for {opcode}")
             }
             DbtError::SwapHazard { bundle } => {
-                write!(f, "bundle {bundle}: parallel register swap needs a scratch register")
+                write!(
+                    f,
+                    "bundle {bundle}: parallel register swap needs a scratch register"
+                )
             }
             DbtError::Decode(e) => write!(f, "binary decode failed: {e}"),
         }
@@ -85,21 +88,19 @@ impl From<DecodeError> for DbtError {
     }
 }
 
-/// Topologically order one source bundle's ops so that every reader of a
-/// register precedes the op that writes it (preserving read-before-write
-/// parallel semantics under sequential-ish execution). Returns the acyclic
-/// order, the count of ordering hazards, and the *cyclic residue* — ops
-/// caught in a read/write cycle (a parallel register swap), which must be
-/// kept together in one target bundle to preserve parallel semantics.
-#[allow(clippy::type_complexity)]
-fn order_bundle_ops(
-    ops: &[&MachineOp],
-    bundle_idx: usize,
-) -> Result<(Vec<usize>, usize, Vec<usize>), DbtError> {
-    let _ = bundle_idx;
+/// Order one source bundle's ops so that every reader of a register
+/// precedes (or co-issues with) the op that writes it, preserving
+/// read-before-write parallel semantics under serialized re-issue.
+///
+/// Returns the placement groups in topological order plus the hazard edge
+/// count. Singleton groups may be packed greedily across target bundles;
+/// multi-op groups are strongly connected components of the
+/// read-before-write graph (parallel swaps/rotations) whose members must
+/// co-issue in one target bundle. Ops merely *behind* a cycle stay
+/// singletons ordered after it — only the cycle itself needs atomicity.
+fn order_bundle_ops(ops: &[&MachineOp]) -> (Vec<Vec<usize>>, usize) {
     let n = ops.len();
     let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n]; // x -> y : x before y
-    let mut indeg = vec![0usize; n];
     let mut hazards = 0usize;
     for (y, wop) in ops.iter().enumerate() {
         for &w in &wop.dsts {
@@ -112,30 +113,65 @@ fn order_bundle_ops(
                 }
                 if rop.reads().any(|r| r == w) {
                     edges[x].push(y);
-                    indeg[y] += 1;
                     hazards += 1;
                 }
             }
         }
     }
-    // Kahn's algorithm; a cycle is a genuine parallel swap.
-    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    ready.sort_unstable();
-    let mut out = Vec::with_capacity(n);
-    while let Some(i) = ready.pop() {
-        out.push(i);
-        for &j in &edges[i] {
-            indeg[j] -= 1;
-            if indeg[j] == 0 {
-                ready.push(j);
+
+    // Iterative Tarjan SCC. Components come out in reverse topological
+    // order of the condensation, so the result is reversed before return.
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut call: Vec<(usize, usize)> = Vec::new(); // (node, next edge position)
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        while let Some(&(v, ei)) = call.last() {
+            if ei == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = edges[v].get(ei) {
+                call.last_mut().expect("frame exists").1 += 1;
+                if index[w] == UNVISITED {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp.sort_unstable();
+                    sccs.push(comp);
+                }
             }
         }
     }
-    // Whatever Kahn's algorithm could not order is entangled in (or behind)
-    // a read/write cycle; it is returned separately for atomic placement.
-    let mut residue: Vec<usize> = (0..n).filter(|i| !out.contains(i)).collect();
-    residue.sort_unstable();
-    Ok((out, hazards, residue))
+    sccs.reverse();
+    (sccs, hazards)
 }
 
 /// Rebundle a decoded instruction stream for the target machine. Returns
@@ -158,99 +194,77 @@ fn rebundle(
             continue;
         }
         stats.ops_in += ops.len();
-        let (order, hazards, residue) = order_bundle_ops(&ops, bi)?;
+        let (groups, hazards) = order_bundle_ops(&ops);
         stats.hazards_ordered += hazards;
 
-        // Greedy packing in the chosen order; never mix source bundles.
-        let mut current = Bundle::empty(width);
-        let mut control_used = false;
-        for &oi in &order {
-            let op = ops[oi];
-            let kind = op.opcode.fu_kind();
-            // Choose a free compatible slot; the translated program keeps
-            // every register on its original cluster, so the op must land
-            // on a slot of that cluster.
-            let cluster = op
+        // The op must land on a slot of its registers' cluster: the
+        // translated program keeps every register on its original cluster.
+        let cluster_of = |op: &MachineOp| -> usize {
+            let c = op
                 .dsts
                 .first()
                 .map(|d| d.cluster)
                 .or_else(|| op.reads().next().map(|r| r.cluster))
                 .unwrap_or(0) as usize;
-            let cluster = cluster.min(to.clusters as usize - 1);
-            let mut placed = false;
+            c.min(to.clusters as usize - 1)
+        };
+        // Try to add one op to a bundle; true on success.
+        let try_place = |bundle: &mut Bundle, control_used: &mut bool, op: &MachineOp| -> bool {
             let is_control = op.opcode.is_control();
-            if !(is_control && control_used) {
-                for s in 0..spc {
-                    let g = cluster * spc + s;
-                    if current.slots[g].is_none() && to.slots[s].hosts(kind) {
-                        current.slots[g] = Some(op.clone());
-                        control_used |= is_control;
-                        placed = true;
-                        break;
-                    }
+            if is_control && *control_used {
+                return false;
+            }
+            let kind = op.opcode.fu_kind();
+            let base = cluster_of(op) * spc;
+            for s in 0..spc {
+                if bundle.slots[base + s].is_none() && to.slots[s].hosts(kind) {
+                    bundle.slots[base + s] = Some(op.clone());
+                    *control_used |= is_control;
+                    return true;
                 }
             }
-            if !placed {
-                // Close the bundle and retry in a fresh one.
+            false
+        };
+
+        // Greedy packing group by group, in topological order; never mix
+        // source bundles. Singletons may split across target bundles;
+        // multi-op groups are parallel swaps/rotations and must co-issue
+        // in ONE bundle so every member still reads pre-bundle values.
+        let mut current = Bundle::empty(width);
+        let mut control_used = false;
+        for group in &groups {
+            let mut attempt = current.clone();
+            let mut attempt_control = control_used;
+            let fits = group
+                .iter()
+                .all(|&oi| try_place(&mut attempt, &mut attempt_control, ops[oi]));
+            if fits {
+                current = attempt;
+                control_used = attempt_control;
+            } else {
+                // Close the bundle and retry the whole group in a fresh one.
                 if current.occupancy() > 0 {
                     out.push(std::mem::replace(&mut current, Bundle::empty(width)));
                     control_used = false;
                 }
-                let mut ok = false;
-                for s in 0..spc {
-                    let g = cluster * spc + s;
-                    if to.slots[s].hosts(kind) {
-                        current.slots[g] = Some(op.clone());
-                        control_used = op.opcode.is_control();
-                        ok = true;
-                        break;
-                    }
-                }
-                if !ok {
-                    return Err(DbtError::UnplaceableOp { opcode: op.opcode.to_string() });
+                let fresh_fits = group
+                    .iter()
+                    .all(|&oi| try_place(&mut current, &mut control_used, ops[oi]));
+                if !fresh_fits {
+                    return Err(if group.len() > 1 {
+                        // The swap group does not fit the narrower member.
+                        DbtError::SwapHazard { bundle: bi }
+                    } else {
+                        DbtError::UnplaceableOp {
+                            opcode: ops[group[0]].opcode.to_string(),
+                        }
+                    });
                 }
             }
-            stats.ops_out += 1;
+            stats.ops_out += group.len();
         }
         if current.occupancy() > 0 {
             out.push(current);
-        }
-        // Cyclic residue (parallel register swaps): the whole group must
-        // issue in ONE bundle so every op still reads pre-bundle values.
-        if !residue.is_empty() {
-            let mut atomic = Bundle::empty(width);
-            let mut control_used = false;
-            for &oi in &residue {
-                let op = ops[oi];
-                let kind = op.opcode.fu_kind();
-                let cluster = op
-                    .dsts
-                    .first()
-                    .map(|d| d.cluster)
-                    .or_else(|| op.reads().next().map(|r| r.cluster))
-                    .unwrap_or(0) as usize;
-                let cluster = cluster.min(to.clusters as usize - 1);
-                let is_control = op.opcode.is_control();
-                if is_control && control_used {
-                    return Err(DbtError::SwapHazard { bundle: bi });
-                }
-                let mut placed = false;
-                for s in 0..spc {
-                    let g = cluster * spc + s;
-                    if atomic.slots[g].is_none() && to.slots[s].hosts(kind) {
-                        atomic.slots[g] = Some(op.clone());
-                        control_used |= is_control;
-                        placed = true;
-                        break;
-                    }
-                }
-                if !placed {
-                    // The swap group does not fit the narrower member.
-                    return Err(DbtError::SwapHazard { bundle: bi });
-                }
-                stats.ops_out += 1;
-            }
-            out.push(atomic);
         }
     }
     Ok((out, start_of))
@@ -303,7 +317,10 @@ pub fn translate_program(
     let functions = prog
         .functions
         .iter()
-        .map(|f| asip_isa::FuncSym { entry: start_of[f.entry as usize], ..f.clone() })
+        .map(|f| asip_isa::FuncSym {
+            entry: start_of[f.entry as usize],
+            ..f.clone()
+        })
         .collect();
 
     stats.bundles_out = new_bundles.len();
@@ -387,7 +404,9 @@ mod tests {
     fn compiled_for(src: &str, m: &MachineDescription) -> VliwProgram {
         let mut module = asip_tinyc::compile(src).unwrap();
         asip_ir::passes::optimize(&mut module, &asip_ir::passes::OptConfig::default());
-        compile_module(&module, m, None, &BackendOptions::default()).unwrap().program
+        compile_module(&module, m, None, &BackendOptions::default())
+            .unwrap()
+            .program
     }
 
     const SRC: &str = r#"
@@ -410,10 +429,15 @@ mod tests {
         let prog = compiled_for(SRC, &a);
         let native_a = run_program(&a, &prog, &[25]).unwrap();
         let (tprog, stats) = translate_program(&prog, &a, &b).unwrap();
-        tprog.validate(&b).expect("translated program validates on B");
+        tprog
+            .validate(&b)
+            .expect("translated program validates on B");
         let on_b = run_program(&b, &tprog, &[25]).unwrap();
         assert_eq!(on_b.output, native_a.output);
-        assert!(stats.bundles_out >= stats.bundles_in, "narrowing splits bundles");
+        assert!(
+            stats.bundles_out >= stats.bundles_in,
+            "narrowing splits bundles"
+        );
     }
 
     #[test]
@@ -485,9 +509,8 @@ mod tests {
             .bundles
             .iter()
             .filter(|b| {
-                b.ops().any(|(_, op)| {
-                    op.opcode == Opcode::Mov && op.dsts == vec![Reg::new(0, 2)]
-                })
+                b.ops()
+                    .any(|(_, op)| op.opcode == Opcode::Mov && op.dsts == vec![Reg::new(0, 2)])
             })
             .collect();
         assert!(!swap_bundles.is_empty());
@@ -520,6 +543,64 @@ mod tests {
         });
         let r = translate_program(&prog, &a, &narrow);
         assert!(matches!(r, Err(DbtError::SwapHazard { bundle: 0 })));
+    }
+
+    #[test]
+    fn op_behind_swap_cycle_stays_out_of_the_atomic_group() {
+        // op0: add r2 = r3 + r5   — cycle with op1 via r2/r3
+        // op1: mov r3 <- r2
+        // op2: mov r5 <- r6       — reads nothing of the cycle, but op0
+        //                           reads r5, so op2 must issue after (or
+        //                           with) the cycle. Only {op0, op1} needs
+        //                           atomicity; op2 can spill to the next
+        //                           bundle, so a 2-wide member suffices.
+        let a = MachineDescription::ember4();
+        let mut prog = compiled_for("void main() { emit(1); }", &a);
+        use asip_isa::{MachineOp, Operand};
+        let mut b = Bundle::empty(4);
+        b.slots[0] = Some(MachineOp::new(
+            Opcode::Add,
+            vec![Reg::new(0, 2)],
+            vec![Operand::Reg(Reg::new(0, 3)), Operand::Reg(Reg::new(0, 5))],
+        ));
+        b.slots[1] = Some(MachineOp::new(
+            Opcode::Mov,
+            vec![Reg::new(0, 3)],
+            vec![Operand::Reg(Reg::new(0, 2))],
+        ));
+        b.slots[2] = Some(MachineOp::new(
+            Opcode::Mov,
+            vec![Reg::new(0, 5)],
+            vec![Operand::Reg(Reg::new(0, 6))],
+        ));
+        prog.bundles.insert(0, b);
+        for f in &mut prog.functions {
+            f.entry += 1;
+        }
+        let narrow = a.derive("n2", |m| {
+            m.slots.truncate(2);
+        });
+        let (tprog, _) = translate_program(&prog, &a, &narrow)
+            .expect("only the 2-op cycle needs co-issue; 2 slots suffice");
+        // The cycle pair shares one bundle; the r5 writer comes later.
+        let cycle_bundle = tprog
+            .bundles
+            .iter()
+            .position(|b| {
+                b.ops()
+                    .any(|(_, op)| op.opcode == Opcode::Add && op.dsts == vec![Reg::new(0, 2)])
+            })
+            .expect("add placed");
+        assert_eq!(tprog.bundles[cycle_bundle].occupancy(), 2);
+        let writer_bundle = tprog
+            .bundles
+            .iter()
+            .position(|b| b.ops().any(|(_, op)| op.dsts == vec![Reg::new(0, 5)]))
+            .expect("r5 writer placed");
+        assert!(
+            writer_bundle > cycle_bundle,
+            "r5 writer must issue after the cycle that reads pre-bundle r5"
+        );
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl ChipCostModel {
     /// Manufacturing cost of one good, packaged die (NRE excluded).
     pub fn die_cost(&self, die_area_mm2: f64) -> f64 {
         let dpw = dies_per_wafer(self.wafer_diameter_mm, die_area_mm2);
-        let y = self.model.yield_fraction(die_area_mm2, self.defects_per_cm2);
+        let y = self
+            .model
+            .yield_fraction(die_area_mm2, self.defects_per_cm2);
         if dpw <= 0.0 || y <= 0.0 {
             return f64::INFINITY;
         }
@@ -132,7 +134,10 @@ impl SocScenario {
 
     /// Unit cost of the discrete option (mass-market CPU + companion ASIC).
     pub fn discrete_unit(&self, volume: u64) -> f64 {
-        let companion = ChipCostModel { nre: self.companion_nre, ..self.fab.clone() };
+        let companion = ChipCostModel {
+            nre: self.companion_nre,
+            ..self.fab.clone()
+        };
         self.mass_market_price
             + companion.unit_cost(self.system_area_mm2, volume)
             + 2.0 * self.board_cost_per_chip
@@ -209,10 +214,7 @@ mod tests {
         // At tiny volume the discrete option wins (NRE dominates the SoC).
         assert!(s.custom_soc_unit(2_000) > s.discrete_unit(2_000));
         let x = s.crossover_volume().expect("crossover must exist");
-        assert!(
-            (10_000..10_000_000).contains(&x),
-            "crossover at {x} units"
-        );
+        assert!((10_000..10_000_000).contains(&x), "crossover at {x} units");
         // And at high volume the SoC is clearly cheaper.
         assert!(s.custom_soc_unit(20_000_000) < s.discrete_unit(20_000_000));
     }

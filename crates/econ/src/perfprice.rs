@@ -22,7 +22,12 @@ pub struct PriceCurve {
 
 impl Default for PriceCurve {
     fn default() -> Self {
-        PriceCurve { base_price: 245.0, linear: 0.9, premium: 2.5, exponent: 6.0 }
+        PriceCurve {
+            base_price: 245.0,
+            linear: 0.9,
+            premium: 2.5,
+            exponent: 6.0,
+        }
     }
 }
 
@@ -76,8 +81,9 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<GradeRow> {
-        let grades: Vec<(String, f64)> =
-            (0..6).map(|i| (format!("g{i}"), 100.0 + 15.0 * i as f64)).collect();
+        let grades: Vec<(String, f64)> = (0..6)
+            .map(|i| (format!("g{i}"), 100.0 + 15.0 * i as f64))
+            .collect();
         price_family(&grades, &PriceCurve::default())
     }
 

@@ -39,12 +39,66 @@ impl Table1Row {
 /// The published data, verbatim from the paper.
 pub fn table1() -> Vec<Table1Row> {
     vec![
-        Table1Row { core_mhz: 266, bus_mhz: 66, family: "Klamath", price: 245.0, winstone: 31.0, quake: 47.0, printed_winstone_pp: 0.127, printed_quake_pp: 0.192 },
-        Table1Row { core_mhz: 300, bus_mhz: 66, family: "Klamath", price: 268.0, winstone: 33.1, quake: 52.0, printed_winstone_pp: 0.124, printed_quake_pp: 0.194 },
-        Table1Row { core_mhz: 333, bus_mhz: 66, family: "Deschutes", price: 299.0, winstone: 35.0, quake: 56.0, printed_winstone_pp: 0.117, printed_quake_pp: 0.187 },
-        Table1Row { core_mhz: 350, bus_mhz: 100, family: "Deschutes", price: 349.0, winstone: 36.7, quake: 60.0, printed_winstone_pp: 0.105, printed_quake_pp: 0.172 },
-        Table1Row { core_mhz: 400, bus_mhz: 100, family: "Deschutes", price: 596.0, winstone: 39.5, quake: 66.0, printed_winstone_pp: 0.066, printed_quake_pp: 0.111 },
-        Table1Row { core_mhz: 450, bus_mhz: 100, family: "Deschutes", price: 799.0, winstone: 41.3, quake: 69.0, printed_winstone_pp: 0.052, printed_quake_pp: 0.086 },
+        Table1Row {
+            core_mhz: 266,
+            bus_mhz: 66,
+            family: "Klamath",
+            price: 245.0,
+            winstone: 31.0,
+            quake: 47.0,
+            printed_winstone_pp: 0.127,
+            printed_quake_pp: 0.192,
+        },
+        Table1Row {
+            core_mhz: 300,
+            bus_mhz: 66,
+            family: "Klamath",
+            price: 268.0,
+            winstone: 33.1,
+            quake: 52.0,
+            printed_winstone_pp: 0.124,
+            printed_quake_pp: 0.194,
+        },
+        Table1Row {
+            core_mhz: 333,
+            bus_mhz: 66,
+            family: "Deschutes",
+            price: 299.0,
+            winstone: 35.0,
+            quake: 56.0,
+            printed_winstone_pp: 0.117,
+            printed_quake_pp: 0.187,
+        },
+        Table1Row {
+            core_mhz: 350,
+            bus_mhz: 100,
+            family: "Deschutes",
+            price: 349.0,
+            winstone: 36.7,
+            quake: 60.0,
+            printed_winstone_pp: 0.105,
+            printed_quake_pp: 0.172,
+        },
+        Table1Row {
+            core_mhz: 400,
+            bus_mhz: 100,
+            family: "Deschutes",
+            price: 596.0,
+            winstone: 39.5,
+            quake: 66.0,
+            printed_winstone_pp: 0.066,
+            printed_quake_pp: 0.111,
+        },
+        Table1Row {
+            core_mhz: 450,
+            bus_mhz: 100,
+            family: "Deschutes",
+            price: 799.0,
+            winstone: 41.3,
+            quake: 69.0,
+            printed_winstone_pp: 0.052,
+            printed_quake_pp: 0.086,
+        },
     ]
 }
 

@@ -159,7 +159,11 @@ pub fn natural_loops(f: &Function) -> Vec<NaturalLoop> {
                         stack.push(p);
                     }
                 }
-                loops.push(NaturalLoop { header, latch, blocks: body });
+                loops.push(NaturalLoop {
+                    header,
+                    latch,
+                    blocks: body,
+                });
             }
         }
     }
@@ -195,9 +199,15 @@ mod tests {
         let b2 = f.new_block();
         let b3 = f.new_block();
         let b4 = f.new_block();
-        f.blocks[0] = Block { insts: vec![], term: Terminator::Jump(b1) };
-        f.block_mut(b1).term =
-            Terminator::Branch { c: Val::Reg(VReg(0)), t: b2, f: b4 };
+        f.blocks[0] = Block {
+            insts: vec![],
+            term: Terminator::Jump(b1),
+        };
+        f.block_mut(b1).term = Terminator::Branch {
+            c: Val::Reg(VReg(0)),
+            t: b2,
+            f: b4,
+        };
         f.block_mut(b2).term = Terminator::Jump(b3);
         f.block_mut(b3).term = Terminator::Jump(b1);
         f.block_mut(b4).term = Terminator::Ret(None);

@@ -16,7 +16,10 @@ pub struct Block {
 impl Block {
     /// An empty block falling through to `next`.
     pub fn jump_to(next: BlockId) -> Block {
-        Block { insts: Vec::new(), term: Terminator::Jump(next) }
+        Block {
+            insts: Vec::new(),
+            term: Terminator::Jump(next),
+        }
     }
 }
 
@@ -58,7 +61,10 @@ impl Function {
             name: name.to_string(),
             num_params,
             returns_value,
-            blocks: vec![Block { insts: Vec::new(), term: Terminator::Ret(None) }],
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: Terminator::Ret(None),
+            }],
             entry: BlockId(0),
             locals: Vec::new(),
             num_vregs: num_params,
@@ -75,7 +81,10 @@ impl Function {
     /// Append a new block, returning its id.
     pub fn new_block(&mut self) -> BlockId {
         let id = BlockId(self.blocks.len() as u32);
-        self.blocks.push(Block { insts: Vec::new(), term: Terminator::Ret(None) });
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: Terminator::Ret(None),
+        });
         id
     }
 
@@ -96,7 +105,10 @@ impl Function {
 
     /// Iterate over `(BlockId, &Block)`.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
     }
 }
 
@@ -125,12 +137,18 @@ pub struct Module {
 impl Module {
     /// Find a function id by name.
     pub fn func_id(&self, name: &str) -> Option<FuncId> {
-        self.funcs.iter().position(|f| f.name == name).map(|i| FuncId(i as u32))
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
     }
 
     /// Find a global id by name.
     pub fn global_id(&self, name: &str) -> Option<GlobalId> {
-        self.globals.iter().position(|g| g.name == name).map(|i| GlobalId(i as u32))
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| GlobalId(i as u32))
     }
 
     /// Access a function by id.
@@ -149,9 +167,17 @@ impl Module {
 #[allow(missing_docs)] // field names are self-describing
 pub enum VerifyError {
     /// A terminator references a block that does not exist.
-    BadBlockRef { func: String, from: BlockId, to: BlockId },
+    BadBlockRef {
+        func: String,
+        from: BlockId,
+        to: BlockId,
+    },
     /// An instruction uses a virtual register ≥ `num_vregs`.
-    BadVReg { func: String, block: BlockId, vreg: VReg },
+    BadVReg {
+        func: String,
+        block: BlockId,
+        vreg: VReg,
+    },
     /// An instruction references a nonexistent global.
     BadGlobal { func: String, global: GlobalId },
     /// An instruction references a nonexistent local slot.
@@ -159,7 +185,12 @@ pub enum VerifyError {
     /// A call references a nonexistent function.
     BadCallee { func: String, callee: FuncId },
     /// A call passes the wrong number of arguments.
-    BadArity { func: String, callee: String, expected: usize, got: usize },
+    BadArity {
+        func: String,
+        callee: String,
+        expected: usize,
+        got: usize,
+    },
     /// A custom instruction references a nonexistent custom op or has the
     /// wrong operand counts.
     BadCustom { func: String, id: u16 },
@@ -185,8 +216,16 @@ impl fmt::Display for VerifyError {
             VerifyError::BadCallee { func, callee } => {
                 write!(f, "{func}: call to nonexistent function f{}", callee.0)
             }
-            VerifyError::BadArity { func, callee, expected, got } => {
-                write!(f, "{func}: call to {callee} with {got} args, expected {expected}")
+            VerifyError::BadArity {
+                func,
+                callee,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{func}: call to {callee} with {got} args, expected {expected}"
+                )
             }
             VerifyError::BadCustom { func, id } => {
                 write!(f, "{func}: bad custom op reference {id}")
@@ -206,7 +245,9 @@ impl std::error::Error for VerifyError {}
 pub fn verify(module: &Module) -> Result<(), VerifyError> {
     for func in &module.funcs {
         if func.blocks.is_empty() || func.entry != BlockId(0) {
-            return Err(VerifyError::BadEntry { func: func.name.clone() });
+            return Err(VerifyError::BadEntry {
+                func: func.name.clone(),
+            });
         }
         for (bi, block) in func.iter_blocks() {
             for succ in block.term.successors() {
@@ -220,7 +261,11 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
             }
             let check_vreg = |v: VReg| -> Result<(), VerifyError> {
                 if v.0 >= func.num_vregs {
-                    Err(VerifyError::BadVReg { func: func.name.clone(), block: bi, vreg: v })
+                    Err(VerifyError::BadVReg {
+                        func: func.name.clone(),
+                        block: bi,
+                        vreg: v,
+                    })
                 } else {
                     Ok(())
                 }
@@ -235,10 +280,16 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
                 let check_addr = |base: AddrBase| -> Result<(), VerifyError> {
                     match base {
                         AddrBase::Global(g) if g.0 as usize >= module.globals.len() => {
-                            Err(VerifyError::BadGlobal { func: func.name.clone(), global: g })
+                            Err(VerifyError::BadGlobal {
+                                func: func.name.clone(),
+                                global: g,
+                            })
                         }
                         AddrBase::Local(l) if l.0 as usize >= func.locals.len() => {
-                            Err(VerifyError::BadLocal { func: func.name.clone(), local: l })
+                            Err(VerifyError::BadLocal {
+                                func: func.name.clone(),
+                                local: l,
+                            })
                         }
                         _ => Ok(()),
                     }
@@ -247,7 +298,9 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
                     Inst::Lea { addr, .. } | Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
                         check_addr(addr.base)?;
                     }
-                    Inst::Call { func: callee, args, .. } => {
+                    Inst::Call {
+                        func: callee, args, ..
+                    } => {
                         let Some(cf) = module.funcs.get(callee.0 as usize) else {
                             return Err(VerifyError::BadCallee {
                                 func: func.name.clone(),
@@ -265,12 +318,17 @@ pub fn verify(module: &Module) -> Result<(), VerifyError> {
                     }
                     Inst::Custom { id, dsts, args } => {
                         let Some(def) = module.custom_ops.get(*id as usize) else {
-                            return Err(VerifyError::BadCustom { func: func.name.clone(), id: *id });
+                            return Err(VerifyError::BadCustom {
+                                func: func.name.clone(),
+                                id: *id,
+                            });
                         };
-                        if args.len() != def.num_inputs as usize
-                            || dsts.len() != def.outputs.len()
+                        if args.len() != def.num_inputs as usize || dsts.len() != def.outputs.len()
                         {
-                            return Err(VerifyError::BadCustom { func: func.name.clone(), id: *id });
+                            return Err(VerifyError::BadCustom {
+                                func: func.name.clone(),
+                                id: *id,
+                            });
                         }
                     }
                     _ => {}
@@ -322,8 +380,14 @@ mod tests {
             a: Val::Imm(1),
             b: Val::Imm(2),
         });
-        f.block_mut(BlockId(0)).insts.push(Inst::Emit { val: Val::Reg(v) });
-        Module { funcs: vec![f], globals: vec![], custom_ops: vec![] }
+        f.block_mut(BlockId(0))
+            .insts
+            .push(Inst::Emit { val: Val::Reg(v) });
+        Module {
+            funcs: vec![f],
+            globals: vec![],
+            custom_ops: vec![],
+        }
     }
 
     #[test]
@@ -341,7 +405,9 @@ mod tests {
     #[test]
     fn verify_rejects_out_of_range_vreg() {
         let mut m = sample();
-        m.funcs[0].blocks[0].insts.push(Inst::Emit { val: Val::Reg(VReg(99)) });
+        m.funcs[0].blocks[0].insts.push(Inst::Emit {
+            val: Val::Reg(VReg(99)),
+        });
         assert!(matches!(verify(&m), Err(VerifyError::BadVReg { .. })));
     }
 
@@ -349,9 +415,10 @@ mod tests {
     fn verify_rejects_bad_global() {
         let mut m = sample();
         let v = m.funcs[0].new_vreg();
-        m.funcs[0].blocks[0]
-            .insts
-            .push(Inst::Load { dst: v, addr: crate::inst::Addr::global(GlobalId(5)) });
+        m.funcs[0].blocks[0].insts.push(Inst::Load {
+            dst: v,
+            addr: crate::inst::Addr::global(GlobalId(5)),
+        });
         assert!(matches!(verify(&m), Err(VerifyError::BadGlobal { .. })));
     }
 

@@ -114,17 +114,26 @@ pub struct Addr {
 impl Addr {
     /// Address of a global's first word.
     pub fn global(g: GlobalId) -> Addr {
-        Addr { base: AddrBase::Global(g), off: 0 }
+        Addr {
+            base: AddrBase::Global(g),
+            off: 0,
+        }
     }
 
     /// Address of a local array's first word.
     pub fn local(s: LocalSlot) -> Addr {
-        Addr { base: AddrBase::Local(s), off: 0 }
+        Addr {
+            base: AddrBase::Local(s),
+            off: 0,
+        }
     }
 
     /// Address held in a register.
     pub fn reg(r: VReg) -> Addr {
-        Addr { base: AddrBase::Reg(r), off: 0 }
+        Addr {
+            base: AddrBase::Reg(r),
+            off: 0,
+        }
     }
 
     /// Conservative may-alias test between two addresses.
@@ -492,26 +501,51 @@ mod tests {
 
     #[test]
     fn defs_and_uses() {
-        let i = Inst::Bin { op: Opcode::Add, dst: VReg(3), a: Val::Reg(VReg(1)), b: Val::Imm(4) };
+        let i = Inst::Bin {
+            op: Opcode::Add,
+            dst: VReg(3),
+            a: Val::Reg(VReg(1)),
+            b: Val::Imm(4),
+        };
         assert_eq!(i.defs(), vec![VReg(3)]);
         assert_eq!(i.uses(), vec![VReg(1)]);
 
-        let s = Inst::Store { val: Val::Reg(VReg(2)), addr: Addr::reg(VReg(5)) };
+        let s = Inst::Store {
+            val: Val::Reg(VReg(2)),
+            addr: Addr::reg(VReg(5)),
+        };
         assert!(s.defs().is_empty());
         assert_eq!(s.uses(), vec![VReg(2), VReg(5)]);
     }
 
     #[test]
     fn purity_classification() {
-        let add = Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) };
+        let add = Inst::Bin {
+            op: Opcode::Add,
+            dst: VReg(0),
+            a: Val::Imm(1),
+            b: Val::Imm(2),
+        };
         assert!(add.is_pure());
-        let div = Inst::Bin { op: Opcode::Div, dst: VReg(0), a: Val::Imm(1), b: Val::Reg(VReg(1)) };
+        let div = Inst::Bin {
+            op: Opcode::Div,
+            dst: VReg(0),
+            a: Val::Imm(1),
+            b: Val::Reg(VReg(1)),
+        };
         assert!(!div.is_pure());
         assert!(!div.is_removable_if_dead());
-        let div_const =
-            Inst::Bin { op: Opcode::Div, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) };
+        let div_const = Inst::Bin {
+            op: Opcode::Div,
+            dst: VReg(0),
+            a: Val::Imm(1),
+            b: Val::Imm(2),
+        };
         assert!(div_const.is_removable_if_dead());
-        let load = Inst::Load { dst: VReg(0), addr: Addr::global(GlobalId(0)) };
+        let load = Inst::Load {
+            dst: VReg(0),
+            addr: Addr::global(GlobalId(0)),
+        };
         assert!(!load.is_pure());
         assert!(load.is_removable_if_dead());
     }
@@ -520,7 +554,10 @@ mod tests {
     fn alias_rules() {
         let g0 = Addr::global(GlobalId(0));
         let g1 = Addr::global(GlobalId(1));
-        let g0_4 = Addr { base: AddrBase::Global(GlobalId(0)), off: 4 };
+        let g0_4 = Addr {
+            base: AddrBase::Global(GlobalId(0)),
+            off: 4,
+        };
         let l0 = Addr::local(LocalSlot(0));
         let rr = Addr::reg(VReg(9));
         assert!(!g0.may_alias(&g1));
@@ -528,7 +565,10 @@ mod tests {
         assert!(g0.may_alias(&g0));
         assert!(!g0.may_alias(&l0));
         assert!(rr.may_alias(&g0));
-        assert!(rr.may_alias(&l0), "a computed base may point into a local array");
+        assert!(
+            rr.may_alias(&l0),
+            "a computed base may point into a local array"
+        );
         assert!(rr.may_alias(&rr));
     }
 
@@ -540,7 +580,13 @@ mod tests {
             a: Val::Reg(VReg(1)),
             b: Val::Reg(VReg(2)),
         };
-        i.map_uses(|r| if r == VReg(1) { Val::Imm(7) } else { Val::Reg(r) });
+        i.map_uses(|r| {
+            if r == VReg(1) {
+                Val::Imm(7)
+            } else {
+                Val::Reg(r)
+            }
+        });
         assert_eq!(i.uses(), vec![VReg(2)]);
         if let Inst::Bin { a, .. } = &i {
             assert_eq!(*a, Val::Imm(7));
@@ -549,7 +595,11 @@ mod tests {
 
     #[test]
     fn terminator_successors() {
-        let t = Terminator::Branch { c: Val::Reg(VReg(0)), t: BlockId(1), f: BlockId(2) };
+        let t = Terminator::Branch {
+            c: Val::Reg(VReg(0)),
+            t: BlockId(1),
+            f: BlockId(2),
+        };
         assert_eq!(t.successors(), vec![BlockId(1), BlockId(2)]);
         assert_eq!(t.uses(), vec![VReg(0)]);
         assert!(Terminator::Ret(None).successors().is_empty());
@@ -557,7 +607,13 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let i = Inst::Load { dst: VReg(1), addr: Addr { base: AddrBase::Global(GlobalId(2)), off: 3 } };
+        let i = Inst::Load {
+            dst: VReg(1),
+            addr: Addr {
+                base: AddrBase::Global(GlobalId(2)),
+                off: 3,
+            },
+        };
         assert_eq!(i.to_string(), "v1 = ldw [g2+3]");
         let t = Terminator::Jump(BlockId(4));
         assert_eq!(t.to_string(), "jump bb4");

@@ -28,7 +28,11 @@ pub struct InterpOptions {
 
 impl Default for InterpOptions {
     fn default() -> Self {
-        InterpOptions { memory_words: 1 << 20, max_steps: 200_000_000, max_depth: 256 }
+        InterpOptions {
+            memory_words: 1 << 20,
+            max_steps: 200_000_000,
+            max_depth: 256,
+        }
     }
 }
 
@@ -144,7 +148,16 @@ impl<'m> Interp<'m> {
                 }
             }
         }
-        Interp { module, opts, global_addr, memory, output: Vec::new(), steps: 0, profile: Profile::default(), data_top: addr }
+        Interp {
+            module,
+            opts,
+            global_addr,
+            memory,
+            output: Vec::new(),
+            steps: 0,
+            profile: Profile::default(),
+            data_top: addr,
+        }
     }
 
     /// Word address of a global's first element.
@@ -155,8 +168,12 @@ impl<'m> Interp<'m> {
 
     /// Overwrite a global's contents before running (workload inputs).
     pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
-        let Some(base) = self.global_addr(name) else { return false };
-        let Some(id) = self.module.global_id(name) else { return false };
+        let Some(base) = self.global_addr(name) else {
+            return false;
+        };
+        let Some(id) = self.module.global_id(name) else {
+            return false;
+        };
         let words = self.module.globals[id.0 as usize].words as usize;
         for (i, &v) in data.iter().take(words).enumerate() {
             self.memory[base as usize + i] = v;
@@ -286,14 +303,17 @@ impl<'m> Interp<'m> {
                     }
                     Inst::Un { op, dst, a } => {
                         let x = val(a, &regs);
-                        let r = op.eval1(x).map_err(|_| {
-                            InterpError::BadCustom(format!("non-arith un op {op}"))
-                        })?;
+                        let r = op
+                            .eval1(x)
+                            .map_err(|_| InterpError::BadCustom(format!("non-arith un op {op}")))?;
                         regs[dst.0 as usize] = r;
                     }
                     Inst::Select { dst, c, a, b } => {
-                        regs[dst.0 as usize] =
-                            if val(c, &regs) != 0 { val(a, &regs) } else { val(b, &regs) };
+                        regs[dst.0 as usize] = if val(c, &regs) != 0 {
+                            val(a, &regs)
+                        } else {
+                            val(b, &regs)
+                        };
                     }
                     Inst::Lea { dst, addr } => {
                         let a = addr_of(&addr, &regs, &self.global_addr, &local_addr);
@@ -308,7 +328,11 @@ impl<'m> Interp<'m> {
                         let x = val(v, &regs);
                         self.mem_write(a, x)?;
                     }
-                    Inst::Call { dst, func: callee, args } => {
+                    Inst::Call {
+                        dst,
+                        func: callee,
+                        args,
+                    } => {
                         let argv: Vec<i32> = args.iter().map(|&a| val(a, &regs)).collect();
                         let r = self.call(callee, &argv, frame_base, depth + 1)?;
                         if let Some(d) = dst {
@@ -366,11 +390,7 @@ impl<'m> Interp<'m> {
 /// # Errors
 ///
 /// Any [`InterpError`] raised during execution.
-pub fn run_module(
-    module: &Module,
-    entry: &str,
-    args: &[i32],
-) -> Result<InterpResult, InterpError> {
+pub fn run_module(module: &Module, entry: &str, args: &[i32]) -> Result<InterpResult, InterpError> {
     Interp::new(module, InterpOptions::default()).run(entry, args)
 }
 
@@ -382,7 +402,11 @@ mod tests {
     use asip_isa::Opcode;
 
     fn module_with(f: Function) -> Module {
-        Module { funcs: vec![f], globals: vec![], custom_ops: vec![] }
+        Module {
+            funcs: vec![f],
+            globals: vec![],
+            custom_ops: vec![],
+        }
     }
 
     #[test]
@@ -391,7 +415,12 @@ mod tests {
         let v = f.new_vreg();
         f.blocks[0] = Block {
             insts: vec![
-                Inst::Bin { op: Opcode::Mul, dst: v, a: Val::Imm(6), b: Val::Imm(7) },
+                Inst::Bin {
+                    op: Opcode::Mul,
+                    dst: v,
+                    a: Val::Imm(6),
+                    b: Val::Imm(7),
+                },
                 Inst::Emit { val: Val::Reg(v) },
             ],
             term: Terminator::Ret(Some(Val::Reg(v))),
@@ -413,8 +442,16 @@ mod tests {
         let exit = f.new_block();
         f.blocks[0] = Block {
             insts: vec![
-                Inst::Un { op: Opcode::Mov, dst: sum, a: Val::Imm(0) },
-                Inst::Un { op: Opcode::Mov, dst: i, a: Val::Imm(0) },
+                Inst::Un {
+                    op: Opcode::Mov,
+                    dst: sum,
+                    a: Val::Imm(0),
+                },
+                Inst::Un {
+                    op: Opcode::Mov,
+                    dst: i,
+                    a: Val::Imm(0),
+                },
             ],
             term: Terminator::Jump(header),
         };
@@ -424,13 +461,29 @@ mod tests {
             a: Val::Reg(i),
             b: Val::Reg(VReg(0)),
         });
-        f.block_mut(header).term = Terminator::Branch { c: Val::Reg(c), t: body, f: exit };
+        f.block_mut(header).term = Terminator::Branch {
+            c: Val::Reg(c),
+            t: body,
+            f: exit,
+        };
         f.block_mut(body).insts.extend([
-            Inst::Bin { op: Opcode::Add, dst: sum, a: Val::Reg(sum), b: Val::Reg(i) },
-            Inst::Bin { op: Opcode::Add, dst: i, a: Val::Reg(i), b: Val::Imm(1) },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: sum,
+                a: Val::Reg(sum),
+                b: Val::Reg(i),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: i,
+                a: Val::Reg(i),
+                b: Val::Imm(1),
+            },
         ]);
         f.block_mut(body).term = Terminator::Jump(header);
-        f.block_mut(exit).insts.push(Inst::Emit { val: Val::Reg(sum) });
+        f.block_mut(exit)
+            .insts
+            .push(Inst::Emit { val: Val::Reg(sum) });
         f.block_mut(exit).term = Terminator::Ret(None);
 
         let r = run_module(&module_with(f), "main", &[10]).unwrap();
@@ -446,11 +499,25 @@ mod tests {
         let v = f.new_vreg();
         f.blocks[0] = Block {
             insts: vec![
-                Inst::Load { dst: v, addr: Addr { base: AddrBase::Global(GlobalId(0)), off: 1 } },
-                Inst::Bin { op: Opcode::Add, dst: v, a: Val::Reg(v), b: Val::Imm(100) },
+                Inst::Load {
+                    dst: v,
+                    addr: Addr {
+                        base: AddrBase::Global(GlobalId(0)),
+                        off: 1,
+                    },
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: v,
+                    a: Val::Reg(v),
+                    b: Val::Imm(100),
+                },
                 Inst::Store {
                     val: Val::Reg(v),
-                    addr: Addr { base: AddrBase::Global(GlobalId(0)), off: 2 },
+                    addr: Addr {
+                        base: AddrBase::Global(GlobalId(0)),
+                        off: 2,
+                    },
                 },
                 Inst::Emit { val: Val::Reg(v) },
             ],
@@ -458,7 +525,11 @@ mod tests {
         };
         let m = Module {
             funcs: vec![f],
-            globals: vec![GlobalData { name: "tab".into(), words: 4, init: vec![5, 7] }],
+            globals: vec![GlobalData {
+                name: "tab".into(),
+                words: 4,
+                init: vec![5, 7],
+            }],
             custom_ops: vec![],
         };
         let interp = Interp::new(&m, InterpOptions::default());
@@ -471,13 +542,27 @@ mod tests {
     fn local_arrays_are_per_frame() {
         // f(x): local a[2]; a[0] = x; return a[0] + 1
         let mut callee = Function::new("f", 1, true);
-        callee.locals.push(LocalData { name: "a".into(), words: 2 });
+        callee.locals.push(LocalData {
+            name: "a".into(),
+            words: 2,
+        });
         let t = callee.new_vreg();
         callee.blocks[0] = Block {
             insts: vec![
-                Inst::Store { val: Val::Reg(VReg(0)), addr: Addr::local(LocalSlot(0)) },
-                Inst::Load { dst: t, addr: Addr::local(LocalSlot(0)) },
-                Inst::Bin { op: Opcode::Add, dst: t, a: Val::Reg(t), b: Val::Imm(1) },
+                Inst::Store {
+                    val: Val::Reg(VReg(0)),
+                    addr: Addr::local(LocalSlot(0)),
+                },
+                Inst::Load {
+                    dst: t,
+                    addr: Addr::local(LocalSlot(0)),
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: t,
+                    a: Val::Reg(t),
+                    b: Val::Imm(1),
+                },
             ],
             term: Terminator::Ret(Some(Val::Reg(t))),
         };
@@ -486,14 +571,26 @@ mod tests {
         let r2 = main.new_vreg();
         main.blocks[0] = Block {
             insts: vec![
-                Inst::Call { dst: Some(r1), func: FuncId(1), args: vec![Val::Imm(10)] },
-                Inst::Call { dst: Some(r2), func: FuncId(1), args: vec![Val::Imm(20)] },
+                Inst::Call {
+                    dst: Some(r1),
+                    func: FuncId(1),
+                    args: vec![Val::Imm(10)],
+                },
+                Inst::Call {
+                    dst: Some(r2),
+                    func: FuncId(1),
+                    args: vec![Val::Imm(20)],
+                },
                 Inst::Emit { val: Val::Reg(r1) },
                 Inst::Emit { val: Val::Reg(r2) },
             ],
             term: Terminator::Ret(None),
         };
-        let m = Module { funcs: vec![main, callee], globals: vec![], custom_ops: vec![] };
+        let m = Module {
+            funcs: vec![main, callee],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         let r = run_module(&m, "main", &[]).unwrap();
         assert_eq!(r.output, vec![11, 21]);
     }
@@ -520,7 +617,13 @@ mod tests {
         let mut f = Function::new("main", 0, false);
         let v = f.new_vreg();
         f.blocks[0] = Block {
-            insts: vec![Inst::Load { dst: v, addr: Addr { base: AddrBase::Reg(v), off: -5 } }],
+            insts: vec![Inst::Load {
+                dst: v,
+                addr: Addr {
+                    base: AddrBase::Reg(v),
+                    off: -5,
+                },
+            }],
             term: Terminator::Ret(None),
         };
         let e = run_module(&module_with(f), "main", &[]).unwrap_err();
@@ -532,9 +635,15 @@ mod tests {
         let mut f = Function::new("main", 0, false);
         f.blocks[0].term = Terminator::Jump(BlockId(0));
         let m = module_with(f);
-        let e = Interp::new(&m, InterpOptions { max_steps: 1000, ..Default::default() })
-            .run("main", &[])
-            .unwrap_err();
+        let e = Interp::new(
+            &m,
+            InterpOptions {
+                max_steps: 1000,
+                ..Default::default()
+            },
+        )
+        .run("main", &[])
+        .unwrap_err();
         assert_eq!(e, InterpError::StepLimit);
     }
 
@@ -553,7 +662,11 @@ mod tests {
             a: Val::Reg(i),
             b: Val::Reg(VReg(0)),
         });
-        f.blocks[0].term = Terminator::Branch { c: Val::Reg(c), t: body, f: exit };
+        f.blocks[0].term = Terminator::Branch {
+            c: Val::Reg(c),
+            t: body,
+            f: exit,
+        };
         f.block_mut(body).insts.push(Inst::Bin {
             op: Opcode::Add,
             dst: i,
@@ -565,7 +678,10 @@ mod tests {
         // i starts as param v0? No: i is v1; v0 is n. i initial = 0 by default regs.
         let m = module_with(f);
         let r = run_module(&m, "main", &[9]).unwrap();
-        let p = r.profile.taken_probability(&m.funcs[0], FuncId(0), header).unwrap();
+        let p = r
+            .profile
+            .taken_probability(&m.funcs[0], FuncId(0), header)
+            .unwrap();
         assert!(p > 0.85 && p < 0.95, "p = {p}");
     }
 }

@@ -91,7 +91,7 @@ pub fn liveness(f: &Function) -> Liveness {
 mod tests {
     use super::*;
     use crate::func::{Block, Function};
-    use crate::inst::{BlockId, Inst, Terminator, VReg, Val};
+    use crate::inst::{Inst, Terminator, VReg, Val};
     use asip_isa::Opcode;
 
     /// bb0: v1 = 1; branch v0 ? bb1 : bb2
@@ -103,8 +103,16 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         f.blocks[0] = Block {
-            insts: vec![Inst::Un { op: Opcode::Mov, dst: v1, a: Val::Imm(1) }],
-            term: Terminator::Branch { c: Val::Reg(VReg(0)), t: b1, f: b2 },
+            insts: vec![Inst::Un {
+                op: Opcode::Mov,
+                dst: v1,
+                a: Val::Imm(1),
+            }],
+            term: Terminator::Branch {
+                c: Val::Reg(VReg(0)),
+                t: b1,
+                f: b2,
+            },
         };
         f.block_mut(b1).insts.push(Inst::Emit { val: Val::Reg(v1) });
         f.block_mut(b1).term = Terminator::Ret(None);
@@ -139,7 +147,11 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         f.blocks[0] = Block {
-            insts: vec![Inst::Un { op: Opcode::Mov, dst: v1, a: Val::Imm(0) }],
+            insts: vec![Inst::Un {
+                op: Opcode::Mov,
+                dst: v1,
+                a: Val::Imm(0),
+            }],
             term: Terminator::Jump(b1),
         };
         f.block_mut(b1).insts.push(Inst::Bin {
@@ -148,7 +160,11 @@ mod tests {
             a: Val::Reg(v1),
             b: Val::Imm(1),
         });
-        f.block_mut(b1).term = Terminator::Branch { c: Val::Reg(VReg(0)), t: b1, f: b2 };
+        f.block_mut(b1).term = Terminator::Branch {
+            c: Val::Reg(VReg(0)),
+            t: b1,
+            f: b2,
+        };
         f.block_mut(b2).insts.push(Inst::Emit { val: Val::Reg(v1) });
         f.block_mut(b2).term = Terminator::Ret(None);
 

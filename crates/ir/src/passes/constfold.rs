@@ -39,7 +39,11 @@ fn simplify_inst(inst: &Inst) -> Option<Inst> {
             }
             if let Val::Imm(x) = a {
                 if let Ok(r) = op.eval1(*x) {
-                    return Some(Inst::Un { op: Opcode::Mov, dst: *dst, a: Val::Imm(r) });
+                    return Some(Inst::Un {
+                        op: Opcode::Mov,
+                        dst: *dst,
+                        a: Val::Imm(r),
+                    });
                 }
             }
             None
@@ -47,10 +51,18 @@ fn simplify_inst(inst: &Inst) -> Option<Inst> {
         Inst::Select { dst, c, a, b } => {
             if let Val::Imm(k) = c {
                 let v = if *k != 0 { *a } else { *b };
-                return Some(Inst::Un { op: Opcode::Mov, dst: *dst, a: v });
+                return Some(Inst::Un {
+                    op: Opcode::Mov,
+                    dst: *dst,
+                    a: v,
+                });
             }
             if a == b {
-                return Some(Inst::Un { op: Opcode::Mov, dst: *dst, a: *a });
+                return Some(Inst::Un {
+                    op: Opcode::Mov,
+                    dst: *dst,
+                    a: *a,
+                });
             }
             None
         }
@@ -59,7 +71,11 @@ fn simplify_inst(inst: &Inst) -> Option<Inst> {
 }
 
 fn mov(dst: crate::inst::VReg, a: Val) -> Option<Inst> {
-    Some(Inst::Un { op: Opcode::Mov, dst, a })
+    Some(Inst::Un {
+        op: Opcode::Mov,
+        dst,
+        a,
+    })
 }
 
 fn simplify_bin(op: Opcode, dst: crate::inst::VReg, a: Val, b: Val) -> Option<Inst> {
@@ -68,7 +84,12 @@ fn simplify_bin(op: Opcode, dst: crate::inst::VReg, a: Val, b: Val) -> Option<In
     // Canonicalize: immediate on the right for commutative ops.
     if op.is_commutative() {
         if let (Val::Imm(_), Val::Reg(_)) = (a, b) {
-            return Some(Inst::Bin { op, dst, a: b, b: a });
+            return Some(Inst::Bin {
+                op,
+                dst,
+                a: b,
+                b: a,
+            });
         }
     }
 
@@ -144,7 +165,10 @@ mod tests {
     fn with_insts(insts: Vec<Inst>) -> Function {
         let mut f = Function::new("t", 0, false);
         f.num_vregs = 16;
-        f.blocks[0] = Block { insts, term: Terminator::Ret(None) };
+        f.blocks[0] = Block {
+            insts,
+            term: Terminator::Ret(None),
+        };
         f
     }
 
@@ -161,7 +185,14 @@ mod tests {
             b: Val::Imm(40),
         }]);
         assert!(run(&mut f));
-        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(42) });
+        assert_eq!(
+            *first(&f),
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(1),
+                a: Val::Imm(42)
+            }
+        );
     }
 
     #[test]
@@ -186,7 +217,12 @@ mod tests {
         assert!(run(&mut f));
         assert_eq!(
             *first(&f),
-            Inst::Bin { op: Opcode::Shl, dst: VReg(1), a: Val::Reg(VReg(0)), b: Val::Imm(3) }
+            Inst::Bin {
+                op: Opcode::Shl,
+                dst: VReg(1),
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(3)
+            }
         );
     }
 
@@ -201,7 +237,12 @@ mod tests {
         assert!(run(&mut f));
         assert_eq!(
             *first(&f),
-            Inst::Bin { op: Opcode::Add, dst: VReg(1), a: Val::Reg(VReg(0)), b: Val::Imm(5) }
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(1),
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(5)
+            }
         );
     }
 
@@ -214,7 +255,14 @@ mod tests {
             b: Val::Reg(VReg(0)),
         }]);
         assert!(run(&mut f));
-        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(0) });
+        assert_eq!(
+            *first(&f),
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(1),
+                a: Val::Imm(0)
+            }
+        );
     }
 
     #[test]
@@ -226,7 +274,14 @@ mod tests {
             b: Val::Imm(0),
         }]);
         assert!(run(&mut f));
-        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Reg(VReg(0)) });
+        assert_eq!(
+            *first(&f),
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(1),
+                a: Val::Reg(VReg(0))
+            }
+        );
     }
 
     #[test]
@@ -234,8 +289,11 @@ mod tests {
         let mut f = Function::new("t", 0, false);
         let b1 = f.new_block();
         let b2 = f.new_block();
-        f.blocks[0].term =
-            Terminator::Branch { c: Val::Imm(1), t: b1, f: b2 };
+        f.blocks[0].term = Terminator::Branch {
+            c: Val::Imm(1),
+            t: b1,
+            f: b2,
+        };
         assert!(run(&mut f));
         assert_eq!(f.blocks[0].term, Terminator::Jump(b1));
     }
@@ -249,13 +307,31 @@ mod tests {
             b: Val::Imm(20),
         }]);
         assert!(run(&mut f));
-        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(20) });
+        assert_eq!(
+            *first(&f),
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(1),
+                a: Val::Imm(20)
+            }
+        );
     }
 
     #[test]
     fn unary_folds() {
-        let mut f = with_insts(vec![Inst::Un { op: Opcode::Abs, dst: VReg(1), a: Val::Imm(-9) }]);
+        let mut f = with_insts(vec![Inst::Un {
+            op: Opcode::Abs,
+            dst: VReg(1),
+            a: Val::Imm(-9),
+        }]);
         assert!(run(&mut f));
-        assert_eq!(*first(&f), Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(9) });
+        assert_eq!(
+            *first(&f),
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(1),
+                a: Val::Imm(9)
+            }
+        );
     }
 }

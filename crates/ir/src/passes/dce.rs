@@ -38,7 +38,9 @@ pub fn run(f: &mut Function) -> bool {
             }
             if removed {
                 let mut it = keep.iter();
-                block.insts.retain(|_| *it.next().expect("keep mask aligned"));
+                block
+                    .insts
+                    .retain(|_| *it.next().expect("keep mask aligned"));
             }
         }
         changed |= removed;
@@ -62,15 +64,30 @@ mod tests {
         f.num_vregs = 4;
         f.blocks[0] = Block {
             insts: vec![
-                Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) },
-                Inst::Bin { op: Opcode::Add, dst: VReg(1), a: Val::Imm(3), b: Val::Imm(4) },
-                Inst::Emit { val: Val::Reg(VReg(1)) },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: VReg(0),
+                    a: Val::Imm(1),
+                    b: Val::Imm(2),
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: VReg(1),
+                    a: Val::Imm(3),
+                    b: Val::Imm(4),
+                },
+                Inst::Emit {
+                    val: Val::Reg(VReg(1)),
+                },
             ],
             term: Terminator::Ret(None),
         };
         assert!(run(&mut f));
         assert_eq!(f.blocks[0].insts.len(), 2);
-        assert!(matches!(f.blocks[0].insts[0], Inst::Bin { dst: VReg(1), .. }));
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Bin { dst: VReg(1), .. }
+        ));
     }
 
     #[test]
@@ -79,9 +96,24 @@ mod tests {
         f.num_vregs = 4;
         f.blocks[0] = Block {
             insts: vec![
-                Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) },
-                Inst::Bin { op: Opcode::Add, dst: VReg(1), a: Val::Reg(VReg(0)), b: Val::Imm(1) },
-                Inst::Bin { op: Opcode::Add, dst: VReg(2), a: Val::Reg(VReg(1)), b: Val::Imm(1) },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: VReg(0),
+                    a: Val::Imm(1),
+                    b: Val::Imm(2),
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: VReg(1),
+                    a: Val::Reg(VReg(0)),
+                    b: Val::Imm(1),
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: VReg(2),
+                    a: Val::Reg(VReg(1)),
+                    b: Val::Imm(1),
+                },
             ],
             term: Terminator::Ret(None),
         };
@@ -95,7 +127,10 @@ mod tests {
         f.num_vregs = 4;
         f.blocks[0] = Block {
             insts: vec![
-                Inst::Store { val: Val::Imm(1), addr: Addr::global(GlobalId(0)) },
+                Inst::Store {
+                    val: Val::Imm(1),
+                    addr: Addr::global(GlobalId(0)),
+                },
                 Inst::Emit { val: Val::Imm(2) },
             ],
             term: Terminator::Ret(None),
@@ -126,7 +161,10 @@ mod tests {
         let mut f = Function::new("t", 0, false);
         f.num_vregs = 4;
         f.blocks[0] = Block {
-            insts: vec![Inst::Load { dst: VReg(0), addr: Addr::global(GlobalId(0)) }],
+            insts: vec![Inst::Load {
+                dst: VReg(0),
+                addr: Addr::global(GlobalId(0)),
+            }],
             term: Terminator::Ret(None),
         };
         assert!(run(&mut f));
@@ -139,10 +177,17 @@ mod tests {
         f.num_vregs = 4;
         let b1 = f.new_block();
         f.blocks[0] = Block {
-            insts: vec![Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Imm(1), b: Val::Imm(2) }],
+            insts: vec![Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(0),
+                a: Val::Imm(1),
+                b: Val::Imm(2),
+            }],
             term: Terminator::Jump(b1),
         };
-        f.block_mut(b1).insts.push(Inst::Emit { val: Val::Reg(VReg(0)) });
+        f.block_mut(b1).insts.push(Inst::Emit {
+            val: Val::Reg(VReg(0)),
+        });
         f.block_mut(b1).term = Terminator::Ret(None);
         assert!(!run(&mut f));
         assert_eq!(f.blocks[0].insts.len(), 1);

@@ -90,7 +90,9 @@ fn convert(
     // Rename the defs of a side's instructions to fresh registers, tracking
     // the final name of each original register.
     let splice = |side: Option<BlockId>, f: &mut Function| -> (Vec<Inst>, BTreeMap<VReg, VReg>) {
-        let Some(s) = side else { return (Vec::new(), BTreeMap::new()) };
+        let Some(s) = side else {
+            return (Vec::new(), BTreeMap::new());
+        };
         let insts = f.block(s).insts.clone();
         let mut rename: BTreeMap<VReg, VReg> = BTreeMap::new();
         let mut out = Vec::with_capacity(insts.len());
@@ -124,7 +126,12 @@ fn convert(
         }
         let tv = t_map.get(&v).copied().map(Val::Reg).unwrap_or(Val::Reg(v));
         let fv = f_map.get(&v).copied().map(Val::Reg).unwrap_or(Val::Reg(v));
-        block.insts.push(Inst::Select { dst: v, c, a: tv, b: fv });
+        block.insts.push(Inst::Select {
+            dst: v,
+            c,
+            a: tv,
+            b: fv,
+        });
     }
     block.term = Terminator::Jump(join);
 }
@@ -150,7 +157,11 @@ mod tests {
             a: Val::Reg(VReg(0)),
             b: Val::Imm(0),
         });
-        f.blocks[0].term = Terminator::Branch { c: Val::Reg(c), t: tb, f: fb };
+        f.blocks[0].term = Terminator::Branch {
+            c: Val::Reg(c),
+            t: tb,
+            f: fb,
+        };
         f.block_mut(tb).insts.push(Inst::Bin {
             op: Opcode::Mul,
             dst: y,
@@ -165,7 +176,9 @@ mod tests {
             b: Val::Reg(VReg(0)),
         });
         f.block_mut(fb).term = Terminator::Jump(join);
-        f.block_mut(join).insts.push(Inst::Emit { val: Val::Reg(y) });
+        f.block_mut(join)
+            .insts
+            .push(Inst::Emit { val: Val::Reg(y) });
         f.block_mut(join).term = Terminator::Ret(None);
         f
     }
@@ -175,7 +188,10 @@ mod tests {
         let mut f = diamond();
         assert!(run(&mut f));
         assert_eq!(f.blocks.len(), 1, "everything merged into the entry");
-        assert!(f.blocks[0].insts.iter().any(|i| matches!(i, Inst::Select { .. })));
+        assert!(f.blocks[0]
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Select { .. })));
         assert!(matches!(f.blocks[0].term, Terminator::Ret(None)));
     }
 
@@ -184,8 +200,16 @@ mod tests {
         let f0 = diamond();
         let mut f1 = f0.clone();
         run(&mut f1);
-        let m0 = Module { funcs: vec![f0], globals: vec![], custom_ops: vec![] };
-        let m1 = Module { funcs: vec![f1], globals: vec![], custom_ops: vec![] };
+        let m0 = Module {
+            funcs: vec![f0],
+            globals: vec![],
+            custom_ops: vec![],
+        };
+        let m1 = Module {
+            funcs: vec![f1],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         for x in [-5, -1, 0, 1, 9] {
             assert_eq!(
                 run_module(&m0, "main", &[x]).unwrap().output,
@@ -203,17 +227,32 @@ mod tests {
         let tb = f.new_block();
         let join = f.new_block();
         f.blocks[0].insts.extend([
-            Inst::Un { op: Opcode::Mov, dst: y, a: Val::Imm(1) },
-            Inst::Bin { op: Opcode::CmpGt, dst: c, a: Val::Reg(VReg(0)), b: Val::Imm(3) },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: y,
+                a: Val::Imm(1),
+            },
+            Inst::Bin {
+                op: Opcode::CmpGt,
+                dst: c,
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(3),
+            },
         ]);
-        f.blocks[0].term = Terminator::Branch { c: Val::Reg(c), t: tb, f: join };
+        f.blocks[0].term = Terminator::Branch {
+            c: Val::Reg(c),
+            t: tb,
+            f: join,
+        };
         f.block_mut(tb).insts.push(Inst::Un {
             op: Opcode::Mov,
             dst: y,
             a: Val::Reg(VReg(0)),
         });
         f.block_mut(tb).term = Terminator::Jump(join);
-        f.block_mut(join).insts.push(Inst::Emit { val: Val::Reg(y) });
+        f.block_mut(join)
+            .insts
+            .push(Inst::Emit { val: Val::Reg(y) });
         f.block_mut(join).term = Terminator::Ret(None);
         f
     }
@@ -224,8 +263,16 @@ mod tests {
         let mut f1 = f0.clone();
         assert!(run(&mut f1));
         assert_eq!(f1.blocks.len(), 1);
-        let m0 = Module { funcs: vec![f0], globals: vec![], custom_ops: vec![] };
-        let m1 = Module { funcs: vec![f1], globals: vec![], custom_ops: vec![] };
+        let m0 = Module {
+            funcs: vec![f0],
+            globals: vec![],
+            custom_ops: vec![],
+        };
+        let m1 = Module {
+            funcs: vec![f1],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         for x in [0, 3, 4, 100] {
             assert_eq!(
                 run_module(&m0, "main", &[x]).unwrap().output,
@@ -271,8 +318,18 @@ mod tests {
         let tb = BlockId(1);
         f.block_mut(tb).insts.clear();
         f.block_mut(tb).insts.extend([
-            Inst::Bin { op: Opcode::Add, dst: tmp, a: Val::Reg(VReg(0)), b: Val::Imm(1) },
-            Inst::Bin { op: Opcode::Mul, dst: y, a: Val::Reg(tmp), b: Val::Imm(2) },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: tmp,
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(1),
+            },
+            Inst::Bin {
+                op: Opcode::Mul,
+                dst: y,
+                a: Val::Reg(tmp),
+                b: Val::Imm(2),
+            },
         ]);
         let mut f1 = f.clone();
         assert!(run(&mut f1));

@@ -20,7 +20,11 @@ pub struct InlineConfig {
 
 impl Default for InlineConfig {
     fn default() -> Self {
-        InlineConfig { max_callee_insts: 400, max_caller_insts: 20_000, rounds: 6 }
+        InlineConfig {
+            max_callee_insts: 400,
+            max_caller_insts: 20_000,
+            rounds: 6,
+        }
     }
 }
 
@@ -35,7 +39,9 @@ pub fn run(module: &mut Module, cfg: &InlineConfig) -> bool {
             .funcs
             .iter()
             .map(|f| {
-                f.blocks.iter().all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call { .. })))
+                f.blocks
+                    .iter()
+                    .all(|b| !b.insts.iter().any(|i| matches!(i, Inst::Call { .. })))
             })
             .collect();
         let sizes: Vec<usize> = module.funcs.iter().map(Function::num_insts).collect();
@@ -46,7 +52,9 @@ pub fn run(module: &mut Module, cfg: &InlineConfig) -> bool {
                     break;
                 }
                 let site = find_site(&module.funcs[caller_idx], &is_leaf, &sizes, cfg, caller_idx);
-                let Some((block, idx, callee)) = site else { break };
+                let Some((block, idx, callee)) = site else {
+                    break;
+                };
                 let callee_fn = module.funcs[callee.0 as usize].clone();
                 inline_site(&mut module.funcs[caller_idx], block, idx, &callee_fn);
                 any = true;
@@ -112,7 +120,11 @@ fn inline_site(caller: &mut Function, block: BlockId, idx: usize, callee: &Funct
     // Bind arguments to the callee's (remapped) parameter registers.
     for (p, a) in args.iter().enumerate() {
         let param = VReg(vreg_base + p as u32);
-        caller.block_mut(block).insts.push(Inst::Un { op: Opcode::Mov, dst: param, a: *a });
+        caller.block_mut(block).insts.push(Inst::Un {
+            op: Opcode::Mov,
+            dst: param,
+            a: *a,
+        });
     }
 
     // Clone callee blocks with remapped registers, locals and block ids.
@@ -139,7 +151,11 @@ fn inline_site(caller: &mut Function, block: BlockId, idx: usize, callee: &Funct
                     Val::Reg(r) => Val::Reg(VReg(vreg_base + r.0)),
                     imm => *imm,
                 };
-                Terminator::Branch { c, t: callee_block(*t), f: callee_block(*f) }
+                Terminator::Branch {
+                    c,
+                    t: callee_block(*t),
+                    f: callee_block(*f),
+                }
             }
             Terminator::Ret(v) => {
                 if let Some(d) = dst {
@@ -148,7 +164,11 @@ fn inline_site(caller: &mut Function, block: BlockId, idx: usize, callee: &Funct
                         Some(imm) => *imm,
                         None => Val::Imm(0),
                     };
-                    nb.insts.push(Inst::Un { op: Opcode::Mov, dst: d, a: val });
+                    nb.insts.push(Inst::Un {
+                        op: Opcode::Mov,
+                        dst: d,
+                        a: val,
+                    });
                 }
                 Terminator::Jump(cont)
             }
@@ -161,7 +181,9 @@ fn inline_site(caller: &mut Function, block: BlockId, idx: usize, callee: &Funct
 /// Drop functions unreachable from `entry`, remapping call targets.
 /// Returns whether anything was removed.
 pub fn drop_dead_funcs(module: &mut Module, entry: &str) -> bool {
-    let Some(root) = module.func_id(entry) else { return false };
+    let Some(root) = module.func_id(entry) else {
+        return false;
+    };
     let n = module.funcs.len();
     let mut keep = vec![false; n];
     let mut stack = vec![root];
@@ -214,8 +236,18 @@ mod tests {
         let t = add3.new_vreg();
         add3.blocks[0] = Block {
             insts: vec![
-                Inst::Bin { op: Opcode::Add, dst: t, a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
-                Inst::Bin { op: Opcode::Add, dst: t, a: Val::Reg(t), b: Val::Reg(VReg(2)) },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: t,
+                    a: Val::Reg(VReg(0)),
+                    b: Val::Reg(VReg(1)),
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: t,
+                    a: Val::Reg(t),
+                    b: Val::Reg(VReg(2)),
+                },
             ],
             term: Terminator::Ret(Some(Val::Reg(t))),
         };
@@ -232,7 +264,11 @@ mod tests {
             ],
             term: Terminator::Ret(None),
         };
-        Module { funcs: vec![main, add3], globals: vec![], custom_ops: vec![] }
+        Module {
+            funcs: vec![main, add3],
+            globals: vec![],
+            custom_ops: vec![],
+        }
     }
 
     #[test]
@@ -269,15 +305,37 @@ mod tests {
             a: Val::Reg(VReg(0)),
             b: Val::Imm(1),
         });
-        fact.blocks[0].term = Terminator::Branch { c: Val::Reg(c), t: base, f: rec };
+        fact.blocks[0].term = Terminator::Branch {
+            c: Val::Reg(c),
+            t: base,
+            f: rec,
+        };
         fact.block_mut(rec).insts.extend([
-            Inst::Bin { op: Opcode::Sub, dst: t, a: Val::Reg(VReg(0)), b: Val::Imm(1) },
-            Inst::Call { dst: Some(r), func: FuncId(0), args: vec![Val::Reg(t)] },
-            Inst::Bin { op: Opcode::Mul, dst: r, a: Val::Reg(r), b: Val::Reg(VReg(0)) },
+            Inst::Bin {
+                op: Opcode::Sub,
+                dst: t,
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(1),
+            },
+            Inst::Call {
+                dst: Some(r),
+                func: FuncId(0),
+                args: vec![Val::Reg(t)],
+            },
+            Inst::Bin {
+                op: Opcode::Mul,
+                dst: r,
+                a: Val::Reg(r),
+                b: Val::Reg(VReg(0)),
+            },
         ]);
         fact.block_mut(rec).term = Terminator::Ret(Some(Val::Reg(r)));
         fact.block_mut(base).term = Terminator::Ret(Some(Val::Imm(1)));
-        let mut m = Module { funcs: vec![fact], globals: vec![], custom_ops: vec![] };
+        let mut m = Module {
+            funcs: vec![fact],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         assert!(!run(&mut m, &InlineConfig::default()));
         assert_eq!(run_module(&m, "fact", &[5]).unwrap().ret, Some(120));
     }
@@ -291,8 +349,17 @@ mod tests {
         let r = g.new_vreg();
         g.blocks[0] = Block {
             insts: vec![
-                Inst::Call { dst: Some(r), func: FuncId(2), args: vec![] },
-                Inst::Bin { op: Opcode::Add, dst: r, a: Val::Reg(r), b: Val::Imm(1) },
+                Inst::Call {
+                    dst: Some(r),
+                    func: FuncId(2),
+                    args: vec![],
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: r,
+                    a: Val::Reg(r),
+                    b: Val::Imm(1),
+                },
             ],
             term: Terminator::Ret(Some(Val::Reg(r))),
         };
@@ -300,13 +367,26 @@ mod tests {
         let r2 = main.new_vreg();
         main.blocks[0] = Block {
             insts: vec![
-                Inst::Call { dst: Some(r2), func: FuncId(1), args: vec![] },
-                Inst::Bin { op: Opcode::Add, dst: r2, a: Val::Reg(r2), b: Val::Imm(1) },
+                Inst::Call {
+                    dst: Some(r2),
+                    func: FuncId(1),
+                    args: vec![],
+                },
+                Inst::Bin {
+                    op: Opcode::Add,
+                    dst: r2,
+                    a: Val::Reg(r2),
+                    b: Val::Imm(1),
+                },
                 Inst::Emit { val: Val::Reg(r2) },
             ],
             term: Terminator::Ret(None),
         };
-        let mut m = Module { funcs: vec![main, g, h], globals: vec![], custom_ops: vec![] };
+        let mut m = Module {
+            funcs: vec![main, g, h],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         assert!(run(&mut m, &InlineConfig::default()));
         assert_eq!(verify(&m), Ok(()));
         assert_eq!(run_module(&m, "main", &[]).unwrap().output, vec![3]);
@@ -320,12 +400,21 @@ mod tests {
     fn locals_remap_when_inlined() {
         // callee uses a local array; two inlined copies must not collide.
         let mut callee = Function::new("f", 1, true);
-        callee.locals.push(crate::func::LocalData { name: "a".into(), words: 1 });
+        callee.locals.push(crate::func::LocalData {
+            name: "a".into(),
+            words: 1,
+        });
         let t = callee.new_vreg();
         callee.blocks[0] = Block {
             insts: vec![
-                Inst::Store { val: Val::Reg(VReg(0)), addr: crate::inst::Addr::local(LocalSlot(0)) },
-                Inst::Load { dst: t, addr: crate::inst::Addr::local(LocalSlot(0)) },
+                Inst::Store {
+                    val: Val::Reg(VReg(0)),
+                    addr: crate::inst::Addr::local(LocalSlot(0)),
+                },
+                Inst::Load {
+                    dst: t,
+                    addr: crate::inst::Addr::local(LocalSlot(0)),
+                },
             ],
             term: Terminator::Ret(Some(Val::Reg(t))),
         };
@@ -334,18 +423,34 @@ mod tests {
         let b = main.new_vreg();
         main.blocks[0] = Block {
             insts: vec![
-                Inst::Call { dst: Some(a), func: FuncId(1), args: vec![Val::Imm(7)] },
-                Inst::Call { dst: Some(b), func: FuncId(1), args: vec![Val::Imm(9)] },
+                Inst::Call {
+                    dst: Some(a),
+                    func: FuncId(1),
+                    args: vec![Val::Imm(7)],
+                },
+                Inst::Call {
+                    dst: Some(b),
+                    func: FuncId(1),
+                    args: vec![Val::Imm(9)],
+                },
                 Inst::Emit { val: Val::Reg(a) },
                 Inst::Emit { val: Val::Reg(b) },
             ],
             term: Terminator::Ret(None),
         };
-        let mut m = Module { funcs: vec![main, callee], globals: vec![], custom_ops: vec![] };
+        let mut m = Module {
+            funcs: vec![main, callee],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         run(&mut m, &InlineConfig::default());
         assert_eq!(verify(&m), Ok(()));
         assert_eq!(run_module(&m, "main", &[]).unwrap().output, vec![7, 9]);
-        assert_eq!(m.funcs[0].locals.len(), 2, "each inline site gets its own slot");
+        assert_eq!(
+            m.funcs[0].locals.len(),
+            2,
+            "each inline site gets its own slot"
+        );
     }
 
     #[test]

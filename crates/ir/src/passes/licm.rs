@@ -64,13 +64,15 @@ fn hoist_one_loop(f: &mut Function, l: &NaturalLoop) -> bool {
             if !inst.is_pure() {
                 continue;
             }
-            let srcs_invariant = inst.uses().iter().all(|u| {
-                !def_count.contains_key(u) || hoisted_defs.contains(u)
-            });
+            let srcs_invariant = inst
+                .uses()
+                .iter()
+                .all(|u| !def_count.contains_key(u) || hoisted_defs.contains(u));
             let defs = inst.defs();
             let single_def = defs.iter().all(|d| def_count.get(d) == Some(&1));
-            let not_live_in_header =
-                defs.iter().all(|d| !live.live_in[l.header.0 as usize].contains(d));
+            let not_live_in_header = defs
+                .iter()
+                .all(|d| !live.live_in[l.header.0 as usize].contains(d));
             if srcs_invariant && single_def && not_live_in_header {
                 to_hoist.push((b, i));
                 hoisted_defs.extend(defs);
@@ -93,10 +95,15 @@ fn hoist_one_loop(f: &mut Function, l: &NaturalLoop) -> bool {
         return false; // unreachable loop
     }
     let pre = BlockId(f.blocks.len() as u32);
-    f.blocks.push(Block { insts: Vec::new(), term: Terminator::Jump(l.header) });
+    f.blocks.push(Block {
+        insts: Vec::new(),
+        term: Terminator::Jump(l.header),
+    });
     for p in outside_preds {
         let header = l.header;
-        f.block_mut(p).term.map_blocks(|b| if b == header { pre } else { b });
+        f.block_mut(p)
+            .term
+            .map_blocks(|b| if b == header { pre } else { b });
     }
 
     // Move the instructions, preserving their relative order. Indices are
@@ -166,8 +173,16 @@ mod tests {
         let body = f.new_block();
         let exit = f.new_block();
         f.blocks[0].insts.extend([
-            Inst::Un { op: Opcode::Mov, dst: s, a: Val::Imm(0) },
-            Inst::Un { op: Opcode::Mov, dst: i, a: Val::Imm(0) },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: s,
+                a: Val::Imm(0),
+            },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: i,
+                a: Val::Imm(0),
+            },
         ]);
         f.blocks[0].term = Terminator::Jump(header);
         f.block_mut(header).insts.push(Inst::Bin {
@@ -176,14 +191,35 @@ mod tests {
             a: Val::Reg(i),
             b: Val::Reg(VReg(0)),
         });
-        f.block_mut(header).term = Terminator::Branch { c: Val::Reg(c), t: body, f: exit };
+        f.block_mut(header).term = Terminator::Branch {
+            c: Val::Reg(c),
+            t: body,
+            f: exit,
+        };
         f.block_mut(body).insts.extend([
-            Inst::Bin { op: Opcode::Mul, dst: t, a: Val::Reg(VReg(0)), b: Val::Imm(3) },
-            Inst::Bin { op: Opcode::Add, dst: s, a: Val::Reg(s), b: Val::Reg(t) },
-            Inst::Bin { op: Opcode::Add, dst: i, a: Val::Reg(i), b: Val::Imm(1) },
+            Inst::Bin {
+                op: Opcode::Mul,
+                dst: t,
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(3),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: s,
+                a: Val::Reg(s),
+                b: Val::Reg(t),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: i,
+                a: Val::Reg(i),
+                b: Val::Imm(1),
+            },
         ]);
         f.block_mut(body).term = Terminator::Jump(header);
-        f.block_mut(exit).insts.push(Inst::Emit { val: Val::Reg(s) });
+        f.block_mut(exit)
+            .insts
+            .push(Inst::Emit { val: Val::Reg(s) });
         f.block_mut(exit).term = Terminator::Ret(None);
         f
     }
@@ -207,7 +243,15 @@ mod tests {
                 f.block(b)
                     .insts
                     .iter()
-                    .filter(|i| matches!(i, Inst::Bin { op: Opcode::Mul, .. }))
+                    .filter(|i| {
+                        matches!(
+                            i,
+                            Inst::Bin {
+                                op: Opcode::Mul,
+                                ..
+                            }
+                        )
+                    })
                     .count()
             })
             .sum()
@@ -218,8 +262,16 @@ mod tests {
         let f0 = loop_with_invariant();
         let mut f1 = f0.clone();
         run(&mut f1);
-        let m0 = crate::func::Module { funcs: vec![f0], globals: vec![], custom_ops: vec![] };
-        let m1 = crate::func::Module { funcs: vec![f1], globals: vec![], custom_ops: vec![] };
+        let m0 = crate::func::Module {
+            funcs: vec![f0],
+            globals: vec![],
+            custom_ops: vec![],
+        };
+        let m1 = crate::func::Module {
+            funcs: vec![f1],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         for n in [0, 1, 7] {
             let r0 = run_module(&m0, "main", &[n]).unwrap();
             let r1 = run_module(&m1, "main", &[n]).unwrap();
@@ -241,7 +293,15 @@ mod tests {
                 f.block(b)
                     .insts
                     .iter()
-                    .filter(|i| matches!(i, Inst::Bin { op: Opcode::Add, .. }))
+                    .filter(|i| {
+                        matches!(
+                            i,
+                            Inst::Bin {
+                                op: Opcode::Add,
+                                ..
+                            }
+                        )
+                    })
                     .count()
             })
             .sum();
@@ -268,10 +328,11 @@ mod tests {
             .count();
         assert_eq!(still_there, 1);
         let loops = natural_loops(&f);
-        assert!(loops[0]
-            .blocks
+        assert!(loops[0].blocks.iter().any(|&b| f
+            .block(b)
+            .insts
             .iter()
-            .any(|&b| f.block(b).insts.iter().any(|i| matches!(i, Inst::Load { .. }))));
+            .any(|i| matches!(i, Inst::Load { .. }))));
         let _ = before;
     }
 }

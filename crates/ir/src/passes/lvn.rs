@@ -113,7 +113,12 @@ pub fn run(f: &mut Function) -> bool {
             }
 
             // 4. Record copies (after the version bump so self-moves expire).
-            if let Inst::Un { op: Opcode::Mov, dst, a } = inst {
+            if let Inst::Un {
+                op: Opcode::Mov,
+                dst,
+                a,
+            } = inst
+            {
                 let ver = match a {
                     Val::Imm(_) => 0,
                     Val::Reg(r) => version[r.0 as usize],
@@ -170,71 +175,153 @@ mod tests {
     fn f_with(insts: Vec<Inst>) -> Function {
         let mut f = Function::new("t", 2, false);
         f.num_vregs = 16;
-        f.blocks[0] = Block { insts, term: Terminator::Ret(None) };
+        f.blocks[0] = Block {
+            insts,
+            term: Terminator::Ret(None),
+        };
         f
     }
 
     #[test]
     fn cse_within_block() {
         let mut f = f_with(vec![
-            Inst::Bin { op: Opcode::Add, dst: VReg(2), a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
-            Inst::Bin { op: Opcode::Add, dst: VReg(3), a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(2),
+                a: Val::Reg(VReg(0)),
+                b: Val::Reg(VReg(1)),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(3),
+                a: Val::Reg(VReg(0)),
+                b: Val::Reg(VReg(1)),
+            },
         ]);
         assert!(run(&mut f));
         assert_eq!(
             f.blocks[0].insts[1],
-            Inst::Un { op: Opcode::Mov, dst: VReg(3), a: Val::Reg(VReg(2)) }
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(3),
+                a: Val::Reg(VReg(2))
+            }
         );
     }
 
     #[test]
     fn cse_respects_redefinition() {
         let mut f = f_with(vec![
-            Inst::Bin { op: Opcode::Add, dst: VReg(2), a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
-            Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Reg(VReg(0)), b: Val::Imm(1) },
-            Inst::Bin { op: Opcode::Add, dst: VReg(3), a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(2),
+                a: Val::Reg(VReg(0)),
+                b: Val::Reg(VReg(1)),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(0),
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(1),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(3),
+                a: Val::Reg(VReg(0)),
+                b: Val::Reg(VReg(1)),
+            },
         ]);
         run(&mut f);
         // v0 changed between the two adds: the second must NOT be CSE'd.
-        assert!(matches!(f.blocks[0].insts[2], Inst::Bin { op: Opcode::Add, .. }));
+        assert!(matches!(
+            f.blocks[0].insts[2],
+            Inst::Bin {
+                op: Opcode::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn cse_commutative_operands() {
         let mut f = f_with(vec![
-            Inst::Bin { op: Opcode::Mul, dst: VReg(2), a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
-            Inst::Bin { op: Opcode::Mul, dst: VReg(3), a: Val::Reg(VReg(1)), b: Val::Reg(VReg(0)) },
+            Inst::Bin {
+                op: Opcode::Mul,
+                dst: VReg(2),
+                a: Val::Reg(VReg(0)),
+                b: Val::Reg(VReg(1)),
+            },
+            Inst::Bin {
+                op: Opcode::Mul,
+                dst: VReg(3),
+                a: Val::Reg(VReg(1)),
+                b: Val::Reg(VReg(0)),
+            },
         ]);
         assert!(run(&mut f));
         assert_eq!(
             f.blocks[0].insts[1],
-            Inst::Un { op: Opcode::Mov, dst: VReg(3), a: Val::Reg(VReg(2)) }
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(3),
+                a: Val::Reg(VReg(2))
+            }
         );
     }
 
     #[test]
     fn copy_propagation_through_mov() {
         let mut f = f_with(vec![
-            Inst::Un { op: Opcode::Mov, dst: VReg(2), a: Val::Reg(VReg(0)) },
-            Inst::Bin { op: Opcode::Add, dst: VReg(3), a: Val::Reg(VReg(2)), b: Val::Imm(1) },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(2),
+                a: Val::Reg(VReg(0)),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(3),
+                a: Val::Reg(VReg(2)),
+                b: Val::Imm(1),
+            },
         ]);
         assert!(run(&mut f));
         assert_eq!(
             f.blocks[0].insts[1],
-            Inst::Bin { op: Opcode::Add, dst: VReg(3), a: Val::Reg(VReg(0)), b: Val::Imm(1) }
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(3),
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(1)
+            }
         );
     }
 
     #[test]
     fn copy_propagation_invalidated_by_redef() {
         let mut f = f_with(vec![
-            Inst::Un { op: Opcode::Mov, dst: VReg(2), a: Val::Reg(VReg(0)) },
-            Inst::Bin { op: Opcode::Add, dst: VReg(0), a: Val::Reg(VReg(0)), b: Val::Imm(5) },
-            Inst::Emit { val: Val::Reg(VReg(2)) },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(2),
+                a: Val::Reg(VReg(0)),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: VReg(0),
+                a: Val::Reg(VReg(0)),
+                b: Val::Imm(5),
+            },
+            Inst::Emit {
+                val: Val::Reg(VReg(2)),
+            },
         ]);
         run(&mut f);
         // v2 must still be emitted as v2 (v0 changed since the copy).
-        assert_eq!(f.blocks[0].insts[2], Inst::Emit { val: Val::Reg(VReg(2)) });
+        assert_eq!(
+            f.blocks[0].insts[2],
+            Inst::Emit {
+                val: Val::Reg(VReg(2))
+            }
+        );
     }
 
     #[test]
@@ -244,13 +331,25 @@ mod tests {
         let b1 = f.new_block();
         let b2 = f.new_block();
         f.blocks[0] = Block {
-            insts: vec![Inst::Un { op: Opcode::Mov, dst: VReg(1), a: Val::Imm(1) }],
-            term: Terminator::Branch { c: Val::Reg(VReg(1)), t: b1, f: b2 },
+            insts: vec![Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(1),
+                a: Val::Imm(1),
+            }],
+            term: Terminator::Branch {
+                c: Val::Reg(VReg(1)),
+                t: b1,
+                f: b2,
+            },
         };
         assert!(run(&mut f));
         assert_eq!(
             f.blocks[0].term,
-            Terminator::Branch { c: Val::Imm(1), t: b1, f: b2 }
+            Terminator::Branch {
+                c: Val::Imm(1),
+                t: b1,
+                f: b2
+            }
         );
     }
 
@@ -260,10 +359,26 @@ mod tests {
         // collapse to one, which is fine, but our conservative rule keeps
         // both — assert that behaviour).
         let mut f = f_with(vec![
-            Inst::Bin { op: Opcode::Div, dst: VReg(2), a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
-            Inst::Bin { op: Opcode::Div, dst: VReg(3), a: Val::Reg(VReg(0)), b: Val::Reg(VReg(1)) },
+            Inst::Bin {
+                op: Opcode::Div,
+                dst: VReg(2),
+                a: Val::Reg(VReg(0)),
+                b: Val::Reg(VReg(1)),
+            },
+            Inst::Bin {
+                op: Opcode::Div,
+                dst: VReg(3),
+                a: Val::Reg(VReg(0)),
+                b: Val::Reg(VReg(1)),
+            },
         ]);
         run(&mut f);
-        assert!(matches!(f.blocks[0].insts[1], Inst::Bin { op: Opcode::Div, .. }));
+        assert!(matches!(
+            f.blocks[0].insts[1],
+            Inst::Bin {
+                op: Opcode::Div,
+                ..
+            }
+        ));
     }
 }

@@ -60,7 +60,10 @@ impl OptConfig {
             inline_cfg: InlineConfig::default(),
             if_convert: false,
             licm: false,
-            unroll: UnrollConfig { factor: 1, ..Default::default() },
+            unroll: UnrollConfig {
+                factor: 1,
+                ..Default::default()
+            },
             drop_dead_funcs: false,
             entry: "main".to_string(),
         }
@@ -68,7 +71,13 @@ impl OptConfig {
 
     /// Standard configuration with a specific unroll factor.
     pub fn with_unroll(factor: u32) -> OptConfig {
-        OptConfig { unroll: UnrollConfig { factor, ..Default::default() }, ..Default::default() }
+        OptConfig {
+            unroll: UnrollConfig {
+                factor,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
     }
 }
 
@@ -132,10 +141,30 @@ mod tests {
         let r = clamp.new_vreg();
         clamp.blocks[0] = Block {
             insts: vec![
-                Inst::Bin { op: Opcode::CmpLt, dst: c1, a: Val::Reg(VReg(0)), b: Val::Imm(0) },
-                Inst::Bin { op: Opcode::CmpGt, dst: c2, a: Val::Reg(VReg(0)), b: Val::Imm(255) },
-                Inst::Select { dst: r, c: Val::Reg(c2), a: Val::Imm(255), b: Val::Reg(VReg(0)) },
-                Inst::Select { dst: r, c: Val::Reg(c1), a: Val::Imm(0), b: Val::Reg(r) },
+                Inst::Bin {
+                    op: Opcode::CmpLt,
+                    dst: c1,
+                    a: Val::Reg(VReg(0)),
+                    b: Val::Imm(0),
+                },
+                Inst::Bin {
+                    op: Opcode::CmpGt,
+                    dst: c2,
+                    a: Val::Reg(VReg(0)),
+                    b: Val::Imm(255),
+                },
+                Inst::Select {
+                    dst: r,
+                    c: Val::Reg(c2),
+                    a: Val::Imm(255),
+                    b: Val::Reg(VReg(0)),
+                },
+                Inst::Select {
+                    dst: r,
+                    c: Val::Reg(c1),
+                    a: Val::Imm(0),
+                    b: Val::Reg(r),
+                },
             ],
             term: Terminator::Ret(Some(Val::Reg(r))),
         };
@@ -150,8 +179,16 @@ mod tests {
         let body = main.new_block();
         let exit = main.new_block();
         main.blocks[0].insts.extend([
-            Inst::Un { op: Opcode::Mov, dst: s, a: Val::Imm(0) },
-            Inst::Un { op: Opcode::Mov, dst: i, a: Val::Imm(0) },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: s,
+                a: Val::Imm(0),
+            },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: i,
+                a: Val::Imm(0),
+            },
         ]);
         main.blocks[0].term = Terminator::Jump(header);
         main.block_mut(header).insts.push(Inst::Bin {
@@ -160,24 +197,62 @@ mod tests {
             a: Val::Reg(i),
             b: Val::Reg(VReg(0)),
         });
-        main.block_mut(header).term = Terminator::Branch { c: Val::Reg(cond), t: body, f: exit };
+        main.block_mut(header).term = Terminator::Branch {
+            c: Val::Reg(cond),
+            t: body,
+            f: exit,
+        };
         main.block_mut(body).insts.extend([
-            Inst::Bin { op: Opcode::Mul, dst: t, a: Val::Reg(i), b: Val::Imm(7) },
-            Inst::Bin { op: Opcode::Sub, dst: t, a: Val::Reg(t), b: Val::Imm(100) },
-            Inst::Call { dst: Some(cl), func: FuncId(1), args: vec![Val::Reg(t)] },
-            Inst::Bin { op: Opcode::Add, dst: s, a: Val::Reg(s), b: Val::Reg(cl) },
-            Inst::Bin { op: Opcode::Add, dst: i, a: Val::Reg(i), b: Val::Imm(1) },
+            Inst::Bin {
+                op: Opcode::Mul,
+                dst: t,
+                a: Val::Reg(i),
+                b: Val::Imm(7),
+            },
+            Inst::Bin {
+                op: Opcode::Sub,
+                dst: t,
+                a: Val::Reg(t),
+                b: Val::Imm(100),
+            },
+            Inst::Call {
+                dst: Some(cl),
+                func: FuncId(1),
+                args: vec![Val::Reg(t)],
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: s,
+                a: Val::Reg(s),
+                b: Val::Reg(cl),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: i,
+                a: Val::Reg(i),
+                b: Val::Imm(1),
+            },
         ]);
         main.block_mut(body).term = Terminator::Jump(header);
-        main.block_mut(exit).insts.push(Inst::Emit { val: Val::Reg(s) });
+        main.block_mut(exit)
+            .insts
+            .push(Inst::Emit { val: Val::Reg(s) });
         main.block_mut(exit).term = Terminator::Ret(None);
-        Module { funcs: vec![main, clamp], globals: vec![], custom_ops: vec![] }
+        Module {
+            funcs: vec![main, clamp],
+            globals: vec![],
+            custom_ops: vec![],
+        }
     }
 
     #[test]
     fn full_pipeline_preserves_semantics() {
         let m0 = program();
-        for cfg in [OptConfig::none(), OptConfig::default(), OptConfig::with_unroll(8)] {
+        for cfg in [
+            OptConfig::none(),
+            OptConfig::default(),
+            OptConfig::with_unroll(8),
+        ] {
             let mut m1 = m0.clone();
             optimize(&mut m1, &cfg);
             assert_eq!(crate::func::verify(&m1), Ok(()));
@@ -208,6 +283,9 @@ mod tests {
         optimize(&mut m1, &OptConfig::default());
         let s0 = run_module(&m0, "main", &[50]).unwrap().steps;
         let s1 = run_module(&m1, "main", &[50]).unwrap().steps;
-        assert!(s1 <= s0, "optimization should not add dynamic work ({s1} > {s0})");
+        assert!(
+            s1 <= s0,
+            "optimization should not add dynamic work ({s1} > {s0})"
+        );
     }
 }

@@ -78,7 +78,10 @@ fn merge_blocks(f: &mut Function) -> bool {
             // Move target's contents into block i.
             let donor = std::mem::replace(
                 &mut f.blocks[target.0 as usize],
-                crate::func::Block { insts: vec![], term: Terminator::Jump(target) },
+                crate::func::Block {
+                    insts: vec![],
+                    term: Terminator::Jump(target),
+                },
             );
             // Leave the donor as an unreachable self-loop; drop_unreachable
             // cleans it up.
@@ -145,11 +148,17 @@ mod tests {
         let mut f = Function::new("t", 0, false);
         let b1 = f.new_block();
         f.blocks[0] = Block {
-            insts: vec![Inst::Un { op: Opcode::Mov, dst: VReg(0), a: Val::Imm(1) }],
+            insts: vec![Inst::Un {
+                op: Opcode::Mov,
+                dst: VReg(0),
+                a: Val::Imm(1),
+            }],
             term: Terminator::Jump(b1),
         };
         f.num_vregs = 2;
-        f.block_mut(b1).insts.push(Inst::Emit { val: Val::Reg(VReg(0)) });
+        f.block_mut(b1).insts.push(Inst::Emit {
+            val: Val::Reg(VReg(0)),
+        });
         f.block_mut(b1).term = Terminator::Ret(None);
         assert!(run(&mut f));
         assert_eq!(f.blocks.len(), 1);
@@ -161,7 +170,11 @@ mod tests {
     fn branch_with_equal_targets_becomes_jump() {
         let mut f = Function::new("t", 1, false);
         let b1 = f.new_block();
-        f.blocks[0].term = Terminator::Branch { c: Val::Reg(VReg(0)), t: b1, f: b1 };
+        f.blocks[0].term = Terminator::Branch {
+            c: Val::Reg(VReg(0)),
+            t: b1,
+            f: b1,
+        };
         f.block_mut(b1).insts.push(Inst::Emit { val: Val::Imm(3) });
         f.block_mut(b1).term = Terminator::Ret(None);
         assert!(run(&mut f));
@@ -172,7 +185,9 @@ mod tests {
     fn removes_unreachable_blocks() {
         let mut f = Function::new("t", 0, false);
         let dead = f.new_block();
-        f.block_mut(dead).insts.push(Inst::Emit { val: Val::Imm(9) });
+        f.block_mut(dead)
+            .insts
+            .push(Inst::Emit { val: Val::Imm(9) });
         assert!(run(&mut f));
         assert_eq!(f.blocks.len(), 1);
     }
@@ -182,8 +197,14 @@ mod tests {
         let mut f = Function::new("t", 1, false);
         let body = f.new_block();
         let exit = f.new_block();
-        f.blocks[0].term = Terminator::Branch { c: Val::Reg(VReg(0)), t: body, f: exit };
-        f.block_mut(body).insts.push(Inst::Emit { val: Val::Imm(1) });
+        f.blocks[0].term = Terminator::Branch {
+            c: Val::Reg(VReg(0)),
+            t: body,
+            f: exit,
+        };
+        f.block_mut(body)
+            .insts
+            .push(Inst::Emit { val: Val::Imm(1) });
         f.block_mut(body).term = Terminator::Jump(BlockId(0));
         f.block_mut(exit).term = Terminator::Ret(None);
         let before = f.clone();

@@ -28,7 +28,11 @@ pub struct UnrollConfig {
 
 impl Default for UnrollConfig {
     fn default() -> Self {
-        UnrollConfig { factor: 4, max_loop_insts: 64, innermost_only: true }
+        UnrollConfig {
+            factor: 4,
+            max_loop_insts: 64,
+            innermost_only: true,
+        }
     }
 }
 
@@ -69,13 +73,7 @@ pub fn run(f: &mut Function, cfg: &UnrollConfig) -> bool {
     changed
 }
 
-fn unroll_loop(
-    f: &mut Function,
-    blocks: &[BlockId],
-    header: BlockId,
-    latch: BlockId,
-    factor: u32,
-) {
+fn unroll_loop(f: &mut Function, blocks: &[BlockId], header: BlockId, latch: BlockId, factor: u32) {
     // copies[j] maps original block -> block of copy j (j in 1..factor).
     let mut copies: Vec<BTreeMap<BlockId, BlockId>> = Vec::new();
     for _ in 1..factor {
@@ -114,13 +112,9 @@ fn unroll_loop(
     // Original latch now continues into copy 1.
     if let Some(first) = copies.first() {
         let first_header = first[&header];
-        f.blocks[latch.0 as usize].term.map_blocks(|t| {
-            if t == header {
-                first_header
-            } else {
-                t
-            }
-        });
+        f.blocks[latch.0 as usize]
+            .term
+            .map_blocks(|t| if t == header { first_header } else { t });
     }
     let _ = Block::jump_to; // (kept for symmetry with other passes' helpers)
 }
@@ -143,8 +137,16 @@ mod tests {
         let body = f.new_block();
         let exit = f.new_block();
         f.blocks[0].insts.extend([
-            Inst::Un { op: Opcode::Mov, dst: s, a: Val::Imm(0) },
-            Inst::Un { op: Opcode::Mov, dst: i, a: Val::Imm(0) },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: s,
+                a: Val::Imm(0),
+            },
+            Inst::Un {
+                op: Opcode::Mov,
+                dst: i,
+                a: Val::Imm(0),
+            },
         ]);
         f.blocks[0].term = Terminator::Jump(header);
         f.block_mut(header).insts.push(Inst::Bin {
@@ -153,13 +155,29 @@ mod tests {
             a: Val::Reg(i),
             b: Val::Reg(VReg(0)),
         });
-        f.block_mut(header).term = Terminator::Branch { c: Val::Reg(c), t: body, f: exit };
+        f.block_mut(header).term = Terminator::Branch {
+            c: Val::Reg(c),
+            t: body,
+            f: exit,
+        };
         f.block_mut(body).insts.extend([
-            Inst::Bin { op: Opcode::Add, dst: s, a: Val::Reg(s), b: Val::Reg(i) },
-            Inst::Bin { op: Opcode::Add, dst: i, a: Val::Reg(i), b: Val::Imm(1) },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: s,
+                a: Val::Reg(s),
+                b: Val::Reg(i),
+            },
+            Inst::Bin {
+                op: Opcode::Add,
+                dst: i,
+                a: Val::Reg(i),
+                b: Val::Imm(1),
+            },
         ]);
         f.block_mut(body).term = Terminator::Jump(header);
-        f.block_mut(exit).insts.push(Inst::Emit { val: Val::Reg(s) });
+        f.block_mut(exit)
+            .insts
+            .push(Inst::Emit { val: Val::Reg(s) });
         f.block_mut(exit).term = Terminator::Ret(None);
         f
     }
@@ -171,10 +189,21 @@ mod tests {
             let mut f1 = f0.clone();
             assert!(run(
                 &mut f1,
-                &UnrollConfig { factor, ..Default::default() }
+                &UnrollConfig {
+                    factor,
+                    ..Default::default()
+                }
             ));
-            let m0 = Module { funcs: vec![f0], globals: vec![], custom_ops: vec![] };
-            let m1 = Module { funcs: vec![f1], globals: vec![], custom_ops: vec![] };
+            let m0 = Module {
+                funcs: vec![f0],
+                globals: vec![],
+                custom_ops: vec![],
+            };
+            let m1 = Module {
+                funcs: vec![f1],
+                globals: vec![],
+                custom_ops: vec![],
+            };
             // Trip counts that are and are not multiples of the factor.
             for n in [0, 1, 2, 3, 4, 5, 7, 8, 12, 13] {
                 let r0 = run_module(&m0, "main", &[n]).unwrap();
@@ -188,7 +217,13 @@ mod tests {
     fn block_count_grows_by_factor() {
         let mut f = counting_loop();
         let before = f.blocks.len();
-        run(&mut f, &UnrollConfig { factor: 4, ..Default::default() });
+        run(
+            &mut f,
+            &UnrollConfig {
+                factor: 4,
+                ..Default::default()
+            },
+        );
         // Loop has 2 blocks (header+body); 3 extra copies → +6 blocks.
         assert_eq!(f.blocks.len(), before + 6);
     }
@@ -197,7 +232,13 @@ mod tests {
     fn factor_one_is_noop() {
         let mut f = counting_loop();
         let before = f.clone();
-        assert!(!run(&mut f, &UnrollConfig { factor: 1, ..Default::default() }));
+        assert!(!run(
+            &mut f,
+            &UnrollConfig {
+                factor: 1,
+                ..Default::default()
+            }
+        ));
         assert_eq!(f, before);
     }
 
@@ -205,7 +246,14 @@ mod tests {
     fn oversized_loops_skipped() {
         let mut f = counting_loop();
         let before = f.blocks.len();
-        run(&mut f, &UnrollConfig { factor: 4, max_loop_insts: 1, innermost_only: true });
+        run(
+            &mut f,
+            &UnrollConfig {
+                factor: 4,
+                max_loop_insts: 1,
+                innermost_only: true,
+            },
+        );
         assert_eq!(f.blocks.len(), before);
     }
 
@@ -216,8 +264,18 @@ mod tests {
         // iteration drops once the backend merges copies into superblocks.
         // Here we simply check the unrolled program still profiles cleanly.
         let mut f = counting_loop();
-        run(&mut f, &UnrollConfig { factor: 2, ..Default::default() });
-        let m = Module { funcs: vec![f], globals: vec![], custom_ops: vec![] };
+        run(
+            &mut f,
+            &UnrollConfig {
+                factor: 2,
+                ..Default::default()
+            },
+        );
+        let m = Module {
+            funcs: vec![f],
+            globals: vec![],
+            custom_ops: vec![],
+        };
         let r = run_module(&m, "main", &[10]).unwrap();
         assert_eq!(r.output, vec![45]);
     }

@@ -25,7 +25,13 @@ pub struct MachineOp {
 impl MachineOp {
     /// A plain `opcode dst, srcs...` operation.
     pub fn new(opcode: Opcode, dsts: Vec<Reg>, srcs: Vec<Operand>) -> MachineOp {
-        MachineOp { opcode, dsts, srcs, imm: 0, target: 0 }
+        MachineOp {
+            opcode,
+            dsts,
+            srcs,
+            imm: 0,
+            target: 0,
+        }
     }
 
     /// A no-operation filler.
@@ -96,7 +102,9 @@ pub struct Bundle {
 impl Bundle {
     /// An empty bundle with `width` slots.
     pub fn empty(width: usize) -> Bundle {
-        Bundle { slots: vec![None; width] }
+        Bundle {
+            slots: vec![None; width],
+        }
     }
 
     /// Number of occupied slots.
@@ -114,7 +122,9 @@ impl Bundle {
 
     /// The control-transfer op in this bundle, if any.
     pub fn control_op(&self) -> Option<&MachineOp> {
-        self.ops().map(|(_, op)| op).find(|op| op.opcode.is_control())
+        self.ops()
+            .map(|(_, op)| op)
+            .find(|op| op.opcode.is_control())
     }
 }
 
@@ -168,9 +178,17 @@ pub struct VliwProgram {
 #[allow(missing_docs)] // field names are self-describing
 pub enum CodeError {
     /// A bundle is wider than the machine's issue width.
-    WidthMismatch { bundle: usize, got: usize, want: usize },
+    WidthMismatch {
+        bundle: usize,
+        got: usize,
+        want: usize,
+    },
     /// An op sits in a slot that cannot host its FU kind.
-    BadSlot { bundle: usize, slot: usize, opcode: String },
+    BadSlot {
+        bundle: usize,
+        slot: usize,
+        opcode: String,
+    },
     /// An op names a register outside the machine's register file.
     BadReg { bundle: usize, reg: Reg },
     /// A branch targets a bundle outside the program.
@@ -193,11 +211,18 @@ impl fmt::Display for CodeError {
             CodeError::WidthMismatch { bundle, got, want } => {
                 write!(f, "bundle {bundle}: width {got} != machine width {want}")
             }
-            CodeError::BadSlot { bundle, slot, opcode } => {
+            CodeError::BadSlot {
+                bundle,
+                slot,
+                opcode,
+            } => {
                 write!(f, "bundle {bundle} slot {slot}: cannot host {opcode}")
             }
             CodeError::BadReg { bundle, reg } => {
-                write!(f, "bundle {bundle}: register {reg} outside the machine file")
+                write!(
+                    f,
+                    "bundle {bundle}: register {reg} outside the machine file"
+                )
             }
             CodeError::BadTarget { bundle, target } => {
                 write!(f, "bundle {bundle}: branch to nonexistent bundle {target}")
@@ -311,15 +336,19 @@ impl VliwProgram {
                     }
                 }
                 match op.opcode {
-                    Opcode::Br | Opcode::BrT | Opcode::BrF => {
-                        if op.target as usize >= self.bundles.len() {
-                            return Err(CodeError::BadTarget { bundle: bi, target: op.target });
-                        }
+                    Opcode::Br | Opcode::BrT | Opcode::BrF
+                        if op.target as usize >= self.bundles.len() =>
+                    {
+                        return Err(CodeError::BadTarget {
+                            bundle: bi,
+                            target: op.target,
+                        });
                     }
-                    Opcode::Call => {
-                        if op.target as usize >= self.functions.len() {
-                            return Err(CodeError::BadCallee { bundle: bi, target: op.target });
-                        }
+                    Opcode::Call if op.target as usize >= self.functions.len() => {
+                        return Err(CodeError::BadCallee {
+                            bundle: bi,
+                            target: op.target,
+                        });
                     }
                     _ => {}
                 }
@@ -379,7 +408,12 @@ mod tests {
         VliwProgram {
             machine: m.name.clone(),
             bundles: vec![b0, b1],
-            functions: vec![FuncSym { name: "main".into(), entry: 0, frame_words: 0, num_args: 0 }],
+            functions: vec![FuncSym {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 0,
+                num_args: 0,
+            }],
             globals: vec![],
             custom_ops: vec![],
             entry_func: 0,
@@ -401,7 +435,10 @@ mod tests {
         let m1 = MachineDescription::ember1();
         let m4 = MachineDescription::ember4();
         let p = tiny_prog(&m1);
-        assert!(matches!(p.validate(&m4), Err(CodeError::WidthMismatch { .. })));
+        assert!(matches!(
+            p.validate(&m4),
+            Err(CodeError::WidthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -414,7 +451,10 @@ mod tests {
             vec![Reg::new(0, 2)],
             vec![Operand::Reg(Reg::ZERO)],
         ));
-        assert!(matches!(p.validate(&m), Err(CodeError::BadSlot { slot: 2, .. })));
+        assert!(matches!(
+            p.validate(&m),
+            Err(CodeError::BadSlot { slot: 2, .. })
+        ));
     }
 
     #[test]
@@ -440,7 +480,10 @@ mod tests {
         );
         p.bundles[0].slots[1] = Some(op.clone());
         p.bundles[0].slots[2] = Some(op);
-        assert!(matches!(p.validate(&m), Err(CodeError::WriteConflict { .. })));
+        assert!(matches!(
+            p.validate(&m),
+            Err(CodeError::WriteConflict { .. })
+        ));
     }
 
     #[test]
@@ -450,7 +493,10 @@ mod tests {
         let mut br = MachineOp::new(Opcode::Br, vec![], vec![]);
         br.target = 99;
         p.bundles[0].slots[0] = Some(br);
-        assert!(matches!(p.validate(&m), Err(CodeError::BadTarget { target: 99, .. })));
+        assert!(matches!(
+            p.validate(&m),
+            Err(CodeError::BadTarget { target: 99, .. })
+        ));
     }
 
     #[test]
@@ -462,7 +508,10 @@ mod tests {
             vec![Reg::new(0, 1)],
             vec![Operand::Imm(1)],
         ));
-        assert!(matches!(p.validate(&m), Err(CodeError::BadCustomId { id: 5, .. })));
+        assert!(matches!(
+            p.validate(&m),
+            Err(CodeError::BadCustomId { id: 5, .. })
+        ));
     }
 
     #[test]

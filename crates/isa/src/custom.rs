@@ -222,7 +222,11 @@ impl CustomOpDef {
                     _ => 0.0,
                 }
             };
-            let base = din(node.a).max(if node.op.num_srcs() == 2 { din(node.b) } else { 0.0 });
+            let base = din(node.a).max(if node.op.num_srcs() == 2 {
+                din(node.b)
+            } else {
+                0.0
+            });
             depth[i] = base + node.op.datapath_delay();
             area += node.op.datapath_area();
         }
@@ -315,8 +319,16 @@ pub fn mac_op() -> CustomOpDef {
         "mac",
         3,
         vec![
-            PatNode { op: Opcode::Mul, a: PatRef::Input(0), b: PatRef::Input(1) },
-            PatNode { op: Opcode::Add, a: PatRef::Node(0), b: PatRef::Input(2) },
+            PatNode {
+                op: Opcode::Mul,
+                a: PatRef::Input(0),
+                b: PatRef::Input(1),
+            },
+            PatNode {
+                op: Opcode::Add,
+                a: PatRef::Node(0),
+                b: PatRef::Input(2),
+            },
         ],
         vec![PatRef::Node(1)],
     )
@@ -330,9 +342,21 @@ pub fn sat_add16() -> CustomOpDef {
         "sadd16",
         2,
         vec![
-            PatNode { op: Opcode::Add, a: PatRef::Input(0), b: PatRef::Input(1) },
-            PatNode { op: Opcode::Max, a: PatRef::Node(0), b: PatRef::Const(-32768) },
-            PatNode { op: Opcode::Min, a: PatRef::Node(1), b: PatRef::Const(32767) },
+            PatNode {
+                op: Opcode::Add,
+                a: PatRef::Input(0),
+                b: PatRef::Input(1),
+            },
+            PatNode {
+                op: Opcode::Max,
+                a: PatRef::Node(0),
+                b: PatRef::Const(-32768),
+            },
+            PatNode {
+                op: Opcode::Min,
+                a: PatRef::Node(1),
+                b: PatRef::Const(32767),
+            },
         ],
         vec![PatRef::Node(2)],
     )
@@ -374,7 +398,11 @@ mod tests {
         let bad = CustomOpDef {
             name: "bad".into(),
             num_inputs: 1,
-            nodes: vec![PatNode { op: Opcode::Add, a: PatRef::Node(0), b: PatRef::Input(0) }],
+            nodes: vec![PatNode {
+                op: Opcode::Add,
+                a: PatRef::Node(0),
+                b: PatRef::Input(0),
+            }],
             outputs: vec![PatRef::Node(0)],
             latency: 1,
             area: 1.0,
@@ -385,7 +413,11 @@ mod tests {
         let bad = CustomOpDef {
             name: "bad".into(),
             num_inputs: 1,
-            nodes: vec![PatNode { op: Opcode::Add, a: PatRef::Input(2), b: PatRef::Input(0) }],
+            nodes: vec![PatNode {
+                op: Opcode::Add,
+                a: PatRef::Input(2),
+                b: PatRef::Input(0),
+            }],
             outputs: vec![PatRef::Node(0)],
             latency: 1,
             area: 1.0,
@@ -396,7 +428,11 @@ mod tests {
         let bad = CustomOpDef {
             name: "bad".into(),
             num_inputs: 1,
-            nodes: vec![PatNode { op: Opcode::Abs, a: PatRef::Input(0), b: PatRef::Input(0) }],
+            nodes: vec![PatNode {
+                op: Opcode::Abs,
+                a: PatRef::Input(0),
+                b: PatRef::Input(0),
+            }],
             outputs: vec![PatRef::Node(7)],
             latency: 1,
             area: 1.0,
@@ -409,10 +445,17 @@ mod tests {
         let bad = CustomOpDef::new(
             "bad",
             1,
-            vec![PatNode { op: Opcode::Ldw, a: PatRef::Input(0), b: PatRef::Input(0) }],
+            vec![PatNode {
+                op: Opcode::Ldw,
+                a: PatRef::Input(0),
+                b: PatRef::Input(0),
+            }],
             vec![PatRef::Node(0)],
         );
-        assert!(matches!(bad, Err(CustomOpError::NotArithmetic(Opcode::Ldw))));
+        assert!(matches!(
+            bad,
+            Err(CustomOpError::NotArithmetic(Opcode::Ldw))
+        ));
     }
 
     #[test]
@@ -420,7 +463,10 @@ mod tests {
         let mac = mac_op();
         assert!(matches!(
             mac.eval(&[1, 2]),
-            Err(CustomOpError::WrongArity { expected: 3, got: 2 })
+            Err(CustomOpError::WrongArity {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 
@@ -429,7 +475,11 @@ mod tests {
         let divop = CustomOpDef::new(
             "d",
             2,
-            vec![PatNode { op: Opcode::Div, a: PatRef::Input(0), b: PatRef::Input(1) }],
+            vec![PatNode {
+                op: Opcode::Div,
+                a: PatRef::Input(0),
+                b: PatRef::Input(1),
+            }],
             vec![PatRef::Node(0)],
         )
         .unwrap();
@@ -452,8 +502,16 @@ mod tests {
             "divmod",
             2,
             vec![
-                PatNode { op: Opcode::Div, a: PatRef::Input(0), b: PatRef::Input(1) },
-                PatNode { op: Opcode::Rem, a: PatRef::Input(0), b: PatRef::Input(1) },
+                PatNode {
+                    op: Opcode::Div,
+                    a: PatRef::Input(0),
+                    b: PatRef::Input(1),
+                },
+                PatNode {
+                    op: Opcode::Rem,
+                    a: PatRef::Input(0),
+                    b: PatRef::Input(1),
+                },
             ],
             vec![PatRef::Node(0), PatRef::Node(1)],
         )

@@ -36,7 +36,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "machine description line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "machine description line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -44,7 +48,10 @@ impl std::error::Error for ParseError {}
 
 impl From<MachineError> for ParseError {
     fn from(e: MachineError) -> Self {
-        ParseError { line: 0, message: e.to_string() }
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
     }
 }
 
@@ -85,7 +92,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     }
                 }
                 if !closed {
-                    return Err(ParseError { line, message: "unterminated string".into() });
+                    return Err(ParseError {
+                        line,
+                        message: "unterminated string".into(),
+                    });
                 }
                 toks.push((Tok::Str(text[start..end].to_string()), line));
             } else if c.is_ascii_digit() || c == '-' {
@@ -119,7 +129,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 }
                 toks.push((Tok::Word(text[start..end].to_string()), line));
             } else {
-                return Err(ParseError { line, message: format!("unexpected character {c:?}") });
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character {c:?}"),
+                });
             }
         }
     }
@@ -137,11 +150,16 @@ impl Parser {
     }
 
     fn line(&self) -> usize {
-        self.peek().map(|t| t.1).unwrap_or_else(|| self.toks.last().map(|t| t.1).unwrap_or(0))
+        self.peek()
+            .map(|t| t.1)
+            .unwrap_or_else(|| self.toks.last().map(|t| t.1).unwrap_or(0))
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { line: self.line(), message: msg.into() }
+        ParseError {
+            line: self.line(),
+            message: msg.into(),
+        }
     }
 
     fn next(&mut self) -> Result<Tok, ParseError> {
@@ -180,7 +198,10 @@ impl Parser {
 /// [`ParseError`] on syntax errors, unknown keys, or a description that
 /// fails [`MachineDescription::validate`].
 pub fn parse_machine(src: &str) -> Result<MachineDescription, ParseError> {
-    let mut p = Parser { toks: lex(src)?, pos: 0 };
+    let mut p = Parser {
+        toks: lex(src)?,
+        pos: 0,
+    };
     p.expect_word("machine")?;
     let name = match p.next()? {
         Tok::Str(s) | Tok::Word(s) => s,
@@ -331,8 +352,16 @@ pub fn print_machine(m: &MachineDescription) -> String {
             c.size_bytes, c.line_bytes, c.ways, c.miss_penalty
         );
     }
-    let _ = writeln!(s, "  gate_idle_slots {}", if m.gate_idle_slots { "on" } else { "off" });
-    let _ = writeln!(s, "  compat_control {}", if m.compat_control { "on" } else { "off" });
+    let _ = writeln!(
+        s,
+        "  gate_idle_slots {}",
+        if m.gate_idle_slots { "on" } else { "off" }
+    );
+    let _ = writeln!(
+        s,
+        "  compat_control {}",
+        if m.compat_control { "on" } else { "off" }
+    );
     let _ = writeln!(s, "  dmem_words {}", m.dmem_words);
     s.push_str("}\n");
     s
@@ -410,7 +439,11 @@ mod tests {
         for m in MachineDescription::presets() {
             let text = print_machine(&m);
             let back = parse_machine(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", m.name));
-            assert!(same_architecture(&m, &back), "{} did not round-trip:\n{text}", m.name);
+            assert!(
+                same_architecture(&m, &back),
+                "{} did not round-trip:\n{text}",
+                m.name
+            );
             assert_eq!(m.name, back.name);
         }
     }
@@ -443,8 +476,8 @@ mod tests {
 
     #[test]
     fn comments_and_negatives() {
-        let e = parse_machine("machine \"x\" { registers -4 slot { alu mem branch } }")
-            .unwrap_err();
+        let e =
+            parse_machine("machine \"x\" { registers -4 slot { alu mem branch } }").unwrap_err();
         assert!(e.message.contains("non-negative"));
     }
 }

@@ -85,7 +85,10 @@ pub fn layout(prog: &VliwProgram, m: &MachineDescription) -> CodeLayout {
         bundle_addr.push(addr);
         addr += bundle_bytes(b, m, m.encoding);
     }
-    CodeLayout { bundle_addr, total_bytes: addr }
+    CodeLayout {
+        bundle_addr,
+        total_bytes: addr,
+    }
 }
 
 /// Code size in bytes of `prog` under a specific scheme (not necessarily the
@@ -228,7 +231,10 @@ fn pack_reg(r: Reg) -> u32 {
 }
 
 fn unpack_reg(w: u32) -> Reg {
-    Reg { cluster: ((w >> 16) & 0xFF) as u8, index: (w & 0xFFFF) as u16 }
+    Reg {
+        cluster: ((w >> 16) & 0xFF) as u8,
+        index: (w & 0xFFFF) as u16,
+    }
 }
 
 /// Serialize one machine operation to the word stream.
@@ -300,7 +306,16 @@ pub fn decode_op(words: &[u32], pos: usize) -> Result<(MachineOp, usize), Decode
             srcs.push(Operand::Reg(unpack_reg(w)));
         }
     }
-    Ok((MachineOp { opcode, dsts, srcs, imm, target }, p))
+    Ok((
+        MachineOp {
+            opcode,
+            dsts,
+            srcs,
+            imm,
+            target,
+        },
+        p,
+    ))
 }
 
 /// Serialize a whole bundle: header word `(width | occupied-slot mask << 8)`
@@ -393,7 +408,11 @@ mod tests {
             MachineOp::new(
                 Opcode::Custom(7),
                 vec![Reg::new(0, 1), Reg::new(0, 2)],
-                vec![Operand::Reg(Reg::new(0, 3)), Operand::Imm(9), Operand::Reg(Reg::new(0, 4))],
+                vec![
+                    Operand::Reg(Reg::new(0, 3)),
+                    Operand::Imm(9),
+                    Operand::Reg(Reg::new(0, 4)),
+                ],
             ),
             MachineOp::nop(),
         ]
@@ -429,7 +448,10 @@ mod tests {
         b0.slots[0] = Some(sample_ops()[0].clone());
         let mut b1 = Bundle::empty(2);
         b1.slots[1] = Some(sample_ops()[2].clone());
-        let prog = VliwProgram { bundles: vec![b0, b1, Bundle::empty(2)], ..Default::default() };
+        let prog = VliwProgram {
+            bundles: vec![b0, b1, Bundle::empty(2)],
+            ..Default::default()
+        };
         let words = encode_text_section(&prog);
         let back = decode_text_section(&words).unwrap();
         assert_eq!(back, prog.bundles);

@@ -68,13 +68,15 @@ pub fn area(m: &MachineDescription) -> AreaBreakdown {
 
     // Ports: 2 reads + 1 write per slot in the cluster.
     let ports = 3.0 * spc;
-    let regfile =
-        clusters * (f64::from(m.regs_per_cluster) * ports * ports * 0.000_55 + 0.05);
+    let regfile = clusters * (f64::from(m.regs_per_cluster) * ports * ports * 0.000_55 + 0.05);
 
     let decode = 0.15 * spc * clusters;
 
-    let custom: f64 =
-        m.custom_ops.iter().map(|c| c.area * CUSTOM_AREA_PER_ADDER).sum();
+    let custom: f64 = m
+        .custom_ops
+        .iter()
+        .map(|c| c.area * CUSTOM_AREA_PER_ADDER)
+        .sum();
 
     let icache = m
         .icache
@@ -85,9 +87,21 @@ pub fn area(m: &MachineDescription) -> AreaBreakdown {
     // Rename tables, wakeup/select and a reorder buffer were roughly half
     // the core of a late-90s compatible superscalar; grows quadratically
     // with issue width.
-    let compat = if m.compat_control { 1.5 + 1.0 * width * width } else { 0.0 };
+    let compat = if m.compat_control {
+        1.5 + 1.0 * width * width
+    } else {
+        0.0
+    };
 
-    AreaBreakdown { base: 1.0, fus, regfile, decode, custom, icache, compat }
+    AreaBreakdown {
+        base: 1.0,
+        fus,
+        regfile,
+        decode,
+        custom,
+        icache,
+        compat,
+    }
 }
 
 /// Cycle-time model in nanoseconds: the clock is set by the slowest of the
@@ -133,7 +147,11 @@ pub fn cycle_time(m: &MachineDescription) -> CycleTime {
         alu_path: 1.0,
         regfile_path: 0.45 + 0.08 * regs.log2().max(0.0) + 0.035 * ports,
         bypass_path: 0.20 + 0.04 * spc * spc,
-        compat_path: if m.compat_control { 1.0 + 0.12 * spc * spc } else { 0.0 },
+        compat_path: if m.compat_control {
+            1.0 + 0.12 * spc * spc
+        } else {
+            0.0
+        },
     }
 }
 
@@ -214,8 +232,8 @@ pub fn energy(m: &MachineDescription, act: &ActivityCounts) -> EnergyBreakdown {
         + act.copy_ops as f64 * pj::COPY
         + act.custom_area_executed as f64 * pj::CUSTOM_PER_ADDER;
 
-    let fetch_pj = act.bundles as f64 * pj::FETCH_PER_BUNDLE
-        + act.fetch_bytes as f64 * pj::FETCH_PER_BYTE;
+    let fetch_pj =
+        act.bundles as f64 * pj::FETCH_PER_BUNDLE + act.fetch_bytes as f64 * pj::FETCH_PER_BYTE;
 
     let total_ops = act.alu_ops
         + act.mul_ops
@@ -229,8 +247,11 @@ pub fn energy(m: &MachineDescription, act: &ActivityCounts) -> EnergyBreakdown {
         * 3.0
         * (pj::REG_ACCESS * (1.0 + 0.02 * f64::from(m.regs_per_cluster).sqrt()));
 
-    let idle_pj =
-        if m.gate_idle_slots { 0.0 } else { act.idle_slots as f64 * pj::IDLE_SLOT };
+    let idle_pj = if m.gate_idle_slots {
+        0.0
+    } else {
+        act.idle_slots as f64 * pj::IDLE_SLOT
+    };
 
     // Leakage: 0.04 mW per mm² → pJ = mW × ns.
     let period = cycle_time(m).period_ns();
@@ -306,7 +327,12 @@ mod tests {
     #[test]
     fn energy_scales_with_activity() {
         let m = MachineDescription::ember4();
-        let mut a = ActivityCounts { alu_ops: 1000, cycles: 500, bundles: 500, ..Default::default() };
+        let mut a = ActivityCounts {
+            alu_ops: 1000,
+            cycles: 500,
+            bundles: 500,
+            ..Default::default()
+        };
         let e1 = energy(&m, &a).total_nj();
         a.alu_ops = 2000;
         let e2 = energy(&m, &a).total_nj();

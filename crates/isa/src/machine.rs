@@ -96,7 +96,12 @@ pub struct ICacheConfig {
 
 impl Default for ICacheConfig {
     fn default() -> Self {
-        ICacheConfig { size_bytes: 8192, line_bytes: 32, ways: 2, miss_penalty: 10 }
+        ICacheConfig {
+            size_bytes: 8192,
+            line_bytes: 32,
+            ways: 2,
+            miss_penalty: 10,
+        }
     }
 }
 
@@ -126,7 +131,10 @@ impl fmt::Display for MachineError {
             MachineError::NoSlots => write!(f, "machine has no issue slots"),
             MachineError::BadCluster(c) => write!(f, "reference to nonexistent cluster {c}"),
             MachineError::TooFewRegisters(n) => {
-                write!(f, "register file of {n} is below the toolchain minimum of 6")
+                write!(
+                    f,
+                    "register file of {n} is below the toolchain minimum of 6"
+                )
             }
             MachineError::MissingFu(k) => write!(f, "no issue slot hosts required unit kind {k}"),
             MachineError::MultipleBranchSlots => {
@@ -134,7 +142,10 @@ impl fmt::Display for MachineError {
             }
             MachineError::ZeroLatency(what) => write!(f, "latency of {what} must be at least 1"),
             MachineError::CustomOpsWithoutSlot => {
-                write!(f, "custom operations declared but no slot hosts the custom unit")
+                write!(
+                    f,
+                    "custom operations declared but no slot hosts the custom unit"
+                )
             }
         }
     }
@@ -290,7 +301,13 @@ impl MachineDescription {
     pub fn ember1() -> Self {
         Self::builder("ember1")
             .registers(32)
-            .slot(&[FuKind::Alu, FuKind::Mul, FuKind::Mem, FuKind::Branch, FuKind::Custom])
+            .slot(&[
+                FuKind::Alu,
+                FuKind::Mul,
+                FuKind::Mem,
+                FuKind::Branch,
+                FuKind::Custom,
+            ])
             .build()
             .expect("preset is valid")
     }
@@ -585,7 +602,11 @@ mod tests {
 
     #[test]
     fn encoding_names_roundtrip() {
-        for e in [Encoding::Uncompressed, Encoding::StopBit, Encoding::Compact16] {
+        for e in [
+            Encoding::Uncompressed,
+            Encoding::StopBit,
+            Encoding::Compact16,
+        ] {
             assert_eq!(Encoding::from_name(e.name()), Some(e));
         }
         assert_eq!(Encoding::from_name("zip"), None);

@@ -254,7 +254,7 @@ impl Opcode {
             Nop | Br | Call | Ret | Halt | AddSp | MovFromSp | MovFromLr => 0,
             Abs | Sxtb | Sxth | Mov | BrT | BrF | Emit | MovToLr | CopyX | Ldw => 1,
             Select => 3,
-            Stw => 2, // value, base
+            Stw => 2,                // value, base
             Custom(_) => usize::MAX, // variable; checked against the definition
             _ => 2,
         }

@@ -23,10 +23,16 @@ impl Reg {
     }
 
     /// The hardwired-zero register `c0.r0`.
-    pub const ZERO: Reg = Reg { cluster: 0, index: 0 };
+    pub const ZERO: Reg = Reg {
+        cluster: 0,
+        index: 0,
+    };
 
     /// The return-value register of the calling convention, `c0.r1`.
-    pub const RETVAL: Reg = Reg { cluster: 0, index: 1 };
+    pub const RETVAL: Reg = Reg {
+        cluster: 0,
+        index: 1,
+    };
 
     /// Whether this is the hardwired-zero register.
     pub fn is_zero(self) -> bool {

@@ -106,7 +106,12 @@ mod tests {
     use super::*;
 
     fn cfg(size: u32, line: u32, ways: u32) -> ICacheConfig {
-        ICacheConfig { size_bytes: size, line_bytes: line, ways, miss_penalty: 10 }
+        ICacheConfig {
+            size_bytes: size,
+            line_bytes: line,
+            ways,
+            miss_penalty: 10,
+        }
     }
 
     #[test]

@@ -17,9 +17,7 @@
 
 use crate::icache::ICache;
 use asip_isa::encoding::{bundle_bytes, layout, CodeLayout};
-use asip_isa::{
-    ActivityCounts, MachineDescription, MachineOp, Opcode, Operand, Reg, VliwProgram,
-};
+use asip_isa::{ActivityCounts, MachineDescription, MachineOp, Opcode, Operand, Reg, VliwProgram};
 use std::fmt;
 
 /// Simulation limits.
@@ -31,7 +29,9 @@ pub struct SimOptions {
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { max_cycles: 2_000_000_000 }
+        SimOptions {
+            max_cycles: 2_000_000_000,
+        }
     }
 }
 
@@ -168,13 +168,21 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        Ok(Simulator { machine, program, layout: layout(program, machine), memory, opts })
+        Ok(Simulator {
+            machine,
+            program,
+            layout: layout(program, machine),
+            memory,
+            opts,
+        })
     }
 
     /// Overwrite a global before running (workload inputs). Returns false
     /// if the global does not exist.
     pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
-        let Some(g) = self.program.global(name) else { return false };
+        let Some(g) = self.program.global(name) else {
+            return false;
+        };
         for (i, &v) in data.iter().take(g.words as usize).enumerate() {
             self.memory[g.addr as usize + i] = v;
         }
@@ -189,9 +197,18 @@ impl<'a> Simulator<'a> {
     pub fn run(self, args: &[i32]) -> Result<SimResult, SimError> {
         let entry = &self.program.functions[self.program.entry_func as usize];
         if args.len() != entry.num_args as usize {
-            return Err(SimError::BadArgs { expected: entry.num_args, got: args.len() as u32 });
+            return Err(SimError::BadArgs {
+                expected: entry.num_args,
+                got: args.len() as u32,
+            });
         }
-        let Simulator { machine, program, layout, mut memory, opts } = self;
+        let Simulator {
+            machine,
+            program,
+            layout,
+            mut memory,
+            opts,
+        } = self;
 
         // Stack setup: arguments at the very top; SP points at the first.
         let top = memory.len() as u32;
@@ -242,8 +259,7 @@ impl<'a> Simulator<'a> {
                     out.icache_misses += u64::from(misses);
                 }
             }
-            out.activity.fetch_bytes +=
-                u64::from(bundle_bytes(bundle, machine, machine.encoding));
+            out.activity.fetch_bytes += u64::from(bundle_bytes(bundle, machine, machine.encoding));
 
             // 2. Interlock on in-flight writes to registers this bundle
             //    reads — and to registers it writes (in-order writeback).
@@ -374,8 +390,7 @@ impl<'a> Simulator<'a> {
                     }
                     Opcode::Custom(k) => {
                         let def = &program.custom_ops[k as usize];
-                        let argv: Vec<i32> =
-                            op.srcs.iter().map(|s| read(s, &regs)).collect();
+                        let argv: Vec<i32> = op.srcs.iter().map(|s| read(s, &regs)).collect();
                         let outs = def.eval(&argv).map_err(|e| match e {
                             asip_isa::CustomOpError::Eval(_) => SimError::DivideByZero { pc },
                             other => SimError::InvalidProgram(other.to_string()),
@@ -420,8 +435,7 @@ impl<'a> Simulator<'a> {
             lr = lr_next;
             out.bundles_executed += 1;
             out.activity.bundles += 1;
-            out.activity.idle_slots +=
-                (bundle.slots.len() - bundle.occupancy()) as u64;
+            out.activity.idle_slots += (bundle.slots.len() - bundle.occupancy()) as u64;
 
             if halted {
                 cycle += 1;

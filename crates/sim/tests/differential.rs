@@ -23,12 +23,12 @@ fn check(src: &str, machine: &MachineDescription, cfg: &OptConfig, arg_sets: &[V
         .validate(machine)
         .unwrap_or_else(|e| panic!("validate ({}): {e}", machine.name));
     for args in arg_sets {
-        let golden = run_module(&module, "main", args)
-            .unwrap_or_else(|e| panic!("interp: {e}"));
+        let golden = run_module(&module, "main", args).unwrap_or_else(|e| panic!("interp: {e}"));
         let sim = run_program(machine, &compiled.program, args)
             .unwrap_or_else(|e| panic!("sim ({}): {e}", machine.name));
         assert_eq!(
-            sim.output, golden.output,
+            sim.output,
+            golden.output,
             "machine {} args {args:?}\n--- listing ---\n{}",
             machine.name,
             compiled.program.listing()
@@ -41,7 +41,11 @@ fn machines() -> Vec<MachineDescription> {
 }
 
 fn configs() -> Vec<OptConfig> {
-    vec![OptConfig::none(), OptConfig::default(), OptConfig::with_unroll(8)]
+    vec![
+        OptConfig::none(),
+        OptConfig::default(),
+        OptConfig::with_unroll(8),
+    ]
 }
 
 fn check_everywhere(src: &str, arg_sets: &[Vec<i32>]) {

@@ -51,13 +51,19 @@ impl std::error::Error for CompileError {}
 
 impl From<parser::ParseError> for CompileError {
     fn from(e: parser::ParseError) -> Self {
-        CompileError { line: e.line, message: e.message }
+        CompileError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
 impl From<lower::LowerError> for CompileError {
     fn from(e: lower::LowerError) -> Self {
-        CompileError { line: e.line, message: e.message }
+        CompileError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 

@@ -3,7 +3,9 @@
 use crate::ast::*;
 use crate::token::BinOp;
 use asip_ir::func::{Function, GlobalData, LocalData, Module};
-use asip_ir::inst::{Addr, AddrBase, BlockId, FuncId, GlobalId, Inst, LocalSlot, Terminator, VReg, Val};
+use asip_ir::inst::{
+    Addr, AddrBase, BlockId, FuncId, GlobalId, Inst, LocalSlot, Terminator, VReg, Val,
+};
 use asip_isa::Opcode;
 use std::collections::HashMap;
 use std::fmt;
@@ -69,7 +71,11 @@ pub fn lower(prog: &Program) -> Result<Module, LowerError> {
                 None => GlobalSymKind::Scalar(id),
             },
         );
-        globals.push(GlobalData { name: g.name.clone(), words, init: g.init.clone() });
+        globals.push(GlobalData {
+            name: g.name.clone(),
+            words,
+            init: g.init.clone(),
+        });
     }
 
     let mut fsigs: HashMap<String, FuncSig> = HashMap::new();
@@ -108,7 +114,10 @@ pub fn lower(prog: &Program) -> Result<Module, LowerError> {
             returns_value: fdef.returns_value,
         };
         for (i, p) in fdef.params.iter().enumerate() {
-            if lw.scopes[0].insert(p.clone(), LocalSym::Scalar(VReg(i as u32))).is_some() {
+            if lw.scopes[0]
+                .insert(p.clone(), LocalSym::Scalar(VReg(i as u32)))
+                .is_some()
+            {
                 return Err(LowerError {
                     line: fdef.line,
                     message: format!("duplicate parameter {p:?}"),
@@ -117,11 +126,19 @@ pub fn lower(prog: &Program) -> Result<Module, LowerError> {
         }
         lw.stmts(&fdef.body)?;
         // Fall-through return.
-        lw.terminate(Terminator::Ret(if fdef.returns_value { Some(Val::Imm(0)) } else { None }));
+        lw.terminate(Terminator::Ret(if fdef.returns_value {
+            Some(Val::Imm(0))
+        } else {
+            None
+        }));
         funcs.push(lw.f);
     }
 
-    let module = Module { funcs, globals, custom_ops: Vec::new() };
+    let module = Module {
+        funcs,
+        globals,
+        custom_ops: Vec::new(),
+    };
     asip_ir::func::verify(&module).map_err(|e| LowerError {
         line: 0,
         message: format!("internal lowering invariant broken: {e}"),
@@ -142,7 +159,10 @@ struct Lowerer<'a> {
 
 impl<'a> Lowerer<'a> {
     fn err<T>(&self, line: usize, msg: impl Into<String>) -> Result<T, LowerError> {
-        Err(LowerError { line, message: msg.into() })
+        Err(LowerError {
+            line,
+            message: msg.into(),
+        })
     }
 
     fn push(&mut self, inst: Inst) {
@@ -193,14 +213,22 @@ impl<'a> Lowerer<'a> {
 
     fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
         match s {
-            Stmt::Decl { name, array, init, line } => {
+            Stmt::Decl {
+                name,
+                array,
+                init,
+                line,
+            } => {
                 if self.scopes.last().expect("scope").contains_key(name) {
                     return self.err(*line, format!("redeclaration of {name:?} in this scope"));
                 }
                 match array {
                     Some(n) => {
                         let slot = LocalSlot(self.f.locals.len() as u32);
-                        self.f.locals.push(LocalData { name: name.clone(), words: *n });
+                        self.f.locals.push(LocalData {
+                            name: name.clone(),
+                            words: *n,
+                        });
                         self.scopes
                             .last_mut()
                             .expect("scope")
@@ -212,7 +240,11 @@ impl<'a> Lowerer<'a> {
                             Some(e) => self.expr(e, *line)?,
                             None => Val::Imm(0),
                         };
-                        self.push(Inst::Un { op: Opcode::Mov, dst: v, a: iv });
+                        self.push(Inst::Un {
+                            op: Opcode::Mov,
+                            dst: v,
+                            a: iv,
+                        });
                         self.scopes
                             .last_mut()
                             .expect("scope")
@@ -230,13 +262,10 @@ impl<'a> Lowerer<'a> {
                 // statements; evaluate everything for uniformity.
                 match e {
                     Expr::Call(name, args) if intrinsic_arity(name).is_none() => {
-                        let sig = *self
-                            .fsigs
-                            .get(name)
-                            .ok_or_else(|| LowerError {
-                                line: *line,
-                                message: format!("unknown function {name:?}"),
-                            })?;
+                        let sig = *self.fsigs.get(name).ok_or_else(|| LowerError {
+                            line: *line,
+                            message: format!("unknown function {name:?}"),
+                        })?;
                         if args.len() != sig.arity {
                             return self.err(
                                 *line,
@@ -247,7 +276,11 @@ impl<'a> Lowerer<'a> {
                             .iter()
                             .map(|a| self.expr(a, *line))
                             .collect::<Result<Vec<_>, _>>()?;
-                        self.push(Inst::Call { dst: None, func: sig.id, args: argv });
+                        self.push(Inst::Call {
+                            dst: None,
+                            func: sig.id,
+                            args: argv,
+                        });
                         Ok(())
                     }
                     _ => {
@@ -265,7 +298,11 @@ impl<'a> Lowerer<'a> {
                 let tb = self.f.new_block();
                 let eb = self.f.new_block();
                 let join = self.f.new_block();
-                self.terminate(Terminator::Branch { c: cv, t: tb, f: eb });
+                self.terminate(Terminator::Branch {
+                    c: cv,
+                    t: tb,
+                    f: eb,
+                });
                 self.cur = tb;
                 self.scoped(then)?;
                 self.terminate(Terminator::Jump(join));
@@ -282,7 +319,11 @@ impl<'a> Lowerer<'a> {
                 self.terminate(Terminator::Jump(header));
                 self.cur = header;
                 let cv = self.expr(c, *line)?;
-                self.terminate(Terminator::Branch { c: cv, t: bodyb, f: exit });
+                self.terminate(Terminator::Branch {
+                    c: cv,
+                    t: bodyb,
+                    f: exit,
+                });
                 self.cur = bodyb;
                 self.loops.push((header, exit));
                 self.scoped(body)?;
@@ -303,11 +344,21 @@ impl<'a> Lowerer<'a> {
                 self.terminate(Terminator::Jump(condb));
                 self.cur = condb;
                 let cv = self.expr(c, *line)?;
-                self.terminate(Terminator::Branch { c: cv, t: bodyb, f: exit });
+                self.terminate(Terminator::Branch {
+                    c: cv,
+                    t: bodyb,
+                    f: exit,
+                });
                 self.cur = exit;
                 Ok(())
             }
-            Stmt::For { init, cond, step, body, line } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                line,
+            } => {
                 self.scopes.push(HashMap::new()); // for-init scope
                 if let Some(i) = init {
                     self.stmt(i)?;
@@ -322,7 +373,11 @@ impl<'a> Lowerer<'a> {
                     Some(c) => self.expr(c, *line)?,
                     None => Val::Imm(1),
                 };
-                self.terminate(Terminator::Branch { c: cv, t: bodyb, f: exit });
+                self.terminate(Terminator::Branch {
+                    c: cv,
+                    t: bodyb,
+                    f: exit,
+                });
                 self.cur = bodyb;
                 self.loops.push((stepb, exit));
                 self.scoped(body)?;
@@ -344,9 +399,7 @@ impl<'a> Lowerer<'a> {
                     (Some(_), false) => {
                         return self.err(*line, "void function cannot return a value")
                     }
-                    (None, true) => {
-                        return self.err(*line, "function must return a value")
-                    }
+                    (None, true) => return self.err(*line, "function must return a value"),
                 };
                 self.seal_and_continue(Terminator::Ret(rv));
                 Ok(())
@@ -374,7 +427,11 @@ impl<'a> Lowerer<'a> {
                 if let Some(sym) = self.lookup(name) {
                     match sym {
                         LocalSym::Scalar(v) => {
-                            self.push(Inst::Un { op: Opcode::Mov, dst: v, a: val });
+                            self.push(Inst::Un {
+                                op: Opcode::Mov,
+                                dst: v,
+                                a: val,
+                            });
                             Ok(())
                         }
                         LocalSym::Array(..) => {
@@ -384,7 +441,10 @@ impl<'a> Lowerer<'a> {
                 } else if let Some(g) = self.gsyms.get(name) {
                     match g {
                         GlobalSymKind::Scalar(id) => {
-                            self.push(Inst::Store { val, addr: Addr::global(*id) });
+                            self.push(Inst::Store {
+                                val,
+                                addr: Addr::global(*id),
+                            });
                             Ok(())
                         }
                         GlobalSymKind::Array(..) => {
@@ -427,9 +487,17 @@ impl<'a> Lowerer<'a> {
             _ => {
                 let iv = self.expr(idx, line)?;
                 let lea = self.fresh();
-                self.push(Inst::Lea { dst: lea, addr: Addr { base, off: 0 } });
+                self.push(Inst::Lea {
+                    dst: lea,
+                    addr: Addr { base, off: 0 },
+                });
                 let sum = self.fresh();
-                self.push(Inst::Bin { op: Opcode::Add, dst: sum, a: Val::Reg(lea), b: iv });
+                self.push(Inst::Bin {
+                    op: Opcode::Add,
+                    dst: sum,
+                    a: Val::Reg(lea),
+                    b: iv,
+                });
                 Ok(Addr::reg(sum))
             }
         }
@@ -452,7 +520,10 @@ impl<'a> Lowerer<'a> {
                     match g {
                         GlobalSymKind::Scalar(id) => {
                             let v = self.fresh();
-                            self.push(Inst::Load { dst: v, addr: Addr::global(*id) });
+                            self.push(Inst::Load {
+                                dst: v,
+                                addr: Addr::global(*id),
+                            });
                             Ok(Val::Reg(v))
                         }
                         GlobalSymKind::Array(..) => {
@@ -473,9 +544,24 @@ impl<'a> Lowerer<'a> {
                 let av = self.expr(a, line)?;
                 let dst = self.fresh();
                 let inst = match op {
-                    UnOp::Neg => Inst::Bin { op: Opcode::Sub, dst, a: Val::Imm(0), b: av },
-                    UnOp::Not => Inst::Bin { op: Opcode::CmpEq, dst, a: av, b: Val::Imm(0) },
-                    UnOp::BitNot => Inst::Bin { op: Opcode::Xor, dst, a: av, b: Val::Imm(-1) },
+                    UnOp::Neg => Inst::Bin {
+                        op: Opcode::Sub,
+                        dst,
+                        a: Val::Imm(0),
+                        b: av,
+                    },
+                    UnOp::Not => Inst::Bin {
+                        op: Opcode::CmpEq,
+                        dst,
+                        a: av,
+                        b: Val::Imm(0),
+                    },
+                    UnOp::BitNot => Inst::Bin {
+                        op: Opcode::Xor,
+                        dst,
+                        a: av,
+                        b: Val::Imm(-1),
+                    },
                 };
                 self.push(inst);
                 Ok(Val::Reg(dst))
@@ -505,7 +591,12 @@ impl<'a> Lowerer<'a> {
                     BinOp::Ge => Opcode::CmpGe,
                     BinOp::LAnd | BinOp::LOr => unreachable!("handled above"),
                 };
-                self.push(Inst::Bin { op: opc, dst, a: av, b: bv });
+                self.push(Inst::Bin {
+                    op: opc,
+                    dst,
+                    a: av,
+                    b: bv,
+                });
                 Ok(Val::Reg(dst))
             }
             Expr::Cond(c, a, b) => {
@@ -514,14 +605,26 @@ impl<'a> Lowerer<'a> {
                 let tb = self.f.new_block();
                 let eb = self.f.new_block();
                 let join = self.f.new_block();
-                self.terminate(Terminator::Branch { c: cv, t: tb, f: eb });
+                self.terminate(Terminator::Branch {
+                    c: cv,
+                    t: tb,
+                    f: eb,
+                });
                 self.cur = tb;
                 let av = self.expr(a, line)?;
-                self.push(Inst::Un { op: Opcode::Mov, dst: res, a: av });
+                self.push(Inst::Un {
+                    op: Opcode::Mov,
+                    dst: res,
+                    a: av,
+                });
                 self.terminate(Terminator::Jump(join));
                 self.cur = eb;
                 let bv = self.expr(b, line)?;
-                self.push(Inst::Un { op: Opcode::Mov, dst: res, a: bv });
+                self.push(Inst::Un {
+                    op: Opcode::Mov,
+                    dst: res,
+                    a: bv,
+                });
                 self.terminate(Terminator::Jump(join));
                 self.cur = join;
                 Ok(Val::Reg(res))
@@ -554,7 +657,11 @@ impl<'a> Lowerer<'a> {
                     .map(|a| self.expr(a, line))
                     .collect::<Result<Vec<_>, _>>()?;
                 let dst = self.fresh();
-                self.push(Inst::Call { dst: Some(dst), func: sig.id, args: argv });
+                self.push(Inst::Call {
+                    dst: Some(dst),
+                    func: sig.id,
+                    args: argv,
+                });
                 Ok(Val::Reg(dst))
             }
         }
@@ -577,7 +684,11 @@ impl<'a> Lowerer<'a> {
                     "sxtb" => Opcode::Sxtb,
                     _ => Opcode::Sxth,
                 };
-                self.push(Inst::Un { op, dst, a: argv[0] });
+                self.push(Inst::Un {
+                    op,
+                    dst,
+                    a: argv[0],
+                });
                 Ok(Val::Reg(dst))
             }
             _ => {
@@ -589,11 +700,14 @@ impl<'a> Lowerer<'a> {
                     "mulh" => Opcode::MulH,
                     "ltu" => Opcode::CmpLtu,
                     "geu" => Opcode::CmpGeu,
-                    other => {
-                        return self.err(line, format!("unimplemented builtin {other:?}"))
-                    }
+                    other => return self.err(line, format!("unimplemented builtin {other:?}")),
                 };
-                self.push(Inst::Bin { op, dst, a: argv[0], b: argv[1] });
+                self.push(Inst::Bin {
+                    op,
+                    dst,
+                    a: argv[0],
+                    b: argv[1],
+                });
                 Ok(Val::Reg(dst))
             }
         }
@@ -613,15 +727,32 @@ impl<'a> Lowerer<'a> {
         let short = self.f.new_block();
         let join = self.f.new_block();
         if is_and {
-            self.terminate(Terminator::Branch { c: av, t: eval_b, f: short });
+            self.terminate(Terminator::Branch {
+                c: av,
+                t: eval_b,
+                f: short,
+            });
         } else {
-            self.terminate(Terminator::Branch { c: av, t: short, f: eval_b });
+            self.terminate(Terminator::Branch {
+                c: av,
+                t: short,
+                f: eval_b,
+            });
         }
         self.cur = eval_b;
         let bv = self.expr(b, line)?;
         let norm = self.fresh();
-        self.push(Inst::Bin { op: Opcode::CmpNe, dst: norm, a: bv, b: Val::Imm(0) });
-        self.push(Inst::Un { op: Opcode::Mov, dst: res, a: Val::Reg(norm) });
+        self.push(Inst::Bin {
+            op: Opcode::CmpNe,
+            dst: norm,
+            a: bv,
+            b: Val::Imm(0),
+        });
+        self.push(Inst::Un {
+            op: Opcode::Mov,
+            dst: res,
+            a: Val::Reg(norm),
+        });
         self.terminate(Terminator::Jump(join));
         self.cur = short;
         self.push(Inst::Un {
@@ -660,7 +791,10 @@ mod tests {
     #[test]
     fn variables_and_assignment() {
         assert_eq!(
-            run("void main() { int x = 3; int y; y = x * x; x += y; emit(x); }", &[]),
+            run(
+                "void main() { int x = 3; int y; y = x * x; x += y; emit(x); }",
+                &[]
+            ),
             vec![12]
         );
     }
@@ -759,7 +893,10 @@ mod tests {
 
     #[test]
     fn logical_ops_produce_zero_one() {
-        assert_eq!(run("void main() { emit(5 && 7); emit(0 || 9); emit(!3); }", &[]), vec![1, 1, 0]);
+        assert_eq!(
+            run("void main() { emit(5 && 7); emit(0 || 9); emit(!3); }", &[]),
+            vec![1, 1, 0]
+        );
     }
 
     #[test]
@@ -805,9 +942,15 @@ mod tests {
             ("int tab[2]; void main() { emit(tab); }", "used as a value"),
             ("void main() { int x; emit(x[0]); }", "not an array"),
             ("void main() { foo(1); }", "unknown function"),
-            ("int f(int a) { return a; } void main() { f(1, 2); }", "takes 1 args"),
+            (
+                "int f(int a) { return a; } void main() { f(1, 2); }",
+                "takes 1 args",
+            ),
             ("void main() { break; }", "outside a loop"),
-            ("void f() { return 3; } void main() { }", "cannot return a value"),
+            (
+                "void f() { return 3; } void main() { }",
+                "cannot return a value",
+            ),
             ("int f() { return; } void main() { }", "must return a value"),
             ("void main() { emit(1, 2); }", "takes 1 args"),
             ("int emit(int x) { return x; } void main() { }", "builtin"),

@@ -23,7 +23,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -61,7 +64,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: msg.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: msg.into(),
+        })
     }
 
     fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
@@ -132,19 +138,27 @@ impl Parser {
                 self.expect(&Tok::RParen, "')'")?;
                 self.expect(&Tok::LBrace, "'{'")?;
                 let body = self.block_body()?;
-                prog.funcs.push(FuncDef { name, returns_value, params, body, line });
+                prog.funcs.push(FuncDef {
+                    name,
+                    returns_value,
+                    params,
+                    body,
+                    line,
+                });
             } else {
                 // Global variable(s).
                 if !returns_value {
                     return self.err("globals must have type 'int'");
                 }
-                loop {
-                    let (array, init) = self.global_tail()?;
-                    prog.globals.push(GlobalDef { name: name.clone(), array, init, line });
-                    if *self.peek() == Tok::Comma {
-                        return self.err("one global per declaration, please");
-                    }
-                    break;
+                let (array, init) = self.global_tail()?;
+                prog.globals.push(GlobalDef {
+                    name: name.clone(),
+                    array,
+                    init,
+                    line,
+                });
+                if *self.peek() == Tok::Comma {
+                    return self.err("one global per declaration, please");
                 }
                 self.expect(&Tok::Semi, "';'")?;
             }
@@ -168,7 +182,7 @@ impl Parser {
         let mut init = Vec::new();
         if *self.peek() == Tok::Assign {
             self.bump();
-            if array.is_some() {
+            if let Some(size) = array {
                 self.expect(&Tok::LBrace, "'{'")?;
                 if *self.peek() != Tok::RBrace {
                     loop {
@@ -181,7 +195,7 @@ impl Parser {
                     }
                 }
                 self.expect(&Tok::RBrace, "'}'")?;
-                if init.len() > array.unwrap() as usize {
+                if init.len() > size as usize {
                     return self.err("too many initializers for array size");
                 }
             } else {
@@ -225,7 +239,12 @@ impl Parser {
                     init = Some(self.expr()?);
                 }
                 self.expect(&Tok::Semi, "';'")?;
-                Ok(Stmt::Decl { name, array, init, line })
+                Ok(Stmt::Decl {
+                    name,
+                    array,
+                    init,
+                    line,
+                })
             }
             Tok::KwIf => {
                 self.bump();
@@ -270,7 +289,11 @@ impl Parser {
                     self.expect(&Tok::Semi, "';'")?;
                     Some(Box::new(s))
                 };
-                let cond = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let cond = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi, "';'")?;
                 let step = if *self.peek() == Tok::RParen {
                     None
@@ -279,11 +302,21 @@ impl Parser {
                 };
                 self.expect(&Tok::RParen, "')'")?;
                 let body = self.stmt_or_block()?;
-                Ok(Stmt::For { init, cond, step, body, line })
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    line,
+                })
             }
             Tok::KwReturn => {
                 self.bump();
-                let v = if *self.peek() == Tok::Semi { None } else { Some(self.expr()?) };
+                let v = if *self.peek() == Tok::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi, "';'")?;
                 Ok(Stmt::Return(v, line))
             }
@@ -332,7 +365,12 @@ impl Parser {
             let name = self.ident()?;
             self.expect(&Tok::Assign, "'='")?;
             let e = self.expr()?;
-            return Ok(Stmt::Decl { name, array: None, init: Some(e), line });
+            return Ok(Stmt::Decl {
+                name,
+                array: None,
+                init: Some(e),
+                line,
+            });
         }
         // lvalue-led forms need lookahead: ident [ '[' expr ']' ] (= | op= | ++ | --)
         if let Tok::Ident(name) = self.peek().clone() {
@@ -367,8 +405,11 @@ impl Parser {
                     });
                 }
                 Tok::Incr | Tok::Decr => {
-                    let op =
-                        if *self.peek() == Tok::Incr { BinOp::Add } else { BinOp::Sub };
+                    let op = if *self.peek() == Tok::Incr {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    };
                     self.bump();
                     let lhs_expr = match &lv {
                         LValue::Var(n) => Expr::Var(n.clone()),
@@ -388,7 +429,11 @@ impl Parser {
         }
         // Prefix ++/--.
         if matches!(self.peek(), Tok::Incr | Tok::Decr) {
-            let op = if *self.peek() == Tok::Incr { BinOp::Add } else { BinOp::Sub };
+            let op = if *self.peek() == Tok::Incr {
+                BinOp::Add
+            } else {
+                BinOp::Sub
+            };
             self.bump();
             let name = self.ident()?;
             return Ok(Stmt::Assign {
@@ -422,11 +467,8 @@ impl Parser {
 
     fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
         let mut lhs = self.unary()?;
-        loop {
-            let op = match self.peek() {
-                Tok::Bin(op) => *op,
-                _ => break,
-            };
+        while let Tok::Bin(op) = self.peek() {
+            let op = *op;
             let prec = precedence(op);
             if prec < min_prec {
                 break;
@@ -540,14 +582,20 @@ mod tests {
     #[test]
     fn precedence_is_c_like() {
         let p = parse("void f() { x = 1 + 2 * 3; }").unwrap();
-        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
         // 1 + (2 * 3)
         assert_eq!(
             *e,
             Expr::Bin(
                 BinOp::Add,
                 Box::new(Expr::Int(1)),
-                Box::new(Expr::Bin(BinOp::Mul, Box::new(Expr::Int(2)), Box::new(Expr::Int(3))))
+                Box::new(Expr::Bin(
+                    BinOp::Mul,
+                    Box::new(Expr::Int(2)),
+                    Box::new(Expr::Int(3))
+                ))
             )
         );
     }
@@ -555,16 +603,22 @@ mod tests {
     #[test]
     fn shift_binds_tighter_than_compare() {
         let p = parse("void f() { x = a >> 2 < b; }").unwrap();
-        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(e, Expr::Bin(BinOp::Lt, _, _)));
     }
 
     #[test]
     fn compound_assign_desugars() {
         let p = parse("void f() { x += 2; a[i] <<= 1; }").unwrap();
-        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(matches!(e, Expr::Bin(BinOp::Add, _, _)));
-        let Stmt::Assign { lv, e, .. } = &p.funcs[0].body[1] else { panic!() };
+        let Stmt::Assign { lv, e, .. } = &p.funcs[0].body[1] else {
+            panic!()
+        };
         assert!(matches!(lv, LValue::Index(..)));
         assert!(matches!(e, Expr::Bin(BinOp::Shl, _, _)));
     }
@@ -572,14 +626,35 @@ mod tests {
     #[test]
     fn incr_decr_desugars() {
         let p = parse("void f() { i++; --j; }").unwrap();
-        assert!(matches!(&p.funcs[0].body[0], Stmt::Assign { e: Expr::Bin(BinOp::Add, _, _), .. }));
-        assert!(matches!(&p.funcs[0].body[1], Stmt::Assign { e: Expr::Bin(BinOp::Sub, _, _), .. }));
+        assert!(matches!(
+            &p.funcs[0].body[0],
+            Stmt::Assign {
+                e: Expr::Bin(BinOp::Add, _, _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &p.funcs[0].body[1],
+            Stmt::Assign {
+                e: Expr::Bin(BinOp::Sub, _, _),
+                ..
+            }
+        ));
     }
 
     #[test]
     fn for_loop_parses() {
         let p = parse("void f(int n) { for (int i = 0; i < n; i++) { emit(i); } }").unwrap();
-        let Stmt::For { init, cond, step, body, .. } = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } = &p.funcs[0].body[0]
+        else {
+            panic!()
+        };
         assert!(init.is_some());
         assert!(cond.is_some());
         assert!(step.is_some());
@@ -589,17 +664,25 @@ mod tests {
     #[test]
     fn dangling_else_attaches_inner() {
         let p = parse("void f() { if (a) if (b) x = 1; else x = 2; }").unwrap();
-        let Stmt::If(_, then, els, _) = &p.funcs[0].body[0] else { panic!() };
+        let Stmt::If(_, then, els, _) = &p.funcs[0].body[0] else {
+            panic!()
+        };
         assert!(els.is_empty(), "outer if has no else");
-        let Stmt::If(_, _, inner_else, _) = &then[0] else { panic!() };
+        let Stmt::If(_, _, inner_else, _) = &then[0] else {
+            panic!()
+        };
         assert_eq!(inner_else.len(), 1);
     }
 
     #[test]
     fn ternary_right_associative() {
         let p = parse("void f() { x = a ? 1 : b ? 2 : 3; }").unwrap();
-        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else { panic!() };
-        let Expr::Cond(_, _, else_branch) = e else { panic!() };
+        let Stmt::Assign { e, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        let Expr::Cond(_, _, else_branch) = e else {
+            panic!()
+        };
         assert!(matches!(**else_branch, Expr::Cond(..)));
     }
 

@@ -171,7 +171,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let mut i = 0usize;
     let mut line = 1usize;
     let mut out = Vec::new();
-    let err = |line: usize, m: &str| LexError { line, message: m.to_string() };
+    let err = |line: usize, m: &str| LexError {
+        line,
+        message: m.to_string(),
+    };
 
     while i < b.len() {
         let c = b[i] as char;
@@ -231,7 +234,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         return Err(err(line, "integer literal out of range"));
                     }
                 }
-                out.push(Spanned { tok: Tok::Int(value as u32 as i32), line });
+                out.push(Spanned {
+                    tok: Tok::Int(value as u32 as i32),
+                    line,
+                });
             }
             '\'' => {
                 // Character literal: 'a' or '\n' style.
@@ -244,10 +250,16 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         b'\'' => b'\'',
                         _ => return Err(err(line, "unknown escape in char literal")),
                     };
-                    out.push(Spanned { tok: Tok::Int(i32::from(v)), line });
+                    out.push(Spanned {
+                        tok: Tok::Int(i32::from(v)),
+                        line,
+                    });
                     i += 4;
                 } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                    out.push(Spanned { tok: Tok::Int(i32::from(b[i + 1])), line });
+                    out.push(Spanned {
+                        tok: Tok::Int(i32::from(b[i + 1])),
+                        line,
+                    });
                     i += 3;
                 } else {
                     return Err(err(line, "malformed char literal"));
@@ -255,9 +267,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             'a'..='z' | 'A'..='Z' | '_' => {
                 let start = i;
-                while i < b.len()
-                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -335,9 +345,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                             '~' => Tok::Tilde,
                             '?' => Tok::Question,
                             ':' => Tok::Colon,
-                            other => {
-                                return Err(err(line, &format!("stray character {other:?}")))
-                            }
+                            other => return Err(err(line, &format!("stray character {other:?}"))),
                         };
                         (t, 1)
                     }
@@ -347,7 +355,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 

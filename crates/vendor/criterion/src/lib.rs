@@ -1,0 +1,141 @@
+//! Offline shim for [criterion](https://docs.rs/criterion) implementing the
+//! subset of its API this workspace's benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`, and the `criterion_group!` /
+//! `criterion_main!` macros), so benchmarks build and run in an environment
+//! with no registry access. Timing is a simple mean-of-N wall-clock measure —
+//! honest enough for coarse regression spotting, not a statistics engine.
+
+use std::time::Instant;
+
+/// Top-level benchmark context handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+
+    /// Run a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Set how many samples each benchmark in the group collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure `f` and print a one-line mean time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed_ns: 0,
+        };
+        // One warmup sample, then the measured samples.
+        f(&mut b);
+        b.iters = 0;
+        b.elapsed_ns = 0;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let per_iter = b.elapsed_ns.checked_div(b.iters).unwrap_or(0);
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        println!("{label:<40} {per_iter:>12} ns/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to [`BenchmarkGroup::bench_function`]; call
+/// [`Bencher::iter`] with the code under test.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (criterion batches internally; the shim
+    /// times each call and accumulates).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed();
+        std::hint::black_box(out);
+        self.iters += 1;
+        self.elapsed_ns += dt.as_nanos() as u64;
+    }
+}
+
+/// Re-export matching upstream: `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect bench functions into a runnable group, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_counts_iters() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| b.iter(|| calls += 1));
+        g.finish();
+        // 1 warmup + 3 samples
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,248 @@
+//! Offline shim for [proptest](https://docs.rs/proptest) implementing the
+//! subset of its API this workspace uses, so property tests keep the exact
+//! upstream source syntax while building in an environment with no registry
+//! access.
+//!
+//! Supported surface:
+//!
+//! * [`Strategy`] with an associated `Value`, implemented for integer ranges
+//!   (`0i32..200`), [`any`] and [`sample::select`];
+//! * the [`proptest!`] macro wrapping `fn name(pat in strategy, ...)` test
+//!   bodies in a deterministic multi-case runner;
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Generation is a fixed-seed SplitMix64 stream (plus a deterministic
+//! edge-case schedule for `any`), so failures reproduce exactly across runs.
+
+/// How values are produced: every strategy draws from this deterministic
+/// generator. Seeded per test case so cases are independent but repeatable.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    /// Index of the case this generator was built for (drives edge-case
+    /// scheduling in [`any`]).
+    pub case: u64,
+}
+
+impl TestRng {
+    /// Generator for case `case` of a named test. The name participates in
+    /// the seed so different tests see different streams.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for b in test_name.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: seed ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            case,
+        }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// A source of values for one generated test argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Types that have a canonical "anything" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value; `rng.case` lets implementations schedule
+    /// deterministic edge cases early.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // First cases hit the classic boundary values, then random.
+                match rng.case {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Strategy wrapper produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for "any value of `T`".
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// Strategies that choose among concrete values.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice from a fixed list (`prop::sample::select`).
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Build a [`Select`] strategy over `items`.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select() needs at least one item");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() as usize) % self.0.len();
+            self.0[i].clone()
+        }
+    }
+}
+
+/// Runner knobs shared by the [`proptest!`] expansion.
+pub mod test_runner {
+    /// Number of cases each property runs. Honors `PROPTEST_CASES` so CI can
+    /// dial effort up or down without touching sources.
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Assert inside a property; failure reports the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declare property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over [`test_runner::case_count`]
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::test_runner::case_count();
+                for __case in 0..__cases {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Everything a property-test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+
+    /// Mirror of upstream's `prelude::prop` module path
+    /// (`prop::sample::select`).
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("bounds", 7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3i32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let u = Strategy::sample(&(0u16..32), &mut rng);
+            assert!(u < 32);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut a = TestRng::for_case("det", 5);
+        let mut b = TestRng::for_case("det", 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn any_schedules_edge_cases_first() {
+        let vals: Vec<i32> = (0..4)
+            .map(|c| Strategy::sample(&any::<i32>(), &mut TestRng::for_case("e", c)))
+            .collect();
+        assert_eq!(vals, vec![0, i32::MAX, i32::MIN, 1]);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_expands_and_runs(x in -5i32..5, flip in any::<bool>()) {
+            prop_assert!((-5..5).contains(&x));
+            let _ = flip;
+        }
+    }
+}

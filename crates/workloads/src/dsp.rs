@@ -92,8 +92,13 @@ pub fn iir() -> Workload {
     // Golden model.
     let mut y = vec![0i32; IIR_N];
     for s in 0..2usize {
-        let (b0, b1, b2, a1, a2) =
-            (c[s * 5], c[s * 5 + 1], c[s * 5 + 2], c[s * 5 + 3], c[s * 5 + 4]);
+        let (b0, b1, b2, a1, a2) = (
+            c[s * 5],
+            c[s * 5 + 1],
+            c[s * 5 + 2],
+            c[s * 5 + 3],
+            c[s * 5 + 4],
+        );
         let mut w1: i32 = 0;
         let mut w2: i32 = 0;
         for i in 0..IIR_N {
@@ -369,11 +374,10 @@ const ADPCM_N: usize = 128;
 
 const STEP_TABLE: [i32; 89] = [
     7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
-    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408,
-    449, 494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
-    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630,
-    9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794,
-    32767,
+    73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190, 209, 230, 253, 279, 307, 337, 371, 408, 449,
+    494, 544, 598, 658, 724, 796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132, 7845, 8630, 9493,
+    10442, 11487, 12635, 13899, 15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
 ];
 
 const INDEX_TABLE: [i32; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];

@@ -112,7 +112,9 @@ pub struct Gen {
 impl Gen {
     /// Seeded generator; a zero seed is replaced by a fixed constant.
     pub fn new(seed: u32) -> Gen {
-        Gen { state: if seed == 0 { 0x9E37_79B9 } else { seed } }
+        Gen {
+            state: if seed == 0 { 0x9E37_79B9 } else { seed },
+        }
     }
 
     /// Next raw 32-bit value.
@@ -167,7 +169,11 @@ mod tests {
     #[test]
     fn expected_streams_nonempty() {
         for w in all() {
-            assert!(!w.expected.is_empty(), "{} has an empty golden stream", w.name);
+            assert!(
+                !w.expected.is_empty(),
+                "{} has an empty golden stream",
+                w.name
+            );
         }
     }
 

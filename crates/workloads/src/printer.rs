@@ -32,7 +32,10 @@ pub fn dither() -> Workload {
             if newv != 0 {
                 ones += 1;
             }
-            cks = cks.wrapping_mul(2).wrapping_add(if newv != 0 { 1 } else { 0 }) ^ (x + y);
+            cks = cks
+                .wrapping_mul(2)
+                .wrapping_add(if newv != 0 { 1 } else { 0 })
+                ^ (x + y);
             if x + 1 < w {
                 work[idx + 1] += err * 7 / 16;
             }
@@ -120,7 +123,9 @@ pub fn rle() -> Workload {
             len += 1;
         }
         runs += 1;
-        cks = cks.wrapping_mul(5).wrapping_add(v.wrapping_mul(1000).wrapping_add(len));
+        cks = cks
+            .wrapping_mul(5)
+            .wrapping_add(v.wrapping_mul(1000).wrapping_add(len));
         i += len as usize;
     }
     let expected = vec![runs, cks];

@@ -169,7 +169,6 @@ void main(int n) {{
 
 #[cfg(test)]
 mod tests {
-    use super::*;
 
     #[test]
     fn crc32_known_vector() {
@@ -179,7 +178,11 @@ mod tests {
         for &b in &data {
             crc ^= b as u32 & 0xFF;
             for _ in 0..8 {
-                crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
             }
         }
         assert_eq!(crc ^ 0xFFFF_FFFF, 0xCBF4_3926);
@@ -190,7 +193,7 @@ mod tests {
         let mut s1 = 0i32;
         let mut s2 = 0i32;
         for _ in 0..10 {
-            s1 = (s1 + 0) % 65535;
+            s1 %= 65535;
             s2 = (s2 + s1) % 65535;
         }
         assert_eq!((s1, s2), (0, 0));

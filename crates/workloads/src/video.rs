@@ -112,16 +112,16 @@ void main(int z) {
 // ---------------------------------------------------------------------------
 
 const ZIGZAG: [i32; 64] = [
-    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
-    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
-    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27, 20,
+    13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58, 59,
+    52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
 ];
 
 /// Quantize a coefficient block and walk it in zigzag order.
 pub fn quantize() -> Workload {
     let mut g = Gen::new(0x9A27_0007);
     let coef = g.vec(64, -2000, 2000);
-    let q: Vec<i32> = (0..64).map(|i| 8 + (i as i32) * 2).collect();
+    let q: Vec<i32> = (0..64).map(|i| 8 + i * 2).collect();
 
     let mut nz = 0i32;
     let mut cks: i32 = 0;
@@ -130,7 +130,11 @@ pub fn quantize() -> Workload {
         let c = coef[zz as usize];
         let d = q[zz as usize];
         // Symmetric rounding like typical integer JPEG encoders.
-        let qq = if c >= 0 { (c + d / 2) / d } else { -((-c + d / 2) / d) };
+        let qq = if c >= 0 {
+            (c + d / 2) / d
+        } else {
+            -((-c + d / 2) / d)
+        };
         if qq != 0 {
             nz += 1;
             last_nz = k as i32;
@@ -263,8 +267,24 @@ fn median9(mut v: [i32; 9]) -> i32 {
         v[b] = hi;
     };
     let pairs = [
-        (1, 2), (4, 5), (7, 8), (0, 1), (3, 4), (6, 7), (1, 2), (4, 5), (7, 8),
-        (0, 3), (5, 8), (4, 7), (3, 6), (1, 4), (2, 5), (4, 7), (4, 2), (6, 4),
+        (1, 2),
+        (4, 5),
+        (7, 8),
+        (0, 1),
+        (3, 4),
+        (6, 7),
+        (1, 2),
+        (4, 5),
+        (7, 8),
+        (0, 3),
+        (5, 8),
+        (4, 7),
+        (3, 6),
+        (1, 4),
+        (2, 5),
+        (4, 7),
+        (4, 2),
+        (6, 4),
         (4, 2),
     ];
     for (a, b) in pairs {
@@ -285,9 +305,15 @@ pub fn median() -> Workload {
     for y in 1..w - 1 {
         for x in 1..w - 1 {
             let v = [
-                px(x - 1, y - 1), px(x, y - 1), px(x + 1, y - 1),
-                px(x - 1, y), px(x, y), px(x + 1, y),
-                px(x - 1, y + 1), px(x, y + 1), px(x + 1, y + 1),
+                px(x - 1, y - 1),
+                px(x, y - 1),
+                px(x + 1, y - 1),
+                px(x - 1, y),
+                px(x, y),
+                px(x + 1, y),
+                px(x - 1, y + 1),
+                px(x, y + 1),
+                px(x + 1, y + 1),
             ];
             let m = median9(v);
             cks = cks.wrapping_mul(31).wrapping_add(m);

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tuning: Vec<_> = suite.iter().take(3).cloned().collect();
     let space = SearchSpace::default();
     let ex = explore(&tc, &space, &tuning);
-    println!("\nevaluated {} design points ({} skipped)", ex.points.len(), ex.skipped.len());
+    println!(
+        "\nevaluated {} design points ({} skipped)",
+        ex.points.len(),
+        ex.skipped.len()
+    );
     println!("\narea/performance Pareto frontier:");
     for p in ex.pareto() {
         println!(
@@ -46,9 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &mut module,
         &best.machine,
         &profile,
-        &IseConfig { area_budget: 16.0, ..Default::default() },
+        &IseConfig {
+            area_budget: 16.0,
+            ..Default::default()
+        },
     );
-    println!("\nISE for {} selected {} ops (area {:.1} adders):", w.name, report.selected.len(), report.area_used);
+    println!(
+        "\nISE for {} selected {} ops (area {:.1} adders):",
+        w.name,
+        report.selected.len(),
+        report.area_used
+    );
     for s in &report.selected {
         println!(
             "  {}  [{} instances, est. {:.0} cycles saved]",
@@ -64,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         w.name, custom_machine.name, run.sim.cycles
     );
 
-    println!("\n--- recommended machine description ---\n{}", print_machine(&custom_machine));
+    println!(
+        "\n--- recommended machine description ---\n{}",
+        print_machine(&custom_machine)
+    );
     Ok(())
 }

@@ -21,8 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Years later the product line has drifted: narrower issue, slower
     // memory, denser encoding. Old binaries must still run (Barrier 1).
+    // (3 slots, not fewer: viterbi's schedule contains a 3-register
+    // parallel rotation, and a rotation can only be re-issued atomically —
+    // a 2-wide member would need a scratch register and is rejected as a
+    // SwapHazard.)
     let b = a.derive("ember-drift", |m| {
-        m.slots.truncate(2);
+        m.slots.truncate(3);
         m.lat_mem = 3;
         m.encoding = asip::isa::Encoding::Compact16;
     });
@@ -34,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.bundles_in, stats.bundles_out, stats.ops_in, stats.hazards_ordered
     );
 
-    let run = |m: &MachineDescription, p: &asip::isa::VliwProgram| -> Result<u64, Box<dyn std::error::Error>> {
+    let run = |m: &MachineDescription,
+               p: &asip::isa::VliwProgram|
+     -> Result<u64, Box<dyn std::error::Error>> {
         let mut sim = Simulator::new(m, p, Default::default())?;
         for (name, data) in &w.inputs {
             sim.write_global(name, data);
@@ -50,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let xlat = stats.ops_in as u64 * TRANSLATION_CYCLES_PER_OP;
     println!("native on ember4:        {native_a} cycles");
-    println!("translated on drifted:   {on_b} cycles ({:.2}x native recompile)", on_b as f64 / recompiled as f64);
+    println!(
+        "translated on drifted:   {on_b} cycles ({:.2}x native recompile)",
+        on_b as f64 / recompiled as f64
+    );
     println!("recompiled on drifted:   {recompiled} cycles");
     println!(
         "one-time translation:    {xlat} cycles (amortized over 10 runs: {:.2}x)",
@@ -61,6 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..4 {
         cache.get_or_translate("viterbi", &binary, &a, &b)?;
     }
-    println!("code cache: {} hits / {} misses", cache.hits(), cache.misses());
+    println!(
+        "code cache: {} hits / {} misses",
+        cache.hits(),
+        cache.misses()
+    );
     Ok(())
 }

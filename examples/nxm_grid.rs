@@ -17,6 +17,9 @@ fn main() {
         .collect();
     let grid = run_grid(&tc, &machines, &workloads);
     println!("{grid}");
-    assert!(grid.all_pass(), "a cell failed — the family is not shippable");
+    assert!(
+        grid.all_pass(),
+        "a cell failed — the family is not shippable"
+    );
     println!("toolchain validated: architectures used as test programs.");
 }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The description round-trips through the text DSL, so it can live in a
     // file next to your firmware.
-    println!("--- machine description ---\n{}", asip::isa::desc::print_machine(&machine));
+    println!(
+        "--- machine description ---\n{}",
+        asip::isa::desc::print_machine(&machine)
+    );
 
     // 2. Compile a small dot-product kernel.
     let source = r#"
