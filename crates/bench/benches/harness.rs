@@ -1,9 +1,9 @@
 //! Criterion benchmarks over the toolchain's hot paths: compilation,
-//! simulation, interpretation, ISE and binary translation.
+//! simulation, interpretation, ISE and binary translation. Setup artifacts
+//! come from the shared `asip_bench::session()` cache.
 
 use asip_backend::{compile_module, BackendOptions};
 use asip_core::ise::{extend, IseConfig};
-use asip_core::Toolchain;
 use asip_dbt::translate_program;
 use asip_isa::MachineDescription;
 use asip_sim::Simulator;
@@ -11,7 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_compile(c: &mut Criterion) {
-    let tc = Toolchain::default();
+    let tc = asip_bench::session().toolchain();
     let w = asip_workloads::by_name("fir").unwrap();
     let module = tc.frontend(&w.source).unwrap();
     let mut g = c.benchmark_group("compile");
@@ -27,7 +27,7 @@ fn bench_compile(c: &mut Criterion) {
 }
 
 fn bench_simulate(c: &mut Criterion) {
-    let tc = Toolchain::default();
+    let tc = asip_bench::session().toolchain();
     let w = asip_workloads::by_name("crc32").unwrap();
     let m = MachineDescription::ember4();
     let module = tc.frontend(&w.source).unwrap();
@@ -49,7 +49,7 @@ fn bench_simulate(c: &mut Criterion) {
 }
 
 fn bench_interp(c: &mut Criterion) {
-    let tc = Toolchain::default();
+    let tc = asip_bench::session().toolchain();
     let w = asip_workloads::by_name("sobel").unwrap();
     let module = tc.frontend(&w.source).unwrap();
     let mut g = c.benchmark_group("interp");
@@ -61,7 +61,7 @@ fn bench_interp(c: &mut Criterion) {
 }
 
 fn bench_ise(c: &mut Criterion) {
-    let tc = Toolchain::default();
+    let tc = asip_bench::session().toolchain();
     let w = asip_workloads::by_name("yuv2rgb").unwrap();
     let module = tc.frontend(&w.source).unwrap();
     let profile = tc.profile(&module, &w.inputs, &w.args).unwrap();
@@ -78,7 +78,7 @@ fn bench_ise(c: &mut Criterion) {
 }
 
 fn bench_translate(c: &mut Criterion) {
-    let tc = Toolchain::default();
+    let tc = asip_bench::session().toolchain();
     let w = asip_workloads::by_name("viterbi").unwrap();
     let a = MachineDescription::ember4();
     let b_machine = a.derive("narrow", |m| {

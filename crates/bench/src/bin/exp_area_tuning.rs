@@ -4,4 +4,5 @@ fn main() {
         "{}",
         asip_bench::fit::area_tuning(asip_workloads::AppArea::Video)
     );
+    println!("{}", asip_bench::session_summary());
 }

@@ -3,4 +3,5 @@ fn main() {
     let machines = asip_isa::MachineDescription::presets();
     let workloads = asip_workloads::all();
     println!("{}", asip_bench::fit::nxm_grid(&machines, &workloads));
+    println!("{}", asip_bench::session_summary());
 }

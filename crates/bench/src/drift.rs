@@ -3,7 +3,6 @@
 //! native recompile.
 
 use crate::util::{f2, Table};
-use asip_core::Toolchain;
 use asip_dbt::{CodeCache, TRANSLATION_CYCLES_PER_OP};
 use asip_isa::MachineDescription;
 use asip_sim::Simulator;
@@ -28,7 +27,7 @@ fn run_image(
 
 /// The drift experiment across several drifted family members.
 pub fn isa_drift(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
+    let tc = crate::session().toolchain();
     let a = MachineDescription::ember4();
     let drifted: Vec<MachineDescription> = vec![
         a.derive("drift-narrow2", |m| {

@@ -1,7 +1,7 @@
 //! Economics experiments: E1 (Table 1) and E10 (volume crossover).
 
 use crate::util::{f2, f3, Table};
-use asip_core::Toolchain;
+use asip_core::EvalRequest;
 use asip_econ::{price_family, table1, PriceCurve, SocScenario};
 use asip_isa::hwmodel::cycle_time;
 use asip_isa::MachineDescription;
@@ -35,8 +35,9 @@ pub fn table1_experiment() -> String {
 
     // Part B: the same shape from our simulated family. Performance =
     // 1 / (cycles × period) on a representative kernel; prices from the
-    // speed-grade premium curve.
-    let tc = Toolchain::default();
+    // speed-grade premium curve. The whole family runs as one batch on the
+    // shared session.
+    let session = crate::session();
     let w = asip_workloads::by_name("fir").expect("fir");
     let family = [
         MachineDescription::ember1(),
@@ -49,10 +50,14 @@ pub fn table1_experiment() -> String {
         }),
         MachineDescription::ember8(),
     ];
+    let reqs: Vec<EvalRequest> = family
+        .iter()
+        .map(|m| EvalRequest::new(w.clone(), m.clone()))
+        .collect();
     let mut grades: Vec<(String, f64)> = Vec::new();
-    for m in &family {
-        let run = tc.run_workload(&w, m).expect("family member runs fir");
-        let time_ns = run.sim.cycles as f64 * cycle_time(m).period_ns();
+    for (m, o) in family.iter().zip(session.eval_batch(&reqs)) {
+        let cycles = o.cycles().expect("family member runs fir");
+        let time_ns = cycles as f64 * cycle_time(m).period_ns();
         grades.push((m.name.clone(), 1e6 / time_ns));
     }
     grades.sort_by(|a, b| a.1.total_cmp(&b.1));

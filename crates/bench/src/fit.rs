@@ -1,11 +1,14 @@
 //! Customization experiments: E6 (custom-op budgets), E11 (area vs app
 //! tuning), E13 (Pareto frontier) and E9 (the N×M grid).
+//!
+//! Every experiment evaluates through the shared [`crate::session`], so the
+//! sweeps batch their cells on the session's worker pool and reuse one
+//! artifact cache.
 
 use crate::util::{f2, f3, geomean, Table};
 use asip_core::dse::{evaluate, explore, SearchSpace};
-use asip_core::ise::{extend, IseConfig};
+use asip_core::ise::sweep_budgets;
 use asip_core::nxm::run_grid;
-use asip_core::Toolchain;
 use asip_isa::MachineDescription;
 use asip_workloads::{AppArea, Workload};
 
@@ -16,9 +19,10 @@ use asip_workloads::{AppArea, Workload};
 /// slots. (On the 4-wide members those ops already run in parallel ALU
 /// slots and the single custom unit serializes them, so customization by
 /// *width* and by *special ops* are competing levers — exactly the design
-/// space E13 explores.)
+/// space E13 explores.) Each workload's budget ladder runs as one
+/// [`sweep_budgets`] batch.
 pub fn custom_ops(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
+    let session = crate::session();
     let budgets = [0.0f64, 4.0, 8.0, 16.0, 32.0, 64.0];
     let mut header = vec!["workload".to_string()];
     header.extend(budgets.iter().map(|b| format!("A={b}")));
@@ -27,33 +31,16 @@ pub fn custom_ops(workloads: &[Workload]) -> String {
     let mut t = Table::new(&hdr);
     let mut per_budget_speedups: Vec<Vec<f64>> = vec![Vec::new(); budgets.len()];
 
+    let machine = MachineDescription::ember1();
     for w in workloads {
-        let base_module = tc.frontend(&w.source).expect("frontend");
-        let profile = tc
-            .profile(&base_module, &w.inputs, &w.args)
-            .expect("profile");
-        let machine = MachineDescription::ember1();
+        let outcomes = sweep_budgets(session, w, &machine, &budgets);
+        let base_cycles = outcomes[0].cycles().expect("budget-0 baseline runs");
         let mut row = vec![w.name.clone()];
-        let mut base_cycles = 0u64;
         let mut ops_at_max = 0usize;
-        for (i, &budget) in budgets.iter().enumerate() {
-            let mut module = base_module.clone();
-            let (m2, report) = if budget > 0.0 {
-                let cfg = IseConfig {
-                    area_budget: budget,
-                    ..Default::default()
-                };
-                extend(&mut module, &machine, &profile, &cfg)
-            } else {
-                (machine.clone(), Default::default())
-            };
-            let compiled = tc.compile(&module, &m2, Some(&profile)).expect("compile");
-            let run = tc.run_compiled(w, &m2, &compiled).expect("run");
-            if i == 0 {
-                base_cycles = run.sim.cycles;
-            }
-            ops_at_max = report.selected.len();
-            let sp = base_cycles as f64 / run.sim.cycles as f64;
+        for (i, o) in outcomes.iter().enumerate() {
+            let run = o.result.as_ref().expect("budget cell runs");
+            ops_at_max = run.ise.as_ref().map_or(0, |r| r.selected.len());
+            let sp = base_cycles as f64 / run.run.sim.cycles as f64;
             per_budget_speedups[i].push(sp);
             row.push(f3(sp));
         }
@@ -74,14 +61,14 @@ pub fn custom_ops(workloads: &[Workload]) -> String {
 
 /// E9 — §3.1's N×M validation grid over every preset machine and workload.
 pub fn nxm_grid(machines: &[MachineDescription], workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
-    let grid = run_grid(&tc, machines, workloads);
+    let session = crate::session();
+    let grid = run_grid(session, machines, workloads);
     format!(
         "E9: N x M toolchain validation (cycles per cell; any FAIL fails the family)\n\n{}\n\
          workers: {}  |  artifact cache: {}\nALL PASS: {}\n",
         grid,
         grid.parallelism,
-        tc.cache_stats(),
+        session.cache_stats(),
         grid.all_pass()
     )
 }
@@ -89,7 +76,7 @@ pub fn nxm_grid(machines: &[MachineDescription], workloads: &[Workload]) -> Stri
 /// E11 — §6.1 "tailor to an application area, not an application": fit a
 /// machine to one app vs to the area suite; evaluate on held-out apps.
 pub fn area_tuning(area: AppArea) -> String {
-    let tc = Toolchain::default();
+    let session = crate::session();
     let suite = asip_workloads::by_area(area);
     assert!(suite.len() >= 3, "need at least 3 workloads in the area");
     let single = vec![suite[0].clone()];
@@ -97,8 +84,8 @@ pub fn area_tuning(area: AppArea) -> String {
     let held_out: Vec<Workload> = suite[suite.len() - 1..].to_vec();
 
     let space = SearchSpace::default();
-    let ex_single = explore(&tc, &space, &single);
-    let ex_area = explore(&tc, &space, &tuning_suite);
+    let ex_single = explore(session, &space, &single);
+    let ex_area = explore(session, &space, &tuning_suite);
     // The app-tuned machine is the *point solution*: fastest on its one
     // application, area be damned. The area-tuned machine is §6.1's
     // recommendation: the balanced time×area fit over the whole suite.
@@ -113,8 +100,8 @@ pub fn area_tuning(area: AppArea) -> String {
     let mut ratios = Vec::new();
     for w in all.drain(..) {
         let ws = [w.clone()];
-        let c_single = evaluate(&tc, &m_single, &ws, 0.0).map(|p| p.cycles);
-        let c_area = evaluate(&tc, &m_area, &ws, 0.0).map(|p| p.cycles);
+        let c_single = evaluate(session, &m_single, &ws, 0.0).map(|p| p.cycles);
+        let c_area = evaluate(session, &m_area, &ws, 0.0).map(|p| p.cycles);
         match (c_single, c_area) {
             (Ok(cs), Ok(ca)) => {
                 let tag = if held_out.iter().any(|h| h.name == w.name) {
@@ -150,10 +137,10 @@ pub fn area_tuning(area: AppArea) -> String {
 /// E13 — the Custom-Fit loop's area/performance Pareto frontier for one
 /// application area.
 pub fn pareto(area: AppArea, max_workloads: usize) -> String {
-    let tc = Toolchain::default();
+    let session = crate::session();
     let mut suite = asip_workloads::by_area(area);
     suite.truncate(max_workloads);
-    let ex = explore(&tc, &SearchSpace::default(), &suite);
+    let ex = explore(session, &SearchSpace::default(), &suite);
     let mut t = Table::new(&[
         "machine",
         "ISE budget",

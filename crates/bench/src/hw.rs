@@ -1,8 +1,13 @@
 //! Hardware-axis experiments: E2 (RISC-area VLIW), E3 (issue width),
 //! E4 (registers), E5 (clusters), E7 (latencies), E8 (compression).
+//!
+//! Each sweep is a (workload × machine) cross product submitted as one
+//! [`Session::eval_batch`](asip_core::Session::eval_batch) on the shared
+//! [`crate::session`] — the cells run on the worker pool and the table is
+//! read back in request order.
 
 use crate::util::{f2, f3, geomean, Table};
-use asip_core::Toolchain;
+use asip_core::{EvalOutcome, EvalRequest};
 use asip_isa::hwmodel::{area, cycle_time};
 use asip_isa::{Encoding, ICacheConfig, MachineDescription};
 use asip_workloads::Workload;
@@ -18,10 +23,28 @@ pub fn sweep_workloads() -> Vec<Workload> {
     .collect()
 }
 
-fn cycles_on(tc: &Toolchain, w: &Workload, m: &MachineDescription) -> Result<u64, String> {
-    tc.run_workload(w, m)
-        .map(|r| r.sim.cycles)
-        .map_err(|e| e.to_string())
+/// Batch every (workload × machine) cell through the shared session;
+/// outcomes come back workload-major: `result[w]` holds one outcome per
+/// machine, in machine order.
+fn sweep(workloads: &[Workload], machines: &[MachineDescription]) -> Vec<Vec<EvalOutcome>> {
+    let reqs: Vec<EvalRequest> = workloads
+        .iter()
+        .flat_map(|w| {
+            machines
+                .iter()
+                .map(move |m| EvalRequest::new(w.clone(), m.clone()))
+        })
+        .collect();
+    let outcomes = crate::session().eval_batch(&reqs);
+    outcomes
+        .chunks(machines.len())
+        .map(<[EvalOutcome]>::to_vec)
+        .collect()
+}
+
+fn cycles(o: &EvalOutcome) -> u64 {
+    o.cycles()
+        .unwrap_or_else(|| panic!("{}/{} must run: {:?}", o.machine, o.workload, o.result))
 }
 
 /// E2 — §2.2: "in about the chip area required for a RISC processor, we can
@@ -29,7 +52,6 @@ fn cycles_on(tc: &Toolchain, w: &Workload, m: &MachineDescription) -> Result<u64
 /// compatibility control. Compares the mass-market (compatible, 2-issue,
 /// control-heavy) machine against the 4-issue exposed VLIW at similar area.
 pub fn risc_vs_vliw(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
     let mm = MachineDescription::massmarket();
     let vliw = MachineDescription::ember4();
     let (a_mm, a_vliw) = (area(&mm).total(), area(&vliw).total());
@@ -44,9 +66,12 @@ pub fn risc_vs_vliw(workloads: &[Workload]) -> String {
     ]);
     let mut cyc_ratios = Vec::new();
     let mut time_ratios = Vec::new();
-    for w in workloads {
-        let c_mm = cycles_on(&tc, w, &mm).expect("massmarket run");
-        let c_v = cycles_on(&tc, w, &vliw).expect("vliw run");
+    for (w, row_out) in workloads
+        .iter()
+        .zip(sweep(workloads, &[mm.clone(), vliw.clone()]))
+    {
+        let c_mm = cycles(&row_out[0]);
+        let c_v = cycles(&row_out[1]);
         let cr = c_mm as f64 / c_v as f64;
         let tr = (c_mm as f64 * p_mm) / (c_v as f64 * p_vliw);
         cyc_ratios.push(cr);
@@ -84,7 +109,6 @@ pub fn risc_vs_vliw(workloads: &[Workload]) -> String {
 
 /// E3 — §1.2 "multiple visible ALUs": cycles vs. issue width.
 pub fn issue_width(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
     let machines = [
         MachineDescription::ember1(),
         MachineDescription::ember2(),
@@ -100,11 +124,11 @@ pub fn issue_width(workloads: &[Workload]) -> String {
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&hdr);
     let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); machines.len()];
-    for w in workloads {
-        let base = cycles_on(&tc, w, &machines[0]).expect("w1");
+    for (w, row_out) in workloads.iter().zip(sweep(workloads, &machines)) {
+        let base = cycles(&row_out[0]);
         let mut row = vec![w.name.clone()];
-        for (i, m) in machines.iter().enumerate() {
-            let c = cycles_on(&tc, w, m).expect("run");
+        for (i, o) in row_out.iter().enumerate() {
+            let c = cycles(o);
             speedups[i].push(base as f64 / c as f64);
             row.push(format!("{c}"));
         }
@@ -123,20 +147,25 @@ pub fn issue_width(workloads: &[Workload]) -> String {
 
 /// E4 — §1.2 "changing the number of registers": the spill cliff.
 pub fn registers(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
     let sizes = [8u16, 12, 16, 24, 32, 64];
+    let machines: Vec<MachineDescription> = sizes
+        .iter()
+        .map(|&r| {
+            MachineDescription::ember4().derive(&format!("ember4-r{r}"), |m| {
+                m.regs_per_cluster = r;
+            })
+        })
+        .collect();
     let mut header = vec!["workload".to_string()];
     header.extend(sizes.iter().map(|r| format!("r{r}")));
     let hdr: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut t = Table::new(&hdr);
-    for w in workloads {
+    for (w, row_out) in workloads.iter().zip(sweep(workloads, &machines)) {
         let mut row = vec![w.name.clone()];
-        for &r in &sizes {
-            let m = MachineDescription::ember4()
-                .derive(&format!("ember4-r{r}"), |m| m.regs_per_cluster = r);
-            match cycles_on(&tc, w, &m) {
-                Ok(c) => row.push(c.to_string()),
-                Err(_) => row.push("FAIL".into()),
+        for o in &row_out {
+            match o.cycles() {
+                Some(c) => row.push(c.to_string()),
+                None => row.push("FAIL".into()),
             }
         }
         t.row(row);
@@ -150,7 +179,6 @@ pub fn registers(workloads: &[Workload]) -> String {
 /// E5 — §1.2 ""register clusters"": unified vs clustered at equal total
 /// registers, counting both cycles and the cycle-time benefit.
 pub fn clusters(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
     let unified = MachineDescription::ember4(); // 4 slots, 1x32 regs
     let clustered = MachineDescription::ember4x2(); // 2x2 slots, 2x16 regs
     let (p_u, p_c) = (
@@ -165,9 +193,12 @@ pub fn clusters(workloads: &[Workload]) -> String {
         "time ratio (w/ clock)",
     ]);
     let mut ratios = Vec::new();
-    for w in workloads {
-        let cu = cycles_on(&tc, w, &unified).expect("unified");
-        let cc = cycles_on(&tc, w, &clustered).expect("clustered");
+    for (w, row_out) in workloads
+        .iter()
+        .zip(sweep(workloads, &[unified.clone(), clustered.clone()]))
+    {
+        let cu = cycles(&row_out[0]);
+        let cc = cycles(&row_out[1]);
         let cr = cc as f64 / cu as f64; // >1: copies cost cycles
         let tr = (cc as f64 * p_c) / (cu as f64 * p_u);
         ratios.push(tr);
@@ -195,27 +226,20 @@ pub fn clusters(workloads: &[Workload]) -> String {
 
 /// E7 — §1.2 "changing latencies": multiplier and memory latency sweeps.
 pub fn latency(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
+    let mut machines = Vec::new();
+    for lm in [1u32, 2, 3, 5] {
+        machines.push(MachineDescription::ember4().derive(&format!("m{lm}"), |m| m.lat_mul = lm));
+    }
+    for le in [1u32, 2, 4] {
+        machines.push(MachineDescription::ember4().derive(&format!("e{le}"), |m| m.lat_mem = le));
+    }
     let mut t = Table::new(&[
         "workload", "mul=1", "mul=2", "mul=3", "mul=5", "mem=1", "mem=2", "mem=4",
     ]);
-    for w in workloads {
+    for (w, row_out) in workloads.iter().zip(sweep(workloads, &machines)) {
         let mut row = vec![w.name.clone()];
-        for lm in [1u32, 2, 3, 5] {
-            let m = MachineDescription::ember4().derive(&format!("m{lm}"), |m| m.lat_mul = lm);
-            row.push(
-                cycles_on(&tc, w, &m)
-                    .map(|c| c.to_string())
-                    .unwrap_or("FAIL".into()),
-            );
-        }
-        for le in [1u32, 2, 4] {
-            let m = MachineDescription::ember4().derive(&format!("e{le}"), |m| m.lat_mem = le);
-            row.push(
-                cycles_on(&tc, w, &m)
-                    .map(|c| c.to_string())
-                    .unwrap_or("FAIL".into()),
-            );
+        for o in &row_out {
+            row.push(o.cycles().map_or("FAIL".into(), |c| c.to_string()));
         }
         t.row(row);
     }
@@ -228,7 +252,6 @@ pub fn latency(workloads: &[Workload]) -> String {
 /// E8 — §1.2 "visible instruction compression": code size and I-cache
 /// behaviour for the three encodings on a small instruction cache.
 pub fn compression(workloads: &[Workload]) -> String {
-    let tc = Toolchain::default();
     let encodings = [
         Encoding::Uncompressed,
         Encoding::StopBit,
@@ -240,6 +263,15 @@ pub fn compression(workloads: &[Workload]) -> String {
         ways: 1,
         miss_penalty: 12,
     });
+    let machines: Vec<MachineDescription> = encodings
+        .iter()
+        .map(|&enc| {
+            MachineDescription::ember4().derive(&format!("enc-{enc}"), |m| {
+                m.encoding = enc;
+                m.icache = small_icache;
+            })
+        })
+        .collect();
     let mut t = Table::new(&[
         "workload",
         "bytes unc",
@@ -250,18 +282,17 @@ pub fn compression(workloads: &[Workload]) -> String {
         "stall c16",
     ]);
     let mut sums = [0u64; 6];
-    for w in workloads {
+    for (w, row_out) in workloads.iter().zip(sweep(workloads, &machines)) {
         let mut row = vec![w.name.clone()];
         let mut bytes = Vec::new();
         let mut stalls = Vec::new();
-        for enc in encodings {
-            let m = MachineDescription::ember4().derive(&format!("enc-{enc}"), |m| {
-                m.encoding = enc;
-                m.icache = small_icache;
-            });
-            let run = tc.run_workload(w, &m).expect("run");
-            bytes.push(run.code_bytes as u64);
-            stalls.push(run.sim.icache_stalls);
+        for o in &row_out {
+            let run = o
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{}/{} must run: {e}", o.machine, o.workload));
+            bytes.push(u64::from(run.run.code_bytes));
+            stalls.push(run.run.sim.icache_stalls);
         }
         for (i, b) in bytes.iter().enumerate() {
             sums[i] += b;

@@ -3,6 +3,11 @@
 //! One function per table/figure of the reproduction (see DESIGN.md §5 and
 //! EXPERIMENTS.md): each regenerates its table as text and is wrapped by a
 //! binary (`exp_*`) and exercised by the test suite on reduced inputs.
+//!
+//! All experiments share one process-wide [`Session`] (see [`session`]):
+//! every `exp_*` binary's sweeps reuse the same memory-bounded artifact
+//! cache and worker pool, and print the cache hit/miss/eviction summary
+//! ([`session_summary`]) at exit.
 
 #![warn(missing_docs)]
 
@@ -13,3 +18,44 @@ pub mod hw;
 pub mod util;
 
 pub use util::{geomean, Table};
+
+use asip_core::Session;
+use std::sync::OnceLock;
+
+static SESSION: OnceLock<Session> = OnceLock::new();
+
+/// The process-wide shared [`Session`] every experiment evaluates through.
+///
+/// Built once with the default configuration (cache budget from
+/// `ASIP_CACHE_BYTES`, worker count from `ASIP_GRID_THREADS`); all
+/// experiment functions in this crate batch their (workload × machine)
+/// cells through it, so repeated sweeps in one binary never recompile a
+/// front half twice.
+pub fn session() -> &'static Session {
+    SESSION.get_or_init(|| Session::builder().build())
+}
+
+/// One-line summary of the shared session's cache behavior, printed by the
+/// `exp_*` binaries at exit.
+pub fn session_summary() -> String {
+    let s = session();
+    let stats = s.cache_stats();
+    format!(
+        "[session] {} workers | cache budget {} KiB | {stats}",
+        s.threads(),
+        s.cache().byte_budget() / 1024,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_session_is_one_instance() {
+        let a = session() as *const Session;
+        let b = session() as *const Session;
+        assert_eq!(a, b);
+        assert!(session_summary().contains("workers"));
+    }
+}

@@ -1,0 +1,736 @@
+//! The memoized artifact store behind every
+//! [`Toolchain`](crate::pipeline::Toolchain) and
+//! [`Session`](crate::session::Session).
+//!
+//! # Hashed keys, exact hits
+//!
+//! Stage artifacts are keyed by the *complete rendered inputs* of the stage
+//! (source text, machine description, profile fingerprint, …). Rather than
+//! holding those multi-kilobyte strings as `HashMap` keys, the cache indexes
+//! entries by a 64-bit FNV-1a hash and keeps the full key alongside each
+//! entry: a lookup first matches the hash, then verifies the stored key
+//! byte-for-byte, so a hash collision degrades to a bucket scan — never to a
+//! wrong artifact. (Tests can force the degenerate all-collide case through
+//! [`CacheConfig::hash_mask`].)
+//!
+//! # LRU byte budget
+//!
+//! Every entry carries an estimated resident size; the cache holds a global
+//! least-recently-used queue across all four stages and evicts the coldest
+//! artifacts whenever the total exceeds the configured byte budget
+//! ([`CacheConfig::byte_budget`], default [`DEFAULT_CACHE_BYTES`], overridable
+//! with the `ASIP_CACHE_BYTES` environment variable). An evicted artifact is
+//! simply recomputed on the next request — results are unchanged, only the
+//! hit/miss/eviction counters in [`CacheStats`] move. A budget of `0`
+//! disables retention entirely (every insert is immediately evicted).
+
+use crate::pipeline::ToolchainError;
+use asip_backend::CompiledProgram;
+use asip_ir::interp::Profile;
+use asip_ir::Module;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default cache byte budget (256 MiB) when neither
+/// [`CacheConfig::byte_budget`] nor `ASIP_CACHE_BYTES` says otherwise.
+pub const DEFAULT_CACHE_BYTES: u64 = 256 * 1024 * 1024;
+
+/// Environment variable overriding the default cache byte budget.
+pub const CACHE_BYTES_ENV: &str = "ASIP_CACHE_BYTES";
+
+/// The byte budget a fresh cache uses: `ASIP_CACHE_BYTES` if set to a
+/// parseable `u64`, else [`DEFAULT_CACHE_BYTES`].
+pub fn default_cache_bytes() -> u64 {
+    std::env::var(CACHE_BYTES_ENV)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_CACHE_BYTES)
+}
+
+/// Cache construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum resident artifact bytes before LRU eviction kicks in.
+    pub byte_budget: u64,
+    /// Mask applied to the 64-bit key hash. `!0` (the default) keeps the
+    /// full hash; tests set narrower masks (down to `0`) to force bucket
+    /// collisions and exercise the stored-key fallback path.
+    pub hash_mask: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            byte_budget: default_cache_bytes(),
+            hash_mask: !0,
+        }
+    }
+}
+
+/// The stages of the pipeline graph, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// TinyC source → unoptimized IR module.
+    Parse = 0,
+    /// IR module → optimized IR module.
+    Optimize = 1,
+    /// Optimized module + inputs → block-frequency profile.
+    Profile = 2,
+    /// Module + machine (+ profile) → compiled program.
+    Compile = 3,
+    /// Compiled program + machine → simulation result, golden-checked.
+    Simulate = 4,
+}
+
+impl StageKind {
+    /// Every stage, in pipeline order.
+    pub const ALL: [StageKind; 5] = [
+        StageKind::Parse,
+        StageKind::Optimize,
+        StageKind::Profile,
+        StageKind::Compile,
+        StageKind::Simulate,
+    ];
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Parse => "parse",
+            StageKind::Optimize => "optimize",
+            StageKind::Profile => "profile",
+            StageKind::Compile => "compile",
+            StageKind::Simulate => "simulate",
+        }
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Hit/miss counters for one cacheable stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Artifact served from the cache.
+    pub hits: u64,
+    /// Artifact computed (and inserted).
+    pub misses: u64,
+}
+
+/// Snapshot of cache behavior (see [`crate::pipeline::Toolchain::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Source → unoptimized module.
+    pub parse: StageStats,
+    /// (source, opt config) → optimized module.
+    pub optimize: StageStats,
+    /// (module, inputs, args) → profile.
+    pub profile: StageStats,
+    /// (module, machine, backend, profile) → compiled program.
+    pub compile: StageStats,
+    /// Artifacts evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Estimated bytes currently held by resident artifacts.
+    pub resident_bytes: u64,
+}
+
+impl CacheStats {
+    /// Total hits across all stages.
+    pub fn hits(&self) -> u64 {
+        self.parse.hits + self.optimize.hits + self.profile.hits + self.compile.hits
+    }
+
+    /// Total misses across all stages.
+    pub fn misses(&self) -> u64 {
+        self.parse.misses + self.optimize.misses + self.profile.misses + self.compile.misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse {}/{} optimize {}/{} profile {}/{} compile {}/{} (hits/misses), \
+             {} evictions, {} KiB resident",
+            self.parse.hits,
+            self.parse.misses,
+            self.optimize.hits,
+            self.optimize.misses,
+            self.profile.hits,
+            self.profile.misses,
+            self.compile.hits,
+            self.compile.misses,
+            self.evictions,
+            self.resident_bytes / 1024,
+        )
+    }
+}
+
+/// Cumulative wall-clock nanoseconds spent *executing* each stage (cache
+/// hits cost nothing here).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Per stage, indexed by `StageKind as usize`.
+    pub ns: [u64; 5],
+}
+
+impl StageTimes {
+    /// Nanoseconds spent in `stage`.
+    pub fn get(&self, stage: StageKind) -> u64 {
+        self.ns[stage as usize]
+    }
+}
+
+/// 64-bit FNV-1a over the rendered key.
+fn fnv1a64(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Estimated resident size of a cached artifact, used for the byte budget.
+/// These are deliberately cheap structural estimates, not exact heap sizes.
+pub(crate) trait ArtifactBytes {
+    /// Approximate heap bytes held by the artifact.
+    fn artifact_bytes(&self) -> u64;
+}
+
+impl ArtifactBytes for Module {
+    fn artifact_bytes(&self) -> u64 {
+        let mut b = 64u64;
+        for f in &self.funcs {
+            b += 128;
+            for blk in &f.blocks {
+                b += 48 + 56 * blk.insts.len() as u64;
+            }
+        }
+        for g in &self.globals {
+            b += 64 + 4 * u64::from(g.words);
+        }
+        b + 256 * self.custom_ops.len() as u64
+    }
+}
+
+impl ArtifactBytes for Profile {
+    fn artifact_bytes(&self) -> u64 {
+        let per: u64 = self.counts.values().map(|v| 8 * v.len() as u64).sum();
+        48 * self.counts.len() as u64 + per + 64
+    }
+}
+
+impl ArtifactBytes for CompiledProgram {
+    fn artifact_bytes(&self) -> u64 {
+        let p = &self.program;
+        let slots: u64 = p.bundles.iter().map(|b| b.slots.len() as u64).sum();
+        let globals: u64 = p.globals.iter().map(|g| 64 + 4 * g.init.len() as u64).sum();
+        64 * slots + 64 * p.functions.len() as u64 + globals + 256 * p.custom_ops.len() as u64 + 128
+    }
+}
+
+/// Fixed per-entry bookkeeping overhead added to every size estimate.
+const ENTRY_OVERHEAD: u64 = 96;
+
+struct Entry<V> {
+    /// Full rendered key, compared byte-for-byte on every bucket probe.
+    key: Box<str>,
+    value: V,
+    id: u64,
+}
+
+/// One stage's hash-indexed store. Buckets hold every entry whose masked
+/// hash collides; correctness never depends on hash uniqueness.
+pub(crate) struct StageMap<V> {
+    buckets: HashMap<u64, Vec<Entry<V>>>,
+}
+
+impl<V> Default for StageMap<V> {
+    fn default() -> Self {
+        StageMap {
+            buckets: HashMap::new(),
+        }
+    }
+}
+
+impl<V> StageMap<V> {
+    fn find(&self, hash: u64, key: &str) -> Option<&Entry<V>> {
+        self.buckets
+            .get(&hash)?
+            .iter()
+            .find(|e| e.key.as_ref() == key)
+    }
+
+    fn insert(&mut self, hash: u64, entry: Entry<V>) {
+        self.buckets.entry(hash).or_default().push(entry);
+    }
+
+    fn remove_id(&mut self, hash: u64, id: u64) -> Option<Entry<V>> {
+        let bucket = self.buckets.get_mut(&hash)?;
+        let i = bucket.iter().position(|e| e.id == id)?;
+        let e = bucket.swap_remove(i);
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
+        Some(e)
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Maps {
+    parsed: StageMap<Module>,
+    optimized: StageMap<Module>,
+    profiles: StageMap<Profile>,
+    compiled: StageMap<CompiledProgram>,
+}
+
+/// Where an LRU queue entry lives, for typed removal on eviction.
+#[derive(Clone, Copy)]
+struct Loc {
+    stage: usize,
+    hash: u64,
+    id: u64,
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    maps: Maps,
+    /// Recency queue: tick → entry location; the first entry is coldest.
+    lru: BTreeMap<u64, Loc>,
+    /// Entry id → its current tick in `lru` (moved on every touch).
+    tick_of: HashMap<u64, u64>,
+    next_tick: u64,
+    next_id: u64,
+    resident_bytes: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, id: u64) {
+        if let Some(old) = self.tick_of.get(&id).copied() {
+            if let Some(loc) = self.lru.remove(&old) {
+                let tick = self.next_tick;
+                self.next_tick += 1;
+                self.lru.insert(tick, loc);
+                self.tick_of.insert(id, tick);
+            }
+        }
+    }
+
+    fn remember(&mut self, loc: Loc) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.lru.insert(tick, loc);
+        self.tick_of.insert(loc.id, tick);
+        self.resident_bytes += loc.bytes;
+    }
+
+    /// Evict the coldest entry; returns false when the cache is empty.
+    fn evict_one(&mut self) -> bool {
+        let Some((tick, loc)) = self.lru.pop_first() else {
+            return false;
+        };
+        debug_assert_eq!(self.tick_of.get(&loc.id), Some(&tick));
+        self.tick_of.remove(&loc.id);
+        let removed = match loc.stage {
+            0 => self.maps.parsed.remove_id(loc.hash, loc.id).is_some(),
+            1 => self.maps.optimized.remove_id(loc.hash, loc.id).is_some(),
+            2 => self.maps.profiles.remove_id(loc.hash, loc.id).is_some(),
+            _ => self.maps.compiled.remove_id(loc.hash, loc.id).is_some(),
+        };
+        debug_assert!(removed, "LRU queue and stage maps must stay in sync");
+        self.resident_bytes = self.resident_bytes.saturating_sub(loc.bytes);
+        true
+    }
+}
+
+/// Memoized intermediate artifacts, shared by every clone of a
+/// [`Toolchain`] (clones share one cache via `Arc`).
+///
+/// Entries are indexed by hashed key with a stored-key collision check (see
+/// the [module docs](self)), and bounded by an LRU byte budget. Computation
+/// happens outside the lock: concurrent grid cells never serialize on each
+/// other's compiles (at worst a race computes the same artifact twice and
+/// one copy wins).
+///
+/// [`Toolchain`]: crate::pipeline::Toolchain
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    config: CacheConfig,
+    hits: [AtomicU64; 4],
+    misses: [AtomicU64; 4],
+    evictions: AtomicU64,
+    stage_ns: [AtomicU64; 5],
+}
+
+impl ArtifactCache {
+    /// A new, empty cache with the default configuration (byte budget from
+    /// `ASIP_CACHE_BYTES` or [`DEFAULT_CACHE_BYTES`]).
+    pub fn new() -> ArtifactCache {
+        ArtifactCache::with_config(CacheConfig::default())
+    }
+
+    /// A new, empty cache bounded to `byte_budget` resident bytes.
+    pub fn with_budget(byte_budget: u64) -> ArtifactCache {
+        ArtifactCache::with_config(CacheConfig {
+            byte_budget,
+            ..CacheConfig::default()
+        })
+    }
+
+    /// A new, empty cache with explicit configuration.
+    pub fn with_config(config: CacheConfig) -> ArtifactCache {
+        ArtifactCache {
+            inner: Mutex::new(Inner::default()),
+            config,
+            hits: Default::default(),
+            misses: Default::default(),
+            evictions: AtomicU64::new(0),
+            stage_ns: Default::default(),
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> u64 {
+        self.config.byte_budget
+    }
+
+    /// Per-stage hit/miss snapshot plus eviction and residency counters.
+    pub fn stats(&self) -> CacheStats {
+        let s = |i: usize| StageStats {
+            hits: self.hits[i].load(Ordering::Relaxed),
+            misses: self.misses[i].load(Ordering::Relaxed),
+        };
+        CacheStats {
+            parse: s(0),
+            optimize: s(1),
+            profile: s(2),
+            compile: s(3),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.inner.lock().unwrap().resident_bytes,
+        }
+    }
+
+    /// Cumulative per-stage execution time snapshot.
+    pub fn stage_times(&self) -> StageTimes {
+        let mut ns = [0u64; 5];
+        for (i, slot) in ns.iter_mut().enumerate() {
+            *slot = self.stage_ns[i].load(Ordering::Relaxed);
+        }
+        StageTimes { ns }
+    }
+
+    /// Drop all cached artifacts and reset counters.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner = Inner::default();
+        for c in self.hits.iter().chain(&self.misses).chain(&self.stage_ns) {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of artifacts currently held, per cacheable stage.
+    pub fn len(&self) -> [usize; 4] {
+        let inner = self.inner.lock().unwrap();
+        [
+            inner.maps.parsed.len(),
+            inner.maps.optimized.len(),
+            inner.maps.profiles.len(),
+            inner.maps.compiled.len(),
+        ]
+    }
+
+    /// Whether the cache holds no artifacts at all.
+    pub fn is_empty(&self) -> bool {
+        self.len().iter().all(|&n| n == 0)
+    }
+
+    /// Estimated resident artifact bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().resident_bytes
+    }
+
+    fn hash(&self, key: &str) -> u64 {
+        fnv1a64(key) & self.config.hash_mask
+    }
+
+    pub(crate) fn record_time(&self, stage: StageKind, start: Instant) {
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Look up `key` in the stage map chosen by `select`, computing and
+    /// inserting on miss. `compute` runs outside the lock and times only
+    /// this stage's own work (nested stage calls inside `compute` — e.g.
+    /// Optimize invoking Parse — record under their own [`StageKind`], so
+    /// [`StageTimes`] entries add up instead of double-counting). After an
+    /// insert the LRU queue is trimmed to the byte budget.
+    pub(crate) fn get_or_compute<V: Clone + ArtifactBytes>(
+        &self,
+        stage: StageKind,
+        key: String,
+        select: impl Fn(&mut Maps) -> &mut StageMap<V>,
+        compute: impl FnOnce(&mut StageTimer) -> Result<V, ToolchainError>,
+    ) -> Result<V, ToolchainError> {
+        let hash = self.hash(&key);
+        {
+            let mut inner = self.inner.lock().unwrap();
+            let found = select(&mut inner.maps)
+                .find(hash, &key)
+                .map(|e| (e.id, e.value.clone()));
+            if let Some((id, v)) = found {
+                inner.touch(id);
+                self.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+                return Ok(v);
+            }
+        }
+        self.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
+        let mut timer = StageTimer::default();
+        let v = compute(&mut timer)?;
+        self.stage_ns[stage as usize].fetch_add(timer.ns, Ordering::Relaxed);
+
+        let mut inner = self.inner.lock().unwrap();
+        // A racing worker may have inserted while we computed; keep the
+        // resident copy (first insert wins, like the old exact-key cache).
+        if let Some((id, existing)) = select(&mut inner.maps)
+            .find(hash, &key)
+            .map(|e| (e.id, e.value.clone()))
+        {
+            inner.touch(id);
+            return Ok(existing);
+        }
+        let bytes = key.len() as u64 + v.artifact_bytes() + ENTRY_OVERHEAD;
+        if bytes > self.config.byte_budget {
+            // An artifact that can never fit is not retained at all —
+            // admitting it would flush every other resident entry for
+            // nothing. Counted as an eviction so the non-retention shows
+            // up in the stats.
+            drop(inner);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        select(&mut inner.maps).insert(
+            hash,
+            Entry {
+                key: key.into_boxed_str(),
+                value: v.clone(),
+                id,
+            },
+        );
+        inner.remember(Loc {
+            stage: stage as usize,
+            hash,
+            id,
+            bytes,
+        });
+        let mut evicted = 0u64;
+        while inner.resident_bytes > self.config.byte_budget && inner.evict_one() {
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        Ok(v)
+    }
+
+    pub(crate) fn parsed(maps: &mut Maps) -> &mut StageMap<Module> {
+        &mut maps.parsed
+    }
+
+    pub(crate) fn optimized(maps: &mut Maps) -> &mut StageMap<Module> {
+        &mut maps.optimized
+    }
+
+    pub(crate) fn profiles(maps: &mut Maps) -> &mut StageMap<Profile> {
+        &mut maps.profiles
+    }
+
+    pub(crate) fn compiled(maps: &mut Maps) -> &mut StageMap<CompiledProgram> {
+        &mut maps.compiled
+    }
+}
+
+/// Accumulates the nanoseconds a stage spends in its *own* work. Stage
+/// compute closures wrap their work in [`StageTimer::time`] and leave
+/// nested stage calls outside, so those record under their own stage.
+#[derive(Debug, Default)]
+pub(crate) struct StageTimer {
+    ns: u64,
+}
+
+impl StageTimer {
+    pub(crate) fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.ns = self
+            .ns
+            .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        out
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
+}
+
+/// `Debug` prints the stats snapshot, not megabytes of artifacts.
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("stats", &self.stats())
+            .field("budget", &self.config.byte_budget)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(src: &str) -> Module {
+        asip_tinyc::compile(src).unwrap()
+    }
+
+    fn store(cache: &ArtifactCache, key: &str, m: &Module) -> Result<Module, ToolchainError> {
+        cache.get_or_compute(
+            StageKind::Parse,
+            key.to_string(),
+            ArtifactCache::parsed,
+            |t| Ok(t.time(|| m.clone())),
+        )
+    }
+
+    #[test]
+    fn hit_returns_identical_artifact() {
+        let cache = ArtifactCache::with_budget(u64::MAX);
+        let m = module("void main(int a) { emit(a + 1); }");
+        let first = store(&cache, "k", &m).unwrap();
+        let second = store(&cache, "k", &m).unwrap();
+        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        let s = cache.stats();
+        assert_eq!(s.parse.hits, 1);
+        assert_eq!(s.parse.misses, 1);
+        assert_eq!(s.evictions, 0);
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn forced_collisions_never_alias() {
+        // hash_mask 0: every key lands in bucket 0; only the stored-key
+        // comparison separates artifacts.
+        let cache = ArtifactCache::with_config(CacheConfig {
+            byte_budget: u64::MAX,
+            hash_mask: 0,
+        });
+        let a = module("void main(int a) { emit(a + 1); }");
+        let b = module("void main(int a) { emit(a - 1); }");
+        store(&cache, "ka", &a).unwrap();
+        store(&cache, "kb", &b).unwrap();
+        let back_a = store(&cache, "ka", &a).unwrap();
+        let back_b = store(&cache, "kb", &b).unwrap();
+        assert_eq!(format!("{back_a:?}"), format!("{a:?}"));
+        assert_eq!(format!("{back_b:?}"), format!("{b:?}"));
+        let s = cache.stats();
+        assert_eq!(s.parse.misses, 2, "{s}");
+        assert_eq!(s.parse.hits, 2, "{s}");
+        assert_eq!(cache.len(), [2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_first() {
+        let m = module("void main(int a) { emit(a); }");
+        let bytes = m.artifact_bytes() + ENTRY_OVERHEAD + 2;
+        // Room for exactly two entries.
+        let cache = ArtifactCache::with_budget(2 * bytes);
+        store(&cache, "k1", &m).unwrap();
+        store(&cache, "k2", &m).unwrap();
+        assert_eq!(cache.stats().evictions, 0);
+        // Touch k1 so k2 is the LRU victim.
+        store(&cache, "k1", &m).unwrap();
+        store(&cache, "k3", &m).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1, "{s}");
+        assert!(s.resident_bytes <= cache.byte_budget(), "{s}");
+        // k1 survived (hit), k2 was evicted (miss again).
+        store(&cache, "k1", &m).unwrap();
+        store(&cache, "k2", &m).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.parse.hits, 2, "{s}");
+        assert_eq!(s.parse.misses, 4, "{s}");
+    }
+
+    #[test]
+    fn oversized_artifact_is_not_admitted_and_does_not_flush() {
+        let small = module("void main(int a) { emit(a); }");
+        let unit = small.artifact_bytes() + ENTRY_OVERHEAD + 2;
+        let cache = ArtifactCache::with_budget(3 * unit);
+        store(&cache, "k1", &small).unwrap();
+        store(&cache, "k2", &small).unwrap();
+        // Larger than the whole budget: returned to the caller but never
+        // retained, and the resident entries stay hot.
+        let big = module("int g[4096]; void main(int a) { emit(g[a]); }");
+        assert!(big.artifact_bytes() > cache.byte_budget());
+        let back = store(&cache, "big", &big).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{big:?}"));
+        assert_eq!(cache.stats().evictions, 1, "oversized counts as evicted");
+        store(&cache, "k1", &small).unwrap();
+        store(&cache, "k2", &small).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.parse.hits, 2, "small entries must survive: {s}");
+        // The oversized artifact recomputes (it was never resident).
+        store(&cache, "big", &big).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.parse.misses, 4, "{s}");
+        assert_eq!(s.evictions, 2, "{s}");
+        assert!(s.resident_bytes <= cache.byte_budget(), "{s}");
+    }
+
+    #[test]
+    fn zero_budget_disables_retention_but_stays_correct() {
+        let cache = ArtifactCache::with_budget(0);
+        let m = module("void main(int a) { emit(a * 2); }");
+        for _ in 0..3 {
+            let back = store(&cache, "k", &m).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{m:?}"));
+        }
+        let s = cache.stats();
+        assert_eq!(s.parse.hits, 0, "{s}");
+        assert_eq!(s.parse.misses, 3, "{s}");
+        assert_eq!(s.evictions, 3, "{s}");
+        assert!(cache.is_empty());
+        assert_eq!(s.resident_bytes, 0, "{s}");
+    }
+
+    #[test]
+    fn clear_resets_budget_accounting() {
+        let cache = ArtifactCache::with_budget(u64::MAX);
+        let m = module("void main(int a) { emit(a); }");
+        store(&cache, "k", &m).unwrap();
+        assert!(cache.resident_bytes() > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

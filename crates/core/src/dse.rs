@@ -3,15 +3,29 @@
 //! Given one application (or a whole application area — §6.1's preferred
 //! unit), explore the family's parameter space by compiling and simulating
 //! every candidate, then report evaluated design points and the
-//! area/performance Pareto frontier. This is the machinery reference [2] of
+//! area/performance Pareto frontier. This is the machinery reference \[2\] of
 //! the paper (Fisher/Faraboschi/Desoli, MICRO-29) built commercially and
 //! the talk presumes.
+//!
+//! Every candidate evaluation flows through [`Session::eval_batch`]: one
+//! [`crate::session::EvalRequest`] per (design point ×
+//! workload) cell, executed on the session's worker pool — exploration is
+//! parallel for free, and results are request-ordered, so an exploration is
+//! byte-identical whether the session runs one thread or many.
+//!
+//! When a design point carries an ISE budget, each workload's custom
+//! operations are selected independently from the base machine (selection
+//! depends only on the workload's profiled dataflow), and the design
+//! point's machine accumulates every workload's selected ops in workload
+//! order — the silicon must host them all, so area and cycle time are
+//! priced on the union.
 
-use crate::ise::{extend, IseConfig};
-use crate::pipeline::Toolchain;
+use crate::pipeline::ToolchainError;
+use crate::session::{EvalOutcome, EvalRequest, Session};
 use asip_isa::hwmodel::{area, cycle_time, energy};
-use asip_isa::{FuKind, MachineDescription};
+use asip_isa::MachineDescription;
 use asip_workloads::Workload;
+use std::fmt;
 
 /// Deterministic seeded Fisher–Yates shuffle (SplitMix64 stream), so sampled
 /// exploration is reproducible without an external RNG dependency.
@@ -90,6 +104,17 @@ impl SearchSpace {
         }
         out
     }
+
+    /// Every (machine, ISE budget) design-point candidate, in grid order.
+    pub fn points(&self) -> Vec<(MachineDescription, f64)> {
+        let mut out = Vec::new();
+        for m in self.machines() {
+            for &b in &self.ise_budgets {
+                out.push((m.clone(), b));
+            }
+        }
+        out
+    }
 }
 
 /// One evaluated design point.
@@ -118,14 +143,19 @@ impl DesignPoint {
     }
 }
 
-/// Exploration failures (a point that fails to compile/run is skipped and
-/// reported).
+/// A design point that failed to compile or run, with the typed cause.
 #[derive(Debug, Clone)]
 pub struct SkippedPoint {
     /// Machine name.
     pub machine: String,
-    /// Why it was skipped.
-    pub reason: String,
+    /// The first failing cell's error.
+    pub error: ToolchainError,
+}
+
+impl fmt::Display for SkippedPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.machine, self.error)
+    }
 }
 
 /// Exploration outcome.
@@ -168,47 +198,32 @@ impl Exploration {
     }
 }
 
-/// Evaluate one machine (with optional ISE customization) on a workload set.
-///
-/// # Errors
-///
-/// A string describing the first failing stage.
-pub fn evaluate(
-    tc: &Toolchain,
+/// Fold one design point's per-workload outcomes (request-ordered) into a
+/// [`DesignPoint`]; the first failing cell aborts the point.
+fn reduce_point(
     base: &MachineDescription,
     workloads: &[Workload],
+    outcomes: &[EvalOutcome],
     ise_budget: f64,
-) -> Result<DesignPoint, String> {
+) -> Result<DesignPoint, ToolchainError> {
     let mut log_cycles = 0.0f64;
     let mut total_energy = 0.0f64;
-    let mut per = Vec::with_capacity(workloads.len());
+    let mut per = Vec::with_capacity(outcomes.len());
     let mut machine_used = base.clone();
 
-    for w in workloads {
-        let mut module = tc.frontend(&w.source).map_err(|e| e.to_string())?;
-        let profile = tc
-            .profile(&module, &w.inputs, &w.args)
-            .map_err(|e| e.to_string())?;
-        let machine = if ise_budget > 0.0 && base.has_fu(FuKind::Custom) {
-            let cfg = IseConfig {
-                area_budget: ise_budget,
-                ..Default::default()
-            };
-            let (m2, _report) = extend(&mut module, &machine_used, &profile, &cfg);
-            m2
-        } else {
-            machine_used.clone()
-        };
-        let compiled = tc
-            .compile(&module, &machine, Some(&profile))
-            .map_err(|e| e.to_string())?;
-        let run = tc
-            .run_compiled(w, &machine, &compiled)
-            .map_err(|e| e.to_string())?;
-        log_cycles += (run.sim.cycles.max(1) as f64).ln();
-        total_energy += energy(&machine, &run.sim.activity).total_nj();
-        per.push(run.sim.cycles);
-        machine_used = machine; // accumulate custom ops across the area's apps
+    for o in outcomes {
+        let run = o.result.as_ref().map_err(Clone::clone)?;
+        log_cycles += (run.run.sim.cycles.max(1) as f64).ln();
+        total_energy += energy(&run.machine, &run.run.sim.activity).total_nj();
+        per.push(run.run.sim.cycles);
+        // Accumulate this workload's newly selected custom ops onto the
+        // design point's machine: the fabricated part hosts the union, so
+        // an op two workloads both selected occupies silicon once.
+        for def in run.machine.custom_ops.iter().skip(base.custom_ops.len()) {
+            if !machine_used.custom_ops.contains(def) {
+                machine_used.custom_ops.push(def.clone());
+            }
+        }
     }
 
     let gm_cycles = (log_cycles / workloads.len().max(1) as f64).exp();
@@ -224,50 +239,76 @@ pub fn evaluate(
     })
 }
 
-/// Exhaustively evaluate the whole grid.
-pub fn explore(tc: &Toolchain, space: &SearchSpace, workloads: &[Workload]) -> Exploration {
+/// Evaluate one machine (with optional ISE customization) on a workload
+/// set; the per-workload cells run as one batch on the session's pool.
+///
+/// # Errors
+///
+/// The first failing cell's [`ToolchainError`].
+pub fn evaluate(
+    session: &Session,
+    base: &MachineDescription,
+    workloads: &[Workload],
+    ise_budget: f64,
+) -> Result<DesignPoint, ToolchainError> {
+    let reqs: Vec<EvalRequest> = workloads
+        .iter()
+        .map(|w| EvalRequest::new(w.clone(), base.clone()).with_ise(ise_budget))
+        .collect();
+    let outcomes = session.eval_batch(&reqs);
+    reduce_point(base, workloads, &outcomes, ise_budget)
+}
+
+/// Evaluate an explicit list of design points: every (point × workload)
+/// cell becomes one request in a single [`Session::eval_batch`] call.
+pub fn explore_points(
+    session: &Session,
+    points: &[(MachineDescription, f64)],
+    workloads: &[Workload],
+) -> Exploration {
     let mut out = Exploration::default();
-    for m in space.machines() {
-        for &budget in &space.ise_budgets {
-            match evaluate(tc, &m, workloads, budget) {
-                Ok(p) => out.points.push(p),
-                Err(reason) => out.skipped.push(SkippedPoint {
-                    machine: m.name.clone(),
-                    reason,
-                }),
-            }
+    if workloads.is_empty() || points.is_empty() {
+        return out;
+    }
+    let reqs: Vec<EvalRequest> = points
+        .iter()
+        .flat_map(|(m, b)| {
+            workloads
+                .iter()
+                .map(move |w| EvalRequest::new(w.clone(), m.clone()).with_ise(*b))
+        })
+        .collect();
+    let outcomes = session.eval_batch(&reqs);
+    for ((m, b), chunk) in points.iter().zip(outcomes.chunks(workloads.len())) {
+        match reduce_point(m, workloads, chunk, *b) {
+            Ok(p) => out.points.push(p),
+            Err(error) => out.skipped.push(SkippedPoint {
+                machine: m.name.clone(),
+                error,
+            }),
         }
     }
     out
 }
 
-/// Randomly sample `n` points of the grid (for large spaces).
+/// Exhaustively evaluate the whole grid through [`Session::eval_batch`].
+pub fn explore(session: &Session, space: &SearchSpace, workloads: &[Workload]) -> Exploration {
+    explore_points(session, &space.points(), workloads)
+}
+
+/// Randomly sample `n` points of the grid (for large spaces); the sampled
+/// points still evaluate as one batch.
 pub fn explore_sampled(
-    tc: &Toolchain,
+    session: &Session,
     space: &SearchSpace,
     workloads: &[Workload],
     n: usize,
     seed: u64,
 ) -> Exploration {
-    let mut grid: Vec<(MachineDescription, f64)> = Vec::new();
-    for m in space.machines() {
-        for &b in &space.ise_budgets {
-            grid.push((m.clone(), b));
-        }
-    }
+    let mut grid = space.points();
     seeded_shuffle(&mut grid, seed);
     grid.truncate(n);
-    let mut out = Exploration::default();
-    for (m, budget) in grid {
-        match evaluate(tc, &m, workloads, budget) {
-            Ok(p) => out.points.push(p),
-            Err(reason) => out.skipped.push(SkippedPoint {
-                machine: m.name.clone(),
-                reason,
-            }),
-        }
-    }
-    out
+    explore_points(session, &grid, workloads)
 }
 
 #[cfg(test)]
@@ -276,9 +317,9 @@ mod tests {
 
     #[test]
     fn tiny_space_explores_and_orders() {
-        let tc = Toolchain::default();
+        let session = Session::builder().build();
         let ws = vec![asip_workloads::by_name("autocorr").unwrap()];
-        let ex = explore(&tc, &SearchSpace::tiny(), &ws);
+        let ex = explore(&session, &SearchSpace::tiny(), &ws);
         assert!(ex.points.len() >= 2, "skipped: {:?}", ex.skipped);
         let fast = ex.fastest().unwrap();
         // The 4-issue machine should beat the 1-issue machine on cycles.
@@ -303,9 +344,9 @@ mod tests {
 
     #[test]
     fn pareto_frontier_is_monotone() {
-        let tc = Toolchain::default();
+        let session = Session::builder().build();
         let ws = vec![asip_workloads::by_name("crc32").unwrap()];
-        let ex = explore(&tc, &SearchSpace::tiny(), &ws);
+        let ex = explore(&session, &SearchSpace::tiny(), &ws);
         let frontier = ex.pareto();
         assert!(!frontier.is_empty());
         for pair in frontier.windows(2) {
@@ -319,12 +360,24 @@ mod tests {
 
     #[test]
     fn sampled_exploration_is_deterministic() {
-        let tc = Toolchain::default();
+        let session = Session::builder().build();
         let ws = vec![asip_workloads::by_name("rle").unwrap()];
-        let a = explore_sampled(&tc, &SearchSpace::tiny(), &ws, 2, 7);
-        let b = explore_sampled(&tc, &SearchSpace::tiny(), &ws, 2, 7);
+        let a = explore_sampled(&session, &SearchSpace::tiny(), &ws, 2, 7);
+        let b = explore_sampled(&session, &SearchSpace::tiny(), &ws, 2, 7);
         let names_a: Vec<&str> = a.points.iter().map(|p| p.machine.name.as_str()).collect();
         let names_b: Vec<&str> = b.points.iter().map(|p| p.machine.name.as_str()).collect();
         assert_eq!(names_a, names_b);
+    }
+
+    #[test]
+    fn evaluate_batches_per_workload_cells() {
+        let session = Session::builder().threads(4).build();
+        let ws: Vec<Workload> = ["fir", "crc32"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect();
+        let p = evaluate(&session, &MachineDescription::ember4(), &ws, 0.0).unwrap();
+        assert_eq!(p.per_workload_cycles.len(), 2);
+        assert!(p.area_mm2 > 0.0 && p.time_ns > 0.0);
     }
 }

@@ -194,6 +194,25 @@ pub fn extend(
     (new_machine, report)
 }
 
+/// Measure a ladder of ISE area budgets for one workload on one base
+/// machine: one golden-checked evaluation per budget, submitted as a single
+/// [`Session::eval_batch`](crate::session::Session::eval_batch) — the
+/// search runs on the session's worker pool. Outcomes come back in budget
+/// order; each carries the extended machine and selection report (see
+/// [`EvalRun`](crate::session::EvalRun)).
+pub fn sweep_budgets(
+    session: &crate::session::Session,
+    workload: &asip_workloads::Workload,
+    machine: &MachineDescription,
+    budgets: &[f64],
+) -> Vec<crate::session::EvalOutcome> {
+    let reqs: Vec<crate::session::EvalRequest> = budgets
+        .iter()
+        .map(|&b| crate::session::EvalRequest::new(workload.clone(), machine.clone()).with_ise(b))
+        .collect();
+    session.eval_batch(&reqs)
+}
+
 /// Whether an instruction can be a custom-datapath node.
 fn node_op(inst: &Inst) -> Option<(Opcode, Vec<Val>)> {
     match inst {
@@ -733,6 +752,25 @@ mod tests {
             counts[0] <= counts[2],
             "selection must grow with budget: {counts:?}"
         );
+    }
+
+    #[test]
+    fn budget_sweep_runs_batched_and_ordered() {
+        let session = crate::session::Session::builder().threads(4).build();
+        let w = asip_workloads::by_name("yuv2rgb").unwrap();
+        let machine = MachineDescription::ember1();
+        let budgets = [0.0, 16.0, 64.0];
+        let out = sweep_budgets(&session, &w, &machine, &budgets);
+        assert_eq!(out.len(), budgets.len());
+        let base = out[0].cycles().expect("budget 0 runs");
+        let at_max = out[2].cycles().expect("budget 64 runs");
+        assert!(
+            at_max <= base,
+            "custom ops must not slow the 1-issue machine: {at_max} vs {base}"
+        );
+        assert!(out[0].result.as_ref().unwrap().ise.is_none());
+        let at64 = out[2].result.as_ref().unwrap();
+        assert!(at64.ise.as_ref().is_some_and(|r| !r.selected.is_empty()));
     }
 
     #[test]

@@ -7,19 +7,18 @@
 //! fails the whole grid, which is what keeps "mass customization"
 //! trustworthy.
 //!
-//! Cells execute **in parallel** on scoped worker threads
-//! ([`run_grid_threaded`]); because every worker shares the toolchain's
-//! [`ArtifactCache`](crate::pipeline::ArtifactCache), each workload's
+//! The grid is a thin layer over [`Session::eval_batch`]: cells execute in
+//! parallel on the session's worker pool, share the session's
+//! [`ArtifactCache`](crate::cache::ArtifactCache) (each workload's
 //! parse/optimize/profile half runs once no matter how many machines cross
-//! it, and each (machine, workload) compile runs once no matter how often
-//! the grid is re-run.
+//! it), and report through the typed
+//! [`ToolchainError`](crate::pipeline::ToolchainError).
 
-use crate::pipeline::Toolchain;
+use crate::session::{EvalRequest, Session};
 use asip_isa::MachineDescription;
 use asip_workloads::Workload;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// One cell of the grid.
 #[derive(Debug, Clone)]
@@ -28,12 +27,18 @@ pub struct Cell {
     pub machine: String,
     /// Workload name.
     pub workload: String,
-    /// `Ok(cycles)` or the failure description.
-    pub outcome: Result<u64, String>,
+    /// `Ok(cycles)` or the typed failure.
+    pub outcome: Result<u64, crate::pipeline::ToolchainError>,
 }
 
 /// The completed grid.
-#[derive(Debug, Clone, Default)]
+///
+/// Cells are stored row-major (machine-major) and indexed by name maps, so
+/// [`Grid::cell`] and [`Grid::cycles`] are O(1). Grids are assembled
+/// through [`Grid::from_cells`] (which builds the index); cell outcomes may
+/// be mutated in place, but the machine/workload layout is fixed at
+/// construction.
+#[derive(Debug, Clone)]
 pub struct Grid {
     /// Machine names (rows).
     pub machines: Vec<String>,
@@ -43,9 +48,44 @@ pub struct Grid {
     pub cells: Vec<Cell>,
     /// Number of worker threads the run used.
     pub parallelism: usize,
+    machine_index: HashMap<String, usize>,
+    workload_index: HashMap<String, usize>,
 }
 
 impl Grid {
+    /// Assemble a grid from row-major `cells`, building the O(1) name
+    /// index. `cells.len()` must be `machines.len() × workloads.len()`.
+    pub fn from_cells(
+        machines: Vec<String>,
+        workloads: Vec<String>,
+        cells: Vec<Cell>,
+        parallelism: usize,
+    ) -> Grid {
+        assert_eq!(
+            cells.len(),
+            machines.len() * workloads.len(),
+            "grid cells must be a full row-major cross product"
+        );
+        let machine_index = machines
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), i))
+            .collect();
+        let workload_index = workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i))
+            .collect();
+        Grid {
+            machines,
+            workloads,
+            cells,
+            parallelism,
+            machine_index,
+            workload_index,
+        }
+    }
+
     /// Whether every cell passed.
     pub fn all_pass(&self) -> bool {
         self.cells.iter().all(|c| c.outcome.is_ok())
@@ -56,11 +96,16 @@ impl Grid {
         self.cells.iter().filter(|c| c.outcome.is_err()).count()
     }
 
-    /// Cycles for a (machine, workload) pair, if it passed.
+    /// The full outcome for a (machine, workload) pair, in O(1).
+    pub fn cell(&self, machine: &str, workload: &str) -> Option<&Cell> {
+        let row = *self.machine_index.get(machine)?;
+        let col = *self.workload_index.get(workload)?;
+        self.cells.get(row * self.workloads.len() + col)
+    }
+
+    /// Cycles for a (machine, workload) pair, if it passed. O(1).
     pub fn cycles(&self, machine: &str, workload: &str) -> Option<u64> {
-        self.cells
-            .iter()
-            .find(|c| c.machine == machine && c.workload == workload)
+        self.cell(machine, workload)
             .and_then(|c| c.outcome.as_ref().ok().copied())
     }
 }
@@ -75,11 +120,7 @@ impl fmt::Display for Grid {
         for m in &self.machines {
             write!(f, "{m:<14}")?;
             for w in &self.workloads {
-                let cell = self
-                    .cells
-                    .iter()
-                    .find(|c| &c.machine == m && &c.workload == w);
-                match cell.map(|c| &c.outcome) {
+                match self.cell(m, w).map(|c| &c.outcome) {
                     Some(Ok(cycles)) => write!(f, "{cycles:>10}")?,
                     Some(Err(_)) => write!(f, "{:>10}", "FAIL")?,
                     None => write!(f, "{:>10}", "-")?,
@@ -96,91 +137,62 @@ impl fmt::Display for Grid {
     }
 }
 
-/// Default worker count: the `ASIP_GRID_THREADS` environment variable if
-/// set (and a positive integer), else one per available hardware thread.
+/// Default worker count (see [`crate::session::default_threads`]).
+#[deprecated(note = "use asip_core::session::default_threads")]
 pub fn default_parallelism() -> usize {
-    if let Some(n) = std::env::var("ASIP_GRID_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        if n > 0 {
-            return n;
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    crate::session::default_threads()
 }
 
-/// Run the full grid with [`default_parallelism`] workers.
-pub fn run_grid(tc: &Toolchain, machines: &[MachineDescription], workloads: &[Workload]) -> Grid {
-    run_grid_threaded(tc, machines, workloads, default_parallelism())
+/// Run the full grid on the session's worker pool.
+pub fn run_grid(
+    session: &Session,
+    machines: &[MachineDescription],
+    workloads: &[Workload],
+) -> Grid {
+    let reqs = EvalRequest::grid(machines, workloads);
+    let n = reqs.len();
+    let outcomes = session.eval_batch(&reqs);
+    let cells = outcomes
+        .into_iter()
+        .map(|o| Cell {
+            machine: o.machine,
+            workload: o.workload,
+            outcome: o.result.map(|r| r.run.sim.cycles),
+        })
+        .collect();
+    Grid::from_cells(
+        machines.iter().map(|m| m.name.clone()).collect(),
+        workloads.iter().map(|w| w.name.clone()).collect(),
+        cells,
+        session.threads().min(n).max(1),
+    )
 }
 
-/// Run the full grid on `threads` scoped worker threads (clamped to the
-/// cell count; `0` behaves as `1`). Workers pull cells from a shared
-/// cursor, so long rows never leave threads idle, and the row-major cell
-/// order of the result is deterministic regardless of scheduling.
+/// Run the full grid on `threads` workers (clamped to the cell count; `0`
+/// behaves as `1`), sharing the session's cache.
 pub fn run_grid_threaded(
-    tc: &Toolchain,
+    session: &Session,
     machines: &[MachineDescription],
     workloads: &[Workload],
     threads: usize,
 ) -> Grid {
-    let n = machines.len() * workloads.len();
-    let threads = threads.max(1).min(n.max(1));
-    let slots: Mutex<Vec<Option<Cell>>> = Mutex::new(vec![None; n]);
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let m = &machines[i / workloads.len()];
-                let w = &workloads[i % workloads.len()];
-                let outcome = tc
-                    .run_workload(w, m)
-                    .map(|r| r.sim.cycles)
-                    .map_err(|e| e.to_string());
-                let cell = Cell {
-                    machine: m.name.clone(),
-                    workload: w.name.clone(),
-                    outcome,
-                };
-                slots.lock().unwrap()[i] = Some(cell);
-            });
-        }
-    });
-
-    Grid {
-        machines: machines.iter().map(|m| m.name.clone()).collect(),
-        workloads: workloads.iter().map(|w| w.name.clone()).collect(),
-        cells: slots
-            .into_inner()
-            .unwrap()
-            .into_iter()
-            .map(|c| c.expect("every grid cell is filled by a worker"))
-            .collect(),
-        parallelism: threads,
-    }
+    run_grid(&session.with_threads(threads), machines, workloads)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::ToolchainError;
 
     #[test]
     fn small_grid_passes() {
-        let tc = Toolchain::default();
+        let session = Session::builder().build();
         let machines = vec![MachineDescription::ember1(), MachineDescription::ember4()];
         let workloads: Vec<Workload> = ["crc32", "sobel"]
             .iter()
             .map(|n| asip_workloads::by_name(n).unwrap())
             .collect();
-        let grid = run_grid(&tc, &machines, &workloads);
+        let grid = run_grid(&session, &machines, &workloads);
         assert!(grid.all_pass(), "\n{grid}");
         assert_eq!(grid.cells.len(), 4);
         // Wider machine at least as fast on every kernel.
@@ -189,11 +201,17 @@ mod tests {
             let c4 = grid.cycles("ember4", w).unwrap();
             assert!(c4 <= c1, "{w}: ember4 {c4} vs ember1 {c1}");
         }
+        // The O(1) index agrees with the row-major layout.
+        let cell = grid.cell("ember4", "sobel").unwrap();
+        assert_eq!(cell.machine, "ember4");
+        assert_eq!(cell.workload, "sobel");
+        assert!(grid.cell("nope", "sobel").is_none());
+        assert!(grid.cell("ember4", "nope").is_none());
     }
 
     #[test]
     fn parallel_grid_matches_serial_grid() {
-        let tc = Toolchain::default();
+        let session = Session::builder().build();
         let machines = vec![
             MachineDescription::ember1(),
             MachineDescription::ember2(),
@@ -203,8 +221,8 @@ mod tests {
             .iter()
             .map(|n| asip_workloads::by_name(n).unwrap())
             .collect();
-        let serial = run_grid_threaded(&tc.fresh_cache(), &machines, &workloads, 1);
-        let parallel = run_grid_threaded(&tc.fresh_cache(), &machines, &workloads, 4);
+        let serial = run_grid_threaded(&session.fresh_cache(), &machines, &workloads, 1);
+        let parallel = run_grid_threaded(&session.fresh_cache(), &machines, &workloads, 4);
         assert_eq!(serial.parallelism, 1);
         assert_eq!(parallel.parallelism, 4);
         assert!(serial.all_pass() && parallel.all_pass());
@@ -217,7 +235,7 @@ mod tests {
 
     #[test]
     fn grid_shares_front_half_across_machines() {
-        let tc = Toolchain::default().fresh_cache();
+        let session = Session::builder().build().fresh_cache();
         let machines = vec![
             MachineDescription::ember1(),
             MachineDescription::ember2(),
@@ -225,9 +243,9 @@ mod tests {
         ];
         let workloads = vec![asip_workloads::by_name("median").unwrap()];
         // Serial first pass for deterministic counters.
-        let grid = run_grid_threaded(&tc, &machines, &workloads, 1);
+        let grid = run_grid_threaded(&session, &machines, &workloads, 1);
         assert!(grid.all_pass(), "\n{grid}");
-        let stats = tc.cache_stats();
+        let stats = session.cache_stats();
         // One workload, three machines: parse/optimize/profile computed for
         // the first cell only; the other two cells reuse the front half.
         assert_eq!(stats.optimize.misses, 1, "{stats}");
@@ -238,25 +256,21 @@ mod tests {
         assert_eq!(stats.compile.hits, 0, "{stats}");
         // Re-running the identical grid in parallel is all cache hits —
         // no stage recomputes, only simulation runs.
-        let again = run_grid(&tc, &machines, &workloads);
+        let again = run_grid(&session, &machines, &workloads);
         assert!(again.all_pass());
-        let warm = tc.cache_stats();
+        let warm = session.cache_stats();
         assert_eq!(warm.misses(), stats.misses(), "no new work on re-run");
         assert_eq!(warm.compile.hits, 3, "{warm}");
     }
 
     #[test]
     fn display_marks_failures() {
-        let mut grid = Grid {
-            machines: vec!["m".into()],
-            workloads: vec!["w".into()],
-            cells: vec![Cell {
-                machine: "m".into(),
-                workload: "w".into(),
-                outcome: Err("boom".into()),
-            }],
-            parallelism: 1,
+        let fail = Cell {
+            machine: "m".into(),
+            workload: "w".into(),
+            outcome: Err(ToolchainError::Sim(asip_sim::SimError::CycleLimit)),
         };
+        let mut grid = Grid::from_cells(vec!["m".into()], vec!["w".into()], vec![fail], 1);
         assert!(!grid.all_pass());
         let s = grid.to_string();
         assert!(s.contains("FAIL"));

@@ -1,9 +1,12 @@
 //! The end-to-end toolchain pipeline: TinyC → IR → optimization → profile →
 //! backend → simulation, with golden-model checking.
 //!
-//! This is the "single family view" the paper's §3.1 promises programmers:
-//! one `Toolchain` object compiles and runs any workload on any family
-//! member, with identical semantics everywhere.
+//! This is the engine under the "single family view" the paper's §3.1
+//! promises programmers. Most callers should hold a configured
+//! [`Session`](crate::session::Session) (built with
+//! [`Session::builder`](crate::session::Session::builder)) and submit
+//! [`EvalRequest`](crate::session::EvalRequest) batches; the `Toolchain`
+//! here is the per-stage engine those sessions drive.
 //!
 //! # The stage graph
 //!
@@ -25,11 +28,13 @@
 //! front halves: evaluating M machines against one workload parses,
 //! optimizes and profiles it once.
 //!
-//! Cache keys are the full rendered artifact inputs (not hashes), so a hit
-//! can never silently collide; [`Toolchain::cache_stats`] exposes per-stage
-//! hit/miss counters and [`Toolchain::stage_times`] cumulative per-stage
-//! execution time.
+//! Cache keys are hashes of the full rendered artifact inputs with a
+//! stored-key collision check, so a hit can never silently collide, and the
+//! cache is bounded by an LRU byte budget (see [`crate::cache`]).
+//! [`Toolchain::cache_stats`] exposes per-stage hit/miss/eviction counters
+//! and [`Toolchain::stage_times`] cumulative per-stage execution time.
 
+pub use crate::cache::{ArtifactCache, CacheConfig, CacheStats, StageKind, StageStats, StageTimes};
 use asip_backend::{compile_module, BackendOptions, BackendStats, CompiledProgram};
 use asip_ir::interp::{Interp, InterpOptions, Profile};
 use asip_ir::passes::{optimize, OptConfig};
@@ -37,14 +42,16 @@ use asip_ir::Module;
 use asip_isa::MachineDescription;
 use asip_sim::{SimOptions, SimResult, Simulator};
 use asip_workloads::Workload;
-use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Toolchain failure at any stage.
-#[derive(Debug)]
+///
+/// This is the single error currency of the whole driver layer: grid cells,
+/// DSE design points and batch evaluations all report through it (not
+/// stringly `Result<_, String>` shapes).
+#[derive(Debug, Clone, PartialEq)]
 pub enum ToolchainError {
     /// Frontend error.
     Frontend(asip_tinyc::CompileError),
@@ -109,264 +116,6 @@ impl From<asip_sim::SimError> for ToolchainError {
     }
 }
 
-/// The stages of the pipeline graph, in execution order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum StageKind {
-    /// TinyC source → unoptimized IR module.
-    Parse = 0,
-    /// IR module → optimized IR module (under an [`OptConfig`]).
-    Optimize = 1,
-    /// Optimized module + inputs → block-frequency [`Profile`].
-    Profile = 2,
-    /// Module + machine (+ profile) → [`CompiledProgram`].
-    Compile = 3,
-    /// Compiled program + machine → [`SimResult`], golden-checked.
-    Simulate = 4,
-}
-
-impl StageKind {
-    /// Every stage, in pipeline order.
-    pub const ALL: [StageKind; 5] = [
-        StageKind::Parse,
-        StageKind::Optimize,
-        StageKind::Profile,
-        StageKind::Compile,
-        StageKind::Simulate,
-    ];
-
-    /// Short human-readable name.
-    pub fn name(self) -> &'static str {
-        match self {
-            StageKind::Parse => "parse",
-            StageKind::Optimize => "optimize",
-            StageKind::Profile => "profile",
-            StageKind::Compile => "compile",
-            StageKind::Simulate => "simulate",
-        }
-    }
-}
-
-impl fmt::Display for StageKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-/// Hit/miss counters for one cacheable stage.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageStats {
-    /// Artifact served from the cache.
-    pub hits: u64,
-    /// Artifact computed (and inserted).
-    pub misses: u64,
-}
-
-/// Snapshot of per-stage cache behavior (see [`Toolchain::cache_stats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Source → unoptimized module.
-    pub parse: StageStats,
-    /// (source, opt config) → optimized module.
-    pub optimize: StageStats,
-    /// (module, inputs, args) → profile.
-    pub profile: StageStats,
-    /// (module, machine, backend, profile) → compiled program.
-    pub compile: StageStats,
-}
-
-impl CacheStats {
-    /// Total hits across all stages.
-    pub fn hits(&self) -> u64 {
-        self.parse.hits + self.optimize.hits + self.profile.hits + self.compile.hits
-    }
-
-    /// Total misses across all stages.
-    pub fn misses(&self) -> u64 {
-        self.parse.misses + self.optimize.misses + self.profile.misses + self.compile.misses
-    }
-}
-
-impl fmt::Display for CacheStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "parse {}/{} optimize {}/{} profile {}/{} compile {}/{} (hits/misses)",
-            self.parse.hits,
-            self.parse.misses,
-            self.optimize.hits,
-            self.optimize.misses,
-            self.profile.hits,
-            self.profile.misses,
-            self.compile.hits,
-            self.compile.misses,
-        )
-    }
-}
-
-/// Cumulative wall-clock nanoseconds spent *executing* each stage (cache
-/// hits cost nothing here).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StageTimes {
-    /// Per stage, indexed by `StageKind as usize`.
-    pub ns: [u64; 5],
-}
-
-impl StageTimes {
-    /// Nanoseconds spent in `stage`.
-    pub fn get(&self, stage: StageKind) -> u64 {
-        self.ns[stage as usize]
-    }
-}
-
-#[derive(Debug, Default)]
-struct Maps {
-    parsed: HashMap<String, Module>,
-    optimized: HashMap<String, Module>,
-    profiles: HashMap<String, Profile>,
-    compiled: HashMap<String, CompiledProgram>,
-}
-
-/// Memoized intermediate artifacts, shared by every clone of a
-/// [`Toolchain`] (clones share one cache via `Arc`).
-///
-/// Keys are the complete rendered inputs of each stage, so hits are exact —
-/// two different inputs can never alias. Computation happens outside the
-/// lock: concurrent grid cells never serialize on each other's compiles
-/// (at worst a race computes the same artifact twice and one copy wins).
-pub struct ArtifactCache {
-    maps: Mutex<Maps>,
-    hits: [AtomicU64; 4],
-    misses: [AtomicU64; 4],
-    stage_ns: [AtomicU64; 5],
-}
-
-impl ArtifactCache {
-    /// A new, empty cache.
-    pub fn new() -> ArtifactCache {
-        ArtifactCache {
-            maps: Mutex::new(Maps::default()),
-            hits: Default::default(),
-            misses: Default::default(),
-            stage_ns: Default::default(),
-        }
-    }
-
-    /// Per-stage hit/miss snapshot.
-    pub fn stats(&self) -> CacheStats {
-        let s = |i: usize| StageStats {
-            hits: self.hits[i].load(Ordering::Relaxed),
-            misses: self.misses[i].load(Ordering::Relaxed),
-        };
-        CacheStats {
-            parse: s(0),
-            optimize: s(1),
-            profile: s(2),
-            compile: s(3),
-        }
-    }
-
-    /// Cumulative per-stage execution time snapshot.
-    pub fn stage_times(&self) -> StageTimes {
-        let mut ns = [0u64; 5];
-        for (i, slot) in ns.iter_mut().enumerate() {
-            *slot = self.stage_ns[i].load(Ordering::Relaxed);
-        }
-        StageTimes { ns }
-    }
-
-    /// Drop all cached artifacts and reset counters.
-    pub fn clear(&self) {
-        let mut maps = self.maps.lock().unwrap();
-        *maps = Maps::default();
-        for c in self.hits.iter().chain(&self.misses).chain(&self.stage_ns) {
-            c.store(0, Ordering::Relaxed);
-        }
-    }
-
-    /// Number of artifacts currently held, per cacheable stage.
-    pub fn len(&self) -> [usize; 4] {
-        let maps = self.maps.lock().unwrap();
-        [
-            maps.parsed.len(),
-            maps.optimized.len(),
-            maps.profiles.len(),
-            maps.compiled.len(),
-        ]
-    }
-
-    /// Whether the cache holds no artifacts at all.
-    pub fn is_empty(&self) -> bool {
-        self.len().iter().all(|&n| n == 0)
-    }
-
-    fn record_time(&self, stage: StageKind, start: Instant) {
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
-    }
-
-    /// Look up `key` in the map chosen by `select`, computing and inserting
-    /// on miss. `compute` runs outside the lock and times only this stage's
-    /// own work (nested stage calls inside `compute` — e.g. Optimize
-    /// invoking Parse — record under their own [`StageKind`], so
-    /// [`StageTimes`] entries add up instead of double-counting).
-    fn get_or_compute<V: Clone>(
-        &self,
-        stage: StageKind,
-        key: String,
-        select: impl Fn(&mut Maps) -> &mut HashMap<String, V>,
-        compute: impl FnOnce(&mut StageTimer) -> Result<V, ToolchainError>,
-    ) -> Result<V, ToolchainError> {
-        {
-            let mut maps = self.maps.lock().unwrap();
-            if let Some(v) = select(&mut maps).get(&key) {
-                self.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
-                return Ok(v.clone());
-            }
-        }
-        self.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
-        let mut timer = StageTimer::default();
-        let v = compute(&mut timer)?;
-        self.stage_ns[stage as usize].fetch_add(timer.ns, Ordering::Relaxed);
-        let mut maps = self.maps.lock().unwrap();
-        Ok(select(&mut maps).entry(key).or_insert(v).clone())
-    }
-}
-
-/// Accumulates the nanoseconds a stage spends in its *own* work. Stage
-/// compute closures wrap their work in [`StageTimer::time`] and leave
-/// nested stage calls outside, so those record under their own stage.
-#[derive(Debug, Default)]
-struct StageTimer {
-    ns: u64,
-}
-
-impl StageTimer {
-    fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        self.ns = self
-            .ns
-            .saturating_add(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        out
-    }
-}
-
-impl Default for ArtifactCache {
-    fn default() -> Self {
-        ArtifactCache::new()
-    }
-}
-
-/// `Debug` prints the stats snapshot, not megabytes of artifacts.
-impl fmt::Debug for ArtifactCache {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("ArtifactCache")
-            .field("stats", &self.stats())
-            .field("len", &self.len())
-            .finish()
-    }
-}
-
 /// Stable fingerprint of an optional profile: entries sorted by function id
 /// (the underlying `HashMap`'s debug order is not deterministic).
 fn profile_key(profile: Option<&Profile>) -> String {
@@ -380,10 +129,12 @@ fn profile_key(profile: Option<&Profile>) -> String {
     }
 }
 
-/// The configured toolchain.
+/// The configured toolchain engine.
 ///
 /// Cloning is cheap and shares the [`ArtifactCache`]; use
-/// [`Toolchain::fresh_cache`] for an isolated one.
+/// [`Toolchain::fresh_cache`] for an isolated one, or
+/// [`Toolchain::with_cache`] to attach a specific cache (that is how
+/// [`Session`](crate::session::Session) wires a budgeted cache in).
 #[derive(Debug, Clone)]
 pub struct Toolchain {
     /// Optimization pipeline configuration.
@@ -392,6 +143,8 @@ pub struct Toolchain {
     pub backend: BackendOptions,
     /// Use interpreter profiles to guide superblock formation.
     pub profile_guided: bool,
+    /// Simulation limits applied to every [`Toolchain::run_compiled`].
+    pub sim: SimOptions,
     cache: Arc<ArtifactCache>,
 }
 
@@ -401,6 +154,7 @@ impl Default for Toolchain {
             opt: OptConfig::default(),
             backend: BackendOptions::default(),
             profile_guided: true,
+            sim: SimOptions::default(),
             cache: Arc::new(ArtifactCache::new()),
         }
     }
@@ -431,17 +185,25 @@ impl Toolchain {
                 ..Default::default()
             },
             profile_guided: false,
+            sim: SimOptions::default(),
             cache: Arc::new(ArtifactCache::new()),
         }
     }
 
-    /// This configuration with a new, empty, unshared artifact cache.
+    /// This configuration with a new, empty, unshared artifact cache (same
+    /// byte budget and hashing configuration).
     pub fn fresh_cache(&self) -> Toolchain {
+        self.with_cache(Arc::new(ArtifactCache::with_config(self.cache.config())))
+    }
+
+    /// This configuration backed by `cache` instead of its current one.
+    pub fn with_cache(&self, cache: Arc<ArtifactCache>) -> Toolchain {
         Toolchain {
             opt: self.opt.clone(),
             backend: self.backend.clone(),
             profile_guided: self.profile_guided,
-            cache: Arc::new(ArtifactCache::new()),
+            sim: self.sim,
+            cache,
         }
     }
 
@@ -450,7 +212,7 @@ impl Toolchain {
         &self.cache
     }
 
-    /// Per-stage cache hit/miss counters.
+    /// Per-stage cache hit/miss counters plus eviction/residency totals.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
@@ -470,7 +232,7 @@ impl Toolchain {
         self.cache.get_or_compute(
             StageKind::Parse,
             source.to_string(),
-            |m| &mut m.parsed,
+            ArtifactCache::parsed,
             |t| Ok(t.time(|| asip_tinyc::compile(source))?),
         )
     }
@@ -483,17 +245,13 @@ impl Toolchain {
     /// [`ToolchainError::Frontend`] on TinyC errors.
     pub fn frontend(&self, source: &str) -> Result<Module, ToolchainError> {
         let key = format!("{:?}\u{1f}{source}", self.opt);
-        self.cache.get_or_compute(
-            StageKind::Optimize,
-            key,
-            |m| &mut m.optimized,
-            |t| {
+        self.cache
+            .get_or_compute(StageKind::Optimize, key, ArtifactCache::optimized, |t| {
                 // Parse times itself under its own stage.
                 let mut module = self.parse(source)?;
                 t.time(|| optimize(&mut module, &self.opt));
                 Ok(module)
-            },
-        )
+            })
     }
 
     /// **Profile stage**: interpret the module to collect block execution
@@ -509,11 +267,8 @@ impl Toolchain {
         args: &[i32],
     ) -> Result<Profile, ToolchainError> {
         let key = format!("{module:?}\u{1f}{inputs:?}\u{1f}{args:?}");
-        self.cache.get_or_compute(
-            StageKind::Profile,
-            key,
-            |m| &mut m.profiles,
-            |t| {
+        self.cache
+            .get_or_compute(StageKind::Profile, key, ArtifactCache::profiles, |t| {
                 t.time(|| {
                     let mut interp = Interp::new(module, InterpOptions::default());
                     for (name, data) in inputs {
@@ -522,8 +277,7 @@ impl Toolchain {
                     let r = interp.run("main", args).map_err(ToolchainError::Profile)?;
                     Ok(r.profile)
                 })
-            },
-        )
+            })
     }
 
     /// **Compile stage**: IR module → machine program (optionally
@@ -544,12 +298,10 @@ impl Toolchain {
             self.backend,
             profile_key(profile)
         );
-        self.cache.get_or_compute(
-            StageKind::Compile,
-            key,
-            |m| &mut m.compiled,
-            |t| Ok(t.time(|| compile_module(module, machine, profile, &self.backend))?),
-        )
+        self.cache
+            .get_or_compute(StageKind::Compile, key, ArtifactCache::compiled, |t| {
+                Ok(t.time(|| compile_module(module, machine, profile, &self.backend))?)
+            })
     }
 
     /// Full stage graph for one workload on one machine, checking the
@@ -589,7 +341,7 @@ impl Toolchain {
         compiled: &CompiledProgram,
     ) -> Result<WorkloadRun, ToolchainError> {
         let start = Instant::now();
-        let mut sim = Simulator::new(machine, &compiled.program, SimOptions::default())?;
+        let mut sim = Simulator::new(machine, &compiled.program, self.sim)?;
         for (name, data) in &w.inputs {
             sim.write_global(name, data);
         }

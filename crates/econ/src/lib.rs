@@ -2,7 +2,7 @@
 //!
 //! Models for the paper's Barriers 3 and 4 and its Table 1:
 //!
-//! * [`table1`] — the published Pentium II price/performance table with the
+//! * [`table1`](fn@table1) — the published Pentium II price/performance table with the
 //!   Perf/Price arithmetic recomputed;
 //! * [`cost`] — die yield (Poisson/Murphy/Seeds), dies-per-wafer, unit cost
 //!   with NRE amortization, and the **SoC-vs-discrete crossover** that makes

@@ -6,7 +6,7 @@
 //!
 //! * IR types and structural verification ([`inst`], [`func`]);
 //! * CFG analyses: predecessors, reverse postorder, dominators, natural
-//!   loops ([`cfg`]) and dataflow liveness ([`liveness`]);
+//!   loops ([`cfg`](mod@cfg)) and dataflow liveness ([`liveness`]);
 //! * a reference **interpreter** that doubles as golden model and profiler
 //!   ([`interp`]);
 //! * the classic ILP **optimization pipeline**: constant folding, local

@@ -7,12 +7,13 @@
 
 use asip::core::dse::{explore, SearchSpace};
 use asip::core::ise::{extend, IseConfig};
-use asip::core::Toolchain;
+use asip::core::Session;
 use asip::isa::desc::print_machine;
 use asip::workloads::{by_area, AppArea};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let tc = Toolchain::default();
+    let session = Session::builder().build();
+    let tc = session.toolchain();
     let suite = by_area(AppArea::Cellphone);
     println!(
         "cellphone area: {:?}",
@@ -22,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Explore the family grid on a trimmed suite (keep the demo quick).
     let tuning: Vec<_> = suite.iter().take(3).cloned().collect();
     let space = SearchSpace::default();
-    let ex = explore(&tc, &space, &tuning);
+    let ex = explore(&session, &space, &tuning);
     println!(
         "\nevaluated {} design points ({} skipped)",
         ex.points.len(),

@@ -4,13 +4,14 @@
 //!
 //! Run with: `cargo run --release --example isa_drift`
 
-use asip::core::Toolchain;
+use asip::core::Session;
 use asip::dbt::{CodeCache, TRANSLATION_CYCLES_PER_OP};
 use asip::isa::MachineDescription;
 use asip::sim::Simulator;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let tc = Toolchain::default();
+    let session = Session::builder().build();
+    let tc = session.toolchain();
     let w = asip::workloads::by_name("viterbi").expect("workload exists");
 
     // The shipped binary targets ember4.

@@ -2,24 +2,30 @@
 //! the family crossed with a workload set; every cell must PASS against the
 //! golden model.
 //!
+//! The grid is a thin layer over `Session::eval_batch`: the cells run in
+//! parallel on the session's worker pool and share its artifact cache.
+//!
 //! Run with: `cargo run --release --example nxm_grid`
 
 use asip::core::nxm::run_grid;
-use asip::core::Toolchain;
+use asip::core::Session;
 use asip::isa::MachineDescription;
 
 fn main() {
-    let tc = Toolchain::default();
+    let session = Session::builder().build();
     let machines = MachineDescription::presets();
     let workloads: Vec<_> = ["fir", "viterbi", "sobel", "crc32", "sort"]
         .iter()
         .map(|n| asip::workloads::by_name(n).expect("workload"))
         .collect();
-    let grid = run_grid(&tc, &machines, &workloads);
+    let grid = run_grid(&session, &machines, &workloads);
     println!("{grid}");
     assert!(
         grid.all_pass(),
         "a cell failed — the family is not shippable"
     );
-    println!("toolchain validated: architectures used as test programs.");
+    println!(
+        "toolchain validated: architectures used as test programs.\ncache: {}",
+        session.cache_stats()
+    );
 }

@@ -4,6 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use asip::backend::{compile_module, BackendOptions};
+use asip::core::{EvalRequest, Session};
 use asip::isa::hwmodel::{area, cycle_time, energy};
 use asip::isa::{FuKind, MachineDescription};
 use asip::sim::run_program;
@@ -73,5 +74,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    written, so the dot product over zero-filled arrays is zero).
     let again = run_program(&machine, &compiled.program, &[64])?;
     assert_eq!(again.output, vec![0]);
+
+    // 6. For anything bigger than one cell, hold a Session: it owns a
+    //    memory-bounded artifact cache and a worker pool, and batches
+    //    golden-checked (workload × machine) evaluations.
+    let session = Session::builder().threads(2).build();
+    let fir = asip::workloads::by_name("fir").expect("workload");
+    let outcomes = session.eval_batch(&[
+        EvalRequest::new(fir.clone(), machine.clone()),
+        EvalRequest::new(fir, asip::isa::MachineDescription::ember4()),
+    ]);
+    for o in &outcomes {
+        println!(
+            "batch: {} on {} = {:?} cycles",
+            o.workload,
+            o.machine,
+            o.cycles()
+        );
+    }
+    println!("cache after batch: {}", session.cache_stats());
     Ok(())
 }

@@ -3,7 +3,7 @@
 //! experiment binaries use them.
 
 use asip::core::nxm::{run_grid, run_grid_threaded};
-use asip::core::Toolchain;
+use asip::core::Session;
 use asip::isa::MachineDescription;
 use asip::workloads;
 
@@ -26,13 +26,13 @@ fn grid_3x6() -> (Vec<MachineDescription>, Vec<workloads::Workload>) {
 #[test]
 fn grid_3x6_runs_parallel_with_cache_hits() {
     let (machines, ws) = grid_3x6();
-    let tc = Toolchain::default();
-    let grid = run_grid_threaded(&tc, &machines, &ws, 4);
+    let session = Session::builder().build();
+    let grid = run_grid_threaded(&session, &machines, &ws, 4);
     assert!(grid.all_pass(), "\n{grid}");
     assert_eq!(grid.parallelism, 4);
     assert_eq!(grid.cells.len(), 18);
 
-    let stats = tc.cache_stats();
+    let stats = session.cache_stats();
     assert_eq!(stats.compile.misses, 18, "every cell is a distinct compile");
     // 6 workloads × 3 machines: at least the serial-order reuse must show
     // up even under racing workers.
@@ -40,18 +40,18 @@ fn grid_3x6_runs_parallel_with_cache_hits() {
 }
 
 /// The second compile of every (workload, opt-config) pair is a cache hit,
-/// and the cached cycle counts are identical to an uncached toolchain's.
+/// and the cached cycle counts are identical to an uncached session's.
 #[test]
 fn second_grid_pass_hits_cache_with_identical_results() {
     let (machines, ws) = grid_3x6();
-    let tc = Toolchain::default();
-    let first = run_grid(&tc, &machines, &ws);
+    let session = Session::builder().build();
+    let first = run_grid(&session, &machines, &ws);
     assert!(first.all_pass(), "\n{first}");
-    let cold = tc.cache_stats();
+    let cold = session.cache_stats();
 
-    let second = run_grid(&tc, &machines, &ws);
+    let second = run_grid(&session, &machines, &ws);
     assert!(second.all_pass(), "\n{second}");
-    let warm = tc.cache_stats();
+    let warm = session.cache_stats();
     assert_eq!(
         warm.misses(),
         cold.misses(),
@@ -63,8 +63,8 @@ fn second_grid_pass_hits_cache_with_identical_results() {
         "all 18 second-pass compiles served from cache"
     );
 
-    // Cached results equal a completely uncached toolchain's results.
-    let uncached = run_grid_threaded(&tc.fresh_cache(), &machines, &ws, 1);
+    // Cached results equal a completely uncached session's results.
+    let uncached = run_grid_threaded(&session.fresh_cache(), &machines, &ws, 1);
     for (a, b) in second.cells.iter().zip(&uncached.cells) {
         assert_eq!(a.machine, b.machine);
         assert_eq!(a.workload, b.workload);
@@ -76,15 +76,15 @@ fn second_grid_pass_hits_cache_with_identical_results() {
 /// and the simulated cycles/output never change.
 #[test]
 fn repeated_run_workload_hits_and_is_stable() {
-    let tc = Toolchain::default();
+    let session = Session::builder().build();
     let w = workloads::by_name("fir").unwrap();
     let m = MachineDescription::ember4();
-    let baseline = tc.run_workload(&w, &m).unwrap();
+    let baseline = session.run_workload(&w, &m).unwrap();
     for i in 1..=3u64 {
-        let run = tc.run_workload(&w, &m).unwrap();
+        let run = session.run_workload(&w, &m).unwrap();
         assert_eq!(run.sim.cycles, baseline.sim.cycles, "pass {i}");
         assert_eq!(run.sim.output, baseline.sim.output, "pass {i}");
-        let stats = tc.cache_stats();
+        let stats = session.cache_stats();
         assert_eq!(stats.optimize.hits, i);
         assert_eq!(stats.profile.hits, i);
         assert_eq!(stats.compile.hits, i);

@@ -1,0 +1,186 @@
+//! Integration tests for the builder-configured `Session` and the unified
+//! batch-evaluation API: builder defaults and overrides, request-ordered
+//! determinism across thread counts, LRU byte-budget eviction, and the
+//! parallel DSE acceptance path.
+
+use asip::core::dse::{explore, DesignPoint, Exploration, SearchSpace};
+use asip::core::{EvalRequest, Session};
+use asip::isa::MachineDescription;
+use asip::workloads;
+
+fn family() -> Vec<MachineDescription> {
+    vec![
+        MachineDescription::ember1(),
+        MachineDescription::ember2(),
+        MachineDescription::ember4(),
+    ]
+}
+
+fn suite(names: &[&str]) -> Vec<workloads::Workload> {
+    names
+        .iter()
+        .map(|n| workloads::by_name(n).unwrap())
+        .collect()
+}
+
+fn cross_requests(ws: &[workloads::Workload], ms: &[MachineDescription]) -> Vec<EvalRequest> {
+    EvalRequest::grid(ms, ws)
+}
+
+const MIB: u64 = 1024 * 1024;
+
+/// `eval_batch` returns request-ordered outcomes that are identical under
+/// one worker and many.
+#[test]
+fn eval_batch_deterministic_across_thread_counts() {
+    let ws = suite(&["fir", "crc32", "rle", "median"]);
+    let reqs = cross_requests(&ws, &family());
+    let serial = Session::builder().threads(1).cache_bytes(64 * MIB).build();
+    let parallel = Session::builder().threads(8).cache_bytes(64 * MIB).build();
+    let a = serial.eval_batch(&reqs);
+    let b = parallel.eval_batch(&reqs);
+    assert_eq!(a.len(), reqs.len());
+    for ((x, y), r) in a.iter().zip(&b).zip(&reqs) {
+        assert_eq!(x.workload, r.workload.name);
+        assert_eq!(x.machine, r.machine.name);
+        let rx = x.result.as_ref().expect("serial cell runs");
+        let ry = y.result.as_ref().expect("parallel cell runs");
+        assert_eq!(
+            rx.run.sim.cycles, ry.run.sim.cycles,
+            "{}/{}",
+            x.machine, x.workload
+        );
+        assert_eq!(rx.run.sim.output, ry.run.sim.output);
+        assert_eq!(rx.run.code_bytes, ry.run.code_bytes);
+    }
+}
+
+/// A tiny byte budget forces evictions; every evicted artifact recomputes
+/// to an identical measurement and the cache never exceeds its budget.
+#[test]
+fn lru_eviction_recomputes_identically_under_budget() {
+    let ws = suite(&["fir", "crc32", "sort"]);
+    let reqs = cross_requests(&ws, &family());
+    let unbounded = Session::builder().threads(2).cache_bytes(64 * MIB).build();
+    let tiny = Session::builder().threads(2).cache_bytes(64 * 1024).build();
+
+    let reference = unbounded.eval_batch(&reqs);
+    // Two passes through the tiny session: plenty of churn.
+    let first = tiny.eval_batch(&reqs);
+    let second = tiny.eval_batch(&reqs);
+    let stats = tiny.cache_stats();
+    assert!(stats.evictions > 0, "tiny budget must evict: {stats}");
+    assert!(
+        stats.resident_bytes <= tiny.cache().byte_budget(),
+        "cache exceeded its budget: {stats}"
+    );
+    for ((r, f), s) in reference.iter().zip(&first).zip(&second) {
+        let rr = r.result.as_ref().unwrap();
+        let ff = f.result.as_ref().unwrap();
+        let ss = s.result.as_ref().unwrap();
+        assert_eq!(
+            rr.run.sim.cycles, ff.run.sim.cycles,
+            "{}/{}",
+            r.machine, r.workload
+        );
+        assert_eq!(
+            rr.run.sim.cycles, ss.run.sim.cycles,
+            "{}/{}",
+            r.machine, r.workload
+        );
+        assert_eq!(rr.run.sim.output, ss.run.sim.output);
+    }
+}
+
+fn assert_points_byte_identical(a: &Exploration, b: &Exploration) {
+    assert_eq!(a.points.len(), b.points.len());
+    assert_eq!(a.skipped.len(), b.skipped.len());
+    let key = |p: &DesignPoint| {
+        (
+            p.machine.name.clone(),
+            p.per_workload_cycles.clone(),
+            p.time_ns.to_bits(),
+            p.cycles.to_bits(),
+            p.area_mm2.to_bits(),
+            p.energy_nj.to_bits(),
+            p.ise_budget.to_bits(),
+        )
+    };
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(key(x), key(y));
+    }
+}
+
+/// The acceptance path: `dse::explore` on the *default* `SearchSpace` runs
+/// its candidate evaluations through `Session::eval_batch` on more than one
+/// thread, with results byte-identical to the sequential run — and with a
+/// tiny cache budget the exploration still matches while the cache stays
+/// bounded and evicts.
+#[test]
+fn dse_explore_parallel_byte_identical_and_cache_bounded() {
+    let space = SearchSpace::default();
+    let ws = suite(&["crc32"]);
+
+    let serial = Session::builder().threads(1).cache_bytes(64 * MIB).build();
+    let parallel = Session::builder().threads(8).cache_bytes(64 * MIB).build();
+    assert!(parallel.threads() > 1);
+    let ex_serial = explore(&serial, &space, &ws);
+    let ex_parallel = explore(&parallel, &space, &ws);
+    assert!(
+        ex_serial.points.len() >= 10,
+        "default space must produce a real grid: {} points",
+        ex_serial.points.len()
+    );
+    assert_points_byte_identical(&ex_serial, &ex_parallel);
+
+    // Same exploration under a tiny byte budget: identical results, bounded
+    // memory, non-zero eviction counter.
+    let tiny = Session::builder().threads(8).cache_bytes(96 * 1024).build();
+    let ex_tiny = explore(&tiny, &space, &ws);
+    assert_points_byte_identical(&ex_serial, &ex_tiny);
+    let stats = tiny.cache_stats();
+    assert!(stats.evictions > 0, "tiny budget must evict: {stats}");
+    assert!(
+        stats.resident_bytes <= tiny.cache().byte_budget(),
+        "cache exceeded its budget: {stats}"
+    );
+}
+
+/// Forced hash collisions (mask 0) still serve every distinct artifact
+/// correctly through the stored-key fallback.
+#[test]
+fn hash_collision_fallback_serves_distinct_artifacts() {
+    use asip::core::{ArtifactCache, CacheConfig};
+    use std::sync::Arc;
+    let cache = Arc::new(ArtifactCache::with_config(CacheConfig {
+        byte_budget: 64 * MIB,
+        hash_mask: 0,
+    }));
+    let collide = Session::builder().cache(cache).threads(2).build();
+    let plain = Session::builder().cache_bytes(64 * MIB).threads(2).build();
+    let ws = suite(&["fir", "crc32", "rle"]);
+    let reqs = cross_requests(&ws, &family());
+    let a = collide.eval_batch(&reqs);
+    let b = plain.eval_batch(&reqs);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.result.as_ref().unwrap().run.sim.cycles,
+            y.result.as_ref().unwrap().run.sim.cycles,
+            "{}/{}",
+            x.machine,
+            x.workload
+        );
+    }
+    // Second pass over the colliding cache is served from the buckets.
+    let before = collide.cache_stats();
+    let again = collide.eval_batch(&reqs);
+    let after = collide.cache_stats();
+    assert_eq!(after.misses(), before.misses(), "no recompute on re-run");
+    assert!(after.hits() > before.hits());
+    for (x, y) in again.iter().zip(&a) {
+        assert_eq!(
+            x.result.as_ref().unwrap().run.sim.cycles,
+            y.result.as_ref().unwrap().run.sim.cycles
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Environment-variable defaults for `Session::builder`, isolated in their
+//! own test binary: `std::env::set_var` is process-global, so these tests
+//! must not share a process with tests that build default-budget sessions
+//! concurrently.
+
+use asip::core::Session;
+
+/// `ASIP_CACHE_BYTES` feeds the builder's default budget, exactly like
+/// `ASIP_GRID_THREADS` feeds the worker count — and an explicit builder
+/// call still wins over the environment.
+#[test]
+fn env_overrides_flow_into_builder_defaults() {
+    std::env::set_var("ASIP_CACHE_BYTES", "123456789");
+    let s = Session::builder().build();
+    assert_eq!(s.cache().byte_budget(), 123_456_789);
+
+    std::env::set_var("ASIP_CACHE_BYTES", "1");
+    let s = Session::builder().cache_bytes(777).build();
+    assert_eq!(s.cache().byte_budget(), 777);
+
+    // Garbage falls back to the compiled-in default.
+    std::env::set_var("ASIP_CACHE_BYTES", "not-a-number");
+    let s = Session::builder().build();
+    assert_eq!(
+        s.cache().byte_budget(),
+        asip::core::cache::DEFAULT_CACHE_BYTES
+    );
+    std::env::remove_var("ASIP_CACHE_BYTES");
+}

@@ -2,7 +2,7 @@
 //! across machines — the repository's top-level acceptance suite.
 
 use asip::core::nxm::run_grid;
-use asip::core::Toolchain;
+use asip::core::Session;
 use asip::isa::MachineDescription;
 use asip::workloads;
 
@@ -10,7 +10,7 @@ use asip::workloads;
 /// member with full optimization.
 #[test]
 fn all_workloads_pass_on_ember4() {
-    let tc = Toolchain::default();
+    let tc = Session::builder().build();
     let m = MachineDescription::ember4();
     for w in workloads::all() {
         let run = tc
@@ -24,7 +24,7 @@ fn all_workloads_pass_on_ember4() {
 /// unoptimized and optimized compilers agree with the golden model.
 #[test]
 fn all_workloads_pass_unoptimized_on_ember2() {
-    let tc = Toolchain::unoptimized();
+    let tc = Session::builder().unoptimized().build();
     let m = MachineDescription::ember2();
     for w in workloads::all() {
         tc.run_workload(&w, &m)
@@ -36,7 +36,7 @@ fn all_workloads_pass_unoptimized_on_ember2() {
 /// the `exp_nxm` experiment binary.
 #[test]
 fn nxm_grid_subset_passes() {
-    let tc = Toolchain::default();
+    let tc = Session::builder().build();
     let machines = vec![
         MachineDescription::ember1(),
         MachineDescription::ember4(),
@@ -54,8 +54,8 @@ fn nxm_grid_subset_passes() {
 /// unoptimized build on the wide machine.
 #[test]
 fn optimization_helps_or_is_neutral() {
-    let opt = Toolchain::default();
-    let unopt = Toolchain::unoptimized();
+    let opt = Session::builder().build();
+    let unopt = Session::builder().unoptimized().build();
     let m = MachineDescription::ember4();
     for name in ["fir", "sobel", "matmul", "autocorr"] {
         let w = workloads::by_name(name).unwrap();
@@ -71,7 +71,7 @@ fn optimization_helps_or_is_neutral() {
 /// Wider machines never lose cycles on ILP-rich kernels.
 #[test]
 fn width_scaling_on_ilp_kernels() {
-    let tc = Toolchain::default();
+    let tc = Session::builder().build();
     let m1 = MachineDescription::ember1();
     let m8 = MachineDescription::ember8();
     for name in ["fir", "dct8x8", "matmul"] {
@@ -91,7 +91,7 @@ fn width_scaling_on_ilp_kernels() {
 /// results are identical for parsed-back machines.
 #[test]
 fn dsl_roundtrip_produces_identical_compilation() {
-    let tc = Toolchain::default();
+    let tc = Session::builder().build();
     let w = workloads::by_name("rle").unwrap();
     for m in MachineDescription::presets() {
         let text = asip::isa::desc::print_machine(&m);
@@ -107,7 +107,7 @@ fn dsl_roundtrip_produces_identical_compilation() {
 /// family (bigger machines burn more area; fewer cycles may cost energy).
 #[test]
 fn hw_models_are_sane_end_to_end() {
-    let tc = Toolchain::default();
+    let tc = Session::builder().build();
     let w = workloads::by_name("autocorr").unwrap();
     let m1 = MachineDescription::ember1();
     let m8 = MachineDescription::ember8();
