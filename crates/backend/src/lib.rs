@@ -1,10 +1,13 @@
-//! # asip-backend — the retargetable VLIW backend
+//! # asip-backend — the retargetable backend (VLIW and scalar targets)
 //!
 //! One backend, every family member: the compiler reads nothing about the
 //! target except its [`MachineDescription`] table, fulfilling the paper's
 //! §3.1 "mass customization" contract — *"change most of the normal
 //! architectural parameters to produce a new model, and continue to generate
-//! good code."*
+//! good code."* VLIW targets emit bundled [`asip_isa::VliwProgram`]s via
+//! [`compile_module`]; scalar targets share the whole middle of the
+//! pipeline and emit linear [`asip_isa::ScalarProgram`]s via
+//! [`compile_module_scalar`] (see [`scalar`]).
 //!
 //! Pipeline per function:
 //!
@@ -41,8 +44,11 @@ pub mod cluster;
 pub mod emit;
 pub mod lir;
 pub mod regalloc;
+pub mod scalar;
 pub mod sched;
 pub mod trace;
+
+pub use scalar::{compile_module_scalar, CompiledScalarProgram};
 
 use asip_ir::{FuncId, Module, Profile};
 use asip_isa::{MachineDescription, VliwProgram};
@@ -159,6 +165,43 @@ pub fn compile_module(
     profile: Option<&Profile>,
     opts: &BackendOptions,
 ) -> Result<CompiledProgram, BackendError> {
+    let (lm, scheduled, traces_formed) = schedule_module(module, machine, profile, opts)?;
+    let program = emit::emit_program(module, &lm, &scheduled, machine);
+    let bundles = program.len();
+    let ops = program.total_ops();
+    let width = machine.issue_width().max(1);
+    let stats = BackendStats {
+        bundles,
+        ops,
+        occupancy: if bundles == 0 {
+            0.0
+        } else {
+            ops as f64 / (bundles * width) as f64
+        },
+        spill_slots: lm.funcs.iter().map(|f| f.spill_slots).sum(),
+        traces_formed,
+    };
+    Ok(CompiledProgram { program, stats })
+}
+
+/// The target-independent middle of the backend: lower to LIR, form traces,
+/// then iterate schedule → allocate → spill to a fixpoint per function.
+/// Returns the lowered module, one [`sched::ScheduledFunc`] per function
+/// (physical registers already applied), and the trace count.
+///
+/// Both the VLIW emitter ([`compile_module`]) and the scalar emitter
+/// ([`scalar::compile_module_scalar`], through its width-1 machine view)
+/// run on top of this.
+///
+/// # Errors
+///
+/// Any [`BackendError`].
+pub(crate) fn schedule_module(
+    module: &Module,
+    machine: &MachineDescription,
+    profile: Option<&Profile>,
+    opts: &BackendOptions,
+) -> Result<(lir::LModule, Vec<sched::ScheduledFunc>, usize), BackendError> {
     let mut lm = lir::lower_module(module, machine, "main")?;
     let mut scheduled = Vec::with_capacity(lm.funcs.len());
     let mut traces_formed = 0;
@@ -234,22 +277,7 @@ pub fn compile_module(
         scheduled.push(s);
     }
 
-    let program = emit::emit_program(module, &lm, &scheduled, machine);
-    let bundles = program.len();
-    let ops = program.total_ops();
-    let width = machine.issue_width().max(1);
-    let stats = BackendStats {
-        bundles,
-        ops,
-        occupancy: if bundles == 0 {
-            0.0
-        } else {
-            ops as f64 / (bundles * width) as f64
-        },
-        spill_slots: lm.funcs.iter().map(|f| f.spill_slots).sum(),
-        traces_formed,
-    };
-    Ok(CompiledProgram { program, stats })
+    Ok((lm, scheduled, traces_formed))
 }
 
 #[cfg(test)]

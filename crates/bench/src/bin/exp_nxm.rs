@@ -1,6 +1,7 @@
-//! E9: the full N x M validation grid (every preset x every workload).
+//! E9: the full N x M validation grid (every preset of both target kinds
+//! x every workload).
 fn main() {
-    let machines = asip_isa::MachineDescription::presets();
+    let machines = asip_isa::MachineDescription::all_presets();
     let workloads = asip_workloads::all();
     println!("{}", asip_bench::fit::nxm_grid(&machines, &workloads));
     println!("{}", asip_bench::session_summary());

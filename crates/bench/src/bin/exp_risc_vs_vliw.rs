@@ -1,4 +1,5 @@
-//! E2: area-matched compatible superscalar vs 4-issue customized VLIW.
+//! E2: area-matched compatible scalar (measured on the in-order pipeline
+//! model) vs 4-issue customized VLIW.
 fn main() {
     println!(
         "{}",

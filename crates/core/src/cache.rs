@@ -24,8 +24,8 @@
 //! hit/miss/eviction counters in [`CacheStats`] move. A budget of `0`
 //! disables retention entirely (every insert is immediately evicted).
 
-use crate::pipeline::ToolchainError;
-use asip_backend::CompiledProgram;
+use crate::pipeline::{CompiledArtifact, ToolchainError};
+use asip_backend::{CompiledProgram, CompiledScalarProgram};
 use asip_ir::interp::Profile;
 use asip_ir::Module;
 use std::collections::{BTreeMap, HashMap};
@@ -235,6 +235,27 @@ impl ArtifactBytes for CompiledProgram {
     }
 }
 
+impl ArtifactBytes for CompiledScalarProgram {
+    fn artifact_bytes(&self) -> u64 {
+        let p = &self.program;
+        let globals: u64 = p.globals.iter().map(|g| 64 + 4 * g.init.len() as u64).sum();
+        64 * p.insts.len() as u64
+            + 64 * p.functions.len() as u64
+            + globals
+            + 256 * p.custom_ops.len() as u64
+            + 128
+    }
+}
+
+impl ArtifactBytes for CompiledArtifact {
+    fn artifact_bytes(&self) -> u64 {
+        match self {
+            CompiledArtifact::Vliw(p) => p.artifact_bytes(),
+            CompiledArtifact::Scalar(p) => p.artifact_bytes(),
+        }
+    }
+}
+
 /// Fixed per-entry bookkeeping overhead added to every size estimate.
 const ENTRY_OVERHEAD: u64 = 96;
 
@@ -291,7 +312,7 @@ pub(crate) struct Maps {
     parsed: StageMap<Module>,
     optimized: StageMap<Module>,
     profiles: StageMap<Profile>,
-    compiled: StageMap<CompiledProgram>,
+    compiled: StageMap<CompiledArtifact>,
 }
 
 /// Where an LRU queue entry lives, for typed removal on eviction.
@@ -564,7 +585,7 @@ impl ArtifactCache {
         &mut maps.profiles
     }
 
-    pub(crate) fn compiled(maps: &mut Maps) -> &mut StageMap<CompiledProgram> {
+    pub(crate) fn compiled(maps: &mut Maps) -> &mut StageMap<CompiledArtifact> {
         &mut maps.compiled
     }
 }

@@ -66,5 +66,5 @@ pub mod pipeline;
 pub mod session;
 
 pub use cache::{ArtifactCache, CacheConfig, CacheStats, StageKind, StageStats, StageTimes};
-pub use pipeline::{Toolchain, ToolchainError, WorkloadRun};
+pub use pipeline::{CompiledArtifact, Toolchain, ToolchainError, WorkloadRun};
 pub use session::{EvalOptions, EvalOutcome, EvalRequest, EvalRun, Session, SessionBuilder};

@@ -210,6 +210,27 @@ mod tests {
     }
 
     #[test]
+    fn scalar_machines_are_first_class_grid_rows() {
+        let session = Session::builder().build();
+        let machines = vec![
+            MachineDescription::scalar1(),
+            MachineDescription::scalar2(),
+            MachineDescription::ember4(),
+        ];
+        let workloads: Vec<Workload> = ["crc32", "fir"]
+            .iter()
+            .map(|n| asip_workloads::by_name(n).unwrap())
+            .collect();
+        let grid = run_grid(&session, &machines, &workloads);
+        assert!(grid.all_pass(), "\n{grid}");
+        for w in &grid.workloads {
+            let s1 = grid.cycles("scalar1", w).unwrap();
+            let s2 = grid.cycles("scalar2", w).unwrap();
+            assert!(s2 <= s1, "{w}: dual issue slower? {s2} vs {s1}");
+        }
+    }
+
+    #[test]
     fn parallel_grid_matches_serial_grid() {
         let session = Session::builder().build();
         let machines = vec![

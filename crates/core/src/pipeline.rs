@@ -15,13 +15,20 @@
 //! ```text
 //! Parse ──► Optimize ──► Profile ──┐
 //!              │                   ▼
-//!              └──────────────► Compile ──► Simulate
+//!              └──────────────► Compile[target] ──► Simulate[target]
 //! ```
+//!
+//! The back half dispatches on the machine's [`TargetKind`]: VLIW tables
+//! compile to bundled programs and simulate on the bundle-issue model;
+//! scalar tables compile to linear [`asip_isa::ScalarProgram`]s and
+//! simulate on the in-order pipeline model ([`asip_sim::scalar`]). Both
+//! flavors flow through the same stages, caches and error currency.
 //!
 //! The first four stages are **memoized** in an [`ArtifactCache`] shared by
 //! every clone of a [`Toolchain`]: parsing is keyed by source text,
 //! optimization by (source, [`OptConfig`]), profiling by (module, inputs,
-//! args), and compilation by (module, machine, backend options, profile).
+//! args), and compilation by (target kind, module, machine, backend
+//! options, profile) — so the two target flavors can never alias.
 //! Only [`Simulate`](StageKind::Simulate) — the measurement itself — always
 //! executes. The N×M grid ([`crate::nxm`]) and the ISE/DSE search loops
 //! ([`crate::ise`], [`crate::dse`]) therefore stop recompiling identical
@@ -35,12 +42,15 @@
 //! and [`Toolchain::stage_times`] cumulative per-stage execution time.
 
 pub use crate::cache::{ArtifactCache, CacheConfig, CacheStats, StageKind, StageStats, StageTimes};
-use asip_backend::{compile_module, BackendOptions, BackendStats, CompiledProgram};
+use asip_backend::{
+    compile_module, compile_module_scalar, BackendOptions, BackendStats, CompiledProgram,
+    CompiledScalarProgram,
+};
 use asip_ir::interp::{Interp, InterpOptions, Profile};
 use asip_ir::passes::{optimize, OptConfig};
 use asip_ir::Module;
-use asip_isa::MachineDescription;
-use asip_sim::{SimOptions, SimResult, Simulator};
+use asip_isa::{MachineDescription, TargetKind};
+use asip_sim::{ScalarSimulator, SimOptions, SimResult, Simulator};
 use asip_workloads::Workload;
 use std::fmt;
 use std::sync::Arc;
@@ -156,6 +166,56 @@ impl Default for Toolchain {
             profile_guided: true,
             sim: SimOptions::default(),
             cache: Arc::new(ArtifactCache::new()),
+        }
+    }
+}
+
+/// A compiled program for either target kind.
+///
+/// The Compile stage produces (and caches) one of these; which variant
+/// depends on the machine's [`TargetKind`]. Cache keys carry the target
+/// flavor, so a VLIW and a scalar compile of the same (module, machine
+/// table) can never alias.
+#[derive(Debug, Clone)]
+pub enum CompiledArtifact {
+    /// An exposed-pipeline VLIW program.
+    Vliw(CompiledProgram),
+    /// A linear scalar program.
+    Scalar(CompiledScalarProgram),
+}
+
+impl CompiledArtifact {
+    /// Compile-time statistics, whichever the target.
+    pub fn stats(&self) -> BackendStats {
+        match self {
+            CompiledArtifact::Vliw(p) => p.stats,
+            CompiledArtifact::Scalar(p) => p.stats,
+        }
+    }
+
+    /// Code size in bytes under the machine's own encoding.
+    pub fn code_bytes(&self, machine: &MachineDescription) -> u32 {
+        match self {
+            CompiledArtifact::Vliw(p) => {
+                asip_isa::encoding::code_bytes(&p.program, machine, machine.encoding)
+            }
+            CompiledArtifact::Scalar(p) => p.program.code_bytes(machine.encoding),
+        }
+    }
+
+    /// The VLIW program, if this is one.
+    pub fn vliw(&self) -> Option<&CompiledProgram> {
+        match self {
+            CompiledArtifact::Vliw(p) => Some(p),
+            CompiledArtifact::Scalar(_) => None,
+        }
+    }
+
+    /// The scalar program, if this is one.
+    pub fn scalar(&self) -> Option<&CompiledScalarProgram> {
+        match self {
+            CompiledArtifact::Vliw(_) => None,
+            CompiledArtifact::Scalar(p) => Some(p),
         }
     }
 }
@@ -280,9 +340,60 @@ impl Toolchain {
             })
     }
 
-    /// **Compile stage**: IR module → machine program (optionally
-    /// profile-guided). Cached by (module, machine, backend options,
-    /// profile).
+    /// Cached compile of one target flavor. The key leads with the flavor
+    /// name, so a VLIW and a scalar artifact of the same (module, machine,
+    /// options, profile) can never collide in the cache.
+    fn compile_flavor(
+        &self,
+        flavor: TargetKind,
+        module: &Module,
+        machine: &MachineDescription,
+        profile: Option<&Profile>,
+    ) -> Result<CompiledArtifact, ToolchainError> {
+        let key = format!(
+            "{flavor}\u{1f}{module:?}\u{1f}{machine:?}\u{1f}{:?}\u{1f}{}",
+            self.backend,
+            profile_key(profile)
+        );
+        self.cache
+            .get_or_compute(StageKind::Compile, key, ArtifactCache::compiled, |t| {
+                t.time(|| match flavor {
+                    TargetKind::Vliw => Ok(CompiledArtifact::Vliw(compile_module(
+                        module,
+                        machine,
+                        profile,
+                        &self.backend,
+                    )?)),
+                    TargetKind::Scalar => Ok(CompiledArtifact::Scalar(compile_module_scalar(
+                        module,
+                        machine,
+                        profile,
+                        &self.backend,
+                    )?)),
+                })
+            })
+    }
+
+    /// **Compile stage**, dispatched on the machine's [`TargetKind`]: IR
+    /// module → VLIW or scalar program (optionally profile-guided). Cached
+    /// by (target, module, machine, backend options, profile).
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Backend`].
+    pub fn compile_for(
+        &self,
+        module: &Module,
+        machine: &MachineDescription,
+        profile: Option<&Profile>,
+    ) -> Result<CompiledArtifact, ToolchainError> {
+        self.compile_flavor(machine.target, module, machine, profile)
+    }
+
+    /// **Compile stage**, VLIW flavor: IR module → VLIW machine program
+    /// regardless of the machine's declared target (the binary-translation
+    /// flows compile arbitrary family tables this way). Cached like
+    /// [`Toolchain::compile_for`].
     ///
     /// # Errors
     ///
@@ -293,15 +404,30 @@ impl Toolchain {
         machine: &MachineDescription,
         profile: Option<&Profile>,
     ) -> Result<CompiledProgram, ToolchainError> {
-        let key = format!(
-            "{module:?}\u{1f}{machine:?}\u{1f}{:?}\u{1f}{}",
-            self.backend,
-            profile_key(profile)
-        );
-        self.cache
-            .get_or_compute(StageKind::Compile, key, ArtifactCache::compiled, |t| {
-                Ok(t.time(|| compile_module(module, machine, profile, &self.backend))?)
-            })
+        let art = self.compile_flavor(TargetKind::Vliw, module, machine, profile)?;
+        Ok(art
+            .vliw()
+            .expect("vliw-flavored keys hold vliw artifacts")
+            .clone())
+    }
+
+    /// **Compile stage**, scalar flavor: IR module → linear scalar program.
+    /// Cached like [`Toolchain::compile_for`].
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Backend`].
+    pub fn compile_scalar(
+        &self,
+        module: &Module,
+        machine: &MachineDescription,
+        profile: Option<&Profile>,
+    ) -> Result<CompiledScalarProgram, ToolchainError> {
+        let art = self.compile_flavor(TargetKind::Scalar, module, machine, profile)?;
+        Ok(art
+            .scalar()
+            .expect("scalar-flavored keys hold scalar artifacts")
+            .clone())
     }
 
     /// Full stage graph for one workload on one machine, checking the
@@ -323,8 +449,8 @@ impl Toolchain {
         } else {
             None
         };
-        let compiled = self.compile(&module, machine, profile.as_ref())?;
-        self.run_compiled(w, machine, &compiled)
+        let compiled = self.compile_for(&module, machine, profile.as_ref())?;
+        self.run_artifact(w, machine, &compiled)
     }
 
     /// **Simulate stage**: run an already-compiled workload (used by sweeps
@@ -364,6 +490,62 @@ impl Toolchain {
             compile: compiled.stats,
             code_bytes,
         })
+    }
+
+    /// **Simulate stage**, scalar flavor: run an already-compiled scalar
+    /// workload on the in-order pipeline model. Never cached.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Sim`] or [`ToolchainError::WrongOutput`].
+    pub fn run_compiled_scalar(
+        &self,
+        w: &Workload,
+        machine: &MachineDescription,
+        compiled: &CompiledScalarProgram,
+    ) -> Result<WorkloadRun, ToolchainError> {
+        let start = Instant::now();
+        let mut sim = ScalarSimulator::new(machine, &compiled.program, self.sim)?;
+        for (name, data) in &w.inputs {
+            sim.write_global(name, data);
+        }
+        let result = sim.run(&w.args)?;
+        self.cache.record_time(StageKind::Simulate, start);
+        if result.output != w.expected {
+            return Err(ToolchainError::WrongOutput {
+                workload: w.name.clone(),
+                machine: machine.name.clone(),
+                expected: w.expected.clone(),
+                actual: result.output,
+            });
+        }
+        let code_bytes = compiled.program.code_bytes(machine.encoding);
+        Ok(WorkloadRun {
+            workload: w.name.clone(),
+            machine: machine.name.clone(),
+            sim: result,
+            compile: compiled.stats,
+            code_bytes,
+        })
+    }
+
+    /// **Simulate stage** for either artifact kind: dispatches to the VLIW
+    /// or the scalar pipeline model. Never cached — this is the
+    /// measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`ToolchainError::Sim`] or [`ToolchainError::WrongOutput`].
+    pub fn run_artifact(
+        &self,
+        w: &Workload,
+        machine: &MachineDescription,
+        compiled: &CompiledArtifact,
+    ) -> Result<WorkloadRun, ToolchainError> {
+        match compiled {
+            CompiledArtifact::Vliw(p) => self.run_compiled(w, machine, p),
+            CompiledArtifact::Scalar(p) => self.run_compiled_scalar(w, machine, p),
+        }
     }
 }
 

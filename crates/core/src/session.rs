@@ -46,6 +46,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Environment variable overriding the default worker-thread count.
+///
+/// The builder is the single source of truth for parallelism: an explicit
+/// [`SessionBuilder::threads`] call always wins. This variable only feeds
+/// the builder's *default* (via [`default_threads`]) and is read nowhere
+/// else in the workspace; precedence is pinned by the `session_env`
+/// integration test.
 pub const THREADS_ENV: &str = "ASIP_GRID_THREADS";
 
 /// Default worker count: the `ASIP_GRID_THREADS` environment variable if
@@ -373,8 +379,8 @@ impl Session {
         } else {
             None
         };
-        let compiled = tc.compile(&module, &machine, guided)?;
-        let run = tc.run_compiled(w, &machine, &compiled)?;
+        let compiled = tc.compile_for(&module, &machine, guided)?;
+        let run = tc.run_artifact(w, &machine, &compiled)?;
         Ok(EvalRun { run, machine, ise })
     }
 

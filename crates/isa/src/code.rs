@@ -203,6 +203,8 @@ pub enum CodeError {
     BadCustomId { bundle: usize, id: u16 },
     /// The entry function index is out of range.
     BadEntry,
+    /// A function's entry points outside the instruction stream.
+    BadFuncEntry { func: usize, entry: u32 },
 }
 
 impl fmt::Display for CodeError {
@@ -240,6 +242,9 @@ impl fmt::Display for CodeError {
                 write!(f, "bundle {bundle}: undefined custom op {id}")
             }
             CodeError::BadEntry => write!(f, "entry function index out of range"),
+            CodeError::BadFuncEntry { func, entry } => {
+                write!(f, "function {func}: entry @{entry} outside the program")
+            }
         }
     }
 }
@@ -293,6 +298,14 @@ impl VliwProgram {
         let spc = m.slots_per_cluster();
         if self.entry_func as usize >= self.functions.len() {
             return Err(CodeError::BadEntry);
+        }
+        for (fi, func) in self.functions.iter().enumerate() {
+            if func.entry as usize >= self.bundles.len() {
+                return Err(CodeError::BadFuncEntry {
+                    func: fi,
+                    entry: func.entry,
+                });
+            }
         }
         for (bi, bundle) in self.bundles.iter().enumerate() {
             if bundle.slots.len() != width {

@@ -21,7 +21,7 @@
 //! }
 //! ```
 
-use crate::machine::{Encoding, ICacheConfig, MachineDescription, MachineError};
+use crate::machine::{Encoding, ICacheConfig, MachineDescription, MachineError, TargetKind};
 use crate::op::FuKind;
 use std::fmt;
 
@@ -277,6 +277,26 @@ pub fn parse_machine(src: &str) -> Result<MachineDescription, ParseError> {
                         .ok_or_else(|| p.err(format!("unknown encoding {w:?}")))?;
                     b.encoding(e);
                 }
+                "target" => {
+                    let w = match p.next()? {
+                        Tok::Word(w) => w,
+                        other => return Err(p.err(format!("expected target, found {other:?}"))),
+                    };
+                    let t = TargetKind::from_name(&w)
+                        .ok_or_else(|| p.err(format!("unknown target {w:?}")))?;
+                    b.target(t);
+                }
+                "forwarding" => {
+                    let w = match p.next()? {
+                        Tok::Word(w) => w,
+                        other => return Err(p.err(format!("expected on/off, found {other:?}"))),
+                    };
+                    match w.as_str() {
+                        "on" => b.forwarding(true),
+                        "off" => b.forwarding(false),
+                        other => return Err(p.err(format!("expected on/off, found {other:?}"))),
+                    };
+                }
                 "icache" => {
                     let size = p.unsigned("icache size")?;
                     let line = p.unsigned("icache line")?;
@@ -333,6 +353,7 @@ pub fn print_machine(m: &MachineDescription) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let _ = writeln!(s, "machine \"{}\" {{", m.name);
+    let _ = writeln!(s, "  target {}", m.target);
     let _ = writeln!(s, "  clusters {}", m.clusters);
     let _ = writeln!(s, "  registers {}", m.regs_per_cluster);
     for slot in &m.slots {
@@ -343,6 +364,11 @@ pub fn print_machine(m: &MachineDescription) -> String {
     let _ = writeln!(s, "  latency div {}", m.lat_div);
     let _ = writeln!(s, "  latency mem {}", m.lat_mem);
     let _ = writeln!(s, "  branch_penalty {}", m.branch_penalty);
+    let _ = writeln!(
+        s,
+        "  forwarding {}",
+        if m.forwarding { "on" } else { "off" }
+    );
     let _ = writeln!(s, "  copy_latency {}", m.copy_latency);
     let _ = writeln!(s, "  encoding {}", m.encoding);
     if let Some(c) = m.icache {
@@ -370,7 +396,9 @@ pub fn print_machine(m: &MachineDescription) -> String {
 /// Compare two machine descriptions field by field, ignoring name and custom
 /// ops — used by round-trip tests and the drift reports.
 pub fn same_architecture(a: &MachineDescription, b: &MachineDescription) -> bool {
-    a.clusters == b.clusters
+    a.target == b.target
+        && a.forwarding == b.forwarding
+        && a.clusters == b.clusters
         && a.regs_per_cluster == b.regs_per_cluster
         && a.slots == b.slots
         && a.lat_mul == b.lat_mul
@@ -435,8 +463,25 @@ mod tests {
     }
 
     #[test]
+    fn scalar_target_and_forwarding_parse() {
+        let m = parse_machine(
+            r#"machine "s" {
+                 target scalar
+                 registers 16
+                 slot { alu mem branch mul }
+                 forwarding off
+               }"#,
+        )
+        .unwrap();
+        assert_eq!(m.target, TargetKind::Scalar);
+        assert!(!m.forwarding);
+        let e = parse_machine("machine \"s\" { target dataflow }").unwrap_err();
+        assert!(e.message.contains("dataflow"));
+    }
+
+    #[test]
     fn print_parse_roundtrip_for_presets() {
-        for m in MachineDescription::presets() {
+        for m in MachineDescription::all_presets() {
             let text = print_machine(&m);
             let back = parse_machine(&text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", m.name));
             assert!(

@@ -58,10 +58,12 @@ pub mod hwmodel;
 pub mod machine;
 pub mod op;
 pub mod reg;
+pub mod scalar;
 
 pub use code::{Bundle, CodeError, FuncSym, GlobalSym, MachineOp, VliwProgram};
 pub use custom::{CustomOpDef, CustomOpError, PatNode, PatRef};
 pub use hwmodel::{ActivityCounts, AreaBreakdown, CycleTime, EnergyBreakdown};
-pub use machine::{Encoding, ICacheConfig, MachineDescription, MachineError, Slot};
+pub use machine::{Encoding, ICacheConfig, MachineDescription, MachineError, Slot, TargetKind};
 pub use op::{EvalError, FuKind, LatClass, Opcode};
 pub use reg::{Operand, Reg};
+pub use scalar::{ScalarLayout, ScalarProgram};

@@ -55,6 +55,50 @@ impl fmt::Display for Encoding {
     }
 }
 
+/// Execution paradigm of a family member: which backend compiles it and
+/// which pipeline model simulates it.
+///
+/// The paper's central comparison (§2.2) pits customized exposed-pipeline
+/// VLIWs against binary-compatible scalar/superscalar processors. Both kinds
+/// are described by the same [`MachineDescription`] table; this discriminant
+/// selects the code-generation and timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TargetKind {
+    /// Exposed-pipeline VLIW: the compiler packs issue slots into bundles;
+    /// the simulator issues whole bundles per cycle.
+    #[default]
+    Vliw,
+    /// Scalar in-order RISC (1- or 2-issue superscalar): the compiler emits
+    /// a linear instruction stream; the hardware pairs instructions
+    /// dynamically, so the binary never encodes the issue width.
+    Scalar,
+}
+
+impl TargetKind {
+    /// Name used by the description DSL.
+    pub fn name(self) -> &'static str {
+        match self {
+            TargetKind::Vliw => "vliw",
+            TargetKind::Scalar => "scalar",
+        }
+    }
+
+    /// Parse a DSL name.
+    pub fn from_name(s: &str) -> Option<TargetKind> {
+        Some(match s {
+            "vliw" => TargetKind::Vliw,
+            "scalar" => TargetKind::Scalar,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TargetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One issue slot: the set of functional-unit kinds it can feed.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Slot {
@@ -123,6 +167,25 @@ pub enum MachineError {
     ZeroLatency(&'static str),
     /// Custom operations are declared but no slot hosts the Custom FU kind.
     CustomOpsWithoutSlot,
+    /// A custom operation's datapath needs a functional unit the machine
+    /// does not have (e.g. a multiply node on a machine without a Mul slot),
+    /// so its latency table would reference hardware that does not exist.
+    CustomOpNeedsUnit {
+        /// Name of the offending custom operation.
+        op: String,
+        /// The functional-unit kind its datapath requires.
+        unit: FuKind,
+    },
+    /// A custom operation declares a latency of zero cycles.
+    CustomOpZeroLatency {
+        /// Name of the offending custom operation.
+        op: String,
+    },
+    /// A scalar-target machine declared more than one register cluster.
+    ScalarClustered(u8),
+    /// A scalar-target machine declared more issue slots than the in-order
+    /// pipeline model supports (1..=2).
+    ScalarTooWide(usize),
 }
 
 impl fmt::Display for MachineError {
@@ -147,6 +210,24 @@ impl fmt::Display for MachineError {
                     "custom operations declared but no slot hosts the custom unit"
                 )
             }
+            MachineError::CustomOpNeedsUnit { op, unit } => {
+                write!(
+                    f,
+                    "custom op {op:?} needs a {unit} unit the machine does not have"
+                )
+            }
+            MachineError::CustomOpZeroLatency { op } => {
+                write!(f, "custom op {op:?} declares a zero-cycle latency")
+            }
+            MachineError::ScalarClustered(c) => {
+                write!(f, "scalar targets are unclustered, but {c} clusters given")
+            }
+            MachineError::ScalarTooWide(w) => {
+                write!(
+                    f,
+                    "scalar in-order pipelines issue at most 2 per cycle, but {w} slots given"
+                )
+            }
         }
     }
 }
@@ -161,6 +242,8 @@ impl std::error::Error for MachineError {}
 pub struct MachineDescription {
     /// Human-readable model name (e.g. `ember4`).
     pub name: String,
+    /// Execution paradigm: VLIW bundles or a scalar in-order pipeline.
+    pub target: TargetKind,
     /// Number of register clusters (≥ 1).
     pub clusters: u8,
     /// General-purpose registers per cluster.
@@ -176,6 +259,13 @@ pub struct MachineDescription {
     pub lat_mem: u32,
     /// Cycles lost on a taken branch.
     pub branch_penalty: u32,
+    /// Whether results are forwarded (bypassed) to dependent operations.
+    /// With forwarding a dependent operation issues `latency` cycles after
+    /// its producer; without it, results take one extra cycle through the
+    /// register file. Only the scalar pipeline model consults this — the
+    /// VLIW members of the family always build the full bypass network
+    /// (its cost shows up in [`crate::hwmodel::cycle_time`] instead).
+    pub forwarding: bool,
     /// Latency of an inter-cluster copy.
     pub copy_latency: u32,
     /// Instruction-encoding scheme.
@@ -280,6 +370,34 @@ impl MachineDescription {
         if !self.custom_ops.is_empty() && !self.has_fu(FuKind::Custom) {
             return Err(MachineError::CustomOpsWithoutSlot);
         }
+        // Every custom op's latency table must be realizable: a datapath
+        // node that needs a unit kind the machine lacks (a multiply node on
+        // a machine without a Mul slot) would reference nonexistent
+        // hardware. Checked here, not just at schedule time.
+        for def in &self.custom_ops {
+            if def.latency == 0 {
+                return Err(MachineError::CustomOpZeroLatency {
+                    op: def.name.clone(),
+                });
+            }
+            for node in &def.nodes {
+                let unit = node.op.fu_kind();
+                if unit != FuKind::Alu && !self.has_fu(unit) {
+                    return Err(MachineError::CustomOpNeedsUnit {
+                        op: def.name.clone(),
+                        unit,
+                    });
+                }
+            }
+        }
+        if self.target == TargetKind::Scalar {
+            if self.clusters != 1 {
+                return Err(MachineError::ScalarClustered(self.clusters));
+            }
+            if self.slots.len() > 2 {
+                return Err(MachineError::ScalarTooWide(self.slots.len()));
+            }
+        }
         Ok(())
     }
 
@@ -376,7 +494,45 @@ impl MachineDescription {
             .expect("preset is valid")
     }
 
-    /// All named presets.
+    /// `scalar1`: a binary-compatible single-issue 5-stage scalar RISC with
+    /// full forwarding — the measured counterpart of the §2.2 "mass-market"
+    /// baseline. Same register file, latencies and custom-op table as the
+    /// VLIW members; only the code generator and pipeline model differ.
+    pub fn scalar1() -> Self {
+        Self::builder("scalar1")
+            .target(TargetKind::Scalar)
+            .registers(32)
+            .slot(&[
+                FuKind::Alu,
+                FuKind::Mul,
+                FuKind::Mem,
+                FuKind::Branch,
+                FuKind::Custom,
+            ])
+            .branch_penalty(2)
+            .compat_control(true)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// `scalar2`: a dual-issue in-order superscalar — the measured
+    /// replacement for the analytical [`MachineDescription::massmarket`]
+    /// stand-in in the RISC-vs-VLIW comparison. The two slots describe the
+    /// dynamic pairing rules (ALU/Mem/Branch beside ALU/Mul/Custom); the
+    /// binary itself stays a scalar instruction stream.
+    pub fn scalar2() -> Self {
+        Self::builder("scalar2")
+            .target(TargetKind::Scalar)
+            .registers(32)
+            .slot(&[FuKind::Alu, FuKind::Mem, FuKind::Branch])
+            .slot(&[FuKind::Alu, FuKind::Mul, FuKind::Custom])
+            .branch_penalty(2)
+            .compat_control(true)
+            .build()
+            .expect("preset is valid")
+    }
+
+    /// All named VLIW presets.
     pub fn presets() -> Vec<MachineDescription> {
         vec![
             Self::ember1(),
@@ -386,6 +542,18 @@ impl MachineDescription {
             Self::ember4x2(),
             Self::massmarket(),
         ]
+    }
+
+    /// The scalar-target presets.
+    pub fn scalar_presets() -> Vec<MachineDescription> {
+        vec![Self::scalar1(), Self::scalar2()]
+    }
+
+    /// Every preset of both target kinds (the full N×M grid rows).
+    pub fn all_presets() -> Vec<MachineDescription> {
+        let mut v = Self::presets();
+        v.extend(Self::scalar_presets());
+        v
     }
 }
 
@@ -401,6 +569,7 @@ impl MachineBuilder {
         MachineBuilder {
             m: MachineDescription {
                 name: name.to_string(),
+                target: TargetKind::Vliw,
                 clusters: 1,
                 regs_per_cluster: 32,
                 slots: Vec::new(),
@@ -408,6 +577,7 @@ impl MachineBuilder {
                 lat_div: 8,
                 lat_mem: 2,
                 branch_penalty: 1,
+                forwarding: true,
                 copy_latency: 1,
                 encoding: Encoding::StopBit,
                 icache: Some(ICacheConfig::default()),
@@ -417,6 +587,19 @@ impl MachineBuilder {
                 dmem_words: 1 << 20,
             },
         }
+    }
+
+    /// Select the execution paradigm (default [`TargetKind::Vliw`]).
+    pub fn target(&mut self, t: TargetKind) -> &mut Self {
+        self.m.target = t;
+        self
+    }
+
+    /// Enable or disable result forwarding (default on; see
+    /// [`MachineDescription::forwarding`]).
+    pub fn forwarding(&mut self, on: bool) -> &mut Self {
+        self.m.forwarding = on;
+        self
     }
 
     /// Set the number of clusters.
@@ -521,9 +704,106 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for m in MachineDescription::presets() {
+        for m in MachineDescription::all_presets() {
             assert_eq!(m.validate(), Ok(()), "{} must validate", m.name);
         }
+    }
+
+    #[test]
+    fn scalar_presets_are_scalar_targets() {
+        let s1 = MachineDescription::scalar1();
+        let s2 = MachineDescription::scalar2();
+        assert_eq!(s1.target, TargetKind::Scalar);
+        assert_eq!(s1.issue_width(), 1);
+        assert_eq!(s2.target, TargetKind::Scalar);
+        assert_eq!(s2.issue_width(), 2);
+        assert!(s1.forwarding && s2.forwarding);
+        // VLIW presets keep the default target.
+        assert!(MachineDescription::presets()
+            .iter()
+            .all(|m| m.target == TargetKind::Vliw));
+    }
+
+    #[test]
+    fn scalar_shape_rules_enforced() {
+        let e = MachineDescription::builder("x")
+            .target(TargetKind::Scalar)
+            .clusters(2)
+            .registers(16)
+            .slot(&[FuKind::Alu, FuKind::Mem, FuKind::Branch])
+            .build()
+            .unwrap_err();
+        assert_eq!(e, MachineError::ScalarClustered(2));
+
+        let e = MachineDescription::builder("x")
+            .target(TargetKind::Scalar)
+            .registers(16)
+            .slot(&[FuKind::Alu, FuKind::Mem, FuKind::Branch])
+            .slot(&[FuKind::Alu])
+            .slot(&[FuKind::Alu])
+            .build()
+            .unwrap_err();
+        assert_eq!(e, MachineError::ScalarTooWide(3));
+    }
+
+    #[test]
+    fn custom_op_unit_requirements_validated() {
+        // A MAC datapath contains a multiply node: a machine whose slots
+        // host Custom but not Mul must be rejected at validation time, not
+        // discovered at schedule time.
+        let e = MachineDescription::builder("x")
+            .registers(16)
+            .slot(&[FuKind::Alu, FuKind::Mem, FuKind::Branch, FuKind::Custom])
+            .custom_op(crate::custom::mac_op())
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            e,
+            MachineError::CustomOpNeedsUnit {
+                op: "mac".into(),
+                unit: FuKind::Mul,
+            }
+        );
+
+        // The same machine with a Mul slot is fine.
+        MachineDescription::builder("x")
+            .registers(16)
+            .slot(&[
+                FuKind::Alu,
+                FuKind::Mul,
+                FuKind::Mem,
+                FuKind::Branch,
+                FuKind::Custom,
+            ])
+            .custom_op(crate::custom::mac_op())
+            .build()
+            .expect("mul-capable machine hosts a mac");
+
+        // Pure-ALU datapaths never trip the unit check.
+        MachineDescription::builder("x")
+            .registers(16)
+            .slot(&[FuKind::Alu, FuKind::Mem, FuKind::Branch, FuKind::Custom])
+            .custom_op(crate::custom::sat_add16())
+            .build()
+            .expect("alu-only custom op needs no extra unit");
+    }
+
+    #[test]
+    fn custom_op_zero_latency_rejected() {
+        let mut def = crate::custom::sat_add16();
+        def.latency = 0;
+        let e = MachineDescription::builder("x")
+            .registers(16)
+            .slot(&[FuKind::Alu, FuKind::Mem, FuKind::Branch, FuKind::Custom])
+            .custom_op(def)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            e,
+            MachineError::CustomOpZeroLatency {
+                op: "sadd16".into()
+            }
+        );
     }
 
     #[test]

@@ -1,16 +1,23 @@
-//! # asip-sim — cycle-level simulation of customized VLIW family members
+//! # asip-sim — cycle-level simulation of customized family members
 //!
 //! "Fast and accurate simulation of everything" is item 4 of the paper's
-//! toolchain discipline (§3.1). This simulator executes any
-//! [`asip_isa::VliwProgram`] against any [`asip_isa::MachineDescription`]:
-//! it reads the same tables the compiler reads, so retargeting the machine
-//! never requires simulator changes — including application-specific custom
-//! operations, which are interpreted from their stored dataflow graphs.
+//! toolchain discipline (§3.1). Two pipeline models live here, one per
+//! [`asip_isa::TargetKind`]; both read the same machine tables the
+//! compilers read, so retargeting never requires simulator changes —
+//! including application-specific custom operations, which are interpreted
+//! from their stored dataflow graphs:
 //!
-//! Timing model: in-order bundle issue, whole-machine interlock on
-//! not-ready registers (schedule quality shows up as stall cycles, never as
-//! wrong answers), configurable taken-branch penalty, and an LRU
-//! set-associative I-cache charged by the machine's instruction encoding.
+//! * **VLIW** ([`run`]): executes any [`asip_isa::VliwProgram`] with
+//!   in-order bundle issue and whole-machine interlock on not-ready
+//!   registers (schedule quality shows up as stall cycles, never as wrong
+//!   answers);
+//! * **Scalar** ([`scalar`]): executes any [`asip_isa::ScalarProgram`] on
+//!   an in-order 1–2-issue pipeline with result forwarding, load-use and
+//!   taken-branch stalls — the measured §2.2 "binary-compatible" baseline.
+//!
+//! Both charge fetch through the same LRU set-associative I-cache model
+//! under the machine's instruction encoding, and both report through one
+//! [`SimResult`].
 //!
 //! ## Example
 //!
@@ -33,6 +40,8 @@
 
 pub mod icache;
 pub mod run;
+pub mod scalar;
 
 pub use icache::ICache;
 pub use run::{run_program, SimError, SimOptions, SimResult, Simulator};
+pub use scalar::{run_scalar_program, ScalarSimulator};

@@ -1,0 +1,605 @@
+//! The in-order scalar pipeline model (classic 5-stage RISC, 1- or 2-issue).
+//!
+//! This is the measured counterpart of the paper's §2.2 "mass-market
+//! compatible" baseline: it executes a linear [`ScalarProgram`] — the
+//! binary never encodes an issue width — and models the timing of an
+//! in-order pipeline:
+//!
+//! * **Issue**: up to `issue_width` (capped at 2) instructions per cycle;
+//!   a group issues only if its instructions can be assigned to *distinct*
+//!   slots of the machine's slot table (the table is the dynamic pairing
+//!   rule), and a control transfer always ends its issue group.
+//! * **Data hazards**: a scoreboard holds each register's ready cycle.
+//!   With [`forwarding`] a consumer issues `latency` cycles after its
+//!   producer (back-to-back ALU ops are free; a load with `lat_mem = 2`
+//!   costs one load-use bubble); without forwarding results take one extra
+//!   cycle through the register file.
+//! * **Control**: taken branches pay the machine's `branch_penalty`
+//!   (fall-through is free — a static not-taken front end).
+//! * **Fetch**: the same LRU set-associative [`ICache`] model as the VLIW
+//!   simulator, charged per instruction under the machine's encoding.
+//!
+//! Architectural state updates sequentially in program order, so results
+//! are always exactly the IR interpreter's — schedule or pairing mistakes
+//! can only cost cycles, never correctness (the same invariant the VLIW
+//! simulator keeps via interlocks).
+//!
+//! [`forwarding`]: asip_isa::MachineDescription::forwarding
+
+use crate::icache::ICache;
+use crate::run::{SimError, SimOptions, SimResult};
+use asip_isa::scalar::scalar_inst_bytes;
+use asip_isa::{ActivityCounts, LatClass, MachineDescription, Opcode, Operand, Reg, ScalarProgram};
+
+/// Sentinel LR value meaning "return ends the program".
+const LR_HALT: u32 = u32::MAX;
+
+/// The scalar simulator. Construct with [`ScalarSimulator::new`], optionally
+/// override global data ([`ScalarSimulator::write_global`]), then
+/// [`ScalarSimulator::run`].
+#[derive(Debug)]
+pub struct ScalarSimulator<'a> {
+    machine: &'a MachineDescription,
+    program: &'a ScalarProgram,
+    memory: Vec<i32>,
+    opts: SimOptions,
+}
+
+impl<'a> ScalarSimulator<'a> {
+    /// Prepare a simulation: validates the program and loads global data.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProgram`] if the program fails static validation
+    /// against the machine.
+    pub fn new(
+        machine: &'a MachineDescription,
+        program: &'a ScalarProgram,
+        opts: SimOptions,
+    ) -> Result<ScalarSimulator<'a>, SimError> {
+        program
+            .validate(machine)
+            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+        let mut memory = vec![0i32; machine.dmem_words as usize];
+        for g in &program.globals {
+            for (i, &v) in g.init.iter().enumerate() {
+                let a = g.addr as usize + i;
+                if a < memory.len() {
+                    memory[a] = v;
+                }
+            }
+        }
+        Ok(ScalarSimulator {
+            machine,
+            program,
+            memory,
+            opts,
+        })
+    }
+
+    /// Overwrite a global before running (workload inputs). Returns false
+    /// if the global does not exist.
+    pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
+        let Some(g) = self.program.global(name) else {
+            return false;
+        };
+        for (i, &v) in data.iter().take(g.words as usize).enumerate() {
+            self.memory[g.addr as usize + i] = v;
+        }
+        true
+    }
+
+    /// Run the program's entry function with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution.
+    pub fn run(self, args: &[i32]) -> Result<SimResult, SimError> {
+        let entry = &self.program.functions[self.program.entry_func as usize];
+        if args.len() != entry.num_args as usize {
+            return Err(SimError::BadArgs {
+                expected: entry.num_args,
+                got: args.len() as u32,
+            });
+        }
+        let ScalarSimulator {
+            machine,
+            program,
+            mut memory,
+            opts,
+        } = self;
+
+        // Stack setup: arguments at the very top; SP points at the first.
+        let top = memory.len() as u32;
+        let mut sp = top - args.len() as u32;
+        for (i, &a) in args.iter().enumerate() {
+            memory[sp as usize + i] = a;
+        }
+        let mut lr: u32 = LR_HALT;
+
+        let mut regs = vec![0i32; machine.regs_per_cluster as usize];
+        let mut reg_ready = vec![0u64; machine.regs_per_cluster as usize];
+        // Extra forwarding cost: without bypass, results take one more
+        // cycle through the register file before a consumer can issue.
+        let fwd_extra: u64 = u64::from(!machine.forwarding);
+
+        let width = machine.issue_width().clamp(1, 2);
+        let layout = program.layout(machine.encoding);
+        let mut icache = machine.icache.map(ICache::new);
+
+        let mut out = SimResult {
+            output: Vec::new(),
+            cycles: 0,
+            interlock_stalls: 0,
+            icache_stalls: 0,
+            branch_stalls: 0,
+            bundles_executed: 0,
+            ops_executed: 0,
+            activity: ActivityCounts::default(),
+            icache_misses: 0,
+            memory: Vec::new(),
+        };
+
+        // Current issue group: the cycle it issues in, the unit kinds of the
+        // instructions it already holds (pairing requires an assignment of
+        // all of them to *distinct* slots of the declared slot table), and
+        // whether a control op sealed it.
+        let mut cycle: u64 = 0;
+        let mut group_kinds: Vec<asip_isa::FuKind> = Vec::with_capacity(width);
+        let mut group_closed = false;
+        let mut pc: u32 = entry.entry;
+
+        macro_rules! new_group {
+            ($advance:expr) => {{
+                cycle += $advance;
+                group_kinds.clear();
+                group_closed = false;
+            }};
+        }
+
+        'run: loop {
+            if cycle > opts.max_cycles {
+                return Err(SimError::CycleLimit);
+            }
+            let op = &program.insts[pc as usize];
+            let kind = op.opcode.fu_kind();
+
+            // 1. Fetch, charging I-cache misses as front-end bubbles.
+            let bytes = scalar_inst_bytes(op, machine.encoding);
+            if let Some(ic) = icache.as_mut() {
+                let misses = ic.access(layout.inst_addr[pc as usize], bytes);
+                if misses > 0 {
+                    let pen = u64::from(misses) * u64::from(ic.miss_penalty());
+                    let bump = u64::from(!group_kinds.is_empty());
+                    new_group!(bump + pen);
+                    out.icache_stalls += pen;
+                    out.icache_misses += u64::from(misses);
+                }
+            }
+            out.activity.fetch_bytes += u64::from(bytes);
+
+            // 2. Structural hazards: group full, sealed by a control op, or
+            //    no slot assignment covers the group plus this instruction
+            //    (the slot table *is* the dynamic pairing rule — e.g. on
+            //    scalar2 a Mem and a Branch op cannot pair, both units
+            //    living in slot 0 only).
+            if group_kinds.len() >= width
+                || group_closed
+                || !group_fits(&machine.slots, &group_kinds, kind)
+            {
+                new_group!(1);
+            }
+
+            // 3. Data hazards: operands (and, for in-order writeback,
+            //    destinations) must be ready.
+            let mut ready = cycle;
+            for r in op.reads().chain(op.dsts.iter().copied()) {
+                if !r.is_zero() {
+                    ready = ready.max(reg_ready[r.index as usize]);
+                }
+            }
+            if ready > cycle {
+                out.interlock_stalls += ready - cycle;
+                new_group!(ready - cycle);
+            }
+
+            // 4. Issue and execute. Architectural state updates immediately
+            //    (sequential semantics); the scoreboard carries the timing.
+            group_kinds.push(kind);
+            if group_kinds.len() == 1 {
+                out.bundles_executed += 1;
+                out.activity.bundles += 1;
+            }
+            out.ops_executed += 1;
+            count_activity(&mut out.activity, op.opcode);
+
+            let read = |o: &Operand, regs: &Vec<i32>| -> i32 {
+                match o {
+                    Operand::Reg(r) => {
+                        if r.is_zero() {
+                            0
+                        } else {
+                            regs[r.index as usize]
+                        }
+                    }
+                    Operand::Imm(v) => *v,
+                }
+            };
+            let lat = u64::from(machine.latency(op.opcode)) + fwd_extra;
+            let write = |d: Reg, v: i32, regs: &mut Vec<i32>, reg_ready: &mut Vec<u64>| {
+                if !d.is_zero() {
+                    regs[d.index as usize] = v;
+                    let slot = &mut reg_ready[d.index as usize];
+                    *slot = (*slot).max(cycle + lat);
+                }
+            };
+
+            let mut next_pc = pc + 1;
+            let mut taken = false;
+            let mut halted = false;
+
+            match op.opcode {
+                Opcode::Ldw => {
+                    let base = read(&op.srcs[0], &regs);
+                    let addr = i64::from(base) + i64::from(op.imm);
+                    if addr < 0 || addr as usize >= memory.len() {
+                        return Err(SimError::MemFault { pc, addr });
+                    }
+                    let v = memory[addr as usize];
+                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
+                }
+                Opcode::Stw => {
+                    let v = read(&op.srcs[0], &regs);
+                    let base = read(&op.srcs[1], &regs);
+                    let addr = i64::from(base) + i64::from(op.imm);
+                    if addr < 0 || addr as usize >= memory.len() {
+                        return Err(SimError::MemFault { pc, addr });
+                    }
+                    memory[addr as usize] = v;
+                }
+                Opcode::Br => {
+                    next_pc = op.target;
+                    taken = true;
+                }
+                Opcode::BrT | Opcode::BrF => {
+                    let c = read(&op.srcs[0], &regs) != 0;
+                    let go = if op.opcode == Opcode::BrT { c } else { !c };
+                    if go {
+                        next_pc = op.target;
+                        taken = true;
+                    }
+                }
+                Opcode::Call => {
+                    lr = pc + 1;
+                    next_pc = program.functions[op.target as usize].entry;
+                    taken = true;
+                }
+                Opcode::Ret => {
+                    if lr == LR_HALT {
+                        halted = true;
+                    } else if lr as usize >= program.insts.len() {
+                        return Err(SimError::WildReturn { pc });
+                    } else {
+                        next_pc = lr;
+                        taken = true;
+                    }
+                }
+                Opcode::Halt => halted = true,
+                Opcode::Emit => {
+                    let v = read(&op.srcs[0], &regs);
+                    out.output.push(v);
+                }
+                Opcode::AddSp => {
+                    sp = (i64::from(sp) + i64::from(op.imm)) as u32;
+                }
+                Opcode::MovFromSp => {
+                    write(op.dsts[0], sp as i32, &mut regs, &mut reg_ready);
+                }
+                Opcode::MovFromLr => {
+                    write(op.dsts[0], lr as i32, &mut regs, &mut reg_ready);
+                }
+                Opcode::MovToLr => {
+                    lr = read(&op.srcs[0], &regs) as u32;
+                }
+                Opcode::CopyX | Opcode::Mov => {
+                    let v = read(&op.srcs[0], &regs);
+                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
+                }
+                Opcode::Select => {
+                    let c = read(&op.srcs[0], &regs);
+                    let a = read(&op.srcs[1], &regs);
+                    let b = read(&op.srcs[2], &regs);
+                    write(
+                        op.dsts[0],
+                        if c != 0 { a } else { b },
+                        &mut regs,
+                        &mut reg_ready,
+                    );
+                }
+                Opcode::Custom(k) => {
+                    let def = &program.custom_ops[k as usize];
+                    let argv: Vec<i32> = op.srcs.iter().map(|s| read(s, &regs)).collect();
+                    let outs = def.eval(&argv).map_err(|e| match e {
+                        asip_isa::CustomOpError::Eval(_) => SimError::DivideByZero { pc },
+                        other => SimError::InvalidProgram(other.to_string()),
+                    })?;
+                    for (&d, v) in op.dsts.iter().zip(outs) {
+                        write(d, v, &mut regs, &mut reg_ready);
+                    }
+                    out.activity.custom_area_executed += def.area.round() as u64;
+                }
+                Opcode::Nop => {}
+                Opcode::Abs | Opcode::Sxtb | Opcode::Sxth => {
+                    let a = read(&op.srcs[0], &regs);
+                    let v = op.opcode.eval1(a).expect("unary arith");
+                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
+                }
+                _ => {
+                    let a = read(&op.srcs[0], &regs);
+                    let b = read(&op.srcs[1], &regs);
+                    let v = op.opcode.eval2(a, b).map_err(|e| match e {
+                        asip_isa::EvalError::DivideByZero => SimError::DivideByZero { pc },
+                        asip_isa::EvalError::NotArithmetic => SimError::InvalidProgram(format!(
+                            "opcode {} is not executable",
+                            op.opcode
+                        )),
+                    })?;
+                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
+                }
+            }
+
+            if halted {
+                cycle += 1;
+                break 'run;
+            }
+            if taken {
+                // Redirect: the branch's own cycle plus the penalty bubbles.
+                let pen = u64::from(machine.branch_penalty);
+                out.branch_stalls += pen;
+                new_group!(1 + pen);
+            } else if op.opcode.is_control() {
+                // A fall-through control op still seals its issue group.
+                group_closed = true;
+            }
+            pc = next_pc;
+            if pc as usize >= program.insts.len() {
+                return Err(SimError::WildReturn { pc });
+            }
+        }
+
+        out.cycles = cycle;
+        out.activity.cycles = cycle;
+        out.activity.idle_slots =
+            (out.activity.bundles * width as u64).saturating_sub(out.ops_executed);
+        out.memory = memory;
+        Ok(out)
+    }
+}
+
+/// Whether the instructions already in an issue group (`kinds`) plus one
+/// more of kind `extra` can all be assigned to *distinct* slots of the
+/// machine's slot table — the dynamic pairing rule of the in-order front
+/// end. Solved as a tiny bipartite matching (groups hold at most two
+/// instructions, so this is a couple of probes, not a search).
+fn group_fits(
+    slots: &[asip_isa::Slot],
+    kinds: &[asip_isa::FuKind],
+    extra: asip_isa::FuKind,
+) -> bool {
+    fn assign(
+        slots: &[asip_isa::Slot],
+        kinds: &[asip_isa::FuKind],
+        extra: asip_isa::FuKind,
+        used: &mut [bool],
+    ) -> bool {
+        let (k, rest_extra) = match kinds.split_first() {
+            Some((&k, rest)) => (k, Some((rest, extra))),
+            None => (extra, None),
+        };
+        for (i, s) in slots.iter().enumerate() {
+            if used[i] || !s.hosts(k) {
+                continue;
+            }
+            used[i] = true;
+            let ok = match rest_extra {
+                Some((rest, ex)) => assign(slots, rest, ex, used),
+                None => true,
+            };
+            if ok {
+                return true;
+            }
+            used[i] = false;
+        }
+        false
+    }
+    let mut used = [false; 8];
+    if slots.len() > used.len() {
+        return true; // wider-than-modeled tables never constrain pairing
+    }
+    assign(slots, kinds, extra, &mut used[..slots.len()])
+}
+
+fn count_activity(act: &mut ActivityCounts, op: Opcode) {
+    match op.lat_class() {
+        LatClass::Alu => act.alu_ops += 1,
+        LatClass::Mul => act.mul_ops += 1,
+        LatClass::Div => act.div_ops += 1,
+        LatClass::Mem => act.mem_ops += 1,
+        LatClass::Branch => act.branch_ops += 1,
+        LatClass::Copy => act.copy_ops += 1,
+        LatClass::Custom => act.custom_ops += 1,
+    }
+}
+
+/// One-call convenience: simulate `program` on the scalar pipeline of
+/// `machine` with `args`.
+///
+/// # Errors
+///
+/// Any [`SimError`].
+pub fn run_scalar_program(
+    machine: &MachineDescription,
+    program: &ScalarProgram,
+    args: &[i32],
+) -> Result<SimResult, SimError> {
+    ScalarSimulator::new(machine, program, SimOptions::default())?.run(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_backend::{compile_module_scalar, BackendOptions};
+
+    fn compile(src: &str, m: &MachineDescription) -> ScalarProgram {
+        let mut module = asip_tinyc::compile(src).unwrap();
+        asip_ir::passes::optimize(&mut module, &asip_ir::passes::OptConfig::default());
+        compile_module_scalar(&module, m, None, &BackendOptions::default())
+            .unwrap()
+            .program
+    }
+
+    #[test]
+    fn arithmetic_matches_interpreter() {
+        let src = r#"
+            void main(int a, int b) {
+                emit(a * b + (a ^ b));
+                emit(a / (b + 7));
+                emit(min(a, b) - max(a, b));
+            }
+        "#;
+        let m = MachineDescription::scalar1();
+        let prog = compile(src, &m);
+        let mut module = asip_tinyc::compile(src).unwrap();
+        asip_ir::passes::optimize(&mut module, &asip_ir::passes::OptConfig::default());
+        for args in [[9, 4], [-3, 100], [0, 0]] {
+            let golden = asip_ir::interp::run_module(&module, "main", &args).unwrap();
+            let sim = run_scalar_program(&m, &prog, &args).unwrap();
+            assert_eq!(sim.output, golden.output, "args {args:?}");
+        }
+    }
+
+    #[test]
+    fn dual_issue_is_no_slower_and_usually_faster() {
+        let src = r#"
+            void main(int a, int b, int c, int d) {
+                emit((a + b) + (c + d) + (a - b) + (c - d) + (a ^ c) + (b | d));
+            }
+        "#;
+        let s1 = MachineDescription::scalar1();
+        let s2 = MachineDescription::scalar2();
+        let p = compile(src, &s1); // binary-compatible: one stream
+        let args = [3, 5, 7, 11];
+        let c1 = run_scalar_program(&s1, &p, &args).unwrap();
+        let c2 = run_scalar_program(&s2, &p, &args).unwrap();
+        assert_eq!(c1.output, c2.output);
+        assert!(
+            c2.cycles < c1.cycles,
+            "dual issue must help on parallel ALU code: {} vs {}",
+            c2.cycles,
+            c1.cycles
+        );
+    }
+
+    #[test]
+    fn load_use_and_forwarding_stalls_show_up() {
+        let src = r#"
+            int t[4] = {10, 20, 30, 40};
+            void main() { emit(t[0] + t[1] + t[2] + t[3]); }
+        "#;
+        let base = MachineDescription::scalar1();
+        let slow = base.derive("slowmem", |m| m.lat_mem = 4);
+        let nofwd = base.derive("nofwd", |m| m.forwarding = false);
+        let p = compile(src, &base);
+        let r_base = run_scalar_program(&base, &p, &[]).unwrap();
+        let r_slow = run_scalar_program(&slow, &p, &[]).unwrap();
+        let r_nofwd = run_scalar_program(&nofwd, &p, &[]).unwrap();
+        assert_eq!(r_base.output, vec![100]);
+        assert_eq!(r_slow.output, vec![100]);
+        assert!(
+            r_slow.interlock_stalls > r_base.interlock_stalls,
+            "longer load-use latency must stall more: {} vs {}",
+            r_slow.interlock_stalls,
+            r_base.interlock_stalls
+        );
+        assert!(
+            r_nofwd.cycles > r_base.cycles,
+            "removing the bypass network must cost cycles: {} vs {}",
+            r_nofwd.cycles,
+            r_base.cycles
+        );
+    }
+
+    #[test]
+    fn taken_branches_pay_the_penalty() {
+        let src = r#"
+            void main(int n) {
+                int i; int s = 0;
+                for (i = 0; i < n; i++) s += i;
+                emit(s);
+            }
+        "#;
+        let cheap = MachineDescription::scalar1().derive("bp0", |m| m.branch_penalty = 0);
+        let dear = MachineDescription::scalar1().derive("bp4", |m| m.branch_penalty = 4);
+        let p = compile(src, &cheap);
+        let r_cheap = run_scalar_program(&cheap, &p, &[50]).unwrap();
+        let r_dear = run_scalar_program(&dear, &p, &[50]).unwrap();
+        assert_eq!(r_cheap.output, r_dear.output);
+        assert!(r_dear.branch_stalls > r_cheap.branch_stalls);
+        assert!(r_dear.cycles > r_cheap.cycles);
+    }
+
+    #[test]
+    fn pairing_respects_the_slot_table() {
+        use asip_isa::FuKind::{Alu, Branch, Custom, Mem, Mul};
+        let m = MachineDescription::scalar2();
+        // Pairs with a valid distinct-slot assignment…
+        assert!(group_fits(&m.slots, &[], Branch));
+        assert!(group_fits(&m.slots, &[Mem], Alu));
+        assert!(group_fits(&m.slots, &[Alu], Mul));
+        // …including when the first op could have hogged the other's only
+        // slot (the matcher backtracks).
+        assert!(group_fits(&m.slots, &[Alu], Mem));
+        // Impossible pairings: both kinds live in the same single slot.
+        assert!(!group_fits(&m.slots, &[Mem], Branch));
+        assert!(!group_fits(&m.slots, &[Mul], Custom));
+        // scalar1 never pairs anything: one slot.
+        let s1 = MachineDescription::scalar1();
+        assert!(!group_fits(&s1.slots, &[Alu], Alu));
+    }
+
+    #[test]
+    fn errors_match_vliw_simulator_shapes() {
+        let m = MachineDescription::scalar1();
+        let p = compile("void main(int x) { emit(100 / x); }", &m);
+        let err = run_scalar_program(&m, &p, &[0]).unwrap_err();
+        assert!(matches!(err, SimError::DivideByZero { .. }));
+        let err = run_scalar_program(&m, &p, &[]).unwrap_err();
+        assert!(matches!(err, SimError::BadArgs { .. }));
+        let ok = run_scalar_program(&m, &p, &[5]).unwrap();
+        assert_eq!(ok.output, vec![20]);
+        assert!(ok.ipc() > 0.0);
+    }
+
+    #[test]
+    fn icache_misses_charged_on_small_caches() {
+        let src = r#"
+            void main(int n) {
+                int i; int s = 0;
+                for (i = 0; i < n; i++) { s += i * 3; s ^= i; }
+                emit(s);
+            }
+        "#;
+        let tiny = MachineDescription::scalar1().derive("tinyic", |m| {
+            m.icache = Some(asip_isa::ICacheConfig {
+                size_bytes: 64,
+                line_bytes: 16,
+                ways: 1,
+                miss_penalty: 20,
+            });
+        });
+        let p = compile(src, &tiny);
+        let r = run_scalar_program(&tiny, &p, &[40]).unwrap();
+        assert!(r.icache_misses > 0);
+        assert!(r.icache_stalls >= r.icache_misses * 20);
+    }
+}

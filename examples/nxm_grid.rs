@@ -1,6 +1,6 @@
 //! The toolchain's N×M validation discipline (paper §3.1): every machine of
-//! the family crossed with a workload set; every cell must PASS against the
-//! golden model.
+//! the family — VLIW and scalar targets alike — crossed with a workload
+//! set; every cell must PASS against the golden model.
 //!
 //! The grid is a thin layer over `Session::eval_batch`: the cells run in
 //! parallel on the session's worker pool and share its artifact cache.
@@ -13,7 +13,7 @@ use asip::isa::MachineDescription;
 
 fn main() {
     let session = Session::builder().build();
-    let machines = MachineDescription::presets();
+    let machines = MachineDescription::all_presets();
     let workloads: Vec<_> = ["fir", "viterbi", "sobel", "crc32", "sort"]
         .iter()
         .map(|n| asip::workloads::by_name(n).expect("workload"))

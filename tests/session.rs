@@ -146,6 +146,89 @@ fn dse_explore_parallel_byte_identical_and_cache_bounded() {
     );
 }
 
+/// A mixed batch of scalar and VLIW requests evaluates in one
+/// `eval_batch` call: request-ordered, thread-count-invariant, and with
+/// distinct Compile artifacts per target kind.
+#[test]
+fn mixed_scalar_and_vliw_batch_is_deterministic_and_unaliased() {
+    let ws = suite(&["fir", "crc32", "dither"]);
+    let machines = vec![
+        MachineDescription::scalar2(),
+        MachineDescription::ember4(),
+        MachineDescription::scalar1(),
+    ];
+    let reqs = cross_requests(&ws, &machines);
+    let serial = Session::builder().threads(1).cache_bytes(64 * MIB).build();
+    let parallel = Session::builder().threads(8).cache_bytes(64 * MIB).build();
+    let a = serial.eval_batch(&reqs);
+    let b = parallel.eval_batch(&reqs);
+    for ((x, y), r) in a.iter().zip(&b).zip(&reqs) {
+        assert_eq!(x.workload, r.workload.name);
+        assert_eq!(x.machine, r.machine.name);
+        let rx = x.result.as_ref().expect("serial cell runs");
+        let ry = y.result.as_ref().expect("parallel cell runs");
+        assert_eq!(
+            rx.run.sim.cycles, ry.run.sim.cycles,
+            "{}/{}",
+            x.machine, x.workload
+        );
+        assert_eq!(rx.run.sim.output, ry.run.sim.output);
+    }
+    // Wider scalar issue helps, and the customized VLIW beats both.
+    let cyc = |m: &str, w: &str| {
+        a.iter()
+            .find(|o| o.machine == m && o.workload == w)
+            .and_then(|o| o.cycles())
+            .unwrap()
+    };
+    for w in ["fir", "crc32", "dither"] {
+        assert!(cyc("scalar2", w) <= cyc("scalar1", w), "{w}");
+        assert!(cyc("ember4", w) <= cyc("scalar2", w), "{w}");
+    }
+}
+
+/// Cache keys carry the target kind: a scalar and a VLIW machine with the
+/// *same name and identical slot tables* never share a Compile artifact.
+#[test]
+fn scalar_and_vliw_compiles_never_share_an_artifact() {
+    use asip::isa::TargetKind;
+    let scalar = MachineDescription::scalar2();
+    // The same table with only the target flipped (name intentionally kept).
+    let vliw_twin = scalar.derive("scalar2", |m| {
+        m.target = TargetKind::Vliw;
+    });
+    let session = Session::builder().threads(1).cache_bytes(64 * MIB).build();
+    let w = workloads::by_name("fir").unwrap();
+
+    let a = session.eval(&EvalRequest::new(w.clone(), scalar.clone()));
+    let cold = session.cache_stats();
+    assert_eq!(cold.compile.misses, 1, "{cold}");
+
+    let b = session.eval(&EvalRequest::new(w.clone(), vliw_twin.clone()));
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.compile.misses, 2,
+        "vliw twin must be a distinct compile artifact: {stats}"
+    );
+    assert_eq!(stats.compile.hits, 0, "{stats}");
+
+    // Re-running either is a pure cache hit on its own artifact.
+    let a2 = session.eval(&EvalRequest::new(w.clone(), scalar));
+    let b2 = session.eval(&EvalRequest::new(w, vliw_twin));
+    let warm = session.cache_stats();
+    assert_eq!(warm.compile.misses, 2, "{warm}");
+    assert_eq!(warm.compile.hits, 2, "{warm}");
+    assert_eq!(a.cycles(), a2.cycles());
+    assert_eq!(b.cycles(), b2.cycles());
+    // Both run correctly; the timing models genuinely differ.
+    assert!(a.is_ok() && b.is_ok());
+    assert_ne!(
+        a.cycles(),
+        b.cycles(),
+        "scalar pipeline and VLIW measurements should differ"
+    );
+}
+
 /// Forced hash collisions (mask 0) still serve every distinct artifact
 /// correctly through the stored-key fallback.
 #[test]

@@ -4,12 +4,18 @@
 //! concurrently.
 
 use asip::core::Session;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: `std::env::set_var` is
+/// process-global, so env-twiddling tests must not overlap in time.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 /// `ASIP_CACHE_BYTES` feeds the builder's default budget, exactly like
 /// `ASIP_GRID_THREADS` feeds the worker count — and an explicit builder
 /// call still wins over the environment.
 #[test]
 fn env_overrides_flow_into_builder_defaults() {
+    let _guard = ENV_LOCK.lock().unwrap();
     std::env::set_var("ASIP_CACHE_BYTES", "123456789");
     let s = Session::builder().build();
     assert_eq!(s.cache().byte_budget(), 123_456_789);
@@ -26,4 +32,34 @@ fn env_overrides_flow_into_builder_defaults() {
         asip::core::cache::DEFAULT_CACHE_BYTES
     );
     std::env::remove_var("ASIP_CACHE_BYTES");
+}
+
+/// Worker-count precedence: the builder is the single source of truth;
+/// `ASIP_GRID_THREADS` is the documented environment override feeding its
+/// *default*, and an explicit `threads(..)` call always wins over the
+/// environment.
+#[test]
+fn grid_threads_env_feeds_default_but_builder_wins() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::core::session::{default_threads, THREADS_ENV};
+
+    // Env sets the default worker count…
+    std::env::set_var(THREADS_ENV, "5");
+    assert_eq!(default_threads(), 5);
+    assert_eq!(Session::builder().build().threads(), 5);
+
+    // …but an explicit builder call wins over the environment.
+    assert_eq!(Session::builder().threads(2).build().threads(), 2);
+
+    // Garbage and non-positive values fall back to hardware parallelism.
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    std::env::set_var(THREADS_ENV, "zero-ish");
+    assert_eq!(default_threads(), hw);
+    std::env::set_var(THREADS_ENV, "0");
+    assert_eq!(default_threads(), hw);
+
+    std::env::remove_var(THREADS_ENV);
+    assert_eq!(default_threads(), hw);
 }
