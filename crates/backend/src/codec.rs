@@ -1,0 +1,106 @@
+//! [`Codec`] implementations for the Compile-stage artifacts the persistent
+//! artifact cache stores: [`CompiledProgram`] (VLIW) and
+//! [`CompiledScalarProgram`] (scalar), each a linked executable plus its
+//! [`BackendStats`].
+//!
+//! The program payloads reuse the [`asip_isa::codec`] container codecs;
+//! statistics encode `usize` fields as `u64` and `occupancy` as exact
+//! IEEE-754 bits, so warm-started experiment tables are byte-identical to
+//! cold ones.
+
+use crate::scalar::CompiledScalarProgram;
+use crate::{BackendStats, CompiledProgram};
+use asip_isa::codec::{Codec, CodecError, Reader, Writer};
+use asip_isa::{ScalarProgram, VliwProgram};
+
+impl Codec for BackendStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.bundles as u64);
+        w.put_u64(self.ops as u64);
+        w.put_f64(self.occupancy);
+        w.put_u32(self.spill_slots);
+        w.put_u64(self.traces_formed as u64);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(BackendStats {
+            bundles: r.get_u64()? as usize,
+            ops: r.get_u64()? as usize,
+            occupancy: r.get_f64()?,
+            spill_slots: r.get_u32()?,
+            traces_formed: r.get_u64()? as usize,
+        })
+    }
+}
+
+impl Codec for CompiledProgram {
+    fn encode(&self, w: &mut Writer) {
+        self.program.encode(w);
+        self.stats.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CompiledProgram {
+            program: VliwProgram::decode(r)?,
+            stats: BackendStats::decode(r)?,
+        })
+    }
+}
+
+impl Codec for CompiledScalarProgram {
+    fn encode(&self, w: &mut Writer) {
+        self.program.encode(w);
+        self.stats.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CompiledScalarProgram {
+            program: ScalarProgram::decode(r)?,
+            stats: BackendStats::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_module, compile_module_scalar, BackendOptions};
+    use asip_isa::MachineDescription;
+
+    #[test]
+    fn compiled_programs_roundtrip() {
+        let module = asip_tinyc::compile(
+            "int buf[16];\n\
+             void main(int n) {\n\
+               int i;\n\
+               for (i = 0; i < n; i = i + 1) { buf[i] = buf[i] * 3 + i; }\n\
+               emit(buf[0]);\n\
+             }",
+        )
+        .unwrap();
+        let opts = BackendOptions::default();
+
+        let vliw = compile_module(&module, &MachineDescription::ember4(), None, &opts).unwrap();
+        let bytes = vliw.encode_to_vec();
+        assert_eq!(CompiledProgram::decode_all(&bytes).unwrap(), vliw);
+
+        let scalar =
+            compile_module_scalar(&module, &MachineDescription::scalar2(), None, &opts).unwrap();
+        let bytes = scalar.encode_to_vec();
+        assert_eq!(CompiledScalarProgram::decode_all(&bytes).unwrap(), scalar);
+    }
+
+    #[test]
+    fn stats_preserve_exact_floats() {
+        let s = BackendStats {
+            bundles: 3,
+            ops: 7,
+            occupancy: 7.0 / 3.0,
+            spill_slots: 2,
+            traces_formed: 1,
+        };
+        let back = BackendStats::decode_all(&s.encode_to_vec()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.occupancy.to_bits(), s.occupancy.to_bits());
+    }
+}

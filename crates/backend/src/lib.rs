@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod codec;
 pub mod emit;
 pub mod lir;
 pub mod regalloc;
@@ -93,7 +94,7 @@ pub struct BackendStats {
 }
 
 /// A compiled program plus its statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledProgram {
     /// The linked executable.
     pub program: VliwProgram,

@@ -20,7 +20,7 @@ use asip_isa::machine::Slot;
 use asip_isa::{FuKind, MachineDescription, ScalarProgram};
 
 /// A compiled scalar program plus its statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledScalarProgram {
     /// The linked linear executable.
     pub program: ScalarProgram,

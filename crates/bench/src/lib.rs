@@ -26,25 +26,49 @@ static SESSION: OnceLock<Session> = OnceLock::new();
 
 /// The process-wide shared [`Session`] every experiment evaluates through.
 ///
-/// Built once with the default configuration (cache budget from
-/// `ASIP_CACHE_BYTES`, worker count from `ASIP_GRID_THREADS`); all
-/// experiment functions in this crate batch their (workload × machine)
-/// cells through it, so repeated sweeps in one binary never recompile a
-/// front half twice.
+/// Built once with the default configuration (memory-tier budget from
+/// `ASIP_CACHE_BYTES`, persistent disk tier from `ASIP_CACHE_DIR` when
+/// set, worker count from `ASIP_GRID_THREADS`); all experiment functions
+/// in this crate batch their (workload × machine) cells through it, so
+/// repeated sweeps in one binary never recompile a front half twice — and
+/// with a cache directory configured, neither does the next *process*.
 pub fn session() -> &'static Session {
     SESSION.get_or_init(|| Session::builder().build())
 }
 
-/// One-line summary of the shared session's cache behavior, printed by the
-/// `exp_*` binaries at exit.
+/// Per-tier summary of the shared session's cache behavior, printed by the
+/// `exp_*` binaries at exit: stage hit/miss counters plus one line per
+/// cache tier (memory, and disk when `ASIP_CACHE_DIR` is active).
 pub fn session_summary() -> String {
     let s = session();
     let stats = s.cache_stats();
-    format!(
-        "[session] {} workers | cache budget {} KiB | {stats}",
+    let mut out = format!(
+        "[session] {} workers | cache budget {} KiB | {} evictions, {} KiB resident\n\
+         [session] stages: parse {}/{} optimize {}/{} profile {}/{} compile {}/{} (hits/misses)\n\
+         [session] mem tier: {}",
         s.threads(),
         s.cache().byte_budget() / 1024,
-    )
+        stats.evictions,
+        stats.resident_bytes / 1024,
+        stats.parse.hits,
+        stats.parse.misses,
+        stats.optimize.hits,
+        stats.optimize.misses,
+        stats.profile.hits,
+        stats.profile.misses,
+        stats.compile.hits,
+        stats.compile.misses,
+        stats.mem,
+    );
+    if stats.has_disk {
+        let dir = s
+            .cache()
+            .disk_dir()
+            .map(|d| d.display().to_string())
+            .unwrap_or_default();
+        out.push_str(&format!("\n[session] disk tier: {} ({dir})", stats.disk));
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,45 +1,79 @@
-//! The memoized artifact store behind every
+//! The tiered, memoized artifact store behind every
 //! [`Toolchain`](crate::pipeline::Toolchain) and
 //! [`Session`](crate::session::Session).
+//!
+//! # Tiers behind one abstraction
+//!
+//! The cache is a stack of [`CacheStore`] tiers, probed hottest-first:
+//!
+//! * **Tier 0 — memory** ([`MemoryStore`]): the LRU byte-budgeted in-process
+//!   store ([`CacheConfig::byte_budget`], default [`DEFAULT_CACHE_BYTES`],
+//!   `ASIP_CACHE_BYTES`).
+//! * **Tier 1 — disk** ([`DiskStore`], optional): a persistent directory
+//!   ([`SessionBuilder::cache_dir`](crate::session::SessionBuilder::cache_dir)
+//!   or `ASIP_CACHE_DIR`) that survives the process, so a new session
+//!   warm-starts the whole Parse→Optimize→Profile→Compile front half.
+//!
+//! Lookups **read through**: a miss in tier 0 falls to tier 1, and a hit
+//! there is promoted back into tier 0. Computed artifacts **write through**
+//! to every tier. Each tier reports its own [`TierStats`] (hits, loads,
+//! stale drops, evictions) inside [`CacheStats`]. Custom tier stacks plug
+//! in via [`ArtifactCache::with_tiers`].
 //!
 //! # Hashed keys, exact hits
 //!
 //! Stage artifacts are keyed by the *complete rendered inputs* of the stage
-//! (source text, machine description, profile fingerprint, …). Rather than
-//! holding those multi-kilobyte strings as `HashMap` keys, the cache indexes
-//! entries by a 64-bit FNV-1a hash and keeps the full key alongside each
-//! entry: a lookup first matches the hash, then verifies the stored key
-//! byte-for-byte, so a hash collision degrades to a bucket scan — never to a
-//! wrong artifact. (Tests can force the degenerate all-collide case through
-//! [`CacheConfig::hash_mask`].)
+//! (source text, machine description, profile fingerprint, …). The memory
+//! tier indexes entries by a 64-bit FNV-1a hash and keeps the full key
+//! alongside each entry: a lookup first matches the hash, then verifies the
+//! stored key byte-for-byte, so a hash collision degrades to a bucket scan
+//! — never to a wrong artifact. (Tests can force the degenerate all-collide
+//! case through [`CacheConfig::hash_mask`].) The disk tier stores each
+//! entry with a self-describing header (magic, [`FORMAT_VERSION`], stage
+//! kind, **full key**, payload checksum) and re-verifies all of it on load,
+//! so a filename collision, a stale format or plain file corruption
+//! silently degrades to a recompute — never to a wrong artifact.
 //!
-//! # LRU byte budget
+//! # Artifacts travel as versioned bytes
 //!
-//! Every entry carries an estimated resident size; the cache holds a global
-//! least-recently-used queue across all four stages and evicts the coldest
-//! artifacts whenever the total exceeds the configured byte budget
-//! ([`CacheConfig::byte_budget`], default [`DEFAULT_CACHE_BYTES`], overridable
-//! with the `ASIP_CACHE_BYTES` environment variable). An evicted artifact is
-//! simply recomputed on the next request — results are unchanged, only the
-//! hit/miss/eviction counters in [`CacheStats`] move. A budget of `0`
-//! disables retention entirely (every insert is immediately evicted).
+//! Every cached artifact kind (IR modules, profiles, compiled VLIW/scalar
+//! programs) implements the hand-rolled binary [`Codec`]
+//! ([`asip_isa::codec`]); `decode(encode(x)) == x` exactly, so disk-warm,
+//! memory-warm and cold evaluations produce byte-identical results — only
+//! the counters in [`CacheStats`] can tell them apart.
 
-use crate::pipeline::{CompiledArtifact, ToolchainError};
-use asip_backend::{CompiledProgram, CompiledScalarProgram};
-use asip_ir::interp::Profile;
-use asip_ir::Module;
-use std::collections::{BTreeMap, HashMap};
+pub mod disk;
+mod entry;
+pub mod mem;
+
+pub use disk::DiskStore;
+pub use entry::FORMAT_VERSION;
+pub use mem::MemoryStore;
+
+use crate::pipeline::ToolchainError;
+use asip_isa::codec::Codec;
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
-/// Default cache byte budget (256 MiB) when neither
+/// Default memory-tier byte budget (256 MiB) when neither
 /// [`CacheConfig::byte_budget`] nor `ASIP_CACHE_BYTES` says otherwise.
 pub const DEFAULT_CACHE_BYTES: u64 = 256 * 1024 * 1024;
 
-/// Environment variable overriding the default cache byte budget.
+/// Default disk-tier byte budget (1 GiB) when [`DiskTierConfig`] does not
+/// say otherwise.
+pub const DEFAULT_DISK_CACHE_BYTES: u64 = 1024 * 1024 * 1024;
+
+/// Environment variable overriding the default memory-tier byte budget.
 pub const CACHE_BYTES_ENV: &str = "ASIP_CACHE_BYTES";
+
+/// Environment variable naming the persistent cache directory. Unset (or
+/// empty) means no disk tier; an explicit
+/// [`SessionBuilder::cache_dir`](crate::session::SessionBuilder::cache_dir)
+/// always wins over this variable.
+pub const CACHE_DIR_ENV: &str = "ASIP_CACHE_DIR";
 
 /// The byte budget a fresh cache uses: `ASIP_CACHE_BYTES` if set to a
 /// parseable `u64`, else [`DEFAULT_CACHE_BYTES`].
@@ -50,15 +84,57 @@ pub fn default_cache_bytes() -> u64 {
         .unwrap_or(DEFAULT_CACHE_BYTES)
 }
 
-/// Cache construction parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CacheConfig {
-    /// Maximum resident artifact bytes before LRU eviction kicks in.
+/// The default persistent cache directory: `ASIP_CACHE_DIR` when set and
+/// non-empty, else `None` (no disk tier).
+pub fn default_cache_dir() -> Option<PathBuf> {
+    std::env::var_os(CACHE_DIR_ENV)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Configuration of the persistent disk tier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskTierConfig {
+    /// Directory holding the cache (created on demand; one subdirectory
+    /// per cacheable stage).
+    pub dir: PathBuf,
+    /// Maximum total entry-file bytes before age-ordered eviction (oldest
+    /// entries deleted first). Default [`DEFAULT_DISK_CACHE_BYTES`].
     pub byte_budget: u64,
-    /// Mask applied to the 64-bit key hash. `!0` (the default) keeps the
-    /// full hash; tests set narrower masks (down to `0`) to force bucket
-    /// collisions and exercise the stored-key fallback path.
+    /// Entries older than this many seconds are purged when the store is
+    /// opened. `None` (the default) keeps entries until size eviction.
+    pub max_age_secs: Option<u64>,
+}
+
+impl DiskTierConfig {
+    /// A disk tier at `dir` with the default budget and no age limit.
+    pub fn new(dir: impl Into<PathBuf>) -> DiskTierConfig {
+        DiskTierConfig {
+            dir: dir.into(),
+            byte_budget: DEFAULT_DISK_CACHE_BYTES,
+            max_age_secs: None,
+        }
+    }
+}
+
+/// Cache construction parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Maximum resident artifact bytes in the memory tier before LRU
+    /// eviction kicks in.
+    pub byte_budget: u64,
+    /// Mask applied to the memory tier's 64-bit key hash. `!0` (the
+    /// default) keeps the full hash; tests set narrower masks (down to `0`)
+    /// to force bucket collisions and exercise the stored-key fallback
+    /// path.
     pub hash_mask: u64,
+    /// Optional persistent disk tier. `None` by default: only
+    /// [`Session::builder`](crate::session::Session::builder) consults
+    /// `ASIP_CACHE_DIR` (via [`default_cache_dir`]), so bare
+    /// `ArtifactCache`/`Toolchain` construction stays hermetic — unit
+    /// tests and scratch toolchains never touch (or clear!) a persistent
+    /// directory they were not explicitly pointed at.
+    pub disk: Option<DiskTierConfig>,
 }
 
 impl Default for CacheConfig {
@@ -66,6 +142,7 @@ impl Default for CacheConfig {
         CacheConfig {
             byte_budget: default_cache_bytes(),
             hash_mask: !0,
+            disk: None,
         }
     }
 }
@@ -95,6 +172,14 @@ impl StageKind {
         StageKind::Simulate,
     ];
 
+    /// The cacheable stages (everything but the measurement itself).
+    pub const CACHEABLE: [StageKind; 4] = [
+        StageKind::Parse,
+        StageKind::Optimize,
+        StageKind::Profile,
+        StageKind::Compile,
+    ];
+
     /// Short human-readable name.
     pub fn name(self) -> &'static str {
         match self {
@@ -116,14 +201,52 @@ impl fmt::Display for StageKind {
 /// Hit/miss counters for one cacheable stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageStats {
-    /// Artifact served from the cache.
+    /// Artifact served from some cache tier.
     pub hits: u64,
-    /// Artifact computed (and inserted).
+    /// Artifact computed (and written through to every tier).
     pub misses: u64,
 }
 
-/// Snapshot of cache behavior (see [`crate::pipeline::Toolchain::cache_stats`]).
+/// Counters for one cache tier (see [`CacheStore::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Lookups that returned a verified artifact from this tier.
+    pub hits: u64,
+    /// Lookup attempts reaching this tier (hits + misses + stale drops).
+    pub loads: u64,
+    /// Payloads written into this tier (write-through and promotions).
+    pub stores: u64,
+    /// Entries dropped because they failed verification: truncation,
+    /// corruption, format-version or key mismatch, undecodable payload.
+    /// Every one degrades silently to a recompute.
+    pub stale_drops: u64,
+    /// Entries evicted by the tier's retention policy (LRU bytes in
+    /// memory, age+size on disk; non-admitted oversized entries count
+    /// here too).
+    pub evictions: u64,
+    /// Estimated bytes currently held by this tier.
+    pub resident_bytes: u64,
+    /// Entries currently held by this tier.
+    pub entries: u64,
+}
+
+impl fmt::Display for TierStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits/{} loads, {} stale, {} evictions, {} KiB in {} entries",
+            self.hits,
+            self.loads,
+            self.stale_drops,
+            self.evictions,
+            self.resident_bytes / 1024,
+            self.entries,
+        )
+    }
+}
+
+/// Snapshot of cache behavior (see [`crate::pipeline::Toolchain::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CacheStats {
     /// Source → unoptimized module.
     pub parse: StageStats,
@@ -133,19 +256,25 @@ pub struct CacheStats {
     pub profile: StageStats,
     /// (module, machine, backend, profile) → compiled program.
     pub compile: StageStats,
-    /// Artifacts evicted to stay under the byte budget.
+    /// Memory-tier artifacts evicted to stay under the byte budget.
     pub evictions: u64,
-    /// Estimated bytes currently held by resident artifacts.
+    /// Estimated bytes currently held by the memory tier.
     pub resident_bytes: u64,
+    /// Memory-tier counters.
+    pub mem: TierStats,
+    /// Disk-tier counters (all zero when no disk tier is attached).
+    pub disk: TierStats,
+    /// Whether a persistent disk tier is attached.
+    pub has_disk: bool,
 }
 
 impl CacheStats {
-    /// Total hits across all stages.
+    /// Total hits across all stages (served from any tier).
     pub fn hits(&self) -> u64 {
         self.parse.hits + self.optimize.hits + self.profile.hits + self.compile.hits
     }
 
-    /// Total misses across all stages.
+    /// Total misses across all stages (artifact computed).
     pub fn misses(&self) -> u64 {
         self.parse.misses + self.optimize.misses + self.profile.misses + self.compile.misses
     }
@@ -167,7 +296,11 @@ impl fmt::Display for CacheStats {
             self.compile.misses,
             self.evictions,
             self.resident_bytes / 1024,
-        )
+        )?;
+        if self.has_disk {
+            write!(f, "; disk tier: {}", self.disk)?;
+        }
+        Ok(())
     }
 }
 
@@ -186,9 +319,11 @@ impl StageTimes {
     }
 }
 
-/// 64-bit FNV-1a over the rendered key.
-fn fnv1a64(key: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a over `key`, from an arbitrary basis (`seed`). The memory
+/// tier hashes with the standard basis; the disk tier derives its file
+/// names from two independently-seeded hashes.
+pub(crate) fn fnv1a64_seeded(key: &str, seed: u64) -> u64 {
+    let mut h: u64 = seed;
     for b in key.as_bytes() {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -196,212 +331,90 @@ fn fnv1a64(key: &str) -> u64 {
     h
 }
 
-/// Estimated resident size of a cached artifact, used for the byte budget.
-/// These are deliberately cheap structural estimates, not exact heap sizes.
-pub(crate) trait ArtifactBytes {
-    /// Approximate heap bytes held by the artifact.
-    fn artifact_bytes(&self) -> u64;
-}
+/// Standard FNV-1a offset basis.
+pub(crate) const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 
-impl ArtifactBytes for Module {
-    fn artifact_bytes(&self) -> u64 {
-        let mut b = 64u64;
-        for f in &self.funcs {
-            b += 128;
-            for blk in &f.blocks {
-                b += 48 + 56 * blk.insts.len() as u64;
-            }
-        }
-        for g in &self.globals {
-            b += 64 + 4 * u64::from(g.words);
-        }
-        b + 256 * self.custom_ops.len() as u64
+/// 64-bit FNV-1a over a byte slice (entry checksums).
+pub(crate) fn fnv1a64_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = FNV_BASIS;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
+    h
 }
 
-impl ArtifactBytes for Profile {
-    fn artifact_bytes(&self) -> u64 {
-        let per: u64 = self.counts.values().map(|v| 8 * v.len() as u64).sum();
-        48 * self.counts.len() as u64 + per + 64
-    }
+/// One tier of the artifact cache: an opaque byte store keyed by
+/// (stage, full rendered key).
+///
+/// Implementations **own verification**: `load` must only return a payload
+/// that was stored under exactly this (stage, key) pair — via an exact
+/// stored-key comparison ([`MemoryStore`]) or a self-describing entry
+/// header ([`DiskStore`]). Anything unverifiable is dropped (counted in
+/// [`TierStats::stale_drops`]) and reported as a miss, so corruption can
+/// only ever cost a recompute. All methods are infallible by contract: a
+/// tier that cannot serve (I/O errors, missing directory) behaves as
+/// always-miss.
+///
+/// Payloads are the versioned binary encodings produced by the artifact
+/// [`Codec`]s; stores treat them as opaque bytes, which is what makes the
+/// tier stack pluggable ([`ArtifactCache::with_tiers`]).
+pub trait CacheStore: Send + Sync + fmt::Debug {
+    /// Short tier name for stats and summaries (`"mem"`, `"disk"`, …).
+    fn label(&self) -> &'static str;
+
+    /// Look up the payload stored for (stage, key); `None` on miss.
+    fn load(&self, stage: StageKind, key: &str) -> Option<Vec<u8>>;
+
+    /// Store a payload for (stage, key). An entry already present for the
+    /// same key may be kept unchanged (payloads are deterministic encodings
+    /// of deterministic artifacts, so both copies are identical).
+    fn store(&self, stage: StageKind, key: &str, payload: &[u8]);
+
+    /// Drop the entry for (stage, key), counting a stale drop (called when
+    /// a loaded payload fails to decode).
+    fn invalidate(&self, stage: StageKind, key: &str);
+
+    /// Drop every entry and reset the tier's counters.
+    fn clear(&self);
+
+    /// This tier's counters.
+    fn stats(&self) -> TierStats;
+
+    /// Entries currently held, per cacheable stage (indexed by
+    /// `StageKind as usize`).
+    fn stage_entries(&self) -> [u64; 4];
 }
 
-impl ArtifactBytes for CompiledProgram {
-    fn artifact_bytes(&self) -> u64 {
-        let p = &self.program;
-        let slots: u64 = p.bundles.iter().map(|b| b.slots.len() as u64).sum();
-        let globals: u64 = p.globals.iter().map(|g| 64 + 4 * g.init.len() as u64).sum();
-        64 * slots + 64 * p.functions.len() as u64 + globals + 256 * p.custom_ops.len() as u64 + 128
-    }
-}
-
-impl ArtifactBytes for CompiledScalarProgram {
-    fn artifact_bytes(&self) -> u64 {
-        let p = &self.program;
-        let globals: u64 = p.globals.iter().map(|g| 64 + 4 * g.init.len() as u64).sum();
-        64 * p.insts.len() as u64
-            + 64 * p.functions.len() as u64
-            + globals
-            + 256 * p.custom_ops.len() as u64
-            + 128
-    }
-}
-
-impl ArtifactBytes for CompiledArtifact {
-    fn artifact_bytes(&self) -> u64 {
-        match self {
-            CompiledArtifact::Vliw(p) => p.artifact_bytes(),
-            CompiledArtifact::Scalar(p) => p.artifact_bytes(),
-        }
-    }
-}
-
-/// Fixed per-entry bookkeeping overhead added to every size estimate.
-const ENTRY_OVERHEAD: u64 = 96;
-
-struct Entry<V> {
-    /// Full rendered key, compared byte-for-byte on every bucket probe.
-    key: Box<str>,
-    value: V,
-    id: u64,
-}
-
-/// One stage's hash-indexed store. Buckets hold every entry whose masked
-/// hash collides; correctness never depends on hash uniqueness.
-pub(crate) struct StageMap<V> {
-    buckets: HashMap<u64, Vec<Entry<V>>>,
-}
-
-impl<V> Default for StageMap<V> {
-    fn default() -> Self {
-        StageMap {
-            buckets: HashMap::new(),
-        }
-    }
-}
-
-impl<V> StageMap<V> {
-    fn find(&self, hash: u64, key: &str) -> Option<&Entry<V>> {
-        self.buckets
-            .get(&hash)?
-            .iter()
-            .find(|e| e.key.as_ref() == key)
-    }
-
-    fn insert(&mut self, hash: u64, entry: Entry<V>) {
-        self.buckets.entry(hash).or_default().push(entry);
-    }
-
-    fn remove_id(&mut self, hash: u64, id: u64) -> Option<Entry<V>> {
-        let bucket = self.buckets.get_mut(&hash)?;
-        let i = bucket.iter().position(|e| e.id == id)?;
-        let e = bucket.swap_remove(i);
-        if bucket.is_empty() {
-            self.buckets.remove(&hash);
-        }
-        Some(e)
-    }
-
-    fn len(&self) -> usize {
-        self.buckets.values().map(Vec::len).sum()
-    }
-}
-
-#[derive(Default)]
-pub(crate) struct Maps {
-    parsed: StageMap<Module>,
-    optimized: StageMap<Module>,
-    profiles: StageMap<Profile>,
-    compiled: StageMap<CompiledArtifact>,
-}
-
-/// Where an LRU queue entry lives, for typed removal on eviction.
-#[derive(Clone, Copy)]
-struct Loc {
-    stage: usize,
-    hash: u64,
-    id: u64,
-    bytes: u64,
-}
-
-#[derive(Default)]
-struct Inner {
-    maps: Maps,
-    /// Recency queue: tick → entry location; the first entry is coldest.
-    lru: BTreeMap<u64, Loc>,
-    /// Entry id → its current tick in `lru` (moved on every touch).
-    tick_of: HashMap<u64, u64>,
-    next_tick: u64,
-    next_id: u64,
-    resident_bytes: u64,
-}
-
-impl Inner {
-    fn touch(&mut self, id: u64) {
-        if let Some(old) = self.tick_of.get(&id).copied() {
-            if let Some(loc) = self.lru.remove(&old) {
-                let tick = self.next_tick;
-                self.next_tick += 1;
-                self.lru.insert(tick, loc);
-                self.tick_of.insert(id, tick);
-            }
-        }
-    }
-
-    fn remember(&mut self, loc: Loc) {
-        let tick = self.next_tick;
-        self.next_tick += 1;
-        self.lru.insert(tick, loc);
-        self.tick_of.insert(loc.id, tick);
-        self.resident_bytes += loc.bytes;
-    }
-
-    /// Evict the coldest entry; returns false when the cache is empty.
-    fn evict_one(&mut self) -> bool {
-        let Some((tick, loc)) = self.lru.pop_first() else {
-            return false;
-        };
-        debug_assert_eq!(self.tick_of.get(&loc.id), Some(&tick));
-        self.tick_of.remove(&loc.id);
-        let removed = match loc.stage {
-            0 => self.maps.parsed.remove_id(loc.hash, loc.id).is_some(),
-            1 => self.maps.optimized.remove_id(loc.hash, loc.id).is_some(),
-            2 => self.maps.profiles.remove_id(loc.hash, loc.id).is_some(),
-            _ => self.maps.compiled.remove_id(loc.hash, loc.id).is_some(),
-        };
-        debug_assert!(removed, "LRU queue and stage maps must stay in sync");
-        self.resident_bytes = self.resident_bytes.saturating_sub(loc.bytes);
-        true
-    }
-}
-
-/// Memoized intermediate artifacts, shared by every clone of a
+/// The tiered, memoized artifact cache shared by every clone of a
 /// [`Toolchain`] (clones share one cache via `Arc`).
 ///
-/// Entries are indexed by hashed key with a stored-key collision check (see
-/// the [module docs](self)), and bounded by an LRU byte budget. Computation
-/// happens outside the lock: concurrent grid cells never serialize on each
-/// other's compiles (at worst a race computes the same artifact twice and
-/// one copy wins).
+/// Lookups probe the tier stack hottest-first, promote lower-tier hits
+/// upward, and write computed artifacts through to every tier; see the
+/// [module docs](self) for the verification story. Computation happens
+/// outside any lock: concurrent grid cells never serialize on each other's
+/// compiles (at worst a race computes the same artifact twice and the
+/// deterministic copies are identical).
 ///
 /// [`Toolchain`]: crate::pipeline::Toolchain
 pub struct ArtifactCache {
-    inner: Mutex<Inner>,
+    stores: Vec<Arc<dyn CacheStore>>,
     config: CacheConfig,
     hits: [AtomicU64; 4],
     misses: [AtomicU64; 4],
-    evictions: AtomicU64,
     stage_ns: [AtomicU64; 5],
 }
 
 impl ArtifactCache {
-    /// A new, empty cache with the default configuration (byte budget from
-    /// `ASIP_CACHE_BYTES` or [`DEFAULT_CACHE_BYTES`]).
+    /// A new, empty cache with the default configuration (memory budget
+    /// from `ASIP_CACHE_BYTES` or [`DEFAULT_CACHE_BYTES`]; no disk tier —
+    /// see [`CacheConfig::disk`]).
     pub fn new() -> ArtifactCache {
         ArtifactCache::with_config(CacheConfig::default())
     }
 
-    /// A new, empty cache bounded to `byte_budget` resident bytes.
+    /// A new, empty, memory-only cache bounded to `byte_budget` resident
+    /// bytes.
     pub fn with_budget(byte_budget: u64) -> ArtifactCache {
         ArtifactCache::with_config(CacheConfig {
             byte_budget,
@@ -409,41 +422,82 @@ impl ArtifactCache {
         })
     }
 
-    /// A new, empty cache with explicit configuration.
+    /// A new, empty cache with explicit configuration: a [`MemoryStore`]
+    /// tier 0, plus a [`DiskStore`] tier 1 when [`CacheConfig::disk`] is
+    /// set.
     pub fn with_config(config: CacheConfig) -> ArtifactCache {
+        let mut stores: Vec<Arc<dyn CacheStore>> = vec![Arc::new(MemoryStore::new(
+            config.byte_budget,
+            config.hash_mask,
+        ))];
+        if let Some(d) = &config.disk {
+            stores.push(Arc::new(DiskStore::open(d.clone())));
+        }
+        ArtifactCache::with_tiers(config, stores)
+    }
+
+    /// A cache over an explicit tier stack, hottest first. This is the
+    /// pluggability seam: any [`CacheStore`] implementation (remote,
+    /// instrumented, …) can participate. `config` is kept for
+    /// introspection ([`ArtifactCache::config`]) but the stores themselves
+    /// govern retention.
+    pub fn with_tiers(config: CacheConfig, stores: Vec<Arc<dyn CacheStore>>) -> ArtifactCache {
+        assert!(!stores.is_empty(), "a cache needs at least one tier");
         ArtifactCache {
-            inner: Mutex::new(Inner::default()),
+            stores,
             config,
             hits: Default::default(),
             misses: Default::default(),
-            evictions: AtomicU64::new(0),
             stage_ns: Default::default(),
         }
     }
 
     /// The configuration the cache was built with.
     pub fn config(&self) -> CacheConfig {
-        self.config
+        self.config.clone()
     }
 
-    /// The configured byte budget.
+    /// The configured memory-tier byte budget.
     pub fn byte_budget(&self) -> u64 {
         self.config.byte_budget
     }
 
-    /// Per-stage hit/miss snapshot plus eviction and residency counters.
+    /// The persistent cache directory, when a disk tier is configured.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.config.disk.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// The tier stack, hottest first.
+    pub fn tiers(&self) -> &[Arc<dyn CacheStore>] {
+        &self.stores
+    }
+
+    fn tier_by_label(&self, label: &str) -> Option<&Arc<dyn CacheStore>> {
+        self.stores.iter().find(|s| s.label() == label)
+    }
+
+    /// Per-stage hit/miss snapshot plus per-tier counters.
     pub fn stats(&self) -> CacheStats {
         let s = |i: usize| StageStats {
             hits: self.hits[i].load(Ordering::Relaxed),
             misses: self.misses[i].load(Ordering::Relaxed),
         };
+        let mem = self
+            .tier_by_label("mem")
+            .map(|t| t.stats())
+            .unwrap_or_default();
+        let disk_tier = self.tier_by_label("disk");
+        let disk = disk_tier.map(|t| t.stats()).unwrap_or_default();
         CacheStats {
             parse: s(0),
             optimize: s(1),
             profile: s(2),
             compile: s(3),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            resident_bytes: self.inner.lock().unwrap().resident_bytes,
+            evictions: mem.evictions,
+            resident_bytes: mem.resident_bytes,
+            mem,
+            disk,
+            has_disk: disk_tier.is_some(),
         }
     }
 
@@ -456,39 +510,36 @@ impl ArtifactCache {
         StageTimes { ns }
     }
 
-    /// Drop all cached artifacts and reset counters.
+    /// Drop all cached artifacts in **every** tier (including persisted
+    /// disk entries) and reset all counters.
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        *inner = Inner::default();
+        for s in &self.stores {
+            s.clear();
+        }
         for c in self.hits.iter().chain(&self.misses).chain(&self.stage_ns) {
             c.store(0, Ordering::Relaxed);
         }
-        self.evictions.store(0, Ordering::Relaxed);
     }
 
-    /// Number of artifacts currently held, per cacheable stage.
+    /// Number of artifacts held by the hottest (memory) tier, per
+    /// cacheable stage.
     pub fn len(&self) -> [usize; 4] {
-        let inner = self.inner.lock().unwrap();
-        [
-            inner.maps.parsed.len(),
-            inner.maps.optimized.len(),
-            inner.maps.profiles.len(),
-            inner.maps.compiled.len(),
-        ]
+        let e = self.stores[0].stage_entries();
+        [e[0] as usize, e[1] as usize, e[2] as usize, e[3] as usize]
     }
 
-    /// Whether the cache holds no artifacts at all.
+    /// Whether no tier holds any artifact.
     pub fn is_empty(&self) -> bool {
-        self.len().iter().all(|&n| n == 0)
+        self.stores
+            .iter()
+            .all(|s| s.stage_entries().iter().all(|&n| n == 0))
     }
 
-    /// Estimated resident artifact bytes.
+    /// Estimated resident artifact bytes in the memory tier.
     pub fn resident_bytes(&self) -> u64 {
-        self.inner.lock().unwrap().resident_bytes
-    }
-
-    fn hash(&self, key: &str) -> u64 {
-        fnv1a64(key) & self.config.hash_mask
+        self.tier_by_label("mem")
+            .map(|t| t.stats().resident_bytes)
+            .unwrap_or(0)
     }
 
     pub(crate) fn record_time(&self, stage: StageKind, start: Instant) {
@@ -496,97 +547,51 @@ impl ArtifactCache {
         self.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
     }
 
-    /// Look up `key` in the stage map chosen by `select`, computing and
-    /// inserting on miss. `compute` runs outside the lock and times only
-    /// this stage's own work (nested stage calls inside `compute` — e.g.
-    /// Optimize invoking Parse — record under their own [`StageKind`], so
-    /// [`StageTimes`] entries add up instead of double-counting). After an
-    /// insert the LRU queue is trimmed to the byte budget.
-    pub(crate) fn get_or_compute<V: Clone + ArtifactBytes>(
+    /// Look up `key` for `stage` through the tier stack, computing and
+    /// writing through on a full miss.
+    ///
+    /// A hit in a colder tier is promoted into every hotter tier; a
+    /// payload that fails to decode is invalidated in the tier that served
+    /// it and the probe continues downward — corruption degrades to a
+    /// recompute, never an error. `compute` runs outside any lock and
+    /// times only this stage's own work (nested stage calls inside
+    /// `compute` — e.g. Optimize invoking Parse — record under their own
+    /// [`StageKind`], so [`StageTimes`] entries add up instead of
+    /// double-counting).
+    pub(crate) fn get_or_compute<V: Codec>(
         &self,
         stage: StageKind,
         key: String,
-        select: impl Fn(&mut Maps) -> &mut StageMap<V>,
         compute: impl FnOnce(&mut StageTimer) -> Result<V, ToolchainError>,
     ) -> Result<V, ToolchainError> {
-        let hash = self.hash(&key);
-        {
-            let mut inner = self.inner.lock().unwrap();
-            let found = select(&mut inner.maps)
-                .find(hash, &key)
-                .map(|e| (e.id, e.value.clone()));
-            if let Some((id, v)) = found {
-                inner.touch(id);
-                self.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
-                return Ok(v);
+        debug_assert!((stage as usize) < 4, "simulate is never cached");
+        for (i, store) in self.stores.iter().enumerate() {
+            let Some(payload) = store.load(stage, &key) else {
+                continue;
+            };
+            match V::decode_all(&payload) {
+                Ok(v) => {
+                    for hotter in &self.stores[..i] {
+                        hotter.store(stage, &key, &payload);
+                    }
+                    self.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+                    return Ok(v);
+                }
+                // Verified container, undecodable payload (e.g. encoded by
+                // a build with different tag assignments): drop and fall
+                // through to the next tier.
+                Err(_) => store.invalidate(stage, &key),
             }
         }
         self.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
         let mut timer = StageTimer::default();
         let v = compute(&mut timer)?;
         self.stage_ns[stage as usize].fetch_add(timer.ns, Ordering::Relaxed);
-
-        let mut inner = self.inner.lock().unwrap();
-        // A racing worker may have inserted while we computed; keep the
-        // resident copy (first insert wins, like the old exact-key cache).
-        if let Some((id, existing)) = select(&mut inner.maps)
-            .find(hash, &key)
-            .map(|e| (e.id, e.value.clone()))
-        {
-            inner.touch(id);
-            return Ok(existing);
-        }
-        let bytes = key.len() as u64 + v.artifact_bytes() + ENTRY_OVERHEAD;
-        if bytes > self.config.byte_budget {
-            // An artifact that can never fit is not retained at all —
-            // admitting it would flush every other resident entry for
-            // nothing. Counted as an eviction so the non-retention shows
-            // up in the stats.
-            drop(inner);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
-            return Ok(v);
-        }
-        let id = inner.next_id;
-        inner.next_id += 1;
-        select(&mut inner.maps).insert(
-            hash,
-            Entry {
-                key: key.into_boxed_str(),
-                value: v.clone(),
-                id,
-            },
-        );
-        inner.remember(Loc {
-            stage: stage as usize,
-            hash,
-            id,
-            bytes,
-        });
-        let mut evicted = 0u64;
-        while inner.resident_bytes > self.config.byte_budget && inner.evict_one() {
-            evicted += 1;
-        }
-        drop(inner);
-        if evicted > 0 {
-            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        let payload = v.encode_to_vec();
+        for store in &self.stores {
+            store.store(stage, &key, &payload);
         }
         Ok(v)
-    }
-
-    pub(crate) fn parsed(maps: &mut Maps) -> &mut StageMap<Module> {
-        &mut maps.parsed
-    }
-
-    pub(crate) fn optimized(maps: &mut Maps) -> &mut StageMap<Module> {
-        &mut maps.optimized
-    }
-
-    pub(crate) fn profiles(maps: &mut Maps) -> &mut StageMap<Profile> {
-        &mut maps.profiles
-    }
-
-    pub(crate) fn compiled(maps: &mut Maps) -> &mut StageMap<CompiledArtifact> {
-        &mut maps.compiled
     }
 }
 
@@ -621,6 +626,7 @@ impl fmt::Debug for ArtifactCache {
         f.debug_struct("ArtifactCache")
             .field("stats", &self.stats())
             .field("budget", &self.config.byte_budget)
+            .field("tiers", &self.stores.len())
             .field("len", &self.len())
             .finish()
     }
@@ -628,51 +634,68 @@ impl fmt::Debug for ArtifactCache {
 
 #[cfg(test)]
 mod tests {
+    use super::mem::ENTRY_OVERHEAD;
     use super::*;
+    use asip_ir::Module;
+    use std::sync::Mutex;
 
     fn module(src: &str) -> Module {
         asip_tinyc::compile(src).unwrap()
     }
 
+    fn bare(budget: u64, mask: u64) -> ArtifactCache {
+        // Memory tier only: unit tests here must not pick up ASIP_CACHE_DIR.
+        let config = CacheConfig {
+            byte_budget: budget,
+            hash_mask: mask,
+            disk: None,
+        };
+        ArtifactCache::with_config(config)
+    }
+
     fn store(cache: &ArtifactCache, key: &str, m: &Module) -> Result<Module, ToolchainError> {
-        cache.get_or_compute(
-            StageKind::Parse,
-            key.to_string(),
-            ArtifactCache::parsed,
-            |t| Ok(t.time(|| m.clone())),
-        )
+        cache.get_or_compute(StageKind::Parse, key.to_string(), |t| {
+            Ok(t.time(|| m.clone()))
+        })
+    }
+
+    /// Payload + bookkeeping bytes one entry occupies in the memory tier.
+    fn entry_bytes(key: &str, m: &Module) -> u64 {
+        key.len() as u64 + m.encode_to_vec().len() as u64 + ENTRY_OVERHEAD
     }
 
     #[test]
     fn hit_returns_identical_artifact() {
-        let cache = ArtifactCache::with_budget(u64::MAX);
+        let cache = bare(u64::MAX, !0);
         let m = module("void main(int a) { emit(a + 1); }");
         let first = store(&cache, "k", &m).unwrap();
         let second = store(&cache, "k", &m).unwrap();
-        assert_eq!(format!("{first:?}"), format!("{second:?}"));
+        assert_eq!(first, m);
+        assert_eq!(second, m);
         let s = cache.stats();
         assert_eq!(s.parse.hits, 1);
         assert_eq!(s.parse.misses, 1);
         assert_eq!(s.evictions, 0);
         assert!(s.resident_bytes > 0);
+        assert!(!s.has_disk);
+        assert_eq!(s.mem.hits, 1);
+        assert_eq!(s.mem.loads, 2);
+        assert_eq!(s.mem.stores, 1);
     }
 
     #[test]
     fn forced_collisions_never_alias() {
         // hash_mask 0: every key lands in bucket 0; only the stored-key
         // comparison separates artifacts.
-        let cache = ArtifactCache::with_config(CacheConfig {
-            byte_budget: u64::MAX,
-            hash_mask: 0,
-        });
+        let cache = bare(u64::MAX, 0);
         let a = module("void main(int a) { emit(a + 1); }");
         let b = module("void main(int a) { emit(a - 1); }");
         store(&cache, "ka", &a).unwrap();
         store(&cache, "kb", &b).unwrap();
         let back_a = store(&cache, "ka", &a).unwrap();
         let back_b = store(&cache, "kb", &b).unwrap();
-        assert_eq!(format!("{back_a:?}"), format!("{a:?}"));
-        assert_eq!(format!("{back_b:?}"), format!("{b:?}"));
+        assert_eq!(back_a, a);
+        assert_eq!(back_b, b);
         let s = cache.stats();
         assert_eq!(s.parse.misses, 2, "{s}");
         assert_eq!(s.parse.hits, 2, "{s}");
@@ -682,9 +705,9 @@ mod tests {
     #[test]
     fn byte_budget_evicts_lru_first() {
         let m = module("void main(int a) { emit(a); }");
-        let bytes = m.artifact_bytes() + ENTRY_OVERHEAD + 2;
+        let bytes = entry_bytes("k1", &m) + 2;
         // Room for exactly two entries.
-        let cache = ArtifactCache::with_budget(2 * bytes);
+        let cache = bare(2 * bytes, !0);
         store(&cache, "k1", &m).unwrap();
         store(&cache, "k2", &m).unwrap();
         assert_eq!(cache.stats().evictions, 0);
@@ -705,16 +728,17 @@ mod tests {
     #[test]
     fn oversized_artifact_is_not_admitted_and_does_not_flush() {
         let small = module("void main(int a) { emit(a); }");
-        let unit = small.artifact_bytes() + ENTRY_OVERHEAD + 2;
-        let cache = ArtifactCache::with_budget(3 * unit);
+        let unit = entry_bytes("k1", &small) + 2;
+        let cache = bare(3 * unit, !0);
         store(&cache, "k1", &small).unwrap();
         store(&cache, "k2", &small).unwrap();
         // Larger than the whole budget: returned to the caller but never
         // retained, and the resident entries stay hot.
-        let big = module("int g[4096]; void main(int a) { emit(g[a]); }");
-        assert!(big.artifact_bytes() > cache.byte_budget());
+        let mut big = module("int g[4096]; void main(int a) { emit(g[a]); }");
+        big.globals[0].init = vec![7; 4096]; // make the encoding genuinely big
+        assert!(entry_bytes("big", &big) > cache.byte_budget());
         let back = store(&cache, "big", &big).unwrap();
-        assert_eq!(format!("{back:?}"), format!("{big:?}"));
+        assert_eq!(back, big);
         assert_eq!(cache.stats().evictions, 1, "oversized counts as evicted");
         store(&cache, "k1", &small).unwrap();
         store(&cache, "k2", &small).unwrap();
@@ -730,11 +754,11 @@ mod tests {
 
     #[test]
     fn zero_budget_disables_retention_but_stays_correct() {
-        let cache = ArtifactCache::with_budget(0);
+        let cache = bare(0, !0);
         let m = module("void main(int a) { emit(a * 2); }");
         for _ in 0..3 {
             let back = store(&cache, "k", &m).unwrap();
-            assert_eq!(format!("{back:?}"), format!("{m:?}"));
+            assert_eq!(back, m);
         }
         let s = cache.stats();
         assert_eq!(s.parse.hits, 0, "{s}");
@@ -746,12 +770,160 @@ mod tests {
 
     #[test]
     fn clear_resets_budget_accounting() {
-        let cache = ArtifactCache::with_budget(u64::MAX);
+        let cache = bare(u64::MAX, !0);
         let m = module("void main(int a) { emit(a); }");
         store(&cache, "k", &m).unwrap();
         assert!(cache.resident_bytes() > 0);
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    /// A custom tier that records every call — proves the tier stack is
+    /// genuinely pluggable and pins the read-through/write-through protocol.
+    #[derive(Debug, Default)]
+    struct TraceStore {
+        entries: Mutex<Vec<(StageKind, String, Vec<u8>)>>,
+        hits: AtomicU64,
+        loads: AtomicU64,
+        stores: AtomicU64,
+    }
+
+    impl CacheStore for TraceStore {
+        fn label(&self) -> &'static str {
+            "trace"
+        }
+
+        fn load(&self, stage: StageKind, key: &str) -> Option<Vec<u8>> {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            let found = self
+                .entries
+                .lock()
+                .unwrap()
+                .iter()
+                .find(|(s, k, _)| *s == stage && k == key)
+                .map(|(_, _, p)| p.clone());
+            if found.is_some() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+            }
+            found
+        }
+
+        fn store(&self, stage: StageKind, key: &str, payload: &[u8]) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.entries
+                .lock()
+                .unwrap()
+                .push((stage, key.to_string(), payload.to_vec()));
+        }
+
+        fn invalidate(&self, _stage: StageKind, _key: &str) {}
+
+        fn clear(&self) {
+            self.entries.lock().unwrap().clear();
+        }
+
+        fn stats(&self) -> TierStats {
+            TierStats {
+                hits: self.hits.load(Ordering::Relaxed),
+                loads: self.loads.load(Ordering::Relaxed),
+                stores: self.stores.load(Ordering::Relaxed),
+                ..TierStats::default()
+            }
+        }
+
+        fn stage_entries(&self) -> [u64; 4] {
+            let mut out = [0u64; 4];
+            for (s, _, _) in self.entries.lock().unwrap().iter() {
+                out[*s as usize] += 1;
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn custom_tier_sees_write_through_and_serves_read_through() {
+        let trace = Arc::new(TraceStore::default());
+        let mem: Arc<dyn CacheStore> = Arc::new(MemoryStore::new(u64::MAX, !0));
+        let config = CacheConfig {
+            byte_budget: u64::MAX,
+            hash_mask: !0,
+            disk: None,
+        };
+        let cache = ArtifactCache::with_tiers(config, vec![mem, trace.clone()]);
+        let m = module("void main(int a) { emit(a + 3); }");
+
+        // Miss: computed once, written through to both tiers.
+        store(&cache, "k", &m).unwrap();
+        assert_eq!(trace.stores.load(Ordering::Relaxed), 1);
+
+        // Memory hit: the cold tier is not consulted.
+        store(&cache, "k", &m).unwrap();
+        assert_eq!(trace.loads.load(Ordering::Relaxed), 1);
+
+        // Fresh cache sharing only the trace tier: read-through hit, and
+        // the payload is promoted into the new memory tier.
+        let cache2 = ArtifactCache::with_tiers(
+            CacheConfig {
+                byte_budget: u64::MAX,
+                hash_mask: !0,
+                disk: None,
+            },
+            vec![Arc::new(MemoryStore::new(u64::MAX, !0)), trace.clone()],
+        );
+        let back = store(&cache2, "k", &m).unwrap();
+        assert_eq!(back, m);
+        let s = cache2.stats();
+        assert_eq!(s.parse.hits, 1, "cold-tier hit counts for the stage");
+        assert_eq!(s.parse.misses, 0);
+        assert_eq!(trace.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache2.len(), [1, 0, 0, 0], "promoted into memory");
+        // Next lookup is a pure memory hit.
+        store(&cache2, "k", &m).unwrap();
+        assert_eq!(trace.loads.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn undecodable_payload_in_a_tier_degrades_to_recompute() {
+        /// A tier that always claims a (verified) hit with garbage bytes.
+        #[derive(Debug, Default)]
+        struct GarbageStore {
+            invalidated: AtomicU64,
+        }
+        impl CacheStore for GarbageStore {
+            fn label(&self) -> &'static str {
+                "garbage"
+            }
+            fn load(&self, _stage: StageKind, _key: &str) -> Option<Vec<u8>> {
+                Some(vec![0xff, 0xff, 0xff])
+            }
+            fn store(&self, _stage: StageKind, _key: &str, _payload: &[u8]) {}
+            fn invalidate(&self, _stage: StageKind, _key: &str) {
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+            }
+            fn clear(&self) {}
+            fn stats(&self) -> TierStats {
+                TierStats::default()
+            }
+            fn stage_entries(&self) -> [u64; 4] {
+                [0; 4]
+            }
+        }
+
+        let garbage = Arc::new(GarbageStore::default());
+        let cache = ArtifactCache::with_tiers(
+            CacheConfig {
+                byte_budget: u64::MAX,
+                hash_mask: !0,
+                disk: None,
+            },
+            vec![garbage.clone()],
+        );
+        let m = module("void main(int a) { emit(a); }");
+        let back = store(&cache, "k", &m).unwrap();
+        assert_eq!(back, m, "garbage payload must recompute, not corrupt");
+        let s = cache.stats();
+        assert_eq!(s.parse.misses, 1, "{s}");
+        assert_eq!(garbage.invalidated.load(Ordering::Relaxed), 1);
     }
 }

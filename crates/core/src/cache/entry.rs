@@ -1,0 +1,161 @@
+//! The self-describing, versioned container wrapped around every persisted
+//! cache entry.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +--------+---------+-------+--------------+------------------+----------+
+//! | magic  | version | stage | key          | payload          | checksum |
+//! | 8 B    | u32     | u8    | u32 + bytes  | u32 + bytes      | u64      |
+//! +--------+---------+-------+--------------+------------------+----------+
+//! ```
+//!
+//! The **full stage key** is stored, not a hash: a load verifies it
+//! byte-for-byte against the requested key, exactly like the memory tier's
+//! stored-key collision check — so two keys whose file names collide can
+//! never serve each other's artifact. The trailing checksum is FNV-1a over
+//! everything before it, catching truncation and bit rot; the version field
+//! retires whole formats at once. Every verification failure maps to an
+//! [`EntryError`] and, at the store layer, to a counted, silent recompute.
+
+use super::{fnv1a64_bytes, StageKind};
+use asip_isa::codec::{CodecError, Reader, Writer};
+
+/// Version stamp of the persisted artifact format. Bump whenever any
+/// artifact [`Codec`](asip_isa::codec::Codec) or this container changes
+/// incompatibly; old entries then read as stale and are recomputed.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic bytes opening every entry file.
+const MAGIC: [u8; 8] = *b"ASIPART\0";
+
+/// Why a persisted entry was rejected. All variants are handled
+/// identically — drop the entry, count a stale drop, recompute — but the
+/// distinction keeps tests honest about *which* defense caught a corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryError {
+    /// The file does not open with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    BadVersion(u32),
+    /// The entry was written for a different pipeline stage.
+    StageMismatch,
+    /// The stored key differs from the requested key (file-name collision
+    /// or a renamed file).
+    KeyMismatch,
+    /// The trailing checksum does not match the content.
+    BadChecksum,
+    /// Structurally malformed (truncated or trailing bytes).
+    Malformed(CodecError),
+}
+
+impl From<CodecError> for EntryError {
+    fn from(e: CodecError) -> Self {
+        EntryError::Malformed(e)
+    }
+}
+
+/// Wrap `payload` in the versioned container for (stage, key).
+pub(crate) fn encode_entry(stage: StageKind, key: &str, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    for b in MAGIC {
+        w.put_u8(b);
+    }
+    w.put_u32(FORMAT_VERSION);
+    w.put_u8(stage as u8);
+    w.put_str(key);
+    w.put_bytes(payload);
+    let mut bytes = w.into_bytes();
+    let checksum = fnv1a64_bytes(&bytes);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Unwrap an entry, verifying magic, version, stage, full key and checksum.
+/// Returns the artifact payload bytes.
+pub(crate) fn decode_entry(
+    bytes: &[u8],
+    stage: StageKind,
+    key: &str,
+) -> Result<Vec<u8>, EntryError> {
+    if bytes.len() < 8 + MAGIC.len() {
+        return Err(EntryError::Malformed(CodecError::Truncated));
+    }
+    let (content, tail) = bytes.split_at(bytes.len() - 8);
+    let checksum = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    let mut r = Reader::new(content);
+    if r.get_raw(MAGIC.len())? != MAGIC {
+        return Err(EntryError::BadMagic);
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(EntryError::BadVersion(version));
+    }
+    if r.get_u8()? != stage as u8 {
+        return Err(EntryError::StageMismatch);
+    }
+    if r.get_str()? != key {
+        return Err(EntryError::KeyMismatch);
+    }
+    let payload = r.get_bytes()?;
+    r.finish()?;
+    // Checked last so the error diagnoses *what* mismatched when the
+    // header itself is intact.
+    if fnv1a64_bytes(content) != checksum {
+        return Err(EntryError::BadChecksum);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_every_defense_fires() {
+        let stage = StageKind::Compile;
+        let payload = b"artifact bytes".to_vec();
+        let good = encode_entry(stage, "the/full:key", &payload);
+        assert_eq!(decode_entry(&good, stage, "the/full:key"), Ok(payload));
+
+        // Truncation.
+        assert!(matches!(
+            decode_entry(&good[..good.len() / 2], stage, "the/full:key"),
+            Err(EntryError::Malformed(_) | EntryError::BadChecksum)
+        ));
+        // Garbage.
+        assert!(decode_entry(&[0u8; 64], stage, "the/full:key").is_err());
+        // Magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert_eq!(
+            decode_entry(&bad, stage, "the/full:key"),
+            Err(EntryError::BadMagic)
+        );
+        // Version.
+        let mut bad = good.clone();
+        bad[8] = 0xee;
+        assert!(matches!(
+            decode_entry(&bad, stage, "the/full:key"),
+            Err(EntryError::BadVersion(_))
+        ));
+        // Stage.
+        assert_eq!(
+            decode_entry(&good, StageKind::Parse, "the/full:key"),
+            Err(EntryError::StageMismatch)
+        );
+        // Key.
+        assert_eq!(
+            decode_entry(&good, stage, "another-key"),
+            Err(EntryError::KeyMismatch)
+        );
+        // Payload bit flip → checksum.
+        let mut bad = good.clone();
+        let n = bad.len();
+        bad[n - 12] ^= 0x01;
+        assert_eq!(
+            decode_entry(&bad, stage, "the/full:key"),
+            Err(EntryError::BadChecksum)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! Tier 0: the in-process, LRU byte-budgeted [`CacheStore`].
+//!
+//! This is the seed's `ArtifactCache` storage engine refactored behind the
+//! [`CacheStore`] trait: payload bytes indexed by a masked 64-bit FNV-1a
+//! hash of the full key, with the key stored alongside each entry and
+//! compared byte-for-byte on every probe (a hash collision degrades to a
+//! bucket scan, never a wrong artifact), and one global least-recently-used
+//! queue across all four stages enforcing the byte budget. An entry larger
+//! than the whole budget is never admitted — flushing every resident entry
+//! for an artifact that cannot stay would be pure churn — but still counts
+//! as an eviction so the non-retention shows up in [`TierStats`].
+
+use super::{fnv1a64_seeded, CacheStore, StageKind, TierStats, FNV_BASIS};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Fixed per-entry bookkeeping overhead added to every size estimate.
+pub(crate) const ENTRY_OVERHEAD: u64 = 96;
+
+struct Entry {
+    /// Full rendered key, compared byte-for-byte on every bucket probe.
+    key: Box<str>,
+    payload: Box<[u8]>,
+    id: u64,
+}
+
+/// One stage's hash-indexed store. Buckets hold every entry whose masked
+/// hash collides; correctness never depends on hash uniqueness.
+#[derive(Default)]
+struct StageMap {
+    buckets: HashMap<u64, Vec<Entry>>,
+}
+
+impl StageMap {
+    fn find(&self, hash: u64, key: &str) -> Option<&Entry> {
+        self.buckets
+            .get(&hash)?
+            .iter()
+            .find(|e| e.key.as_ref() == key)
+    }
+
+    fn insert(&mut self, hash: u64, entry: Entry) {
+        self.buckets.entry(hash).or_default().push(entry);
+    }
+
+    fn remove_id(&mut self, hash: u64, id: u64) -> Option<Entry> {
+        let bucket = self.buckets.get_mut(&hash)?;
+        let i = bucket.iter().position(|e| e.id == id)?;
+        let e = bucket.swap_remove(i);
+        if bucket.is_empty() {
+            self.buckets.remove(&hash);
+        }
+        Some(e)
+    }
+
+    fn len(&self) -> usize {
+        self.buckets.values().map(Vec::len).sum()
+    }
+}
+
+/// Where an LRU queue entry lives, for typed removal on eviction.
+#[derive(Clone, Copy)]
+struct Loc {
+    stage: usize,
+    hash: u64,
+    id: u64,
+    bytes: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    maps: [StageMap; 4],
+    /// Recency queue: tick → entry location; the first entry is coldest.
+    lru: BTreeMap<u64, Loc>,
+    /// Entry id → its current tick in `lru` (moved on every touch).
+    tick_of: HashMap<u64, u64>,
+    next_tick: u64,
+    next_id: u64,
+    resident_bytes: u64,
+}
+
+impl Inner {
+    fn touch(&mut self, id: u64) {
+        if let Some(old) = self.tick_of.get(&id).copied() {
+            if let Some(loc) = self.lru.remove(&old) {
+                let tick = self.next_tick;
+                self.next_tick += 1;
+                self.lru.insert(tick, loc);
+                self.tick_of.insert(id, tick);
+            }
+        }
+    }
+
+    fn remember(&mut self, loc: Loc) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.lru.insert(tick, loc);
+        self.tick_of.insert(loc.id, tick);
+        self.resident_bytes += loc.bytes;
+    }
+
+    fn remove(&mut self, loc: Loc) -> bool {
+        self.tick_of.remove(&loc.id);
+        let removed = self.maps[loc.stage].remove_id(loc.hash, loc.id).is_some();
+        self.resident_bytes = self.resident_bytes.saturating_sub(loc.bytes);
+        removed
+    }
+
+    /// Evict the coldest entry; returns false when the cache is empty.
+    fn evict_one(&mut self) -> bool {
+        let Some((tick, loc)) = self.lru.pop_first() else {
+            return false;
+        };
+        debug_assert_eq!(self.tick_of.get(&loc.id), Some(&tick));
+        let removed = self.remove(loc);
+        debug_assert!(removed, "LRU queue and stage maps must stay in sync");
+        true
+    }
+}
+
+/// The in-process memory tier. See the [module docs](self).
+pub struct MemoryStore {
+    byte_budget: u64,
+    hash_mask: u64,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    loads: AtomicU64,
+    stores: AtomicU64,
+    stale_drops: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MemoryStore {
+    /// An empty store bounded to `byte_budget` resident bytes, hashing keys
+    /// under `hash_mask` (use `!0` outside of collision tests).
+    pub fn new(byte_budget: u64, hash_mask: u64) -> MemoryStore {
+        MemoryStore {
+            byte_budget,
+            hash_mask,
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            loads: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            stale_drops: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn hash(&self, key: &str) -> u64 {
+        fnv1a64_seeded(key, FNV_BASIS) & self.hash_mask
+    }
+
+    fn find_loc(inner: &Inner, stage: StageKind, hash: u64, key: &str) -> Option<Loc> {
+        let e = inner.maps[stage as usize].find(hash, key)?;
+        let bytes = key.len() as u64 + e.payload.len() as u64 + ENTRY_OVERHEAD;
+        Some(Loc {
+            stage: stage as usize,
+            hash,
+            id: e.id,
+            bytes,
+        })
+    }
+}
+
+impl std::fmt::Debug for MemoryStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryStore")
+            .field("budget", &self.byte_budget)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CacheStore for MemoryStore {
+    fn label(&self) -> &'static str {
+        "mem"
+    }
+
+    fn load(&self, stage: StageKind, key: &str) -> Option<Vec<u8>> {
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let hash = self.hash(key);
+        let mut inner = self.inner.lock().unwrap();
+        let found = inner.maps[stage as usize]
+            .find(hash, key)
+            .map(|e| (e.id, e.payload.to_vec()));
+        let (id, payload) = found?;
+        inner.touch(id);
+        drop(inner);
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(payload)
+    }
+
+    fn store(&self, stage: StageKind, key: &str, payload: &[u8]) {
+        let hash = self.hash(key);
+        let bytes = key.len() as u64 + payload.len() as u64 + ENTRY_OVERHEAD;
+        let mut inner = self.inner.lock().unwrap();
+        // First insert wins: a racing worker (or a promotion racing a
+        // write-through) may have stored this key already; the payloads
+        // are identical deterministic encodings, so keep the resident one.
+        if let Some(e) = inner.maps[stage as usize].find(hash, key) {
+            let id = e.id;
+            inner.touch(id);
+            return;
+        }
+        if bytes > self.byte_budget {
+            // Never admitted: would flush every other resident entry for
+            // nothing. Counted as an eviction so the non-retention shows
+            // up in the stats.
+            drop(inner);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.maps[stage as usize].insert(
+            hash,
+            Entry {
+                key: key.into(),
+                payload: payload.into(),
+                id,
+            },
+        );
+        inner.remember(Loc {
+            stage: stage as usize,
+            hash,
+            id,
+            bytes,
+        });
+        let mut evicted = 0u64;
+        while inner.resident_bytes > self.byte_budget && inner.evict_one() {
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn invalidate(&self, stage: StageKind, key: &str) {
+        let hash = self.hash(key);
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(loc) = Self::find_loc(&inner, stage, hash, key) {
+            if let Some(tick) = inner.tick_of.get(&loc.id).copied() {
+                inner.lru.remove(&tick);
+            }
+            inner.remove(loc);
+            drop(inner);
+            self.stale_drops.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn clear(&self) {
+        *self.inner.lock().unwrap() = Inner::default();
+        for c in [
+            &self.hits,
+            &self.loads,
+            &self.stores,
+            &self.stale_drops,
+            &self.evictions,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self) -> TierStats {
+        let inner = self.inner.lock().unwrap();
+        TierStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            stale_drops: self.stale_drops.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: inner.resident_bytes,
+            entries: inner.maps.iter().map(|m| m.len() as u64).sum(),
+        }
+    }
+
+    fn stage_entries(&self) -> [u64; 4] {
+        let inner = self.inner.lock().unwrap();
+        let mut out = [0u64; 4];
+        for (i, m) in inner.maps.iter().enumerate() {
+            out[i] = m.len() as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_and_invalidate() {
+        let s = MemoryStore::new(u64::MAX, !0);
+        assert_eq!(s.load(StageKind::Parse, "k"), None);
+        s.store(StageKind::Parse, "k", b"payload");
+        assert_eq!(
+            s.load(StageKind::Parse, "k").as_deref(),
+            Some(&b"payload"[..])
+        );
+        // Same key, different stage: distinct entries.
+        assert_eq!(s.load(StageKind::Compile, "k"), None);
+        s.invalidate(StageKind::Parse, "k");
+        assert_eq!(s.load(StageKind::Parse, "k"), None);
+        let t = s.stats();
+        assert_eq!(t.stale_drops, 1);
+        assert_eq!(t.entries, 0);
+        assert_eq!(t.resident_bytes, 0);
+    }
+
+    #[test]
+    fn first_insert_wins_on_duplicate_store() {
+        let s = MemoryStore::new(u64::MAX, !0);
+        s.store(StageKind::Parse, "k", b"one");
+        s.store(StageKind::Parse, "k", b"one");
+        let t = s.stats();
+        assert_eq!(t.stores, 1);
+        assert_eq!(t.entries, 1);
+    }
+}

@@ -5,10 +5,11 @@
 //! Processors"* (Fisher, DAC 1999) describes:
 //!
 //! * a **builder-configured [`Session`]** ([`session`]): the single family
-//!   view — one object that owns a memory-bounded [`ArtifactCache`]
-//!   ([`cache`]) and a worker pool, and evaluates any batch of
-//!   (workload × machine) cells through [`Session::eval_batch`] with
-//!   deterministic, request-ordered results;
+//!   view — one object that owns a **tiered** [`ArtifactCache`] ([`cache`]:
+//!   an LRU byte-budgeted memory tier plus an optional persistent disk
+//!   tier for cross-process warm starts) and a worker pool, and evaluates
+//!   any batch of (workload × machine) cells through
+//!   [`Session::eval_batch`] with deterministic, request-ordered results;
 //! * the **staged pipeline engine** ([`pipeline`]): the explicit
 //!   Parse → Optimize → Profile → Compile → Simulate graph under every
 //!   session, with profile-guided superblock formation and golden-model
@@ -65,6 +66,9 @@ pub mod nxm;
 pub mod pipeline;
 pub mod session;
 
-pub use cache::{ArtifactCache, CacheConfig, CacheStats, StageKind, StageStats, StageTimes};
+pub use cache::{
+    ArtifactCache, CacheConfig, CacheStats, CacheStore, DiskStore, DiskTierConfig, MemoryStore,
+    StageKind, StageStats, StageTimes, TierStats,
+};
 pub use pipeline::{CompiledArtifact, Toolchain, ToolchainError, WorkloadRun};
 pub use session::{EvalOptions, EvalOutcome, EvalRequest, EvalRun, Session, SessionBuilder};

@@ -35,11 +35,13 @@
 //! front halves: evaluating M machines against one workload parses,
 //! optimizes and profiles it once.
 //!
-//! Cache keys are hashes of the full rendered artifact inputs with a
-//! stored-key collision check, so a hit can never silently collide, and the
-//! cache is bounded by an LRU byte budget (see [`crate::cache`]).
-//! [`Toolchain::cache_stats`] exposes per-stage hit/miss/eviction counters
-//! and [`Toolchain::stage_times`] cumulative per-stage execution time.
+//! Cache keys are the full rendered artifact inputs with stored-key
+//! verification in every tier, so a hit can never silently collide. The
+//! cache is **tiered** (see [`crate::cache`]): an LRU byte-budgeted memory
+//! tier, plus an optional persistent disk tier that lets a fresh process
+//! warm-start the whole front half. [`Toolchain::cache_stats`] exposes
+//! per-stage hit/miss and per-tier counters and [`Toolchain::stage_times`]
+//! cumulative per-stage execution time.
 
 pub use crate::cache::{ArtifactCache, CacheConfig, CacheStats, StageKind, StageStats, StageTimes};
 use asip_backend::{
@@ -49,6 +51,7 @@ use asip_backend::{
 use asip_ir::interp::{Interp, InterpOptions, Profile};
 use asip_ir::passes::{optimize, OptConfig};
 use asip_ir::Module;
+use asip_isa::codec::{Codec, CodecError, Reader, Writer};
 use asip_isa::{MachineDescription, TargetKind};
 use asip_sim::{ScalarSimulator, SimOptions, SimResult, Simulator};
 use asip_workloads::Workload;
@@ -176,12 +179,41 @@ impl Default for Toolchain {
 /// depends on the machine's [`TargetKind`]. Cache keys carry the target
 /// flavor, so a VLIW and a scalar compile of the same (module, machine
 /// table) can never alias.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CompiledArtifact {
     /// An exposed-pipeline VLIW program.
     Vliw(CompiledProgram),
     /// A linear scalar program.
     Scalar(CompiledScalarProgram),
+}
+
+/// The versioned binary encoding of a Compile-stage artifact: a target tag
+/// byte followed by the target's own program codec. This is what the
+/// persistent cache tier stores and verifies for the Compile stage.
+impl Codec for CompiledArtifact {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            CompiledArtifact::Vliw(p) => {
+                w.put_u8(0);
+                p.encode(w);
+            }
+            CompiledArtifact::Scalar(p) => {
+                w.put_u8(1);
+                p.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.get_u8()? {
+            0 => Ok(CompiledArtifact::Vliw(CompiledProgram::decode(r)?)),
+            1 => Ok(CompiledArtifact::Scalar(CompiledScalarProgram::decode(r)?)),
+            tag => Err(CodecError::BadTag {
+                what: "CompiledArtifact",
+                tag: tag.into(),
+            }),
+        }
+    }
 }
 
 impl CompiledArtifact {
@@ -289,12 +321,10 @@ impl Toolchain {
     ///
     /// [`ToolchainError::Frontend`] on TinyC errors.
     pub fn parse(&self, source: &str) -> Result<Module, ToolchainError> {
-        self.cache.get_or_compute(
-            StageKind::Parse,
-            source.to_string(),
-            ArtifactCache::parsed,
-            |t| Ok(t.time(|| asip_tinyc::compile(source))?),
-        )
+        self.cache
+            .get_or_compute(StageKind::Parse, source.to_string(), |t| {
+                Ok(t.time(|| asip_tinyc::compile(source))?)
+            })
     }
 
     /// **Parse + Optimize stages**: TinyC source → optimized IR module.
@@ -305,13 +335,12 @@ impl Toolchain {
     /// [`ToolchainError::Frontend`] on TinyC errors.
     pub fn frontend(&self, source: &str) -> Result<Module, ToolchainError> {
         let key = format!("{:?}\u{1f}{source}", self.opt);
-        self.cache
-            .get_or_compute(StageKind::Optimize, key, ArtifactCache::optimized, |t| {
-                // Parse times itself under its own stage.
-                let mut module = self.parse(source)?;
-                t.time(|| optimize(&mut module, &self.opt));
-                Ok(module)
-            })
+        self.cache.get_or_compute(StageKind::Optimize, key, |t| {
+            // Parse times itself under its own stage.
+            let mut module = self.parse(source)?;
+            t.time(|| optimize(&mut module, &self.opt));
+            Ok(module)
+        })
     }
 
     /// **Profile stage**: interpret the module to collect block execution
@@ -327,17 +356,16 @@ impl Toolchain {
         args: &[i32],
     ) -> Result<Profile, ToolchainError> {
         let key = format!("{module:?}\u{1f}{inputs:?}\u{1f}{args:?}");
-        self.cache
-            .get_or_compute(StageKind::Profile, key, ArtifactCache::profiles, |t| {
-                t.time(|| {
-                    let mut interp = Interp::new(module, InterpOptions::default());
-                    for (name, data) in inputs {
-                        interp.write_global(name, data);
-                    }
-                    let r = interp.run("main", args).map_err(ToolchainError::Profile)?;
-                    Ok(r.profile)
-                })
+        self.cache.get_or_compute(StageKind::Profile, key, |t| {
+            t.time(|| {
+                let mut interp = Interp::new(module, InterpOptions::default());
+                for (name, data) in inputs {
+                    interp.write_global(name, data);
+                }
+                let r = interp.run("main", args).map_err(ToolchainError::Profile)?;
+                Ok(r.profile)
             })
+        })
     }
 
     /// Cached compile of one target flavor. The key leads with the flavor
@@ -355,23 +383,22 @@ impl Toolchain {
             self.backend,
             profile_key(profile)
         );
-        self.cache
-            .get_or_compute(StageKind::Compile, key, ArtifactCache::compiled, |t| {
-                t.time(|| match flavor {
-                    TargetKind::Vliw => Ok(CompiledArtifact::Vliw(compile_module(
-                        module,
-                        machine,
-                        profile,
-                        &self.backend,
-                    )?)),
-                    TargetKind::Scalar => Ok(CompiledArtifact::Scalar(compile_module_scalar(
-                        module,
-                        machine,
-                        profile,
-                        &self.backend,
-                    )?)),
-                })
+        self.cache.get_or_compute(StageKind::Compile, key, |t| {
+            t.time(|| match flavor {
+                TargetKind::Vliw => Ok(CompiledArtifact::Vliw(compile_module(
+                    module,
+                    machine,
+                    profile,
+                    &self.backend,
+                )?)),
+                TargetKind::Scalar => Ok(CompiledArtifact::Scalar(compile_module_scalar(
+                    module,
+                    machine,
+                    profile,
+                    &self.backend,
+                )?)),
             })
+        })
     }
 
     /// **Compile stage**, dispatched on the machine's [`TargetKind`]: IR

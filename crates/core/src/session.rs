@@ -6,7 +6,9 @@
 //! grid ([`crate::nxm`]), design-space exploration ([`crate::dse`]) and ISE
 //! budget sweeps ([`crate::ise::sweep_budgets`]) are all thin layers over
 //! the same batched evaluation service, so every search loop shares one
-//! memory-bounded [`ArtifactCache`] and one parallelism policy.
+//! tiered [`ArtifactCache`] (LRU-bounded memory, plus a persistent disk
+//! tier via [`SessionBuilder::cache_dir`] / `ASIP_CACHE_DIR` for
+//! cross-process warm starts) and one parallelism policy.
 //!
 //! # Quickstart
 //!
@@ -31,10 +33,15 @@
 //! shared cursor, and writes each outcome into its request's slot: the
 //! result vector is **request-ordered and byte-identical regardless of
 //! thread count**. Artifacts are deterministic functions of their rendered
-//! inputs, so cache hits, racing recomputes and LRU evictions can never
-//! change a measurement — only the [`CacheStats`] counters.
+//! inputs and round-trip the cache's versioned binary codec exactly, so
+//! cache hits (from either tier), racing recomputes, LRU evictions and
+//! disk warm starts can never change a measurement — only the
+//! [`CacheStats`] counters.
 
-use crate::cache::{default_cache_bytes, ArtifactCache, CacheStats, StageTimes};
+use crate::cache::{
+    default_cache_bytes, default_cache_dir, ArtifactCache, CacheConfig, CacheStats, DiskTierConfig,
+    StageTimes, DEFAULT_DISK_CACHE_BYTES,
+};
 use crate::ise::{extend, IseConfig, IseReport};
 use crate::pipeline::{Toolchain, ToolchainError, WorkloadRun};
 use asip_backend::BackendOptions;
@@ -79,6 +86,8 @@ pub struct SessionBuilder {
     sim: SimOptions,
     profile_guided: Option<bool>,
     cache_bytes: Option<u64>,
+    cache_dir: Option<std::path::PathBuf>,
+    disk_cache_bytes: Option<u64>,
     cache: Option<Arc<ArtifactCache>>,
     threads: Option<usize>,
 }
@@ -116,9 +125,31 @@ impl SessionBuilder {
         self
     }
 
+    /// Attach a **persistent disk tier** at `dir`: cached artifacts
+    /// survive the process, so the next session pointed at the same
+    /// directory skips Parse/Optimize/Profile/Compile for everything it
+    /// has seen before.
+    ///
+    /// Precedence: an explicit call here always wins; otherwise the
+    /// `ASIP_CACHE_DIR` environment variable supplies the directory; with
+    /// neither, no disk tier is attached.
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Bound the disk tier to `bytes` of entry files (oldest evicted
+    /// first). Default [`DEFAULT_DISK_CACHE_BYTES`]. Only meaningful when
+    /// a disk tier is attached.
+    pub fn disk_cache_bytes(mut self, bytes: u64) -> Self {
+        self.disk_cache_bytes = Some(bytes);
+        self
+    }
+
     /// Attach a pre-built cache (shared with other sessions or configured
-    /// through [`CacheConfig`](crate::cache::CacheConfig)); overrides
-    /// [`SessionBuilder::cache_bytes`].
+    /// through [`CacheConfig`]); overrides
+    /// [`SessionBuilder::cache_bytes`], [`SessionBuilder::cache_dir`] and
+    /// [`SessionBuilder::disk_cache_bytes`].
     pub fn cache(mut self, cache: Arc<ArtifactCache>) -> Self {
         self.cache = Some(cache);
         self
@@ -146,9 +177,21 @@ impl SessionBuilder {
     /// Build the session.
     pub fn build(self) -> Session {
         let cache = self.cache.unwrap_or_else(|| {
-            Arc::new(ArtifactCache::with_budget(
-                self.cache_bytes.unwrap_or_else(default_cache_bytes),
-            ))
+            // Builder wins over environment; environment wins over
+            // default-off (pinned by the `session_env` integration tests).
+            let disk = self
+                .cache_dir
+                .or_else(default_cache_dir)
+                .map(|dir| DiskTierConfig {
+                    dir,
+                    byte_budget: self.disk_cache_bytes.unwrap_or(DEFAULT_DISK_CACHE_BYTES),
+                    max_age_secs: None,
+                });
+            Arc::new(ArtifactCache::with_config(CacheConfig {
+                byte_budget: self.cache_bytes.unwrap_or_else(default_cache_bytes),
+                hash_mask: !0,
+                disk,
+            }))
         });
         let mut tc = Toolchain::default().with_cache(cache);
         tc.opt = self.opt;

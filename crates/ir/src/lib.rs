@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod codec;
 pub mod func;
 pub mod inst;
 pub mod interp;

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod code;
+pub mod codec;
 pub mod custom;
 pub mod desc;
 pub mod encoding;
@@ -61,6 +62,7 @@ pub mod reg;
 pub mod scalar;
 
 pub use code::{Bundle, CodeError, FuncSym, GlobalSym, MachineOp, VliwProgram};
+pub use codec::{Codec, CodecError, Reader, Writer};
 pub use custom::{CustomOpDef, CustomOpError, PatNode, PatRef};
 pub use hwmodel::{ActivityCounts, AreaBreakdown, CycleTime, EnergyBreakdown};
 pub use machine::{Encoding, ICacheConfig, MachineDescription, MachineError, Slot, TargetKind};

@@ -1,0 +1,136 @@
+//! Codec round-trip properties: `decode(encode(x)) == x` for **every**
+//! cached artifact kind — IR modules (Parse and Optimize outputs),
+//! interpreter profiles, and compiled VLIW/scalar artifacts — across all
+//! `all_presets()` machines and the full kernel suite, plus fuzzed
+//! low-level values through the vendored proptest shim.
+//!
+//! These properties are what let the persistent cache tier promise
+//! byte-identical warm starts: if they hold, a disk round-trip can never
+//! change a measurement.
+
+use asip::core::{CompiledArtifact, Toolchain};
+use asip::ir::interp::Profile;
+use asip::ir::Module;
+use asip::isa::codec::Codec;
+use asip::isa::{MachineDescription, MachineOp, Opcode, Operand, Reg};
+use asip::workloads::Workload;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared engine: front halves are cached, so the exhaustive sweep
+/// parses/optimizes/profiles each kernel once and compiles per machine.
+fn toolchain() -> &'static Toolchain {
+    static TC: OnceLock<Toolchain> = OnceLock::new();
+    TC.get_or_init(Toolchain::default)
+}
+
+fn kernels() -> &'static [Workload] {
+    static WS: OnceLock<Vec<Workload>> = OnceLock::new();
+    WS.get_or_init(asip::workloads::all)
+}
+
+fn presets() -> &'static [MachineDescription] {
+    static MS: OnceLock<Vec<MachineDescription>> = OnceLock::new();
+    MS.get_or_init(MachineDescription::all_presets)
+}
+
+fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(what: &str, v: &T) {
+    let bytes = v.encode_to_vec();
+    let back = T::decode_all(&bytes)
+        .unwrap_or_else(|e| panic!("{what}: decode failed after {} bytes: {e}", bytes.len()));
+    assert_eq!(&back, v, "{what}: round-trip must be identity");
+    // Re-encoding the decoded value is byte-stable (what write-through
+    // promotion between tiers relies on).
+    assert_eq!(back.encode_to_vec(), bytes, "{what}: re-encode differs");
+}
+
+/// Round-trip every artifact kind the pipeline would cache for this cell.
+fn roundtrip_cell(machine: &MachineDescription, w: &Workload) {
+    let tc = toolchain();
+    let cell = format!("{} on {}", w.name, machine.name);
+
+    let parsed: Module = tc.parse(&w.source).expect("parse");
+    roundtrip(&format!("{cell}: parsed module"), &parsed);
+
+    let optimized: Module = tc.frontend(&w.source).expect("frontend");
+    roundtrip(&format!("{cell}: optimized module"), &optimized);
+
+    let profile: Profile = tc.profile(&optimized, &w.inputs, &w.args).expect("profile");
+    roundtrip(&format!("{cell}: profile"), &profile);
+
+    let artifact: CompiledArtifact = tc
+        .compile_for(&optimized, machine, Some(&profile))
+        .expect("compile");
+    roundtrip(&format!("{cell}: compiled artifact"), &artifact);
+}
+
+/// The exhaustive sweep the issue pins: every preset × every kernel.
+#[test]
+fn every_artifact_kind_roundtrips_for_all_presets_and_kernels() {
+    for machine in presets() {
+        for w in kernels() {
+            roundtrip_cell(machine, w);
+        }
+    }
+}
+
+proptest! {
+    /// Fuzzed cells (machine × kernel drawn by the shim) — exercises the
+    /// same properties under the deterministic edge-case schedule, and
+    /// keeps the pairing coverage honest if the preset or kernel lists
+    /// grow faster than the exhaustive loop above.
+    #[test]
+    fn fuzzed_cells_roundtrip(
+        mi in 0usize..MachineDescription::all_presets().len(),
+        wi in 0usize..18,
+    ) {
+        let ws = kernels();
+        roundtrip_cell(&presets()[mi], &ws[wi % ws.len()]);
+    }
+
+    /// Low-level machine-op fuzz: arbitrary immediates, targets, register
+    /// names and operand mixes survive the byte format exactly.
+    #[test]
+    fn fuzzed_machine_ops_roundtrip(
+        imm in any::<i32>(),
+        target in any::<u32>(),
+        cluster in 0u8..4,
+        index in any::<u16>(),
+        lit in any::<i32>(),
+        pick in 0usize..8,
+    ) {
+        let opcodes = [
+            Opcode::Add,
+            Opcode::Ldw,
+            Opcode::Stw,
+            Opcode::BrT,
+            Opcode::Call,
+            Opcode::Custom(7),
+            Opcode::Select,
+            Opcode::Nop,
+        ];
+        let op = MachineOp {
+            opcode: opcodes[pick],
+            dsts: vec![Reg::new(cluster, index)],
+            srcs: vec![Operand::Reg(Reg::new(cluster, index)), Operand::Imm(lit)],
+            imm,
+            target,
+        };
+        roundtrip("fuzzed MachineOp", &op);
+    }
+
+    /// Profiles with fuzzed counts (including the u64 edge cases the shim
+    /// schedules first) encode sorted and round-trip exactly.
+    #[test]
+    fn fuzzed_profiles_roundtrip(
+        f0 in any::<u32>(),
+        f1 in any::<u32>(),
+        c0 in any::<u64>(),
+        c1 in any::<u64>(),
+    ) {
+        let mut p = Profile::default();
+        p.counts.insert(f0, vec![c0, c1, 0]);
+        p.counts.insert(f1, vec![c1]);
+        roundtrip("fuzzed Profile", &p);
+    }
+}

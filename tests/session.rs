@@ -238,6 +238,7 @@ fn hash_collision_fallback_serves_distinct_artifacts() {
     let cache = Arc::new(ArtifactCache::with_config(CacheConfig {
         byte_budget: 64 * MIB,
         hash_mask: 0,
+        disk: None,
     }));
     let collide = Session::builder().cache(cache).threads(2).build();
     let plain = Session::builder().cache_bytes(64 * MIB).threads(2).build();

@@ -34,6 +34,46 @@ fn env_overrides_flow_into_builder_defaults() {
     std::env::remove_var("ASIP_CACHE_BYTES");
 }
 
+/// Persistent-cache-directory precedence, mirroring the
+/// `ASIP_GRID_THREADS` rules: an explicit `cache_dir(..)` builder call
+/// always wins; otherwise `ASIP_CACHE_DIR` supplies the directory; with
+/// neither, no disk tier is attached (default-off).
+#[test]
+fn cache_dir_builder_wins_over_env_wins_over_default_off() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::core::cache::{default_cache_dir, CACHE_DIR_ENV};
+
+    let env_dir = std::env::temp_dir().join(format!("asip-envdir-{}", std::process::id()));
+    let builder_dir = std::env::temp_dir().join(format!("asip-blddir-{}", std::process::id()));
+
+    // Default-off: no env, no builder call → no disk tier.
+    std::env::remove_var(CACHE_DIR_ENV);
+    assert_eq!(default_cache_dir(), None);
+    let s = Session::builder().build();
+    assert_eq!(s.cache().disk_dir(), None);
+    assert!(!s.cache_stats().has_disk);
+
+    // Env wins over default-off…
+    std::env::set_var(CACHE_DIR_ENV, &env_dir);
+    assert_eq!(default_cache_dir().as_deref(), Some(env_dir.as_path()));
+    let s = Session::builder().build();
+    assert_eq!(s.cache().disk_dir(), Some(env_dir.as_path()));
+    assert!(s.cache_stats().has_disk);
+
+    // …but an explicit builder call wins over the environment.
+    let s = Session::builder().cache_dir(&builder_dir).build();
+    assert_eq!(s.cache().disk_dir(), Some(builder_dir.as_path()));
+
+    // An empty value means unset (default-off again).
+    std::env::set_var(CACHE_DIR_ENV, "");
+    assert_eq!(default_cache_dir(), None);
+    assert_eq!(Session::builder().build().cache().disk_dir(), None);
+
+    std::env::remove_var(CACHE_DIR_ENV);
+    let _ = std::fs::remove_dir_all(&env_dir);
+    let _ = std::fs::remove_dir_all(&builder_dir);
+}
+
 /// Worker-count precedence: the builder is the single source of truth;
 /// `ASIP_GRID_THREADS` is the documented environment override feeding its
 /// *default*, and an explicit `threads(..)` call always wins over the
