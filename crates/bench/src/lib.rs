@@ -37,14 +37,26 @@ pub fn session() -> &'static Session {
 }
 
 /// Per-tier summary of the shared session's cache behavior, printed by the
-/// `exp_*` binaries at exit: stage hit/miss counters plus one line per
+/// `exp_*` binaries at exit: stage hit/miss counters (the memoized Simulate
+/// stage included), the simulation-throughput line, plus one line per
 /// cache tier (memory, and disk when `ASIP_CACHE_DIR` is active).
 pub fn session_summary() -> String {
+    use asip_core::StageKind;
     let s = session();
     let stats = s.cache_stats();
+    let sim_cycles = s.cache().sim_cycles();
+    let sim_secs = s.stage_times().get(StageKind::Simulate) as f64 / 1e9;
+    let mips = if sim_secs > 0.0 {
+        sim_cycles as f64 / sim_secs / 1e6
+    } else {
+        0.0
+    };
     let mut out = format!(
         "[session] {} workers | cache budget {} KiB | {} evictions, {} KiB resident\n\
-         [session] stages: parse {}/{} optimize {}/{} profile {}/{} compile {}/{} (hits/misses)\n\
+         [session] stages: parse {}/{} optimize {}/{} profile {}/{} compile {}/{} \
+         simulate {}/{} (hits/misses)\n\
+         [session] simulate throughput: {} cycles in {:.3}s host time ({:.0} MIPS; \
+         cache hits re-measure nothing)\n\
          [session] mem tier: {}",
         s.threads(),
         s.cache().byte_budget() / 1024,
@@ -58,6 +70,11 @@ pub fn session_summary() -> String {
         stats.profile.misses,
         stats.compile.hits,
         stats.compile.misses,
+        stats.simulate.hits,
+        stats.simulate.misses,
+        sim_cycles,
+        sim_secs,
+        mips,
         stats.mem,
     );
     if stats.has_disk {
@@ -80,6 +97,8 @@ mod tests {
         let a = session() as *const Session;
         let b = session() as *const Session;
         assert_eq!(a, b);
-        assert!(session_summary().contains("workers"));
+        let summary = session_summary();
+        assert!(summary.contains("workers"));
+        assert!(summary.contains("simulate throughput"));
     }
 }

@@ -172,8 +172,21 @@ impl StageKind {
         StageKind::Simulate,
     ];
 
-    /// The cacheable stages (everything but the measurement itself).
-    pub const CACHEABLE: [StageKind; 4] = [
+    /// The cacheable stages. Since the Simulate stage became memoized
+    /// (engines are deterministic and keys cover artifact + options +
+    /// inputs), this is every stage; kept distinct from [`StageKind::ALL`]
+    /// for readability at call sites that mean "what the cache stores".
+    pub const CACHEABLE: [StageKind; 5] = [
+        StageKind::Parse,
+        StageKind::Optimize,
+        StageKind::Profile,
+        StageKind::Compile,
+        StageKind::Simulate,
+    ];
+
+    /// The front half of the pipeline: everything up to (but excluding)
+    /// the Simulate measurement stage.
+    pub const FRONT_HALF: [StageKind; 4] = [
         StageKind::Parse,
         StageKind::Optimize,
         StageKind::Profile,
@@ -256,6 +269,9 @@ pub struct CacheStats {
     pub profile: StageStats,
     /// (module, machine, backend, profile) → compiled program.
     pub compile: StageStats,
+    /// (target, artifact, machine, sim options, inputs, args) → simulation
+    /// result. A hit skips the cycle-level simulation entirely.
+    pub simulate: StageStats,
     /// Memory-tier artifacts evicted to stay under the byte budget.
     pub evictions: u64,
     /// Estimated bytes currently held by the memory tier.
@@ -271,12 +287,20 @@ pub struct CacheStats {
 impl CacheStats {
     /// Total hits across all stages (served from any tier).
     pub fn hits(&self) -> u64 {
-        self.parse.hits + self.optimize.hits + self.profile.hits + self.compile.hits
+        self.parse.hits
+            + self.optimize.hits
+            + self.profile.hits
+            + self.compile.hits
+            + self.simulate.hits
     }
 
     /// Total misses across all stages (artifact computed).
     pub fn misses(&self) -> u64 {
-        self.parse.misses + self.optimize.misses + self.profile.misses + self.compile.misses
+        self.parse.misses
+            + self.optimize.misses
+            + self.profile.misses
+            + self.compile.misses
+            + self.simulate.misses
     }
 }
 
@@ -284,8 +308,8 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "parse {}/{} optimize {}/{} profile {}/{} compile {}/{} (hits/misses), \
-             {} evictions, {} KiB resident",
+            "parse {}/{} optimize {}/{} profile {}/{} compile {}/{} simulate {}/{} \
+             (hits/misses), {} evictions, {} KiB resident",
             self.parse.hits,
             self.parse.misses,
             self.optimize.hits,
@@ -294,6 +318,8 @@ impl fmt::Display for CacheStats {
             self.profile.misses,
             self.compile.hits,
             self.compile.misses,
+            self.simulate.hits,
+            self.simulate.misses,
             self.evictions,
             self.resident_bytes / 1024,
         )?;
@@ -383,7 +409,7 @@ pub trait CacheStore: Send + Sync + fmt::Debug {
 
     /// Entries currently held, per cacheable stage (indexed by
     /// `StageKind as usize`).
-    fn stage_entries(&self) -> [u64; 4];
+    fn stage_entries(&self) -> [u64; 5];
 }
 
 /// The tiered, memoized artifact cache shared by every clone of a
@@ -400,9 +426,13 @@ pub trait CacheStore: Send + Sync + fmt::Debug {
 pub struct ArtifactCache {
     stores: Vec<Arc<dyn CacheStore>>,
     config: CacheConfig,
-    hits: [AtomicU64; 4],
-    misses: [AtomicU64; 4],
+    hits: [AtomicU64; 5],
+    misses: [AtomicU64; 5],
     stage_ns: [AtomicU64; 5],
+    /// Total simulated cycles produced by Simulate-stage *executions*
+    /// (cache hits add nothing): the numerator of the session throughput
+    /// (MIPS) report.
+    sim_cycles: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -449,6 +479,7 @@ impl ArtifactCache {
             hits: Default::default(),
             misses: Default::default(),
             stage_ns: Default::default(),
+            sim_cycles: AtomicU64::new(0),
         }
     }
 
@@ -493,6 +524,7 @@ impl ArtifactCache {
             optimize: s(1),
             profile: s(2),
             compile: s(3),
+            simulate: s(4),
             evictions: mem.evictions,
             resident_bytes: mem.resident_bytes,
             mem,
@@ -519,13 +551,27 @@ impl ArtifactCache {
         for c in self.hits.iter().chain(&self.misses).chain(&self.stage_ns) {
             c.store(0, Ordering::Relaxed);
         }
+        self.sim_cycles.store(0, Ordering::Relaxed);
+    }
+
+    /// Total simulated cycles recorded by Simulate-stage executions (cache
+    /// hits add nothing). Together with
+    /// [`StageTimes::get`]`(StageKind::Simulate)` this yields the session's
+    /// simulation throughput (cycles per host second).
+    pub fn sim_cycles(&self) -> u64 {
+        self.sim_cycles.load(Ordering::Relaxed)
+    }
+
+    /// Record cycles simulated by one Simulate-stage execution.
+    pub(crate) fn record_sim_cycles(&self, cycles: u64) {
+        self.sim_cycles.fetch_add(cycles, Ordering::Relaxed);
     }
 
     /// Number of artifacts held by the hottest (memory) tier, per
     /// cacheable stage.
-    pub fn len(&self) -> [usize; 4] {
+    pub fn len(&self) -> [usize; 5] {
         let e = self.stores[0].stage_entries();
-        [e[0] as usize, e[1] as usize, e[2] as usize, e[3] as usize]
+        e.map(|n| n as usize)
     }
 
     /// Whether no tier holds any artifact.
@@ -540,11 +586,6 @@ impl ArtifactCache {
         self.tier_by_label("mem")
             .map(|t| t.stats().resident_bytes)
             .unwrap_or(0)
-    }
-
-    pub(crate) fn record_time(&self, stage: StageKind, start: Instant) {
-        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        self.stage_ns[stage as usize].fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Look up `key` for `stage` through the tier stack, computing and
@@ -564,7 +605,6 @@ impl ArtifactCache {
         key: String,
         compute: impl FnOnce(&mut StageTimer) -> Result<V, ToolchainError>,
     ) -> Result<V, ToolchainError> {
-        debug_assert!((stage as usize) < 4, "simulate is never cached");
         for (i, store) in self.stores.iter().enumerate() {
             let Some(payload) = store.load(stage, &key) else {
                 continue;
@@ -699,7 +739,7 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.parse.misses, 2, "{s}");
         assert_eq!(s.parse.hits, 2, "{s}");
-        assert_eq!(cache.len(), [2, 0, 0, 0]);
+        assert_eq!(cache.len(), [2, 0, 0, 0, 0]);
     }
 
     #[test]
@@ -832,8 +872,8 @@ mod tests {
             }
         }
 
-        fn stage_entries(&self) -> [u64; 4] {
-            let mut out = [0u64; 4];
+        fn stage_entries(&self) -> [u64; 5] {
+            let mut out = [0u64; 5];
             for (s, _, _) in self.entries.lock().unwrap().iter() {
                 out[*s as usize] += 1;
             }
@@ -877,7 +917,7 @@ mod tests {
         assert_eq!(s.parse.hits, 1, "cold-tier hit counts for the stage");
         assert_eq!(s.parse.misses, 0);
         assert_eq!(trace.hits.load(Ordering::Relaxed), 1);
-        assert_eq!(cache2.len(), [1, 0, 0, 0], "promoted into memory");
+        assert_eq!(cache2.len(), [1, 0, 0, 0, 0], "promoted into memory");
         // Next lookup is a pure memory hit.
         store(&cache2, "k", &m).unwrap();
         assert_eq!(trace.loads.load(Ordering::Relaxed), 2);
@@ -905,8 +945,8 @@ mod tests {
             fn stats(&self) -> TierStats {
                 TierStats::default()
             }
-            fn stage_entries(&self) -> [u64; 4] {
-                [0; 4]
+            fn stage_entries(&self) -> [u64; 5] {
+                [0; 5]
             }
         }
 

@@ -315,8 +315,8 @@ impl CacheStore for DiskStore {
         }
     }
 
-    fn stage_entries(&self) -> [u64; 4] {
-        let mut out = [0u64; 4];
+    fn stage_entries(&self) -> [u64; 5] {
+        let mut out = [0u64; 5];
         for (path, _, _) in self.scan() {
             if let Some(stage) = StageKind::CACHEABLE.iter().find(|s| {
                 path.parent()

@@ -5,7 +5,7 @@
 //! hash of the full key, with the key stored alongside each entry and
 //! compared byte-for-byte on every probe (a hash collision degrades to a
 //! bucket scan, never a wrong artifact), and one global least-recently-used
-//! queue across all four stages enforcing the byte budget. An entry larger
+//! queue across all cacheable stages enforcing the byte budget. An entry larger
 //! than the whole budget is never admitted — flushing every resident entry
 //! for an artifact that cannot stay would be pure churn — but still counts
 //! as an eviction so the non-retention shows up in [`TierStats`].
@@ -70,7 +70,7 @@ struct Loc {
 
 #[derive(Default)]
 struct Inner {
-    maps: [StageMap; 4],
+    maps: [StageMap; 5],
     /// Recency queue: tick → entry location; the first entry is coldest.
     lru: BTreeMap<u64, Loc>,
     /// Entry id → its current tick in `lru` (moved on every touch).
@@ -277,9 +277,9 @@ impl CacheStore for MemoryStore {
         }
     }
 
-    fn stage_entries(&self) -> [u64; 4] {
+    fn stage_entries(&self) -> [u64; 5] {
         let inner = self.inner.lock().unwrap();
-        let mut out = [0u64; 4];
+        let mut out = [0u64; 5];
         for (i, m) in inner.maps.iter().enumerate() {
             out[i] = m.len() as u64;
         }

@@ -29,11 +29,20 @@
 //! optimization by (source, [`OptConfig`]), profiling by (module, inputs,
 //! args), and compilation by (target kind, module, machine, backend
 //! options, profile) — so the two target flavors can never alias.
-//! Only [`Simulate`](StageKind::Simulate) — the measurement itself — always
-//! executes. The N×M grid ([`crate::nxm`]) and the ISE/DSE search loops
-//! ([`crate::ise`], [`crate::dse`]) therefore stop recompiling identical
-//! front halves: evaluating M machines against one workload parses,
-//! optimizes and profiles it once.
+//!
+//! [`Simulate`](StageKind::Simulate) is memoized too: both cycle-level
+//! engines are deterministic functions of (compiled artifact, machine
+//! tables, [`SimOptions`], workload inputs and arguments), which is exactly
+//! what the target-flavored Simulate key renders — so a repeated identical
+//! cell across ISE/DSE sweeps, or a disk-warm rerun of a whole grid, skips
+//! simulation entirely and returns a byte-identical `SimResult`. The
+//! golden-output check runs on every call (hit or miss), outside the
+//! cached computation. The N×M grid ([`crate::nxm`]) and the ISE/DSE
+//! search loops ([`crate::ise`], [`crate::dse`]) therefore stop
+//! recompiling identical front halves *and* stop re-measuring identical
+//! cells: evaluating M machines against one workload parses, optimizes and
+//! profiles it once, and re-evaluating any (artifact, machine, inputs)
+//! triple costs a cache probe.
 //!
 //! Cache keys are the full rendered artifact inputs with stored-key
 //! verification in every tier, so a hit can never silently collide. The
@@ -57,7 +66,6 @@ use asip_sim::{ScalarSimulator, SimOptions, SimResult, Simulator};
 use asip_workloads::Workload;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Toolchain failure at any stage.
 ///
@@ -480,9 +488,68 @@ impl Toolchain {
         self.run_artifact(w, machine, &compiled)
     }
 
+    /// The Simulate-stage cache key. Flavor-tagged like Compile keys, and
+    /// covering everything the deterministic engines read: the compiled
+    /// program, the machine tables, the [`SimOptions`] limits, and the
+    /// workload's inputs and arguments. The program and the input data are
+    /// rendered through their lossless binary codec (hex-expanded) rather
+    /// than `Debug` formatting — the key is built on the hot path of every
+    /// cell, and the codec writer is an order of magnitude cheaper than
+    /// `fmt` while remaining a complete, injective rendering. The golden
+    /// `expected` stream is deliberately *not* part of the key — the output
+    /// check runs on every call, hit or miss, so a sabotaged expectation
+    /// still reports [`ToolchainError::WrongOutput`] against the cached
+    /// measurement.
+    fn simulate_key<P: Codec>(
+        &self,
+        flavor: TargetKind,
+        machine: &MachineDescription,
+        program: &P,
+        w: &Workload,
+    ) -> String {
+        let mut blob = Writer::new();
+        program.encode(&mut blob);
+        blob.put_u32(w.inputs.len() as u32);
+        for (name, data) in &w.inputs {
+            blob.put_str(name);
+            data.encode(&mut blob);
+        }
+        w.args.encode(&mut blob);
+        let blob = blob.into_bytes();
+        let mut key = format!("{flavor}\u{1f}{machine:?}\u{1f}{:?}\u{1f}", self.sim).into_bytes();
+        const HEX: &[u8; 16] = b"0123456789abcdef";
+        let at = key.len();
+        key.resize(at + blob.len() * 2, 0);
+        for (pair, &b) in key[at..].chunks_exact_mut(2).zip(&blob) {
+            pair[0] = HEX[(b >> 4) as usize];
+            pair[1] = HEX[(b & 15) as usize];
+        }
+        String::from_utf8(key).expect("hex expansion is ASCII")
+    }
+
+    /// Golden-model output check shared by both Simulate flavors.
+    fn check_output(
+        result: &SimResult,
+        w: &Workload,
+        machine: &MachineDescription,
+    ) -> Result<(), ToolchainError> {
+        if result.output != w.expected {
+            return Err(ToolchainError::WrongOutput {
+                workload: w.name.clone(),
+                machine: machine.name.clone(),
+                expected: w.expected.clone(),
+                actual: result.output.clone(),
+            });
+        }
+        Ok(())
+    }
+
     /// **Simulate stage**: run an already-compiled workload (used by sweeps
-    /// that vary only the simulation conditions). Never cached — this is
-    /// the measurement.
+    /// that vary only the simulation conditions). **Memoized** like every
+    /// other stage: the engines are deterministic functions of the key's
+    /// rendered inputs, so a repeated identical cell across ISE/DSE sweeps
+    /// — or a disk-warm rerun — skips the cycle loop entirely and returns
+    /// a byte-identical [`SimResult`]. Errors are never cached.
     ///
     /// # Errors
     ///
@@ -493,21 +560,19 @@ impl Toolchain {
         machine: &MachineDescription,
         compiled: &CompiledProgram,
     ) -> Result<WorkloadRun, ToolchainError> {
-        let start = Instant::now();
-        let mut sim = Simulator::new(machine, &compiled.program, self.sim)?;
-        for (name, data) in &w.inputs {
-            sim.write_global(name, data);
-        }
-        let result = sim.run(&w.args)?;
-        self.cache.record_time(StageKind::Simulate, start);
-        if result.output != w.expected {
-            return Err(ToolchainError::WrongOutput {
-                workload: w.name.clone(),
-                machine: machine.name.clone(),
-                expected: w.expected.clone(),
-                actual: result.output,
-            });
-        }
+        let key = self.simulate_key(TargetKind::Vliw, machine, &compiled.program, w);
+        let result = self.cache.get_or_compute(StageKind::Simulate, key, |t| {
+            let result = t.time(|| -> Result<SimResult, ToolchainError> {
+                let mut sim = Simulator::new(machine, &compiled.program, self.sim)?;
+                for (name, data) in &w.inputs {
+                    sim.write_global(name, data);
+                }
+                Ok(sim.run(&w.args)?)
+            })?;
+            self.cache.record_sim_cycles(result.cycles);
+            Ok(result)
+        })?;
+        Self::check_output(&result, w, machine)?;
         let code_bytes =
             asip_isa::encoding::code_bytes(&compiled.program, machine, machine.encoding);
         Ok(WorkloadRun {
@@ -520,7 +585,8 @@ impl Toolchain {
     }
 
     /// **Simulate stage**, scalar flavor: run an already-compiled scalar
-    /// workload on the in-order pipeline model. Never cached.
+    /// workload on the in-order pipeline model. Memoized like
+    /// [`Toolchain::run_compiled`], with a scalar-flavored key.
     ///
     /// # Errors
     ///
@@ -531,21 +597,19 @@ impl Toolchain {
         machine: &MachineDescription,
         compiled: &CompiledScalarProgram,
     ) -> Result<WorkloadRun, ToolchainError> {
-        let start = Instant::now();
-        let mut sim = ScalarSimulator::new(machine, &compiled.program, self.sim)?;
-        for (name, data) in &w.inputs {
-            sim.write_global(name, data);
-        }
-        let result = sim.run(&w.args)?;
-        self.cache.record_time(StageKind::Simulate, start);
-        if result.output != w.expected {
-            return Err(ToolchainError::WrongOutput {
-                workload: w.name.clone(),
-                machine: machine.name.clone(),
-                expected: w.expected.clone(),
-                actual: result.output,
-            });
-        }
+        let key = self.simulate_key(TargetKind::Scalar, machine, &compiled.program, w);
+        let result = self.cache.get_or_compute(StageKind::Simulate, key, |t| {
+            let result = t.time(|| -> Result<SimResult, ToolchainError> {
+                let mut sim = ScalarSimulator::new(machine, &compiled.program, self.sim)?;
+                for (name, data) in &w.inputs {
+                    sim.write_global(name, data);
+                }
+                Ok(sim.run(&w.args)?)
+            })?;
+            self.cache.record_sim_cycles(result.cycles);
+            Ok(result)
+        })?;
+        Self::check_output(&result, w, machine)?;
         let code_bytes = compiled.program.code_bytes(machine.encoding);
         Ok(WorkloadRun {
             workload: w.name.clone(),
@@ -630,18 +694,20 @@ mod tests {
         assert_eq!(cold.optimize.misses, 1);
         assert_eq!(cold.profile.misses, 1);
         assert_eq!(cold.compile.misses, 1);
+        assert_eq!(cold.simulate.misses, 1);
 
         let second = tc.run_workload(&w, &m).unwrap();
         let warm = tc.cache_stats();
         assert_eq!(warm.optimize.hits, 1, "{warm}");
         assert_eq!(warm.profile.hits, 1, "{warm}");
         assert_eq!(warm.compile.hits, 1, "{warm}");
+        assert_eq!(warm.simulate.hits, 1, "{warm}");
         // No stage recomputed.
         assert_eq!(warm.misses(), cold.misses(), "{warm}");
 
-        // Cached and uncached runs are bit-identical measurements.
-        assert_eq!(first.sim.cycles, second.sim.cycles);
-        assert_eq!(first.sim.output, second.sim.output);
+        // Cached and uncached runs are bit-identical measurements — the
+        // memoized Simulate hit returns the whole SimResult unchanged.
+        assert_eq!(first.sim, second.sim);
         assert_eq!(first.code_bytes, second.code_bytes);
     }
 
@@ -735,9 +801,47 @@ mod tests {
         }
         tc.run_workload(&w, &m).unwrap();
         let t2 = tc.stage_times();
-        // Cached stages record no new time; simulation always runs.
+        // Cached stages record no new time — Simulate included, now that
+        // the measurement itself is memoized.
         assert_eq!(t2.get(StageKind::Compile), t1.get(StageKind::Compile));
         assert_eq!(t2.get(StageKind::Optimize), t1.get(StageKind::Optimize));
-        assert!(t2.get(StageKind::Simulate) > t1.get(StageKind::Simulate));
+        assert_eq!(t2.get(StageKind::Simulate), t1.get(StageKind::Simulate));
+    }
+
+    #[test]
+    fn simulate_memoization_survives_sabotaged_expectations() {
+        // The golden check runs outside the cached computation: a cached
+        // Simulate hit must still be checked against the (possibly
+        // different) expected stream of *this* call.
+        let tc = Toolchain::default();
+        let w = asip_workloads::by_name("rle").unwrap();
+        let m = MachineDescription::ember2();
+        tc.run_workload(&w, &m).unwrap();
+        let mut sabotaged = w.clone();
+        sabotaged.expected = vec![-123];
+        let err = tc.run_workload(&sabotaged, &m).unwrap_err();
+        assert!(matches!(err, ToolchainError::WrongOutput { .. }));
+        let stats = tc.cache_stats();
+        assert_eq!(
+            stats.simulate.hits, 1,
+            "sabotaged rerun hits the cached measurement: {stats}"
+        );
+        // And the honest workload still passes afterwards.
+        tc.run_workload(&w, &m).unwrap();
+    }
+
+    #[test]
+    fn sim_cycles_accumulate_only_on_execution() {
+        let tc = Toolchain::default();
+        let w = asip_workloads::by_name("fir").unwrap();
+        let m = MachineDescription::ember4();
+        let run = tc.run_workload(&w, &m).unwrap();
+        assert_eq!(tc.cache().sim_cycles(), run.sim.cycles);
+        tc.run_workload(&w, &m).unwrap();
+        assert_eq!(
+            tc.cache().sim_cycles(),
+            run.sim.cycles,
+            "a Simulate cache hit must not recount cycles"
+        );
     }
 }

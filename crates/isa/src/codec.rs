@@ -23,6 +23,7 @@
 
 use crate::code::{Bundle, FuncSym, GlobalSym, MachineOp, VliwProgram};
 use crate::custom::{CustomOpDef, PatNode, PatRef};
+use crate::hwmodel::ActivityCounts;
 use crate::op::Opcode;
 use crate::reg::{Operand, Reg};
 use crate::scalar::ScalarProgram;
@@ -360,6 +361,46 @@ impl<T: Codec> Codec for Option<T> {
                 tag: tag.into(),
             }),
         }
+    }
+}
+
+/// Field-by-field encoding of the simulator's dynamic activity counters
+/// (consumed by the memoized Simulate stage's `SimResult` codec).
+impl Codec for ActivityCounts {
+    fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.alu_ops,
+            self.mul_ops,
+            self.div_ops,
+            self.mem_ops,
+            self.branch_ops,
+            self.copy_ops,
+            self.custom_ops,
+            self.custom_area_executed,
+            self.bundles,
+            self.fetch_bytes,
+            self.idle_slots,
+            self.cycles,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ActivityCounts {
+            alu_ops: r.get_u64()?,
+            mul_ops: r.get_u64()?,
+            div_ops: r.get_u64()?,
+            mem_ops: r.get_u64()?,
+            branch_ops: r.get_u64()?,
+            copy_ops: r.get_u64()?,
+            custom_ops: r.get_u64()?,
+            custom_area_executed: r.get_u64()?,
+            bundles: r.get_u64()?,
+            fetch_bytes: r.get_u64()?,
+            idle_slots: r.get_u64()?,
+            cycles: r.get_u64()?,
+        })
     }
 }
 

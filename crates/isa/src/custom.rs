@@ -247,13 +247,36 @@ impl CustomOpDef {
     /// [`CustomOpError::WrongArity`] when `args.len() != num_inputs`;
     /// [`CustomOpError::Eval`] if a node divides by zero.
     pub fn eval(&self, args: &[i32]) -> Result<Vec<i32>, CustomOpError> {
+        let mut vals = Vec::new();
+        let mut outs = Vec::new();
+        self.eval_into(args, &mut vals, &mut outs)?;
+        Ok(outs)
+    }
+
+    /// Execute the datapath writing results into caller-owned buffers — the
+    /// allocation-free variant of [`CustomOpDef::eval`] used by the
+    /// pre-decoded simulator cycle loops. `vals` is node-value scratch and
+    /// `outs` receives the outputs; both are cleared first, so buffers can
+    /// be reused across calls.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`CustomOpDef::eval`].
+    pub fn eval_into(
+        &self,
+        args: &[i32],
+        vals: &mut Vec<i32>,
+        outs: &mut Vec<i32>,
+    ) -> Result<(), CustomOpError> {
         if args.len() != self.num_inputs as usize {
             return Err(CustomOpError::WrongArity {
                 expected: self.num_inputs as usize,
                 got: args.len(),
             });
         }
-        let mut vals = vec![0i32; self.nodes.len()];
+        vals.clear();
+        vals.resize(self.nodes.len(), 0);
+        outs.clear();
         let read = |r: PatRef, vals: &[i32]| -> i32 {
             match r {
                 PatRef::Input(i) => args[i as usize],
@@ -262,15 +285,16 @@ impl CustomOpDef {
             }
         };
         for (i, node) in self.nodes.iter().enumerate() {
-            let a = read(node.a, &vals);
+            let a = read(node.a, vals);
             vals[i] = if node.op.num_srcs() == 1 {
                 node.op.eval1(a)?
             } else {
-                let b = read(node.b, &vals);
+                let b = read(node.b, vals);
                 node.op.eval2(a, b)?
             };
         }
-        Ok(self.outputs.iter().map(|&o| read(o, &vals)).collect())
+        outs.extend(self.outputs.iter().map(|&o| read(o, vals)));
+        Ok(())
     }
 
     /// Render the datapath as a one-line expression listing for reports.

@@ -1,0 +1,445 @@
+//! The pre-decoded scalar engine: flat operands, a precomputed adjacent-pair
+//! dual-issue table, and an allocation-free in-order pipeline loop.
+//!
+//! Timing semantics are exactly the reference model's (see
+//! [`crate::reference`] and the module docs of [`crate::scalar`]): 1–2-wide
+//! in-order issue, the slot table as the dynamic pairing rule, a
+//! per-register ready-time scoreboard with forwarding/+1-no-bypass,
+//! load-use and taken-branch stalls, and sequential architectural state.
+//! What moved to decode time:
+//!
+//! * Operand resolution, latency lookup (the no-forwarding penalty is baked
+//!   into each op's latency), activity classification, fetch byte/line
+//!   geometry.
+//! * The **dual-issue pairing check**: an issue group of an in-order 2-wide
+//!   front end only ever holds the dynamically previous instruction, which
+//!   on a fall-through is the one at `pc - 1` — so the bipartite slot
+//!   matching collapses to one precomputed `pair_ok[pc - 1]` bit per
+//!   adjacent instruction pair.
+
+use super::{CustomPools, DecodedOp, ExecKind, FetchInfo, Src, LR_HALT};
+use crate::icache::ICache;
+use crate::run::{SimError, SimOptions, SimResult};
+use crate::scalar::group_fits;
+use asip_isa::scalar::scalar_inst_bytes;
+use asip_isa::{ActivityCounts, EvalError, LatClass, MachineDescription, Opcode, ScalarProgram};
+
+/// One fully pre-decoded instruction: the op plus everything the pipeline
+/// loop consults per fetch, in one cache-friendly record.
+#[derive(Debug, Clone)]
+struct Inst {
+    op: DecodedOp,
+    interlock: (u32, u32),
+    /// Activity-class index (`LatClass` order), counted with one indexed
+    /// add per instruction instead of a branch tree.
+    class: u8,
+    /// Pre-rounded custom-datapath area charged per execution (0 for base
+    /// ops).
+    custom_area: u32,
+    /// Fall-through control ops still seal their issue group.
+    seals: bool,
+    /// Whether this instruction can dual-issue with its *predecessor*
+    /// under the slot table (false for instruction 0). Stored on the
+    /// current instruction so the structural check never touches the
+    /// previous instruction's record.
+    pair_with_prev: bool,
+    fetch: FetchInfo,
+}
+
+/// A [`ScalarProgram`] compiled once against a [`MachineDescription`] into
+/// the dense form the in-order pipeline loop executes. Build with
+/// [`DecodedScalar::new`] (validates the program), then
+/// [`DecodedScalar::run`] any number of times.
+#[derive(Debug)]
+pub struct DecodedScalar<'a> {
+    machine: &'a MachineDescription,
+    program: &'a ScalarProgram,
+    insts: Vec<Inst>,
+    /// Flat registers each instruction reads or writes (hazard set).
+    interlock: Vec<u32>,
+    pools: CustomPools,
+    entry_pc: u32,
+    num_args: u32,
+    nregs: usize,
+    width: usize,
+    branch_penalty: u64,
+}
+
+impl<'a> DecodedScalar<'a> {
+    /// Pre-decode `program` for the scalar pipeline of `machine`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidProgram`] if the program fails static validation
+    /// against the machine.
+    pub fn new(
+        machine: &'a MachineDescription,
+        program: &'a ScalarProgram,
+    ) -> Result<DecodedScalar<'a>, SimError> {
+        program
+            .validate(machine)
+            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+        let regs_per = u32::from(machine.regs_per_cluster);
+        let layout = program.layout(machine.encoding);
+        let line_bytes = machine.icache.map(|c| c.line_bytes);
+        let fn_entry: Vec<u32> = program.functions.iter().map(|f| f.entry).collect();
+        // Extra forwarding cost: without bypass, results take one more
+        // cycle through the register file before a consumer can issue.
+        let fwd_extra = u64::from(!machine.forwarding);
+
+        let n = program.insts.len();
+        let mut insts = Vec::with_capacity(n);
+        let mut interlock = Vec::new();
+        let mut pools = CustomPools::default();
+        for (pc, op) in program.insts.iter().enumerate() {
+            let bytes = scalar_inst_bytes(op, machine.encoding);
+            let i0 = interlock.len() as u32;
+            for r in op.reads().chain(op.dsts.iter().copied()) {
+                if !r.is_zero() {
+                    interlock.push(super::flat_reg(r, regs_per));
+                }
+            }
+            let custom_area = match op.opcode {
+                Opcode::Custom(k) => program
+                    .custom_ops
+                    .get(k as usize)
+                    .map(|def| def.area.round() as u32)
+                    .unwrap_or(0),
+                _ => 0,
+            };
+            let pair_with_prev = pc > 0
+                && group_fits(
+                    &machine.slots,
+                    &[program.insts[pc - 1].opcode.fu_kind()],
+                    op.opcode.fu_kind(),
+                );
+            insts.push(Inst {
+                op: super::decode_op(op, machine, &fn_entry, regs_per, fwd_extra, &mut pools),
+                interlock: (i0, interlock.len() as u32),
+                class: op.opcode.lat_class() as u8,
+                custom_area,
+                seals: op.opcode.is_control(),
+                pair_with_prev,
+                fetch: FetchInfo::new(layout.inst_addr[pc], bytes, line_bytes),
+            });
+        }
+        let entry = &program.functions[program.entry_func as usize];
+        Ok(DecodedScalar {
+            machine,
+            program,
+            insts,
+            interlock,
+            pools,
+            entry_pc: entry.entry,
+            num_args: entry.num_args,
+            nregs: regs_per as usize,
+            width: machine.issue_width().clamp(1, 2),
+            branch_penalty: u64::from(machine.branch_penalty),
+        })
+    }
+
+    /// The program this decoding was built from.
+    pub fn program(&self) -> &'a ScalarProgram {
+        self.program
+    }
+
+    /// A fresh data-memory image: zeroed to the machine's `dmem_words`,
+    /// with the program's global initializers applied.
+    pub fn initial_memory(&self) -> Vec<i32> {
+        super::initial_memory(self.machine.dmem_words, &self.program.globals)
+    }
+
+    /// Run the entry function over `memory` (normally a copy of
+    /// [`DecodedScalar::initial_memory`] with workload inputs written in).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(
+        &self,
+        mut memory: Vec<i32>,
+        args: &[i32],
+        opts: SimOptions,
+    ) -> Result<SimResult, SimError> {
+        if args.len() != self.num_args as usize {
+            return Err(SimError::BadArgs {
+                expected: self.num_args,
+                got: args.len() as u32,
+            });
+        }
+        // Stack setup: arguments at the very top; SP points at the first.
+        let top = memory.len() as u32;
+        let mut sp = top - args.len() as u32;
+        for (i, &a) in args.iter().enumerate() {
+            memory[sp as usize + i] = a;
+        }
+        let mut lr: u32 = LR_HALT;
+
+        let mut regs = vec![0i32; self.nregs];
+        let mut reg_ready = vec![0u64; self.nregs];
+        let mut icache = self.machine.icache.map(ICache::new);
+        let mut out = SimResult {
+            output: Vec::new(),
+            cycles: 0,
+            interlock_stalls: 0,
+            icache_stalls: 0,
+            branch_stalls: 0,
+            bundles_executed: 0,
+            ops_executed: 0,
+            activity: ActivityCounts::default(),
+            icache_misses: 0,
+            memory: Vec::new(),
+        };
+
+        // Reusable scratch, owned outside the cycle loop.
+        let mut argv: Vec<i32> = Vec::new();
+        let mut cvals: Vec<i32> = Vec::new();
+        let mut couts: Vec<i32> = Vec::new();
+        // Per-class execution counters, indexed by `LatClass` order and
+        // folded into the named activity fields after the run.
+        let mut class_counts = [0u64; 7];
+
+        // Current issue group: how many instructions it holds (the slot
+        // table constrains membership via `pair_ok`) and whether a control
+        // op sealed it.
+        let mut cycle: u64 = 0;
+        let mut group_len: usize = 0;
+        let mut group_closed = false;
+        let mut pc: u32 = self.entry_pc;
+        let width = self.width;
+
+        macro_rules! new_group {
+            ($advance:expr) => {{
+                cycle += $advance;
+                group_len = 0;
+                group_closed = false;
+            }};
+        }
+
+        'run: loop {
+            if cycle > opts.max_cycles {
+                return Err(SimError::CycleLimit);
+            }
+            let inst = &self.insts[pc as usize];
+            let op = &inst.op;
+            let fetch = &inst.fetch;
+
+            // 1. Fetch, charging I-cache misses as front-end bubbles.
+            if let Some(ic) = icache.as_mut() {
+                let misses = ic.access_lines(fetch.first_line, fetch.last_line);
+                if misses > 0 {
+                    let pen = u64::from(misses) * u64::from(ic.miss_penalty());
+                    let bump = u64::from(group_len != 0);
+                    new_group!(bump + pen);
+                    out.icache_stalls += pen;
+                    out.icache_misses += u64::from(misses);
+                }
+            }
+            out.activity.fetch_bytes += u64::from(fetch.bytes);
+
+            // 2. Structural hazards: group full, sealed by a control op, or
+            //    the precomputed pairing bit says the slot table has no
+            //    distinct-slot assignment for the adjacent pair. (A group
+            //    member is always the fall-through predecessor at pc - 1;
+            //    an empty group accepts any validated instruction.)
+            if group_len >= width || group_closed || (group_len == 1 && !inst.pair_with_prev) {
+                new_group!(1);
+            }
+
+            // 3. Data hazards: operands (and, for in-order writeback,
+            //    destinations) must be ready.
+            let mut ready = cycle;
+            for &r in &self.interlock[inst.interlock.0 as usize..inst.interlock.1 as usize] {
+                let t = reg_ready[r as usize];
+                if t > ready {
+                    ready = t;
+                }
+            }
+            if ready > cycle {
+                out.interlock_stalls += ready - cycle;
+                new_group!(ready - cycle);
+            }
+
+            // 4. Issue and execute. Architectural state updates immediately
+            //    (sequential semantics); the scoreboard carries the timing.
+            group_len += 1;
+            if group_len == 1 {
+                out.bundles_executed += 1;
+                out.activity.bundles += 1;
+            }
+            out.ops_executed += 1;
+            class_counts[inst.class as usize] += 1;
+            out.activity.custom_area_executed += u64::from(inst.custom_area);
+
+            macro_rules! rd {
+                ($s:expr) => {
+                    match *$s {
+                        Src::Imm(v) => v,
+                        Src::Reg(i) => regs[i as usize],
+                    }
+                };
+            }
+            let lat = op.lat;
+            macro_rules! wr {
+                ($d:expr, $v:expr) => {{
+                    let d = $d as usize;
+                    if d != 0 {
+                        regs[d] = $v;
+                        let slot = &mut reg_ready[d];
+                        let t = cycle + lat;
+                        if *slot < t {
+                            *slot = t;
+                        }
+                    }
+                }};
+            }
+
+            let mut next_pc = pc + 1;
+            let mut taken = false;
+            let mut halted = false;
+
+            match &op.kind {
+                ExecKind::Ldw { dst, base, off } => {
+                    let addr = i64::from(rd!(base)) + off;
+                    if addr < 0 || addr as usize >= memory.len() {
+                        return Err(SimError::MemFault { pc, addr });
+                    }
+                    let v = memory[addr as usize];
+                    wr!(*dst, v);
+                }
+                ExecKind::Stw { val, base, off } => {
+                    let v = rd!(val);
+                    let addr = i64::from(rd!(base)) + off;
+                    if addr < 0 || addr as usize >= memory.len() {
+                        return Err(SimError::MemFault { pc, addr });
+                    }
+                    memory[addr as usize] = v;
+                }
+                ExecKind::Br { target } => {
+                    next_pc = *target;
+                    taken = true;
+                }
+                ExecKind::BrT { cond, target } => {
+                    if rd!(cond) != 0 {
+                        next_pc = *target;
+                        taken = true;
+                    }
+                }
+                ExecKind::BrF { cond, target } => {
+                    if rd!(cond) == 0 {
+                        next_pc = *target;
+                        taken = true;
+                    }
+                }
+                ExecKind::Call { entry } => {
+                    lr = pc + 1;
+                    next_pc = *entry;
+                    taken = true;
+                }
+                ExecKind::Ret => {
+                    if lr == LR_HALT {
+                        halted = true;
+                    } else if lr as usize >= self.insts.len() {
+                        return Err(SimError::WildReturn { pc });
+                    } else {
+                        next_pc = lr;
+                        taken = true;
+                    }
+                }
+                ExecKind::Halt => halted = true,
+                ExecKind::Emit { src } => {
+                    let v = rd!(src);
+                    out.output.push(v);
+                }
+                ExecKind::AddSp { imm } => {
+                    sp = (i64::from(sp) + imm) as u32;
+                }
+                ExecKind::MovFromSp { dst } => wr!(*dst, sp as i32),
+                ExecKind::MovFromLr { dst } => wr!(*dst, lr as i32),
+                ExecKind::MovToLr { src } => lr = rd!(src) as u32,
+                ExecKind::Mov { dst, src } => {
+                    let v = rd!(src);
+                    wr!(*dst, v);
+                }
+                ExecKind::Select { dst, c, a, b } => {
+                    let c = rd!(c);
+                    let a = rd!(a);
+                    let b = rd!(b);
+                    wr!(*dst, if c != 0 { a } else { b });
+                }
+                ExecKind::Custom { id, srcs, dsts } => {
+                    argv.clear();
+                    for s in &self.pools.srcs[srcs.0 as usize..srcs.1 as usize] {
+                        argv.push(rd!(s));
+                    }
+                    let def = &self.program.custom_ops[*id as usize];
+                    def.eval_into(&argv, &mut cvals, &mut couts)
+                        .map_err(|e| match e {
+                            asip_isa::CustomOpError::Eval(_) => SimError::DivideByZero { pc },
+                            other => SimError::InvalidProgram(other.to_string()),
+                        })?;
+                    for (&d, &v) in self.pools.dsts[dsts.0 as usize..dsts.1 as usize]
+                        .iter()
+                        .zip(couts.iter())
+                    {
+                        wr!(d, v);
+                    }
+                }
+                ExecKind::Nop => {}
+                ExecKind::Un { op, dst, a } => {
+                    let v = op.eval1(rd!(a)).expect("unary arith");
+                    wr!(*dst, v);
+                }
+                ExecKind::Bin { op, dst, a, b } => {
+                    let x = rd!(a);
+                    let y = rd!(b);
+                    let v = op.eval2(x, y).map_err(|e| match e {
+                        EvalError::DivideByZero => SimError::DivideByZero { pc },
+                        EvalError::NotArithmetic => {
+                            SimError::InvalidProgram(format!("opcode {op} is not executable"))
+                        }
+                    })?;
+                    wr!(*dst, v);
+                }
+            }
+
+            if halted {
+                cycle += 1;
+                break 'run;
+            }
+            if taken {
+                // Redirect: the branch's own cycle plus the penalty bubbles.
+                out.branch_stalls += self.branch_penalty;
+                new_group!(1 + self.branch_penalty);
+            } else if inst.seals {
+                // A fall-through control op still seals its issue group.
+                group_closed = true;
+            }
+            pc = next_pc;
+            if pc as usize >= self.insts.len() {
+                return Err(SimError::WildReturn { pc });
+            }
+        }
+
+        out.cycles = cycle;
+        out.activity.cycles = cycle;
+        out.activity.alu_ops += class_counts[LatClass::Alu as usize];
+        out.activity.mul_ops += class_counts[LatClass::Mul as usize];
+        out.activity.div_ops += class_counts[LatClass::Div as usize];
+        out.activity.mem_ops += class_counts[LatClass::Mem as usize];
+        out.activity.branch_ops += class_counts[LatClass::Branch as usize];
+        out.activity.copy_ops += class_counts[LatClass::Copy as usize];
+        out.activity.custom_ops += class_counts[LatClass::Custom as usize];
+        out.activity.idle_slots =
+            (out.activity.bundles * width as u64).saturating_sub(out.ops_executed);
+        // The result carries only the static-data region: the stack above
+        // the watermark is scratch, and dropping it keeps cached
+        // `SimResult`s (and their codec) at kilobytes instead of the
+        // machine's whole dmem.
+        memory.truncate(self.program.data_words as usize);
+        memory.shrink_to_fit();
+        out.memory = memory;
+        Ok(out)
+    }
+}

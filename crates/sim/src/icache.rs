@@ -10,8 +10,17 @@ use asip_isa::ICacheConfig;
 pub struct ICache {
     cfg: ICacheConfig,
     sets: usize,
-    /// `tags[set]` = (tag, last-used tick) per way.
-    tags: Vec<Vec<(u64, u64)>>,
+    ways: usize,
+    /// Flat tag store, `ways` entries per set: `(tag, last-used tick)`;
+    /// tick 0 means the way is empty. One contiguous allocation instead of
+    /// a `Vec` per set — the touch path is on every simulated fetch.
+    tags: Vec<(u64, u64)>,
+    /// One-entry MRU: the line (and its way) the previous touch resolved
+    /// to. Straight-line code touches the same line for several fetches in
+    /// a row, and the fast path updates exactly the same state (tick,
+    /// stamp, hit counter) the full probe would.
+    last_line: u64,
+    last_way: usize,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -34,7 +43,10 @@ impl ICache {
         ICache {
             cfg,
             sets,
-            tags: vec![Vec::with_capacity(ways); sets],
+            ways,
+            tags: vec![(0, 0); sets * ways],
+            last_line: u64::MAX,
+            last_way: 0,
             tick: 0,
             hits: 0,
             misses: 0,
@@ -42,11 +54,23 @@ impl ICache {
     }
 
     /// Access all lines covering `[addr, addr+len)`; returns the number of
-    /// misses incurred.
+    /// misses incurred. Convenience wrapper over [`ICache::access_lines`]
+    /// for callers that have not precomputed the line span.
     pub fn access(&mut self, addr: u32, len: u32) -> u32 {
         let line = u64::from(self.cfg.line_bytes);
         let first = u64::from(addr) / line;
         let last = (u64::from(addr) + u64::from(len.max(1)) - 1) / line;
+        self.access_lines(first, last)
+    }
+
+    /// Access the inclusive line-number span `[first, last]`; returns the
+    /// number of misses incurred. The pre-decoded simulators
+    /// ([`crate::exec`]) compute every pc's span once at decode time and
+    /// call this directly, so the per-fetch address arithmetic (and the
+    /// per-fetch byte-size recomputation that fed it) is gone from the
+    /// cycle loops.
+    #[inline]
+    pub fn access_lines(&mut self, first: u64, last: u64) -> u32 {
         let mut misses = 0;
         for l in first..=last {
             if !self.touch(l) {
@@ -57,31 +81,50 @@ impl ICache {
     }
 
     /// Touch one line (by line number); returns hit?
+    #[inline]
     fn touch(&mut self, lineno: u64) -> bool {
-        self.tick += 1;
-        let set = (lineno as usize) % self.sets;
-        let tag = lineno / self.sets as u64;
-        let ways = self.cfg.ways.max(1) as usize;
-        let entry = self.tags[set].iter_mut().find(|(t, _)| *t == tag);
-        if let Some((_, used)) = entry {
-            *used = self.tick;
+        // MRU fast path: the immediately previous touch resolved this very
+        // line, so it is still resident at `last_way` (nothing has touched
+        // the cache in between). Updates the identical state the full
+        // probe would: tick advances, the way's stamp becomes the new
+        // tick, the hit counts.
+        if lineno == self.last_line {
+            self.tick += 1;
+            self.tags[self.last_way].1 = self.tick;
             self.hits += 1;
             return true;
         }
-        self.misses += 1;
-        if self.tags[set].len() < ways {
-            let t = self.tick;
-            self.tags[set].push((tag, t));
-        } else {
-            // Evict LRU.
-            let lru = self.tags[set]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, used))| *used)
-                .map(|(i, _)| i)
-                .expect("nonempty set");
-            self.tags[set][lru] = (tag, self.tick);
+        self.tick += 1;
+        let set = (lineno as usize) % self.sets;
+        let tag = lineno / self.sets as u64;
+        let base = set * self.ways;
+        let ways = &mut self.tags[base..base + self.ways];
+        // `last_way` is a flat index so the fast path skips set
+        // arithmetic.
+        if let Some((i, (_, used))) = ways
+            .iter_mut()
+            .enumerate()
+            .find(|(_, (t, used))| *used != 0 && *t == tag)
+        {
+            *used = self.tick;
+            self.hits += 1;
+            self.last_line = lineno;
+            self.last_way = base + i;
+            return true;
         }
+        self.misses += 1;
+        // Fill an empty way first (tick 0), else evict the LRU stamp —
+        // identical replacement order to the original grow-then-evict
+        // vector: empty ways fill left to right, then min-stamp wins.
+        let victim = ways
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, used))| *used)
+            .map(|(i, _)| i)
+            .expect("nonzero ways");
+        ways[victim] = (tag, self.tick);
+        self.last_line = lineno;
+        self.last_way = base + victim;
         false
     }
 
@@ -157,6 +200,27 @@ mod tests {
         assert_eq!(c.access(2048, 4), 1); // C evicts B
         assert_eq!(c.access(0, 4), 0, "A kept");
         assert_eq!(c.access(1024, 4), 1, "B was evicted");
+    }
+
+    #[test]
+    fn access_lines_equals_address_form() {
+        // The precomputed-line path must behave exactly like the address
+        // path: same misses, same LRU state evolution.
+        let mut by_addr = ICache::new(cfg(1024, 32, 2));
+        let mut by_line = ICache::new(cfg(1024, 32, 2));
+        let accesses = [(0u32, 4u32), (30, 8), (1024, 4), (0, 64), (2048, 4), (0, 4)];
+        for (addr, len) in accesses {
+            let line = 32u64;
+            let first = u64::from(addr) / line;
+            let last = (u64::from(addr) + u64::from(len.max(1)) - 1) / line;
+            assert_eq!(
+                by_addr.access(addr, len),
+                by_line.access_lines(first, last),
+                "access({addr}, {len})"
+            );
+        }
+        assert_eq!(by_addr.hits(), by_line.hits());
+        assert_eq!(by_addr.misses(), by_line.misses());
     }
 
     #[test]

@@ -19,6 +19,21 @@
 //! under the machine's instruction encoding, and both report through one
 //! [`SimResult`].
 //!
+//! ## The pre-decoded execution layer
+//!
+//! Fast candidate evaluation is what makes instruction-set exploration
+//! tractable, so the cycle loops are built for speed: [`Simulator::new`]
+//! and [`ScalarSimulator::new`] compile the program + machine description
+//! **once** into a dense [`exec::DecodedVliw`] / [`exec::DecodedScalar`] —
+//! operands as flat register indices, latencies/activity classes/fetch
+//! geometry baked from the machine tables, branch targets resolved, the
+//! scalar dual-issue pairing rule precomputed per adjacent pair — and the
+//! loops then run allocation-free with O(1) per-register ready-time
+//! scoreboards. The original interpretive loops are preserved in
+//! [`mod@reference`] as the differential-testing oracle; the workspace test
+//! suite pins that both produce bit-identical [`SimResult`]s on every
+//! preset × kernel and under fuzzed machine configurations.
+//!
 //! ## Example
 //!
 //! ```
@@ -38,10 +53,13 @@
 
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod icache;
+pub mod reference;
 pub mod run;
 pub mod scalar;
 
+pub use exec::{DecodedScalar, DecodedVliw};
 pub use icache::ICache;
 pub use run::{run_program, SimError, SimOptions, SimResult, Simulator};
 pub use scalar::{run_scalar_program, ScalarSimulator};

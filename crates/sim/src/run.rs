@@ -9,15 +9,23 @@
 //!    produce wrong values — only stall cycles.
 //! 3. **Read** all operands (registers read the *committed* state:
 //!    same-bundle writes are not visible — VLIW read-before-write).
-//! 4. **Execute** every occupied slot; results enter the in-flight set with
-//!    their latency; stores and SP/LR updates apply at end of bundle;
-//!    at most one control operation decides the next `pc`.
+//! 4. **Execute** every occupied slot; results enter the per-register
+//!    ready-time scoreboard with their latency; stores and SP/LR updates
+//!    apply at end of bundle; at most one control operation decides the
+//!    next `pc`.
 //!
 //! Taken control transfers pay the machine's branch penalty.
+//!
+//! Since the pre-decode refactor the loop itself lives in
+//! [`crate::exec::vliw`]: [`Simulator::new`] compiles the program once into
+//! a [`DecodedVliw`] (operands as flat register indices, latencies and
+//! fetch geometry baked in) and [`Simulator::run`] drives that engine. The
+//! original interpretive loop survives in [`crate::reference`] as the
+//! differential oracle.
 
-use crate::icache::ICache;
-use asip_isa::encoding::{bundle_bytes, layout, CodeLayout};
-use asip_isa::{ActivityCounts, MachineDescription, MachineOp, Opcode, Operand, Reg, VliwProgram};
+use crate::exec::DecodedVliw;
+use asip_isa::codec::{Codec, CodecError, Reader, Writer};
+use asip_isa::{ActivityCounts, MachineDescription, VliwProgram};
 use std::fmt;
 
 /// Simulation limits.
@@ -108,7 +116,10 @@ pub struct SimResult {
     pub activity: ActivityCounts,
     /// I-cache misses.
     pub icache_misses: u64,
-    /// Final data memory.
+    /// Final contents of the static data region: the first `data_words`
+    /// words of data memory, where every global lives. The stack above the
+    /// watermark is per-run scratch and not part of the result (keeping it
+    /// would make every `SimResult` as large as the machine's whole dmem).
     pub memory: Vec<i32>,
 }
 
@@ -130,22 +141,128 @@ impl SimResult {
     }
 }
 
-/// Sentinel LR value meaning "return ends the program".
-const LR_HALT: u32 = u32::MAX;
+/// Maximal runs `[start, end)` of nonzero words in `memory`. Encoding a
+/// `SimResult` must scan the whole data-memory image (megabytes, almost all
+/// zero), so the zero gaps are skipped block-wise — an all-zero check over
+/// a fixed-size block vectorizes, where a word-at-a-time scan would not.
+fn nonzero_runs(memory: &[i32]) -> Vec<(usize, usize)> {
+    const BLOCK: usize = 128;
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    let len = memory.len();
+    let mut i = 0usize;
+    while i < len {
+        let block_end = (i + BLOCK).min(len);
+        // OR-fold instead of `all()`: no short-circuit, so the all-zero
+        // check vectorizes to wide SIMD ORs.
+        if memory[i..block_end].iter().fold(0i32, |a, &v| a | v) == 0 {
+            i = block_end;
+            continue;
+        }
+        // The block holds data: emit maximal word-level runs inside it
+        // (extending the last run across block boundaries when contiguous).
+        for (j, &v) in memory[i..block_end].iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            let j = i + j;
+            match runs.last_mut() {
+                Some(r) if r.1 == j => r.1 = j + 1,
+                _ => runs.push((j, j + 1)),
+            }
+        }
+        i = block_end;
+    }
+    runs
+}
 
-/// The simulator. Construct with [`Simulator::new`], optionally override
-/// global data ([`Simulator::write_global`]), then [`Simulator::run`].
+/// The versioned binary encoding that lets the tier cache memoize the
+/// Simulate stage. The final data memory — megabytes of mostly zero words —
+/// travels as sparse runs of nonzero values (`decode ∘ encode ≡ id`
+/// exactly, like every artifact codec), so a cached `SimResult` costs
+/// kilobytes, not the machine's whole `dmem`.
+impl Codec for SimResult {
+    fn encode(&self, w: &mut Writer) {
+        self.output.encode(w);
+        w.put_u64(self.cycles);
+        w.put_u64(self.interlock_stalls);
+        w.put_u64(self.icache_stalls);
+        w.put_u64(self.branch_stalls);
+        w.put_u64(self.bundles_executed);
+        w.put_u64(self.ops_executed);
+        self.activity.encode(w);
+        w.put_u64(self.icache_misses);
+        // Sparse memory image: total length, then (start, values) runs.
+        w.put_u32(self.memory.len() as u32);
+        let runs = nonzero_runs(&self.memory);
+        w.put_u32(runs.len() as u32);
+        for &(start, end) in &runs {
+            w.put_u32(start as u32);
+            w.put_u32((end - start) as u32);
+            for &v in &self.memory[start..end] {
+                w.put_i32(v);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let output = Vec::<i32>::decode(r)?;
+        let cycles = r.get_u64()?;
+        let interlock_stalls = r.get_u64()?;
+        let icache_stalls = r.get_u64()?;
+        let branch_stalls = r.get_u64()?;
+        let bundles_executed = r.get_u64()?;
+        let ops_executed = r.get_u64()?;
+        let activity = ActivityCounts::decode(r)?;
+        let icache_misses = r.get_u64()?;
+        let mem_len = r.get_u32()? as usize;
+        let runs = r.get_u32()?;
+        let mut memory = vec![0i32; mem_len];
+        for _ in 0..runs {
+            let start = r.get_u32()? as usize;
+            let count = r.get_u32()? as usize;
+            if start.checked_add(count).is_none_or(|end| end > mem_len) {
+                return Err(CodecError::BadLen {
+                    len: count as u32,
+                    remaining: mem_len.saturating_sub(start),
+                });
+            }
+            for slot in memory.iter_mut().skip(start).take(count) {
+                *slot = r.get_i32()?;
+            }
+        }
+        Ok(SimResult {
+            output,
+            cycles,
+            interlock_stalls,
+            icache_stalls,
+            branch_stalls,
+            bundles_executed,
+            ops_executed,
+            activity,
+            icache_misses,
+            memory,
+        })
+    }
+}
+
+/// The simulator. Construct with [`Simulator::new`] — which pre-decodes the
+/// program against the machine tables once — optionally override global
+/// data ([`Simulator::write_global`]), then [`Simulator::run`] any number
+/// of times (each run starts from the same prepared memory image).
 #[derive(Debug)]
 pub struct Simulator<'a> {
-    machine: &'a MachineDescription,
-    program: &'a VliwProgram,
-    layout: CodeLayout,
-    memory: Vec<i32>,
+    decoded: DecodedVliw<'a>,
+    /// Global overrides recorded by [`Simulator::write_global`], replayed
+    /// in order onto a fresh memory image at every run (rebuilding from
+    /// lazily-zeroed pages is cheaper than copying a multi-megabyte image
+    /// for the short kernels DSE sweeps measure).
+    overrides: Vec<(u32, Vec<i32>)>,
     opts: SimOptions,
 }
 
 impl<'a> Simulator<'a> {
-    /// Prepare a simulation: validates the program and loads global data.
+    /// Prepare a simulation: validates the program, pre-decodes it, and
+    /// loads global data.
     ///
     /// # Errors
     ///
@@ -156,23 +273,10 @@ impl<'a> Simulator<'a> {
         program: &'a VliwProgram,
         opts: SimOptions,
     ) -> Result<Simulator<'a>, SimError> {
-        program
-            .validate(machine)
-            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
-        let mut memory = vec![0i32; machine.dmem_words as usize];
-        for g in &program.globals {
-            for (i, &v) in g.init.iter().enumerate() {
-                let a = g.addr as usize + i;
-                if a < memory.len() {
-                    memory[a] = v;
-                }
-            }
-        }
+        let decoded = DecodedVliw::new(machine, program)?;
         Ok(Simulator {
-            machine,
-            program,
-            layout: layout(program, machine),
-            memory,
+            decoded,
+            overrides: Vec::new(),
             opts,
         })
     }
@@ -180,12 +284,11 @@ impl<'a> Simulator<'a> {
     /// Overwrite a global before running (workload inputs). Returns false
     /// if the global does not exist.
     pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
-        let Some(g) = self.program.global(name) else {
+        let Some(g) = self.decoded.program().global(name) else {
             return false;
         };
-        for (i, &v) in data.iter().take(g.words as usize).enumerate() {
-            self.memory[g.addr as usize + i] = v;
-        }
+        let take = (g.words as usize).min(data.len());
+        self.overrides.push((g.addr, data[..take].to_vec()));
         true
     }
 
@@ -194,282 +297,12 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Any [`SimError`] raised during execution.
-    pub fn run(self, args: &[i32]) -> Result<SimResult, SimError> {
-        let entry = &self.program.functions[self.program.entry_func as usize];
-        if args.len() != entry.num_args as usize {
-            return Err(SimError::BadArgs {
-                expected: entry.num_args,
-                got: args.len() as u32,
-            });
+    pub fn run(&self, args: &[i32]) -> Result<SimResult, SimError> {
+        let mut memory = self.decoded.initial_memory();
+        for (addr, data) in &self.overrides {
+            memory[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
         }
-        let Simulator {
-            machine,
-            program,
-            layout,
-            mut memory,
-            opts,
-        } = self;
-
-        // Stack setup: arguments at the very top; SP points at the first.
-        let top = memory.len() as u32;
-        let mut sp = top - args.len() as u32;
-        for (i, &a) in args.iter().enumerate() {
-            memory[sp as usize + i] = a;
-        }
-        let mut lr: u32 = LR_HALT;
-
-        let nclusters = machine.clusters as usize;
-        let regs_per = machine.regs_per_cluster as usize;
-        let mut regs = vec![vec![0i32; regs_per]; nclusters];
-        // In-flight writes: (reg, value, ready_cycle), kept small.
-        let mut inflight: Vec<(Reg, i32, u64)> = Vec::new();
-
-        let mut icache = machine.icache.map(ICache::new);
-        let mut out = SimResult {
-            output: Vec::new(),
-            cycles: 0,
-            interlock_stalls: 0,
-            icache_stalls: 0,
-            branch_stalls: 0,
-            bundles_executed: 0,
-            ops_executed: 0,
-            activity: ActivityCounts::default(),
-            icache_misses: 0,
-            memory: Vec::new(),
-        };
-
-        let mut cycle: u64 = 0;
-        let mut pc: u32 = entry.entry;
-
-        'run: loop {
-            if cycle > opts.max_cycles {
-                return Err(SimError::CycleLimit);
-            }
-            let bundle = &program.bundles[pc as usize];
-
-            // 1. Fetch.
-            if let Some(ic) = icache.as_mut() {
-                let addr = layout.bundle_addr[pc as usize];
-                let len = bundle_bytes(bundle, machine, machine.encoding);
-                let misses = ic.access(addr, len);
-                if misses > 0 {
-                    let pen = u64::from(misses) * u64::from(ic.miss_penalty());
-                    cycle += pen;
-                    out.icache_stalls += pen;
-                    out.icache_misses += u64::from(misses);
-                }
-            }
-            out.activity.fetch_bytes += u64::from(bundle_bytes(bundle, machine, machine.encoding));
-
-            // 2. Interlock on in-flight writes to registers this bundle
-            //    reads — and to registers it writes (in-order writeback).
-            let mut ready_at = cycle;
-            for (_, op) in bundle.ops() {
-                for r in op.reads().chain(op.dsts.iter().copied()) {
-                    for &(ir, _, t) in inflight.iter() {
-                        if ir == r && t > ready_at {
-                            ready_at = t;
-                        }
-                    }
-                }
-            }
-            if ready_at > cycle {
-                out.interlock_stalls += ready_at - cycle;
-                cycle = ready_at;
-            }
-            // Commit arrived writes.
-            inflight.retain(|&(r, v, t)| {
-                if t <= cycle {
-                    if !r.is_zero() {
-                        regs[r.cluster as usize][r.index as usize] = v;
-                    }
-                    false
-                } else {
-                    true
-                }
-            });
-
-            // 3+4. Read and execute.
-            let read = |o: &Operand, regs: &Vec<Vec<i32>>| -> i32 {
-                match o {
-                    Operand::Reg(r) => {
-                        if r.is_zero() {
-                            0
-                        } else {
-                            regs[r.cluster as usize][r.index as usize]
-                        }
-                    }
-                    Operand::Imm(v) => *v,
-                }
-            };
-
-            let mut stores: Vec<(i64, i32)> = Vec::new();
-            let mut writes: Vec<(Reg, i32, u64)> = Vec::new();
-            let mut next_pc = pc + 1;
-            let mut taken = false;
-            let mut halted = false;
-            let mut sp_next = sp;
-            let mut lr_next = lr;
-
-            for (_, op) in bundle.ops() {
-                out.ops_executed += 1;
-                count_activity(&mut out.activity, op, program);
-                let lat = u64::from(machine.latency(op.opcode));
-                match op.opcode {
-                    Opcode::Ldw => {
-                        let base = read(&op.srcs[0], &regs);
-                        let addr = i64::from(base) + i64::from(op.imm);
-                        if addr < 0 || addr as usize >= memory.len() {
-                            return Err(SimError::MemFault { pc, addr });
-                        }
-                        let v = memory[addr as usize];
-                        writes.push((op.dsts[0], v, cycle + lat));
-                    }
-                    Opcode::Stw => {
-                        let v = read(&op.srcs[0], &regs);
-                        let base = read(&op.srcs[1], &regs);
-                        let addr = i64::from(base) + i64::from(op.imm);
-                        if addr < 0 || addr as usize >= memory.len() {
-                            return Err(SimError::MemFault { pc, addr });
-                        }
-                        stores.push((addr, v));
-                    }
-                    Opcode::Br => {
-                        next_pc = op.target;
-                        taken = true;
-                    }
-                    Opcode::BrT | Opcode::BrF => {
-                        let c = read(&op.srcs[0], &regs) != 0;
-                        let go = if op.opcode == Opcode::BrT { c } else { !c };
-                        if go {
-                            next_pc = op.target;
-                            taken = true;
-                        }
-                    }
-                    Opcode::Call => {
-                        lr_next = pc + 1;
-                        next_pc = program.functions[op.target as usize].entry;
-                        taken = true;
-                    }
-                    Opcode::Ret => {
-                        if lr == LR_HALT {
-                            halted = true;
-                        } else if lr as usize >= program.bundles.len() {
-                            return Err(SimError::WildReturn { pc });
-                        } else {
-                            next_pc = lr;
-                            taken = true;
-                        }
-                    }
-                    Opcode::Halt => halted = true,
-                    Opcode::Emit => {
-                        let v = read(&op.srcs[0], &regs);
-                        out.output.push(v);
-                    }
-                    Opcode::AddSp => {
-                        sp_next = (i64::from(sp) + i64::from(op.imm)) as u32;
-                    }
-                    Opcode::MovFromSp => {
-                        writes.push((op.dsts[0], sp as i32, cycle + lat));
-                    }
-                    Opcode::MovFromLr => {
-                        writes.push((op.dsts[0], lr as i32, cycle + lat));
-                    }
-                    Opcode::MovToLr => {
-                        lr_next = read(&op.srcs[0], &regs) as u32;
-                    }
-                    Opcode::CopyX | Opcode::Mov => {
-                        let v = read(&op.srcs[0], &regs);
-                        writes.push((op.dsts[0], v, cycle + lat));
-                    }
-                    Opcode::Select => {
-                        let c = read(&op.srcs[0], &regs);
-                        let a = read(&op.srcs[1], &regs);
-                        let b = read(&op.srcs[2], &regs);
-                        writes.push((op.dsts[0], if c != 0 { a } else { b }, cycle + lat));
-                    }
-                    Opcode::Custom(k) => {
-                        let def = &program.custom_ops[k as usize];
-                        let argv: Vec<i32> = op.srcs.iter().map(|s| read(s, &regs)).collect();
-                        let outs = def.eval(&argv).map_err(|e| match e {
-                            asip_isa::CustomOpError::Eval(_) => SimError::DivideByZero { pc },
-                            other => SimError::InvalidProgram(other.to_string()),
-                        })?;
-                        for (d, v) in op.dsts.iter().zip(outs) {
-                            writes.push((*d, v, cycle + lat));
-                        }
-                        out.activity.custom_area_executed += def.area.round() as u64;
-                    }
-                    Opcode::Nop => {}
-                    // Unary arithmetic.
-                    Opcode::Abs | Opcode::Sxtb | Opcode::Sxth => {
-                        let a = read(&op.srcs[0], &regs);
-                        let v = op.opcode.eval1(a).expect("unary arith");
-                        writes.push((op.dsts[0], v, cycle + lat));
-                    }
-                    // Binary arithmetic.
-                    _ => {
-                        let a = read(&op.srcs[0], &regs);
-                        let b = read(&op.srcs[1], &regs);
-                        let v = op.opcode.eval2(a, b).map_err(|e| match e {
-                            asip_isa::EvalError::DivideByZero => SimError::DivideByZero { pc },
-                            asip_isa::EvalError::NotArithmetic => SimError::InvalidProgram(
-                                format!("opcode {} is not executable", op.opcode),
-                            ),
-                        })?;
-                        writes.push((op.dsts[0], v, cycle + lat));
-                    }
-                }
-            }
-
-            // End of bundle: apply stores, register writes, SP/LR, stats.
-            for (addr, v) in stores {
-                memory[addr as usize] = v;
-            }
-            for w in writes {
-                if !w.0.is_zero() {
-                    inflight.push(w);
-                }
-            }
-            sp = sp_next;
-            lr = lr_next;
-            out.bundles_executed += 1;
-            out.activity.bundles += 1;
-            out.activity.idle_slots += (bundle.slots.len() - bundle.occupancy()) as u64;
-
-            if halted {
-                cycle += 1;
-                break 'run;
-            }
-            cycle += 1;
-            if taken {
-                let pen = u64::from(machine.branch_penalty);
-                cycle += pen;
-                out.branch_stalls += pen;
-            }
-            pc = next_pc;
-            if pc as usize >= program.bundles.len() {
-                return Err(SimError::WildReturn { pc });
-            }
-        }
-
-        out.cycles = cycle;
-        out.activity.cycles = cycle;
-        out.memory = memory;
-        Ok(out)
-    }
-}
-
-fn count_activity(act: &mut ActivityCounts, op: &MachineOp, _prog: &VliwProgram) {
-    use asip_isa::LatClass;
-    match op.opcode.lat_class() {
-        LatClass::Alu => act.alu_ops += 1,
-        LatClass::Mul => act.mul_ops += 1,
-        LatClass::Div => act.div_ops += 1,
-        LatClass::Mem => act.mem_ops += 1,
-        LatClass::Branch => act.branch_ops += 1,
-        LatClass::Copy => act.copy_ops += 1,
-        LatClass::Custom => act.custom_ops += 1,
+        self.decoded.run(memory, args, self.opts)
     }
 }
 
@@ -484,4 +317,81 @@ pub fn run_program(
     args: &[i32],
 ) -> Result<SimResult, SimError> {
     Simulator::new(machine, program, SimOptions::default())?.run(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(r: &SimResult) {
+        let bytes = r.encode_to_vec();
+        let back = SimResult::decode_all(&bytes).expect("decodes");
+        assert_eq!(&back, r);
+        assert_eq!(back.encode_to_vec(), bytes, "re-encode is byte-stable");
+    }
+
+    #[test]
+    fn sim_result_codec_roundtrips_sparse_memory() {
+        let mut r = SimResult {
+            output: vec![1, -2, 3],
+            cycles: 99,
+            interlock_stalls: 7,
+            icache_stalls: 20,
+            branch_stalls: 3,
+            bundles_executed: 41,
+            ops_executed: 77,
+            activity: ActivityCounts {
+                alu_ops: 50,
+                mul_ops: 4,
+                div_ops: 1,
+                mem_ops: 12,
+                branch_ops: 10,
+                copy_ops: 0,
+                custom_ops: 2,
+                custom_area_executed: 14,
+                bundles: 41,
+                fetch_bytes: 600,
+                idle_slots: 9,
+                cycles: 99,
+            },
+            icache_misses: 2,
+            memory: vec![0; 4096],
+        };
+        // A few scattered nonzero runs, including the edges.
+        r.memory[0] = -5;
+        r.memory[1] = 17;
+        r.memory[100] = 1;
+        r.memory[4095] = i32::MIN;
+        roundtrip(&r);
+
+        // Degenerate shapes.
+        r.memory = vec![];
+        roundtrip(&r);
+        r.memory = vec![0; 17];
+        roundtrip(&r);
+        r.memory = vec![3; 17];
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn sim_result_codec_rejects_out_of_range_runs() {
+        let r = SimResult {
+            output: vec![],
+            cycles: 1,
+            interlock_stalls: 0,
+            icache_stalls: 0,
+            branch_stalls: 0,
+            bundles_executed: 1,
+            ops_executed: 1,
+            activity: ActivityCounts::default(),
+            icache_misses: 0,
+            memory: vec![0, 9, 0],
+        };
+        let mut bytes = r.encode_to_vec();
+        // The run start lives right after the (len, runs) header; point it
+        // past the end of memory.
+        let start_off = bytes.len() - 4 /* value */ - 4 /* count */ - 4 /* start */;
+        bytes[start_off..start_off + 4].copy_from_slice(&100u32.to_le_bytes());
+        assert!(SimResult::decode_all(&bytes).is_err());
+    }
 }

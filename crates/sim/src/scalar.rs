@@ -24,29 +24,36 @@
 //! can only cost cycles, never correctness (the same invariant the VLIW
 //! simulator keeps via interlocks).
 //!
+//! Since the pre-decode refactor the loop itself lives in
+//! [`crate::exec::scalar`]: [`ScalarSimulator::new`] compiles the program
+//! once into a [`DecodedScalar`] (flat operands, baked latencies, the
+//! dual-issue pairing rule precomputed per adjacent instruction pair) and
+//! [`ScalarSimulator::run`] drives that engine. The original interpretive
+//! loop survives in [`crate::reference`] as the differential oracle.
+//!
 //! [`forwarding`]: asip_isa::MachineDescription::forwarding
+//! [`ICache`]: crate::ICache
 
-use crate::icache::ICache;
+use crate::exec::DecodedScalar;
 use crate::run::{SimError, SimOptions, SimResult};
-use asip_isa::scalar::scalar_inst_bytes;
-use asip_isa::{ActivityCounts, LatClass, MachineDescription, Opcode, Operand, Reg, ScalarProgram};
+use asip_isa::{MachineDescription, ScalarProgram};
 
-/// Sentinel LR value meaning "return ends the program".
-const LR_HALT: u32 = u32::MAX;
-
-/// The scalar simulator. Construct with [`ScalarSimulator::new`], optionally
+/// The scalar simulator. Construct with [`ScalarSimulator::new`] — which
+/// pre-decodes the program against the machine tables once — optionally
 /// override global data ([`ScalarSimulator::write_global`]), then
-/// [`ScalarSimulator::run`].
+/// [`ScalarSimulator::run`] any number of times.
 #[derive(Debug)]
 pub struct ScalarSimulator<'a> {
-    machine: &'a MachineDescription,
-    program: &'a ScalarProgram,
-    memory: Vec<i32>,
+    decoded: DecodedScalar<'a>,
+    /// Global overrides recorded by [`ScalarSimulator::write_global`],
+    /// replayed in order onto a fresh memory image at every run.
+    overrides: Vec<(u32, Vec<i32>)>,
     opts: SimOptions,
 }
 
 impl<'a> ScalarSimulator<'a> {
-    /// Prepare a simulation: validates the program and loads global data.
+    /// Prepare a simulation: validates the program, pre-decodes it, and
+    /// loads global data.
     ///
     /// # Errors
     ///
@@ -57,22 +64,10 @@ impl<'a> ScalarSimulator<'a> {
         program: &'a ScalarProgram,
         opts: SimOptions,
     ) -> Result<ScalarSimulator<'a>, SimError> {
-        program
-            .validate(machine)
-            .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
-        let mut memory = vec![0i32; machine.dmem_words as usize];
-        for g in &program.globals {
-            for (i, &v) in g.init.iter().enumerate() {
-                let a = g.addr as usize + i;
-                if a < memory.len() {
-                    memory[a] = v;
-                }
-            }
-        }
+        let decoded = DecodedScalar::new(machine, program)?;
         Ok(ScalarSimulator {
-            machine,
-            program,
-            memory,
+            decoded,
+            overrides: Vec::new(),
             opts,
         })
     }
@@ -80,12 +75,11 @@ impl<'a> ScalarSimulator<'a> {
     /// Overwrite a global before running (workload inputs). Returns false
     /// if the global does not exist.
     pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
-        let Some(g) = self.program.global(name) else {
+        let Some(g) = self.decoded.program().global(name) else {
             return false;
         };
-        for (i, &v) in data.iter().take(g.words as usize).enumerate() {
-            self.memory[g.addr as usize + i] = v;
-        }
+        let take = (g.words as usize).min(data.len());
+        self.overrides.push((g.addr, data[..take].to_vec()));
         true
     }
 
@@ -94,285 +88,12 @@ impl<'a> ScalarSimulator<'a> {
     /// # Errors
     ///
     /// Any [`SimError`] raised during execution.
-    pub fn run(self, args: &[i32]) -> Result<SimResult, SimError> {
-        let entry = &self.program.functions[self.program.entry_func as usize];
-        if args.len() != entry.num_args as usize {
-            return Err(SimError::BadArgs {
-                expected: entry.num_args,
-                got: args.len() as u32,
-            });
+    pub fn run(&self, args: &[i32]) -> Result<SimResult, SimError> {
+        let mut memory = self.decoded.initial_memory();
+        for (addr, data) in &self.overrides {
+            memory[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
         }
-        let ScalarSimulator {
-            machine,
-            program,
-            mut memory,
-            opts,
-        } = self;
-
-        // Stack setup: arguments at the very top; SP points at the first.
-        let top = memory.len() as u32;
-        let mut sp = top - args.len() as u32;
-        for (i, &a) in args.iter().enumerate() {
-            memory[sp as usize + i] = a;
-        }
-        let mut lr: u32 = LR_HALT;
-
-        let mut regs = vec![0i32; machine.regs_per_cluster as usize];
-        let mut reg_ready = vec![0u64; machine.regs_per_cluster as usize];
-        // Extra forwarding cost: without bypass, results take one more
-        // cycle through the register file before a consumer can issue.
-        let fwd_extra: u64 = u64::from(!machine.forwarding);
-
-        let width = machine.issue_width().clamp(1, 2);
-        let layout = program.layout(machine.encoding);
-        let mut icache = machine.icache.map(ICache::new);
-
-        let mut out = SimResult {
-            output: Vec::new(),
-            cycles: 0,
-            interlock_stalls: 0,
-            icache_stalls: 0,
-            branch_stalls: 0,
-            bundles_executed: 0,
-            ops_executed: 0,
-            activity: ActivityCounts::default(),
-            icache_misses: 0,
-            memory: Vec::new(),
-        };
-
-        // Current issue group: the cycle it issues in, the unit kinds of the
-        // instructions it already holds (pairing requires an assignment of
-        // all of them to *distinct* slots of the declared slot table), and
-        // whether a control op sealed it.
-        let mut cycle: u64 = 0;
-        let mut group_kinds: Vec<asip_isa::FuKind> = Vec::with_capacity(width);
-        let mut group_closed = false;
-        let mut pc: u32 = entry.entry;
-
-        macro_rules! new_group {
-            ($advance:expr) => {{
-                cycle += $advance;
-                group_kinds.clear();
-                group_closed = false;
-            }};
-        }
-
-        'run: loop {
-            if cycle > opts.max_cycles {
-                return Err(SimError::CycleLimit);
-            }
-            let op = &program.insts[pc as usize];
-            let kind = op.opcode.fu_kind();
-
-            // 1. Fetch, charging I-cache misses as front-end bubbles.
-            let bytes = scalar_inst_bytes(op, machine.encoding);
-            if let Some(ic) = icache.as_mut() {
-                let misses = ic.access(layout.inst_addr[pc as usize], bytes);
-                if misses > 0 {
-                    let pen = u64::from(misses) * u64::from(ic.miss_penalty());
-                    let bump = u64::from(!group_kinds.is_empty());
-                    new_group!(bump + pen);
-                    out.icache_stalls += pen;
-                    out.icache_misses += u64::from(misses);
-                }
-            }
-            out.activity.fetch_bytes += u64::from(bytes);
-
-            // 2. Structural hazards: group full, sealed by a control op, or
-            //    no slot assignment covers the group plus this instruction
-            //    (the slot table *is* the dynamic pairing rule — e.g. on
-            //    scalar2 a Mem and a Branch op cannot pair, both units
-            //    living in slot 0 only).
-            if group_kinds.len() >= width
-                || group_closed
-                || !group_fits(&machine.slots, &group_kinds, kind)
-            {
-                new_group!(1);
-            }
-
-            // 3. Data hazards: operands (and, for in-order writeback,
-            //    destinations) must be ready.
-            let mut ready = cycle;
-            for r in op.reads().chain(op.dsts.iter().copied()) {
-                if !r.is_zero() {
-                    ready = ready.max(reg_ready[r.index as usize]);
-                }
-            }
-            if ready > cycle {
-                out.interlock_stalls += ready - cycle;
-                new_group!(ready - cycle);
-            }
-
-            // 4. Issue and execute. Architectural state updates immediately
-            //    (sequential semantics); the scoreboard carries the timing.
-            group_kinds.push(kind);
-            if group_kinds.len() == 1 {
-                out.bundles_executed += 1;
-                out.activity.bundles += 1;
-            }
-            out.ops_executed += 1;
-            count_activity(&mut out.activity, op.opcode);
-
-            let read = |o: &Operand, regs: &Vec<i32>| -> i32 {
-                match o {
-                    Operand::Reg(r) => {
-                        if r.is_zero() {
-                            0
-                        } else {
-                            regs[r.index as usize]
-                        }
-                    }
-                    Operand::Imm(v) => *v,
-                }
-            };
-            let lat = u64::from(machine.latency(op.opcode)) + fwd_extra;
-            let write = |d: Reg, v: i32, regs: &mut Vec<i32>, reg_ready: &mut Vec<u64>| {
-                if !d.is_zero() {
-                    regs[d.index as usize] = v;
-                    let slot = &mut reg_ready[d.index as usize];
-                    *slot = (*slot).max(cycle + lat);
-                }
-            };
-
-            let mut next_pc = pc + 1;
-            let mut taken = false;
-            let mut halted = false;
-
-            match op.opcode {
-                Opcode::Ldw => {
-                    let base = read(&op.srcs[0], &regs);
-                    let addr = i64::from(base) + i64::from(op.imm);
-                    if addr < 0 || addr as usize >= memory.len() {
-                        return Err(SimError::MemFault { pc, addr });
-                    }
-                    let v = memory[addr as usize];
-                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
-                }
-                Opcode::Stw => {
-                    let v = read(&op.srcs[0], &regs);
-                    let base = read(&op.srcs[1], &regs);
-                    let addr = i64::from(base) + i64::from(op.imm);
-                    if addr < 0 || addr as usize >= memory.len() {
-                        return Err(SimError::MemFault { pc, addr });
-                    }
-                    memory[addr as usize] = v;
-                }
-                Opcode::Br => {
-                    next_pc = op.target;
-                    taken = true;
-                }
-                Opcode::BrT | Opcode::BrF => {
-                    let c = read(&op.srcs[0], &regs) != 0;
-                    let go = if op.opcode == Opcode::BrT { c } else { !c };
-                    if go {
-                        next_pc = op.target;
-                        taken = true;
-                    }
-                }
-                Opcode::Call => {
-                    lr = pc + 1;
-                    next_pc = program.functions[op.target as usize].entry;
-                    taken = true;
-                }
-                Opcode::Ret => {
-                    if lr == LR_HALT {
-                        halted = true;
-                    } else if lr as usize >= program.insts.len() {
-                        return Err(SimError::WildReturn { pc });
-                    } else {
-                        next_pc = lr;
-                        taken = true;
-                    }
-                }
-                Opcode::Halt => halted = true,
-                Opcode::Emit => {
-                    let v = read(&op.srcs[0], &regs);
-                    out.output.push(v);
-                }
-                Opcode::AddSp => {
-                    sp = (i64::from(sp) + i64::from(op.imm)) as u32;
-                }
-                Opcode::MovFromSp => {
-                    write(op.dsts[0], sp as i32, &mut regs, &mut reg_ready);
-                }
-                Opcode::MovFromLr => {
-                    write(op.dsts[0], lr as i32, &mut regs, &mut reg_ready);
-                }
-                Opcode::MovToLr => {
-                    lr = read(&op.srcs[0], &regs) as u32;
-                }
-                Opcode::CopyX | Opcode::Mov => {
-                    let v = read(&op.srcs[0], &regs);
-                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
-                }
-                Opcode::Select => {
-                    let c = read(&op.srcs[0], &regs);
-                    let a = read(&op.srcs[1], &regs);
-                    let b = read(&op.srcs[2], &regs);
-                    write(
-                        op.dsts[0],
-                        if c != 0 { a } else { b },
-                        &mut regs,
-                        &mut reg_ready,
-                    );
-                }
-                Opcode::Custom(k) => {
-                    let def = &program.custom_ops[k as usize];
-                    let argv: Vec<i32> = op.srcs.iter().map(|s| read(s, &regs)).collect();
-                    let outs = def.eval(&argv).map_err(|e| match e {
-                        asip_isa::CustomOpError::Eval(_) => SimError::DivideByZero { pc },
-                        other => SimError::InvalidProgram(other.to_string()),
-                    })?;
-                    for (&d, v) in op.dsts.iter().zip(outs) {
-                        write(d, v, &mut regs, &mut reg_ready);
-                    }
-                    out.activity.custom_area_executed += def.area.round() as u64;
-                }
-                Opcode::Nop => {}
-                Opcode::Abs | Opcode::Sxtb | Opcode::Sxth => {
-                    let a = read(&op.srcs[0], &regs);
-                    let v = op.opcode.eval1(a).expect("unary arith");
-                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
-                }
-                _ => {
-                    let a = read(&op.srcs[0], &regs);
-                    let b = read(&op.srcs[1], &regs);
-                    let v = op.opcode.eval2(a, b).map_err(|e| match e {
-                        asip_isa::EvalError::DivideByZero => SimError::DivideByZero { pc },
-                        asip_isa::EvalError::NotArithmetic => SimError::InvalidProgram(format!(
-                            "opcode {} is not executable",
-                            op.opcode
-                        )),
-                    })?;
-                    write(op.dsts[0], v, &mut regs, &mut reg_ready);
-                }
-            }
-
-            if halted {
-                cycle += 1;
-                break 'run;
-            }
-            if taken {
-                // Redirect: the branch's own cycle plus the penalty bubbles.
-                let pen = u64::from(machine.branch_penalty);
-                out.branch_stalls += pen;
-                new_group!(1 + pen);
-            } else if op.opcode.is_control() {
-                // A fall-through control op still seals its issue group.
-                group_closed = true;
-            }
-            pc = next_pc;
-            if pc as usize >= program.insts.len() {
-                return Err(SimError::WildReturn { pc });
-            }
-        }
-
-        out.cycles = cycle;
-        out.activity.cycles = cycle;
-        out.activity.idle_slots =
-            (out.activity.bundles * width as u64).saturating_sub(out.ops_executed);
-        out.memory = memory;
-        Ok(out)
+        self.decoded.run(memory, args, self.opts)
     }
 }
 
@@ -380,8 +101,10 @@ impl<'a> ScalarSimulator<'a> {
 /// more of kind `extra` can all be assigned to *distinct* slots of the
 /// machine's slot table — the dynamic pairing rule of the in-order front
 /// end. Solved as a tiny bipartite matching (groups hold at most two
-/// instructions, so this is a couple of probes, not a search).
-fn group_fits(
+/// instructions, so this is a couple of probes, not a search). The decoded
+/// engine evaluates this once per adjacent instruction pair at decode time;
+/// the reference loop still calls it per issued instruction.
+pub(crate) fn group_fits(
     slots: &[asip_isa::Slot],
     kinds: &[asip_isa::FuKind],
     extra: asip_isa::FuKind,
@@ -417,18 +140,6 @@ fn group_fits(
         return true; // wider-than-modeled tables never constrain pairing
     }
     assign(slots, kinds, extra, &mut used[..slots.len()])
-}
-
-fn count_activity(act: &mut ActivityCounts, op: Opcode) {
-    match op.lat_class() {
-        LatClass::Alu => act.alu_ops += 1,
-        LatClass::Mul => act.mul_ops += 1,
-        LatClass::Div => act.div_ops += 1,
-        LatClass::Mem => act.mem_ops += 1,
-        LatClass::Branch => act.branch_ops += 1,
-        LatClass::Copy => act.copy_ops += 1,
-        LatClass::Custom => act.custom_ops += 1,
-    }
 }
 
 /// One-call convenience: simulate `program` on the scalar pipeline of
@@ -601,5 +312,22 @@ mod tests {
         let r = run_scalar_program(&tiny, &p, &[40]).unwrap();
         assert!(r.icache_misses > 0);
         assert!(r.icache_stalls >= r.icache_misses * 20);
+    }
+
+    /// Decode once, run many: repeated runs of one `ScalarSimulator` are
+    /// identical (each starts from the same prepared memory image).
+    #[test]
+    fn repeated_runs_are_identical() {
+        let src = r#"
+            int t[4] = {1, 2, 3, 4};
+            void main(int n) { t[0] += n; emit(t[0] + t[3]); }
+        "#;
+        let m = MachineDescription::scalar2();
+        let p = compile(src, &m);
+        let sim = ScalarSimulator::new(&m, &p, SimOptions::default()).unwrap();
+        let a = sim.run(&[10]).unwrap();
+        let b = sim.run(&[10]).unwrap();
+        assert_eq!(a, b, "state must not leak between runs");
+        assert_eq!(a.output, vec![15]);
     }
 }

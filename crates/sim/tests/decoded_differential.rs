@@ -1,0 +1,345 @@
+//! Differential testing of the pre-decoded engines ([`asip_sim::exec`])
+//! against the preserved interpretive loops ([`asip_sim::reference`]).
+//!
+//! The decoded engines must be **observationally identical**: every field
+//! of [`SimResult`] — outputs, final memory, total cycles, interlock /
+//! I-cache / branch stall counters, bundles and ops executed, and all
+//! dynamic activity counters — must match the reference loops exactly, on
+//! every preset of both target kinds × every workload kernel, and on
+//! fuzzed machine configurations drawn from the customization space.
+
+use asip_backend::{compile_module, compile_module_scalar, BackendOptions};
+use asip_ir::interp::{Interp, InterpOptions, Profile};
+use asip_ir::passes::{optimize, OptConfig};
+use asip_ir::Module;
+use asip_isa::{FuKind, ICacheConfig, MachineDescription, TargetKind};
+use asip_sim::{reference, ScalarSimulator, SimOptions, SimResult, Simulator};
+use asip_workloads::Workload;
+use proptest::prelude::*;
+
+fn frontend(w: &Workload) -> Module {
+    let mut module = asip_tinyc::compile(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    optimize(&mut module, &OptConfig::default());
+    module
+}
+
+/// Interpreter profile, as the profile-guided production pipeline compiles.
+fn profile(module: &Module, w: &Workload) -> Profile {
+    let mut interp = Interp::new(module, InterpOptions::default());
+    for (name, data) in &w.inputs {
+        interp.write_global(name, data);
+    }
+    interp
+        .run("main", &w.args)
+        .unwrap_or_else(|e| panic!("profile {}: {e}", w.name))
+        .profile
+}
+
+/// Run one workload through the decoded and the reference engine for
+/// `machine` (dispatching on its target kind) and return both results.
+fn both_engines(machine: &MachineDescription, w: &Workload) -> (SimResult, SimResult) {
+    let module = frontend(w);
+    let prof = profile(&module, w);
+    let prof = Some(&prof);
+    match machine.target {
+        TargetKind::Vliw => {
+            let compiled = compile_module(&module, machine, prof, &BackendOptions::default())
+                .unwrap_or_else(|e| panic!("compile {} on {}: {e}", w.name, machine.name));
+            let mut sim = Simulator::new(machine, &compiled.program, SimOptions::default())
+                .unwrap_or_else(|e| panic!("decode {} on {}: {e}", w.name, machine.name));
+            for (name, data) in &w.inputs {
+                sim.write_global(name, data);
+            }
+            let decoded = sim
+                .run(&w.args)
+                .unwrap_or_else(|e| panic!("decoded {} on {}: {e}", w.name, machine.name));
+            let reference = reference::run_vliw_reference(
+                machine,
+                &compiled.program,
+                &w.inputs,
+                &w.args,
+                SimOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("reference {} on {}: {e}", w.name, machine.name));
+            (decoded, reference)
+        }
+        TargetKind::Scalar => {
+            let compiled =
+                compile_module_scalar(&module, machine, prof, &BackendOptions::default())
+                    .unwrap_or_else(|e| panic!("compile {} on {}: {e}", w.name, machine.name));
+            let mut sim = ScalarSimulator::new(machine, &compiled.program, SimOptions::default())
+                .unwrap_or_else(|e| panic!("decode {} on {}: {e}", w.name, machine.name));
+            for (name, data) in &w.inputs {
+                sim.write_global(name, data);
+            }
+            let decoded = sim
+                .run(&w.args)
+                .unwrap_or_else(|e| panic!("decoded {} on {}: {e}", w.name, machine.name));
+            let reference = reference::run_scalar_reference(
+                machine,
+                &compiled.program,
+                &w.inputs,
+                &w.args,
+                SimOptions::default(),
+            )
+            .unwrap_or_else(|e| panic!("reference {} on {}: {e}", w.name, machine.name));
+            (decoded, reference)
+        }
+    }
+}
+
+/// Field-by-field identity, with per-field messages so a divergence names
+/// the counter that moved rather than dumping two whole results.
+fn assert_identical(machine: &MachineDescription, w: &Workload) {
+    let (d, r) = both_engines(machine, w);
+    let ctx = format!("{} on {}", w.name, machine.name);
+    assert_eq!(d.output, r.output, "{ctx}: output");
+    assert_eq!(d.cycles, r.cycles, "{ctx}: cycles");
+    assert_eq!(
+        d.interlock_stalls, r.interlock_stalls,
+        "{ctx}: interlock_stalls"
+    );
+    assert_eq!(d.icache_stalls, r.icache_stalls, "{ctx}: icache_stalls");
+    assert_eq!(d.branch_stalls, r.branch_stalls, "{ctx}: branch_stalls");
+    assert_eq!(
+        d.bundles_executed, r.bundles_executed,
+        "{ctx}: bundles_executed"
+    );
+    assert_eq!(d.ops_executed, r.ops_executed, "{ctx}: ops_executed");
+    assert_eq!(d.icache_misses, r.icache_misses, "{ctx}: icache_misses");
+    assert_eq!(d.activity, r.activity, "{ctx}: activity counters");
+    assert_eq!(d.memory, r.memory, "{ctx}: final memory");
+    // Belt and braces: the whole struct (future fields included).
+    assert_eq!(d, r, "{ctx}: SimResult");
+}
+
+/// Every preset of both target kinds × every workload kernel: the decoded
+/// engines reproduce the reference engines bit-for-bit.
+#[test]
+fn all_presets_all_kernels_identical() {
+    for machine in MachineDescription::all_presets() {
+        for w in asip_workloads::all() {
+            assert_identical(&machine, &w);
+        }
+    }
+}
+
+/// Regression pin for the precomputed I-cache line table: per-fetch
+/// miss/stall accounting is unchanged on every preset (including the
+/// `Compact16` + small-cache shapes where line straddling matters).
+#[test]
+fn icache_accounting_unchanged_on_all_presets() {
+    let ws = ["fir", "crc32", "sort"];
+    for base in MachineDescription::all_presets() {
+        let tiny = base.derive(&format!("{}-tinyic", base.name), |m| {
+            m.icache = Some(ICacheConfig {
+                size_bytes: 256,
+                line_bytes: 16,
+                ways: 1,
+                miss_penalty: 11,
+            });
+            m.encoding = asip_isa::Encoding::Compact16;
+        });
+        for name in ws {
+            let w = asip_workloads::by_name(name).unwrap();
+            for machine in [&base, &tiny] {
+                let (d, r) = both_engines(machine, &w);
+                assert_eq!(
+                    (d.icache_misses, d.icache_stalls),
+                    (r.icache_misses, r.icache_stalls),
+                    "{} on {}: icache accounting diverged",
+                    w.name,
+                    machine.name
+                );
+            }
+        }
+    }
+}
+
+/// Errors must shape-match too: the decoded engine reports the same
+/// divide-by-zero / bad-args errors the reference engine does.
+#[test]
+fn error_paths_match_reference() {
+    let src = "void main(int x) { emit(100 / x); }";
+    let mut module = asip_tinyc::compile(src).unwrap();
+    optimize(&mut module, &OptConfig::default());
+    let m = MachineDescription::ember4();
+    let compiled = compile_module(&module, &m, None, &BackendOptions::default()).unwrap();
+    let decoded = Simulator::new(&m, &compiled.program, SimOptions::default())
+        .unwrap()
+        .run(&[0])
+        .unwrap_err();
+    let reference =
+        reference::run_vliw_reference(&m, &compiled.program, &[], &[0], SimOptions::default())
+            .unwrap_err();
+    assert_eq!(decoded, reference);
+
+    let decoded = Simulator::new(&m, &compiled.program, SimOptions::default())
+        .unwrap()
+        .run(&[])
+        .unwrap_err();
+    let reference =
+        reference::run_vliw_reference(&m, &compiled.program, &[], &[], SimOptions::default())
+            .unwrap_err();
+    assert_eq!(decoded, reference);
+}
+
+/// A randomized VLIW member: issue-slot count, latencies, branch penalty,
+/// encoding and I-cache geometry drawn from the customization space.
+#[allow(clippy::too_many_arguments)]
+fn fuzzed_vliw(
+    extra_slots: usize,
+    lat_mul: u32,
+    lat_mem: u32,
+    lat_div: u32,
+    branch_penalty: u32,
+    encoding: u8,
+    with_icache: bool,
+    regs: u16,
+) -> MachineDescription {
+    let mut b = MachineDescription::builder("fuzzed-vliw");
+    b.registers(regs)
+        .lat_mul(lat_mul)
+        .lat_mem(lat_mem)
+        .lat_div(lat_div)
+        .branch_penalty(branch_penalty)
+        .encoding(match encoding % 3 {
+            0 => asip_isa::Encoding::Uncompressed,
+            1 => asip_isa::Encoding::StopBit,
+            _ => asip_isa::Encoding::Compact16,
+        });
+    b.slot(&[
+        FuKind::Alu,
+        FuKind::Mul,
+        FuKind::Mem,
+        FuKind::Branch,
+        FuKind::Custom,
+    ]);
+    for i in 0..extra_slots {
+        if i % 2 == 0 {
+            b.slot(&[FuKind::Alu, FuKind::Mul]);
+        } else {
+            b.slot(&[FuKind::Alu, FuKind::Mem]);
+        }
+    }
+    if !with_icache {
+        b.icache(None);
+    } else {
+        b.icache(Some(ICacheConfig {
+            size_bytes: 512,
+            line_bytes: 16,
+            ways: 1,
+            miss_penalty: 9,
+        }));
+    }
+    b.build().expect("fuzzed VLIW machine is valid")
+}
+
+/// The scalar fuzz space of `scalar_differential.rs`, reused here to pit
+/// the engines against each other.
+#[allow(clippy::too_many_arguments)]
+fn fuzzed_scalar(
+    dual_issue: bool,
+    lat_mul: u32,
+    lat_mem: u32,
+    lat_div: u32,
+    branch_penalty: u32,
+    forwarding: bool,
+    with_icache: bool,
+    regs: u16,
+) -> MachineDescription {
+    let mut b = MachineDescription::builder("fuzzed-scalar");
+    b.target(TargetKind::Scalar)
+        .registers(regs)
+        .lat_mul(lat_mul)
+        .lat_mem(lat_mem)
+        .lat_div(lat_div)
+        .branch_penalty(branch_penalty)
+        .forwarding(forwarding);
+    if dual_issue {
+        b.slot(&[FuKind::Alu, FuKind::Mem, FuKind::Branch]).slot(&[
+            FuKind::Alu,
+            FuKind::Mul,
+            FuKind::Custom,
+        ]);
+    } else {
+        b.slot(&[
+            FuKind::Alu,
+            FuKind::Mul,
+            FuKind::Mem,
+            FuKind::Branch,
+            FuKind::Custom,
+        ]);
+    }
+    if !with_icache {
+        b.icache(None);
+    } else {
+        b.icache(Some(ICacheConfig {
+            size_bytes: 512,
+            line_bytes: 16,
+            ways: 1,
+            miss_penalty: 9,
+        }));
+    }
+    b.build().expect("fuzzed scalar machine is valid")
+}
+
+proptest! {
+    /// Property: on a random kernel and a random VLIW machine, decoded and
+    /// reference engines produce identical `SimResult`s.
+    #[test]
+    fn random_vliw_machines_identical(
+        kernel in 0usize..17,
+        extra_slots in 0usize..4,
+        lat_mul in 1u32..5,
+        lat_mem in 1u32..5,
+        lat_div in 2u32..14,
+        branch_penalty in 0u32..4,
+        encoding in 0u8..3,
+        with_icache in any::<bool>(),
+        regs in 12u16..48,
+    ) {
+        let workloads = asip_workloads::all();
+        let w = &workloads[kernel % workloads.len()];
+        let m = fuzzed_vliw(
+            extra_slots,
+            lat_mul,
+            lat_mem,
+            lat_div,
+            branch_penalty,
+            encoding,
+            with_icache,
+            regs,
+        );
+        assert_identical(&m, w);
+    }
+
+    /// Property: on a random kernel and a random scalar machine, decoded
+    /// and reference engines produce identical `SimResult`s.
+    #[test]
+    fn random_scalar_machines_identical(
+        kernel in 0usize..17,
+        dual_issue in any::<bool>(),
+        lat_mul in 1u32..5,
+        lat_mem in 1u32..5,
+        lat_div in 2u32..14,
+        branch_penalty in 0u32..4,
+        forwarding in any::<bool>(),
+        with_icache in any::<bool>(),
+        regs in 12u16..48,
+    ) {
+        let workloads = asip_workloads::all();
+        let w = &workloads[kernel % workloads.len()];
+        let m = fuzzed_scalar(
+            dual_issue,
+            lat_mul,
+            lat_mem,
+            lat_div,
+            branch_penalty,
+            forwarding,
+            with_icache,
+            regs,
+        );
+        assert_identical(&m, w);
+    }
+}

@@ -63,7 +63,7 @@ fn fingerprint(outcomes: &[asip::core::EvalOutcome]) -> String {
 /// Every `.art` entry file under the cache directory.
 fn entry_files(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
-    for stage in ["parse", "optimize", "profile", "compile"] {
+    for stage in ["parse", "optimize", "profile", "compile", "simulate"] {
         if let Ok(rd) = fs::read_dir(dir.join(stage)) {
             for e in rd.flatten() {
                 if e.path().extension().is_some_and(|x| x == "art") {
@@ -105,8 +105,9 @@ fn cold_session_warm_starts_byte_identical_from_disk() {
     assert_eq!(fingerprint(&mem_only.eval_batch(&reqs)), baseline);
 
     // Pass 2: a *cold* session (new process stand-in) pointed at the warm
-    // directory. Byte-identical outcomes, zero recomputation: every
-    // Parse/Optimize/Profile/Compile request is served from the disk tier.
+    // directory. Byte-identical outcomes, zero recomputation: every stage
+    // — the memoized Simulate measurement included — is served from the
+    // disk tier.
     drop(s1);
     let s2 = disk_session(&dir);
     let out2 = s2.eval_batch(&reqs);

@@ -229,6 +229,62 @@ fn scalar_and_vliw_compiles_never_share_an_artifact() {
     );
 }
 
+/// The Simulate stage is memoized: a second identical `eval_batch` takes
+/// Simulate hits in `CacheStats`, recomputes nothing, and the hit path
+/// returns byte-identical `SimResult`s (every field, stalls and activity
+/// counters included).
+#[test]
+fn simulate_stage_memoization_is_recompute_identical() {
+    let ws = suite(&["fir", "crc32", "dither"]);
+    let machines = vec![
+        MachineDescription::ember4(),
+        MachineDescription::scalar2(),
+        MachineDescription::ember1(),
+    ];
+    let reqs = cross_requests(&ws, &machines);
+    let session = Session::builder().threads(2).cache_bytes(64 * MIB).build();
+
+    let first = session.eval_batch(&reqs);
+    let cold = session.cache_stats();
+    assert_eq!(
+        cold.simulate.misses,
+        reqs.len() as u64,
+        "every cold cell simulates once: {cold}"
+    );
+    assert_eq!(cold.simulate.hits, 0, "{cold}");
+    let cycles_measured = session.cache().sim_cycles();
+    assert!(cycles_measured > 0);
+
+    let second = session.eval_batch(&reqs);
+    let warm = session.cache_stats();
+    assert_eq!(
+        warm.simulate.hits,
+        reqs.len() as u64,
+        "every warm cell is a Simulate hit: {warm}"
+    );
+    assert_eq!(
+        warm.simulate.misses, cold.simulate.misses,
+        "no cell re-simulates: {warm}"
+    );
+    assert_eq!(
+        session.cache().sim_cycles(),
+        cycles_measured,
+        "cache hits measure nothing new"
+    );
+    for ((a, b), r) in first.iter().zip(&second).zip(&reqs) {
+        let ra = a.result.as_ref().expect("first pass runs");
+        let rb = b.result.as_ref().expect("second pass runs");
+        // The whole SimResult — output, memory, stalls, activity — must be
+        // byte-identical between the computed and the cached path.
+        assert_eq!(
+            ra.run.sim, rb.run.sim,
+            "{}/{}: cached SimResult diverged",
+            r.machine.name, r.workload.name
+        );
+        assert_eq!(ra.run.code_bytes, rb.run.code_bytes);
+    }
+}
+
 /// Forced hash collisions (mask 0) still serve every distinct artifact
 /// correctly through the stored-key fallback.
 #[test]
