@@ -37,9 +37,10 @@ pub fn session() -> &'static Session {
 }
 
 /// Per-tier summary of the shared session's cache behavior, printed by the
-/// `exp_*` binaries at exit: stage hit/miss counters (the memoized Simulate
-/// stage included), the simulation-throughput line, plus one line per
-/// cache tier (memory, and disk when `ASIP_CACHE_DIR` is active).
+/// `exp_*` binaries at exit: the serving simulation engine, stage hit/miss
+/// counters (the memoized Simulate stage and the prepared-simulation map
+/// included), the simulation-throughput line, plus one line per cache tier
+/// (memory, and disk when `ASIP_CACHE_DIR` is active).
 pub fn session_summary() -> String {
     use asip_core::StageKind;
     let s = session();
@@ -52,13 +53,14 @@ pub fn session_summary() -> String {
         0.0
     };
     let mut out = format!(
-        "[session] {} workers | cache budget {} KiB | {} evictions, {} KiB resident\n\
+        "[session] {} workers | engine {} | cache budget {} KiB | {} evictions, {} KiB resident\n\
          [session] stages: parse {}/{} optimize {}/{} profile {}/{} compile {}/{} \
-         simulate {}/{} (hits/misses)\n\
+         simulate {}/{} prepare {}/{} (hits/misses)\n\
          [session] simulate throughput: {} cycles in {:.3}s host time ({:.0} MIPS; \
          cache hits re-measure nothing)\n\
          [session] mem tier: {}",
         s.threads(),
+        s.toolchain().sim.engine,
         s.cache().byte_budget() / 1024,
         stats.evictions,
         stats.resident_bytes / 1024,
@@ -72,6 +74,8 @@ pub fn session_summary() -> String {
         stats.compile.misses,
         stats.simulate.hits,
         stats.simulate.misses,
+        stats.decode.hits,
+        stats.decode.misses,
         sim_cycles,
         sim_secs,
         mips,
@@ -99,6 +103,7 @@ mod tests {
         assert_eq!(a, b);
         let summary = session_summary();
         assert!(summary.contains("workers"));
+        assert!(summary.contains("engine"));
         assert!(summary.contains("simulate throughput"));
     }
 }

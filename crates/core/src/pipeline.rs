@@ -62,7 +62,10 @@ use asip_ir::passes::{optimize, OptConfig};
 use asip_ir::Module;
 use asip_isa::codec::{Codec, CodecError, Reader, Writer};
 use asip_isa::{MachineDescription, TargetKind};
-use asip_sim::{ScalarSimulator, SimOptions, SimResult, Simulator};
+use asip_sim::reference::{run_scalar_reference, run_vliw_reference};
+use asip_sim::{
+    BlockScalar, BlockVliw, DecodedScalar, DecodedVliw, SimEngine, SimOptions, SimResult,
+};
 use asip_workloads::Workload;
 use std::fmt;
 use std::sync::Arc;
@@ -135,6 +138,19 @@ impl From<asip_sim::SimError> for ToolchainError {
     fn from(e: asip_sim::SimError) -> Self {
         ToolchainError::Sim(e)
     }
+}
+
+/// Append `blob` to `key` as lowercase hex and return the result as a
+/// `String` (hex expansion keeps codec-rendered keys valid UTF-8).
+fn hex_expand(mut key: Vec<u8>, blob: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let at = key.len();
+    key.resize(at + blob.len() * 2, 0);
+    for (pair, &b) in key[at..].chunks_exact_mut(2).zip(blob) {
+        pair[0] = HEX[(b >> 4) as usize];
+        pair[1] = HEX[(b & 15) as usize];
+    }
+    String::from_utf8(key).expect("hex expansion is ASCII")
 }
 
 /// Stable fingerprint of an optional profile: entries sorted by function id
@@ -489,17 +505,22 @@ impl Toolchain {
     }
 
     /// The Simulate-stage cache key. Flavor-tagged like Compile keys, and
-    /// covering everything the deterministic engines read: the compiled
-    /// program, the machine tables, the [`SimOptions`] limits, and the
-    /// workload's inputs and arguments. The program and the input data are
-    /// rendered through their lossless binary codec (hex-expanded) rather
-    /// than `Debug` formatting — the key is built on the hot path of every
-    /// cell, and the codec writer is an order of magnitude cheaper than
-    /// `fmt` while remaining a complete, injective rendering. The golden
-    /// `expected` stream is deliberately *not* part of the key — the output
-    /// check runs on every call, hit or miss, so a sabotaged expectation
-    /// still reports [`ToolchainError::WrongOutput`] against the cached
-    /// measurement.
+    /// covering everything that can change the deterministic measurement:
+    /// the compiled program, the machine tables, the [`SimOptions`]
+    /// *limits*, and the workload's inputs and arguments. The program and
+    /// the input data are rendered through their lossless binary codec
+    /// (hex-expanded) rather than `Debug` formatting — the key is built on
+    /// the hot path of every cell, and the codec writer is an order of
+    /// magnitude cheaper than `fmt` while remaining a complete, injective
+    /// rendering. Two things are deliberately *not* part of the key:
+    ///
+    /// * the [`SimEngine`] choice — every engine produces bit-identical
+    ///   `SimResult`s (pinned by the differential suites and the
+    ///   `session_env` engine-invariance test), so a cell measured under
+    ///   one engine is a valid hit for any other, on either tier;
+    /// * the golden `expected` stream — the output check runs on every
+    ///   call, hit or miss, so a sabotaged expectation still reports
+    ///   [`ToolchainError::WrongOutput`] against the cached measurement.
     fn simulate_key<P: Codec>(
         &self,
         flavor: TargetKind,
@@ -515,16 +536,95 @@ impl Toolchain {
             data.encode(&mut blob);
         }
         w.args.encode(&mut blob);
-        let blob = blob.into_bytes();
-        let mut key = format!("{flavor}\u{1f}{machine:?}\u{1f}{:?}\u{1f}", self.sim).into_bytes();
-        const HEX: &[u8; 16] = b"0123456789abcdef";
-        let at = key.len();
-        key.resize(at + blob.len() * 2, 0);
-        for (pair, &b) in key[at..].chunks_exact_mut(2).zip(&blob) {
-            pair[0] = HEX[(b >> 4) as usize];
-            pair[1] = HEX[(b & 15) as usize];
+        let key = format!(
+            "{flavor}\u{1f}{machine:?}\u{1f}max_cycles={}\u{1f}",
+            self.sim.max_cycles
+        );
+        hex_expand(key.into_bytes(), &blob.into_bytes())
+    }
+
+    /// The prepared-simulation key (see [`ArtifactCache::get_or_prepare`]):
+    /// everything a preparation reads — engine, target flavor, machine
+    /// tables, program — with the program codec-rendered like
+    /// [`Toolchain::simulate_key`]. Unlike Simulate keys this one *does*
+    /// carry the engine: a decoded and a block-compiled preparation of the
+    /// same program are different objects.
+    fn prepare_key<P: Codec>(
+        &self,
+        flavor: TargetKind,
+        machine: &MachineDescription,
+        program: &P,
+    ) -> String {
+        let mut blob = Writer::new();
+        program.encode(&mut blob);
+        let key = format!(
+            "{}\u{1f}{flavor}\u{1f}{machine:?}\u{1f}",
+            self.sim.engine.name()
+        );
+        hex_expand(key.into_bytes(), &blob.into_bytes())
+    }
+
+    /// One VLIW measurement on the configured [`SimEngine`]. The decoded
+    /// and block engines run from a prepared form served by the cache's
+    /// process-local preparation map ([`CacheStats::decode`]), so repeated
+    /// runs of the same artifact skip validation + decode; the reference
+    /// interpreter prepares nothing by design.
+    fn simulate_vliw(
+        &self,
+        w: &Workload,
+        machine: &MachineDescription,
+        compiled: &CompiledProgram,
+    ) -> Result<SimResult, ToolchainError> {
+        let program = &compiled.program;
+        match self.sim.engine {
+            SimEngine::Reference => Ok(run_vliw_reference(
+                machine, program, &w.inputs, &w.args, self.sim,
+            )?),
+            SimEngine::Decoded => {
+                let key = self.prepare_key(TargetKind::Vliw, machine, program);
+                let d = self
+                    .cache
+                    .get_or_prepare(key, || Ok(DecodedVliw::new(machine, program)?))?;
+                Ok(d.run_with_inputs(&w.inputs, &w.args, self.sim)?)
+            }
+            SimEngine::Block => {
+                let key = self.prepare_key(TargetKind::Vliw, machine, program);
+                let b = self
+                    .cache
+                    .get_or_prepare(key, || Ok(BlockVliw::new(machine, program)?))?;
+                Ok(b.run_with_inputs(&w.inputs, &w.args, self.sim)?)
+            }
         }
-        String::from_utf8(key).expect("hex expansion is ASCII")
+    }
+
+    /// One scalar measurement on the configured [`SimEngine`]; prepared
+    /// forms are shared exactly like [`Toolchain::simulate_vliw`].
+    fn simulate_scalar(
+        &self,
+        w: &Workload,
+        machine: &MachineDescription,
+        compiled: &CompiledScalarProgram,
+    ) -> Result<SimResult, ToolchainError> {
+        let program = &compiled.program;
+        match self.sim.engine {
+            SimEngine::Reference => Ok(run_scalar_reference(
+                machine, program, &w.inputs, &w.args, self.sim,
+            )?),
+            SimEngine::Decoded => {
+                let key = self.prepare_key(TargetKind::Scalar, machine, program);
+                let d = self
+                    .cache
+                    .get_or_prepare(key, || Ok(DecodedScalar::new(machine, program)?))?;
+                Ok(d.run_with_inputs(&w.inputs, &w.args, self.sim)?)
+            }
+            SimEngine::Block => {
+                let key = self.prepare_key(TargetKind::Scalar, machine, program);
+                let b = self
+                    .cache
+                    .get_or_prepare(key, || Ok(BlockScalar::new(machine, program)?))?;
+                Ok(b.run_with_inputs(&w.inputs, &w.args, self.sim)?)
+            }
+        }
     }
 
     /// Golden-model output check shared by both Simulate flavors.
@@ -562,13 +662,7 @@ impl Toolchain {
     ) -> Result<WorkloadRun, ToolchainError> {
         let key = self.simulate_key(TargetKind::Vliw, machine, &compiled.program, w);
         let result = self.cache.get_or_compute(StageKind::Simulate, key, |t| {
-            let result = t.time(|| -> Result<SimResult, ToolchainError> {
-                let mut sim = Simulator::new(machine, &compiled.program, self.sim)?;
-                for (name, data) in &w.inputs {
-                    sim.write_global(name, data);
-                }
-                Ok(sim.run(&w.args)?)
-            })?;
+            let result = t.time(|| self.simulate_vliw(w, machine, compiled))?;
             self.cache.record_sim_cycles(result.cycles);
             Ok(result)
         })?;
@@ -599,13 +693,7 @@ impl Toolchain {
     ) -> Result<WorkloadRun, ToolchainError> {
         let key = self.simulate_key(TargetKind::Scalar, machine, &compiled.program, w);
         let result = self.cache.get_or_compute(StageKind::Simulate, key, |t| {
-            let result = t.time(|| -> Result<SimResult, ToolchainError> {
-                let mut sim = ScalarSimulator::new(machine, &compiled.program, self.sim)?;
-                for (name, data) in &w.inputs {
-                    sim.write_global(name, data);
-                }
-                Ok(sim.run(&w.args)?)
-            })?;
+            let result = t.time(|| self.simulate_scalar(w, machine, compiled))?;
             self.cache.record_sim_cycles(result.cycles);
             Ok(result)
         })?;

@@ -47,7 +47,7 @@ use crate::pipeline::{Toolchain, ToolchainError, WorkloadRun};
 use asip_backend::BackendOptions;
 use asip_ir::passes::OptConfig;
 use asip_isa::{FuKind, MachineDescription};
-use asip_sim::SimOptions;
+use asip_sim::{SimEngine, SimOptions};
 use asip_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -60,6 +60,30 @@ use std::sync::{Arc, Mutex};
 /// else in the workspace; precedence is pinned by the `session_env`
 /// integration test.
 pub const THREADS_ENV: &str = "ASIP_GRID_THREADS";
+
+/// Environment variable overriding the default simulation engine.
+///
+/// Accepts `reference`, `decoded` or `block` (case-insensitive;
+/// unparseable values are ignored). Precedence mirrors [`THREADS_ENV`]:
+/// an explicit [`SessionBuilder::sim_engine`] call always wins, this
+/// variable feeds the builder's *default* (via [`default_engine`]), and
+/// with neither the engine is [`SimEngine::default`] (the block
+/// compiler). The engine can never change a measurement — all three
+/// produce bit-identical `SimResult`s (pinned by the differential
+/// suites) — so Simulate cache keys deliberately exclude it.
+pub const ENGINE_ENV: &str = "ASIP_SIM_ENGINE";
+
+fn engine_from_env() -> Option<SimEngine> {
+    std::env::var(ENGINE_ENV)
+        .ok()
+        .and_then(|v| SimEngine::parse(&v))
+}
+
+/// Default simulation engine: the `ASIP_SIM_ENGINE` environment variable
+/// if set (and parseable), else [`SimEngine::default`].
+pub fn default_engine() -> SimEngine {
+    engine_from_env().unwrap_or_default()
+}
 
 /// Default worker count: the `ASIP_GRID_THREADS` environment variable if
 /// set (and a positive integer), else one per available hardware thread.
@@ -90,6 +114,7 @@ pub struct SessionBuilder {
     disk_cache_bytes: Option<u64>,
     cache: Option<Arc<ArtifactCache>>,
     threads: Option<usize>,
+    engine: Option<SimEngine>,
 }
 
 impl SessionBuilder {
@@ -108,6 +133,15 @@ impl SessionBuilder {
     /// Set the simulation limits applied to every evaluation.
     pub fn sim(mut self, sim: SimOptions) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Set the simulation engine serving every evaluation. Defaults to
+    /// the `ASIP_SIM_ENGINE` environment variable, or the block compiler
+    /// ([`SimEngine::Block`]). Engines differ only in speed: results are
+    /// bit-identical, and Simulate cache keys exclude the engine.
+    pub fn sim_engine(mut self, engine: SimEngine) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -198,6 +232,13 @@ impl SessionBuilder {
         tc.backend = self.backend;
         tc.profile_guided = self.profile_guided.unwrap_or(true);
         tc.sim = self.sim;
+        // Builder wins over environment; environment wins over whatever
+        // the sim options carried (normally the engine default). Pinned
+        // by the `session_env` integration tests.
+        tc.sim.engine = self
+            .engine
+            .or_else(engine_from_env)
+            .unwrap_or(tc.sim.engine);
         Session {
             tc,
             threads: self.threads.unwrap_or_else(default_threads),

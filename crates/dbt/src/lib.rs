@@ -12,8 +12,10 @@
 
 #![warn(missing_docs)]
 
+pub mod blocks;
 pub mod translate;
 
+pub use blocks::{discover, BasicBlock, BlockMap, Ctrl};
 pub use translate::{
     translate_program, CodeCache, DbtError, TranslationStats, TRANSLATION_CYCLES_PER_OP,
 };

@@ -169,6 +169,89 @@ pub(crate) fn initial_memory(dmem_words: u32, globals: &[asip_isa::GlobalSym]) -
     memory
 }
 
+/// Write named workload inputs into a memory image through the program's
+/// global symbols, truncating to each global's extent and ignoring unknown
+/// names — the same rules [`crate::reference`] applies, shared so the
+/// engines can never drift on input handling.
+pub(crate) fn write_inputs(
+    memory: &mut [i32],
+    globals: &[asip_isa::GlobalSym],
+    inputs: &[(String, Vec<i32>)],
+) {
+    for (name, data) in inputs {
+        if let Some(g) = globals.iter().find(|g| &g.name == name) {
+            for (i, &v) in data.iter().take(g.words as usize).enumerate() {
+                memory[g.addr as usize + i] = v;
+            }
+        }
+    }
+}
+
+/// A small pool of reusable data-memory buffers.
+///
+/// Building a fresh image per run (`vec![0; dmem_words]`) costs an
+/// mmap/zero/munmap round trip per simulation — on a megaword machine
+/// that is most of a short kernel's wall time, and an explicit full
+/// memset on reuse would cost just as much. The block engines keep a few
+/// buffers resident instead, with a **scrub** protocol: parked buffers
+/// are always all-zero, [`MemPool::acquire`] re-applies the global
+/// initializers (identical contents to [`initial_memory`]), and
+/// [`MemPool::release_scrubbed`] zeroes only the regions a run can have
+/// dirtied — the static-data region plus everything from the lowest
+/// stack/store address up, which the engines watermark during execution.
+/// The pool is bounded: the engines are shared across session worker
+/// threads, so at most a handful of buffers ever stay parked.
+#[derive(Debug, Default)]
+pub(crate) struct MemPool {
+    bufs: std::sync::Mutex<Vec<Vec<i32>>>,
+}
+
+/// Buffers kept parked per pool; extras beyond concurrent demand are freed.
+const MEM_POOL_CAP: usize = 4;
+
+impl MemPool {
+    /// Pop a parked (all-zero) buffer — or allocate a fresh lazily-zeroed
+    /// one — and apply `globals`' initializers: identical contents to
+    /// [`initial_memory`].
+    pub(crate) fn acquire(&self, dmem_words: u32, globals: &[asip_isa::GlobalSym]) -> Vec<i32> {
+        let want = dmem_words as usize;
+        let mut memory = match self.bufs.lock().unwrap().pop() {
+            Some(b) if b.len() == want => b,
+            _ => vec![0i32; want],
+        };
+        for g in globals {
+            for (i, &v) in g.init.iter().enumerate() {
+                let a = g.addr as usize + i;
+                if a < memory.len() {
+                    memory[a] = v;
+                }
+            }
+        }
+        memory
+    }
+
+    /// Zero the regions a run can have dirtied — `[0, data_words)` (the
+    /// globals and every named store) and `[dirty_from, len)` (the stack
+    /// and every watermarked computed store) — then park the buffer for
+    /// the next [`MemPool::acquire`]. Runs that dirtied a large fraction
+    /// of the image are dropped instead: a fresh lazily-zeroed allocation
+    /// is cheaper than a near-full memset.
+    pub(crate) fn release_scrubbed(&self, mut buf: Vec<i32>, data_words: usize, dirty_from: usize) {
+        let n = buf.len();
+        let dw = data_words.min(n);
+        let lo = dirty_from.clamp(dw, n);
+        if dw + (n - lo) > n / 4 + 1024 {
+            return;
+        }
+        buf[..dw].fill(0);
+        buf[lo..].fill(0);
+        let mut bufs = self.bufs.lock().unwrap();
+        if bufs.len() < MEM_POOL_CAP {
+            bufs.push(buf);
+        }
+    }
+}
+
 /// Flatten a register name against `regs_per_cluster`. Index 0 is the
 /// hardwired zero register in every engine.
 #[inline]
@@ -304,6 +387,20 @@ impl ActivityDelta {
             }
         }
         self.ops += 1;
+    }
+
+    /// Fold another delta into this one (the block translator aggregates
+    /// a whole basic block's bundles into one superop-level delta).
+    pub(crate) fn merge(&mut self, other: &ActivityDelta) {
+        self.alu += other.alu;
+        self.mul += other.mul;
+        self.div += other.div;
+        self.mem += other.mem;
+        self.branch += other.branch;
+        self.copy += other.copy;
+        self.custom += other.custom;
+        self.custom_area += other.custom_area;
+        self.ops += other.ops;
     }
 
     /// Apply the delta to the running activity counters.

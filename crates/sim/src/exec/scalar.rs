@@ -27,45 +27,50 @@ use asip_isa::{ActivityCounts, EvalError, LatClass, MachineDescription, Opcode, 
 /// One fully pre-decoded instruction: the op plus everything the pipeline
 /// loop consults per fetch, in one cache-friendly record.
 #[derive(Debug, Clone)]
-struct Inst {
-    op: DecodedOp,
-    interlock: (u32, u32),
+pub(crate) struct Inst {
+    pub(crate) op: DecodedOp,
+    pub(crate) interlock: (u32, u32),
     /// Activity-class index (`LatClass` order), counted with one indexed
     /// add per instruction instead of a branch tree.
-    class: u8,
+    pub(crate) class: u8,
     /// Pre-rounded custom-datapath area charged per execution (0 for base
     /// ops).
-    custom_area: u32,
+    pub(crate) custom_area: u32,
     /// Fall-through control ops still seal their issue group.
-    seals: bool,
+    pub(crate) seals: bool,
     /// Whether this instruction can dual-issue with its *predecessor*
     /// under the slot table (false for instruction 0). Stored on the
     /// current instruction so the structural check never touches the
     /// previous instruction's record.
-    pair_with_prev: bool,
-    fetch: FetchInfo,
+    pub(crate) pair_with_prev: bool,
+    pub(crate) fetch: FetchInfo,
 }
 
 /// A [`ScalarProgram`] compiled once against a [`MachineDescription`] into
 /// the dense form the in-order pipeline loop executes. Build with
 /// [`DecodedScalar::new`] (validates the program), then
 /// [`DecodedScalar::run`] any number of times.
+///
+/// Owns clones of the machine and program (it is `'static`, `Send` and
+/// `Sync`), so a decoding can outlive its inputs — the session-level
+/// prepared-simulation cache holds decodings across pipeline runs, and the
+/// block engine ([`crate::block`]) embeds one as its slow path.
 #[derive(Debug)]
-pub struct DecodedScalar<'a> {
-    machine: &'a MachineDescription,
-    program: &'a ScalarProgram,
-    insts: Vec<Inst>,
+pub struct DecodedScalar {
+    pub(crate) machine: MachineDescription,
+    pub(crate) program: ScalarProgram,
+    pub(crate) insts: Vec<Inst>,
     /// Flat registers each instruction reads or writes (hazard set).
-    interlock: Vec<u32>,
-    pools: CustomPools,
-    entry_pc: u32,
-    num_args: u32,
-    nregs: usize,
-    width: usize,
-    branch_penalty: u64,
+    pub(crate) interlock: Vec<u32>,
+    pub(crate) pools: CustomPools,
+    pub(crate) entry_pc: u32,
+    pub(crate) num_args: u32,
+    pub(crate) nregs: usize,
+    pub(crate) width: usize,
+    pub(crate) branch_penalty: u64,
 }
 
-impl<'a> DecodedScalar<'a> {
+impl DecodedScalar {
     /// Pre-decode `program` for the scalar pipeline of `machine`.
     ///
     /// # Errors
@@ -73,9 +78,9 @@ impl<'a> DecodedScalar<'a> {
     /// [`SimError::InvalidProgram`] if the program fails static validation
     /// against the machine.
     pub fn new(
-        machine: &'a MachineDescription,
-        program: &'a ScalarProgram,
-    ) -> Result<DecodedScalar<'a>, SimError> {
+        machine: &MachineDescription,
+        program: &ScalarProgram,
+    ) -> Result<DecodedScalar, SimError> {
         program
             .validate(machine)
             .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
@@ -125,8 +130,8 @@ impl<'a> DecodedScalar<'a> {
         }
         let entry = &program.functions[program.entry_func as usize];
         Ok(DecodedScalar {
-            machine,
-            program,
+            machine: machine.clone(),
+            program: program.clone(),
             insts,
             interlock,
             pools,
@@ -139,14 +144,32 @@ impl<'a> DecodedScalar<'a> {
     }
 
     /// The program this decoding was built from.
-    pub fn program(&self) -> &'a ScalarProgram {
-        self.program
+    pub fn program(&self) -> &ScalarProgram {
+        &self.program
     }
 
     /// A fresh data-memory image: zeroed to the machine's `dmem_words`,
     /// with the program's global initializers applied.
     pub fn initial_memory(&self) -> Vec<i32> {
         super::initial_memory(self.machine.dmem_words, &self.program.globals)
+    }
+
+    /// One-call form over a fresh memory image with named workload inputs
+    /// written in (unknown names are ignored, as in the reference loops) —
+    /// what the session's prepared-simulation cache calls per run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution.
+    pub fn run_with_inputs(
+        &self,
+        inputs: &[(String, Vec<i32>)],
+        args: &[i32],
+        opts: SimOptions,
+    ) -> Result<SimResult, SimError> {
+        let mut memory = self.initial_memory();
+        super::write_inputs(&mut memory, &self.program.globals, inputs);
+        self.run(memory, args, opts)
     }
 
     /// Run the entry function over `memory` (normally a copy of

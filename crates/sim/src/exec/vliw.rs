@@ -30,33 +30,38 @@ use asip_isa::{ActivityCounts, EvalError, MachineDescription, VliwProgram};
 /// program's flat pools, pre-aggregated statistics deltas, and the fetch
 /// geometry — everything the cycle loop touches per bundle, in one record.
 #[derive(Debug, Clone, Copy)]
-struct BundleMeta {
-    ops: (u32, u32),
-    interlock: (u32, u32),
-    idle_slots: u64,
-    act: ActivityDelta,
-    fetch: FetchInfo,
+pub(crate) struct BundleMeta {
+    pub(crate) ops: (u32, u32),
+    pub(crate) interlock: (u32, u32),
+    pub(crate) idle_slots: u64,
+    pub(crate) act: ActivityDelta,
+    pub(crate) fetch: FetchInfo,
 }
 
 /// A [`VliwProgram`] compiled once against a [`MachineDescription`] into
 /// the dense form the cycle loop executes. Build with [`DecodedVliw::new`]
 /// (validates the program), then [`DecodedVliw::run`] any number of times.
+///
+/// Owns clones of the machine and program (it is `'static`, `Send` and
+/// `Sync`), so a decoding can outlive its inputs — the session-level
+/// prepared-simulation cache holds decodings across pipeline runs, and the
+/// block engine ([`crate::block`]) embeds one as its slow path.
 #[derive(Debug)]
-pub struct DecodedVliw<'a> {
-    machine: &'a MachineDescription,
-    program: &'a VliwProgram,
-    bundles: Vec<BundleMeta>,
-    ops: Vec<DecodedOp>,
+pub struct DecodedVliw {
+    pub(crate) machine: MachineDescription,
+    pub(crate) program: VliwProgram,
+    pub(crate) bundles: Vec<BundleMeta>,
+    pub(crate) ops: Vec<DecodedOp>,
     /// Flat registers each bundle reads or writes (interlock set).
-    interlock: Vec<u32>,
-    pools: CustomPools,
-    entry_pc: u32,
-    num_args: u32,
-    nregs: usize,
-    branch_penalty: u64,
+    pub(crate) interlock: Vec<u32>,
+    pub(crate) pools: CustomPools,
+    pub(crate) entry_pc: u32,
+    pub(crate) num_args: u32,
+    pub(crate) nregs: usize,
+    pub(crate) branch_penalty: u64,
 }
 
-impl<'a> DecodedVliw<'a> {
+impl DecodedVliw {
     /// Pre-decode `program` for `machine`.
     ///
     /// # Errors
@@ -64,9 +69,9 @@ impl<'a> DecodedVliw<'a> {
     /// [`SimError::InvalidProgram`] if the program fails static validation
     /// against the machine.
     pub fn new(
-        machine: &'a MachineDescription,
-        program: &'a VliwProgram,
-    ) -> Result<DecodedVliw<'a>, SimError> {
+        machine: &MachineDescription,
+        program: &VliwProgram,
+    ) -> Result<DecodedVliw, SimError> {
         program
             .validate(machine)
             .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
@@ -104,8 +109,8 @@ impl<'a> DecodedVliw<'a> {
         }
         let entry = &program.functions[program.entry_func as usize];
         Ok(DecodedVliw {
-            machine,
-            program,
+            machine: machine.clone(),
+            program: program.clone(),
             bundles,
             ops,
             interlock,
@@ -118,14 +123,32 @@ impl<'a> DecodedVliw<'a> {
     }
 
     /// The program this decoding was built from.
-    pub fn program(&self) -> &'a VliwProgram {
-        self.program
+    pub fn program(&self) -> &VliwProgram {
+        &self.program
     }
 
     /// A fresh data-memory image: zeroed to the machine's `dmem_words`,
     /// with the program's global initializers applied.
     pub fn initial_memory(&self) -> Vec<i32> {
         super::initial_memory(self.machine.dmem_words, &self.program.globals)
+    }
+
+    /// One-call form over a fresh memory image with named workload inputs
+    /// written in (unknown names are ignored, as in the reference loops) —
+    /// what the session's prepared-simulation cache calls per run.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] raised during execution.
+    pub fn run_with_inputs(
+        &self,
+        inputs: &[(String, Vec<i32>)],
+        args: &[i32],
+        opts: SimOptions,
+    ) -> Result<SimResult, SimError> {
+        let mut memory = self.initial_memory();
+        super::write_inputs(&mut memory, &self.program.globals, inputs);
+        self.run(memory, args, opts)
     }
 
     /// Run the entry function over `memory` (normally a copy of

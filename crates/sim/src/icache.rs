@@ -128,6 +128,26 @@ impl ICache {
         false
     }
 
+    /// Read-only residency probe: whether `lineno` is currently cached,
+    /// with **no** state change (no tick, no LRU stamp, no counters). The
+    /// block-compiled engines ([`crate::block`]) probe a superop's whole
+    /// line set first and only touch the lines (via
+    /// [`ICache::access_lines`]) once every probe hits — a miss anywhere
+    /// sends the block to the interpretive slow path, which replays the
+    /// accesses with exact per-fetch accounting.
+    #[inline]
+    pub fn probe(&self, lineno: u64) -> bool {
+        if lineno == self.last_line {
+            return true;
+        }
+        let set = (lineno as usize) % self.sets;
+        let tag = lineno / self.sets as u64;
+        let base = set * self.ways;
+        self.tags[base..base + self.ways]
+            .iter()
+            .any(|&(t, used)| used != 0 && t == tag)
+    }
+
     /// Hits so far.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -221,6 +241,25 @@ mod tests {
         }
         assert_eq!(by_addr.hits(), by_line.hits());
         assert_eq!(by_addr.misses(), by_line.misses());
+    }
+
+    #[test]
+    fn probe_is_read_only() {
+        let mut c = ICache::new(cfg(1024, 32, 2));
+        assert!(!c.probe(0), "cold cache");
+        c.access(0, 4);
+        assert!(c.probe(0));
+        assert!(!c.probe(32));
+        // A probe must not perturb LRU state: re-probing the LRU way's
+        // line does not rescue it from eviction.
+        c.access(1024, 4); // same set as line 0 (32 sets, 2 ways)
+        assert!(c.probe(0), "still resident in the other way");
+        c.access(2048, 4); // evicts line 0 (LRU despite the probes)
+        assert!(!c.probe(0));
+        assert!(c.probe(1024 / 32));
+        let (h, m) = (c.hits(), c.misses());
+        assert!(c.probe(2048 / 32));
+        assert_eq!((c.hits(), c.misses()), (h, m), "probe counts nothing");
     }
 
     #[test]

@@ -30,9 +30,26 @@
 //! scalar dual-issue pairing rule precomputed per adjacent pair — and the
 //! loops then run allocation-free with O(1) per-register ready-time
 //! scoreboards. The original interpretive loops are preserved in
-//! [`mod@reference`] as the differential-testing oracle; the workspace test
-//! suite pins that both produce bit-identical [`SimResult`]s on every
-//! preset × kernel and under fuzzed machine configurations.
+//! [`mod@reference`] as the differential-testing oracle.
+//!
+//! ## The block-compiled execution layer
+//!
+//! On top of the decoded form, [`block`] goes one step further:
+//! [`BlockVliw`] / [`BlockScalar`] discover basic blocks (via
+//! `asip_dbt::blocks`) and translate each hot block — on first visit, into
+//! a per-block [`std::sync::OnceLock`] cache — into a **superop** whose
+//! static costs (issue cycles, interlock stalls against a block-entry
+//! scoreboard, fetch bytes, activity deltas, touched I-cache lines) are
+//! folded at translate time. The dispatch loop then executes whole blocks:
+//! entry guards (block-start pc, no in-flight writes, resident I-cache
+//! lines, headroom under the cycle limit) decide per dispatch whether the
+//! superop applies; when any guard fails, execution falls back to the
+//! exact decoded loop body for one pc and re-attempts fast dispatch at the
+//! next block boundary. Which engine serves a run is a [`SimEngine`] knob
+//! on [`SimOptions`]; all three are observationally identical — the
+//! workspace test suite pins bit-identical [`SimResult`]s on every preset
+//! × kernel and under fuzzed machine configurations, fallback paths
+//! included.
 //!
 //! ## Example
 //!
@@ -53,13 +70,15 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod exec;
 pub mod icache;
 pub mod reference;
 pub mod run;
 pub mod scalar;
 
+pub use block::{BlockScalar, BlockVliw};
 pub use exec::{DecodedScalar, DecodedVliw};
 pub use icache::ICache;
-pub use run::{run_program, SimError, SimOptions, SimResult, Simulator};
+pub use run::{run_program, SimEngine, SimError, SimOptions, SimResult, Simulator};
 pub use scalar::{run_scalar_program, ScalarSimulator};

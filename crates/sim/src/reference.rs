@@ -46,13 +46,7 @@ fn write_inputs(
     globals: &[asip_isa::GlobalSym],
     inputs: &[(String, Vec<i32>)],
 ) {
-    for (name, data) in inputs {
-        if let Some(g) = globals.iter().find(|g| &g.name == name) {
-            for (i, &v) in data.iter().take(g.words as usize).enumerate() {
-                memory[g.addr as usize + i] = v;
-            }
-        }
-    }
+    crate::exec::write_inputs(memory, globals, inputs);
 }
 
 /// Run `program` on the reference (pre-decoded-era) VLIW cycle loop:

@@ -23,22 +23,81 @@
 //! original interpretive loop survives in [`crate::reference`] as the
 //! differential oracle.
 
+use crate::block::BlockVliw;
 use crate::exec::DecodedVliw;
 use asip_isa::codec::{Codec, CodecError, Reader, Writer};
 use asip_isa::{ActivityCounts, MachineDescription, VliwProgram};
 use std::fmt;
 
-/// Simulation limits.
+/// Which execution engine the simulators drive. All three are
+/// **observationally identical** — every [`SimResult`] field matches
+/// bit-for-bit (the workspace differential suites pin this) — and differ
+/// only in throughput:
+///
+/// * [`Reference`](SimEngine::Reference): the preserved interpretive
+///   loops ([`crate::reference`]), the differential oracle.
+/// * [`Decoded`](SimEngine::Decoded): the pre-decoded cycle loops
+///   ([`crate::exec`]) — per-op table lookups hoisted to decode time.
+/// * [`Block`](SimEngine::Block): the block-compiled superop engine
+///   ([`crate::block`]) — basic blocks translated once into precomputed
+///   block-level costs, dispatched by a threaded-code loop, falling back
+///   to the decoded cycle loop per bundle when a block's fast-path
+///   assumptions fail. The default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Interpretive oracle loops.
+    Reference,
+    /// Pre-decoded cycle loops.
+    Decoded,
+    /// Block-compiled superop engine (default).
+    #[default]
+    Block,
+}
+
+impl SimEngine {
+    /// Parse an engine name (`"reference"`, `"decoded"`, `"block"`,
+    /// case-insensitive); `None` for anything else.
+    pub fn parse(s: &str) -> Option<SimEngine> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "reference" => Some(SimEngine::Reference),
+            "decoded" => Some(SimEngine::Decoded),
+            "block" => Some(SimEngine::Block),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name ([`SimEngine::parse`]'s input).
+    pub fn name(self) -> &'static str {
+        match self {
+            SimEngine::Reference => "reference",
+            SimEngine::Decoded => "decoded",
+            SimEngine::Block => "block",
+        }
+    }
+}
+
+impl fmt::Display for SimEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Simulation limits and engine selection.
 #[derive(Debug, Clone, Copy)]
 pub struct SimOptions {
     /// Abort after this many cycles.
     pub max_cycles: u64,
+    /// Which execution engine serves the run. Engines are bit-identical in
+    /// results, so this is purely a throughput/diagnostics knob — cached
+    /// Simulate artifacts are deliberately keyed *without* it.
+    pub engine: SimEngine,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
             max_cycles: 2_000_000_000,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -245,50 +304,88 @@ impl Codec for SimResult {
     }
 }
 
-/// The simulator. Construct with [`Simulator::new`] — which pre-decodes the
-/// program against the machine tables once — optionally override global
-/// data ([`Simulator::write_global`]), then [`Simulator::run`] any number
-/// of times (each run starts from the same prepared memory image).
+/// The engine a [`Simulator`] dispatches to, selected by
+/// [`SimOptions::engine`] at construction.
 #[derive(Debug)]
-pub struct Simulator<'a> {
-    decoded: DecodedVliw<'a>,
-    /// Global overrides recorded by [`Simulator::write_global`], replayed
-    /// in order onto a fresh memory image at every run (rebuilding from
-    /// lazily-zeroed pages is cheaper than copying a multi-megabyte image
-    /// for the short kernels DSE sweeps measure).
-    overrides: Vec<(u32, Vec<i32>)>,
+enum VliwBackend {
+    /// The interpretive oracle re-reads the raw program per run, so this
+    /// arm carries its own clones instead of a decoding.
+    Reference {
+        machine: MachineDescription,
+        program: VliwProgram,
+    },
+    Decoded(DecodedVliw),
+    Block(BlockVliw),
+}
+
+/// The simulator. Construct with [`Simulator::new`] — which prepares the
+/// program once for the engine named by [`SimOptions::engine`] — optionally
+/// override global data ([`Simulator::write_global`]), then
+/// [`Simulator::run`] any number of times (each run starts from the same
+/// prepared memory image).
+#[derive(Debug)]
+pub struct Simulator {
+    backend: VliwBackend,
+    /// Named global overrides recorded by [`Simulator::write_global`],
+    /// replayed in order onto a fresh memory image at every run (rebuilding
+    /// from lazily-zeroed pages is cheaper than copying a multi-megabyte
+    /// image for the short kernels DSE sweeps measure).
+    overrides: Vec<(String, Vec<i32>)>,
     opts: SimOptions,
 }
 
-impl<'a> Simulator<'a> {
-    /// Prepare a simulation: validates the program, pre-decodes it, and
-    /// loads global data.
+impl Simulator {
+    /// Prepare a simulation: validates the program and pre-decodes (or
+    /// block-compiles) it for the engine in `opts`.
     ///
     /// # Errors
     ///
     /// [`SimError::InvalidProgram`] if the program fails static validation
     /// against the machine.
     pub fn new(
-        machine: &'a MachineDescription,
-        program: &'a VliwProgram,
+        machine: &MachineDescription,
+        program: &VliwProgram,
         opts: SimOptions,
-    ) -> Result<Simulator<'a>, SimError> {
-        let decoded = DecodedVliw::new(machine, program)?;
+    ) -> Result<Simulator, SimError> {
+        let backend = match opts.engine {
+            SimEngine::Reference => {
+                program
+                    .validate(machine)
+                    .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+                VliwBackend::Reference {
+                    machine: machine.clone(),
+                    program: program.clone(),
+                }
+            }
+            SimEngine::Decoded => VliwBackend::Decoded(DecodedVliw::new(machine, program)?),
+            SimEngine::Block => VliwBackend::Block(BlockVliw::new(machine, program)?),
+        };
         Ok(Simulator {
-            decoded,
+            backend,
             overrides: Vec::new(),
             opts,
         })
     }
 
+    /// The engine serving this simulator's runs.
+    pub fn engine(&self) -> SimEngine {
+        self.opts.engine
+    }
+
     /// Overwrite a global before running (workload inputs). Returns false
     /// if the global does not exist.
     pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
-        let Some(g) = self.decoded.program().global(name) else {
+        let program = match &self.backend {
+            VliwBackend::Reference { program, .. } => program,
+            VliwBackend::Decoded(d) => d.program(),
+            VliwBackend::Block(b) => b.program(),
+        };
+        let Some(g) = program.global(name) else {
             return false;
         };
         let take = (g.words as usize).min(data.len());
-        self.overrides.push((g.addr, data[..take].to_vec()));
+        self.overrides
+            .push((name.to_string(), data[..take].to_vec()));
         true
     }
 
@@ -298,11 +395,17 @@ impl<'a> Simulator<'a> {
     ///
     /// Any [`SimError`] raised during execution.
     pub fn run(&self, args: &[i32]) -> Result<SimResult, SimError> {
-        let mut memory = self.decoded.initial_memory();
-        for (addr, data) in &self.overrides {
-            memory[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        match &self.backend {
+            VliwBackend::Reference { machine, program } => crate::reference::run_vliw_reference(
+                machine,
+                program,
+                &self.overrides,
+                args,
+                self.opts,
+            ),
+            VliwBackend::Decoded(d) => d.run_with_inputs(&self.overrides, args, self.opts),
+            VliwBackend::Block(b) => b.run_with_inputs(&self.overrides, args, self.opts),
         }
-        self.decoded.run(memory, args, self.opts)
     }
 }
 

@@ -34,52 +34,91 @@
 //! [`forwarding`]: asip_isa::MachineDescription::forwarding
 //! [`ICache`]: crate::ICache
 
+use crate::block::BlockScalar;
 use crate::exec::DecodedScalar;
-use crate::run::{SimError, SimOptions, SimResult};
+use crate::run::{SimEngine, SimError, SimOptions, SimResult};
 use asip_isa::{MachineDescription, ScalarProgram};
 
-/// The scalar simulator. Construct with [`ScalarSimulator::new`] — which
-/// pre-decodes the program against the machine tables once — optionally
-/// override global data ([`ScalarSimulator::write_global`]), then
-/// [`ScalarSimulator::run`] any number of times.
+/// The engine a [`ScalarSimulator`] dispatches to, selected by
+/// [`SimOptions::engine`] at construction.
 #[derive(Debug)]
-pub struct ScalarSimulator<'a> {
-    decoded: DecodedScalar<'a>,
-    /// Global overrides recorded by [`ScalarSimulator::write_global`],
+enum ScalarBackend {
+    /// The interpretive oracle re-reads the raw program per run, so this
+    /// arm carries its own clones instead of a decoding.
+    Reference {
+        machine: MachineDescription,
+        program: ScalarProgram,
+    },
+    Decoded(DecodedScalar),
+    Block(BlockScalar),
+}
+
+/// The scalar simulator. Construct with [`ScalarSimulator::new`] — which
+/// prepares the program once for the engine named by
+/// [`SimOptions::engine`] — optionally override global data
+/// ([`ScalarSimulator::write_global`]), then [`ScalarSimulator::run`] any
+/// number of times.
+#[derive(Debug)]
+pub struct ScalarSimulator {
+    backend: ScalarBackend,
+    /// Named global overrides recorded by [`ScalarSimulator::write_global`],
     /// replayed in order onto a fresh memory image at every run.
-    overrides: Vec<(u32, Vec<i32>)>,
+    overrides: Vec<(String, Vec<i32>)>,
     opts: SimOptions,
 }
 
-impl<'a> ScalarSimulator<'a> {
-    /// Prepare a simulation: validates the program, pre-decodes it, and
-    /// loads global data.
+impl ScalarSimulator {
+    /// Prepare a simulation: validates the program and pre-decodes (or
+    /// block-compiles) it for the engine in `opts`.
     ///
     /// # Errors
     ///
     /// [`SimError::InvalidProgram`] if the program fails static validation
     /// against the machine.
     pub fn new(
-        machine: &'a MachineDescription,
-        program: &'a ScalarProgram,
+        machine: &MachineDescription,
+        program: &ScalarProgram,
         opts: SimOptions,
-    ) -> Result<ScalarSimulator<'a>, SimError> {
-        let decoded = DecodedScalar::new(machine, program)?;
+    ) -> Result<ScalarSimulator, SimError> {
+        let backend = match opts.engine {
+            SimEngine::Reference => {
+                program
+                    .validate(machine)
+                    .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
+                ScalarBackend::Reference {
+                    machine: machine.clone(),
+                    program: program.clone(),
+                }
+            }
+            SimEngine::Decoded => ScalarBackend::Decoded(DecodedScalar::new(machine, program)?),
+            SimEngine::Block => ScalarBackend::Block(BlockScalar::new(machine, program)?),
+        };
         Ok(ScalarSimulator {
-            decoded,
+            backend,
             overrides: Vec::new(),
             opts,
         })
     }
 
+    /// The engine serving this simulator's runs.
+    pub fn engine(&self) -> SimEngine {
+        self.opts.engine
+    }
+
     /// Overwrite a global before running (workload inputs). Returns false
     /// if the global does not exist.
     pub fn write_global(&mut self, name: &str, data: &[i32]) -> bool {
-        let Some(g) = self.decoded.program().global(name) else {
+        let program = match &self.backend {
+            ScalarBackend::Reference { program, .. } => program,
+            ScalarBackend::Decoded(d) => d.program(),
+            ScalarBackend::Block(b) => b.program(),
+        };
+        let Some(g) = program.global(name) else {
             return false;
         };
         let take = (g.words as usize).min(data.len());
-        self.overrides.push((g.addr, data[..take].to_vec()));
+        self.overrides
+            .push((name.to_string(), data[..take].to_vec()));
         true
     }
 
@@ -89,11 +128,19 @@ impl<'a> ScalarSimulator<'a> {
     ///
     /// Any [`SimError`] raised during execution.
     pub fn run(&self, args: &[i32]) -> Result<SimResult, SimError> {
-        let mut memory = self.decoded.initial_memory();
-        for (addr, data) in &self.overrides {
-            memory[*addr as usize..*addr as usize + data.len()].copy_from_slice(data);
+        match &self.backend {
+            ScalarBackend::Reference { machine, program } => {
+                crate::reference::run_scalar_reference(
+                    machine,
+                    program,
+                    &self.overrides,
+                    args,
+                    self.opts,
+                )
+            }
+            ScalarBackend::Decoded(d) => d.run_with_inputs(&self.overrides, args, self.opts),
+            ScalarBackend::Block(b) => b.run_with_inputs(&self.overrides, args, self.opts),
         }
-        self.decoded.run(memory, args, self.opts)
     }
 }
 

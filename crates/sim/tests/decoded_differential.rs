@@ -1,19 +1,25 @@
 //! Differential testing of the pre-decoded engines ([`asip_sim::exec`])
-//! against the preserved interpretive loops ([`asip_sim::reference`]).
+//! and the block-compiled engines ([`asip_sim::block`]) against the
+//! preserved interpretive loops ([`asip_sim::reference`]).
 //!
-//! The decoded engines must be **observationally identical**: every field
+//! The faster engines must be **observationally identical**: every field
 //! of [`SimResult`] — outputs, final memory, total cycles, interlock /
 //! I-cache / branch stall counters, bundles and ops executed, and all
 //! dynamic activity counters — must match the reference loops exactly, on
 //! every preset of both target kinds × every workload kernel, and on
-//! fuzzed machine configurations drawn from the customization space.
+//! fuzzed machine configurations drawn from the customization space. The
+//! block engines' guard-failure fallback (cold I-cache lines, in-flight
+//! writes, looming cycle limits, mid-block entries) is pinned separately
+//! at the bottom of this file.
 
 use asip_backend::{compile_module, compile_module_scalar, BackendOptions};
 use asip_ir::interp::{Interp, InterpOptions, Profile};
 use asip_ir::passes::{optimize, OptConfig};
 use asip_ir::Module;
 use asip_isa::{FuKind, ICacheConfig, MachineDescription, TargetKind};
-use asip_sim::{reference, ScalarSimulator, SimOptions, SimResult, Simulator};
+use asip_sim::{
+    reference, BlockScalar, BlockVliw, ScalarSimulator, SimEngine, SimOptions, SimResult, Simulator,
+};
 use asip_workloads::Workload;
 use proptest::prelude::*;
 
@@ -35,9 +41,16 @@ fn profile(module: &Module, w: &Workload) -> Profile {
         .profile
 }
 
-/// Run one workload through the decoded and the reference engine for
-/// `machine` (dispatching on its target kind) and return both results.
-fn both_engines(machine: &MachineDescription, w: &Workload) -> (SimResult, SimResult) {
+fn opts(engine: SimEngine) -> SimOptions {
+    SimOptions {
+        engine,
+        ..SimOptions::default()
+    }
+}
+
+/// Run one workload under one explicitly-selected engine for `machine`
+/// (dispatching on its target kind) and return the result.
+fn run_engine(machine: &MachineDescription, w: &Workload, engine: SimEngine) -> SimResult {
     let module = frontend(w);
     let prof = profile(&module, w);
     let prof = Some(&prof);
@@ -45,54 +58,43 @@ fn both_engines(machine: &MachineDescription, w: &Workload) -> (SimResult, SimRe
         TargetKind::Vliw => {
             let compiled = compile_module(&module, machine, prof, &BackendOptions::default())
                 .unwrap_or_else(|e| panic!("compile {} on {}: {e}", w.name, machine.name));
-            let mut sim = Simulator::new(machine, &compiled.program, SimOptions::default())
+            let mut sim = Simulator::new(machine, &compiled.program, opts(engine))
                 .unwrap_or_else(|e| panic!("decode {} on {}: {e}", w.name, machine.name));
             for (name, data) in &w.inputs {
                 sim.write_global(name, data);
             }
-            let decoded = sim
-                .run(&w.args)
-                .unwrap_or_else(|e| panic!("decoded {} on {}: {e}", w.name, machine.name));
-            let reference = reference::run_vliw_reference(
-                machine,
-                &compiled.program,
-                &w.inputs,
-                &w.args,
-                SimOptions::default(),
-            )
-            .unwrap_or_else(|e| panic!("reference {} on {}: {e}", w.name, machine.name));
-            (decoded, reference)
+            sim.run(&w.args)
+                .unwrap_or_else(|e| panic!("{engine} {} on {}: {e}", w.name, machine.name))
         }
         TargetKind::Scalar => {
             let compiled =
                 compile_module_scalar(&module, machine, prof, &BackendOptions::default())
                     .unwrap_or_else(|e| panic!("compile {} on {}: {e}", w.name, machine.name));
-            let mut sim = ScalarSimulator::new(machine, &compiled.program, SimOptions::default())
+            let mut sim = ScalarSimulator::new(machine, &compiled.program, opts(engine))
                 .unwrap_or_else(|e| panic!("decode {} on {}: {e}", w.name, machine.name));
             for (name, data) in &w.inputs {
                 sim.write_global(name, data);
             }
-            let decoded = sim
-                .run(&w.args)
-                .unwrap_or_else(|e| panic!("decoded {} on {}: {e}", w.name, machine.name));
-            let reference = reference::run_scalar_reference(
-                machine,
-                &compiled.program,
-                &w.inputs,
-                &w.args,
-                SimOptions::default(),
-            )
-            .unwrap_or_else(|e| panic!("reference {} on {}: {e}", w.name, machine.name));
-            (decoded, reference)
+            sim.run(&w.args)
+                .unwrap_or_else(|e| panic!("{engine} {} on {}: {e}", w.name, machine.name))
         }
     }
 }
 
-/// Field-by-field identity, with per-field messages so a divergence names
-/// the counter that moved rather than dumping two whole results.
-fn assert_identical(machine: &MachineDescription, w: &Workload) {
-    let (d, r) = both_engines(machine, w);
-    let ctx = format!("{} on {}", w.name, machine.name);
+/// Run one workload through all three engines for `machine` and return
+/// the results as `(reference, decoded, block)`.
+fn all_engines(machine: &MachineDescription, w: &Workload) -> (SimResult, SimResult, SimResult) {
+    (
+        run_engine(machine, w, SimEngine::Reference),
+        run_engine(machine, w, SimEngine::Decoded),
+        run_engine(machine, w, SimEngine::Block),
+    )
+}
+
+/// Field-by-field identity of one engine against the reference, with
+/// per-field messages so a divergence names the counter that moved rather
+/// than dumping two whole results.
+fn assert_fields(d: &SimResult, r: &SimResult, ctx: &str) {
     assert_eq!(d.output, r.output, "{ctx}: output");
     assert_eq!(d.cycles, r.cycles, "{ctx}: cycles");
     assert_eq!(
@@ -113,8 +115,16 @@ fn assert_identical(machine: &MachineDescription, w: &Workload) {
     assert_eq!(d, r, "{ctx}: SimResult");
 }
 
+/// Decoded ≡ reference and block ≡ reference, field by field.
+fn assert_identical(machine: &MachineDescription, w: &Workload) {
+    let (r, d, b) = all_engines(machine, w);
+    let ctx = format!("{} on {}", w.name, machine.name);
+    assert_fields(&d, &r, &format!("decoded, {ctx}"));
+    assert_fields(&b, &r, &format!("block, {ctx}"));
+}
+
 /// Every preset of both target kinds × every workload kernel: the decoded
-/// engines reproduce the reference engines bit-for-bit.
+/// and block engines reproduce the reference engines bit-for-bit.
 #[test]
 fn all_presets_all_kernels_identical() {
     for machine in MachineDescription::all_presets() {
@@ -143,11 +153,18 @@ fn icache_accounting_unchanged_on_all_presets() {
         for name in ws {
             let w = asip_workloads::by_name(name).unwrap();
             for machine in [&base, &tiny] {
-                let (d, r) = both_engines(machine, &w);
+                let (r, d, b) = all_engines(machine, &w);
                 assert_eq!(
                     (d.icache_misses, d.icache_stalls),
                     (r.icache_misses, r.icache_stalls),
-                    "{} on {}: icache accounting diverged",
+                    "decoded, {} on {}: icache accounting diverged",
+                    w.name,
+                    machine.name
+                );
+                assert_eq!(
+                    (b.icache_misses, b.icache_stalls),
+                    (r.icache_misses, r.icache_stalls),
+                    "block, {} on {}: icache accounting diverged",
                     w.name,
                     machine.name
                 );
@@ -156,8 +173,8 @@ fn icache_accounting_unchanged_on_all_presets() {
     }
 }
 
-/// Errors must shape-match too: the decoded engine reports the same
-/// divide-by-zero / bad-args errors the reference engine does.
+/// Errors must shape-match too: the decoded and block engines report the
+/// same divide-by-zero / bad-args errors the reference engine does.
 #[test]
 fn error_paths_match_reference() {
     let src = "void main(int x) { emit(100 / x); }";
@@ -165,23 +182,18 @@ fn error_paths_match_reference() {
     optimize(&mut module, &OptConfig::default());
     let m = MachineDescription::ember4();
     let compiled = compile_module(&module, &m, None, &BackendOptions::default()).unwrap();
-    let decoded = Simulator::new(&m, &compiled.program, SimOptions::default())
-        .unwrap()
-        .run(&[0])
-        .unwrap_err();
-    let reference =
-        reference::run_vliw_reference(&m, &compiled.program, &[], &[0], SimOptions::default())
-            .unwrap_err();
-    assert_eq!(decoded, reference);
-
-    let decoded = Simulator::new(&m, &compiled.program, SimOptions::default())
-        .unwrap()
-        .run(&[])
-        .unwrap_err();
-    let reference =
-        reference::run_vliw_reference(&m, &compiled.program, &[], &[], SimOptions::default())
-            .unwrap_err();
-    assert_eq!(decoded, reference);
+    for args in [&[0i32][..], &[]] {
+        let reference =
+            reference::run_vliw_reference(&m, &compiled.program, &[], args, SimOptions::default())
+                .unwrap_err();
+        for engine in [SimEngine::Decoded, SimEngine::Block] {
+            let err = Simulator::new(&m, &compiled.program, opts(engine))
+                .unwrap()
+                .run(args)
+                .unwrap_err();
+            assert_eq!(err, reference, "{engine} error for args {args:?}");
+        }
+    }
 }
 
 /// A randomized VLIW member: issue-slot count, latencies, branch penalty,
@@ -341,5 +353,121 @@ proptest! {
             regs,
         );
         assert_identical(&m, w);
+    }
+}
+
+/// The block engines' guard-failure fallback must actually be exercised
+/// and stay exact: on an I-cached machine, every *first* visit to a block
+/// finds cold lines, fails the residency probe and takes the slow path
+/// (the decoded loop body, one pc at a time), while hot revisits run as
+/// superops — and the result is still bit-identical to the reference.
+#[test]
+fn block_vliw_fallback_slow_path_exercised() {
+    let m = MachineDescription::ember4().derive("ember4-tinyic", |m| {
+        m.icache = Some(ICacheConfig {
+            size_bytes: 512,
+            line_bytes: 16,
+            ways: 1,
+            miss_penalty: 9,
+        });
+    });
+    let w = asip_workloads::by_name("fir").unwrap();
+    let module = frontend(&w);
+    let compiled = compile_module(&module, &m, None, &BackendOptions::default()).unwrap();
+    let block = BlockVliw::new(&m, &compiled.program).unwrap();
+    let got = block
+        .run_with_inputs(&w.inputs, &w.args, SimOptions::default())
+        .unwrap();
+    assert!(
+        block.slow_bundles() > 0,
+        "cold I-cache lines must exercise the slow path"
+    );
+    assert!(
+        block.fast_blocks() > 0,
+        "hot blocks must still dispatch as superops"
+    );
+    let r = reference::run_vliw_reference(
+        &m,
+        &compiled.program,
+        &w.inputs,
+        &w.args,
+        SimOptions::default(),
+    )
+    .unwrap();
+    assert_fields(&got, &r, "block fallback, fir on ember4-tinyic");
+}
+
+/// Same fallback pin for the scalar block engine, via its `slow_insts`
+/// counter.
+#[test]
+fn block_scalar_fallback_slow_path_exercised() {
+    let base = MachineDescription::all_presets()
+        .into_iter()
+        .find(|m| m.target == TargetKind::Scalar)
+        .expect("at least one scalar preset");
+    let m = base.derive(&format!("{}-tinyic", base.name), |m| {
+        m.icache = Some(ICacheConfig {
+            size_bytes: 512,
+            line_bytes: 16,
+            ways: 1,
+            miss_penalty: 9,
+        });
+    });
+    let w = asip_workloads::by_name("fir").unwrap();
+    let module = frontend(&w);
+    let compiled = compile_module_scalar(&module, &m, None, &BackendOptions::default()).unwrap();
+    let block = BlockScalar::new(&m, &compiled.program).unwrap();
+    let got = block
+        .run_with_inputs(&w.inputs, &w.args, SimOptions::default())
+        .unwrap();
+    assert!(
+        block.slow_insts() > 0,
+        "cold I-cache lines must exercise the slow path"
+    );
+    assert!(
+        block.fast_blocks() > 0,
+        "hot blocks must still dispatch as superops"
+    );
+    let r = reference::run_scalar_reference(
+        &m,
+        &compiled.program,
+        &w.inputs,
+        &w.args,
+        SimOptions::default(),
+    )
+    .unwrap();
+    assert_fields(&got, &r, "block fallback, fir on scalar tinyic");
+}
+
+/// Near the cycle limit the block engine's conservative `last_issue`
+/// entry guard must hand over to the slow path, and all three engines
+/// must agree on exactly where `CycleLimit` trips.
+#[test]
+fn block_cycle_limit_matches_other_engines() {
+    let w = asip_workloads::by_name("fir").unwrap();
+    let m = MachineDescription::ember4();
+    let module = frontend(&w);
+    let compiled = compile_module(&module, &m, None, &BackendOptions::default()).unwrap();
+    let run = |engine: SimEngine, max_cycles: u64| {
+        let mut sim =
+            Simulator::new(&m, &compiled.program, SimOptions { max_cycles, engine }).unwrap();
+        for (name, data) in &w.inputs {
+            sim.write_global(name, data);
+        }
+        sim.run(&w.args)
+    };
+    let full = run(SimEngine::Reference, SimOptions::default().max_cycles)
+        .expect("fir completes under the default limit");
+    for max_cycles in [
+        full.cycles / 2,
+        full.cycles - 1,
+        full.cycles,
+        full.cycles + 1,
+    ] {
+        let d = run(SimEngine::Decoded, max_cycles);
+        let b = run(SimEngine::Block, max_cycles);
+        let r = run(SimEngine::Reference, max_cycles);
+        assert_eq!(d, r, "decoded vs reference at max_cycles={max_cycles}");
+        assert_eq!(b, r, "block vs reference at max_cycles={max_cycles}");
     }
 }

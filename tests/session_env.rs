@@ -103,3 +103,101 @@ fn grid_threads_env_feeds_default_but_builder_wins() {
     std::env::remove_var(THREADS_ENV);
     assert_eq!(default_threads(), hw);
 }
+
+/// Simulation-engine precedence, mirroring the `ASIP_GRID_THREADS` rules:
+/// an explicit `sim_engine(..)` builder call always wins; otherwise
+/// `ASIP_SIM_ENGINE` supplies the engine; with neither, the block engine
+/// is the compiled-in default. A `.sim(..)`-carried engine is a default
+/// too — the environment outranks it.
+#[test]
+fn sim_engine_env_feeds_default_but_builder_wins() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::core::session::{default_engine, ENGINE_ENV};
+    use asip::sim::{SimEngine, SimOptions};
+
+    // Compiled-in default: the block engine.
+    std::env::remove_var(ENGINE_ENV);
+    assert_eq!(default_engine(), SimEngine::Block);
+    let s = Session::builder().build();
+    assert_eq!(s.toolchain().sim.engine, SimEngine::Block);
+
+    // Env supplies the default (names are case-insensitive)…
+    std::env::set_var(ENGINE_ENV, "reference");
+    assert_eq!(default_engine(), SimEngine::Reference);
+    assert_eq!(
+        Session::builder().build().toolchain().sim.engine,
+        SimEngine::Reference
+    );
+    std::env::set_var(ENGINE_ENV, "Decoded");
+    assert_eq!(
+        Session::builder().build().toolchain().sim.engine,
+        SimEngine::Decoded
+    );
+
+    // …and outranks an engine carried inside `.sim(..)` options…
+    std::env::set_var(ENGINE_ENV, "reference");
+    let s = Session::builder()
+        .sim(SimOptions {
+            engine: SimEngine::Decoded,
+            ..SimOptions::default()
+        })
+        .build();
+    assert_eq!(s.toolchain().sim.engine, SimEngine::Reference);
+
+    // …but an explicit `sim_engine(..)` call wins over everything.
+    let s = Session::builder().sim_engine(SimEngine::Block).build();
+    assert_eq!(s.toolchain().sim.engine, SimEngine::Block);
+
+    // Garbage falls back to the compiled-in default.
+    std::env::set_var(ENGINE_ENV, "jit-please");
+    assert_eq!(default_engine(), SimEngine::Block);
+    assert_eq!(
+        Session::builder().build().toolchain().sim.engine,
+        SimEngine::Block
+    );
+
+    std::env::remove_var(ENGINE_ENV);
+}
+
+/// The Simulate stage key deliberately omits the engine: every engine is
+/// bit-identical (pinned by the differential suite), so a result cached
+/// under one engine must be served to a session running another — and the
+/// served result must equal what the other engine would have computed.
+#[test]
+fn simulate_cache_keys_are_engine_agnostic() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::core::cache::ArtifactCache;
+    use asip::core::session::ENGINE_ENV;
+    use asip::sim::SimEngine;
+    use std::sync::Arc;
+
+    std::env::remove_var(ENGINE_ENV);
+    let cache = Arc::new(ArtifactCache::new());
+    let w = asip::workloads::by_name("fir").unwrap();
+    let m = asip::isa::MachineDescription::ember4();
+
+    let s1 = Session::builder()
+        .cache(Arc::clone(&cache))
+        .sim_engine(SimEngine::Reference)
+        .build();
+    let r1 = s1.run_workload(&w, &m).expect("reference run");
+    let stats = s1.cache_stats();
+    assert_eq!(
+        (stats.simulate.hits, stats.simulate.misses),
+        (0, 1),
+        "first run must compute"
+    );
+
+    let s2 = Session::builder()
+        .cache(Arc::clone(&cache))
+        .sim_engine(SimEngine::Block)
+        .build();
+    let r2 = s2.run_workload(&w, &m).expect("block run");
+    let stats = s2.cache_stats();
+    assert_eq!(
+        (stats.simulate.hits, stats.simulate.misses),
+        (1, 1),
+        "another engine must hit the same Simulate entry"
+    );
+    assert_eq!(r1.sim, r2.sim, "served result equals the engine's own");
+}
