@@ -61,6 +61,117 @@ impl Codec for CompiledScalarProgram {
     }
 }
 
+/// Stable wire tags: 0 = `NoEntry`, 1 = `CallsEntry`, 2 = `MissingUnit`.
+/// Never renumber.
+impl Codec for crate::lir::LowerToLirError {
+    fn encode(&self, w: &mut Writer) {
+        use crate::lir::LowerToLirError::*;
+        match self {
+            NoEntry(name) => {
+                w.put_u8(0);
+                w.put_str(name);
+            }
+            CallsEntry { caller } => {
+                w.put_u8(1);
+                w.put_str(caller);
+            }
+            MissingUnit(what) => {
+                w.put_u8(2);
+                w.put_str(what);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        use crate::lir::LowerToLirError::*;
+        Ok(match r.get_u8()? {
+            0 => NoEntry(r.get_str()?),
+            1 => CallsEntry {
+                caller: r.get_str()?,
+            },
+            2 => MissingUnit(r.get_str()?),
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "LowerToLirError",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
+impl Codec for crate::sched::ScheduleError {
+    fn encode(&self, w: &mut Writer) {
+        let crate::sched::ScheduleError::NoSlotFor { opcode, cluster } = self;
+        w.put_str(opcode);
+        w.put_u8(*cluster);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(crate::sched::ScheduleError::NoSlotFor {
+            opcode: r.get_str()?,
+            cluster: r.get_u8()?,
+        })
+    }
+}
+
+impl Codec for crate::regalloc::AllocError {
+    fn encode(&self, w: &mut Writer) {
+        let crate::regalloc::AllocError::TooFewRegisters { cluster, available } = self;
+        w.put_u8(*cluster);
+        w.put_u64(*available as u64);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(crate::regalloc::AllocError::TooFewRegisters {
+            cluster: r.get_u8()?,
+            available: r.get_u64()? as usize,
+        })
+    }
+}
+
+/// Stable wire tags: 0 = `Lower`, 1 = `Schedule`, 2 = `Alloc`,
+/// 3 = `SpillDivergence`. Never renumber.
+impl Codec for crate::BackendError {
+    fn encode(&self, w: &mut Writer) {
+        use crate::BackendError::*;
+        match self {
+            Lower(e) => {
+                w.put_u8(0);
+                e.encode(w);
+            }
+            Schedule(e) => {
+                w.put_u8(1);
+                e.encode(w);
+            }
+            Alloc(e) => {
+                w.put_u8(2);
+                e.encode(w);
+            }
+            SpillDivergence { func } => {
+                w.put_u8(3);
+                w.put_str(func);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        use crate::BackendError::*;
+        Ok(match r.get_u8()? {
+            0 => Lower(Codec::decode(r)?),
+            1 => Schedule(Codec::decode(r)?),
+            2 => Alloc(Codec::decode(r)?),
+            3 => SpillDivergence { func: r.get_str()? },
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "BackendError",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,8 +27,29 @@ fn compute_ms(session: &asip_core::Session) -> (f64, f64) {
 }
 
 fn main() {
+    // When spawned with --worker (by the shard executor below), this
+    // process becomes a protocol worker instead of a coordinator.
+    asip_serve::try_worker_main();
+
     let machines = asip_isa::MachineDescription::all_presets();
     let workloads = asip_workloads::all();
+
+    // One knob: with ASIP_SHARDS > 1 (or an explicit ShardPlan) the same
+    // grid fans out over worker processes sharing ASIP_CACHE_DIR; cells
+    // are byte-identical either way, so the report below is unchanged.
+    if let asip_serve::ShardMode::Sharded(n) = asip_serve::ShardPlan::new().mode() {
+        let grid = asip_serve::run_grid(
+            asip_bench::session(),
+            &machines,
+            &workloads,
+            &asip_serve::ShardPlan::new(),
+        )
+        .expect("sharded grid completes");
+        println!("{grid}");
+        println!("[shards] grid executed over {n} worker processes");
+        return;
+    }
+
     let session = asip_bench::session();
 
     let t0 = Instant::now();

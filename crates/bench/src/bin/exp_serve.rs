@@ -1,0 +1,118 @@
+//! E10: the evaluation service — run the N×M grid through the shard
+//! executor and verify it is byte-identical with the in-process path.
+//!
+//! Spawned with `--worker`, this binary becomes a protocol worker (the
+//! shard executor spawns copies of itself). Otherwise it runs the grid
+//! under the requested plan and prints grep-able summary lines:
+//!
+//! ```text
+//! exp_serve [--shards N] [--small] [--kill-one]
+//! ```
+//!
+//! * `--shards N` — explicit shard count (overrides `ASIP_SHARDS`; `0`/`1`
+//!   mean local).
+//! * `--small` — a reduced 2×3 grid for smoke runs.
+//! * `--kill-one` — kill worker 0 mid-run; the grid must still complete.
+//!
+//! The `[serve] grid digest:` line is a checksum over the codec-encoded,
+//! request-ordered outcomes — two invocations (local vs sharded, or
+//! sharded with a worker killed) must print the same digest.
+
+use asip_core::session::{EvalOutcome, EvalRequest};
+use asip_isa::codec::Codec;
+use asip_serve::{run_sharded, Client, ShardMode, ShardPlan, WorkerPool};
+use std::sync::{Arc, Mutex};
+
+/// FNV-1a over the request-ordered encoded outcomes: the byte-identity
+/// digest CI compares across execution modes.
+fn grid_digest(outcomes: &[EvalOutcome]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for out in outcomes {
+        for b in out.encode_to_vec() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn main() {
+    asip_serve::try_worker_main();
+
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let kill_one = args.iter().any(|a| a == "--kill-one");
+    let mut plan = ShardPlan::new();
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let n: usize = args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--shards takes a count");
+        plan = plan.shards(n);
+    }
+
+    let machines = if small {
+        vec![
+            asip_isa::MachineDescription::ember1(),
+            asip_isa::MachineDescription::ember2(),
+        ]
+    } else {
+        asip_isa::MachineDescription::all_presets()
+    };
+    let workloads = if small {
+        asip_workloads::all().into_iter().take(3).collect()
+    } else {
+        asip_workloads::all()
+    };
+    let reqs = EvalRequest::grid(&machines, &workloads);
+
+    let (mode_name, outcomes) = match plan.mode() {
+        ShardMode::Local => {
+            println!("[serve] mode: local");
+            ("local", asip_bench::session().eval_batch(&reqs))
+        }
+        ShardMode::Sharded(n) => {
+            println!("[serve] mode: sharded over {n} workers");
+            let exe = std::env::current_exe().expect("current exe");
+            let pool = WorkerPool::spawn(&exe, &[], &[], n).expect("workers spawn");
+            let addrs: Vec<String> = pool.addrs().to_vec();
+            let pool = Arc::new(Mutex::new(Some(pool)));
+            let killer = kill_one.then(|| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(150));
+                    if let Some(p) = pool.lock().unwrap().as_mut() {
+                        p.kill(0);
+                        println!("[serve] killed worker 0 mid-run");
+                    }
+                })
+            });
+            let outcomes = run_sharded(&addrs, &reqs, 3).expect("sharded grid completes");
+            if let Some(k) = killer {
+                let _ = k.join();
+            }
+            let mut disk_hits = 0u64;
+            for addr in &addrs {
+                if let Ok(mut c) = Client::connect(addr) {
+                    if let Ok(s) = c.stats() {
+                        disk_hits += s.cache.disk.hits;
+                    }
+                }
+            }
+            println!("[serve] disk hits across workers: {disk_hits}");
+            if let Some(p) = pool.lock().unwrap().take() {
+                p.shutdown();
+            }
+            ("sharded", outcomes)
+        }
+    };
+
+    let grid = asip_serve::grid_from_outcomes(&machines, &workloads, outcomes.clone(), 1);
+    println!("{grid}");
+    println!(
+        "[serve] grid digest: {:016x} ({} cells, {} failures, {mode_name})",
+        grid_digest(&outcomes),
+        outcomes.len(),
+        grid.failures()
+    );
+}

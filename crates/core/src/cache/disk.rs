@@ -60,9 +60,15 @@ struct DiskInner {
     /// Approximate total bytes of entry files (ground truth is re-scanned
     /// before any eviction pass).
     resident_bytes: u64,
-    /// Sequence for unique temporary file names within this store.
-    tmp_seq: u64,
 }
+
+/// Process-wide sequence for unique temporary file names. Tmp names embed
+/// the pid, which distinguishes *processes* sharing a cache directory; this
+/// counter distinguishes *stores* (and threads) within one process — a
+/// per-instance sequence would let two `DiskStore`s opened on the same
+/// directory both write `.tmp-<pid>-1` and race each other into a torn
+/// entry.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl DiskStore {
     /// Open (or create) the store at `config.dir`.
@@ -77,10 +83,7 @@ impl DiskStore {
         }
         let store = DiskStore {
             config,
-            inner: Mutex::new(DiskInner {
-                resident_bytes: 0,
-                tmp_seq: 0,
-            }),
+            inner: Mutex::new(DiskInner { resident_bytes: 0 }),
             hits: AtomicU64::new(0),
             loads: AtomicU64::new(0),
             stores: AtomicU64::new(0),
@@ -249,13 +252,11 @@ impl CacheStore for DiskStore {
             return;
         }
         let path = self.path_for(stage, key);
-        let tmp = {
-            let mut inner = self.inner.lock().unwrap();
-            inner.tmp_seq += 1;
-            self.config
-                .dir
-                .join(format!(".tmp-{}-{}", std::process::id(), inner.tmp_seq))
-        };
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .config
+            .dir
+            .join(format!(".tmp-{}-{}", std::process::id(), seq));
         if fs::write(&tmp, &entry).is_err() {
             let _ = fs::remove_file(&tmp);
             return;
@@ -436,6 +437,44 @@ mod tests {
         drop(f);
         let _s = DiskStore::open(DiskTierConfig::new(&dir));
         assert!(!orphan.exists(), "open must reclaim orphaned tmp files");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_key_never_tear_an_entry() {
+        // Two independently opened stores on one directory (the shard
+        // executor's sharing pattern) hammer the same key from several
+        // threads each. Every interleaved load must return one of the
+        // *complete* payloads — a torn entry would fail verification and
+        // count a stale drop.
+        let dir = tmp_dir("hammer");
+        let a = DiskStore::open(DiskTierConfig::new(&dir));
+        let b = DiskStore::open(DiskTierConfig::new(&dir));
+        let payload_for = |i: u64| vec![(i & 0xff) as u8; 4096 + (i % 7) as usize];
+        std::thread::scope(|scope| {
+            for (store, salt) in [(&a, 0u64), (&b, 1000u64)] {
+                for t in 0..2u64 {
+                    scope.spawn(move || {
+                        for i in 0..50 {
+                            let v = salt + t * 100 + i;
+                            store.store(StageKind::Simulate, "hot-key", &payload_for(v));
+                            if let Some(got) = store.load(StageKind::Simulate, "hot-key") {
+                                assert!(
+                                    got.len() >= 4096 && got.len() < 4103,
+                                    "unexpected payload shape: {} bytes",
+                                    got.len()
+                                );
+                                assert!(got.iter().all(|&x| x == got[0]), "torn payload");
+                            }
+                        }
+                    });
+                }
+            }
+        });
+        for s in [&a, &b] {
+            let t = s.stats();
+            assert_eq!(t.stale_drops, 0, "no load may ever see a torn entry: {t}");
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

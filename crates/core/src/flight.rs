@@ -1,0 +1,170 @@
+//! In-flight request coalescing: a process-local single-flight map.
+//!
+//! The artifact cache already dedups *repeated* work; this seam dedups
+//! *concurrent* identical work. When K callers ask for the same key while
+//! the first is still computing, one becomes the **leader** and runs the
+//! computation; the rest block on a condvar and clone the leader's result.
+//! The evaluation server (`asip_serve`) keys this map by the
+//! codec-rendered [`EvalRequest`](crate::session::EvalRequest), so K
+//! clients hammering one cell cost exactly one compute — the coalescing
+//! test pins that via [`CacheStats`](crate::cache::CacheStats) miss
+//! counts.
+//!
+//! The map holds only in-flight entries: the leader removes its key before
+//! returning, so a later identical call computes again (and is then served
+//! by the cache). Leaders must not panic while computing — the session's
+//! evaluation path reports every failure as a typed
+//! [`ToolchainError`](crate::pipeline::ToolchainError) value, never a
+//! panic, so this invariant holds by construction.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One in-flight computation: the leader publishes into `done` and wakes
+/// every follower.
+struct Flight<T> {
+    done: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+/// A single-flight map from byte-string keys to computations of `T`.
+///
+/// Cheap to share behind an [`Arc`]; an empty map costs one mutex.
+pub struct SingleFlight<T> {
+    inflight: Mutex<HashMap<Vec<u8>, Arc<Flight<T>>>>,
+}
+
+impl<T> Default for SingleFlight<T> {
+    fn default() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SingleFlight<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.inflight.lock().map(|m| m.len()).unwrap_or(0);
+        write!(f, "SingleFlight({n} in flight)")
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `compute` under `key`, coalescing with any identical in-flight
+    /// call: exactly one concurrent caller per key executes `compute`; the
+    /// others block and clone its result. Returns the value and whether
+    /// this caller **led** the computation (for per-client attribution).
+    pub fn run(&self, key: Vec<u8>, compute: impl FnOnce() -> T) -> (T, bool) {
+        let (flight, leader) = {
+            let mut map = self.inflight.lock().unwrap();
+            match map.entry(key.clone()) {
+                Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                Entry::Vacant(v) => {
+                    let f = Arc::new(Flight {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    v.insert(Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if leader {
+            let value = compute();
+            // Unlink first: a caller arriving after the result is published
+            // must start a fresh flight (the cache serves repeats).
+            self.inflight.lock().unwrap().remove(&key);
+            *flight.done.lock().unwrap() = Some(value.clone());
+            flight.cv.notify_all();
+            (value, true)
+        } else {
+            let mut done = flight.done.lock().unwrap();
+            while done.is_none() {
+                done = flight.cv.wait(done).unwrap();
+            }
+            (
+                done.clone().expect("leader published before notifying"),
+                false,
+            )
+        }
+    }
+
+    /// Number of computations currently in flight.
+    pub fn len(&self) -> usize {
+        self.inflight.lock().unwrap().len()
+    }
+
+    /// Whether no computation is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let flights = SingleFlight::<u64>::new();
+        let computes = AtomicUsize::new(0);
+        let gate = std::sync::Barrier::new(8);
+        let mut leaders = 0usize;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    scope.spawn(|| {
+                        gate.wait();
+                        flights.run(b"cell".to_vec(), || {
+                            computes.fetch_add(1, Ordering::Relaxed);
+                            // Hold the flight open long enough for every
+                            // follower to join it.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            42u64
+                        })
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (v, led) = h.join().unwrap();
+                assert_eq!(v, 42);
+                leaders += usize::from(led);
+            }
+        });
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "one compute total");
+        assert_eq!(leaders, 1, "exactly one leader");
+        assert!(flights.is_empty(), "flights unlink after completion");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flights = SingleFlight::<u64>::new();
+        let (a, led_a) = flights.run(b"a".to_vec(), || 1);
+        let (b, led_b) = flights.run(b"b".to_vec(), || 2);
+        assert_eq!((a, b), (1, 2));
+        assert!(led_a && led_b);
+    }
+
+    #[test]
+    fn sequential_calls_recompute() {
+        // The map only dedups *concurrent* work; repeats are the cache's job.
+        let flights = SingleFlight::<u64>::new();
+        let computes = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (v, led) = flights.run(b"k".to_vec(), || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                7
+            });
+            assert_eq!(v, 7);
+            assert!(led);
+        }
+        assert_eq!(computes.load(Ordering::Relaxed), 3);
+    }
+}

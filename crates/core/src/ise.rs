@@ -42,7 +42,7 @@ impl Default for IseConfig {
 }
 
 /// One selected extension, for reports.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectedOp {
     /// The definition added to the machine and module.
     pub def: CustomOpDef,
@@ -53,7 +53,7 @@ pub struct SelectedOp {
 }
 
 /// Outcome of an ISE run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IseReport {
     /// Selected operations in selection order.
     pub selected: Vec<SelectedOp>,

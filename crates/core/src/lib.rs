@@ -60,7 +60,9 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod codec;
 pub mod dse;
+pub mod flight;
 pub mod ise;
 pub mod nxm;
 pub mod pipeline;
@@ -70,5 +72,6 @@ pub use cache::{
     ArtifactCache, CacheConfig, CacheStats, CacheStore, DiskStore, DiskTierConfig, MemoryStore,
     StageKind, StageStats, StageTimes, TierStats,
 };
+pub use flight::SingleFlight;
 pub use pipeline::{CompiledArtifact, Toolchain, ToolchainError, WorkloadRun};
 pub use session::{EvalOptions, EvalOutcome, EvalRequest, EvalRun, Session, SessionBuilder};

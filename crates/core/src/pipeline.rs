@@ -277,7 +277,7 @@ impl CompiledArtifact {
 }
 
 /// Result of running one workload on one machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadRun {
     /// Workload name.
     pub workload: String,

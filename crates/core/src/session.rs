@@ -42,6 +42,7 @@ use crate::cache::{
     default_cache_bytes, default_cache_dir, ArtifactCache, CacheConfig, CacheStats, DiskTierConfig,
     StageTimes, DEFAULT_DISK_CACHE_BYTES,
 };
+use crate::flight::SingleFlight;
 use crate::ise::{extend, IseConfig, IseReport};
 use crate::pipeline::{Toolchain, ToolchainError, WorkloadRun};
 use asip_backend::BackendOptions;
@@ -242,6 +243,7 @@ impl SessionBuilder {
         Session {
             tc,
             threads: self.threads.unwrap_or_else(default_threads),
+            flights: Arc::new(SingleFlight::new()),
         }
     }
 }
@@ -258,7 +260,7 @@ pub struct EvalOptions {
 }
 
 /// One cell of work: run `workload` on `machine` under `options`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalRequest {
     /// The workload to compile and simulate.
     pub workload: Workload,
@@ -300,7 +302,7 @@ impl EvalRequest {
 }
 
 /// The successful payload of an evaluation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalRun {
     /// The golden-checked run (cycles, stalls, energy activity, code size).
     pub run: WorkloadRun,
@@ -313,7 +315,7 @@ pub struct EvalRun {
 
 /// Result of one [`EvalRequest`]: names for reporting plus the typed
 /// outcome ([`EvalRun`] or [`ToolchainError`] — never a stringly error).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EvalOutcome {
     /// Workload name (from the request).
     pub workload: String,
@@ -344,6 +346,7 @@ impl EvalOutcome {
 pub struct Session {
     tc: Toolchain,
     threads: usize,
+    flights: Arc<SingleFlight<EvalOutcome>>,
 }
 
 impl Default for Session {
@@ -364,6 +367,7 @@ impl Session {
         Session {
             tc,
             threads: default_threads(),
+            flights: Arc::new(SingleFlight::new()),
         }
     }
 
@@ -382,14 +386,18 @@ impl Session {
         Session {
             tc: self.tc.clone(),
             threads: threads.max(1),
+            flights: Arc::clone(&self.flights),
         }
     }
 
     /// This session with a new, empty, unshared cache (same configuration).
+    /// The single-flight map is fresh too: coalesced results always come
+    /// from this session's own cache.
     pub fn fresh_cache(&self) -> Session {
         Session {
             tc: self.tc.fresh_cache(),
             threads: self.threads,
+            flights: Arc::new(SingleFlight::new()),
         }
     }
 
@@ -429,6 +437,23 @@ impl Session {
             machine: req.machine.name.clone(),
             result: self.eval_inner(req),
         }
+    }
+
+    /// Evaluate one request, **coalescing** with any identical request
+    /// currently in flight on this session (or its `with_threads`/`clone`
+    /// derivatives): one caller computes, concurrent duplicates block and
+    /// clone the result. Returns the outcome plus whether this call *led*
+    /// the computation — the evaluation server uses the flag for
+    /// per-client attribution. Keyed by the codec-rendered request, so
+    /// coalescing can never conflate distinct cells.
+    ///
+    /// Unlike the artifact cache this dedups only *concurrent* work:
+    /// sequential repeats recompute (and are then served by the cache), so
+    /// plain [`Session::eval`]/[`Session::eval_batch`] counters are
+    /// unaffected by this path existing.
+    pub fn eval_coalesced(&self, req: &EvalRequest) -> (EvalOutcome, bool) {
+        use asip_isa::codec::Codec;
+        self.flights.run(req.encode_to_vec(), || self.eval(req))
     }
 
     fn eval_inner(&self, req: &EvalRequest) -> Result<EvalRun, ToolchainError> {

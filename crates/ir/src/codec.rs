@@ -361,6 +361,52 @@ impl Codec for Profile {
     }
 }
 
+/// Stable wire tags: 0 = `DivByZero`, 1 = `OutOfBounds`, 2 = `StepLimit`,
+/// 3 = `StackOverflow`, 4 = `NoEntry`, 5 = `BadCustom`, 6 = `OutOfMemory`.
+/// Never renumber.
+impl Codec for crate::interp::InterpError {
+    fn encode(&self, w: &mut Writer) {
+        use crate::interp::InterpError::*;
+        match self {
+            DivByZero => w.put_u8(0),
+            OutOfBounds(addr) => {
+                w.put_u8(1);
+                w.put_u64(*addr as u64);
+            }
+            StepLimit => w.put_u8(2),
+            StackOverflow => w.put_u8(3),
+            NoEntry(name) => {
+                w.put_u8(4);
+                w.put_str(name);
+            }
+            BadCustom(msg) => {
+                w.put_u8(5);
+                w.put_str(msg);
+            }
+            OutOfMemory => w.put_u8(6),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        use crate::interp::InterpError::*;
+        Ok(match r.get_u8()? {
+            0 => DivByZero,
+            1 => OutOfBounds(r.get_u64()? as i64),
+            2 => StepLimit,
+            3 => StackOverflow,
+            4 => NoEntry(r.get_str()?),
+            5 => BadCustom(r.get_str()?),
+            6 => OutOfMemory,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "InterpError",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

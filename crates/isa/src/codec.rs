@@ -24,7 +24,8 @@
 use crate::code::{Bundle, FuncSym, GlobalSym, MachineOp, VliwProgram};
 use crate::custom::{CustomOpDef, PatNode, PatRef};
 use crate::hwmodel::ActivityCounts;
-use crate::op::Opcode;
+use crate::machine::{Encoding, ICacheConfig, MachineDescription, Slot, TargetKind};
+use crate::op::{FuKind, Opcode};
 use crate::reg::{Operand, Reg};
 use crate::scalar::ScalarProgram;
 use std::fmt;
@@ -695,6 +696,161 @@ impl Codec for CustomOpDef {
     }
 }
 
+impl Codec for FuKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            FuKind::Alu => 0,
+            FuKind::Mul => 1,
+            FuKind::Mem => 2,
+            FuKind::Branch => 3,
+            FuKind::Custom => 4,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => FuKind::Alu,
+            1 => FuKind::Mul,
+            2 => FuKind::Mem,
+            3 => FuKind::Branch,
+            4 => FuKind::Custom,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "FuKind",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
+impl Codec for TargetKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            TargetKind::Vliw => 0,
+            TargetKind::Scalar => 1,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => TargetKind::Vliw,
+            1 => TargetKind::Scalar,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "TargetKind",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
+impl Codec for Encoding {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            Encoding::Uncompressed => 0,
+            Encoding::StopBit => 1,
+            Encoding::Compact16 => 2,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => Encoding::Uncompressed,
+            1 => Encoding::StopBit,
+            2 => Encoding::Compact16,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "Encoding",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
+/// Slots travel as their functional-unit kind list; decoding rebuilds the
+/// slot through [`Slot::new`], whose sort + dedup is idempotent on the
+/// already-canonical encoded list, so round-trips are exact.
+impl Codec for Slot {
+    fn encode(&self, w: &mut Writer) {
+        self.kinds().to_vec().encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let kinds: Vec<FuKind> = Vec::decode(r)?;
+        Ok(Slot::new(&kinds))
+    }
+}
+
+impl Codec for ICacheConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u32(self.size_bytes);
+        w.put_u32(self.line_bytes);
+        w.put_u32(self.ways);
+        w.put_u32(self.miss_penalty);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ICacheConfig {
+            size_bytes: r.get_u32()?,
+            line_bytes: r.get_u32()?,
+            ways: r.get_u32()?,
+            miss_penalty: r.get_u32()?,
+        })
+    }
+}
+
+/// The complete machine table, custom operations included — unlike the
+/// description DSL ([`crate::desc::print_machine`]), which deliberately
+/// omits selected custom ops, this encoding is lossless: it is what lets
+/// an evaluation request (and an ISE-extended machine inside an outcome)
+/// cross a process boundary byte-exactly.
+impl Codec for MachineDescription {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        self.target.encode(w);
+        w.put_u8(self.clusters);
+        w.put_u16(self.regs_per_cluster);
+        self.slots.encode(w);
+        w.put_u32(self.lat_mul);
+        w.put_u32(self.lat_div);
+        w.put_u32(self.lat_mem);
+        w.put_u32(self.branch_penalty);
+        w.put_bool(self.forwarding);
+        w.put_u32(self.copy_latency);
+        self.encoding.encode(w);
+        self.icache.encode(w);
+        w.put_bool(self.gate_idle_slots);
+        self.custom_ops.encode(w);
+        w.put_bool(self.compat_control);
+        w.put_u32(self.dmem_words);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MachineDescription {
+            name: r.get_str()?,
+            target: TargetKind::decode(r)?,
+            clusters: r.get_u8()?,
+            regs_per_cluster: r.get_u16()?,
+            slots: Vec::decode(r)?,
+            lat_mul: r.get_u32()?,
+            lat_div: r.get_u32()?,
+            lat_mem: r.get_u32()?,
+            branch_penalty: r.get_u32()?,
+            forwarding: r.get_bool()?,
+            copy_latency: r.get_u32()?,
+            encoding: Encoding::decode(r)?,
+            icache: Option::decode(r)?,
+            gate_idle_slots: r.get_bool()?,
+            custom_ops: Vec::decode(r)?,
+            compat_control: r.get_bool()?,
+            dmem_words: r.get_u32()?,
+        })
+    }
+}
+
 impl Codec for VliwProgram {
     fn encode(&self, w: &mut Writer) {
         w.put_str(&self.machine);
@@ -841,6 +997,17 @@ mod tests {
             data_words: 19,
         };
         roundtrip(&s);
+    }
+
+    #[test]
+    fn machine_descriptions_roundtrip_custom_ops_included() {
+        for mut m in MachineDescription::all_presets() {
+            roundtrip(&m);
+            // Unlike the DSL, selected custom ops survive the encoding.
+            m.custom_ops.push(mac_op());
+            roundtrip(&m);
+        }
+        assert!(MachineDescription::decode_all(&[0xff; 3]).is_err());
     }
 
     #[test]

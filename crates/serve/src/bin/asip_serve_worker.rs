@@ -1,0 +1,9 @@
+//! Minimal evaluation worker: serves the wire protocol on an ephemeral
+//! port configured entirely from the environment. Used by the shard
+//! integration tests and the CI smoke job; `exp_serve` is the featureful
+//! front-end.
+
+fn main() {
+    // With or without --worker this binary has exactly one job.
+    asip_serve::worker_main();
+}

@@ -1,0 +1,162 @@
+//! The client side of the evaluation service: a blocking request/response
+//! connection speaking the [`wire`](crate::wire) protocol.
+
+use crate::wire::{read_frame, write_frame, Message, ProtocolError, StatsReply};
+use asip_core::session::{EvalOutcome, EvalRequest};
+use std::fmt;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+
+/// Everything a service interaction can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The wire protocol failed (transport included).
+    Protocol(ProtocolError),
+    /// The server rejected the batch under admission control; retry later.
+    Busy {
+        /// Cells in flight when the server rejected the batch.
+        in_flight: u64,
+        /// The server's admission limit.
+        limit: u64,
+    },
+    /// The server answered with a message the request never elicits.
+    Unexpected {
+        /// The reply's name.
+        got: &'static str,
+    },
+    /// A worker process could not be spawned or never reported an address.
+    Spawn(String),
+    /// A shard's cells could not be completed within the retry budget
+    /// (its worker died or stayed busy, and every re-dispatch failed too).
+    ShardFailed {
+        /// Original shard index.
+        shard: usize,
+        /// Cells left incomplete.
+        cells: usize,
+        /// Dispatch attempts consumed.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol(e) => write!(f, "protocol: {e}"),
+            ServeError::Busy { in_flight, limit } => {
+                write!(f, "server busy ({in_flight}/{limit} cells in flight)")
+            }
+            ServeError::Unexpected { got } => write!(f, "unexpected reply {got}"),
+            ServeError::Spawn(msg) => write!(f, "worker spawn: {msg}"),
+            ServeError::ShardFailed {
+                shard,
+                cells,
+                attempts,
+            } => write!(
+                f,
+                "shard {shard} failed: {cells} cells incomplete after {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Protocol(ProtocolError::Io(e))
+    }
+}
+
+/// A connection to an evaluation server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Client({:?})", self.reader.get_ref().peer_addr())
+    }
+}
+
+impl Client {
+    /// Connect to a server at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] on connection failure.
+    pub fn connect(addr: &str) -> Result<Client, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, msg: &Message) -> Result<Message, ServeError> {
+        write_frame(&mut self.writer, msg)?;
+        Ok(read_frame(&mut self.reader)?)
+    }
+
+    /// Evaluate a batch of cells; outcomes come back request-ordered and
+    /// byte-identical to a local
+    /// [`Session::eval_batch`](asip_core::session::Session::eval_batch)
+    /// of the same requests.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Busy`] under server overload (retryable), or any
+    /// [`ServeError::Protocol`].
+    pub fn eval(&mut self, reqs: &[EvalRequest]) -> Result<Vec<EvalOutcome>, ServeError> {
+        match self.call(&Message::Eval(reqs.to_vec()))? {
+            Message::Outcomes(outs) => Ok(outs),
+            Message::Busy { in_flight, limit } => Err(ServeError::Busy { in_flight, limit }),
+            other => Err(ServeError::Unexpected { got: other.name() }),
+        }
+    }
+
+    /// Fetch the server's cache counters and per-client attribution table.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Protocol`] or an unexpected reply.
+    pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
+        match self.call(&Message::Stats)? {
+            Message::StatsReply(s) => Ok(*s),
+            other => Err(ServeError::Unexpected { got: other.name() }),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Protocol`] or an unexpected reply.
+    pub fn ping(&mut self) -> Result<(), ServeError> {
+        match self.call(&Message::Ping)? {
+            Message::Pong => Ok(()),
+            other => Err(ServeError::Unexpected { got: other.name() }),
+        }
+    }
+
+    /// Ask the server to stop accepting connections and exit its serve
+    /// loop. The connection is consumed — the server hangs up after
+    /// acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Protocol`] or an unexpected reply.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        match self.call(&Message::Shutdown)? {
+            Message::Pong => Ok(()),
+            other => Err(ServeError::Unexpected { got: other.name() }),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Evaluation service for the ASIP toolchain: serve
+//! [`Session`](asip_core::session::Session) evaluations over a wire
+//! protocol, and shard N×M grids across worker processes.
+//!
+//! Three layers, bottom up:
+//!
+//! - [`wire`] — a length-prefixed, version-stamped, checksummed binary
+//!   framing of [`EvalRequest`](asip_core::session::EvalRequest) /
+//!   [`EvalOutcome`](asip_core::session::EvalOutcome) built on
+//!   `asip_isa::codec`. Malformed frames decode to typed
+//!   [`ProtocolError`]s — never a panic, never a hang.
+//! - [`server`] / [`client`] — a long-running front-end over one shared
+//!   session: thread-per-connection TCP, bounded admission control
+//!   (overload answers a typed `Busy`), in-flight coalescing of identical
+//!   cells, and per-client cache-hit attribution via the `Stats` RPC.
+//! - [`shard`] / [`worker`] — a coordinator that partitions a grid
+//!   deterministically across N spawned worker processes sharing one
+//!   `ASIP_CACHE_DIR`, merges request-ordered results byte-identical with
+//!   the single-process path, and re-dispatches the cells of a killed
+//!   worker (typed [`ServeError::ShardFailed`] after the retry budget).
+//!
+//! The one-knob entry point is [`run_grid`]: `ShardPlan::new()` follows
+//! the `ASIP_SHARDS` environment variable, an explicit
+//! [`ShardPlan::shards`] call wins over it.
+//!
+//! ```no_run
+//! use asip_serve::{run_grid, try_worker_main, ShardPlan};
+//!
+//! try_worker_main(); // become a worker when spawned with --worker
+//! let session = asip_core::session::Session::builder().build();
+//! let machines = vec![asip_isa::MachineDescription::ember1()];
+//! let workloads = asip_workloads::all();
+//! let grid = run_grid(&session, &machines, &workloads, &ShardPlan::new().shards(2)).unwrap();
+//! println!("{grid}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod shard;
+pub mod wire;
+pub mod worker;
+
+pub use client::{Client, ServeError};
+pub use server::{EvalServer, ServerConfig};
+pub use shard::{
+    default_shard_mode, grid_from_outcomes, run_grid, run_sharded, ShardMode, ShardPlan,
+    WorkerPool, SHARDS_ENV,
+};
+pub use wire::{read_frame, write_frame, ClientStats, Message, ProtocolError, StatsReply};
+pub use worker::{serve_worker, try_worker_main, worker_main, worker_requested, WORKER_FLAG};

@@ -1,0 +1,394 @@
+//! The long-running evaluation server: a TCP listener over one shared
+//! [`Session`], one thread per connection, with bounded admission control,
+//! in-flight coalescing and per-client attribution.
+//!
+//! * **Admission control** — the server tracks cells in flight across all
+//!   connections; an `Eval` batch that would push the total past the
+//!   configured limit is answered with a typed [`Message::Busy`] instead of
+//!   queueing unboundedly. The client retries; nothing blocks.
+//! * **Coalescing** — cells evaluate through
+//!   [`Session::eval_coalesced`], so identical cells requested concurrently
+//!   by different clients dedup to one computation (the cache-key seam:
+//!   flights are keyed by the codec-rendered request).
+//! * **Attribution** — every connection accumulates [`ClientStats`]:
+//!   requests, cells, led vs coalesced computations, busy rejections, and
+//!   the cache-counter delta around the cells it led. The `Stats` RPC
+//!   returns the global [`CacheStats`] plus the per-client table.
+
+use crate::wire::{read_frame, write_frame, ClientStats, Message, StatsReply};
+use asip_core::cache::CacheStats;
+use asip_core::session::{EvalOutcome, EvalRequest, Session};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum cells in flight across all connections; an `Eval` batch
+    /// that would exceed it is rejected with [`Message::Busy`].
+    pub max_in_flight_cells: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_in_flight_cells: 1024,
+        }
+    }
+}
+
+/// Fieldwise counter difference `after - before` (saturating), used for
+/// per-client attribution snapshots.
+fn stats_delta(after: &CacheStats, before: &CacheStats) -> CacheStats {
+    use asip_core::cache::{StageStats, TierStats};
+    let stage = |a: &StageStats, b: &StageStats| StageStats {
+        hits: a.hits.saturating_sub(b.hits),
+        misses: a.misses.saturating_sub(b.misses),
+    };
+    let tier = |a: &TierStats, b: &TierStats| TierStats {
+        hits: a.hits.saturating_sub(b.hits),
+        loads: a.loads.saturating_sub(b.loads),
+        stores: a.stores.saturating_sub(b.stores),
+        stale_drops: a.stale_drops.saturating_sub(b.stale_drops),
+        evictions: a.evictions.saturating_sub(b.evictions),
+        resident_bytes: a.resident_bytes, // a level, not a counter
+        entries: a.entries,
+    };
+    CacheStats {
+        parse: stage(&after.parse, &before.parse),
+        optimize: stage(&after.optimize, &before.optimize),
+        profile: stage(&after.profile, &before.profile),
+        compile: stage(&after.compile, &before.compile),
+        simulate: stage(&after.simulate, &before.simulate),
+        decode: stage(&after.decode, &before.decode),
+        evictions: after.evictions.saturating_sub(before.evictions),
+        resident_bytes: after.resident_bytes,
+        mem: tier(&after.mem, &before.mem),
+        disk: tier(&after.disk, &before.disk),
+        has_disk: after.has_disk,
+    }
+}
+
+/// Fieldwise counter sum `into += add` for accumulating attribution deltas.
+fn stats_accumulate(into: &mut CacheStats, add: &CacheStats) {
+    use asip_core::cache::{StageStats, TierStats};
+    let stage = |i: &mut StageStats, a: &StageStats| {
+        i.hits += a.hits;
+        i.misses += a.misses;
+    };
+    let tier = |i: &mut TierStats, a: &TierStats| {
+        i.hits += a.hits;
+        i.loads += a.loads;
+        i.stores += a.stores;
+        i.stale_drops += a.stale_drops;
+        i.evictions += a.evictions;
+        i.resident_bytes = a.resident_bytes;
+        i.entries = a.entries;
+    };
+    stage(&mut into.parse, &add.parse);
+    stage(&mut into.optimize, &add.optimize);
+    stage(&mut into.profile, &add.profile);
+    stage(&mut into.compile, &add.compile);
+    stage(&mut into.simulate, &add.simulate);
+    stage(&mut into.decode, &add.decode);
+    into.evictions += add.evictions;
+    into.resident_bytes = add.resident_bytes;
+    tier(&mut into.mem, &add.mem);
+    tier(&mut into.disk, &add.disk);
+    into.has_disk = add.has_disk;
+}
+
+struct ServerShared {
+    session: Session,
+    limit: u64,
+    in_flight: AtomicU64,
+    stopping: AtomicBool,
+    clients: Mutex<BTreeMap<String, ClientStats>>,
+}
+
+/// RAII admission reservation: returns the cells to the pool on drop, so
+/// a panicking connection can never leak capacity.
+struct Admission<'a> {
+    shared: &'a ServerShared,
+    cells: u64,
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        self.shared
+            .in_flight
+            .fetch_sub(self.cells, Ordering::AcqRel);
+    }
+}
+
+impl ServerShared {
+    /// Try to reserve `cells` units of admission capacity.
+    fn admit(&self, cells: u64) -> Result<Admission<'_>, u64> {
+        let mut cur = self.in_flight.load(Ordering::Acquire);
+        loop {
+            if cur + cells > self.limit {
+                return Err(cur);
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + cells,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    return Ok(Admission {
+                        shared: self,
+                        cells,
+                    })
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn with_client<R>(&self, id: &str, f: impl FnOnce(&mut ClientStats) -> R) -> R {
+        let mut clients = self.clients.lock().unwrap();
+        let entry = clients
+            .entry(id.to_string())
+            .or_insert_with(|| ClientStats {
+                client: id.to_string(),
+                ..ClientStats::default()
+            });
+        f(entry)
+    }
+}
+
+/// A bound evaluation server. Create with [`EvalServer::bind`], then either
+/// block in [`EvalServer::serve`] or detach it with [`EvalServer::spawn`].
+pub struct EvalServer {
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+}
+
+impl EvalServer {
+    /// Bind a listener at `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port) serving `session`.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level [`io::Error`].
+    pub fn bind(session: Session, addr: &str, config: ServerConfig) -> io::Result<EvalServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(EvalServer {
+            listener,
+            shared: Arc::new(ServerShared {
+                session,
+                limit: config.max_in_flight_cells,
+                in_flight: AtomicU64::new(0),
+                stopping: AtomicBool::new(false),
+                clients: Mutex::new(BTreeMap::new()),
+            }),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level [`io::Error`].
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections until a client sends [`Message::Shutdown`].
+    /// Each connection gets its own thread; evaluation runs on the shared
+    /// session (whose own worker pool parallelizes within a batch).
+    pub fn serve(self) {
+        for conn in self.listener.incoming() {
+            if self.shared.stopping.load(Ordering::Acquire) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || handle_connection(stream, &shared));
+        }
+    }
+
+    /// [`EvalServer::serve`] on a background thread; returns the bound
+    /// address and the join handle.
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level [`io::Error`].
+    pub fn spawn(self) -> io::Result<(std::net::SocketAddr, std::thread::JoinHandle<()>)> {
+        let addr = self.local_addr()?;
+        let handle = std::thread::spawn(move || self.serve());
+        Ok((addr, handle))
+    }
+}
+
+/// Evaluate a batch through [`Session::eval_coalesced`] on the session's
+/// worker pool: same shared-cursor/slot discipline as
+/// [`Session::eval_batch`], so results are request-ordered and
+/// thread-count-invariant, but concurrent identical cells (across *all*
+/// server connections) dedup to one computation. Returns the outcomes plus
+/// how many cells this caller led.
+fn eval_batch_coalesced(session: &Session, reqs: &[EvalRequest]) -> (Vec<EvalOutcome>, u64) {
+    use std::sync::atomic::AtomicUsize;
+    let n = reqs.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let threads = session.threads().min(n).max(1);
+    if threads <= 1 {
+        let mut led_total = 0;
+        let outs = reqs
+            .iter()
+            .map(|r| {
+                let (o, led) = session.eval_coalesced(r);
+                led_total += u64::from(led);
+                o
+            })
+            .collect();
+        return (outs, led_total);
+    }
+    let slots: Mutex<Vec<Option<EvalOutcome>>> = Mutex::new(vec![None; n]);
+    let cursor = AtomicUsize::new(0);
+    let led_total = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (outcome, led) = session.eval_coalesced(&reqs[i]);
+                led_total.fetch_add(u64::from(led), Ordering::Relaxed);
+                slots.lock().unwrap()[i] = Some(outcome);
+            });
+        }
+    });
+    let outs = slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("every batch slot is filled by a worker"))
+        .collect();
+    (outs, led_total.into_inner())
+}
+
+fn handle_connection(stream: TcpStream, shared: &ServerShared) {
+    let client_id = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let mut reader = io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = io::BufWriter::new(stream);
+    loop {
+        // A typed protocol failure or transport error ends the connection;
+        // the process never panics on a malformed frame.
+        let Ok(msg) = read_frame(&mut reader) else {
+            return;
+        };
+        let reply = match msg {
+            Message::Eval(reqs) => {
+                let cells = reqs.len() as u64;
+                match shared.admit(cells) {
+                    Err(in_flight) => {
+                        shared.with_client(&client_id, |c| {
+                            c.requests += 1;
+                            c.busy_rejections += 1;
+                        });
+                        Message::Busy {
+                            in_flight,
+                            limit: shared.limit,
+                        }
+                    }
+                    Ok(admission) => {
+                        let before = shared.session.cache_stats();
+                        let (outcomes, led) = eval_batch_coalesced(&shared.session, &reqs);
+                        let after = shared.session.cache_stats();
+                        drop(admission);
+                        shared.with_client(&client_id, |c| {
+                            c.requests += 1;
+                            c.cells += cells;
+                            c.led += led;
+                            c.coalesced += cells - led;
+                            if led > 0 {
+                                stats_accumulate(&mut c.attributed, &stats_delta(&after, &before));
+                            }
+                        });
+                        Message::Outcomes(outcomes)
+                    }
+                }
+            }
+            Message::Stats => {
+                let clients = shared.clients.lock().unwrap().values().cloned().collect();
+                Message::StatsReply(Box::new(StatsReply {
+                    cache: shared.session.cache_stats(),
+                    clients,
+                }))
+            }
+            Message::Ping => Message::Pong,
+            Message::Shutdown => {
+                shared.stopping.store(true, Ordering::Release);
+                let _ = write_frame(&mut writer, &Message::Pong);
+                // Unblock the accept loop so `serve` observes the flag.
+                if let Ok(addr) = reader.get_ref().local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return;
+            }
+            // A response kind arriving as a request: answer Pong and keep
+            // the connection usable rather than killing it.
+            _ => Message::Pong,
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_core::cache::StageStats;
+
+    #[test]
+    fn admission_is_a_bounded_counter() {
+        let shared = ServerShared {
+            session: Session::builder().threads(1).cache_bytes(0).build(),
+            limit: 10,
+            in_flight: AtomicU64::new(0),
+            stopping: AtomicBool::new(false),
+            clients: Mutex::new(BTreeMap::new()),
+        };
+        let a = shared.admit(6).expect("6 fits");
+        let err = shared.admit(5).err().expect("6+5 over limit");
+        assert_eq!(err, 6);
+        let b = shared.admit(4).expect("6+4 fits exactly");
+        drop(a);
+        drop(b);
+        assert_eq!(shared.in_flight.load(Ordering::Acquire), 0, "RAII release");
+    }
+
+    #[test]
+    fn stats_delta_and_accumulate_are_fieldwise() {
+        let before = CacheStats {
+            parse: StageStats { hits: 1, misses: 2 },
+            ..CacheStats::default()
+        };
+        let mut after = before;
+        after.parse.hits = 5;
+        after.simulate.misses = 3;
+        let d = stats_delta(&after, &before);
+        assert_eq!(d.parse, StageStats { hits: 4, misses: 0 });
+        assert_eq!(d.simulate, StageStats { hits: 0, misses: 3 });
+        let mut acc = CacheStats::default();
+        stats_accumulate(&mut acc, &d);
+        stats_accumulate(&mut acc, &d);
+        assert_eq!(acc.parse.hits, 8);
+        assert_eq!(acc.simulate.misses, 6);
+    }
+}

@@ -1,0 +1,399 @@
+//! The multi-process shard executor: a coordinator that partitions a batch
+//! of cells deterministically across N worker servers, merges
+//! request-ordered results byte-identically with the single-process path,
+//! and survives killed workers by re-dispatching their cells.
+//!
+//! # Partition and merge
+//!
+//! Cell `i` of the batch goes to shard `i % N` — a pure function of the
+//! request order, so two runs of the same grid shard identically. Outcomes
+//! land in a per-request slot; the merged vector is request-ordered no
+//! matter which worker (or which retry) computed each cell. Workers share
+//! one `ASIP_CACHE_DIR`, so cross-shard duplicate work degrades into disk
+//! hits, and every cell is a deterministic function of its request — a
+//! re-dispatched cell returns the same bytes the dead worker would have.
+//!
+//! # Failure model
+//!
+//! A worker that dies (or stays busy past the per-round budget) fails its
+//! whole current chunk; those cells return to the pending pool and the
+//! next round re-partitions them across the shards still alive. After
+//! [`ShardPlan::retries`] extra rounds (or when no shard survives), the
+//! run fails with the typed [`ServeError::ShardFailed`] — never a hang,
+//! never a partial grid.
+
+use crate::client::{Client, ServeError};
+use asip_core::nxm::{Cell, Grid};
+use asip_core::session::{EvalOutcome, EvalRequest, Session};
+use asip_isa::MachineDescription;
+use asip_workloads::Workload;
+use std::sync::Mutex;
+
+/// Environment variable supplying the default shard count for
+/// [`ShardPlan`]: `0` or `1` (or unset/unparseable) mean in-process local
+/// execution, `n > 1` means a coordinator over `n` spawned workers.
+/// Precedence mirrors the session knobs: an explicit
+/// [`ShardPlan::shards`]/[`ShardPlan::local`] call always wins; this
+/// variable only feeds the default (pinned by the `session_env` tests).
+pub const SHARDS_ENV: &str = "ASIP_SHARDS";
+
+/// How a grid executes: in this process, or fanned out over workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// Single-process [`Session::eval_batch`].
+    Local,
+    /// A coordinator over this many worker processes.
+    Sharded(usize),
+}
+
+/// The `ASIP_SHARDS` default: `Local` unless the variable names a count
+/// above 1.
+pub fn default_shard_mode() -> ShardMode {
+    match std::env::var(SHARDS_ENV).ok().and_then(|v| v.parse().ok()) {
+        Some(n) if n > 1 => ShardMode::Sharded(n),
+        _ => ShardMode::Local,
+    }
+}
+
+/// Execution plan for a sharded (or local) grid run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardPlan {
+    mode: Option<ShardMode>,
+    /// Extra re-dispatch rounds after the first pass (default 2). Each
+    /// round re-partitions the incomplete cells over surviving shards.
+    pub retries: u32,
+}
+
+impl ShardPlan {
+    /// A plan with the default mode (builder > `ASIP_SHARDS` env > local).
+    pub fn new() -> ShardPlan {
+        ShardPlan {
+            mode: None,
+            retries: 2,
+        }
+    }
+
+    /// Explicitly shard over `n` workers (`n <= 1` means local). Wins over
+    /// the environment.
+    pub fn shards(mut self, n: usize) -> ShardPlan {
+        self.mode = Some(if n > 1 {
+            ShardMode::Sharded(n)
+        } else {
+            ShardMode::Local
+        });
+        self
+    }
+
+    /// Explicitly run locally. Wins over the environment.
+    pub fn local(mut self) -> ShardPlan {
+        self.mode = Some(ShardMode::Local);
+        self
+    }
+
+    /// The effective mode: the explicit setting, else the `ASIP_SHARDS`
+    /// environment default.
+    pub fn mode(&self) -> ShardMode {
+        self.mode.unwrap_or_else(default_shard_mode)
+    }
+}
+
+/// Per-round busy retries before a chunk is returned to the pool.
+const BUSY_RETRIES: u32 = 20;
+/// Backoff between busy retries.
+const BUSY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// Dispatch one chunk to one worker, absorbing transient `Busy` rejections.
+fn dispatch(addr: &str, reqs: &[EvalRequest]) -> Result<Vec<EvalOutcome>, ServeError> {
+    let mut client = Client::connect(addr)?;
+    let mut busy = 0;
+    loop {
+        match client.eval(reqs) {
+            Ok(outs) => return Ok(outs),
+            Err(ServeError::Busy { .. }) if busy < BUSY_RETRIES => {
+                busy += 1;
+                std::thread::sleep(BUSY_BACKOFF);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Evaluate `reqs` across the workers at `addrs`, request-ordered.
+///
+/// Cell `i` goes to shard `i % addrs.len()` on the first round; cells of
+/// failed shards are re-partitioned across survivors for up to `retries`
+/// further rounds.
+///
+/// # Errors
+///
+/// [`ServeError::ShardFailed`] when cells remain after the retry budget
+/// (or no worker survives); [`ServeError::Spawn`] when `addrs` is empty.
+pub fn run_sharded(
+    addrs: &[String],
+    reqs: &[EvalRequest],
+    retries: u32,
+) -> Result<Vec<EvalOutcome>, ServeError> {
+    if addrs.is_empty() {
+        return Err(ServeError::Spawn("no worker addresses".into()));
+    }
+    let slots: Mutex<Vec<Option<EvalOutcome>>> = Mutex::new(vec![None; reqs.len()]);
+    let mut alive: Vec<usize> = (0..addrs.len()).collect();
+    let mut pending: Vec<usize> = (0..reqs.len()).collect();
+    let mut attempts = 0u32;
+    while !pending.is_empty() {
+        if alive.is_empty() || attempts > retries {
+            let failed_shard = (0..addrs.len()).find(|s| !alive.contains(s)).unwrap_or(0);
+            return Err(ServeError::ShardFailed {
+                shard: failed_shard,
+                cells: pending.len(),
+                attempts,
+            });
+        }
+        attempts += 1;
+        // Deterministic partition of the pending cells over live shards.
+        let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); alive.len()];
+        for (k, &cell) in pending.iter().enumerate() {
+            chunks[k % alive.len()].push(cell);
+        }
+        let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (k, chunk) in chunks.iter().enumerate() {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let shard = alive[k];
+                let addr = &addrs[shard];
+                let slots = &slots;
+                let failed = &failed;
+                scope.spawn(move || {
+                    let batch: Vec<EvalRequest> = chunk.iter().map(|&i| reqs[i].clone()).collect();
+                    match dispatch(addr, &batch) {
+                        Ok(outs) if outs.len() == batch.len() => {
+                            let mut slots = slots.lock().unwrap();
+                            for (&i, out) in chunk.iter().zip(outs) {
+                                slots[i] = Some(out);
+                            }
+                        }
+                        // Short reply or dead/busy worker: whole chunk
+                        // back to the pool, shard leaves the rotation.
+                        Ok(_) | Err(_) => failed.lock().unwrap().push(shard),
+                    }
+                });
+            }
+        });
+        let failed = failed.into_inner().unwrap();
+        alive.retain(|s| !failed.contains(s));
+        let filled = slots.lock().unwrap();
+        pending.retain(|&i| filled[i].is_none());
+    }
+    Ok(slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("no cell is pending"))
+        .collect())
+}
+
+/// Assemble a [`Grid`] from grid-ordered outcomes (the shape
+/// [`EvalRequest::grid`] produces).
+pub fn grid_from_outcomes(
+    machines: &[MachineDescription],
+    workloads: &[Workload],
+    outcomes: Vec<EvalOutcome>,
+    parallelism: usize,
+) -> Grid {
+    let cells = outcomes
+        .into_iter()
+        .map(|o| Cell {
+            machine: o.machine,
+            workload: o.workload,
+            outcome: o.result.map(|r| r.run.sim.cycles),
+        })
+        .collect();
+    Grid::from_cells(
+        machines.iter().map(|m| m.name.clone()).collect(),
+        workloads.iter().map(|w| w.name.clone()).collect(),
+        cells,
+        parallelism,
+    )
+}
+
+/// Run the N×M grid under `plan`: [`ShardMode::Local`] is exactly
+/// [`asip_core::nxm::run_grid`]; [`ShardMode::Sharded`] spawns that many
+/// `--worker` copies of the **current executable** (which must dispatch to
+/// [`crate::worker::try_worker_main`] at startup, as `exp_serve` and
+/// `exp_nxm` do), fans the grid out, and merges byte-identical,
+/// request-ordered results.
+///
+/// # Errors
+///
+/// Any [`ServeError`] from spawning or sharding (local runs are
+/// infallible).
+pub fn run_grid(
+    session: &Session,
+    machines: &[MachineDescription],
+    workloads: &[Workload],
+    plan: &ShardPlan,
+) -> Result<Grid, ServeError> {
+    match plan.mode() {
+        ShardMode::Local => Ok(asip_core::nxm::run_grid(session, machines, workloads)),
+        ShardMode::Sharded(n) => {
+            let exe = std::env::current_exe()
+                .map_err(|e| ServeError::Spawn(format!("current_exe: {e}")))?;
+            let pool = WorkerPool::spawn(&exe, &[], &[], n)?;
+            let reqs = EvalRequest::grid(machines, workloads);
+            let outcomes = run_sharded(pool.addrs(), &reqs, plan.retries)?;
+            pool.shutdown();
+            Ok(grid_from_outcomes(machines, workloads, outcomes, n))
+        }
+    }
+}
+
+/// A fleet of spawned worker processes, each serving the wire protocol on
+/// an ephemeral port it reports at startup. Remaining children are killed
+/// on drop.
+#[derive(Debug)]
+pub struct WorkerPool {
+    children: Vec<Option<std::process::Child>>,
+    addrs: Vec<String>,
+}
+
+impl WorkerPool {
+    /// Spawn `n` workers: `program args... --worker`, each with the extra
+    /// environment `envs` (e.g. a shared `ASIP_CACHE_DIR`). Blocks until
+    /// every worker reports `LISTENING <addr>` on stdout.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Spawn`] when a child cannot start or exits without
+    /// reporting an address.
+    pub fn spawn(
+        program: &std::path::Path,
+        args: &[String],
+        envs: &[(String, String)],
+        n: usize,
+    ) -> Result<WorkerPool, ServeError> {
+        use std::io::BufRead;
+        let mut pool = WorkerPool {
+            children: Vec::with_capacity(n),
+            addrs: Vec::with_capacity(n),
+        };
+        for i in 0..n {
+            let mut cmd = std::process::Command::new(program);
+            cmd.args(args)
+                .arg(crate::worker::WORKER_FLAG)
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::inherit());
+            for (k, v) in envs {
+                cmd.env(k, v);
+            }
+            let mut child = cmd
+                .spawn()
+                .map_err(|e| ServeError::Spawn(format!("worker {i}: {e}")))?;
+            let stdout = child.stdout.take().expect("stdout is piped");
+            let mut line = String::new();
+            let got = std::io::BufReader::new(stdout).read_line(&mut line);
+            let addr = match got {
+                Ok(_) => line.trim().strip_prefix("LISTENING ").map(str::to_string),
+                Err(_) => None,
+            };
+            let Some(addr) = addr else {
+                let _ = child.kill();
+                let _ = child.wait();
+                // Reap anything already spawned before failing.
+                drop(pool);
+                return Err(ServeError::Spawn(format!(
+                    "worker {i} reported {line:?} instead of LISTENING <addr>"
+                )));
+            };
+            pool.children.push(Some(child));
+            pool.addrs.push(addr);
+        }
+        Ok(pool)
+    }
+
+    /// The workers' listening addresses, spawn-ordered.
+    pub fn addrs(&self) -> &[String] {
+        &self.addrs
+    }
+
+    /// Kill worker `i` outright (simulating a crash). Idempotent.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(child) = self.children.get_mut(i).and_then(Option::as_mut) {
+            let _ = child.kill();
+            let _ = child.wait();
+            self.children[i] = None;
+        }
+    }
+
+    /// Gracefully stop every surviving worker (shutdown RPC, then reap).
+    pub fn shutdown(mut self) {
+        for (i, child) in self.children.iter_mut().enumerate() {
+            if let Some(mut c) = child.take() {
+                if let Ok(client) = Client::connect(&self.addrs[i]) {
+                    let _ = client.shutdown();
+                }
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().filter_map(Option::take) {
+            let mut child = child;
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_mode_precedence_is_builder_first() {
+        // Environment interaction is pinned in tests/session_env.rs (under
+        // the process-global env lock); here only the builder side.
+        assert_eq!(ShardPlan::new().shards(4).mode(), ShardMode::Sharded(4));
+        assert_eq!(ShardPlan::new().shards(1).mode(), ShardMode::Local);
+        assert_eq!(ShardPlan::new().shards(0).mode(), ShardMode::Local);
+        assert_eq!(
+            ShardPlan::new().shards(8).local().mode(),
+            ShardMode::Local,
+            "later call wins"
+        );
+    }
+
+    #[test]
+    fn empty_address_list_is_a_typed_error() {
+        assert!(matches!(
+            run_sharded(&[], &[], 2),
+            Err(ServeError::Spawn(_))
+        ));
+    }
+
+    #[test]
+    fn unreachable_workers_exhaust_into_shard_failed() {
+        // Nothing listens on these ports (bound-then-dropped, so they were
+        // free a moment ago); every dispatch errors, both shards die, and
+        // the run fails typed — it must not hang or panic.
+        let free = |_| {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+        };
+        let addrs: Vec<String> = (0..2).map(free).collect();
+        let fir = asip_workloads::by_name("fir").unwrap();
+        let reqs = vec![EvalRequest::new(
+            fir,
+            asip_isa::MachineDescription::ember1(),
+        )];
+        match run_sharded(&addrs, &reqs, 1) {
+            Err(ServeError::ShardFailed { cells, .. }) => assert_eq!(cells, 1),
+            other => panic!("expected ShardFailed, got {other:?}"),
+        }
+    }
+}

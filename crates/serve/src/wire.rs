@@ -1,0 +1,501 @@
+//! The wire protocol: length-prefixed, version-stamped, checksummed binary
+//! frames carrying [`Message`]s between clients, servers and shard workers.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! magic    8 B   b"ASIPSRV\0"
+//! version  4 B   WIRE_VERSION, little-endian
+//! kind     1 B   message tag (see Message)
+//! length   4 B   payload byte count (<= MAX_PAYLOAD)
+//! payload  n B   the message body, asip_isa::codec-encoded
+//! checksum 8 B   FNV-1a over everything above, little-endian
+//! ```
+//!
+//! The same self-describing discipline as the disk artifact container: a
+//! reader verifies magic, version, length bound and checksum before ever
+//! decoding a payload, so a truncated, corrupt, wrong-version or garbage
+//! frame is a typed [`ProtocolError`] — never a panic, never an unbounded
+//! allocation, and (because the length is bounded and the checksum covers
+//! the declared length) never a hang waiting for bytes a confused peer
+//! will not send.
+
+use asip_core::cache::CacheStats;
+use asip_core::session::{EvalOutcome, EvalRequest};
+use asip_isa::codec::{Codec, CodecError, Reader, Writer};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Frame magic: fixed 8 bytes leading every frame.
+pub const MAGIC: [u8; 8] = *b"ASIPSRV\0";
+
+/// Wire format version. Bump on any frame- or payload-layout change; a
+/// mismatch is a typed [`ProtocolError::BadVersion`], never a misparse.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (64 MiB). A declared length beyond this
+/// is rejected before any allocation — a garbage length field cannot make
+/// a reader balloon or hang.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// FNV-1a offset basis / prime (the same constants the cache tiers use).
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_BASIS;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Everything that can go wrong reading a frame. Malformed input is always
+/// one of these — never a panic.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The transport failed or ended mid-frame.
+    Io(io::Error),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The frame did not start with [`MAGIC`].
+    BadMagic,
+    /// The peer speaks a different [`WIRE_VERSION`].
+    BadVersion {
+        /// Version the frame declared.
+        got: u32,
+    },
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload byte count.
+        len: u32,
+    },
+    /// The frame checksum did not match its contents.
+    BadChecksum,
+    /// The frame kind byte names no known message.
+    BadKind {
+        /// The offending kind byte.
+        kind: u8,
+    },
+    /// The payload failed to decode as the kind's message body.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport: {e}"),
+            ProtocolError::Closed => f.write_str("connection closed"),
+            ProtocolError::BadMagic => f.write_str("bad frame magic"),
+            ProtocolError::BadVersion { got } => {
+                write!(f, "wire version {got} (expected {WIRE_VERSION})")
+            }
+            ProtocolError::Oversized { len } => {
+                write!(f, "payload length {len} exceeds {MAX_PAYLOAD}")
+            }
+            ProtocolError::BadChecksum => f.write_str("frame checksum mismatch"),
+            ProtocolError::BadKind { kind } => write!(f, "unknown message kind {kind}"),
+            ProtocolError::Codec(e) => write!(f, "payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+impl From<CodecError> for ProtocolError {
+    fn from(e: CodecError) -> Self {
+        ProtocolError::Codec(e)
+    }
+}
+
+/// Per-client request accounting, attributed by the server and surfaced in
+/// the `Stats` RPC.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClientStats {
+    /// Client identity (peer address).
+    pub client: String,
+    /// Eval RPCs received.
+    pub requests: u64,
+    /// Cells evaluated (across all Eval RPCs).
+    pub cells: u64,
+    /// Cells this client's connection *led*: it ran the computation.
+    pub led: u64,
+    /// Cells coalesced onto another client's identical in-flight cell.
+    pub coalesced: u64,
+    /// Eval RPCs rejected with [`Message::Busy`].
+    pub busy_rejections: u64,
+    /// Cache activity attributed to this client: the [`CacheStats`] delta
+    /// measured around the cells it led. Concurrent leaders on one shared
+    /// cache can interleave, so treat this as attribution, not an exact
+    /// partition.
+    pub attributed: CacheStats,
+}
+
+impl Codec for ClientStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.client);
+        w.put_u64(self.requests);
+        w.put_u64(self.cells);
+        w.put_u64(self.led);
+        w.put_u64(self.coalesced);
+        w.put_u64(self.busy_rejections);
+        self.attributed.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ClientStats {
+            client: r.get_str()?,
+            requests: r.get_u64()?,
+            cells: r.get_u64()?,
+            led: r.get_u64()?,
+            coalesced: r.get_u64()?,
+            busy_rejections: r.get_u64()?,
+            attributed: Codec::decode(r)?,
+        })
+    }
+}
+
+/// The `Stats` RPC response body.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReply {
+    /// The server session's global cache counters.
+    pub cache: CacheStats,
+    /// Per-client attribution, sorted by client identity.
+    pub clients: Vec<ClientStats>,
+}
+
+impl Codec for StatsReply {
+    fn encode(&self, w: &mut Writer) {
+        self.cache.encode(w);
+        self.clients.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(StatsReply {
+            cache: Codec::decode(r)?,
+            clients: Vec::decode(r)?,
+        })
+    }
+}
+
+/// Every message the protocol carries, requests and responses alike.
+///
+/// Stable kind bytes — never renumber: requests are 0–15, responses 16+.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Request: evaluate a batch of cells, outcomes in request order.
+    Eval(Vec<EvalRequest>),
+    /// Request: report cache + per-client statistics.
+    Stats,
+    /// Request: liveness probe.
+    Ping,
+    /// Request: stop accepting connections and exit the serve loop.
+    Shutdown,
+    /// Response to `Eval`: request-ordered outcomes.
+    Outcomes(Vec<EvalOutcome>),
+    /// Response to `Eval` under overload: admission control rejected the
+    /// batch instead of queueing it unboundedly. Retry later.
+    Busy {
+        /// Cells currently in flight on the server.
+        in_flight: u64,
+        /// The server's admission limit.
+        limit: u64,
+    },
+    /// Response to `Stats` (boxed: the stats body dwarfs every other
+    /// variant).
+    StatsReply(Box<StatsReply>),
+    /// Response to `Ping` and `Shutdown`.
+    Pong,
+}
+
+impl Message {
+    /// The frame kind byte for this message.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Eval(_) => 0,
+            Message::Stats => 1,
+            Message::Ping => 2,
+            Message::Shutdown => 3,
+            Message::Outcomes(_) => 16,
+            Message::Busy { .. } => 17,
+            Message::StatsReply(_) => 18,
+            Message::Pong => 19,
+        }
+    }
+
+    /// A short human name for error reporting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Eval(_) => "Eval",
+            Message::Stats => "Stats",
+            Message::Ping => "Ping",
+            Message::Shutdown => "Shutdown",
+            Message::Outcomes(_) => "Outcomes",
+            Message::Busy { .. } => "Busy",
+            Message::StatsReply(_) => "StatsReply",
+            Message::Pong => "Pong",
+        }
+    }
+
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            Message::Eval(reqs) => reqs.encode(&mut w),
+            Message::Outcomes(outs) => outs.encode(&mut w),
+            Message::Busy { in_flight, limit } => {
+                w.put_u64(*in_flight);
+                w.put_u64(*limit);
+            }
+            Message::StatsReply(s) => s.encode(&mut w),
+            Message::Stats | Message::Ping | Message::Shutdown | Message::Pong => {}
+        }
+        w.into_bytes()
+    }
+
+    fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let msg = match kind {
+            0 => Message::Eval(Vec::decode(&mut r)?),
+            1 => Message::Stats,
+            2 => Message::Ping,
+            3 => Message::Shutdown,
+            16 => Message::Outcomes(Vec::decode(&mut r)?),
+            17 => Message::Busy {
+                in_flight: r.get_u64()?,
+                limit: r.get_u64()?,
+            },
+            18 => Message::StatsReply(Box::new(StatsReply::decode(&mut r)?)),
+            19 => Message::Pong,
+            kind => return Err(ProtocolError::BadKind { kind }),
+        };
+        r.finish().map_err(ProtocolError::Codec)?;
+        Ok(msg)
+    }
+
+    /// Encode this message as one complete frame.
+    pub fn to_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut frame = Vec::with_capacity(8 + 4 + 1 + 4 + payload.len() + 8);
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        frame.push(self.kind());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let sum = fnv1a(&frame);
+        frame.extend_from_slice(&sum.to_le_bytes());
+        frame
+    }
+
+    /// Decode one complete frame from a byte slice (must consume it
+    /// exactly). The streaming path is [`read_frame`]; this entry point is
+    /// what the fuzz suite hammers.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`]; truncated input maps to
+    /// [`ProtocolError::Codec`]`(`[`CodecError::Truncated`]`)`.
+    pub fn from_frame(bytes: &[u8]) -> Result<Message, ProtocolError> {
+        let need = |n: usize, at: usize| -> Result<(), ProtocolError> {
+            if bytes.len() < at + n {
+                Err(ProtocolError::Codec(CodecError::Truncated))
+            } else {
+                Ok(())
+            }
+        };
+        need(8, 0)?;
+        if bytes[..8] != MAGIC {
+            return Err(ProtocolError::BadMagic);
+        }
+        need(4, 8)?;
+        let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if version != WIRE_VERSION {
+            return Err(ProtocolError::BadVersion { got: version });
+        }
+        need(1 + 4, 12)?;
+        let kind = bytes[12];
+        let len = u32::from_le_bytes(bytes[13..17].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(ProtocolError::Oversized { len });
+        }
+        let len = len as usize;
+        need(len + 8, 17)?;
+        let body_end = 17 + len;
+        let declared =
+            u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8 bytes"));
+        if declared != fnv1a(&bytes[..body_end]) {
+            return Err(ProtocolError::BadChecksum);
+        }
+        if bytes.len() != body_end + 8 {
+            return Err(ProtocolError::Codec(CodecError::Trailing {
+                extra: bytes.len() - body_end - 8,
+            }));
+        }
+        Message::decode_payload(kind, &bytes[17..body_end])
+    }
+}
+
+/// Write one frame to a stream (buffered by the frame itself: one `write_all`).
+///
+/// # Errors
+///
+/// Any transport [`io::Error`].
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    w.write_all(&msg.to_frame())?;
+    w.flush()
+}
+
+/// Read one frame from a stream, verifying magic, version, length bound and
+/// checksum before decoding the payload.
+///
+/// # Errors
+///
+/// [`ProtocolError::Closed`] on clean EOF at a frame boundary; any other
+/// [`ProtocolError`] for malformed or truncated frames.
+pub fn read_frame(r: &mut impl Read) -> Result<Message, ProtocolError> {
+    // Header through the length field.
+    let mut head = [0u8; 17];
+    let mut filled = 0;
+    while filled < head.len() {
+        match r.read(&mut head[filled..]) {
+            Ok(0) if filled == 0 => return Err(ProtocolError::Closed),
+            Ok(0) => return Err(ProtocolError::Io(io::ErrorKind::UnexpectedEof.into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtocolError::Io(e)),
+        }
+    }
+    if head[..8] != MAGIC {
+        return Err(ProtocolError::BadMagic);
+    }
+    let version = u32::from_le_bytes(head[8..12].try_into().expect("4 bytes"));
+    if version != WIRE_VERSION {
+        return Err(ProtocolError::BadVersion { got: version });
+    }
+    let kind = head[12];
+    let len = u32::from_le_bytes(head[13..17].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(ProtocolError::Oversized { len });
+    }
+    let mut rest = vec![0u8; len as usize + 8];
+    r.read_exact(&mut rest)?;
+    let body_end = rest.len() - 8;
+    let declared = u64::from_le_bytes(rest[body_end..].try_into().expect("8 bytes"));
+    let mut sum = fnv1a(&head);
+    for &b in &rest[..body_end] {
+        sum ^= u64::from(b);
+        sum = sum.wrapping_mul(FNV_PRIME);
+    }
+    if declared != sum {
+        return Err(ProtocolError::BadChecksum);
+    }
+    Message::decode_payload(kind, &rest[..body_end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asip_isa::MachineDescription;
+
+    fn roundtrip(msg: &Message) {
+        let frame = msg.to_frame();
+        assert_eq!(&Message::from_frame(&frame).expect("decode"), msg);
+        // Streaming and slice decoding agree.
+        let mut cursor = io::Cursor::new(frame);
+        assert_eq!(&read_frame(&mut cursor).expect("stream decode"), msg);
+    }
+
+    #[test]
+    fn all_message_shapes_roundtrip() {
+        let fir = asip_workloads::by_name("fir").unwrap();
+        let req = EvalRequest::new(fir, MachineDescription::ember2()).with_ise(8.0);
+        roundtrip(&Message::Eval(vec![req.clone(), req]));
+        roundtrip(&Message::Eval(vec![]));
+        roundtrip(&Message::Stats);
+        roundtrip(&Message::Ping);
+        roundtrip(&Message::Shutdown);
+        roundtrip(&Message::Busy {
+            in_flight: 7,
+            limit: 4,
+        });
+        roundtrip(&Message::StatsReply(Box::new(StatsReply {
+            cache: CacheStats::default(),
+            clients: vec![ClientStats {
+                client: "127.0.0.1:5".into(),
+                requests: 1,
+                cells: 9,
+                led: 8,
+                coalesced: 1,
+                busy_rejections: 0,
+                attributed: CacheStats::default(),
+            }],
+        })));
+        roundtrip(&Message::Pong);
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        let good = Message::Ping.to_frame();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Message::from_frame(&bad),
+            Err(ProtocolError::BadMagic)
+        ));
+        // Wrong version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            Message::from_frame(&bad),
+            Err(ProtocolError::BadVersion { got: 99 })
+        ));
+        // Unknown kind (checksum re-stamped so the kind check is reached).
+        let mut bad = good.clone();
+        bad[12] = 200;
+        let body_end = bad.len() - 8;
+        let sum = fnv1a(&bad[..body_end]).to_le_bytes();
+        bad[body_end..].copy_from_slice(&sum);
+        assert!(matches!(
+            Message::from_frame(&bad),
+            Err(ProtocolError::BadKind { kind: 200 })
+        ));
+        // Flipped payload/checksum byte.
+        let mut bad = good.clone();
+        let at = bad.len() - 1;
+        bad[at] ^= 1;
+        assert!(matches!(
+            Message::from_frame(&bad),
+            Err(ProtocolError::BadChecksum)
+        ));
+        // Truncation at every prefix length.
+        for cut in 0..good.len() {
+            assert!(
+                Message::from_frame(&good[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Oversized declared length.
+        let mut bad = good.clone();
+        bad[13..17].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert!(matches!(
+            Message::from_frame(&bad),
+            Err(ProtocolError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_mid_frame_is_truncated() {
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Err(ProtocolError::Closed)));
+        let frame = Message::Stats.to_frame();
+        let mut cut = io::Cursor::new(frame[..10].to_vec());
+        assert!(matches!(read_frame(&mut cut), Err(ProtocolError::Io(_))));
+    }
+}

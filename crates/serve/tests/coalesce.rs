@@ -1,0 +1,123 @@
+//! K concurrent clients requesting the identical cell must coalesce to
+//! exactly one computation, all receive byte-identical outcomes, and be
+//! attributed correctly in the server's per-client stats table.
+
+use asip_core::session::{EvalRequest, Session};
+use asip_isa::codec::Codec;
+use asip_serve::{Client, EvalServer, ServerConfig};
+use std::sync::{Arc, Barrier};
+
+#[test]
+fn concurrent_identical_cells_coalesce_to_one_compute() {
+    const K: usize = 6;
+    let session = Session::builder().threads(2).build();
+    let server = EvalServer::bind(session, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let (addr, _serve) = server.spawn().unwrap();
+    let addr = addr.to_string();
+
+    let req = EvalRequest::new(
+        asip_workloads::by_name("fir").unwrap(),
+        asip_isa::MachineDescription::ember1(),
+    );
+
+    // All K clients connect first, then release together so their Eval
+    // frames land while the first evaluation is still in flight.
+    let barrier = Arc::new(Barrier::new(K));
+    let encodings: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..K)
+            .map(|_| {
+                let addr = addr.clone();
+                let req = req.clone();
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    barrier.wait();
+                    let outs = client.eval(std::slice::from_ref(&req)).unwrap();
+                    assert_eq!(outs.len(), 1, "one outcome per requested cell");
+                    assert!(outs[0].result.is_ok(), "fir on ember1 passes");
+                    outs[0].encode_to_vec()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for enc in &encodings[1..] {
+        assert_eq!(
+            enc, &encodings[0],
+            "every client's outcome is byte-identical"
+        );
+    }
+
+    let mut probe = Client::connect(&addr).unwrap();
+    let stats = probe.stats().unwrap();
+
+    // Exactly one computation ran for K requests of the same cell. A
+    // request either coalesced onto the in-flight leader (no cache
+    // traffic) or arrived after the leader published (all-stage cache
+    // hit); either way the pipeline stages missed exactly once.
+    assert_eq!(stats.cache.simulate.misses, 1, "exactly one Simulate");
+    assert_eq!(stats.cache.parse.misses, 1, "exactly one Parse");
+    assert_eq!(stats.cache.compile.misses, 1, "exactly one Compile");
+
+    // Per-client attribution: one row per evaluating connection, each with
+    // its single cell accounted as either led or coalesced.
+    let evals: Vec<_> = stats.clients.iter().filter(|c| c.cells > 0).collect();
+    assert_eq!(evals.len(), K, "one attribution row per client");
+    let led: u64 = evals.iter().map(|c| c.led).sum();
+    let coalesced: u64 = evals.iter().map(|c| c.coalesced).sum();
+    assert_eq!(led + coalesced, K as u64, "every cell led or coalesced");
+    assert!(led >= 1, "someone computed");
+    for c in &evals {
+        assert_eq!(c.requests, 1);
+        assert_eq!(c.cells, 1);
+        assert_eq!(c.busy_rejections, 0);
+        if c.led == 0 {
+            // Followers are attributed no cache activity at all.
+            assert_eq!(c.attributed.simulate.misses, 0);
+            assert_eq!(c.attributed.parse.misses, 0);
+        }
+    }
+
+    probe.shutdown().unwrap();
+}
+
+#[test]
+fn admission_overload_answers_typed_busy() {
+    // A server with a one-cell admission limit must reject a two-cell
+    // batch with Busy — and account the rejection to the client.
+    let session = Session::builder().threads(1).build();
+    let config = ServerConfig {
+        max_in_flight_cells: 1,
+    };
+    let server = EvalServer::bind(session, "127.0.0.1:0", config).unwrap();
+    let (addr, _serve) = server.spawn().unwrap();
+    let addr = addr.to_string();
+
+    let req = EvalRequest::new(
+        asip_workloads::by_name("fir").unwrap(),
+        asip_isa::MachineDescription::ember1(),
+    );
+    let mut client = Client::connect(&addr).unwrap();
+    match client.eval(&[req.clone(), req.clone()]) {
+        Err(asip_serve::ServeError::Busy { in_flight, limit }) => {
+            assert_eq!(limit, 1);
+            assert!(in_flight <= 1);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    // A batch that fits still works on the same connection.
+    let outs = client.eval(std::slice::from_ref(&req)).unwrap();
+    assert_eq!(outs.len(), 1);
+
+    let stats = client.stats().unwrap();
+    let me = stats
+        .clients
+        .iter()
+        .find(|c| c.busy_rejections > 0)
+        .expect("the rejected client is in the table");
+    assert_eq!(me.busy_rejections, 1);
+    assert_eq!(me.cells, 1, "only the admitted batch counts cells");
+
+    client.shutdown().unwrap();
+}

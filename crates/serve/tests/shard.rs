@@ -1,0 +1,116 @@
+//! End-to-end shard executor tests: a grid fanned out over worker
+//! processes sharing one `ASIP_CACHE_DIR` must come back request-ordered
+//! and byte-identical with the single-process path — including when a
+//! worker is killed — and a fresh worker fleet on the same cache directory
+//! must see cross-process disk hits.
+
+use asip_core::cache::CACHE_DIR_ENV;
+use asip_core::session::{EvalOutcome, EvalRequest, Session};
+use asip_isa::codec::Codec;
+use asip_serve::{run_sharded, Client, ServeError, WorkerPool};
+use std::path::{Path, PathBuf};
+
+fn worker_bin() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_asip_serve_worker"))
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asip-serve-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_grid() -> Vec<EvalRequest> {
+    let machines = [
+        asip_isa::MachineDescription::ember1(),
+        asip_isa::MachineDescription::ember2(),
+    ];
+    let workloads: Vec<_> = asip_workloads::all().into_iter().take(3).collect();
+    EvalRequest::grid(&machines, &workloads)
+}
+
+fn encode_all(outs: &[EvalOutcome]) -> Vec<Vec<u8>> {
+    outs.iter().map(Codec::encode_to_vec).collect()
+}
+
+fn spawn_pool(n: usize, cache_dir: &Path) -> WorkerPool {
+    let envs = [(CACHE_DIR_ENV.to_string(), cache_dir.display().to_string())];
+    WorkerPool::spawn(worker_bin(), &[], &envs, n).expect("workers spawn")
+}
+
+#[test]
+fn sharded_grid_is_byte_identical_with_local() {
+    let reqs = small_grid();
+    let local = Session::builder().threads(2).build().eval_batch(&reqs);
+    let local_bytes = encode_all(&local);
+
+    let cache_dir = fresh_dir("identity");
+    let pool = spawn_pool(2, &cache_dir);
+    let sharded = run_sharded(pool.addrs(), &reqs, 2).expect("sharded run completes");
+    assert_eq!(
+        encode_all(&sharded),
+        local_bytes,
+        "sharded outcomes must be request-ordered and byte-identical with local"
+    );
+    pool.shutdown();
+
+    // A fresh fleet on the same cache directory re-runs the grid entirely
+    // from the disk tier another process populated.
+    let pool = spawn_pool(2, &cache_dir);
+    let rerun = run_sharded(pool.addrs(), &reqs, 2).expect("second pass completes");
+    assert_eq!(
+        encode_all(&rerun),
+        local_bytes,
+        "disk-served pass identical"
+    );
+    let disk_hits: u64 = pool
+        .addrs()
+        .iter()
+        .map(|addr| {
+            let mut c = Client::connect(addr).expect("worker reachable");
+            c.stats().expect("stats").cache.disk.hits
+        })
+        .sum();
+    assert!(
+        disk_hits > 0,
+        "the fresh fleet must hit artifacts persisted by the first fleet"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn killed_worker_cells_are_redispatched() {
+    let reqs = small_grid();
+    let local_bytes = encode_all(&Session::builder().threads(2).build().eval_batch(&reqs));
+
+    let cache_dir = fresh_dir("failover");
+    let mut pool = spawn_pool(2, &cache_dir);
+    // Kill shard 0 outright; its cells must fail over to the survivor.
+    pool.kill(0);
+    let sharded = run_sharded(pool.addrs(), &reqs, 2).expect("survivor absorbs the dead shard");
+    assert_eq!(
+        encode_all(&sharded),
+        local_bytes,
+        "failover must not perturb order or bytes"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn all_workers_dead_is_typed_shard_failed() {
+    let reqs = small_grid();
+    let cache_dir = fresh_dir("dead");
+    let mut pool = spawn_pool(2, &cache_dir);
+    pool.kill(0);
+    pool.kill(1);
+    match run_sharded(pool.addrs(), &reqs, 2) {
+        Err(ServeError::ShardFailed { cells, .. }) => {
+            assert_eq!(cells, reqs.len(), "no cell silently dropped")
+        }
+        other => panic!("expected ShardFailed, got {other:?}"),
+    }
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

@@ -304,6 +304,62 @@ impl Codec for SimResult {
     }
 }
 
+/// Stable wire tags: 0 = `InvalidProgram`, 1 = `DivideByZero`,
+/// 2 = `MemFault`, 3 = `CycleLimit`, 4 = `BadArgs`, 5 = `WildReturn`.
+/// Never renumber.
+impl Codec for SimError {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            SimError::InvalidProgram(msg) => {
+                w.put_u8(0);
+                w.put_str(msg);
+            }
+            SimError::DivideByZero { pc } => {
+                w.put_u8(1);
+                w.put_u32(*pc);
+            }
+            SimError::MemFault { pc, addr } => {
+                w.put_u8(2);
+                w.put_u32(*pc);
+                w.put_u64(*addr as u64);
+            }
+            SimError::CycleLimit => w.put_u8(3),
+            SimError::BadArgs { expected, got } => {
+                w.put_u8(4);
+                w.put_u32(*expected);
+                w.put_u32(*got);
+            }
+            SimError::WildReturn { pc } => {
+                w.put_u8(5);
+                w.put_u32(*pc);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => SimError::InvalidProgram(r.get_str()?),
+            1 => SimError::DivideByZero { pc: r.get_u32()? },
+            2 => SimError::MemFault {
+                pc: r.get_u32()?,
+                addr: r.get_u64()? as i64,
+            },
+            3 => SimError::CycleLimit,
+            4 => SimError::BadArgs {
+                expected: r.get_u32()?,
+                got: r.get_u32()?,
+            },
+            5 => SimError::WildReturn { pc: r.get_u32()? },
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "SimError",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
 /// The engine a [`Simulator`] dispatches to, selected by
 /// [`SimOptions::engine`] at construction.
 #[derive(Debug)]

@@ -49,6 +49,20 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+impl asip_isa::codec::Codec for CompileError {
+    fn encode(&self, w: &mut asip_isa::codec::Writer) {
+        w.put_u64(self.line as u64);
+        w.put_str(&self.message);
+    }
+
+    fn decode(r: &mut asip_isa::codec::Reader<'_>) -> Result<Self, asip_isa::codec::CodecError> {
+        Ok(CompileError {
+            line: r.get_u64()? as usize,
+            message: r.get_str()?,
+        })
+    }
+}
+
 impl From<parser::ParseError> for CompileError {
     fn from(e: parser::ParseError) -> Self {
         CompileError {

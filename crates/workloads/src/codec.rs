@@ -1,0 +1,108 @@
+//! [`Codec`] implementations for [`Workload`] and [`AppArea`], so whole
+//! evaluation requests (which embed the workload, not just its name) can
+//! travel over the wire and hash into cache keys byte-for-byte.
+//!
+//! Follows the `asip_isa::codec` conventions: little-endian scalars,
+//! u32-prefixed collections, u8 enum tags that are **never renumbered**.
+
+use crate::{AppArea, Workload};
+use asip_isa::codec::{Codec, CodecError, Reader, Writer};
+
+/// Stable wire tags: 0 = `Cellphone`, 1 = `Video`, 2 = `Printer`,
+/// 3 = `Storage`, 4 = `Control`. Never renumber.
+impl Codec for AppArea {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            AppArea::Cellphone => 0,
+            AppArea::Video => 1,
+            AppArea::Printer => 2,
+            AppArea::Storage => 3,
+            AppArea::Control => 4,
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            0 => AppArea::Cellphone,
+            1 => AppArea::Video,
+            2 => AppArea::Printer,
+            3 => AppArea::Storage,
+            4 => AppArea::Control,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "AppArea",
+                    tag: tag.into(),
+                })
+            }
+        })
+    }
+}
+
+impl Codec for Workload {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        self.area.encode(w);
+        w.put_str(&self.description);
+        w.put_str(&self.source);
+        self.args.encode(w);
+        w.put_u32(self.inputs.len() as u32);
+        for (name, data) in &self.inputs {
+            w.put_str(name);
+            data.encode(w);
+        }
+        self.expected.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = r.get_str()?;
+        let area = AppArea::decode(r)?;
+        let description = r.get_str()?;
+        let source = r.get_str()?;
+        let args = Vec::decode(r)?;
+        let n = r.get_len()?;
+        let mut inputs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let input_name = r.get_str()?;
+            inputs.push((input_name, Vec::decode(r)?));
+        }
+        let expected = Vec::decode(r)?;
+        Ok(Workload {
+            name,
+            area,
+            description,
+            source,
+            args,
+            inputs,
+            expected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_workload_roundtrips() {
+        for wl in crate::all() {
+            let bytes = wl.encode_to_vec();
+            let back = Workload::decode_all(&bytes).expect("decode");
+            assert_eq!(wl, back);
+            assert_eq!(bytes, back.encode_to_vec());
+        }
+    }
+
+    #[test]
+    fn areas_roundtrip_and_bad_tag_errors() {
+        for area in AppArea::ALL {
+            assert_eq!(area, AppArea::decode_all(&area.encode_to_vec()).unwrap());
+        }
+        assert!(matches!(
+            AppArea::decode_all(&[9]),
+            Err(CodecError::BadTag {
+                what: "AppArea",
+                ..
+            })
+        ));
+    }
+}

@@ -15,6 +15,7 @@
 
 #![warn(missing_docs)]
 
+mod codec;
 pub mod control;
 pub mod dsp;
 pub mod printer;
@@ -63,7 +64,7 @@ impl fmt::Display for AppArea {
 }
 
 /// A self-checking benchmark kernel.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Workload {
     /// Short unique name (e.g. `fir`).
     pub name: String,

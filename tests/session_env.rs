@@ -159,6 +159,41 @@ fn sim_engine_env_feeds_default_but_builder_wins() {
     std::env::remove_var(ENGINE_ENV);
 }
 
+/// Shard-count precedence, mirroring the `ASIP_GRID_THREADS` rules: an
+/// explicit `ShardPlan::shards(..)`/`local()` call always wins; otherwise
+/// `ASIP_SHARDS` supplies the default; with neither — or with a count of
+/// 0 or 1, or garbage — execution is in-process local.
+#[test]
+fn shards_env_feeds_default_but_plan_wins() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::serve::{default_shard_mode, ShardMode, ShardPlan, SHARDS_ENV};
+
+    // Compiled-in default: local.
+    std::env::remove_var(SHARDS_ENV);
+    assert_eq!(default_shard_mode(), ShardMode::Local);
+    assert_eq!(ShardPlan::new().mode(), ShardMode::Local);
+
+    // Env supplies the default…
+    std::env::set_var(SHARDS_ENV, "3");
+    assert_eq!(default_shard_mode(), ShardMode::Sharded(3));
+    assert_eq!(ShardPlan::new().mode(), ShardMode::Sharded(3));
+
+    // …but an explicit plan call wins over the environment, both ways.
+    assert_eq!(ShardPlan::new().local().mode(), ShardMode::Local);
+    assert_eq!(ShardPlan::new().shards(5).mode(), ShardMode::Sharded(5));
+    std::env::set_var(SHARDS_ENV, "0");
+    assert_eq!(ShardPlan::new().shards(2).mode(), ShardMode::Sharded(2));
+
+    // 0, 1 and garbage all mean local.
+    assert_eq!(default_shard_mode(), ShardMode::Local);
+    std::env::set_var(SHARDS_ENV, "1");
+    assert_eq!(default_shard_mode(), ShardMode::Local);
+    std::env::set_var(SHARDS_ENV, "many");
+    assert_eq!(default_shard_mode(), ShardMode::Local);
+
+    std::env::remove_var(SHARDS_ENV);
+}
+
 /// The Simulate stage key deliberately omits the engine: every engine is
 /// bit-identical (pinned by the differential suite), so a result cached
 /// under one engine must be served to a session running another — and the
