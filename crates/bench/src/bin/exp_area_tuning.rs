@@ -4,5 +4,5 @@ fn main() {
         "{}",
         asip_bench::fit::area_tuning(asip_workloads::AppArea::Video)
     );
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

@@ -5,5 +5,5 @@ fn main() {
         .map(|n| asip_workloads::by_name(n).expect("workload"))
         .collect();
     println!("{}", asip_bench::drift::isa_drift(&ws));
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

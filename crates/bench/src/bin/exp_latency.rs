@@ -4,5 +4,5 @@ fn main() {
         "{}",
         asip_bench::hw::latency(&asip_bench::hw::sweep_workloads())
     );
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

@@ -85,5 +85,5 @@ fn main() {
             wall2.as_secs_f64()
         );
     }
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

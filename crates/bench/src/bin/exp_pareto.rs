@@ -4,5 +4,5 @@ fn main() {
         "{}",
         asip_bench::fit::pareto(asip_workloads::AppArea::Cellphone, 3)
     );
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

@@ -5,5 +5,5 @@ fn main() {
         "{}",
         asip_bench::hw::risc_vs_vliw(&asip_bench::hw::sweep_workloads())
     );
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

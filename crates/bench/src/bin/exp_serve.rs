@@ -20,7 +20,8 @@
 
 use asip_core::session::{EvalOutcome, EvalRequest};
 use asip_isa::codec::Codec;
-use asip_serve::{run_sharded, Client, ShardMode, ShardPlan, WorkerPool};
+use asip_serve::shard::{format_shard_table, run_sharded_metrics};
+use asip_serve::{Client, ShardMode, ShardPlan, WorkerPool};
 use std::sync::{Arc, Mutex};
 
 /// FNV-1a over the request-ordered encoded outcomes: the byte-identity
@@ -87,10 +88,12 @@ fn main() {
                     }
                 })
             });
-            let outcomes = run_sharded(&addrs, &reqs, 3).expect("sharded grid completes");
+            let (outcomes, metrics) =
+                run_sharded_metrics(&addrs, &reqs, 3).expect("sharded grid completes");
             if let Some(k) = killer {
                 let _ = k.join();
             }
+            print!("{}", format_shard_table(&metrics));
             let mut disk_hits = 0u64;
             for addr in &addrs {
                 if let Ok(mut c) = Client::connect(addr) {
@@ -115,4 +118,8 @@ fn main() {
         outcomes.len(),
         grid.failures()
     );
+    // In sharded mode the session is worker-side; the coordinator's own
+    // summary is near-empty, but finish() still flushes coordinator spans
+    // (shard round-trips, frame decodes) when tracing is on.
+    asip_bench::finish();
 }

@@ -1,5 +1,5 @@
 //! E1: the paper's Table 1, published and regenerated.
 fn main() {
     println!("{}", asip_bench::econ_exp::table1_experiment());
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

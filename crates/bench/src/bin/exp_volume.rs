@@ -1,5 +1,5 @@
 //! E10: unit cost vs volume, SoC crossover.
 fn main() {
     println!("{}", asip_bench::econ_exp::volume_experiment());
-    println!("{}", asip_bench::session_summary());
+    asip_bench::finish();
 }

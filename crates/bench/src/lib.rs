@@ -89,7 +89,50 @@ pub fn session_summary() -> String {
             .unwrap_or_default();
         out.push_str(&format!("\n[session] disk tier: {} ({dir})", stats.disk));
     }
+    let snap = asip_obs::snapshot();
+    let stage_lat: Vec<String> = StageKind::ALL
+        .iter()
+        .filter_map(|stage| {
+            let h = snap.histogram(&format!("stage.{}.self_ns", stage.name()))?;
+            if h.count == 0 {
+                return None;
+            }
+            Some(format!(
+                "{} n={} p50={}µs p99={}µs",
+                stage.name(),
+                h.count,
+                h.quantile_ns(0.5) / 1_000,
+                h.quantile_ns(0.99) / 1_000,
+            ))
+        })
+        .collect();
+    if !stage_lat.is_empty() {
+        out.push_str(&format!(
+            "\n[session] stage latency (self time): {}",
+            stage_lat.join(" | ")
+        ));
+    }
+    let (recorded, dropped) = asip_obs::span_totals();
+    if recorded > 0 {
+        out.push_str(&format!(
+            "\n[session] spans: {recorded} recorded, {dropped} dropped"
+        ));
+    }
     out
+}
+
+/// The shared epilogue of every `exp_*` binary: print the
+/// [`session_summary`] and, when tracing is configured (the builder knob
+/// or `ASIP_TRACE`), flush the recorded spans to the Chrome trace file.
+pub fn finish() {
+    println!("{}", session_summary());
+    match asip_obs::flush_trace() {
+        Ok(Some((path, events))) => {
+            println!("[trace] wrote {events} span events to {}", path.display());
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("[trace] write failed: {e}"),
+    }
 }
 
 #[cfg(test)]

@@ -423,6 +423,73 @@ pub trait CacheStore: Send + Sync + fmt::Debug {
     fn stage_entries(&self) -> [u64; 5];
 }
 
+/// Per-stage **self wall time** histograms: the full wall clock of each
+/// [`ArtifactCache::get_or_compute`] call (probe + compute + write-through,
+/// hits included), minus the wall time of nested stage calls inside its
+/// compute closure. Selves therefore partition the outermost call's wall
+/// time — summed across stages they reconstruct an evaluation's wall time
+/// within tolerance (pinned by the `obs_timing` integration test), unlike
+/// [`StageTimes`] which deliberately times only the compute closure's own
+/// work.
+static STAGE_SELF_NS: [asip_obs::Histogram; 5] = [
+    asip_obs::Histogram::new("stage.parse.self_ns"),
+    asip_obs::Histogram::new("stage.optimize.self_ns"),
+    asip_obs::Histogram::new("stage.profile.self_ns"),
+    asip_obs::Histogram::new("stage.compile.self_ns"),
+    asip_obs::Histogram::new("stage.simulate.self_ns"),
+];
+
+thread_local! {
+    /// Wall nanoseconds consumed by already-completed *child* stage calls
+    /// of the stage call currently running on this thread.
+    static CHILD_STAGE_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// One stack frame of stage self-time accounting (see [`STAGE_SELF_NS`]).
+struct StageFrame {
+    start: Instant,
+    parent_child_ns: u64,
+}
+
+impl StageFrame {
+    fn enter() -> StageFrame {
+        StageFrame {
+            start: Instant::now(),
+            parent_child_ns: CHILD_STAGE_NS.with(|c| c.replace(0)),
+        }
+    }
+
+    fn exit(self, stage: StageKind) {
+        let wall = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let children = CHILD_STAGE_NS.with(|c| c.get());
+        STAGE_SELF_NS[stage as usize].record(wall.saturating_sub(children));
+        // Report this call's *full* wall to the parent frame.
+        CHILD_STAGE_NS.with(|c| c.set(self.parent_child_ns.saturating_add(wall)));
+    }
+}
+
+/// Interned per-tier observability counters, resolved once per
+/// [`ArtifactCache`] so the probe loop records through plain `'static`
+/// references (no allocation, no map lookups on the hot path).
+struct TierObs {
+    label: &'static str,
+    loads: &'static asip_obs::Counter,
+    hits: &'static asip_obs::Counter,
+    stores: &'static asip_obs::Counter,
+}
+
+impl TierObs {
+    fn for_store(store: &dyn CacheStore) -> TierObs {
+        let label = store.label();
+        TierObs {
+            label,
+            loads: asip_obs::counter(&format!("cache.{label}.loads")),
+            hits: asip_obs::counter(&format!("cache.{label}.hits")),
+            stores: asip_obs::counter(&format!("cache.{label}.stores")),
+        }
+    }
+}
+
 /// The tiered, memoized artifact cache shared by every clone of a
 /// [`Toolchain`] (clones share one cache via `Arc`).
 ///
@@ -436,6 +503,7 @@ pub trait CacheStore: Send + Sync + fmt::Debug {
 /// [`Toolchain`]: crate::pipeline::Toolchain
 pub struct ArtifactCache {
     stores: Vec<Arc<dyn CacheStore>>,
+    tier_obs: Vec<TierObs>,
     config: CacheConfig,
     hits: [AtomicU64; 5],
     misses: [AtomicU64; 5],
@@ -499,8 +567,10 @@ impl ArtifactCache {
     /// govern retention.
     pub fn with_tiers(config: CacheConfig, stores: Vec<Arc<dyn CacheStore>>) -> ArtifactCache {
         assert!(!stores.is_empty(), "a cache needs at least one tier");
+        let tier_obs = stores.iter().map(|s| TierObs::for_store(&**s)).collect();
         ArtifactCache {
             stores,
+            tier_obs,
             config,
             hits: Default::default(),
             misses: Default::default(),
@@ -675,30 +745,69 @@ impl ArtifactCache {
         key: String,
         compute: impl FnOnce(&mut StageTimer) -> Result<V, ToolchainError>,
     ) -> Result<V, ToolchainError> {
+        // Symmetric timing: the frame measures this call's *entire* wall
+        // time (hit or miss, probe and write-through included), net of
+        // nested stage calls — see STAGE_SELF_NS.
+        let frame = StageFrame::enter();
+        let span = asip_obs::span("stage", stage.name());
+        let out = self.probe_or_compute(stage, key, compute, span);
+        frame.exit(stage);
+        out
+    }
+
+    fn probe_or_compute<V: Codec>(
+        &self,
+        stage: StageKind,
+        key: String,
+        compute: impl FnOnce(&mut StageTimer) -> Result<V, ToolchainError>,
+        mut span: asip_obs::Span,
+    ) -> Result<V, ToolchainError> {
         for (i, store) in self.stores.iter().enumerate() {
-            let Some(payload) = store.load(stage, &key) else {
+            let obs = &self.tier_obs[i];
+            obs.loads.add(1);
+            let payload = {
+                let mut tier_span = asip_obs::span("cache", obs.label);
+                tier_span.note("load");
+                store.load(stage, &key)
+            };
+            let Some(payload) = payload else {
                 continue;
             };
             match V::decode_all(&payload) {
                 Ok(v) => {
-                    for hotter in &self.stores[..i] {
+                    obs.hits.add(1);
+                    for (j, hotter) in self.stores[..i].iter().enumerate() {
+                        let promote = &self.tier_obs[j];
+                        promote.stores.add(1);
+                        let mut tier_span = asip_obs::span("cache", promote.label);
+                        tier_span.note("store");
                         hotter.store(stage, &key, &payload);
                     }
                     self.hits[stage as usize].fetch_add(1, Ordering::Relaxed);
+                    span.note("hit");
                     return Ok(v);
                 }
                 // Verified container, undecodable payload (e.g. encoded by
                 // a build with different tag assignments): drop and fall
                 // through to the next tier.
-                Err(_) => store.invalidate(stage, &key),
+                Err(_) => {
+                    let mut tier_span = asip_obs::span("cache", obs.label);
+                    tier_span.note("stale-drop");
+                    store.invalidate(stage, &key);
+                }
             }
         }
         self.misses[stage as usize].fetch_add(1, Ordering::Relaxed);
+        span.note("miss");
         let mut timer = StageTimer::default();
         let v = compute(&mut timer)?;
         self.stage_ns[stage as usize].fetch_add(timer.ns, Ordering::Relaxed);
         let payload = v.encode_to_vec();
-        for store in &self.stores {
+        for (j, store) in self.stores.iter().enumerate() {
+            let tier = &self.tier_obs[j];
+            tier.stores.add(1);
+            let mut tier_span = asip_obs::span("cache", tier.label);
+            tier_span.note("store");
             store.store(stage, &key, &payload);
         }
         Ok(v)

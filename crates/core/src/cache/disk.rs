@@ -45,6 +45,11 @@ use std::time::{Duration, SystemTime};
 /// Second, independent FNV-1a basis for the file-name hash pair.
 const FNV_BASIS_2: u64 = FNV_BASIS ^ 0x9e37_79b9_7f4a_7c15;
 
+/// Observability mirrors of the retention counters (the authoritative
+/// values stay in [`TierStats`]; these feed the metrics exposition).
+static OBS_EVICTIONS: asip_obs::Counter = asip_obs::Counter::new("cache.disk.evictions");
+static OBS_STALE_DROPS: asip_obs::Counter = asip_obs::Counter::new("cache.disk.stale_drops");
+
 /// The persistent disk tier. See the [module docs](self).
 pub struct DiskStore {
     config: DiskTierConfig,
@@ -160,6 +165,7 @@ impl DiskStore {
                 if *mtime < cutoff {
                     if fs::remove_file(path).is_ok() {
                         self.evictions.fetch_add(1, Ordering::Relaxed);
+                        OBS_EVICTIONS.add(1);
                     }
                     false
                 } else {
@@ -191,6 +197,7 @@ impl DiskStore {
         self.inner.lock().unwrap().resident_bytes = total;
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            OBS_EVICTIONS.add(evicted);
         }
     }
 
@@ -201,6 +208,7 @@ impl DiskStore {
         inner.resident_bytes = inner.resident_bytes.saturating_sub(len);
         drop(inner);
         self.stale_drops.fetch_add(1, Ordering::Relaxed);
+        OBS_STALE_DROPS.add(1);
     }
 }
 
@@ -249,6 +257,7 @@ impl CacheStore for DiskStore {
         if entry.len() as u64 > self.config.byte_budget {
             // An entry that can never fit is not persisted at all.
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            OBS_EVICTIONS.add(1);
             return;
         }
         let path = self.path_for(stage, key);

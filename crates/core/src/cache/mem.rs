@@ -18,6 +18,11 @@ use std::sync::Mutex;
 /// Fixed per-entry bookkeeping overhead added to every size estimate.
 pub(crate) const ENTRY_OVERHEAD: u64 = 96;
 
+/// Observability mirrors of the retention counters (the authoritative
+/// values stay in [`TierStats`]; these feed the metrics exposition).
+static OBS_EVICTIONS: asip_obs::Counter = asip_obs::Counter::new("cache.mem.evictions");
+static OBS_STALE_DROPS: asip_obs::Counter = asip_obs::Counter::new("cache.mem.stale_drops");
+
 struct Entry {
     /// Full rendered key, compared byte-for-byte on every bucket probe.
     key: Box<str>,
@@ -209,6 +214,7 @@ impl CacheStore for MemoryStore {
             // up in the stats.
             drop(inner);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            OBS_EVICTIONS.add(1);
             return;
         }
         self.stores.fetch_add(1, Ordering::Relaxed);
@@ -235,6 +241,7 @@ impl CacheStore for MemoryStore {
         drop(inner);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            OBS_EVICTIONS.add(evicted);
         }
     }
 
@@ -248,6 +255,7 @@ impl CacheStore for MemoryStore {
             inner.remove(loc);
             drop(inner);
             self.stale_drops.fetch_add(1, Ordering::Relaxed);
+            OBS_STALE_DROPS.add(1);
         }
     }
 

@@ -21,6 +21,11 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 
+/// How many callers led a flight (ran the compute themselves).
+static OBS_LEADERS: asip_obs::Counter = asip_obs::Counter::new("flight.leader");
+/// How many callers joined an in-flight computation and waited.
+static OBS_WAITERS: asip_obs::Counter = asip_obs::Counter::new("flight.waiter");
+
 /// One in-flight computation: the leader publishes into `done` and wakes
 /// every follower.
 struct Flight<T> {
@@ -76,6 +81,8 @@ impl<T: Clone> SingleFlight<T> {
             }
         };
         if leader {
+            OBS_LEADERS.add(1);
+            let _span = asip_obs::span("flight", "leader");
             let value = compute();
             // Unlink first: a caller arriving after the result is published
             // must start a fresh flight (the cache serves repeats).
@@ -84,6 +91,8 @@ impl<T: Clone> SingleFlight<T> {
             flight.cv.notify_all();
             (value, true)
         } else {
+            OBS_WAITERS.add(1);
+            let _span = asip_obs::span("flight", "waiter");
             let mut done = flight.done.lock().unwrap();
             while done.is_none() {
                 done = flight.cv.wait(done).unwrap();

@@ -53,6 +53,9 @@ use asip_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Full wall time of every [`Session::eval`] call, cache hits included.
+static CELL_EVAL_NS: asip_obs::Histogram = asip_obs::Histogram::new("cell.eval_ns");
+
 /// Environment variable overriding the default worker-thread count.
 ///
 /// The builder is the single source of truth for parallelism: an explicit
@@ -116,6 +119,7 @@ pub struct SessionBuilder {
     cache: Option<Arc<ArtifactCache>>,
     threads: Option<usize>,
     engine: Option<SimEngine>,
+    trace: Option<std::path::PathBuf>,
 }
 
 impl SessionBuilder {
@@ -198,6 +202,20 @@ impl SessionBuilder {
         self
     }
 
+    /// Record span traces for this session's process and write them to
+    /// `path` (Chrome trace-event JSON) when the harness flushes
+    /// (`asip_obs::flush_trace`, or `asip_bench::finish` in the bench
+    /// bins).
+    ///
+    /// Precedence mirrors every other knob: an explicit call here always
+    /// wins; otherwise the `ASIP_TRACE` environment variable supplies the
+    /// path; with neither, span recording stays off (its disabled cost is
+    /// one atomic load per site).
+    pub fn trace(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// Preset: all optimizations off (baseline for ablation studies).
     pub fn unoptimized(mut self) -> Self {
         self.opt = OptConfig::none();
@@ -211,6 +229,14 @@ impl SessionBuilder {
 
     /// Build the session.
     pub fn build(self) -> Session {
+        // Builder wins over environment, like every other knob. The
+        // process-global recorder is configured here because sessions are
+        // the entry point of every evaluation path (bench bins, the serve
+        // workers, tests).
+        match self.trace {
+            Some(path) => asip_obs::set_trace_path(Some(path)),
+            None => asip_obs::init_from_env(),
+        }
         let cache = self.cache.unwrap_or_else(|| {
             // Builder wins over environment; environment wins over
             // default-off (pinned by the `session_env` integration tests).
@@ -432,11 +458,25 @@ impl Session {
 
     /// Evaluate one request on the calling thread.
     pub fn eval(&self, req: &EvalRequest) -> EvalOutcome {
-        EvalOutcome {
+        let start = std::time::Instant::now();
+        let mut span = asip_obs::span("cell", "eval");
+        if span.is_recording() {
+            span.detail(format!(
+                "{}@{} engine={}",
+                req.workload.name,
+                req.machine.name,
+                self.tc.sim.engine.name()
+            ));
+        }
+        let out = EvalOutcome {
             workload: req.workload.name.clone(),
             machine: req.machine.name.clone(),
             result: self.eval_inner(req),
-        }
+        };
+        span.note(if out.is_ok() { "ok" } else { "err" });
+        drop(span);
+        CELL_EVAL_NS.record(start.elapsed().as_nanos() as u64);
+        out
     }
 
     /// Evaluate one request, **coalescing** with any identical request

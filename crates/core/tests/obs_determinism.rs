@@ -1,0 +1,74 @@
+//! The metrics plane is a deterministic function of the work performed:
+//! the same grid of distinct cells through one worker and through eight
+//! must produce identical counter values and histogram counts (only the
+//! timing fields on histogram lines may differ).
+
+use asip_core::session::EvalRequest;
+use asip_core::{ArtifactCache, Session};
+use asip_isa::MachineDescription;
+use std::sync::Arc;
+
+/// Strip the timing tail (`sum_ns=` onward) from histogram lines: what is
+/// left — counter values and `count=` fields — is the deterministic part
+/// of the exposition (see `Snapshot::exposition`).
+fn masked(exposition: &str) -> String {
+    exposition
+        .lines()
+        .map(|l| match l.find(" sum_ns=") {
+            Some(idx) => &l[..idx],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Evaluate `reqs` through a fresh memory-only session with `threads`
+/// workers and return the masked exposition.
+fn run(threads: usize, reqs: &[EvalRequest]) -> String {
+    asip_obs::reset();
+    let s = Session::builder()
+        .threads(threads)
+        .cache(Arc::new(ArtifactCache::new()))
+        .build();
+    for out in s.eval_batch(reqs) {
+        assert!(
+            out.is_ok(),
+            "{}@{}: {:?}",
+            out.workload,
+            out.machine,
+            out.result
+        );
+    }
+    masked(&asip_obs::snapshot().exposition())
+}
+
+#[test]
+fn metrics_are_identical_across_thread_counts() {
+    // Spans off: this test is about the always-on metrics plane.
+    asip_obs::set_trace_path(None);
+    // Distinct workloads and machines per cell, so no two cells share a
+    // stage key: every counter is then a per-cell sum independent of
+    // scheduling (no coalescing, no leader/waiter races).
+    let cells = [
+        ("crc32", MachineDescription::ember1()),
+        ("fir", MachineDescription::ember4()),
+        ("rle", MachineDescription::ember2()),
+        ("sobel", MachineDescription::ember8()),
+    ];
+    let reqs: Vec<EvalRequest> = cells
+        .into_iter()
+        .map(|(w, m)| EvalRequest::new(asip_workloads::by_name(w).unwrap(), m))
+        .collect();
+
+    let single = run(1, &reqs);
+    let threaded = run(8, &reqs);
+    assert_eq!(
+        single, threaded,
+        "masked exposition must not depend on worker count"
+    );
+    // Sanity: the exposition actually covers the instrumented planes.
+    assert!(single.contains("counter cache.mem.loads"));
+    assert!(single.contains("counter cache.mem.stores"));
+    assert!(single.contains("hist cell.eval_ns count=4"));
+    assert!(single.contains("hist stage.simulate.self_ns"));
+}

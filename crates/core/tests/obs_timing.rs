@@ -1,0 +1,57 @@
+//! Stage self-time accounting: the `stage.*.self_ns` histograms subtract
+//! nested stage time (a compile miss that recursively optimizes must not
+//! bill the optimizer's wall to both stages), so across one cold cell the
+//! per-stage self times sum to at most — and in practice nearly all of —
+//! the cell's wall time.
+
+use asip_core::session::EvalRequest;
+use asip_core::{ArtifactCache, Session, StageKind};
+use asip_isa::MachineDescription;
+use std::sync::Arc;
+use std::time::Instant;
+
+#[test]
+fn stage_self_times_partition_cell_wall_time() {
+    asip_obs::set_trace_path(None);
+    asip_obs::reset();
+    let s = Session::builder()
+        .threads(1)
+        .cache(Arc::new(ArtifactCache::new()))
+        .build();
+    let w = asip_workloads::by_name("crc32").unwrap();
+    let req = EvalRequest::new(w, MachineDescription::ember4());
+    let t0 = Instant::now();
+    let out = s.eval(&req);
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    assert!(out.is_ok(), "{:?}", out.result);
+
+    let snap = asip_obs::snapshot();
+    let mut self_sum_ns = 0u64;
+    for stage in StageKind::ALL {
+        let h = snap
+            .histogram(&format!("stage.{}.self_ns", stage.name()))
+            .unwrap_or_else(|| panic!("no self-time histogram for {}", stage.name()));
+        assert!(h.count >= 1, "stage {} never ran", stage.name());
+        self_sum_ns += h.sum_ns;
+    }
+    // No double counting: the selves are disjoint slices of the cell, so
+    // their sum cannot exceed what the clock measured around eval()...
+    assert!(
+        self_sum_ns <= wall_ns,
+        "stage self times ({self_sum_ns} ns) exceed cell wall time ({wall_ns} ns)"
+    );
+    // ...and no big blind spot either: a cold eval is almost entirely
+    // stage work, so the selves account for the bulk of the wall.
+    assert!(
+        self_sum_ns * 2 >= wall_ns,
+        "stage self times ({self_sum_ns} ns) cover under half the cell wall ({wall_ns} ns)"
+    );
+
+    // The per-cell histogram wraps exactly the stage work plus cheap glue:
+    // one sample, between the stage sum and the outer wall.
+    let cell = snap
+        .histogram("cell.eval_ns")
+        .expect("cell.eval_ns recorded");
+    assert_eq!(cell.count, 1);
+    assert!(cell.sum_ns >= self_sum_ns && cell.sum_ns <= wall_ns);
+}

@@ -1,0 +1,36 @@
+//! The `ASIP_TRACE` knob follows the workspace convention: the
+//! environment variable activates tracing for unmodified binaries, and
+//! the builder knob (`SessionBuilder::trace`) wins over it.
+
+use asip_core::Session;
+use std::path::PathBuf;
+
+#[test]
+fn trace_knob_builder_wins_over_env() {
+    let dir = std::env::temp_dir().join(format!("asip-session-env-{}", std::process::id()));
+    let env_path = dir.join("env.json");
+    let builder_path = dir.join("builder.json");
+
+    // Environment alone: building a session turns recording on and the
+    // effective path is the environment's.
+    std::env::set_var(asip_obs::TRACE_ENV, &env_path);
+    let _s = Session::builder().build();
+    assert!(asip_obs::enabled(), "ASIP_TRACE enables span recording");
+    assert_eq!(asip_obs::trace_path(), Some(env_path.clone()));
+
+    // Builder knob beats the environment.
+    let _s = Session::builder().trace(&builder_path).build();
+    assert!(asip_obs::enabled());
+    assert_eq!(asip_obs::trace_path(), Some(builder_path));
+
+    // An explicit clear turns tracing off even with the variable set.
+    asip_obs::set_trace_path(None);
+    assert!(!asip_obs::enabled());
+    assert_eq!(asip_obs::trace_path(), None::<PathBuf>);
+    // A later env-driven build stays off: the explicit choice sticks.
+    let _s = Session::builder().build();
+    assert!(!asip_obs::enabled());
+
+    std::env::remove_var(asip_obs::TRACE_ENV);
+    asip_obs::clear_events();
+}

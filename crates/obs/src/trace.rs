@@ -1,0 +1,170 @@
+//! Chrome trace-event JSON export: turn the recorded span events into a
+//! file `chrome://tracing` (or Perfetto) opens directly, with one lane per
+//! recording thread.
+//!
+//! Activation follows the workspace knob convention — **builder wins over
+//! environment** ([`set_trace_path`] beats `ASIP_TRACE`; pinned by the
+//! `session_env` tests). Configuring a path also enables span recording;
+//! `asip_bench::finish()` (and anything else owning a process exit) calls
+//! [`flush_trace`] to write the file.
+
+use crate::SpanEvent;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Environment variable naming the trace output file. Unset (or empty)
+/// means no tracing; an explicit [`set_trace_path`] always wins over it.
+pub const TRACE_ENV: &str = "ASIP_TRACE";
+
+/// Explicit override: `None` = nothing set programmatically (fall back to
+/// the environment), `Some(None)` = tracing explicitly off, `Some(path)` =
+/// explicitly on.
+static OVERRIDE: Mutex<Option<Option<PathBuf>>> = Mutex::new(None);
+
+/// Programmatically set (or clear) the trace output path. Wins over
+/// `ASIP_TRACE`. Setting a path enables span recording; clearing with
+/// `None` disables it.
+pub fn set_trace_path(path: Option<PathBuf>) {
+    crate::set_enabled(path.is_some());
+    *OVERRIDE.lock().unwrap() = Some(path);
+}
+
+/// The effective trace output path: the [`set_trace_path`] override when
+/// one was made, else a non-empty `ASIP_TRACE`, else `None`.
+pub fn trace_path() -> Option<PathBuf> {
+    if let Some(explicit) = OVERRIDE.lock().unwrap().as_ref() {
+        return explicit.clone();
+    }
+    std::env::var_os(TRACE_ENV)
+        .filter(|v| !v.is_empty())
+        .map(PathBuf::from)
+}
+
+/// Enable span recording when the environment (and no explicit override)
+/// asks for a trace. Called by `Session::build`, so any `exp_*` run under
+/// `ASIP_TRACE=out.json` records without code changes.
+pub fn init_from_env() {
+    if trace_path().is_some() {
+        crate::set_enabled(true);
+    }
+}
+
+fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render span events as a complete Chrome trace-event JSON document
+/// (`"X"` complete events; timestamps in microseconds with nanosecond
+/// precision).
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let pid = std::process::id();
+    let mut out = String::with_capacity(events.len() * 128 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":\"");
+        escape_json_into(e.name, &mut out);
+        out.push_str("\",\"cat\":\"");
+        escape_json_into(e.cat, &mut out);
+        out.push_str(&format!(
+            "\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03}",
+            e.tid,
+            e.start_ns / 1_000,
+            e.start_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+        ));
+        if !e.note.is_empty() || !e.detail.is_empty() {
+            out.push_str(",\"args\":{");
+            let mut first = true;
+            if !e.note.is_empty() {
+                out.push_str("\"note\":\"");
+                escape_json_into(e.note, &mut out);
+                out.push('"');
+                first = false;
+            }
+            if !e.detail.is_empty() {
+                if !first {
+                    out.push(',');
+                }
+                out.push_str("\"detail\":\"");
+                escape_json_into(&e.detail, &mut out);
+                out.push('"');
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Write the retained span events to the configured trace path, if any.
+/// Returns the path and event count on a write, `None` when tracing is
+/// not configured.
+///
+/// # Errors
+///
+/// Any filesystem error creating or writing the output file.
+pub fn flush_trace() -> io::Result<Option<(PathBuf, usize)>> {
+    let Some(path) = trace_path() else {
+        return Ok(None);
+    };
+    let events = crate::events();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&path, chrome_trace_json(&events))?;
+    Ok(Some((path, events.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_json_escapes_and_formats() {
+        let events = vec![SpanEvent {
+            cat: "stage",
+            name: "parse",
+            note: "miss",
+            detail: "weird \"quote\"\n\\slash".into(),
+            tid: 3,
+            start_ns: 1_234_567,
+            dur_ns: 89_012,
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"parse\""));
+        assert!(json.contains("\"cat\":\"stage\""));
+        assert!(json.contains("\"ts\":1234.567"));
+        assert!(json.contains("\"dur\":89.012"));
+        assert!(json.contains("\\\"quote\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("\\\\slash"));
+        assert!(!json.contains('\n'), "single-line document");
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_shell() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}"
+        );
+    }
+}

@@ -1,7 +1,7 @@
 //! The client side of the evaluation service: a blocking request/response
 //! connection speaking the [`wire`](crate::wire) protocol.
 
-use crate::wire::{read_frame, write_frame, Message, ProtocolError, StatsReply};
+use crate::wire::{read_frame, write_frame, Message, MetricsReply, ProtocolError, StatsReply};
 use asip_core::session::{EvalOutcome, EvalRequest};
 use std::fmt;
 use std::io::{BufReader, BufWriter};
@@ -130,6 +130,20 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsReply, ServeError> {
         match self.call(&Message::Stats)? {
             Message::StatsReply(s) => Ok(*s),
+            other => Err(ServeError::Unexpected { got: other.name() }),
+        }
+    }
+
+    /// Fetch the server process's metrics snapshot (counters, latency
+    /// histograms, cache counters) — what the shard coordinator scrapes
+    /// for its per-shard table.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ServeError::Protocol`] or an unexpected reply.
+    pub fn metrics(&mut self) -> Result<MetricsReply, ServeError> {
+        match self.call(&Message::Metrics)? {
+            Message::MetricsReply(m) => Ok(*m),
             other => Err(ServeError::Unexpected { got: other.name() }),
         }
     }

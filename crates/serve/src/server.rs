@@ -15,7 +15,7 @@
 //!   the cache-counter delta around the cells it led. The `Stats` RPC
 //!   returns the global [`CacheStats`] plus the per-client table.
 
-use crate::wire::{read_frame, write_frame, ClientStats, Message, StatsReply};
+use crate::wire::{read_frame, write_frame, ClientStats, Message, MetricsReply, StatsReply};
 use asip_core::cache::CacheStats;
 use asip_core::session::{EvalOutcome, EvalRequest, Session};
 use std::collections::BTreeMap;
@@ -23,6 +23,15 @@ use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Eval RPCs received (admitted or rejected) across all connections.
+static OBS_REQUESTS: asip_obs::Counter = asip_obs::Counter::new("serve.requests");
+/// Cells admitted for evaluation.
+static OBS_CELLS: asip_obs::Counter = asip_obs::Counter::new("serve.cells");
+/// Eval RPCs bounced by admission control.
+static OBS_BUSY: asip_obs::Counter = asip_obs::Counter::new("serve.busy_rejections");
+/// Per-cell wall latency through the server's coalescing batch executor.
+static OBS_EVAL_CELL_NS: asip_obs::Histogram = asip_obs::Histogram::new("serve.eval_cell_ns");
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -238,12 +247,18 @@ fn eval_batch_coalesced(session: &Session, reqs: &[EvalRequest]) -> (Vec<EvalOut
         return (Vec::new(), 0);
     }
     let threads = session.threads().min(n).max(1);
+    let eval_timed = |r: &EvalRequest| {
+        let t0 = std::time::Instant::now();
+        let out = session.eval_coalesced(r);
+        OBS_EVAL_CELL_NS.record(t0.elapsed().as_nanos() as u64);
+        out
+    };
     if threads <= 1 {
         let mut led_total = 0;
         let outs = reqs
             .iter()
             .map(|r| {
-                let (o, led) = session.eval_coalesced(r);
+                let (o, led) = eval_timed(r);
                 led_total += u64::from(led);
                 o
             })
@@ -260,7 +275,7 @@ fn eval_batch_coalesced(session: &Session, reqs: &[EvalRequest]) -> (Vec<EvalOut
                 if i >= n {
                     break;
                 }
-                let (outcome, led) = session.eval_coalesced(&reqs[i]);
+                let (outcome, led) = eval_timed(&reqs[i]);
                 led_total.fetch_add(u64::from(led), Ordering::Relaxed);
                 slots.lock().unwrap()[i] = Some(outcome);
             });
@@ -294,8 +309,13 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) {
         let reply = match msg {
             Message::Eval(reqs) => {
                 let cells = reqs.len() as u64;
+                OBS_REQUESTS.add(1);
+                let mut admit_span = asip_obs::span("serve", "admit");
                 match shared.admit(cells) {
                     Err(in_flight) => {
+                        admit_span.note("busy");
+                        drop(admit_span);
+                        OBS_BUSY.add(1);
                         shared.with_client(&client_id, |c| {
                             c.requests += 1;
                             c.busy_rejections += 1;
@@ -306,9 +326,17 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) {
                         }
                     }
                     Ok(admission) => {
+                        admit_span.note("admitted");
+                        drop(admit_span);
+                        OBS_CELLS.add(cells);
+                        let mut eval_span = asip_obs::span("serve", "eval");
+                        if eval_span.is_recording() {
+                            eval_span.detail(format!("{cells} cells from {client_id}"));
+                        }
                         let before = shared.session.cache_stats();
                         let (outcomes, led) = eval_batch_coalesced(&shared.session, &reqs);
                         let after = shared.session.cache_stats();
+                        drop(eval_span);
                         drop(admission);
                         shared.with_client(&client_id, |c| {
                             c.requests += 1;
@@ -330,6 +358,9 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) {
                     clients,
                 }))
             }
+            Message::Metrics => Message::MetricsReply(Box::new(MetricsReply::from_process(
+                shared.session.cache_stats(),
+            ))),
             Message::Ping => Message::Pong,
             Message::Shutdown => {
                 shared.stopping.store(true, Ordering::Release);

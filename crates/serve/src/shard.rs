@@ -23,6 +23,7 @@
 //! never a partial grid.
 
 use crate::client::{Client, ServeError};
+use crate::wire::MetricsReply;
 use asip_core::nxm::{Cell, Grid};
 use asip_core::session::{EvalOutcome, EvalRequest, Session};
 use asip_isa::MachineDescription;
@@ -104,6 +105,10 @@ const BUSY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(25);
 
 /// Dispatch one chunk to one worker, absorbing transient `Busy` rejections.
 fn dispatch(addr: &str, reqs: &[EvalRequest]) -> Result<Vec<EvalOutcome>, ServeError> {
+    let mut span = asip_obs::span("serve", "shard_rpc");
+    if span.is_recording() {
+        span.detail(format!("{} cells -> {addr}", reqs.len()));
+    }
     let mut client = Client::connect(addr)?;
     let mut busy = 0;
     loop {
@@ -133,6 +138,80 @@ pub fn run_sharded(
     reqs: &[EvalRequest],
     retries: u32,
 ) -> Result<Vec<EvalOutcome>, ServeError> {
+    run_sharded_inner(addrs, reqs, retries).map(|(outs, _)| outs)
+}
+
+/// [`run_sharded`], then scrape each surviving worker's [`MetricsReply`]
+/// over the `Metrics` RPC. The metrics vector is shard-indexed; a shard
+/// that died (or refuses the scrape) reports `None`. Render the result
+/// with [`format_shard_table`].
+///
+/// # Errors
+///
+/// Exactly [`run_sharded`]'s errors; a failed scrape is not an error.
+pub fn run_sharded_metrics(
+    addrs: &[String],
+    reqs: &[EvalRequest],
+    retries: u32,
+) -> Result<(Vec<EvalOutcome>, Vec<Option<MetricsReply>>), ServeError> {
+    let (outs, alive) = run_sharded_inner(addrs, reqs, retries)?;
+    let mut metrics = vec![None; addrs.len()];
+    for shard in alive {
+        if let Ok(mut client) = Client::connect(&addrs[shard]) {
+            metrics[shard] = client.metrics().ok();
+        }
+    }
+    Ok((outs, metrics))
+}
+
+/// Render a shard-indexed metrics scrape (from [`run_sharded_metrics`]) as
+/// the per-shard summary table `exp_serve` prints: cells evaluated, busy
+/// rejections, per-cell eval latency p50/p99, and the cache hit ratio over
+/// the five pipeline stages.
+pub fn format_shard_table(metrics: &[Option<MetricsReply>]) -> String {
+    let mut out = String::new();
+    for (shard, m) in metrics.iter().enumerate() {
+        let Some(m) = m else {
+            out.push_str(&format!(
+                "[serve] shard {shard}: no metrics (worker gone)\n"
+            ));
+            continue;
+        };
+        let cells = m.counter("serve.cells");
+        let busy = m.counter("serve.busy_rejections");
+        let (p50, p99) = m
+            .histogram("serve.eval_cell_ns")
+            .map_or((0, 0), |h| (h.quantile_ns(0.5), h.quantile_ns(0.99)));
+        let stages = [
+            &m.cache.parse,
+            &m.cache.optimize,
+            &m.cache.profile,
+            &m.cache.compile,
+            &m.cache.simulate,
+        ];
+        let hits: u64 = stages.iter().map(|s| s.hits).sum();
+        let lookups: u64 = stages.iter().map(|s| s.hits + s.misses).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let hit_pct = if lookups == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / lookups as f64
+        };
+        #[allow(clippy::cast_precision_loss)]
+        out.push_str(&format!(
+            "[serve] shard {shard}: cells={cells} busy={busy} eval p50={:.3}ms p99={:.3}ms cache-hit={hit_pct:.1}%\n",
+            p50 as f64 / 1e6,
+            p99 as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+fn run_sharded_inner(
+    addrs: &[String],
+    reqs: &[EvalRequest],
+    retries: u32,
+) -> Result<(Vec<EvalOutcome>, Vec<usize>), ServeError> {
     if addrs.is_empty() {
         return Err(ServeError::Spawn("no worker addresses".into()));
     }
@@ -186,12 +265,13 @@ pub fn run_sharded(
         let filled = slots.lock().unwrap();
         pending.retain(|&i| filled[i].is_none());
     }
-    Ok(slots
+    let outs = slots
         .into_inner()
         .unwrap()
         .into_iter()
         .map(|o| o.expect("no cell is pending"))
-        .collect())
+        .collect();
+    Ok((outs, alive))
 }
 
 /// Assemble a [`Grid`] from grid-ordered outcomes (the shape

@@ -31,7 +31,8 @@ pub const MAGIC: [u8; 8] = *b"ASIPSRV\0";
 
 /// Wire format version. Bump on any frame- or payload-layout change; a
 /// mismatch is a typed [`ProtocolError::BadVersion`], never a misparse.
-pub const WIRE_VERSION: u32 = 1;
+/// Version 2 added the `Metrics`/`MetricsReply` kinds.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (64 MiB). A declared length beyond this
 /// is rejected before any allocation — a garbage length field cannot make
@@ -185,6 +186,173 @@ impl Codec for StatsReply {
     }
 }
 
+/// One named counter in a [`MetricsReply`] (the wire mirror of
+/// `asip_obs::CounterSnapshot`; the protocol crate keeps its own types so
+/// the observability spine never grows a wire dependency).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireCounter {
+    /// Dotted metric name (`"cache.mem.evictions"`, `"flight.leader"`, …).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+impl Codec for WireCounter {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_u64(self.value);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(WireCounter {
+            name: r.get_str()?,
+            value: r.get_u64()?,
+        })
+    }
+}
+
+/// One named log2-bucketed histogram in a [`MetricsReply`] (wire mirror of
+/// `asip_obs::HistogramSnapshot`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WireHistogram {
+    /// Dotted metric name (`"cell.eval_ns"`, `"serve.eval_cell_ns"`, …).
+    pub name: String,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (nanoseconds for latency histograms).
+    pub sum_ns: u64,
+    /// Occupied log2 buckets as `(index, count)`; bucket `i` holds values
+    /// up to `2^i - 1`.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl WireHistogram {
+    /// Upper bound of the bucket holding the rank-`q` value (the same
+    /// estimate `asip_obs` reports); 0 when the histogram is empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    0
+                } else if usize::from(i) >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+impl Codec for WireHistogram {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.name);
+        w.put_u64(self.count);
+        w.put_u64(self.sum_ns);
+        w.put_u32(self.buckets.len() as u32);
+        for &(i, n) in &self.buckets {
+            w.put_u8(i);
+            w.put_u64(n);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let name = r.get_str()?;
+        let count = r.get_u64()?;
+        let sum_ns = r.get_u64()?;
+        let len = r.get_len()?;
+        let mut buckets = Vec::with_capacity(len.min(64));
+        for _ in 0..len {
+            buckets.push((r.get_u8()?, r.get_u64()?));
+        }
+        Ok(WireHistogram {
+            name,
+            count,
+            sum_ns,
+            buckets,
+        })
+    }
+}
+
+/// The `Metrics` RPC response body: the worker process's full metrics
+/// snapshot plus its session cache counters, so a shard coordinator can
+/// print per-shard cells, busy rejections, latency quantiles and cache hit
+/// ratios without any shared state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReply {
+    /// Every registered counter, sorted by name.
+    pub counters: Vec<WireCounter>,
+    /// Every registered histogram, sorted by name.
+    pub histograms: Vec<WireHistogram>,
+    /// The serving session's cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsReply {
+    /// Snapshot this process's metrics registry alongside `cache`.
+    pub fn from_process(cache: CacheStats) -> MetricsReply {
+        let snap = asip_obs::snapshot();
+        MetricsReply {
+            counters: snap
+                .counters
+                .into_iter()
+                .map(|c| WireCounter {
+                    name: c.name,
+                    value: c.value,
+                })
+                .collect(),
+            histograms: snap
+                .histograms
+                .into_iter()
+                .map(|h| WireHistogram {
+                    name: h.name,
+                    count: h.count,
+                    sum_ns: h.sum_ns,
+                    buckets: h.buckets,
+                })
+                .collect(),
+            cache,
+        }
+    }
+
+    /// The named counter's value; 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// The named histogram, when present.
+    pub fn histogram(&self, name: &str) -> Option<&WireHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl Codec for MetricsReply {
+    fn encode(&self, w: &mut Writer) {
+        self.counters.encode(w);
+        self.histograms.encode(w);
+        self.cache.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(MetricsReply {
+            counters: Vec::decode(r)?,
+            histograms: Vec::decode(r)?,
+            cache: Codec::decode(r)?,
+        })
+    }
+}
+
 /// Every message the protocol carries, requests and responses alike.
 ///
 /// Stable kind bytes — never renumber: requests are 0–15, responses 16+.
@@ -198,6 +366,8 @@ pub enum Message {
     Ping,
     /// Request: stop accepting connections and exit the serve loop.
     Shutdown,
+    /// Request: report the process's metrics snapshot.
+    Metrics,
     /// Response to `Eval`: request-ordered outcomes.
     Outcomes(Vec<EvalOutcome>),
     /// Response to `Eval` under overload: admission control rejected the
@@ -213,6 +383,8 @@ pub enum Message {
     StatsReply(Box<StatsReply>),
     /// Response to `Ping` and `Shutdown`.
     Pong,
+    /// Response to `Metrics` (boxed for the same reason as `StatsReply`).
+    MetricsReply(Box<MetricsReply>),
 }
 
 impl Message {
@@ -223,10 +395,12 @@ impl Message {
             Message::Stats => 1,
             Message::Ping => 2,
             Message::Shutdown => 3,
+            Message::Metrics => 4,
             Message::Outcomes(_) => 16,
             Message::Busy { .. } => 17,
             Message::StatsReply(_) => 18,
             Message::Pong => 19,
+            Message::MetricsReply(_) => 20,
         }
     }
 
@@ -237,10 +411,12 @@ impl Message {
             Message::Stats => "Stats",
             Message::Ping => "Ping",
             Message::Shutdown => "Shutdown",
+            Message::Metrics => "Metrics",
             Message::Outcomes(_) => "Outcomes",
             Message::Busy { .. } => "Busy",
             Message::StatsReply(_) => "StatsReply",
             Message::Pong => "Pong",
+            Message::MetricsReply(_) => "MetricsReply",
         }
     }
 
@@ -254,7 +430,12 @@ impl Message {
                 w.put_u64(*limit);
             }
             Message::StatsReply(s) => s.encode(&mut w),
-            Message::Stats | Message::Ping | Message::Shutdown | Message::Pong => {}
+            Message::MetricsReply(m) => m.encode(&mut w),
+            Message::Stats
+            | Message::Ping
+            | Message::Shutdown
+            | Message::Metrics
+            | Message::Pong => {}
         }
         w.into_bytes()
     }
@@ -266,6 +447,7 @@ impl Message {
             1 => Message::Stats,
             2 => Message::Ping,
             3 => Message::Shutdown,
+            4 => Message::Metrics,
             16 => Message::Outcomes(Vec::decode(&mut r)?),
             17 => Message::Busy {
                 in_flight: r.get_u64()?,
@@ -273,6 +455,7 @@ impl Message {
             },
             18 => Message::StatsReply(Box::new(StatsReply::decode(&mut r)?)),
             19 => Message::Pong,
+            20 => Message::MetricsReply(Box::new(MetricsReply::decode(&mut r)?)),
             kind => return Err(ProtocolError::BadKind { kind }),
         };
         r.finish().map_err(ProtocolError::Codec)?;
@@ -371,6 +554,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Message, ProtocolError> {
             Err(e) => return Err(ProtocolError::Io(e)),
         }
     }
+    // Span starts only after the header arrived: the blocking wait for a
+    // peer's next frame is idle time, not decode time.
+    let mut span = asip_obs::span("serve", "frame");
     if head[..8] != MAGIC {
         return Err(ProtocolError::BadMagic);
     }
@@ -395,7 +581,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Message, ProtocolError> {
     if declared != sum {
         return Err(ProtocolError::BadChecksum);
     }
-    Message::decode_payload(kind, &rest[..body_end])
+    let msg = Message::decode_payload(kind, &rest[..body_end])?;
+    span.note(msg.name());
+    Ok(msg)
 }
 
 #[cfg(test)]
@@ -437,6 +625,34 @@ mod tests {
             }],
         })));
         roundtrip(&Message::Pong);
+        roundtrip(&Message::Metrics);
+        roundtrip(&Message::MetricsReply(Box::new(MetricsReply {
+            counters: vec![WireCounter {
+                name: "cache.mem.evictions".into(),
+                value: 3,
+            }],
+            histograms: vec![WireHistogram {
+                name: "cell.eval_ns".into(),
+                count: 4,
+                sum_ns: 1000,
+                buckets: vec![(8, 3), (10, 1)],
+            }],
+            cache: CacheStats::default(),
+        })));
+    }
+
+    #[test]
+    fn wire_histogram_quantiles() {
+        let h = WireHistogram {
+            name: "h".into(),
+            count: 100,
+            sum_ns: 0,
+            buckets: vec![(4, 50), (8, 49), (20, 1)],
+        };
+        assert_eq!(h.quantile_ns(0.5), (1 << 4) - 1);
+        assert_eq!(h.quantile_ns(0.99), (1 << 8) - 1);
+        assert_eq!(h.quantile_ns(1.0), (1 << 20) - 1);
+        assert_eq!(WireHistogram::default().quantile_ns(0.5), 0);
     }
 
     #[test]

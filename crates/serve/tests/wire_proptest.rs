@@ -5,7 +5,10 @@
 
 use asip_core::session::EvalRequest;
 use asip_isa::MachineDescription;
-use asip_serve::wire::{Message, ProtocolError, MAGIC, MAX_PAYLOAD, WIRE_VERSION};
+use asip_serve::wire::{
+    Message, MetricsReply, ProtocolError, WireCounter, WireHistogram, MAGIC, MAX_PAYLOAD,
+    WIRE_VERSION,
+};
 use proptest::prelude::*;
 
 /// FNV-1a, restated here so the tests can re-stamp checksums on frames
@@ -41,7 +44,7 @@ fn message_for(seed: u64) -> Message {
         let w = workloads[(s as usize / 7) % workloads.len()].clone();
         EvalRequest::new(w, m).with_ise((s % 33) as f64)
     };
-    match seed % 7 {
+    match seed % 9 {
         0 => Message::Eval((0..seed % 4).map(|i| req(seed.wrapping_add(i))).collect()),
         1 => Message::Stats,
         2 => Message::Ping,
@@ -51,6 +54,24 @@ fn message_for(seed: u64) -> Message {
             limit: seed.rotate_right(9),
         },
         5 => Message::StatsReply(Box::default()),
+        6 => Message::Metrics,
+        7 => Message::MetricsReply(Box::new(MetricsReply {
+            counters: (0..seed % 5)
+                .map(|i| WireCounter {
+                    name: format!("c.{i}"),
+                    value: seed.rotate_left(i as u32),
+                })
+                .collect(),
+            histograms: (0..seed % 3)
+                .map(|i| WireHistogram {
+                    name: format!("h.{i}"),
+                    count: seed % 100,
+                    sum_ns: seed.rotate_right(5),
+                    buckets: (0..(seed % 4) as u8).map(|b| (b * 7, seed % 13)).collect(),
+                })
+                .collect(),
+            cache: Default::default(),
+        })),
         _ => Message::Pong,
     }
 }

@@ -117,6 +117,8 @@ impl BlockScalar {
         machine: &MachineDescription,
         program: &ScalarProgram,
     ) -> Result<BlockScalar, SimError> {
+        let mut span = asip_obs::span("engine", "prepare");
+        span.note("block");
         let d = DecodedScalar::new(machine, program)?;
         let mut entries: Vec<u32> = d.program.functions.iter().map(|f| f.entry).collect();
         let ctrl: Vec<_> = d
@@ -340,6 +342,8 @@ impl BlockScalar {
         opts: SimOptions,
         dirty_out: &mut usize,
     ) -> Result<SimResult, SimError> {
+        let mut span = asip_obs::span("engine", "run");
+        span.note("block");
         let d = &self.d;
         if args.len() != d.num_args as usize {
             return Err(SimError::BadArgs {

@@ -112,6 +112,8 @@ impl BlockVliw {
     /// [`SimError::InvalidProgram`] if the program fails static validation
     /// against the machine.
     pub fn new(machine: &MachineDescription, program: &VliwProgram) -> Result<BlockVliw, SimError> {
+        let mut span = asip_obs::span("engine", "prepare");
+        span.note("block");
         let d = DecodedVliw::new(machine, program)?;
         let mut entries: Vec<u32> = d.program.functions.iter().map(|f| f.entry).collect();
         let ctrl: Vec<_> = d
@@ -325,6 +327,8 @@ impl BlockVliw {
         opts: SimOptions,
         dirty_out: &mut usize,
     ) -> Result<SimResult, SimError> {
+        let mut span = asip_obs::span("engine", "run");
+        span.note("block");
         let d = &self.d;
         if args.len() != d.num_args as usize {
             return Err(SimError::BadArgs {

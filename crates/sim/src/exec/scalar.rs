@@ -81,6 +81,8 @@ impl DecodedScalar {
         machine: &MachineDescription,
         program: &ScalarProgram,
     ) -> Result<DecodedScalar, SimError> {
+        let mut span = asip_obs::span("engine", "prepare");
+        span.note("decoded");
         program
             .validate(machine)
             .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
@@ -185,6 +187,8 @@ impl DecodedScalar {
         args: &[i32],
         opts: SimOptions,
     ) -> Result<SimResult, SimError> {
+        let mut span = asip_obs::span("engine", "run");
+        span.note("decoded");
         if args.len() != self.num_args as usize {
             return Err(SimError::BadArgs {
                 expected: self.num_args,

@@ -72,6 +72,8 @@ impl DecodedVliw {
         machine: &MachineDescription,
         program: &VliwProgram,
     ) -> Result<DecodedVliw, SimError> {
+        let mut span = asip_obs::span("engine", "prepare");
+        span.note("decoded");
         program
             .validate(machine)
             .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
@@ -164,6 +166,8 @@ impl DecodedVliw {
         args: &[i32],
         opts: SimOptions,
     ) -> Result<SimResult, SimError> {
+        let mut span = asip_obs::span("engine", "run");
+        span.note("decoded");
         if args.len() != self.num_args as usize {
             return Err(SimError::BadArgs {
                 expected: self.num_args,

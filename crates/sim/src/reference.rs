@@ -63,6 +63,8 @@ pub fn run_vliw_reference(
     args: &[i32],
     opts: SimOptions,
 ) -> Result<SimResult, SimError> {
+    let mut span = asip_obs::span("engine", "run");
+    span.note("reference");
     program
         .validate(machine)
         .map_err(|e| SimError::InvalidProgram(e.to_string()))?;
@@ -344,6 +346,8 @@ pub fn run_scalar_reference(
     args: &[i32],
     opts: SimOptions,
 ) -> Result<SimResult, SimError> {
+    let mut span = asip_obs::span("engine", "run");
+    span.note("reference");
     program
         .validate(machine)
         .map_err(|e| SimError::InvalidProgram(e.to_string()))?;

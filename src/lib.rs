@@ -5,6 +5,7 @@ pub use asip_dbt as dbt;
 pub use asip_econ as econ;
 pub use asip_ir as ir;
 pub use asip_isa as isa;
+pub use asip_obs as obs;
 pub use asip_serve as serve;
 pub use asip_sim as sim;
 pub use asip_tinyc as tinyc;

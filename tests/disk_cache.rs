@@ -87,9 +87,11 @@ fn cold_session_warm_starts_byte_identical_from_disk() {
     assert!(out1.iter().all(|o| o.is_ok()), "{out1:#?}");
     let cold_stats = s1.cache_stats();
     assert!(cold_stats.has_disk);
-    // A fresh directory serves nothing (in-batch front-half reuse hits the
-    // memory tier only), and every compile is a genuine miss.
-    assert_eq!(cold_stats.disk.hits, 0, "fresh dir: {cold_stats}");
+    // Every compile is a genuine miss: compile keys are unique per cell,
+    // so nothing compiled can have come from a fresh directory. (Shared
+    // front-half keys are deliberately not pinned to zero disk hits: with
+    // two workers, one worker's write-through can land on disk inside the
+    // other's probe window — a benign race that serves the correct bytes.)
     assert_eq!(cold_stats.compile.misses, 9, "{cold_stats}");
     assert!(
         cold_stats.disk.stores > 0,
