@@ -594,6 +594,13 @@ impl Toolchain {
                     .get_or_prepare(key, || Ok(BlockVliw::new(machine, program)?))?;
                 Ok(b.run_with_inputs(&w.inputs, &w.args, self.sim)?)
             }
+            SimEngine::Superblock => {
+                let key = self.prepare_key(TargetKind::Vliw, machine, program);
+                let b = self
+                    .cache
+                    .get_or_prepare(key, || Ok(BlockVliw::with_traces(machine, program)?))?;
+                Ok(b.run_with_inputs(&w.inputs, &w.args, self.sim)?)
+            }
         }
     }
 
@@ -622,6 +629,13 @@ impl Toolchain {
                 let b = self
                     .cache
                     .get_or_prepare(key, || Ok(BlockScalar::new(machine, program)?))?;
+                Ok(b.run_with_inputs(&w.inputs, &w.args, self.sim)?)
+            }
+            SimEngine::Superblock => {
+                let key = self.prepare_key(TargetKind::Scalar, machine, program);
+                let b = self
+                    .cache
+                    .get_or_prepare(key, || Ok(BlockScalar::with_traces(machine, program)?))?;
                 Ok(b.run_with_inputs(&w.inputs, &w.args, self.sim)?)
             }
         }

@@ -300,6 +300,54 @@ pub fn discover(ctrl: &[Ctrl], entries: &[u32]) -> BlockMap {
     BlockMap { blocks, block_of }
 }
 
+/// Grow a superblock trace from `head`: follow each block's dominant
+/// successor (supplied by `next` — typically a runtime edge profile) for as
+/// long as the path stays inside the loop region and enters blocks at their
+/// leaders, bounded by `max_blocks` chain segments and `max_pcs` total pcs.
+///
+/// Returns the chain as block indices into `map.blocks`, always starting
+/// with `head`. The chain may revisit blocks — a self-loop or short cycle
+/// unrolls up to the caps, which is exactly what a trace-dispatching
+/// consumer wants (each revisit it chains through is a dispatch saved).
+/// Callers decide viability (a single-segment chain is not a trace) and
+/// encode their own stop conditions by returning `None` from `next`
+/// (low edge confidence, a block their translator refused, …).
+///
+/// The walk stops at:
+/// * `next` returning `None` (the caller's profile ran out of confidence);
+/// * a successor entering a block *mid-range* (`pc` not the block's start —
+///   a computed target the block partition cannot chain through);
+/// * a successor leaving the loop region (`in_loop == false`);
+/// * either cap.
+pub fn grow_trace(
+    map: &BlockMap,
+    head: usize,
+    max_blocks: usize,
+    max_pcs: u32,
+    mut next: impl FnMut(usize) -> Option<u32>,
+) -> Vec<u32> {
+    let mut chain = vec![head as u32];
+    let mut pcs = map.blocks[head].len();
+    loop {
+        if chain.len() >= max_blocks {
+            break;
+        }
+        let cur = *chain.last().unwrap() as usize;
+        let Some(pc) = next(cur) else { break };
+        let nb = map.block_of[pc as usize] as usize;
+        let blk = &map.blocks[nb];
+        if pc != blk.start() || !blk.in_loop {
+            break;
+        }
+        if pcs + blk.len() > max_pcs {
+            break;
+        }
+        pcs += blk.len();
+        chain.push(nb as u32);
+    }
+    chain
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,5 +478,62 @@ mod tests {
         let map = discover(&[], &[]);
         assert!(map.blocks.is_empty());
         assert!(map.block_of.is_empty());
+    }
+
+    /// Two-block loop: the dominant path closes the cycle, and the walker
+    /// unrolls it around the cycle up to the block cap.
+    #[test]
+    fn grow_trace_unrolls_a_two_block_loop() {
+        // 0: prologue; 1-2: A (cond -> 4 side exit); 3: B jump -> 1; 4: halt
+        let ctrl = [
+            Ctrl::FallThrough,
+            Ctrl::FallThrough,
+            Ctrl::CondJump(4),
+            Ctrl::Jump(1),
+            Ctrl::Halt,
+        ];
+        let map = discover(&ctrl, &[0]);
+        let a = map.block_of[1] as usize;
+        let b = map.block_of[3] as usize;
+        assert!(map.blocks[a].in_loop && map.blocks[b].in_loop);
+        // Dominant edges: A falls through to B, B jumps back to A.
+        let chain = grow_trace(&map, a, 6, 64, |cur| {
+            if cur == a {
+                Some(map.blocks[b].start())
+            } else {
+                Some(map.blocks[a].start())
+            }
+        });
+        assert_eq!(
+            chain,
+            vec![a as u32, b as u32, a as u32, b as u32, a as u32, b as u32]
+        );
+    }
+
+    #[test]
+    fn grow_trace_respects_caps_and_stop_conditions() {
+        let ctrl = [
+            Ctrl::FallThrough,
+            Ctrl::FallThrough,
+            Ctrl::CondJump(1),
+            Ctrl::Halt,
+        ];
+        let map = discover(&ctrl, &[0]);
+        let body = map.block_of[1] as usize;
+        assert!(map.blocks[body].in_loop);
+        // The pc cap truncates an otherwise-infinite self-chain: the body
+        // is 2 pcs, so 7 pcs admits 3 segments (head + 2 revisits).
+        let chain = grow_trace(&map, body, 64, 7, |_| Some(1));
+        assert_eq!(chain.len(), 3);
+        assert!(chain.iter().all(|&b| b == body as u32));
+        // A mid-block successor pc stops the walk immediately.
+        let chain = grow_trace(&map, body, 8, 64, |_| Some(2));
+        assert_eq!(chain, vec![body as u32]);
+        // A successor outside the loop region stops the walk.
+        let chain = grow_trace(&map, body, 8, 64, |_| Some(3));
+        assert_eq!(chain, vec![body as u32]);
+        // The caller's profile running dry stops the walk.
+        let chain = grow_trace(&map, body, 8, 64, |_| None);
+        assert_eq!(chain, vec![body as u32]);
     }
 }

@@ -45,8 +45,8 @@ pub mod worker;
 pub use client::{Client, ServeError};
 pub use server::{EvalServer, ServerConfig};
 pub use shard::{
-    default_shard_mode, grid_from_outcomes, run_grid, run_sharded, ShardMode, ShardPlan,
-    WorkerPool, SHARDS_ENV,
+    default_shard_mode, format_shard_table, grid_from_outcomes, run_grid, run_sharded,
+    run_sharded_metrics, ShardMode, ShardPlan, WorkerPool, SHARDS_ENV,
 };
 pub use wire::{read_frame, write_frame, ClientStats, Message, ProtocolError, StatsReply};
 pub use worker::{serve_worker, try_worker_main, worker_main, worker_requested, WORKER_FLAG};

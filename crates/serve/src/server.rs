@@ -30,6 +30,10 @@ static OBS_REQUESTS: asip_obs::Counter = asip_obs::Counter::new("serve.requests"
 static OBS_CELLS: asip_obs::Counter = asip_obs::Counter::new("serve.cells");
 /// Eval RPCs bounced by admission control.
 static OBS_BUSY: asip_obs::Counter = asip_obs::Counter::new("serve.busy_rejections");
+/// Connections accepted. A pooling coordinator drives many RPCs (all its
+/// dispatch rounds plus the metrics scrape) over one connection, so this
+/// stays far below `serve.requests`.
+static OBS_CONNECTIONS: asip_obs::Counter = asip_obs::Counter::new("serve.connections");
 /// Per-cell wall latency through the server's coalescing batch executor.
 static OBS_EVAL_CELL_NS: asip_obs::Histogram = asip_obs::Histogram::new("serve.eval_cell_ns");
 
@@ -216,6 +220,7 @@ impl EvalServer {
                 break;
             }
             let Ok(stream) = conn else { continue };
+            OBS_CONNECTIONS.add(1);
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || handle_connection(stream, &shared));
         }

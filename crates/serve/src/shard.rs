@@ -103,24 +103,97 @@ const BUSY_RETRIES: u32 = 20;
 /// Backoff between busy retries.
 const BUSY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(25);
 
-/// Dispatch one chunk to one worker, absorbing transient `Busy` rejections.
-fn dispatch(addr: &str, reqs: &[EvalRequest]) -> Result<Vec<EvalOutcome>, ServeError> {
-    let mut span = asip_obs::span("serve", "shard_rpc");
-    if span.is_recording() {
-        span.detail(format!("{} cells -> {addr}", reqs.len()));
-    }
-    let mut client = Client::connect(addr)?;
-    let mut busy = 0;
-    loop {
-        match client.eval(reqs) {
-            Ok(outs) => return Ok(outs),
-            Err(ServeError::Busy { .. }) if busy < BUSY_RETRIES => {
-                busy += 1;
-                std::thread::sleep(BUSY_BACKOFF);
-            }
-            Err(e) => return Err(e),
+/// Worker connections the coordinator actually opened (pool misses); with
+/// pooling this stays at one per shard per grid run instead of one per
+/// dispatch round plus one per metrics scrape.
+static OBS_SHARD_CONNECTS: asip_obs::Counter = asip_obs::Counter::new("serve.shard.connects");
+
+/// Per-shard persistent worker connections, reused across dispatch rounds
+/// and the final metrics scrape instead of opening a fresh TCP connection
+/// per RPC.
+///
+/// Connections are *taken* out of their slot for the duration of an RPC
+/// and *put* back on success, rather than locked across the blocking
+/// call — so a slow shard never serializes another round's dispatch to a
+/// different shard, and a connection that errored is simply dropped
+/// (never returned), leaving the slot empty for a reconnect.
+struct ConnPool<'a> {
+    addrs: &'a [String],
+    slots: Vec<Mutex<Option<Client>>>,
+}
+
+impl<'a> ConnPool<'a> {
+    fn new(addrs: &'a [String]) -> ConnPool<'a> {
+        ConnPool {
+            addrs,
+            slots: addrs.iter().map(|_| Mutex::new(None)).collect(),
         }
     }
+
+    /// The shard's pooled connection, or a freshly opened (and counted)
+    /// one when the slot is empty.
+    fn take(&self, shard: usize) -> Result<Client, ServeError> {
+        if let Some(client) = self.slots[shard].lock().unwrap().take() {
+            return Ok(client);
+        }
+        OBS_SHARD_CONNECTS.add(1);
+        Client::connect(&self.addrs[shard])
+    }
+
+    fn put(&self, shard: usize, client: Client) {
+        *self.slots[shard].lock().unwrap() = Some(client);
+    }
+}
+
+/// Dispatch one chunk to one worker over its pooled connection, absorbing
+/// transient `Busy` rejections.
+///
+/// A pooled connection can have gone stale between rounds (the worker
+/// restarted, or died after its last reply); evaluation is idempotent and
+/// cache-backed, so a transport error gets one transparent retry on a
+/// fresh connection. A second failure is real — the chunk fails and the
+/// shard leaves the rotation.
+fn dispatch(
+    pool: &ConnPool<'_>,
+    shard: usize,
+    reqs: &[EvalRequest],
+) -> Result<Vec<EvalOutcome>, ServeError> {
+    let mut span = asip_obs::span("serve", "shard_rpc");
+    if span.is_recording() {
+        span.detail(format!("{} cells -> {}", reqs.len(), pool.addrs[shard]));
+    }
+    let mut last = None;
+    for _ in 0..2 {
+        let mut client = match pool.take(shard) {
+            Ok(c) => c,
+            Err(e) => return Err(last.unwrap_or(e)),
+        };
+        let mut busy = 0;
+        loop {
+            match client.eval(reqs) {
+                Ok(outs) => {
+                    pool.put(shard, client);
+                    return Ok(outs);
+                }
+                Err(e @ ServeError::Busy { .. }) => {
+                    if busy < BUSY_RETRIES {
+                        busy += 1;
+                        std::thread::sleep(BUSY_BACKOFF);
+                    } else {
+                        // The connection is healthy — the server is just
+                        // saturated. Keep it for the re-dispatch round.
+                        pool.put(shard, client);
+                        return Err(e);
+                    }
+                }
+                Err(e) => {
+                    last = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+    Err(last.expect("transport error recorded before reconnect"))
 }
 
 /// Evaluate `reqs` across the workers at `addrs`, request-ordered.
@@ -138,7 +211,8 @@ pub fn run_sharded(
     reqs: &[EvalRequest],
     retries: u32,
 ) -> Result<Vec<EvalOutcome>, ServeError> {
-    run_sharded_inner(addrs, reqs, retries).map(|(outs, _)| outs)
+    let pool = ConnPool::new(addrs);
+    run_sharded_inner(&pool, reqs, retries).map(|(outs, _)| outs)
 }
 
 /// [`run_sharded`], then scrape each surviving worker's [`MetricsReply`]
@@ -154,11 +228,22 @@ pub fn run_sharded_metrics(
     reqs: &[EvalRequest],
     retries: u32,
 ) -> Result<(Vec<EvalOutcome>, Vec<Option<MetricsReply>>), ServeError> {
-    let (outs, alive) = run_sharded_inner(addrs, reqs, retries)?;
+    let pool = ConnPool::new(addrs);
+    let (outs, alive) = run_sharded_inner(&pool, reqs, retries)?;
     let mut metrics = vec![None; addrs.len()];
     for shard in alive {
-        if let Ok(mut client) = Client::connect(&addrs[shard]) {
-            metrics[shard] = client.metrics().ok();
+        // Scrape over the shard's pooled connection; if it went stale
+        // since its last dispatch, retry once on a fresh one (the failed
+        // take leaves the slot empty, so the second take reconnects).
+        for _ in 0..2 {
+            let Ok(mut client) = pool.take(shard) else {
+                break;
+            };
+            if let Ok(m) = client.metrics() {
+                metrics[shard] = Some(m);
+                pool.put(shard, client);
+                break;
+            }
         }
     }
     Ok((outs, metrics))
@@ -199,19 +284,38 @@ pub fn format_shard_table(metrics: &[Option<MetricsReply>]) -> String {
         };
         #[allow(clippy::cast_precision_loss)]
         out.push_str(&format!(
-            "[serve] shard {shard}: cells={cells} busy={busy} eval p50={:.3}ms p99={:.3}ms cache-hit={hit_pct:.1}%\n",
+            "[serve] shard {shard}: cells={cells} busy={busy} eval p50={:.3}ms p99={:.3}ms cache-hit={hit_pct:.1}%",
             p50 as f64 / 1e6,
             p99 as f64 / 1e6,
         ));
+        // Superblock trace activity, present only when the worker's
+        // engine actually formed traces.
+        let formed = m.counter("sim.trace.formed");
+        if formed > 0 {
+            let entries = m.counter("sim.trace.entries");
+            let side_exits = m.counter("sim.trace.side_exits");
+            let fallbacks = m.counter("sim.trace.fallbacks");
+            #[allow(clippy::cast_precision_loss)]
+            let side_pct = if entries == 0 {
+                0.0
+            } else {
+                100.0 * side_exits as f64 / entries as f64
+            };
+            out.push_str(&format!(
+                " sb-traces={formed} sb-entries={entries} sb-side-exit={side_pct:.1}% sb-fallbacks={fallbacks}"
+            ));
+        }
+        out.push('\n');
     }
     out
 }
 
 fn run_sharded_inner(
-    addrs: &[String],
+    pool: &ConnPool<'_>,
     reqs: &[EvalRequest],
     retries: u32,
 ) -> Result<(Vec<EvalOutcome>, Vec<usize>), ServeError> {
+    let addrs = pool.addrs;
     if addrs.is_empty() {
         return Err(ServeError::Spawn("no worker addresses".into()));
     }
@@ -241,12 +345,11 @@ fn run_sharded_inner(
                     continue;
                 }
                 let shard = alive[k];
-                let addr = &addrs[shard];
                 let slots = &slots;
                 let failed = &failed;
                 scope.spawn(move || {
                     let batch: Vec<EvalRequest> = chunk.iter().map(|&i| reqs[i].clone()).collect();
-                    match dispatch(addr, &batch) {
+                    match dispatch(pool, shard, &batch) {
                         Ok(outs) if outs.len() == batch.len() => {
                             let mut slots = slots.lock().unwrap();
                             for (&i, out) in chunk.iter().zip(outs) {

@@ -7,7 +7,7 @@
 use asip_core::cache::CACHE_DIR_ENV;
 use asip_core::session::{EvalOutcome, EvalRequest, Session};
 use asip_isa::codec::Codec;
-use asip_serve::{run_sharded, Client, ServeError, WorkerPool};
+use asip_serve::{run_sharded, run_sharded_metrics, Client, ServeError, WorkerPool};
 use std::path::{Path, PathBuf};
 
 fn worker_bin() -> &'static Path {
@@ -74,6 +74,39 @@ fn sharded_grid_is_byte_identical_with_local() {
     assert!(
         disk_hits > 0,
         "the fresh fleet must hit artifacts persisted by the first fleet"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn coordinator_reuses_worker_connections() {
+    // One worker, a grid dispatch plus the metrics scrape: with pooling
+    // the whole exchange rides a single TCP connection, so the worker's
+    // own scrape (served over that same connection) must report exactly
+    // one accepted connection. The per-RPC-connect coordinator this
+    // replaces would report two (and one per extra round besides).
+    let reqs = small_grid();
+    let local_bytes = encode_all(&Session::builder().threads(2).build().eval_batch(&reqs));
+
+    let cache_dir = fresh_dir("pooling");
+    let pool = spawn_pool(1, &cache_dir);
+    let (sharded, metrics) =
+        run_sharded_metrics(pool.addrs(), &reqs, 2).expect("sharded run completes");
+    assert_eq!(
+        encode_all(&sharded),
+        local_bytes,
+        "pooled dispatch must not perturb order or bytes"
+    );
+    let m = metrics[0].as_ref().expect("live worker scrapes");
+    assert_eq!(
+        m.counter("serve.connections"),
+        1,
+        "dispatch and metrics scrape must share one pooled connection"
+    );
+    assert!(
+        m.counter("serve.requests") >= 1,
+        "the eval RPC rode the pooled connection"
     );
     pool.shutdown();
     let _ = std::fs::remove_dir_all(&cache_dir);

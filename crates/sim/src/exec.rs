@@ -252,6 +252,20 @@ impl MemPool {
     }
 }
 
+/// First-touch entry admission, shared by the block engines' superop
+/// guards and the superblock trace guards: an in-flight write to register
+/// `r` landing at or before `base + touch[r]` — the entry cycle plus the
+/// consumer's first-touch issue offset for `r` — provably cannot change
+/// the consumer's statically-replayed timing, so the fast path stays
+/// valid. `touch` holds `u64::MAX` for registers the consumer never
+/// observes (the saturating add can then never be exceeded).
+#[inline]
+pub(crate) fn admit_ok(carried: &[u32], ready: &[u64], touch: &[u64], base: u64) -> bool {
+    carried
+        .iter()
+        .all(|&r| ready[r as usize] <= base.saturating_add(touch[r as usize]))
+}
+
 /// Flatten a register name against `regs_per_cluster`. Index 0 is the
 /// hardwired zero register in every engine.
 #[inline]

@@ -45,11 +45,28 @@
 //! lines, headroom under the cycle limit) decide per dispatch whether the
 //! superop applies; when any guard fails, execution falls back to the
 //! exact decoded loop body for one pc and re-attempts fast dispatch at the
-//! next block boundary. Which engine serves a run is a [`SimEngine`] knob
-//! on [`SimOptions`]; all three are observationally identical — the
-//! workspace test suite pins bit-identical [`SimResult`]s on every preset
-//! × kernel and under fuzzed machine configurations, fallback paths
-//! included.
+//! next block boundary.
+//!
+//! ## The superblock trace layer
+//!
+//! The fourth tier chains blocks: running with traces enabled
+//! ([`BlockVliw::with_traces`] / [`BlockScalar::with_traces`], the
+//! [`SimEngine::Superblock`] knob), the dispatcher counts dispatches of
+//! in-loop block leaders and records each block's dominant successor with
+//! a Boyer–Moore majority sketch. When a leader crosses the promotion
+//! threshold ([`SimOptions::sb_threshold`]), the confident successor
+//! edges are chained into a **superblock**: one composed superop covering
+//! the whole hot path, its aggregates pre-summed across the internal
+//! control transfers, its I-cache line set unioned, its scoreboard
+//! effects replayed chain-globally and specialized for the dominant entry
+//! state. Side exits (the prediction missing mid-trace) resume in the
+//! block dispatcher with exact partial aggregates; entry-guard failures
+//! fall back to plain block dispatch.
+//!
+//! Which engine serves a run is a [`SimEngine`] knob on [`SimOptions`];
+//! all four are observationally identical — the workspace test suite pins
+//! bit-identical [`SimResult`]s on every preset × kernel and under fuzzed
+//! machine configurations, fallback and side-exit paths included.
 //!
 //! ## Example
 //!

@@ -29,7 +29,7 @@ use asip_isa::codec::{Codec, CodecError, Reader, Writer};
 use asip_isa::{ActivityCounts, MachineDescription, VliwProgram};
 use std::fmt;
 
-/// Which execution engine the simulators drive. All three are
+/// Which execution engine the simulators drive. All four are
 /// **observationally identical** — every [`SimResult`] field matches
 /// bit-for-bit (the workspace differential suites pin this) — and differ
 /// only in throughput:
@@ -43,6 +43,11 @@ use std::fmt;
 ///   block-level costs, dispatched by a threaded-code loop, falling back
 ///   to the decoded cycle loop per bundle when a block's fast-path
 ///   assumptions fail. The default.
+/// * [`Superblock`](SimEngine::Superblock): the block engine plus a
+///   trace tier — hot loop blocks are chained into superblocks along
+///   their profiled dominant path ([`SimOptions::sb_threshold`]); side
+///   exits fall back into the block dispatcher, guard failures fall
+///   further to the decoded loop body.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SimEngine {
     /// Interpretive oracle loops.
@@ -52,16 +57,19 @@ pub enum SimEngine {
     /// Block-compiled superop engine (default).
     #[default]
     Block,
+    /// Block engine with profile-directed trace superblocks on top.
+    Superblock,
 }
 
 impl SimEngine {
     /// Parse an engine name (`"reference"`, `"decoded"`, `"block"`,
-    /// case-insensitive); `None` for anything else.
+    /// `"superblock"`, case-insensitive); `None` for anything else.
     pub fn parse(s: &str) -> Option<SimEngine> {
         match s.trim().to_ascii_lowercase().as_str() {
             "reference" => Some(SimEngine::Reference),
             "decoded" => Some(SimEngine::Decoded),
             "block" => Some(SimEngine::Block),
+            "superblock" => Some(SimEngine::Superblock),
             _ => None,
         }
     }
@@ -72,6 +80,7 @@ impl SimEngine {
             SimEngine::Reference => "reference",
             SimEngine::Decoded => "decoded",
             SimEngine::Block => "block",
+            SimEngine::Superblock => "superblock",
         }
     }
 }
@@ -91,6 +100,12 @@ pub struct SimOptions {
     /// results, so this is purely a throughput/diagnostics knob — cached
     /// Simulate artifacts are deliberately keyed *without* it.
     pub engine: SimEngine,
+    /// Superblock promotion threshold: a loop block must dispatch this many
+    /// times before the [`SimEngine::Superblock`] tier tries to chain a
+    /// trace from it. Read at *run* time, so prepared engine state stays
+    /// threshold-independent; like `engine`, it can never change results
+    /// and is keyed out of cached Simulate artifacts.
+    pub sb_threshold: u32,
 }
 
 impl Default for SimOptions {
@@ -98,6 +113,7 @@ impl Default for SimOptions {
         SimOptions {
             max_cycles: 2_000_000_000,
             engine: SimEngine::default(),
+            sb_threshold: 64,
         }
     }
 }
@@ -371,7 +387,7 @@ enum VliwBackend {
         program: VliwProgram,
     },
     Decoded(DecodedVliw),
-    Block(BlockVliw),
+    Block(Box<BlockVliw>),
 }
 
 /// The simulator. Construct with [`Simulator::new`] — which prepares the
@@ -414,7 +430,10 @@ impl Simulator {
                 }
             }
             SimEngine::Decoded => VliwBackend::Decoded(DecodedVliw::new(machine, program)?),
-            SimEngine::Block => VliwBackend::Block(BlockVliw::new(machine, program)?),
+            SimEngine::Block => VliwBackend::Block(Box::new(BlockVliw::new(machine, program)?)),
+            SimEngine::Superblock => {
+                VliwBackend::Block(Box::new(BlockVliw::with_traces(machine, program)?))
+            }
         };
         Ok(Simulator {
             backend,

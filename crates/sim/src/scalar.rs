@@ -50,7 +50,7 @@ enum ScalarBackend {
         program: ScalarProgram,
     },
     Decoded(DecodedScalar),
-    Block(BlockScalar),
+    Block(Box<BlockScalar>),
 }
 
 /// The scalar simulator. Construct with [`ScalarSimulator::new`] — which
@@ -91,7 +91,10 @@ impl ScalarSimulator {
                 }
             }
             SimEngine::Decoded => ScalarBackend::Decoded(DecodedScalar::new(machine, program)?),
-            SimEngine::Block => ScalarBackend::Block(BlockScalar::new(machine, program)?),
+            SimEngine::Block => ScalarBackend::Block(Box::new(BlockScalar::new(machine, program)?)),
+            SimEngine::Superblock => {
+                ScalarBackend::Block(Box::new(BlockScalar::with_traces(machine, program)?))
+            }
         };
         Ok(ScalarSimulator {
             backend,

@@ -44,6 +44,9 @@ fn profile(module: &Module, w: &Workload) -> Profile {
 fn opts(engine: SimEngine) -> SimOptions {
     SimOptions {
         engine,
+        // Low promotion threshold so the superblock tier actually forms
+        // and dispatches traces on the short differential kernels.
+        sb_threshold: 4,
         ..SimOptions::default()
     }
 }
@@ -81,13 +84,17 @@ fn run_engine(machine: &MachineDescription, w: &Workload, engine: SimEngine) -> 
     }
 }
 
-/// Run one workload through all three engines for `machine` and return
-/// the results as `(reference, decoded, block)`.
-fn all_engines(machine: &MachineDescription, w: &Workload) -> (SimResult, SimResult, SimResult) {
+/// Run one workload through all four engines for `machine` and return
+/// the results as `(reference, decoded, block, superblock)`.
+fn all_engines(
+    machine: &MachineDescription,
+    w: &Workload,
+) -> (SimResult, SimResult, SimResult, SimResult) {
     (
         run_engine(machine, w, SimEngine::Reference),
         run_engine(machine, w, SimEngine::Decoded),
         run_engine(machine, w, SimEngine::Block),
+        run_engine(machine, w, SimEngine::Superblock),
     )
 }
 
@@ -115,12 +122,14 @@ fn assert_fields(d: &SimResult, r: &SimResult, ctx: &str) {
     assert_eq!(d, r, "{ctx}: SimResult");
 }
 
-/// Decoded ≡ reference and block ≡ reference, field by field.
+/// Decoded ≡ reference, block ≡ reference and superblock ≡ reference,
+/// field by field.
 fn assert_identical(machine: &MachineDescription, w: &Workload) {
-    let (r, d, b) = all_engines(machine, w);
+    let (r, d, b, s) = all_engines(machine, w);
     let ctx = format!("{} on {}", w.name, machine.name);
     assert_fields(&d, &r, &format!("decoded, {ctx}"));
     assert_fields(&b, &r, &format!("block, {ctx}"));
+    assert_fields(&s, &r, &format!("superblock, {ctx}"));
 }
 
 /// Every preset of both target kinds × every workload kernel: the decoded
@@ -153,7 +162,7 @@ fn icache_accounting_unchanged_on_all_presets() {
         for name in ws {
             let w = asip_workloads::by_name(name).unwrap();
             for machine in [&base, &tiny] {
-                let (r, d, b) = all_engines(machine, &w);
+                let (r, d, b, s) = all_engines(machine, &w);
                 assert_eq!(
                     (d.icache_misses, d.icache_stalls),
                     (r.icache_misses, r.icache_stalls),
@@ -165,6 +174,13 @@ fn icache_accounting_unchanged_on_all_presets() {
                     (b.icache_misses, b.icache_stalls),
                     (r.icache_misses, r.icache_stalls),
                     "block, {} on {}: icache accounting diverged",
+                    w.name,
+                    machine.name
+                );
+                assert_eq!(
+                    (s.icache_misses, s.icache_stalls),
+                    (r.icache_misses, r.icache_stalls),
+                    "superblock, {} on {}: icache accounting diverged",
                     w.name,
                     machine.name
                 );
@@ -186,7 +202,7 @@ fn error_paths_match_reference() {
         let reference =
             reference::run_vliw_reference(&m, &compiled.program, &[], args, SimOptions::default())
                 .unwrap_err();
-        for engine in [SimEngine::Decoded, SimEngine::Block] {
+        for engine in [SimEngine::Decoded, SimEngine::Block, SimEngine::Superblock] {
             let err = Simulator::new(&m, &compiled.program, opts(engine))
                 .unwrap()
                 .run(args)
@@ -439,6 +455,86 @@ fn block_scalar_fallback_slow_path_exercised() {
     assert_fields(&got, &r, "block fallback, fir on scalar tinyic");
 }
 
+/// The superblock tier must actually fire on a hot loop: traces are
+/// formed, dispatched repeatedly, and side exits (the dominant successor
+/// prediction missing on a data-dependent branch) are exercised — and the
+/// result is still bit-identical to the reference loop.
+#[test]
+fn superblock_vliw_traces_and_side_exits_exercised() {
+    let m = MachineDescription::ember4();
+    let w = asip_workloads::by_name("sort").unwrap();
+    let module = frontend(&w);
+    let compiled = compile_module(&module, &m, None, &BackendOptions::default()).unwrap();
+    let sb = BlockVliw::with_traces(&m, &compiled.program).unwrap();
+    let o = opts(SimEngine::Superblock);
+    let got = sb.run_with_inputs(&w.inputs, &w.args, o).unwrap();
+    assert!(
+        sb.traces_formed() > 0,
+        "hot loop must form superblock traces"
+    );
+    assert!(sb.trace_entries() > 0, "formed traces must be dispatched");
+    assert!(
+        sb.trace_side_exits() > 0,
+        "data-dependent branches must take side exits"
+    );
+    let r = reference::run_vliw_reference(&m, &compiled.program, &w.inputs, &w.args, o).unwrap();
+    assert_fields(&got, &r, "superblock, sort on ember4");
+}
+
+/// Scalar mirror of the trace-formation pin.
+#[test]
+fn superblock_scalar_traces_and_side_exits_exercised() {
+    let m = MachineDescription::all_presets()
+        .into_iter()
+        .find(|m| m.target == TargetKind::Scalar)
+        .expect("at least one scalar preset");
+    let w = asip_workloads::by_name("sort").unwrap();
+    let module = frontend(&w);
+    let compiled = compile_module_scalar(&module, &m, None, &BackendOptions::default()).unwrap();
+    let sb = BlockScalar::with_traces(&m, &compiled.program).unwrap();
+    let o = opts(SimEngine::Superblock);
+    let got = sb.run_with_inputs(&w.inputs, &w.args, o).unwrap();
+    assert!(
+        sb.traces_formed() > 0,
+        "hot loop must form superblock traces"
+    );
+    assert!(sb.trace_entries() > 0, "formed traces must be dispatched");
+    assert!(
+        sb.trace_side_exits() > 0,
+        "data-dependent branches must take side exits"
+    );
+    let r = reference::run_scalar_reference(&m, &compiled.program, &w.inputs, &w.args, o).unwrap();
+    assert_fields(&got, &r, "superblock, sort on scalar preset");
+}
+
+/// With a tiny I-cache the trace-entry residency probe must sometimes
+/// fail (evicted lines inside the chained path), falling back to the
+/// plain block dispatcher — exactly, with the fallback counter moving.
+#[test]
+fn superblock_guard_failure_fallback_exercised() {
+    let m = MachineDescription::ember4().derive("ember4-tinyic", |m| {
+        m.icache = Some(ICacheConfig {
+            size_bytes: 256,
+            line_bytes: 16,
+            ways: 1,
+            miss_penalty: 9,
+        });
+        m.encoding = asip_isa::Encoding::Uncompressed;
+    });
+    let w = asip_workloads::by_name("sort").unwrap();
+    let module = frontend(&w);
+    let compiled = compile_module(&module, &m, None, &BackendOptions::default()).unwrap();
+    let sb = BlockVliw::with_traces(&m, &compiled.program).unwrap();
+    let o = opts(SimEngine::Superblock);
+    let got = sb.run_with_inputs(&w.inputs, &w.args, o).unwrap();
+    assert!(
+        sb.trace_fallbacks() > 0,
+        "cold chained lines must fall back to the block dispatcher"
+    );
+    let r = reference::run_vliw_reference(&m, &compiled.program, &w.inputs, &w.args, o).unwrap();
+    assert_fields(&got, &r, "superblock fallback, sort on ember4-tinyic");
+}
+
 /// Near the cycle limit the block engine's conservative `last_issue`
 /// entry guard must hand over to the slow path, and all three engines
 /// must agree on exactly where `CycleLimit` trips.
@@ -449,8 +545,15 @@ fn block_cycle_limit_matches_other_engines() {
     let module = frontend(&w);
     let compiled = compile_module(&module, &m, None, &BackendOptions::default()).unwrap();
     let run = |engine: SimEngine, max_cycles: u64| {
-        let mut sim =
-            Simulator::new(&m, &compiled.program, SimOptions { max_cycles, engine }).unwrap();
+        let mut sim = Simulator::new(
+            &m,
+            &compiled.program,
+            SimOptions {
+                max_cycles,
+                ..opts(engine)
+            },
+        )
+        .unwrap();
         for (name, data) in &w.inputs {
             sim.write_global(name, data);
         }
@@ -466,8 +569,10 @@ fn block_cycle_limit_matches_other_engines() {
     ] {
         let d = run(SimEngine::Decoded, max_cycles);
         let b = run(SimEngine::Block, max_cycles);
+        let s = run(SimEngine::Superblock, max_cycles);
         let r = run(SimEngine::Reference, max_cycles);
         assert_eq!(d, r, "decoded vs reference at max_cycles={max_cycles}");
         assert_eq!(b, r, "block vs reference at max_cycles={max_cycles}");
+        assert_eq!(s, r, "superblock vs reference at max_cycles={max_cycles}");
     }
 }

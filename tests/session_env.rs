@@ -159,6 +159,49 @@ fn sim_engine_env_feeds_default_but_builder_wins() {
     std::env::remove_var(ENGINE_ENV);
 }
 
+/// Superblock promotion-threshold precedence, mirroring the engine rules:
+/// an explicit `sb_threshold(..)` builder call always wins; otherwise
+/// `ASIP_SB_THRESHOLD` supplies the default (positive integers only);
+/// with neither, 64 is the compiled-in default. A `.sim(..)`-carried
+/// threshold is a default too — the environment outranks it.
+#[test]
+fn sb_threshold_env_feeds_default_but_builder_wins() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::core::session::SB_THRESHOLD_ENV;
+    use asip::sim::SimOptions;
+
+    // Compiled-in default.
+    std::env::remove_var(SB_THRESHOLD_ENV);
+    assert_eq!(SimOptions::default().sb_threshold, 64);
+    let s = Session::builder().build();
+    assert_eq!(s.toolchain().sim.sb_threshold, 64);
+
+    // Env supplies the default…
+    std::env::set_var(SB_THRESHOLD_ENV, "16");
+    assert_eq!(Session::builder().build().toolchain().sim.sb_threshold, 16);
+
+    // …and outranks a threshold carried inside `.sim(..)` options…
+    let s = Session::builder()
+        .sim(SimOptions {
+            sb_threshold: 8,
+            ..SimOptions::default()
+        })
+        .build();
+    assert_eq!(s.toolchain().sim.sb_threshold, 16);
+
+    // …but an explicit `sb_threshold(..)` call wins over everything.
+    let s = Session::builder().sb_threshold(128).build();
+    assert_eq!(s.toolchain().sim.sb_threshold, 128);
+
+    // Zero and garbage fall back to the compiled-in default.
+    std::env::set_var(SB_THRESHOLD_ENV, "0");
+    assert_eq!(Session::builder().build().toolchain().sim.sb_threshold, 64);
+    std::env::set_var(SB_THRESHOLD_ENV, "lukewarm");
+    assert_eq!(Session::builder().build().toolchain().sim.sb_threshold, 64);
+
+    std::env::remove_var(SB_THRESHOLD_ENV);
+}
+
 /// Shard-count precedence, mirroring the `ASIP_GRID_THREADS` rules: an
 /// explicit `ShardPlan::shards(..)`/`local()` call always wins; otherwise
 /// `ASIP_SHARDS` supplies the default; with neither — or with a count of
@@ -235,4 +278,20 @@ fn simulate_cache_keys_are_engine_agnostic() {
         "another engine must hit the same Simulate entry"
     );
     assert_eq!(r1.sim, r2.sim, "served result equals the engine's own");
+
+    // The superblock tier (and its promotion threshold) is just as
+    // invisible to the Simulate key.
+    let s3 = Session::builder()
+        .cache(Arc::clone(&cache))
+        .sim_engine(SimEngine::Superblock)
+        .sb_threshold(4)
+        .build();
+    let r3 = s3.run_workload(&w, &m).expect("superblock run");
+    let stats = s3.cache_stats();
+    assert_eq!(
+        (stats.simulate.hits, stats.simulate.misses),
+        (2, 1),
+        "the superblock engine must hit the same Simulate entry"
+    );
+    assert_eq!(r1.sim, r3.sim, "served result equals the engine's own");
 }
