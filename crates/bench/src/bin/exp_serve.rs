@@ -88,12 +88,40 @@ fn main() {
                     }
                 })
             });
+            let session = asip_bench::session();
+            let eval_local = |batch: &[EvalRequest]| session.eval_batch(batch);
+            let run_plan = plan.clone().retries(3);
             let (outcomes, metrics) =
-                run_sharded_metrics(&addrs, &reqs, 3).expect("sharded grid completes");
+                run_sharded_metrics(&addrs, &reqs, &run_plan, Some(&eval_local))
+                    .expect("sharded grid completes");
             if let Some(k) = killer {
                 let _ = k.join();
             }
             print!("{}", format_shard_table(&metrics));
+            // Coordinator-side resilience tally, grep-able by the chaos CI
+            // job: nonzero retries/faults prove the injection was live.
+            let snap = asip_obs::snapshot();
+            let counter = |name: &str| {
+                snap.counters
+                    .iter()
+                    .find(|c| c.name == name)
+                    .map_or(0, |c| c.value)
+            };
+            let faults: u64 = snap
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with("serve.faults."))
+                .map(|c| c.value)
+                .sum();
+            println!(
+                "[serve] resilience: retries={} timeouts={} quarantined={} revived={} local-fallback={} faults={}",
+                counter("serve.retries"),
+                counter("serve.timeouts"),
+                counter("serve.shard.quarantined"),
+                counter("serve.shard.revived"),
+                counter("serve.shard.local_fallback"),
+                faults,
+            );
             let mut disk_hits = 0u64;
             for addr in &addrs {
                 if let Ok(mut c) = Client::connect(addr) {

@@ -239,6 +239,11 @@ pub struct TierStats {
     /// memory, age+size on disk; non-admitted oversized entries count
     /// here too).
     pub evictions: u64,
+    /// Orphaned temporary files reclaimed at open: `.tmp-*` leftovers of
+    /// writers that crashed between write and rename. Always zero for
+    /// tiers without a staging area (memory). A crash-looped fleet that
+    /// kept leaking these would otherwise fill the disk silently.
+    pub tmp_reclaimed: u64,
     /// Estimated bytes currently held by this tier.
     pub resident_bytes: u64,
     /// Entries currently held by this tier.
@@ -256,7 +261,11 @@ impl fmt::Display for TierStats {
             self.evictions,
             self.resident_bytes / 1024,
             self.entries,
-        )
+        )?;
+        if self.tmp_reclaimed > 0 {
+            write!(f, ", {} tmp reclaimed", self.tmp_reclaimed)?;
+        }
+        Ok(())
     }
 }
 

@@ -49,6 +49,7 @@ const FNV_BASIS_2: u64 = FNV_BASIS ^ 0x9e37_79b9_7f4a_7c15;
 /// values stay in [`TierStats`]; these feed the metrics exposition).
 static OBS_EVICTIONS: asip_obs::Counter = asip_obs::Counter::new("cache.disk.evictions");
 static OBS_STALE_DROPS: asip_obs::Counter = asip_obs::Counter::new("cache.disk.stale_drops");
+static OBS_TMP_RECLAIMED: asip_obs::Counter = asip_obs::Counter::new("cache.disk.tmp_reclaimed");
 
 /// The persistent disk tier. See the [module docs](self).
 pub struct DiskStore {
@@ -59,6 +60,7 @@ pub struct DiskStore {
     stores: AtomicU64,
     stale_drops: AtomicU64,
     evictions: AtomicU64,
+    tmp_reclaimed: AtomicU64,
 }
 
 struct DiskInner {
@@ -94,6 +96,7 @@ impl DiskStore {
             stores: AtomicU64::new(0),
             stale_drops: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            tmp_reclaimed: AtomicU64::new(0),
         };
         store.open_sweep();
         store
@@ -151,8 +154,9 @@ impl DiskStore {
                     .and_then(|m| m.modified())
                     .map(|t| t < cutoff)
                     .unwrap_or(true);
-                if is_tmp && is_old {
-                    let _ = fs::remove_file(e.path());
+                if is_tmp && is_old && fs::remove_file(e.path()).is_ok() {
+                    self.tmp_reclaimed.fetch_add(1, Ordering::Relaxed);
+                    OBS_TMP_RECLAIMED.add(1);
                 }
             }
         }
@@ -308,6 +312,7 @@ impl CacheStore for DiskStore {
             &self.stores,
             &self.stale_drops,
             &self.evictions,
+            &self.tmp_reclaimed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -320,6 +325,7 @@ impl CacheStore for DiskStore {
             stores: self.stores.load(Ordering::Relaxed),
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            tmp_reclaimed: self.tmp_reclaimed.load(Ordering::Relaxed),
             resident_bytes: self.inner.lock().unwrap().resident_bytes,
             entries: self.stage_entries().iter().sum(),
         }
@@ -444,8 +450,13 @@ mod tests {
         f.set_modified(SystemTime::UNIX_EPOCH + Duration::from_secs(1))
             .unwrap();
         drop(f);
-        let _s = DiskStore::open(DiskTierConfig::new(&dir));
+        let s = DiskStore::open(DiskTierConfig::new(&dir));
         assert!(!orphan.exists(), "open must reclaim orphaned tmp files");
+        assert_eq!(
+            s.stats().tmp_reclaimed,
+            1,
+            "the reclaimed orphan is counted in TierStats"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

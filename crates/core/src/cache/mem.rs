@@ -280,6 +280,7 @@ impl CacheStore for MemoryStore {
             stores: self.stores.load(Ordering::Relaxed),
             stale_drops: self.stale_drops.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            tmp_reclaimed: 0, // no staging area in memory
             resident_bytes: inner.resident_bytes,
             entries: inner.maps.iter().map(|m| m.len() as u64).sum(),
         }

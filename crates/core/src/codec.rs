@@ -229,6 +229,7 @@ impl Codec for TierStats {
         w.put_u64(self.stores);
         w.put_u64(self.stale_drops);
         w.put_u64(self.evictions);
+        w.put_u64(self.tmp_reclaimed);
         w.put_u64(self.resident_bytes);
         w.put_u64(self.entries);
     }
@@ -240,6 +241,7 @@ impl Codec for TierStats {
             stores: r.get_u64()?,
             stale_drops: r.get_u64()?,
             evictions: r.get_u64()?,
+            tmp_reclaimed: r.get_u64()?,
             resident_bytes: r.get_u64()?,
             entries: r.get_u64()?,
         })

@@ -23,6 +23,17 @@
 //! the `ASIP_SHARDS` environment variable, an explicit
 //! [`ShardPlan::shards`] call wins over it.
 //!
+//! # Fault tolerance
+//!
+//! Every layer carries deadlines ([`Timeouts`], tunable via
+//! [`TIMEOUT_ENV`]), the coordinator retries with seeded
+//! exponential-backoff-with-jitter ([`RetryPolicy`]), quarantines and
+//! re-probes failing shards, and can degrade to in-process evaluation on
+//! total worker loss. The [`faults`] module injects deterministic,
+//! seed-driven failures (torn frames, bit flips, drops, stalls, spurious
+//! `Busy`, crash-at-Nth-request) through the [`FAULTS_ENV`] spec string —
+//! one relaxed atomic load when unset.
+//!
 //! ```no_run
 //! use asip_serve::{run_grid, try_worker_main, ShardPlan};
 //!
@@ -37,16 +48,19 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod server;
 pub mod shard;
 pub mod wire;
 pub mod worker;
 
-pub use client::{Client, ServeError};
+pub use client::{Client, ServeError, Timeouts, TIMEOUT_ENV};
+pub use faults::{FaultPlan, FaultSpecError, FAULTS_ENV};
 pub use server::{EvalServer, ServerConfig};
 pub use shard::{
     default_shard_mode, format_shard_table, grid_from_outcomes, run_grid, run_sharded,
-    run_sharded_metrics, ShardMode, ShardPlan, WorkerPool, SHARDS_ENV,
+    run_sharded_metrics, run_sharded_with, LocalFallback, RetryPolicy, ShardMode, ShardPlan,
+    WorkerPool, SHARDS_ENV,
 };
 pub use wire::{read_frame, write_frame, ClientStats, Message, ProtocolError, StatsReply};
 pub use worker::{serve_worker, try_worker_main, worker_main, worker_requested, WORKER_FLAG};

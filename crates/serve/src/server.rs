@@ -14,13 +14,22 @@
 //!   requests, cells, led vs coalesced computations, busy rejections, and
 //!   the cache-counter delta around the cells it led. The `Stats` RPC
 //!   returns the global [`CacheStats`] plus the per-client table.
+//! * **Deadlines** — accepted connections carry the configured
+//!   [`Timeouts`]: a client that stops producing bytes mid-frame (or a
+//!   stalled injected read) expires instead of pinning its thread forever.
+//! * **Graceful drain** — `Shutdown` stops the accept loop, wakes every
+//!   idle connection reader (read-half shutdown → clean EOF) and joins all
+//!   connection threads, so an `Eval` already in flight completes and its
+//!   reply ships before [`EvalServer::serve`] returns.
 
+use crate::client::Timeouts;
+use crate::faults;
 use crate::wire::{read_frame, write_frame, ClientStats, Message, MetricsReply, StatsReply};
 use asip_core::cache::CacheStats;
 use asip_core::session::{EvalOutcome, EvalRequest, Session};
 use std::collections::BTreeMap;
 use std::io;
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -36,6 +45,9 @@ static OBS_BUSY: asip_obs::Counter = asip_obs::Counter::new("serve.busy_rejectio
 static OBS_CONNECTIONS: asip_obs::Counter = asip_obs::Counter::new("serve.connections");
 /// Per-cell wall latency through the server's coalescing batch executor.
 static OBS_EVAL_CELL_NS: asip_obs::Histogram = asip_obs::Histogram::new("serve.eval_cell_ns");
+/// Server-side deadline expiries (name-merged with the client's counter
+/// of the same name in metrics snapshots).
+static OBS_TIMEOUTS: asip_obs::Counter = asip_obs::Counter::new("serve.timeouts");
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -43,12 +55,16 @@ pub struct ServerConfig {
     /// Maximum cells in flight across all connections; an `Eval` batch
     /// that would exceed it is rejected with [`Message::Busy`].
     pub max_in_flight_cells: u64,
+    /// Read/write deadlines armed on every accepted connection
+    /// (environment-tunable via [`crate::client::TIMEOUT_ENV`]).
+    pub timeouts: Timeouts,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_in_flight_cells: 1024,
+            timeouts: Timeouts::default(),
         }
     }
 }
@@ -67,6 +83,7 @@ fn stats_delta(after: &CacheStats, before: &CacheStats) -> CacheStats {
         stores: a.stores.saturating_sub(b.stores),
         stale_drops: a.stale_drops.saturating_sub(b.stale_drops),
         evictions: a.evictions.saturating_sub(b.evictions),
+        tmp_reclaimed: a.tmp_reclaimed.saturating_sub(b.tmp_reclaimed),
         resident_bytes: a.resident_bytes, // a level, not a counter
         entries: a.entries,
     };
@@ -98,6 +115,7 @@ fn stats_accumulate(into: &mut CacheStats, add: &CacheStats) {
         i.stores += a.stores;
         i.stale_drops += a.stale_drops;
         i.evictions += a.evictions;
+        i.tmp_reclaimed += a.tmp_reclaimed;
         i.resident_bytes = a.resident_bytes;
         i.entries = a.entries;
     };
@@ -120,6 +138,35 @@ struct ServerShared {
     in_flight: AtomicU64,
     stopping: AtomicBool,
     clients: Mutex<BTreeMap<String, ClientStats>>,
+    /// Live connection read-halves, keyed by connection id. The drain
+    /// path shuts each read half down so idle readers wake with EOF;
+    /// each connection thread removes its own entry on exit.
+    conns: Mutex<BTreeMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+impl ServerShared {
+    fn register_conn(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        self.conns.lock().unwrap().insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister_conn(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.conns.lock().unwrap().remove(&id);
+        }
+    }
+
+    /// Wake every blocked connection reader: an idle thread parked in
+    /// `read_frame` sees clean EOF and exits; a thread mid-`Eval` is
+    /// untouched (its write half stays open) and finishes its reply.
+    fn nudge_all_conns(&self) {
+        for stream in self.conns.lock().unwrap().values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
 }
 
 /// RAII admission reservation: returns the cells to the pool on drop, so
@@ -178,6 +225,7 @@ impl ServerShared {
 /// block in [`EvalServer::serve`] or detach it with [`EvalServer::spawn`].
 pub struct EvalServer {
     listener: TcpListener,
+    timeouts: Timeouts,
     shared: Arc<ServerShared>,
 }
 
@@ -189,15 +237,19 @@ impl EvalServer {
     ///
     /// Any socket-level [`io::Error`].
     pub fn bind(session: Session, addr: &str, config: ServerConfig) -> io::Result<EvalServer> {
+        faults::init_from_env();
         let listener = TcpListener::bind(addr)?;
         Ok(EvalServer {
             listener,
+            timeouts: config.timeouts,
             shared: Arc::new(ServerShared {
                 session,
                 limit: config.max_in_flight_cells,
                 in_flight: AtomicU64::new(0),
                 stopping: AtomicBool::new(false),
                 clients: Mutex::new(BTreeMap::new()),
+                conns: Mutex::new(BTreeMap::new()),
+                next_conn_id: AtomicU64::new(0),
             }),
         })
     }
@@ -214,15 +266,29 @@ impl EvalServer {
     /// Accept connections until a client sends [`Message::Shutdown`].
     /// Each connection gets its own thread; evaluation runs on the shared
     /// session (whose own worker pool parallelizes within a batch).
+    ///
+    /// Shutdown drains gracefully: idle connection readers are woken with
+    /// a read-half shutdown (clean EOF), threads mid-`Eval` finish and
+    /// write their replies, and every connection thread is joined before
+    /// this returns.
     pub fn serve(self) {
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
         for conn in self.listener.incoming() {
             if self.shared.stopping.load(Ordering::Acquire) {
                 break;
             }
             let Ok(stream) = conn else { continue };
             OBS_CONNECTIONS.add(1);
+            let _ = self.timeouts.apply(&stream);
             let shared = Arc::clone(&self.shared);
-            std::thread::spawn(move || handle_connection(stream, &shared));
+            handles.retain(|h| !h.is_finished());
+            handles.push(std::thread::spawn(move || {
+                handle_connection(stream, &shared);
+            }));
+        }
+        self.shared.nudge_all_conns();
+        for h in handles {
+            let _ = h.join();
         }
     }
 
@@ -296,6 +362,12 @@ fn eval_batch_coalesced(session: &Session, reqs: &[EvalRequest]) -> (Vec<EvalOut
 }
 
 fn handle_connection(stream: TcpStream, shared: &ServerShared) {
+    let conn_id = shared.register_conn(&stream);
+    handle_connection_inner(stream, shared);
+    shared.deregister_conn(conn_id);
+}
+
+fn handle_connection_inner(stream: TcpStream, shared: &ServerShared) {
     let client_id = stream
         .peer_addr()
         .map(|a| a.to_string())
@@ -308,11 +380,43 @@ fn handle_connection(stream: TcpStream, shared: &ServerShared) {
     loop {
         // A typed protocol failure or transport error ends the connection;
         // the process never panics on a malformed frame.
-        let Ok(msg) = read_frame(&mut reader) else {
-            return;
+        let msg = match read_frame(&mut reader) {
+            Ok(msg) => msg,
+            Err(crate::wire::ProtocolError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                OBS_TIMEOUTS.add(1);
+                return;
+            }
+            Err(_) => return,
         };
         let reply = match msg {
             Message::Eval(reqs) => {
+                if faults::active() {
+                    match faults::on_eval() {
+                        faults::EvalFault::Pass => {}
+                        faults::EvalFault::Busy => {
+                            OBS_REQUESTS.add(1);
+                            OBS_BUSY.add(1);
+                            let reply = Message::Busy {
+                                in_flight: shared.in_flight.load(Ordering::Acquire),
+                                limit: shared.limit,
+                            };
+                            if write_frame(&mut writer, &reply).is_err() {
+                                return;
+                            }
+                            continue;
+                        }
+                        faults::EvalFault::Crash => {
+                            // An injected hard crash: no reply, no cleanup,
+                            // exactly what a SIGKILLed worker looks like.
+                            std::process::exit(86);
+                        }
+                    }
+                }
                 let cells = reqs.len() as u64;
                 OBS_REQUESTS.add(1);
                 let mut admit_span = asip_obs::span("serve", "admit");
@@ -399,6 +503,8 @@ mod tests {
             in_flight: AtomicU64::new(0),
             stopping: AtomicBool::new(false),
             clients: Mutex::new(BTreeMap::new()),
+            conns: Mutex::new(BTreeMap::new()),
+            next_conn_id: AtomicU64::new(0),
         };
         let a = shared.admit(6).expect("6 fits");
         let err = shared.admit(5).err().expect("6+5 over limit");

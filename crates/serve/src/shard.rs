@@ -1,7 +1,7 @@
 //! The multi-process shard executor: a coordinator that partitions a batch
 //! of cells deterministically across N worker servers, merges
 //! request-ordered results byte-identically with the single-process path,
-//! and survives killed workers by re-dispatching their cells.
+//! and survives killed, hung, saturated or fault-injected workers.
 //!
 //! # Partition and merge
 //!
@@ -15,20 +15,38 @@
 //!
 //! # Failure model
 //!
-//! A worker that dies (or stays busy past the per-round budget) fails its
-//! whole current chunk; those cells return to the pending pool and the
-//! next round re-partitions them across the shards still alive. After
-//! [`ShardPlan::retries`] extra rounds (or when no shard survives), the
-//! run fails with the typed [`ServeError::ShardFailed`] — never a hang,
-//! never a partial grid.
+//! A worker that dies, hangs past its deadline, or stays busy past the
+//! round's [`RetryPolicy`] budget fails its whole current chunk; those
+//! cells return to the pending pool and the next round re-partitions them
+//! across the healthy shards. Failures are tracked per shard:
+//!
+//! * **Backoff** — busy retries sleep a seeded
+//!   exponential-backoff-with-jitter ([`RetryPolicy::backoff`]); the jitter
+//!   is a pure function of the seed, so a chaos run's retry schedule is
+//!   reproducible.
+//! * **Quarantine** — after [`ShardPlan::quarantine_after`] consecutive
+//!   chunk failures a shard leaves the rotation (`serve.shard.quarantined`)
+//!   and is re-probed with a `Ping` at each round start; a revived worker
+//!   (`serve.shard.revived`) rejoins the partition.
+//! * **Local fallback** — when every shard is quarantined and re-probing
+//!   revives none, a caller-supplied local evaluator (see
+//!   [`run_sharded_with`]; [`run_grid`] wires the session in
+//!   automatically unless [`ShardPlan::fallback_local`] is off) completes
+//!   the pending cells in-process (`serve.shard.local_fallback`) —
+//!   byte-identical, because evaluation is deterministic.
+//! * **Typed failure** — with no fallback, the run fails with
+//!   [`ServeError::ShardFailed`] once [`ShardPlan::retries`] consecutive
+//!   rounds make no progress or no shard survives — never a hang, never a
+//!   partial grid.
 
-use crate::client::{Client, ServeError};
+use crate::client::{Client, ServeError, Timeouts};
 use crate::wire::MetricsReply;
 use asip_core::nxm::{Cell, Grid};
 use asip_core::session::{EvalOutcome, EvalRequest, Session};
 use asip_isa::MachineDescription;
 use asip_workloads::Workload;
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Environment variable supplying the default shard count for
 /// [`ShardPlan`]: `0` or `1` (or unset/unparseable) mean in-process local
@@ -56,21 +74,109 @@ pub fn default_shard_mode() -> ShardMode {
     }
 }
 
-/// Execution plan for a sharded (or local) grid run.
-#[derive(Debug, Clone, Default)]
+/// Seeded exponential-backoff-with-jitter for retryable failures (`Busy`
+/// rejections, stale pooled connections). The jitter is a pure function of
+/// `(seed, salt, attempt)` — deterministic given the seed, decorrelated
+/// across shards via the salt — so two coordinators never thundering-herd
+/// a recovering worker in lockstep, yet a chaos run's schedule reproduces
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First backoff window (default 5 ms).
+    pub base: Duration,
+    /// Backoff window ceiling (default 200 ms).
+    pub cap: Duration,
+    /// Busy retries per dispatch before the chunk returns to the pool
+    /// (default 20).
+    pub busy_budget: u32,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            busy_budget: 20,
+            seed: 0xa51b_0ff5,
+        }
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt` (0-based) on the stream
+    /// salted by `salt` (shard index): an exponentially growing window
+    /// `base * 2^attempt` capped at `cap`, jittered into its upper half.
+    pub fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let base = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap = self.cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let window = base.saturating_mul(1u64 << attempt.min(24)).min(cap).max(1);
+        let h = splitmix(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt)
+                .wrapping_add(u64::from(attempt) << 32),
+        );
+        let half = window / 2;
+        Duration::from_nanos(half + h % (window - half + 1))
+    }
+}
+
+/// Execution plan for a sharded (or local) grid run: mode, retry budget,
+/// backoff policy, quarantine threshold, deadlines, and the local-fallback
+/// switch.
+#[derive(Debug, Clone)]
 pub struct ShardPlan {
     mode: Option<ShardMode>,
-    /// Extra re-dispatch rounds after the first pass (default 2). Each
-    /// round re-partitions the incomplete cells over surviving shards.
+    /// Consecutive zero-progress rounds tolerated before the run fails
+    /// typed (default 2). A round that completes any cell resets the
+    /// count — a slowly degrading fleet keeps going as long as it keeps
+    /// finishing work.
     pub retries: u32,
+    /// Consecutive chunk failures before a shard is quarantined out of
+    /// the rotation (default 2). Quarantined shards are re-probed with a
+    /// `Ping` at every round start and revived on answer.
+    pub quarantine_after: u32,
+    /// Whether [`run_grid`] completes the grid in-process when every
+    /// shard is quarantined (default true). [`run_sharded`] has no
+    /// session; pass an evaluator to [`run_sharded_with`] to opt in.
+    pub fallback_local: bool,
+    /// Backoff policy for busy retries and reconnects.
+    pub retry: RetryPolicy,
+    /// Deadline for one dispatch round (default 60 s): a chunk still
+    /// retrying `Busy` past it fails back to the pending pool.
+    pub round_deadline: Duration,
+    /// Connection deadlines for worker RPCs (environment-tunable via
+    /// [`crate::client::TIMEOUT_ENV`]).
+    pub timeouts: Timeouts,
+}
+
+impl Default for ShardPlan {
+    fn default() -> Self {
+        ShardPlan::new()
+    }
 }
 
 impl ShardPlan {
-    /// A plan with the default mode (builder > `ASIP_SHARDS` env > local).
+    /// A plan with the default mode (builder > `ASIP_SHARDS` env > local)
+    /// and failure policy.
     pub fn new() -> ShardPlan {
         ShardPlan {
             mode: None,
             retries: 2,
+            quarantine_after: 2,
+            fallback_local: true,
+            retry: RetryPolicy::default(),
+            round_deadline: Duration::from_secs(60),
+            timeouts: Timeouts::default(),
         }
     }
 
@@ -91,6 +197,48 @@ impl ShardPlan {
         self
     }
 
+    /// Builder-style zero-progress-round budget.
+    #[must_use]
+    pub fn retries(mut self, n: u32) -> ShardPlan {
+        self.retries = n;
+        self
+    }
+
+    /// Builder-style quarantine threshold.
+    #[must_use]
+    pub fn quarantine_after(mut self, n: u32) -> ShardPlan {
+        self.quarantine_after = n.max(1);
+        self
+    }
+
+    /// Builder-style local-fallback switch.
+    #[must_use]
+    pub fn fallback_local(mut self, on: bool) -> ShardPlan {
+        self.fallback_local = on;
+        self
+    }
+
+    /// Builder-style retry policy.
+    #[must_use]
+    pub fn retry(mut self, policy: RetryPolicy) -> ShardPlan {
+        self.retry = policy;
+        self
+    }
+
+    /// Builder-style per-round deadline.
+    #[must_use]
+    pub fn round_deadline(mut self, d: Duration) -> ShardPlan {
+        self.round_deadline = d;
+        self
+    }
+
+    /// Builder-style connection deadlines.
+    #[must_use]
+    pub fn timeouts(mut self, t: Timeouts) -> ShardPlan {
+        self.timeouts = t;
+        self
+    }
+
     /// The effective mode: the explicit setting, else the `ASIP_SHARDS`
     /// environment default.
     pub fn mode(&self) -> ShardMode {
@@ -98,15 +246,24 @@ impl ShardPlan {
     }
 }
 
-/// Per-round busy retries before a chunk is returned to the pool.
-const BUSY_RETRIES: u32 = 20;
-/// Backoff between busy retries.
-const BUSY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(25);
-
 /// Worker connections the coordinator actually opened (pool misses); with
 /// pooling this stays at one per shard per grid run instead of one per
 /// dispatch round plus one per metrics scrape.
 static OBS_SHARD_CONNECTS: asip_obs::Counter = asip_obs::Counter::new("serve.shard.connects");
+/// Dispatch retries: busy backoffs slept plus stale-connection reconnect
+/// attempts.
+static OBS_RETRIES: asip_obs::Counter = asip_obs::Counter::new("serve.retries");
+/// Shards quarantined out of the rotation after consecutive failures.
+static OBS_QUARANTINED: asip_obs::Counter = asip_obs::Counter::new("serve.shard.quarantined");
+/// Quarantined shards revived by a successful re-probe.
+static OBS_REVIVED: asip_obs::Counter = asip_obs::Counter::new("serve.shard.revived");
+/// Cells completed by the in-process fallback after total shard loss.
+static OBS_LOCAL_FALLBACK: asip_obs::Counter = asip_obs::Counter::new("serve.shard.local_fallback");
+
+/// An in-process evaluator of last resort: completes pending cells when
+/// every shard is quarantined (deterministic evaluation keeps the merged
+/// grid byte-identical). [`run_grid`] passes the session's `eval_batch`.
+pub type LocalFallback<'a> = &'a (dyn Fn(&[EvalRequest]) -> Vec<EvalOutcome> + Sync);
 
 /// Per-shard persistent worker connections, reused across dispatch rounds
 /// and the final metrics scrape instead of opening a fresh TCP connection
@@ -119,13 +276,15 @@ static OBS_SHARD_CONNECTS: asip_obs::Counter = asip_obs::Counter::new("serve.sha
 /// (never returned), leaving the slot empty for a reconnect.
 struct ConnPool<'a> {
     addrs: &'a [String],
+    timeouts: Timeouts,
     slots: Vec<Mutex<Option<Client>>>,
 }
 
 impl<'a> ConnPool<'a> {
-    fn new(addrs: &'a [String]) -> ConnPool<'a> {
+    fn new(addrs: &'a [String], timeouts: Timeouts) -> ConnPool<'a> {
         ConnPool {
             addrs,
+            timeouts,
             slots: addrs.iter().map(|_| Mutex::new(None)).collect(),
         }
     }
@@ -137,7 +296,7 @@ impl<'a> ConnPool<'a> {
             return Ok(client);
         }
         OBS_SHARD_CONNECTS.add(1);
-        Client::connect(&self.addrs[shard])
+        Client::connect_with(&self.addrs[shard], &self.timeouts)
     }
 
     fn put(&self, shard: usize, client: Client) {
@@ -146,24 +305,30 @@ impl<'a> ConnPool<'a> {
 }
 
 /// Dispatch one chunk to one worker over its pooled connection, absorbing
-/// transient `Busy` rejections.
+/// transient `Busy` rejections under the plan's [`RetryPolicy`] and the
+/// round `deadline`.
 ///
 /// A pooled connection can have gone stale between rounds (the worker
 /// restarted, or died after its last reply); evaluation is idempotent and
 /// cache-backed, so a transport error gets one transparent retry on a
 /// fresh connection. A second failure is real — the chunk fails and the
-/// shard leaves the rotation.
+/// shard's failure streak grows.
 fn dispatch(
     pool: &ConnPool<'_>,
     shard: usize,
     reqs: &[EvalRequest],
+    policy: &RetryPolicy,
+    deadline: Instant,
 ) -> Result<Vec<EvalOutcome>, ServeError> {
     let mut span = asip_obs::span("serve", "shard_rpc");
     if span.is_recording() {
         span.detail(format!("{} cells -> {}", reqs.len(), pool.addrs[shard]));
     }
     let mut last = None;
-    for _ in 0..2 {
+    for conn_attempt in 0..2 {
+        if conn_attempt > 0 {
+            OBS_RETRIES.add(1);
+        }
         let mut client = match pool.take(shard) {
             Ok(c) => c,
             Err(e) => return Err(last.unwrap_or(e)),
@@ -176,12 +341,15 @@ fn dispatch(
                     return Ok(outs);
                 }
                 Err(e @ ServeError::Busy { .. }) => {
-                    if busy < BUSY_RETRIES {
+                    if busy < policy.busy_budget && Instant::now() < deadline {
+                        let pause = policy.backoff(busy, shard as u64);
                         busy += 1;
-                        std::thread::sleep(BUSY_BACKOFF);
+                        OBS_RETRIES.add(1);
+                        std::thread::sleep(pause);
                     } else {
                         // The connection is healthy — the server is just
-                        // saturated. Keep it for the re-dispatch round.
+                        // saturated (or the round deadline expired). Keep
+                        // the connection for the re-dispatch round.
                         pool.put(shard, client);
                         return Err(e);
                     }
@@ -199,8 +367,10 @@ fn dispatch(
 /// Evaluate `reqs` across the workers at `addrs`, request-ordered.
 ///
 /// Cell `i` goes to shard `i % addrs.len()` on the first round; cells of
-/// failed shards are re-partitioned across survivors for up to `retries`
-/// further rounds.
+/// failed shards are re-partitioned across healthy shards in later rounds
+/// (see the [module docs](self) for the quarantine/backoff model). No
+/// local fallback: with every shard down this fails typed — use
+/// [`run_sharded_with`] to supply one.
 ///
 /// # Errors
 ///
@@ -209,27 +379,45 @@ fn dispatch(
 pub fn run_sharded(
     addrs: &[String],
     reqs: &[EvalRequest],
-    retries: u32,
+    plan: &ShardPlan,
 ) -> Result<Vec<EvalOutcome>, ServeError> {
-    let pool = ConnPool::new(addrs);
-    run_sharded_inner(&pool, reqs, retries).map(|(outs, _)| outs)
+    run_sharded_with(addrs, reqs, plan, None)
 }
 
-/// [`run_sharded`], then scrape each surviving worker's [`MetricsReply`]
-/// over the `Metrics` RPC. The metrics vector is shard-indexed; a shard
-/// that died (or refuses the scrape) reports `None`. Render the result
-/// with [`format_shard_table`].
+/// [`run_sharded`] with an optional in-process evaluator of last resort:
+/// when every shard is quarantined and re-probing revives none, the
+/// pending cells complete through `fallback` instead of failing the run.
 ///
 /// # Errors
 ///
-/// Exactly [`run_sharded`]'s errors; a failed scrape is not an error.
+/// Exactly [`run_sharded`]'s errors; with a fallback supplied, total
+/// shard loss is not one of them.
+pub fn run_sharded_with(
+    addrs: &[String],
+    reqs: &[EvalRequest],
+    plan: &ShardPlan,
+    fallback: Option<LocalFallback<'_>>,
+) -> Result<Vec<EvalOutcome>, ServeError> {
+    let pool = ConnPool::new(addrs, plan.timeouts);
+    run_sharded_inner(&pool, reqs, plan, fallback).map(|(outs, _)| outs)
+}
+
+/// [`run_sharded_with`], then scrape each healthy worker's
+/// [`MetricsReply`] over the `Metrics` RPC. The metrics vector is
+/// shard-indexed; a shard that died (or refuses the scrape) reports
+/// `None`. Render the result with [`format_shard_table`].
+///
+/// # Errors
+///
+/// Exactly [`run_sharded_with`]'s errors; a failed scrape is not an error.
 pub fn run_sharded_metrics(
     addrs: &[String],
     reqs: &[EvalRequest],
-    retries: u32,
+    plan: &ShardPlan,
+    fallback: Option<LocalFallback<'_>>,
 ) -> Result<(Vec<EvalOutcome>, Vec<Option<MetricsReply>>), ServeError> {
-    let pool = ConnPool::new(addrs);
-    let (outs, alive) = run_sharded_inner(&pool, reqs, retries)?;
+    let pool = ConnPool::new(addrs, plan.timeouts);
+    let (outs, alive) = run_sharded_inner(&pool, reqs, plan, fallback)?;
     let mut metrics = vec![None; addrs.len()];
     for shard in alive {
         // Scrape over the shard's pooled connection; if it went stale
@@ -251,8 +439,9 @@ pub fn run_sharded_metrics(
 
 /// Render a shard-indexed metrics scrape (from [`run_sharded_metrics`]) as
 /// the per-shard summary table `exp_serve` prints: cells evaluated, busy
-/// rejections, per-cell eval latency p50/p99, and the cache hit ratio over
-/// the five pipeline stages.
+/// rejections, per-cell eval latency p50/p99, the cache hit ratio over the
+/// five pipeline stages, and (when nonzero) injected-fault and timeout
+/// tallies.
 pub fn format_shard_table(metrics: &[Option<MetricsReply>]) -> String {
     let mut out = String::new();
     for (shard, m) in metrics.iter().enumerate() {
@@ -288,6 +477,23 @@ pub fn format_shard_table(metrics: &[Option<MetricsReply>]) -> String {
             p50 as f64 / 1e6,
             p99 as f64 / 1e6,
         ));
+        // Fault-injection and deadline activity, present only on workers
+        // that actually injected or expired something.
+        let faults: u64 = [
+            "serve.faults.drop",
+            "serve.faults.torn",
+            "serve.faults.corrupt",
+            "serve.faults.stall",
+            "serve.faults.busy",
+            "serve.faults.crash",
+        ]
+        .iter()
+        .map(|n| m.counter(n))
+        .sum();
+        let timeouts = m.counter("serve.timeouts");
+        if faults > 0 || timeouts > 0 {
+            out.push_str(&format!(" faults={faults} timeouts={timeouts}"));
+        }
         // Superblock trace activity, present only when the worker's
         // engine actually formed traces.
         let formed = m.counter("sim.trace.formed");
@@ -310,71 +516,155 @@ pub fn format_shard_table(metrics: &[Option<MetricsReply>]) -> String {
     out
 }
 
+/// Coordinator-side health tracking for one shard.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardHealth {
+    /// Consecutive failed chunks (reset by any success).
+    consecutive: u32,
+    quarantined: bool,
+}
+
 fn run_sharded_inner(
     pool: &ConnPool<'_>,
     reqs: &[EvalRequest],
-    retries: u32,
+    plan: &ShardPlan,
+    fallback: Option<LocalFallback<'_>>,
 ) -> Result<(Vec<EvalOutcome>, Vec<usize>), ServeError> {
     let addrs = pool.addrs;
     if addrs.is_empty() {
         return Err(ServeError::Spawn("no worker addresses".into()));
     }
     let slots: Mutex<Vec<Option<EvalOutcome>>> = Mutex::new(vec![None; reqs.len()]);
-    let mut alive: Vec<usize> = (0..addrs.len()).collect();
+    let mut health = vec![ShardHealth::default(); addrs.len()];
     let mut pending: Vec<usize> = (0..reqs.len()).collect();
     let mut attempts = 0u32;
+    // Rounds that completed no cell at all; any progress resets it. This
+    // (not total rounds) is the budget `plan.retries` spends, so a fleet
+    // that keeps finishing *some* cells each round is never failed.
+    let mut stale_rounds = 0u32;
     while !pending.is_empty() {
-        if alive.is_empty() || attempts > retries {
-            let failed_shard = (0..addrs.len()).find(|s| !alive.contains(s)).unwrap_or(0);
+        // Re-probe quarantined shards: a worker that was merely saturated
+        // or stalled may answer now and rejoin the rotation.
+        for (shard, h) in health.iter_mut().enumerate() {
+            if !h.quarantined {
+                continue;
+            }
+            if let Ok(mut client) = pool.take(shard) {
+                if client.ping().is_ok() {
+                    pool.put(shard, client);
+                    h.quarantined = false;
+                    h.consecutive = 0;
+                    OBS_REVIVED.add(1);
+                }
+            }
+        }
+        let active: Vec<usize> = (0..addrs.len())
+            .filter(|&s| !health[s].quarantined)
+            .collect();
+        if active.is_empty() {
+            // Total shard loss. Degrade to in-process evaluation when the
+            // caller allows it — deterministic evals keep the merged
+            // result byte-identical — else fail typed.
+            if let Some(eval_local) = fallback {
+                let batch: Vec<EvalRequest> = pending.iter().map(|&i| reqs[i].clone()).collect();
+                let outs = eval_local(&batch);
+                if outs.len() == batch.len() {
+                    OBS_LOCAL_FALLBACK.add(pending.len() as u64);
+                    let mut slots = slots.lock().unwrap();
+                    for (&i, out) in pending.iter().zip(outs) {
+                        slots[i] = Some(out);
+                    }
+                    pending.clear();
+                    continue;
+                }
+            }
+            return Err(ServeError::ShardFailed {
+                shard: 0,
+                cells: pending.len(),
+                attempts,
+            });
+        }
+        if stale_rounds > plan.retries {
+            let failed_shard = (0..addrs.len())
+                .find(|&s| health[s].quarantined || health[s].consecutive > 0)
+                .unwrap_or(0);
             return Err(ServeError::ShardFailed {
                 shard: failed_shard,
                 cells: pending.len(),
                 attempts,
             });
         }
-        attempts += 1;
-        // Deterministic partition of the pending cells over live shards.
-        let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); alive.len()];
-        for (k, &cell) in pending.iter().enumerate() {
-            chunks[k % alive.len()].push(cell);
+        if attempts > 0 {
+            // Every cell that survived into a later round is a retry: its
+            // first dispatch failed and it is going back on the wire.
+            OBS_RETRIES.add(pending.len() as u64);
         }
-        let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        attempts += 1;
+        let deadline = Instant::now() + plan.round_deadline;
+        // Deterministic partition of the pending cells over active shards.
+        let mut chunks: Vec<Vec<usize>> = vec![Vec::new(); active.len()];
+        for (k, &cell) in pending.iter().enumerate() {
+            chunks[k % active.len()].push(cell);
+        }
+        let round: Mutex<Vec<(usize, bool)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for (k, chunk) in chunks.iter().enumerate() {
                 if chunk.is_empty() {
                     continue;
                 }
-                let shard = alive[k];
+                let shard = active[k];
                 let slots = &slots;
-                let failed = &failed;
+                let round = &round;
                 scope.spawn(move || {
                     let batch: Vec<EvalRequest> = chunk.iter().map(|&i| reqs[i].clone()).collect();
-                    match dispatch(pool, shard, &batch) {
+                    match dispatch(pool, shard, &batch, &plan.retry, deadline) {
                         Ok(outs) if outs.len() == batch.len() => {
                             let mut slots = slots.lock().unwrap();
                             for (&i, out) in chunk.iter().zip(outs) {
                                 slots[i] = Some(out);
                             }
+                            round.lock().unwrap().push((shard, true));
                         }
                         // Short reply or dead/busy worker: whole chunk
-                        // back to the pool, shard leaves the rotation.
-                        Ok(_) | Err(_) => failed.lock().unwrap().push(shard),
+                        // back to the pool, failure streak grows.
+                        Ok(_) | Err(_) => round.lock().unwrap().push((shard, false)),
                     }
                 });
             }
         });
-        let failed = failed.into_inner().unwrap();
-        alive.retain(|s| !failed.contains(s));
-        let filled = slots.lock().unwrap();
-        pending.retain(|&i| filled[i].is_none());
+        for (shard, ok) in round.into_inner().unwrap() {
+            let h = &mut health[shard];
+            if ok {
+                h.consecutive = 0;
+            } else {
+                h.consecutive += 1;
+                if h.consecutive >= plan.quarantine_after.max(1) {
+                    h.quarantined = true;
+                    OBS_QUARANTINED.add(1);
+                }
+            }
+        }
+        let before = pending.len();
+        {
+            let filled = slots.lock().unwrap();
+            pending.retain(|&i| filled[i].is_none());
+        }
+        if pending.len() < before {
+            stale_rounds = 0;
+        } else {
+            stale_rounds += 1;
+        }
     }
+    let healthy = (0..addrs.len())
+        .filter(|&s| !health[s].quarantined)
+        .collect();
     let outs = slots
         .into_inner()
         .unwrap()
         .into_iter()
         .map(|o| o.expect("no cell is pending"))
         .collect();
-    Ok((outs, alive))
+    Ok((outs, healthy))
 }
 
 /// Assemble a [`Grid`] from grid-ordered outcomes (the shape
@@ -406,7 +696,9 @@ pub fn grid_from_outcomes(
 /// `--worker` copies of the **current executable** (which must dispatch to
 /// [`crate::worker::try_worker_main`] at startup, as `exp_serve` and
 /// `exp_nxm` do), fans the grid out, and merges byte-identical,
-/// request-ordered results.
+/// request-ordered results. When [`ShardPlan::fallback_local`] is on (the
+/// default), total worker loss degrades to in-process evaluation on
+/// `session` instead of failing the run.
 ///
 /// # Errors
 ///
@@ -425,7 +717,13 @@ pub fn run_grid(
                 .map_err(|e| ServeError::Spawn(format!("current_exe: {e}")))?;
             let pool = WorkerPool::spawn(&exe, &[], &[], n)?;
             let reqs = EvalRequest::grid(machines, workloads);
-            let outcomes = run_sharded(pool.addrs(), &reqs, plan.retries)?;
+            let eval_local = |batch: &[EvalRequest]| session.eval_batch(batch);
+            let fallback: Option<LocalFallback<'_>> = if plan.fallback_local {
+                Some(&eval_local)
+            } else {
+                None
+            };
+            let outcomes = run_sharded_with(pool.addrs(), &reqs, plan, fallback)?;
             pool.shutdown();
             Ok(grid_from_outcomes(machines, workloads, outcomes, n))
         }
@@ -552,9 +850,34 @@ mod tests {
     }
 
     #[test]
+    fn backoff_is_exponential_capped_and_deterministic() {
+        let p = RetryPolicy::default();
+        for attempt in 0..10 {
+            for salt in 0..4 {
+                let d = p.backoff(attempt, salt);
+                assert_eq!(d, p.backoff(attempt, salt), "pure function");
+                let window = p
+                    .base
+                    .saturating_mul(1 << attempt.min(24))
+                    .min(p.cap)
+                    .max(Duration::from_nanos(1));
+                assert!(d <= window, "attempt {attempt}: {d:?} within {window:?}");
+                assert!(d >= window / 2, "attempt {attempt}: jitter upper half");
+            }
+        }
+        // High attempts stay at the cap, never overflow.
+        assert!(p.backoff(1000, 0) <= p.cap);
+        // Different salts decorrelate (at least one attempt differs).
+        assert!(
+            (0..10).any(|a| p.backoff(a, 0) != p.backoff(a, 1)),
+            "salts must decorrelate the schedule"
+        );
+    }
+
+    #[test]
     fn empty_address_list_is_a_typed_error() {
         assert!(matches!(
-            run_sharded(&[], &[], 2),
+            run_sharded(&[], &[], &ShardPlan::new()),
             Err(ServeError::Spawn(_))
         ));
     }
@@ -562,8 +885,9 @@ mod tests {
     #[test]
     fn unreachable_workers_exhaust_into_shard_failed() {
         // Nothing listens on these ports (bound-then-dropped, so they were
-        // free a moment ago); every dispatch errors, both shards die, and
-        // the run fails typed — it must not hang or panic.
+        // free a moment ago); every dispatch errors, both shards end up
+        // quarantined, re-probes fail, and the run fails typed — it must
+        // not hang or panic.
         let free = |_| {
             let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
             format!("127.0.0.1:{}", l.local_addr().unwrap().port())
@@ -574,9 +898,28 @@ mod tests {
             fir,
             asip_isa::MachineDescription::ember1(),
         )];
-        match run_sharded(&addrs, &reqs, 1) {
+        match run_sharded(&addrs, &reqs, &ShardPlan::new().retries(1)) {
             Err(ServeError::ShardFailed { cells, .. }) => assert_eq!(cells, 1),
             other => panic!("expected ShardFailed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn total_loss_with_fallback_completes_locally() {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![format!("127.0.0.1:{}", l.local_addr().unwrap().port())];
+        drop(l);
+        let fir = asip_workloads::by_name("fir").unwrap();
+        let reqs = vec![EvalRequest::new(
+            fir,
+            asip_isa::MachineDescription::ember1(),
+        )];
+        let session = Session::builder().threads(1).build();
+        let eval_local = |batch: &[EvalRequest]| session.eval_batch(batch);
+        let plan = ShardPlan::new().retries(1).quarantine_after(1);
+        let outs = run_sharded_with(&addrs, &reqs, &plan, Some(&eval_local))
+            .expect("fallback completes the batch");
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs, session.eval_batch(&reqs), "byte-identical to local");
     }
 }

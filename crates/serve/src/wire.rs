@@ -31,8 +31,9 @@ pub const MAGIC: [u8; 8] = *b"ASIPSRV\0";
 
 /// Wire format version. Bump on any frame- or payload-layout change; a
 /// mismatch is a typed [`ProtocolError::BadVersion`], never a misparse.
-/// Version 2 added the `Metrics`/`MetricsReply` kinds.
-pub const WIRE_VERSION: u32 = 2;
+/// Version 2 added the `Metrics`/`MetricsReply` kinds; version 3 added
+/// `TierStats::tmp_reclaimed` to every stats-carrying payload.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Upper bound on a frame payload (64 MiB). A declared length beyond this
 /// is rejected before any allocation — a garbage length field cannot make
@@ -526,11 +527,38 @@ impl Message {
 
 /// Write one frame to a stream (buffered by the frame itself: one `write_all`).
 ///
+/// When fault injection is active ([`crate::faults`]), an outgoing frame
+/// may be dropped (connection reset before any byte ships), torn (a
+/// prefix ships, then the reset — the peer reads a truncated frame), or
+/// corrupted (one bit flipped — the peer's checksum rejects it). The
+/// inactive-path cost is one relaxed atomic load.
+///
 /// # Errors
 ///
-/// Any transport [`io::Error`].
+/// Any transport [`io::Error`], including injected resets.
 pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<()> {
-    w.write_all(&msg.to_frame())?;
+    let mut frame = msg.to_frame();
+    if crate::faults::active() {
+        match crate::faults::on_write(&mut frame) {
+            crate::faults::WriteFault::Pass => {}
+            crate::faults::WriteFault::Drop => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected connection drop",
+                ));
+            }
+            crate::faults::WriteFault::Torn(cut) => {
+                let cut = cut.min(frame.len());
+                w.write_all(&frame[..cut])?;
+                w.flush()?;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected torn frame",
+                ));
+            }
+        }
+    }
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -542,6 +570,9 @@ pub fn write_frame(w: &mut impl Write, msg: &Message) -> io::Result<()> {
 /// [`ProtocolError::Closed`] on clean EOF at a frame boundary; any other
 /// [`ProtocolError`] for malformed or truncated frames.
 pub fn read_frame(r: &mut impl Read) -> Result<Message, ProtocolError> {
+    if crate::faults::active() {
+        crate::faults::maybe_stall();
+    }
     // Header through the length field.
     let mut head = [0u8; 17];
     let mut filled = 0;

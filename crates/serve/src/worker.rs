@@ -38,6 +38,9 @@ pub fn worker_main() -> ! {
 /// [`worker_main`] with a caller-built session.
 pub fn serve_worker(session: Session) -> ! {
     use std::io::Write;
+    // Chaos runs drive workers purely through the environment: activate
+    // any ASIP_FAULTS plan before the first connection arrives.
+    crate::faults::init_from_env();
     let server = match EvalServer::bind(session, "127.0.0.1:0", ServerConfig::default()) {
         Ok(s) => s,
         Err(e) => {

@@ -1,0 +1,204 @@
+//! Chaos suite: the shard executor under deterministic fault injection.
+//!
+//! Workers run with an `ASIP_FAULTS` plan in their environment — torn
+//! frames, bit flips, connection drops, read stalls, spurious `Busy`,
+//! crash-at-Nth-request — and every test pins the same three invariants:
+//! the grid completes **byte-identical** to the local path (checksummed
+//! frames reject corruption, evaluation is idempotent and deterministic,
+//! so re-dispatch is safe), nothing panics, and nothing hangs (every wait
+//! carries a deadline).
+
+use asip_core::cache::CACHE_DIR_ENV;
+use asip_core::session::{EvalOutcome, EvalRequest, Session};
+use asip_isa::codec::Codec;
+use asip_serve::{
+    run_sharded, run_sharded_with, Client, RetryPolicy, ServeError, ShardPlan, Timeouts,
+    WorkerPool, FAULTS_ENV,
+};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn worker_bin() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_asip_serve_worker"))
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asip-chaos-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_grid() -> Vec<EvalRequest> {
+    let machines = [
+        asip_isa::MachineDescription::ember1(),
+        asip_isa::MachineDescription::ember2(),
+    ];
+    let workloads: Vec<_> = asip_workloads::all().into_iter().take(3).collect();
+    EvalRequest::grid(&machines, &workloads)
+}
+
+fn encode_all(outs: &[EvalOutcome]) -> Vec<Vec<u8>> {
+    outs.iter().map(Codec::encode_to_vec).collect()
+}
+
+/// Spawn `n` workers with a fault spec in their environment (the test
+/// process itself stays fault-free: `ASIP_FAULTS` is set on the children
+/// only, so the coordinator's own transport misbehaves solely through
+/// what the workers do to it).
+fn spawn_faulty_pool(n: usize, cache_dir: &Path, faults: &str) -> WorkerPool {
+    let envs = [
+        (CACHE_DIR_ENV.to_string(), cache_dir.display().to_string()),
+        (FAULTS_ENV.to_string(), faults.to_string()),
+    ];
+    WorkerPool::spawn(worker_bin(), &[], &envs, n).expect("workers spawn")
+}
+
+/// A retry-heavy plan for noisy-wire tests: quick backoff, generous
+/// zero-progress budget, short-but-safe deadlines. Every knob bounded, so
+/// worst case is a typed error, not a hang.
+fn chaos_plan() -> ShardPlan {
+    ShardPlan::new()
+        .retries(10)
+        .quarantine_after(3)
+        .retry(RetryPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(40),
+            busy_budget: 30,
+            seed: 0xc4a05,
+        })
+        .round_deadline(Duration::from_secs(30))
+        .timeouts(Timeouts::compiled().read(Duration::from_secs(10)))
+}
+
+#[test]
+fn noisy_wire_grid_is_byte_identical() {
+    // Drops, torn frames, bit flips and spurious Busy on every worker:
+    // the coordinator must retry, reconnect and re-dispatch its way to
+    // the exact bytes the local path produces.
+    let reqs = small_grid();
+    let local_bytes = encode_all(&Session::builder().threads(2).build().eval_batch(&reqs));
+    let cache_dir = fresh_dir("noisy");
+    let pool = spawn_faulty_pool(
+        2,
+        &cache_dir,
+        "drop=0.05,torn=0.05,corrupt=0.05,busy=0.1,seed=11",
+    );
+    let sharded =
+        run_sharded(pool.addrs(), &reqs, &chaos_plan()).expect("grid completes under faults");
+    assert_eq!(
+        encode_all(&sharded),
+        local_bytes,
+        "faulty wire must not perturb order or bytes"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn read_stalls_surface_as_typed_timeouts() {
+    // A worker that always stalls 2 s before reading. A client with a
+    // 250 ms read deadline must get the typed Timeout — quickly, not
+    // after an unbounded block.
+    let cache_dir = fresh_dir("stall");
+    let pool = spawn_faulty_pool(1, &cache_dir, "stall=2s@1,seed=3");
+    let timeouts = Timeouts::compiled().read(Duration::from_millis(250));
+    let mut client = Client::connect_with(&pool.addrs()[0], &timeouts).expect("connects");
+    let reqs = small_grid();
+    let t0 = Instant::now();
+    match client.eval(&reqs[..1]) {
+        Err(ServeError::Timeout { op: "read" }) => {}
+        other => panic!("expected read Timeout, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "deadline must fire promptly, not hang"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn silent_server_read_times_out() {
+    // A listener that accepts and then says nothing — the degenerate hung
+    // peer, no fault injection involved. The read deadline converts it
+    // into a typed Timeout.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let sink = std::thread::spawn(move || {
+        // Hold the connection open, never reply.
+        let conn = listener.accept().map(|(s, _)| s);
+        std::thread::sleep(Duration::from_secs(5));
+        drop(conn);
+    });
+    let timeouts = Timeouts::compiled().read(Duration::from_millis(200));
+    let mut client = Client::connect_with(&addr, &timeouts).expect("connects");
+    let t0 = Instant::now();
+    assert!(
+        matches!(client.ping(), Err(ServeError::Timeout { op: "read" })),
+        "silence must become a typed read timeout"
+    );
+    assert!(t0.elapsed() < Duration::from_secs(3));
+    drop(client);
+    let _ = sink.join();
+}
+
+#[test]
+fn connect_to_dead_port_fails_bounded() {
+    // Nothing listens here (bound then dropped). However the OS reports
+    // it — refusal or expiry — the connect must fail typed within the
+    // deadline's order of magnitude, never block indefinitely.
+    let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = l.local_addr().unwrap().to_string();
+    drop(l);
+    let timeouts = Timeouts::compiled().connect(Duration::from_millis(300));
+    let t0 = Instant::now();
+    assert!(
+        Client::connect_with(&addr, &timeouts).is_err(),
+        "dead port must not connect"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "connect failure must be prompt"
+    );
+}
+
+#[test]
+fn crashing_workers_fall_back_to_local_byte_identical() {
+    // Every worker exits at its first Eval RPC — a total-fleet-loss
+    // schedule. With a local fallback the grid still completes, and the
+    // bytes match the local path exactly.
+    let reqs = small_grid();
+    let session = Session::builder().threads(2).build();
+    let local = session.eval_batch(&reqs);
+    let cache_dir = fresh_dir("crash-fallback");
+    let pool = spawn_faulty_pool(2, &cache_dir, "crash_after=1,seed=9");
+    let eval_local = |batch: &[EvalRequest]| session.eval_batch(batch);
+    let plan = chaos_plan().retries(3).quarantine_after(2);
+    let sharded = run_sharded_with(pool.addrs(), &reqs, &plan, Some(&eval_local))
+        .expect("fallback completes the grid after total worker loss");
+    assert_eq!(
+        encode_all(&sharded),
+        encode_all(&local),
+        "fallback path must be byte-identical"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+#[test]
+fn crashing_workers_without_fallback_fail_typed() {
+    // Same crash schedule, no fallback: the run must end in the typed
+    // ShardFailed — bounded, no panic, no hang, no partial grid.
+    let reqs = small_grid();
+    let cache_dir = fresh_dir("crash-typed");
+    let pool = spawn_faulty_pool(2, &cache_dir, "crash_after=1,seed=4");
+    let plan = chaos_plan().retries(2).quarantine_after(1);
+    match run_sharded(pool.addrs(), &reqs, &plan) {
+        Err(ServeError::ShardFailed { cells, .. }) => {
+            assert!(cells > 0, "the failure reports the incomplete cells")
+        }
+        other => panic!("expected ShardFailed, got {other:?}"),
+    }
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}

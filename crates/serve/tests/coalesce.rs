@@ -89,6 +89,7 @@ fn admission_overload_answers_typed_busy() {
     let session = Session::builder().threads(1).build();
     let config = ServerConfig {
         max_in_flight_cells: 1,
+        ..ServerConfig::default()
     };
     let server = EvalServer::bind(session, "127.0.0.1:0", config).unwrap();
     let (addr, _serve) = server.spawn().unwrap();

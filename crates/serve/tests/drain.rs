@@ -1,0 +1,60 @@
+//! Graceful server drain: `Shutdown` must stop the accept loop, let every
+//! in-flight `Eval` finish and ship its reply, wake idle connection
+//! readers, and join all connection threads before `serve` returns.
+
+use asip_core::session::{EvalRequest, Session};
+use asip_serve::{Client, EvalServer, ServerConfig};
+use std::time::{Duration, Instant};
+
+#[test]
+fn inflight_eval_completes_during_shutdown() {
+    let session = Session::builder().threads(2).build();
+    let server = EvalServer::bind(session, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let (addr, serve_handle) = server.spawn().unwrap();
+    let addr = addr.to_string();
+
+    // Client A: a cold-cache batch, slow enough to still be in flight
+    // when the shutdown lands.
+    let machines = [
+        asip_isa::MachineDescription::ember1(),
+        asip_isa::MachineDescription::ember2(),
+    ];
+    let workloads: Vec<_> = asip_workloads::all().into_iter().take(3).collect();
+    let reqs = EvalRequest::grid(&machines, &workloads);
+    let mut client_a = Client::connect(&addr).expect("client A connects");
+    // Client B connects *before* the shutdown so its idle reader is a
+    // parked thread the drain must wake.
+    let mut client_b = Client::connect(&addr).expect("client B connects");
+    client_b.ping().expect("B is live");
+
+    let eval_thread = std::thread::spawn(move || client_a.eval(&reqs));
+    // Give A's request time to be admitted server-side.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let shutdown_client = Client::connect(&addr).expect("shutdown client connects");
+    shutdown_client.shutdown().expect("shutdown acknowledged");
+
+    // The in-flight eval must complete with real outcomes, not an error:
+    // the drain waits for working threads instead of killing them.
+    let outcomes = eval_thread
+        .join()
+        .expect("eval thread joins")
+        .expect("in-flight eval completes during shutdown");
+    assert_eq!(outcomes.len(), 6, "every requested cell came back");
+
+    // The serve loop itself must return promptly once the drain is done —
+    // B's idle reader was woken by the read-half shutdown, not waited on
+    // until its 30 s read deadline.
+    let t0 = Instant::now();
+    serve_handle.join().expect("serve thread joins");
+    assert!(
+        t0.elapsed() < Duration::from_secs(20),
+        "drain must not wait out idle read deadlines"
+    );
+
+    // Post-drain, B's connection is gone: the next RPC fails typed.
+    assert!(
+        client_b.ping().is_err(),
+        "connections do not survive the drain"
+    );
+}

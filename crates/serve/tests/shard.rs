@@ -7,7 +7,7 @@
 use asip_core::cache::CACHE_DIR_ENV;
 use asip_core::session::{EvalOutcome, EvalRequest, Session};
 use asip_isa::codec::Codec;
-use asip_serve::{run_sharded, run_sharded_metrics, Client, ServeError, WorkerPool};
+use asip_serve::{run_sharded, run_sharded_metrics, Client, ServeError, ShardPlan, WorkerPool};
 use std::path::{Path, PathBuf};
 
 fn worker_bin() -> &'static Path {
@@ -46,7 +46,8 @@ fn sharded_grid_is_byte_identical_with_local() {
 
     let cache_dir = fresh_dir("identity");
     let pool = spawn_pool(2, &cache_dir);
-    let sharded = run_sharded(pool.addrs(), &reqs, 2).expect("sharded run completes");
+    let sharded =
+        run_sharded(pool.addrs(), &reqs, &ShardPlan::new()).expect("sharded run completes");
     assert_eq!(
         encode_all(&sharded),
         local_bytes,
@@ -57,7 +58,7 @@ fn sharded_grid_is_byte_identical_with_local() {
     // A fresh fleet on the same cache directory re-runs the grid entirely
     // from the disk tier another process populated.
     let pool = spawn_pool(2, &cache_dir);
-    let rerun = run_sharded(pool.addrs(), &reqs, 2).expect("second pass completes");
+    let rerun = run_sharded(pool.addrs(), &reqs, &ShardPlan::new()).expect("second pass completes");
     assert_eq!(
         encode_all(&rerun),
         local_bytes,
@@ -91,8 +92,8 @@ fn coordinator_reuses_worker_connections() {
 
     let cache_dir = fresh_dir("pooling");
     let pool = spawn_pool(1, &cache_dir);
-    let (sharded, metrics) =
-        run_sharded_metrics(pool.addrs(), &reqs, 2).expect("sharded run completes");
+    let (sharded, metrics) = run_sharded_metrics(pool.addrs(), &reqs, &ShardPlan::new(), None)
+        .expect("sharded run completes");
     assert_eq!(
         encode_all(&sharded),
         local_bytes,
@@ -121,7 +122,8 @@ fn killed_worker_cells_are_redispatched() {
     let mut pool = spawn_pool(2, &cache_dir);
     // Kill shard 0 outright; its cells must fail over to the survivor.
     pool.kill(0);
-    let sharded = run_sharded(pool.addrs(), &reqs, 2).expect("survivor absorbs the dead shard");
+    let sharded = run_sharded(pool.addrs(), &reqs, &ShardPlan::new())
+        .expect("survivor absorbs the dead shard");
     assert_eq!(
         encode_all(&sharded),
         local_bytes,
@@ -138,7 +140,7 @@ fn all_workers_dead_is_typed_shard_failed() {
     let mut pool = spawn_pool(2, &cache_dir);
     pool.kill(0);
     pool.kill(1);
-    match run_sharded(pool.addrs(), &reqs, 2) {
+    match run_sharded(pool.addrs(), &reqs, &ShardPlan::new()) {
         Err(ServeError::ShardFailed { cells, .. }) => {
             assert_eq!(cells, reqs.len(), "no cell silently dropped")
         }

@@ -76,6 +76,53 @@ fn message_for(seed: u64) -> Message {
     }
 }
 
+/// A reader that delivers its bytes in a seeded schedule of short reads —
+/// the stream shape a stalling peer or a torn `write` produces: every
+/// `read` returns between 1 byte and a small seeded chunk, interleaved
+/// with spurious `Interrupted` errors, then clean EOF.
+struct ChunkedReader {
+    bytes: Vec<u8>,
+    at: usize,
+    state: u64,
+}
+
+impl ChunkedReader {
+    fn new(bytes: Vec<u8>, seed: u64) -> ChunkedReader {
+        ChunkedReader {
+            bytes,
+            at: 0,
+            state: seed | 1,
+        }
+    }
+
+    fn next_draw(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(13)
+            .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        self.state
+    }
+}
+
+impl std::io::Read for ChunkedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.at >= self.bytes.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        let draw = self.next_draw();
+        if draw.is_multiple_of(5) {
+            return Err(std::io::ErrorKind::Interrupted.into());
+        }
+        let chunk = (draw as usize % 7 + 1)
+            .min(buf.len())
+            .min(self.bytes.len() - self.at);
+        buf[..chunk].copy_from_slice(&self.bytes[self.at..self.at + chunk]);
+        self.at += chunk;
+        Ok(chunk)
+    }
+}
+
 proptest! {
     #[test]
     fn frames_roundtrip_byte_exactly(seed in any::<u64>()) {
@@ -163,6 +210,51 @@ proptest! {
         if garbage {
             prop_assert!(slice_result.is_err());
             prop_assert!(stream_result.is_err());
+        }
+    }
+
+    #[test]
+    fn chunked_delivery_decodes_byte_exactly(seed in any::<u64>(), sched in any::<u64>()) {
+        // However a peer fragments its writes — 1-to-7-byte chunks in a
+        // seeded schedule, with spurious Interrupted results — the
+        // streaming reader reassembles the exact message, and two frames
+        // back to back stay frame-aligned.
+        let msg = message_for(seed);
+        let msg2 = message_for(seed.wrapping_add(1));
+        let mut bytes = msg.to_frame();
+        bytes.extend_from_slice(&msg2.to_frame());
+        let mut reader = ChunkedReader::new(bytes, sched);
+        prop_assert_eq!(
+            asip_serve::read_frame(&mut reader).expect("first frame reassembles"),
+            msg
+        );
+        prop_assert_eq!(
+            asip_serve::read_frame(&mut reader).expect("second frame reassembles"),
+            msg2
+        );
+        prop_assert!(matches!(
+            asip_serve::read_frame(&mut reader),
+            Err(ProtocolError::Closed)
+        ));
+    }
+
+    #[test]
+    fn torn_chunked_frames_are_typed_errors(
+        seed in any::<u64>(),
+        sched in any::<u64>(),
+        cut in any::<u64>(),
+    ) {
+        // A peer that dies mid-write leaves a torn frame; delivered in
+        // chunks it must surface as a typed error — Closed only at a frame
+        // boundary, Io(UnexpectedEof)/Codec inside one. Never a success,
+        // never a hang, never a panic.
+        let frame = message_for(seed).to_frame();
+        let cut = (cut as usize) % frame.len();
+        let mut reader = ChunkedReader::new(frame[..cut].to_vec(), sched);
+        match asip_serve::read_frame(&mut reader) {
+            Err(ProtocolError::Closed) => prop_assert_eq!(cut, 0),
+            Err(_) => prop_assert!(cut > 0),
+            Ok(m) => panic!("torn frame decoded as {}", m.name()),
         }
     }
 

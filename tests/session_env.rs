@@ -237,6 +237,88 @@ fn shards_env_feeds_default_but_plan_wins() {
     std::env::remove_var(SHARDS_ENV);
 }
 
+/// Serve-deadline precedence, mirroring the `ASIP_GRID_THREADS` rules:
+/// explicit [`Timeouts`] values (builder-style) always win; otherwise
+/// `ASIP_SERVE_TIMEOUT_MS` supplies all three deadlines at once; garbage
+/// or non-positive values fall back to the compiled defaults.
+#[test]
+fn serve_timeout_env_feeds_default_but_explicit_wins() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::serve::{Timeouts, TIMEOUT_ENV};
+    use std::time::Duration;
+
+    // Compiled-in defaults.
+    std::env::remove_var(TIMEOUT_ENV);
+    assert_eq!(Timeouts::default(), Timeouts::compiled());
+
+    // Env supplies all three deadlines at once…
+    std::env::set_var(TIMEOUT_ENV, "250");
+    let t = Timeouts::default();
+    assert_eq!(t.connect, Duration::from_millis(250));
+    assert_eq!(t.read, Duration::from_millis(250));
+    assert_eq!(t.write, Duration::from_millis(250));
+
+    // …but explicit values win over the environment.
+    let t = Timeouts::default().read(Duration::from_secs(9));
+    assert_eq!(t.read, Duration::from_secs(9));
+    assert_eq!(t.connect, Duration::from_millis(250), "others keep the env");
+
+    // Zero and garbage fall back to the compiled defaults.
+    std::env::set_var(TIMEOUT_ENV, "0");
+    assert_eq!(Timeouts::default(), Timeouts::compiled());
+    std::env::set_var(TIMEOUT_ENV, "soon");
+    assert_eq!(Timeouts::default(), Timeouts::compiled());
+
+    std::env::remove_var(TIMEOUT_ENV);
+}
+
+/// Fault-injection precedence: a plan installed programmatically wins over
+/// `ASIP_FAULTS`; otherwise the env spec activates injection; unset,
+/// empty or malformed specs leave injection off.
+#[test]
+fn faults_env_feeds_default_but_install_wins() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    use asip::serve::{faults, FaultPlan, FAULTS_ENV};
+
+    // Unset / empty / malformed: no plan, hooks inactive.
+    faults::clear();
+    std::env::remove_var(FAULTS_ENV);
+    faults::init_from_env();
+    assert!(!faults::active());
+    assert_eq!(faults::active_plan(), None);
+    faults::clear();
+    std::env::set_var(FAULTS_ENV, "");
+    faults::init_from_env();
+    assert!(!faults::active());
+    faults::clear();
+    std::env::set_var(FAULTS_ENV, "drop=lots");
+    faults::init_from_env();
+    assert!(
+        !faults::active(),
+        "malformed spec must deactivate, not panic"
+    );
+
+    // Env supplies the plan…
+    faults::clear();
+    std::env::set_var(FAULTS_ENV, "drop=0.25,seed=7");
+    faults::init_from_env();
+    assert!(faults::active());
+    let plan = faults::active_plan().expect("env plan installed");
+    assert_eq!(plan.drop, 0.25);
+    assert_eq!(plan.seed, 7);
+
+    // …but an installed plan wins over the environment: even an explicit
+    // no-op plan disables injection while ASIP_FAULTS says otherwise.
+    faults::clear();
+    faults::install(FaultPlan::default());
+    faults::init_from_env(); // must not clobber the installed plan
+    assert!(!faults::active(), "explicit no-op beats env-on");
+    assert_eq!(faults::active_plan(), Some(FaultPlan::default()));
+
+    faults::clear();
+    std::env::remove_var(FAULTS_ENV);
+}
+
 /// The Simulate stage key deliberately omits the engine: every engine is
 /// bit-identical (pinned by the differential suite), so a result cached
 /// under one engine must be served to a session running another — and the
